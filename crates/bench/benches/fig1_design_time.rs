@@ -1,0 +1,141 @@
+//! Regenerates **Fig 1** of the paper: at design time the same DNN is
+//! compressed differently per platform to meet each application class
+//! (1 fps / very-high accuracy, 25 fps / high, 60 fps / medium).
+//!
+//! The reproduced *shape*: stronger platforms ship wider (more accurate)
+//! models; tighter frame rates force narrower models; and on a sufficiently
+//! weak platform a demanding requirement is simply infeasible.
+//!
+//! ```sh
+//! cargo bench --bench fig1_design_time
+//! ```
+
+use eml_bench::{banner, row, Verdicts};
+use eml_core::baseline::design_time_prune;
+use eml_core::opspace::OpSpaceConfig;
+use eml_core::requirements::Requirements;
+use eml_dnn::profile::DnnProfile;
+use eml_platform::presets;
+use eml_platform::Soc;
+
+fn cpu_only(soc: &Soc) -> OpSpaceConfig {
+    OpSpaceConfig::default().with_clusters(
+        soc.clusters()
+            .filter(|(_, c)| c.kind().is_cpu())
+            .map(|(id, _)| id)
+            .collect(),
+    )
+}
+
+fn main() {
+    banner("Fig 1", "design-time compression per platform and requirement");
+
+    let profile = DnnProfile::reference("camera-dnn");
+    let requirements = [
+        (
+            "1 fps, very-high accuracy",
+            Requirements::new().with_target_fps(1.0).with_min_top1(71.0),
+        ),
+        (
+            "25 fps, high accuracy",
+            Requirements::new().with_target_fps(25.0).with_min_top1(66.0),
+        ),
+        (
+            "60 fps, medium accuracy",
+            Requirements::new().with_target_fps(60.0).with_min_top1(60.0),
+        ),
+    ];
+    let platforms = [presets::flagship(), presets::jetson_nano(), presets::odroid_xu3()];
+
+    let widths = [14, 28, 8, 10, 10];
+    println!(
+        "{}",
+        row(
+            &[
+                "platform".into(),
+                "requirement".into(),
+                "width".into(),
+                "cluster".into(),
+                "freq MHz".into(),
+            ],
+            &widths
+        )
+    );
+
+    // width_table[platform][requirement] = Option<level index>
+    let mut width_table = Vec::new();
+    for soc in &platforms {
+        let mut per_req = Vec::new();
+        for (label, req) in &requirements {
+            let design = design_time_prune(soc, &profile, req, OpSpaceConfig::default())
+                .expect("structurally valid");
+            match &design {
+                Some(d) => println!(
+                    "{}",
+                    row(
+                        &[
+                            soc.name().into(),
+                            (*label).into(),
+                            format!("{}%", (d.level.index() + 1) * 25),
+                            d.cluster_name.clone(),
+                            format!("{:.0}", d.freq.as_mhz()),
+                        ],
+                        &widths
+                    )
+                ),
+                None => println!(
+                    "{}",
+                    row(
+                        &[
+                            soc.name().into(),
+                            (*label).into(),
+                            "-".into(),
+                            "infeasible".into(),
+                            "-".into(),
+                        ],
+                        &widths
+                    )
+                ),
+            }
+            per_req.push(design.map(|d| d.level.index()));
+        }
+        width_table.push(per_req);
+    }
+    println!();
+
+    let mut verdicts = Verdicts::new();
+    // Shape 1: on every platform, the very-high-accuracy requirement ships
+    // the full model whenever feasible.
+    for (soc, per_req) in platforms.iter().zip(&width_table) {
+        if let Some(level) = per_req[0] {
+            verdicts.check(
+                &format!("{}: 1 fps / very-high accuracy ships the 100% model", soc.name()),
+                level == 3,
+            );
+        }
+    }
+    // Shape 2: the flagship (NPU) meets every requirement uncompressed.
+    verdicts.check(
+        "flagship meets all three requirements at full width",
+        width_table[0].iter().all(|l| *l == Some(3)),
+    );
+    // Shape 3: on the weakest platform (XU3, CPU-only view) tighter frame
+    // rates force narrower models or infeasibility.
+    let xu3 = &platforms[2];
+    let mut cpu_widths = Vec::new();
+    for (_, req) in &requirements {
+        let d = design_time_prune(xu3, &profile, req, cpu_only(xu3)).unwrap();
+        cpu_widths.push(d.map(|d| d.level.index() as i64).unwrap_or(-1));
+    }
+    println!("XU3 CPU-only widths per requirement (level index, -1 = infeasible): {cpu_widths:?}");
+    verdicts.check(
+        "XU3 CPUs: stricter frame rates never widen the shipped model",
+        cpu_widths.windows(2).all(|w| w[1] <= w[0]),
+    );
+    verdicts.check(
+        "XU3 CPUs cannot serve 60 fps at any width (needs GPU/NPU class compute)",
+        cpu_widths[2] == -1,
+    );
+
+    verdicts.finish("Fig 1");
+}

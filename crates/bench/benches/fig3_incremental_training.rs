@@ -1,0 +1,137 @@
+//! Regenerates **Fig 3** of the paper: a dynamic DNN built with incremental
+//! training and group-convolution pruning — trained live, then scaled at
+//! runtime without retraining.
+//!
+//! Reproduced properties:
+//! - group-wise incremental training (train group k, freeze groups < k,
+//!   ignore groups > k);
+//! - after training, any width 25/50/75/100 % is runtime-selectable with
+//!   **bit-identical** narrow-width outputs (no retraining);
+//! - compute cost scales with the active group count;
+//! - all widths live in a single model memory footprint.
+//!
+//! ```sh
+//! cargo bench --bench fig3_incremental_training
+//! ```
+
+use eml_bench::{banner, row, Verdicts};
+use eml_dnn::{DynamicDnn, WidthLevel};
+use eml_nn::arch::{build_group_cnn, CnnConfig};
+use eml_nn::dataset::{make_batch, DatasetConfig, SyntheticVision};
+use eml_nn::train::{train_incremental, TrainConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    banner("Fig 3", "incremental training and runtime group-convolution pruning");
+
+    let data = SyntheticVision::generate(DatasetConfig {
+        classes: 10,
+        train_per_class: 200,
+        test_per_class: 50,
+        ..DatasetConfig::default()
+    });
+    let mut rng = StdRng::seed_from_u64(2020);
+    let mut net = build_group_cnn(
+        CnnConfig { base_width: 16, ..CnnConfig::default() },
+        &mut rng,
+    )
+        .expect("default architecture is valid");
+    let total_params = net.cost().expect("cost model works").params_total;
+    println!(
+        "dataset: {} train / {} test, 10 classes; model: {} params, G=4 groups\n",
+        data.train().len(),
+        data.test().len(),
+        total_params
+    );
+
+    let cfg = TrainConfig { epochs: 6, batch_size: 32, lr: 0.05, ..TrainConfig::default() };
+    let report = train_incremental(&mut net, data.train(), Some(data.test()), &cfg)
+        .expect("training succeeds");
+
+    let widths = [8, 12, 12, 12, 14];
+    println!(
+        "{}",
+        row(
+            &[
+                "width".into(),
+                "top-1 (%)".into(),
+                "loss".into(),
+                "MACs frac".into(),
+                "params used".into(),
+            ],
+            &widths
+        )
+    );
+    let full_macs = net.cost_at(4).expect("valid width").macs;
+    let mut accs = Vec::new();
+    for step in &report.steps {
+        let eval = step.eval.as_ref().expect("eval requested");
+        let cost = net.cost_at(step.active_groups).expect("valid width");
+        println!(
+            "{}",
+            row(
+                &[
+                    format!("{}%", step.active_groups * 25),
+                    format!("{:.1}", eval.top1 * 100.0),
+                    format!("{:.3}", step.epochs.last().expect("epochs ran").loss),
+                    format!("{:.3}", cost.macs / full_macs),
+                    format!("{}", cost.params),
+                ],
+                &widths
+            )
+        );
+        accs.push(eval.top1);
+    }
+    println!();
+
+    let mut verdicts = Verdicts::new();
+    verdicts.check(
+        &format!("every width clearly beats 10-class chance (got {accs:?})"),
+        accs.iter().all(|&a| a > 0.3),
+    );
+    verdicts.check(
+        "accuracy is non-decreasing with width (Fig 3/4b property)",
+        accs.windows(2).all(|w| w[1] >= w[0] - 0.01),
+    );
+    let cost_ok = (1..=4).all(|g| {
+        let frac = net.cost_at(g).expect("valid").macs / full_macs;
+        (frac - g as f64 * 0.25).abs() < 0.01
+    });
+    verdicts.check("compute cost scales 25/50/75/100% with active groups", cost_ok);
+
+    // Runtime switching without retraining: narrow outputs identical
+    // before and after visiting other widths.
+    let mut dnn = DynamicDnn::from_trained("fig3-dnn", net, &report)
+        .expect("trained report is complete");
+    let (batch, _) = make_batch(data.test(), &(0..32).collect::<Vec<_>>());
+    dnn.set_level(WidthLevel(0)).expect("level exists");
+    let before = dnn.infer(&batch).expect("inference works");
+    for l in [3, 1, 2, 0, 3, 0] {
+        dnn.set_level(WidthLevel(l)).expect("level exists");
+        let _ = dnn.infer(&batch).expect("inference works");
+    }
+    dnn.set_level(WidthLevel(0)).expect("level exists");
+    let after = dnn.infer(&batch).expect("inference works");
+    verdicts.check(
+        &format!(
+            "width switching is retraining-free: 25% predictions bit-identical after {} switches",
+            dnn.switch_count()
+        ),
+        before == after,
+    );
+
+    let profile = dnn.profile();
+    println!(
+        "\nsingle dynamic model: {:.0} KiB; static baseline (4 separate models): {:.0} KiB ({:.2}x)",
+        profile.model_bytes() / 1024.0,
+        profile.static_baseline_bytes() / 1024.0,
+        profile.static_baseline_bytes() / profile.model_bytes()
+    );
+    verdicts.check(
+        "all four configurations fit in one model footprint (static needs 2.5x)",
+        (profile.static_baseline_bytes() / profile.model_bytes() - 2.5).abs() < 0.01,
+    );
+
+    verdicts.finish("Fig 3");
+}

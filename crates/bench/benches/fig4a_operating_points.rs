@@ -1,0 +1,161 @@
+//! Regenerates **Fig 4(a)** of the paper: the (energy, time) operating-point
+//! space spanned by the dynamic DNN (4 widths) × task mapping (A15/A7) ×
+//! DVFS (17 / 12 levels) on the Odroid XU3.
+//!
+//! Prints the full series (CSV) and checks the figure's shape: series
+//! ordering, the wide dynamic range of the space, and the A7/A15 roles.
+//!
+//! ```sh
+//! cargo bench --bench fig4a_operating_points
+//! ```
+
+use eml_bench::{banner, Verdicts};
+use eml_core::opspace::{OpSpace, OpSpaceConfig};
+use eml_dnn::profile::DnnProfile;
+use eml_dnn::WidthLevel;
+use eml_platform::paper::{FIG4A_A15_LEVELS, FIG4A_A7_LEVELS};
+use eml_platform::presets;
+
+fn main() {
+    banner("Fig 4(a)", "E-t operating-point space: width x mapping x DVFS");
+
+    let soc = presets::odroid_xu3();
+    let profile = DnnProfile::reference("camera-dnn");
+    let a15 = soc.find_cluster("a15").expect("preset cluster");
+    let a7 = soc.find_cluster("a7").expect("preset cluster");
+    let space = OpSpace::new(
+        &soc,
+        &profile,
+        OpSpaceConfig::default().with_clusters(vec![a15, a7]),
+    )
+    .expect("space is non-empty");
+
+    println!("cluster,width_percent,freq_mhz,time_ms,energy_mj");
+    let mut points = Vec::new();
+    for op in space.iter() {
+        let pt = space.evaluate(op).expect("enumerated points evaluate");
+        let cluster = soc.cluster(op.cluster).expect("valid id");
+        let freq = cluster.opps().get(op.opp_index).expect("valid opp").freq();
+        println!(
+            "{},{},{:.0},{:.2},{:.2}",
+            cluster.name(),
+            (op.level.index() + 1) * 25,
+            freq.as_mhz(),
+            pt.latency.as_millis(),
+            pt.energy.as_millijoules()
+        );
+        points.push((cluster.name().to_string(), op.level, pt));
+    }
+    println!();
+
+    let mut verdicts = Verdicts::new();
+    verdicts.check(
+        &format!(
+            "space has (17 A15 + 12 A7) x 4 widths = {} points (got {})",
+            (FIG4A_A15_LEVELS + FIG4A_A7_LEVELS) * 4,
+            points.len()
+        ),
+        points.len() == (FIG4A_A15_LEVELS + FIG4A_A7_LEVELS) * 4,
+    );
+
+    // Shape 1: within a (cluster, width) series, latency decreases
+    // monotonically with frequency (the paper's per-series curves).
+    let mut series_ok = true;
+    for cluster in ["a15", "a7"] {
+        for level in 0..4 {
+            let series: Vec<f64> = points
+                .iter()
+                .filter(|(c, l, _)| c == cluster && l.index() == level)
+                .map(|(_, _, p)| p.latency.as_millis())
+                .collect();
+            if !series.windows(2).all(|w| w[1] < w[0]) {
+                series_ok = false;
+            }
+        }
+    }
+    verdicts.check("each (cluster, width) series is monotone in DVFS", series_ok);
+
+    // Shape 2: halving width halves time and energy at fixed setting.
+    let eval = |cluster, opp, level| {
+        space
+            .evaluate(eml_core::opspace::OperatingPoint {
+                cluster,
+                cores: 4,
+                opp_index: opp,
+                level: WidthLevel(level),
+            })
+            .expect("valid point")
+    };
+    let full = eval(a15, 8, 3);
+    let half = eval(a15, 8, 1);
+    verdicts.check(
+        "width is a true knob: 50% model halves time and energy",
+        (half.latency.as_secs() / full.latency.as_secs() - 0.5).abs() < 0.01
+            && (half.energy.as_joules() / full.energy.as_joules() - 0.5).abs() < 0.01,
+    );
+
+    // Shape 3: the A7 owns the low-energy frontier, the A15 the low-latency
+    // frontier (why task mapping matters).
+    let min_energy = points
+        .iter()
+        .min_by(|a, b| a.2.energy.partial_cmp(&b.2.energy).expect("finite"))
+        .expect("non-empty");
+    let min_latency = points
+        .iter()
+        .min_by(|a, b| a.2.latency.partial_cmp(&b.2.latency).expect("finite"))
+        .expect("non-empty");
+    verdicts.check(
+        &format!("global minimum energy lives on the A7 (got {})", min_energy.0),
+        min_energy.0 == "a7",
+    );
+    verdicts.check(
+        &format!("global minimum latency lives on the A15 (got {})", min_latency.0),
+        min_latency.0 == "a15",
+    );
+
+    // Shape 4: the combined knobs span a wide dynamic range (the paper's
+    // axes: 0-1200 ms, 0-350 mJ for the full model).
+    let t_max = points.iter().map(|(_, _, p)| p.latency.as_millis()).fold(0.0, f64::max);
+    let t_min = points
+        .iter()
+        .map(|(_, _, p)| p.latency.as_millis())
+        .fold(f64::INFINITY, f64::min);
+    let e_max = points
+        .iter()
+        .map(|(_, _, p)| p.energy.as_millijoules())
+        .fold(0.0, f64::max);
+    let e_min = points
+        .iter()
+        .map(|(_, _, p)| p.energy.as_millijoules())
+        .fold(f64::INFINITY, f64::min);
+    println!(
+        "\ndynamic range: time {t_min:.1}-{t_max:.1} ms ({:.0}x), energy {e_min:.1}-{e_max:.1} mJ ({:.0}x)",
+        t_max / t_min,
+        e_max / e_min
+    );
+    verdicts.check(
+        "combined knobs span >30x in time and >10x in energy",
+        t_max / t_min > 30.0 && e_max / e_min > 10.0,
+    );
+
+    // Shape 5: the paper's §IV observation — for the full model, the A7 at
+    // mid frequency beats every A15 setting on energy.
+    let a7_full_min_energy = points
+        .iter()
+        .filter(|(c, l, _)| c == "a7" && l.index() == 3)
+        .map(|(_, _, p)| p.energy.as_millijoules())
+        .fold(f64::INFINITY, f64::min);
+    let a15_full_min_energy = points
+        .iter()
+        .filter(|(c, l, _)| c == "a15" && l.index() == 3)
+        .map(|(_, _, p)| p.energy.as_millijoules())
+        .fold(f64::INFINITY, f64::min);
+    verdicts.check(
+        &format!(
+            "full model: best A7 energy {a7_full_min_energy:.1} mJ < best A15 energy {a15_full_min_energy:.1} mJ"
+        ),
+        a7_full_min_energy < a15_full_min_energy,
+    );
+
+    verdicts.finish("Fig 4(a)");
+}

@@ -1,0 +1,105 @@
+//! Regenerates **Fig 4(b)** of the paper: top-1 accuracy of the four
+//! dynamic-DNN configurations, with per-class variance error bars.
+//!
+//! Two data sources are compared:
+//! - the paper's published CIFAR-10 numbers (56 / 62.7 / 68.8 / 71.2 %),
+//!   embedded as the reference accuracy table;
+//! - a live incremental-training run on the synthetic dataset (the
+//!   documented CIFAR-10 substitution) — absolute values differ, the
+//!   *shape* (monotone, diminishing returns, non-trivial class variance)
+//!   must match.
+//!
+//! ```sh
+//! cargo bench --bench fig4b_accuracy
+//! ```
+
+use eml_bench::{banner, row, Verdicts};
+use eml_nn::arch::{build_group_cnn, CnnConfig};
+use eml_nn::dataset::{DatasetConfig, SyntheticVision};
+use eml_nn::metrics::evaluate;
+use eml_nn::train::{train_incremental, TrainConfig};
+use eml_platform::paper::FIG4B_TOP1;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    banner("Fig 4(b)", "top-1 accuracy per width, with per-class variance");
+
+    let data = SyntheticVision::generate(DatasetConfig {
+        classes: 10,
+        train_per_class: 200,
+        test_per_class: 60,
+        ..DatasetConfig::default()
+    });
+    let mut rng = StdRng::seed_from_u64(41);
+    let mut net =
+        build_group_cnn(
+        CnnConfig { base_width: 16, ..CnnConfig::default() },
+        &mut rng,
+    ).expect("default arch valid");
+    let cfg = TrainConfig { epochs: 6, batch_size: 32, lr: 0.05, ..TrainConfig::default() };
+    let report = train_incremental(&mut net, data.train(), Some(data.test()), &cfg)
+        .expect("training succeeds");
+
+    let widths = [8, 14, 16, 16];
+    println!(
+        "{}",
+        row(
+            &[
+                "width".into(),
+                "paper top-1".into(),
+                "measured top-1".into(),
+                "class std (pp)".into(),
+            ],
+            &widths
+        )
+    );
+    let mut measured = Vec::new();
+    let mut stds = Vec::new();
+    for (i, step) in report.steps.iter().enumerate() {
+        // Re-evaluate at each width for per-class statistics.
+        net.set_active_groups(i + 1).expect("valid width");
+        let eval = evaluate(&mut net, data.test(), 64).expect("evaluation works");
+        println!(
+            "{}",
+            row(
+                &[
+                    format!("{}%", (i + 1) * 25),
+                    format!("{:.1}", FIG4B_TOP1[i]),
+                    format!("{:.1}", eval.top1 * 100.0),
+                    format!("{:.1}", eval.class_std() * 100.0),
+                ],
+                &widths
+            )
+        );
+        assert_eq!(step.active_groups, i + 1);
+        measured.push(eval.top1 * 100.0);
+        stds.push(eval.class_std() * 100.0);
+    }
+    println!();
+
+    let mut verdicts = Verdicts::new();
+    verdicts.check(
+        "paper series is monotone with diminishing returns (sanity on embedded data)",
+        FIG4B_TOP1.windows(2).all(|w| w[1] > w[0])
+            && FIG4B_TOP1[1] - FIG4B_TOP1[0] > FIG4B_TOP1[3] - FIG4B_TOP1[2],
+    );
+    verdicts.check(
+        &format!("measured accuracy is monotone non-decreasing in width ({measured:?})"),
+        measured.windows(2).all(|w| w[1] >= w[0] - 0.5),
+    );
+    verdicts.check(
+        &format!("every width clearly beats 10-class chance ({measured:?})"),
+        measured.iter().all(|&m| m > 30.0),
+    );
+    verdicts.check(
+        &format!("widening 25%->100% buys a meaningful accuracy gain ({:.1} pp)", measured[3] - measured[0]),
+        measured[3] - measured[0] > 3.0,
+    );
+    verdicts.check(
+        &format!("per-class variance is non-trivial, as in the paper's error bars ({stds:?})"),
+        stds.iter().all(|&s| s > 0.5),
+    );
+
+    verdicts.finish("Fig 4(b)");
+}

@@ -1,0 +1,75 @@
+//! Criterion microbenchmarks of the neural-network substrate: forward
+//! passes at each width (the real compute the dynamic DNN saves), training
+//! steps and width switching.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use eml_nn::arch::{build_group_cnn, CnnConfig};
+use eml_nn::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_forward_per_width(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut net = build_group_cnn(CnnConfig::default(), &mut rng).expect("valid arch");
+    let x = Tensor::full(&[1, 3, 16, 16], 0.1);
+    let mut group = c.benchmark_group("nn/forward");
+    for g in 1..=4usize {
+        net.set_active_groups(g).expect("valid width");
+        group.bench_function(format!("width_{}pct", g * 25), |b| {
+            // Width state is set outside the timing loop; forward is pure.
+            let mut net = build_group_cnn(CnnConfig::default(), &mut StdRng::seed_from_u64(1))
+                .expect("valid arch");
+            net.set_active_groups(g).expect("valid width");
+            b.iter(|| net.forward(black_box(&x), false).expect("forward"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_training_step(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut net = build_group_cnn(
+        CnnConfig { base_width: 16, ..CnnConfig::default() },
+        &mut rng,
+    )
+    .expect("valid arch");
+    let x = Tensor::full(&[8, 3, 16, 16], 0.1);
+    let labels = [0usize, 1, 2, 3, 4, 5, 6, 7];
+    c.bench_function("nn/train_batch_8", |b| {
+        b.iter(|| {
+            net.zero_grads();
+            let out = net.train_batch(black_box(&x), black_box(&labels)).expect("train");
+            net.sgd_step(0.01, 0.9);
+            out.loss
+        })
+    });
+}
+
+fn bench_width_switch(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut net = build_group_cnn(CnnConfig::default(), &mut rng).expect("valid arch");
+    c.bench_function("nn/width_switch", |b| {
+        let mut g = 1;
+        b.iter(|| {
+            g = g % 4 + 1;
+            net.set_active_groups(black_box(g)).expect("valid width")
+        })
+    });
+}
+
+fn bench_cost_model(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let net = build_group_cnn(CnnConfig::default(), &mut rng).expect("valid arch");
+    c.bench_function("nn/cost_model", |b| b.iter(|| net.cost().expect("cost")));
+}
+
+criterion_group!(
+    benches,
+    bench_forward_per_width,
+    bench_training_step,
+    bench_width_switch,
+    bench_cost_model
+);
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! Criterion microbenchmarks of the RTM decision path: operating-point
+//! enumeration, evaluation, Pareto filtering, governor decisions and
+//! multi-application allocation.
+//!
+//! The paper positions the RTM as an *online* component; these benches
+//! quantify its decision latency on the reproduced spaces.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use eml_core::governor::{ExhaustiveGovernor, Governor, GreedyGovernor, ParetoGovernor};
+use eml_core::objective::Objective;
+use eml_core::opspace::{OpSpace, OpSpaceConfig};
+use eml_core::pareto::pareto_front;
+use eml_core::requirements::Requirements;
+use eml_core::rtm::{AppSpec, DnnAppSpec, RigidAppSpec, Rtm, RtmConfig};
+use eml_dnn::profile::DnnProfile;
+use eml_platform::presets;
+use eml_platform::soc::CoreKind;
+use eml_platform::units::{Energy, TimeSpan};
+
+fn budget() -> Requirements {
+    Requirements::new()
+        .with_max_latency(TimeSpan::from_millis(400.0))
+        .with_max_energy(Energy::from_millijoules(100.0))
+}
+
+fn bench_opspace(c: &mut Criterion) {
+    let soc = presets::odroid_xu3();
+    let profile = DnnProfile::reference("dnn");
+    c.bench_function("opspace/enumerate_xu3_full", |b| {
+        b.iter(|| {
+            OpSpace::new(
+                black_box(&soc),
+                black_box(&profile),
+                OpSpaceConfig::default(),
+            )
+            .expect("non-empty")
+        })
+    });
+    let space = OpSpace::new(&soc, &profile, OpSpaceConfig::default()).expect("non-empty");
+    c.bench_function("opspace/evaluate_all_xu3_full", |b| {
+        b.iter(|| space.evaluate_all().expect("evaluates"))
+    });
+    let all = space.evaluate_all().expect("evaluates");
+    c.bench_function("pareto/front_xu3_full", |b| {
+        b.iter(|| pareto_front(black_box(&all)))
+    });
+}
+
+fn bench_governors(c: &mut Criterion) {
+    let soc = presets::odroid_xu3();
+    let profile = DnnProfile::reference("dnn");
+    let space = OpSpace::new(&soc, &profile, OpSpaceConfig::default()).expect("non-empty");
+    let req = budget();
+
+    c.bench_function("governor/exhaustive_decide", |b| {
+        b.iter(|| {
+            ExhaustiveGovernor
+                .decide(black_box(&space), black_box(&req), Objective::default())
+                .expect("no error")
+        })
+    });
+    c.bench_function("governor/pareto_decide_warm", |b| {
+        let mut g = ParetoGovernor::new();
+        let _ = g.decide(&space, &req, Objective::default());
+        b.iter(|| {
+            g.decide(black_box(&space), black_box(&req), Objective::default())
+                .expect("no error")
+        })
+    });
+    c.bench_function("governor/pareto_decide_cold", |b| {
+        b.iter_batched(
+            ParetoGovernor::new,
+            |mut g| {
+                g.decide(black_box(&space), black_box(&req), Objective::default())
+                    .expect("no error")
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("governor/greedy_decide", |b| {
+        b.iter(|| {
+            GreedyGovernor::default()
+                .decide(black_box(&space), black_box(&req), Objective::default())
+                .expect("no error")
+        })
+    });
+}
+
+fn bench_multi_app(c: &mut Criterion) {
+    let soc = presets::flagship();
+    let rtm = Rtm::new(RtmConfig::default());
+    let apps = vec![
+        AppSpec::Dnn(DnnAppSpec {
+            name: "dnn1".into(),
+            profile: DnnProfile::reference("dnn1"),
+            requirements: Requirements::new().with_max_latency(TimeSpan::from_millis(11.0)),
+            priority: 1,
+            objective: None,
+        }),
+        AppSpec::Dnn(DnnAppSpec {
+            name: "dnn2".into(),
+            profile: DnnProfile::reference("dnn2"),
+            requirements: Requirements::new().with_target_fps(60.0),
+            priority: 2,
+            objective: None,
+        }),
+        AppSpec::Rigid(RigidAppSpec {
+            name: "vr".into(),
+            preferred: vec![CoreKind::Gpu],
+            utilization: 0.9,
+            priority: 3,
+        }),
+    ];
+    c.bench_function("rtm/allocate_three_apps_flagship", |b| {
+        b.iter(|| rtm.allocate(black_box(&soc), black_box(&apps)).expect("allocates"))
+    });
+}
+
+criterion_group!(benches, bench_opspace, bench_governors, bench_multi_app);
+criterion_main!(benches);

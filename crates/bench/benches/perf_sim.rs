@@ -1,0 +1,66 @@
+//! Criterion microbenchmarks of the simulator: thermal stepping, platform
+//! prediction throughput and full scenario runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use eml_platform::presets;
+use eml_platform::soc::Placement;
+use eml_platform::thermal::ThermalState;
+use eml_platform::units::{Freq, Power, TimeSpan};
+use eml_sim::scenario;
+use eml_sim::SimConfig;
+
+fn bench_thermal(c: &mut Criterion) {
+    let soc = presets::flagship();
+    let model = *soc.thermal();
+    c.bench_function("sim/thermal_step", |b| {
+        let mut state = ThermalState::at_ambient(&model);
+        b.iter(|| {
+            state.step(
+                &model,
+                black_box(Power::from_watts(6.0)),
+                TimeSpan::from_millis(50.0),
+            );
+            state.die_temp()
+        })
+    });
+}
+
+fn bench_prediction(c: &mut Criterion) {
+    let soc = presets::odroid_xu3();
+    let a15 = soc.find_cluster("a15").expect("preset");
+    let w = presets::reference_workload();
+    c.bench_function("sim/platform_predict", |b| {
+        b.iter(|| {
+            soc.predict(
+                black_box(Placement::new(a15, 4)),
+                black_box(Freq::from_mhz(1000.0)),
+                black_box(&w),
+            )
+            .expect("predicts")
+        })
+    });
+}
+
+fn bench_scenario(c: &mut Criterion) {
+    c.bench_function("sim/fig2_scenario_full_40s", |b| {
+        b.iter(|| {
+            let sim = scenario::fig2_scenario().expect("valid scenario");
+            sim.run().expect("runs")
+        })
+    });
+    c.bench_function("sim/fig2_scenario_coarse_dt", |b| {
+        b.iter(|| {
+            let sim = scenario::fig2_scenario_with(SimConfig {
+                dt: TimeSpan::from_millis(250.0),
+                ..SimConfig::default()
+            })
+            .expect("valid scenario");
+            sim.run().expect("runs")
+        })
+    });
+}
+
+criterion_group!(benches, bench_thermal, bench_prediction, bench_scenario);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Regenerates **Table I** of the paper: platform-dependent (time, power,
+//! energy) and platform-independent (top-1 accuracy) metrics of the
+//! reference DNN across Jetson Nano and Odroid XU3 configurations.
+//!
+//! ```sh
+//! cargo bench --bench table1
+//! ```
+
+use eml_bench::{banner, rel_err_percent, row, Verdicts};
+use eml_dnn::profile::DnnProfile;
+use eml_dnn::WidthLevel;
+use eml_platform::paper::TABLE_ONE;
+use eml_platform::presets;
+use eml_platform::soc::Placement;
+use eml_platform::units::Freq;
+
+fn main() {
+    banner("Table I", "platform-dependent & independent DNN performance metrics");
+
+    let socs = [presets::odroid_xu3(), presets::jetson_nano()];
+    let workload = presets::reference_workload();
+    let profile = DnnProfile::reference("paper-dnn");
+    let top1 = profile
+        .top1(WidthLevel(3))
+        .expect("reference profile has four levels");
+
+    let widths = [34, 11, 9, 9, 9, 9, 9, 9, 7];
+    println!(
+        "{}",
+        row(
+            &[
+                "computing cores".into(),
+                "t_paper".into(),
+                "t_sim".into(),
+                "err%".into(),
+                "P_paper".into(),
+                "P_sim".into(),
+                "err%".into(),
+                "E_sim".into(),
+                "top-1".into(),
+            ],
+            &widths
+        )
+    );
+
+    let mut verdicts = Verdicts::new();
+    for r in &TABLE_ONE {
+        let soc = socs
+            .iter()
+            .find(|s| s.name() == r.platform)
+            .expect("preset for every platform");
+        let id = soc.find_cluster(r.cluster).expect("cluster exists");
+        let spec = soc.cluster(id).expect("valid id");
+        let p = soc
+            .predict(
+                Placement::whole_cluster(id, spec),
+                Freq::from_mhz(r.freq_mhz),
+                &workload,
+            )
+            .expect("prediction succeeds");
+        let t_err = rel_err_percent(p.latency.as_millis(), r.time_ms);
+        let p_err = rel_err_percent(p.power.as_milliwatts(), r.power_mw);
+        println!(
+            "{}",
+            row(
+                &[
+                    r.label.into(),
+                    format!("{:.1}", r.time_ms),
+                    format!("{:.1}", p.latency.as_millis()),
+                    format!("{t_err:.1}"),
+                    format!("{:.0}", r.power_mw),
+                    format!("{:.0}", p.power.as_milliwatts()),
+                    format!("{p_err:.1}"),
+                    format!("{:.1}", p.energy.as_millijoules()),
+                    format!("{top1:.1}"),
+                ],
+                &widths
+            )
+        );
+        verdicts.check(
+            &format!("{}: latency within 2%, power within 1%", r.label),
+            t_err < 2.0 && p_err < 1.0,
+        );
+    }
+
+    // Platform-independent column: accuracy identical in every row.
+    verdicts.check(
+        "top-1 accuracy is platform-independent (71.2% everywhere)",
+        (top1 - 71.2).abs() < 1e-9,
+    );
+
+    verdicts.finish("Table I");
+}

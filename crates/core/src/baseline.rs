@@ -1,0 +1,256 @@
+//! Design-time static-pruning baseline (paper §III-B, Fig 1).
+//!
+//! Static pruning compresses a DNN *once, at design time*, for a target
+//! platform and performance requirement, assuming a fixed hardware setting
+//! (chosen core at a chosen frequency). This module implements that flow —
+//! it is the baseline the dynamic approach is compared against:
+//!
+//! - [`design_time_prune`] picks the single best (cluster, OPP, width) for
+//!   a requirement on a platform — the per-platform compression of Fig 1.
+//! - [`dvfs_robustness`] quantifies the paper's §III-B criticism: when the
+//!   assumed frequency is unavailable at runtime (other workloads own the
+//!   DVFS domain), the static model violates its budget, while the dynamic
+//!   DNN adapts by dropping width.
+
+use eml_dnn::profile::DnnProfile;
+use eml_dnn::WidthLevel;
+use eml_platform::soc::Soc;
+use eml_platform::units::Freq;
+
+use crate::error::Result;
+use crate::governor::{ExhaustiveGovernor, Governor};
+use crate::objective::Objective;
+use crate::opspace::{EvaluatedPoint, OpSpace, OpSpaceConfig};
+use crate::requirements::Requirements;
+
+/// The design-time choice for one platform/requirement pair.
+#[derive(Debug, Clone)]
+pub struct StaticDesign {
+    /// Chosen width level — the model that would be shipped.
+    pub level: WidthLevel,
+    /// The fixed hardware setting the choice assumed.
+    pub point: EvaluatedPoint,
+    /// Cluster name of the assumed setting.
+    pub cluster_name: String,
+    /// Frequency of the assumed setting.
+    pub freq: Freq,
+}
+
+/// Chooses the statically pruned model for `req` on `soc` (Fig 1 flow):
+/// the widest (most accurate) configuration that meets the requirement at
+/// some fixed hardware setting, with energy as tie-break.
+///
+/// `cfg` restricts the considered hardware settings (e.g. to the CPU
+/// clusters a deployment targets); pass `OpSpaceConfig::default()` for the
+/// whole platform.
+///
+/// Returns `None` if no width level meets the requirement anywhere in the
+/// considered space.
+///
+/// # Errors
+///
+/// Propagates structural platform/profile errors.
+pub fn design_time_prune(
+    soc: &Soc,
+    profile: &DnnProfile,
+    req: &Requirements,
+    cfg: OpSpaceConfig,
+) -> Result<Option<StaticDesign>> {
+    let space = OpSpace::new(soc, profile, cfg)?;
+    let best = ExhaustiveGovernor.decide(&space, req, Objective::MaxAccuracyThenMinEnergy)?;
+    Ok(best.map(|point| {
+        let cluster = soc
+            .cluster(point.op.cluster)
+            .expect("point enumerated from soc");
+        StaticDesign {
+            level: point.op.level,
+            cluster_name: cluster.name().to_string(),
+            freq: cluster
+                .opps()
+                .get(point.op.opp_index)
+                .expect("opp valid")
+                .freq(),
+            point,
+        }
+    }))
+}
+
+/// Outcome of running a design under a perturbed DVFS environment.
+#[derive(Debug, Clone)]
+pub struct RobustnessOutcome {
+    /// OPP index actually available at runtime.
+    pub actual_opp: usize,
+    /// Latency of the *static* model at the available frequency.
+    pub static_point: EvaluatedPoint,
+    /// Whether the static model still meets the requirement.
+    pub static_ok: bool,
+    /// Best the *dynamic* model can do at the available frequency (width
+    /// re-chosen at runtime), if any width is feasible.
+    pub dynamic_point: Option<EvaluatedPoint>,
+}
+
+/// Replays a static design against every OPP of its cluster, as happens
+/// when other applications pin the frequency domain (paper §III-B), and
+/// compares with a dynamic DNN that may re-choose its width at runtime.
+///
+/// # Errors
+///
+/// Propagates structural platform/profile errors.
+pub fn dvfs_robustness(
+    soc: &Soc,
+    profile: &DnnProfile,
+    req: &Requirements,
+    design: &StaticDesign,
+) -> Result<Vec<RobustnessOutcome>> {
+    let cluster_id = design.point.op.cluster;
+    let spec = soc.cluster(cluster_id)?;
+    let mut outcomes = Vec::with_capacity(spec.opps().len());
+    for opp in 0..spec.opps().len() {
+        let space = OpSpace::new(
+            soc,
+            profile,
+            OpSpaceConfig::default()
+                .with_clusters(vec![cluster_id])
+                .with_opp_restriction(cluster_id, vec![opp]),
+        )?;
+        // Static: width fixed at the design-time level.
+        let static_point = space.evaluate(crate::opspace::OperatingPoint {
+            cluster: cluster_id,
+            cores: design.point.op.cores,
+            opp_index: opp,
+            level: design.level,
+        })?;
+        // Dynamic: re-decide the width at this frequency.
+        let dynamic_point =
+            ExhaustiveGovernor.decide(&space, req, Objective::MaxAccuracyThenMinEnergy)?;
+        outcomes.push(RobustnessOutcome {
+            actual_opp: opp,
+            static_ok: req.satisfied_by(&static_point),
+            static_point,
+            dynamic_point,
+        });
+    }
+    Ok(outcomes)
+}
+
+/// Summary statistics of a robustness sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RobustnessSummary {
+    /// OPPs at which the static design violates its requirement.
+    pub static_violations: usize,
+    /// OPPs at which the dynamic DNN still finds a feasible width.
+    pub dynamic_feasible: usize,
+    /// Total OPPs swept.
+    pub total: usize,
+}
+
+/// Summarises a robustness sweep.
+pub fn summarize(outcomes: &[RobustnessOutcome]) -> RobustnessSummary {
+    RobustnessSummary {
+        static_violations: outcomes.iter().filter(|o| !o.static_ok).count(),
+        dynamic_feasible: outcomes.iter().filter(|o| o.dynamic_point.is_some()).count(),
+        total: outcomes.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eml_platform::presets;
+    use eml_platform::units::TimeSpan;
+
+    #[test]
+    fn fig1_style_pruning_levels_track_platform_capability() {
+        // The same requirement forces more compression on a weaker
+        // platform — the essence of Fig 1.
+        let profile = DnnProfile::reference("dnn");
+        let req = Requirements::new().with_max_latency(TimeSpan::from_millis(40.0)); // 25 fps
+        let strong = presets::flagship();
+        let weak = presets::odroid_xu3();
+        let cpus = |soc: &eml_platform::Soc| {
+            OpSpaceConfig::default().with_clusters(
+                soc.clusters()
+                    .filter(|(_, c)| c.kind().is_cpu())
+                    .map(|(id, _)| id)
+                    .collect(),
+            )
+        };
+        let on_strong = design_time_prune(&strong, &profile, &req, cpus(&strong))
+            .unwrap()
+            .expect("feasible on flagship");
+        let on_weak = design_time_prune(&weak, &profile, &req, cpus(&weak))
+            .unwrap()
+            .expect("feasible on xu3");
+        assert_eq!(on_strong.level, WidthLevel(3), "flagship runs uncompressed");
+        assert!(
+            on_weak.level < on_strong.level,
+            "weaker platform must compress: {:?}",
+            on_weak.level
+        );
+    }
+
+    #[test]
+    fn infeasible_requirement_yields_none() {
+        let profile = DnnProfile::reference("dnn");
+        let req = Requirements::new().with_max_latency(TimeSpan::from_millis(0.01));
+        let soc = presets::odroid_xu3();
+        assert!(design_time_prune(&soc, &profile, &req, OpSpaceConfig::default())
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn static_design_breaks_under_dvfs_but_dynamic_adapts() {
+        // §III-B: pin the frequency below the design point and the static
+        // model violates; the dynamic model drops width and survives.
+        let profile = DnnProfile::reference("dnn");
+        let soc = presets::odroid_xu3();
+        // A latency budget the A15 can only meet near the top of its range
+        // at full width.
+        let req = Requirements::new().with_max_latency(TimeSpan::from_millis(210.0));
+        // The deployment targets the A15 cluster (the paper's §III-B story
+        // is about CPU frequency domains shared with other workloads).
+        let a15 = soc.find_cluster("a15").unwrap();
+        let design = design_time_prune(
+            &soc,
+            &profile,
+            &req,
+            OpSpaceConfig::default().with_clusters(vec![a15]),
+        )
+        .unwrap()
+        .expect("feasible at design time");
+        let outcomes = dvfs_robustness(&soc, &profile, &req, &design).unwrap();
+        let summary = summarize(&outcomes);
+        assert!(
+            summary.static_violations > 0,
+            "static design must break at some frequencies: {summary:?}"
+        );
+        assert!(
+            summary.dynamic_feasible > summary.total - summary.static_violations,
+            "dynamic DNN must survive at strictly more frequencies: {summary:?}"
+        );
+        // At every OPP where static violates but dynamic is feasible, the
+        // dynamic point uses a narrower width.
+        for o in &outcomes {
+            if !o.static_ok {
+                if let Some(d) = &o.dynamic_point {
+                    assert!(d.op.level < design.level);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn robustness_sweep_covers_every_opp() {
+        let profile = DnnProfile::reference("dnn");
+        let soc = presets::odroid_xu3();
+        let req = Requirements::new().with_max_latency(TimeSpan::from_millis(300.0));
+        let design =
+            design_time_prune(&soc, &profile, &req, OpSpaceConfig::default()).unwrap().unwrap();
+        let outcomes = dvfs_robustness(&soc, &profile, &req, &design).unwrap();
+        let spec = soc.cluster(design.point.op.cluster).unwrap();
+        assert_eq!(outcomes.len(), spec.opps().len());
+        let s = summarize(&outcomes);
+        assert_eq!(s.total, outcomes.len());
+    }
+}

@@ -1,0 +1,83 @@
+//! Error types for the runtime resource manager.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by RTM operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RtmError {
+    /// The operating-point space is empty (over-constrained configuration).
+    EmptySpace {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Invalid configuration of a governor or the RTM.
+    InvalidConfig {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// An underlying platform-model error.
+    Platform(eml_platform::PlatformError),
+    /// An underlying dynamic-DNN error.
+    Dnn(eml_dnn::DnnError),
+}
+
+impl fmt::Display for RtmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EmptySpace { reason } => write!(f, "empty operating-point space: {reason}"),
+            Self::InvalidConfig { reason } => write!(f, "invalid RTM configuration: {reason}"),
+            Self::Platform(e) => write!(f, "platform error: {e}"),
+            Self::Dnn(e) => write!(f, "dnn error: {e}"),
+        }
+    }
+}
+
+impl Error for RtmError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Platform(e) => Some(e),
+            Self::Dnn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<eml_platform::PlatformError> for RtmError {
+    fn from(e: eml_platform::PlatformError) -> Self {
+        Self::Platform(e)
+    }
+}
+
+impl From<eml_dnn::DnnError> for RtmError {
+    fn from(e: eml_dnn::DnnError) -> Self {
+        Self::Dnn(e)
+    }
+}
+
+/// Convenience alias for RTM results.
+pub type Result<T> = std::result::Result<T, RtmError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e: RtmError = eml_platform::PlatformError::InvalidModel { reason: "x".into() }.into();
+        assert!(e.to_string().contains("platform error"));
+        assert!(e.source().is_some());
+        let e: RtmError = eml_dnn::DnnError::UnknownLevel { level: 1, count: 1 }.into();
+        assert!(e.to_string().contains("dnn error"));
+        let e = RtmError::EmptySpace { reason: "no clusters".into() };
+        assert!(e.to_string().contains("no clusters"));
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RtmError>();
+    }
+}

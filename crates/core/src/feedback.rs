@@ -1,0 +1,201 @@
+//! Monitor-driven model adaptation — closing the Fig 5 loop.
+//!
+//! The RTM decides from *predicted* metrics; the application monitors
+//! report *observed* ones. On a real device the two drift apart (cache
+//! contention, memory pressure, thermal leakage). The paper's conclusion
+//! calls for "runtime resource allocation **and adaptation**": this module
+//! provides the adaptation half, a per-cluster multiplicative latency
+//! correction learned from monitor readings with an exponentially weighted
+//! moving average.
+//!
+//! Usage: after each inference, feed `(cluster, predicted, observed)` into
+//! [`LatencyFeedback::observe`]; before each decision, apply
+//! [`LatencyFeedback::apply`] to the [`OpSpaceConfig`] so the governor
+//! reasons about corrected latencies.
+
+use std::collections::HashMap;
+
+use eml_platform::soc::ClusterId;
+use eml_platform::units::TimeSpan;
+
+use crate::opspace::OpSpaceConfig;
+
+/// Per-cluster multiplicative latency correction with EWMA updates.
+///
+/// A correction of `1.0` means the model is trusted as-is; `1.3` means the
+/// cluster has been observed running 30 % slower than predicted.
+#[derive(Debug, Clone)]
+pub struct LatencyFeedback {
+    alpha: f64,
+    corrections: HashMap<usize, f64>,
+}
+
+impl LatencyFeedback {
+    /// Creates a feedback tracker with EWMA rate `alpha ∈ (0, 1]`
+    /// (1 = trust only the latest observation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `(0, 1]` — a configuration bug.
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "EWMA rate must be in (0, 1], got {alpha}"
+        );
+        Self { alpha, corrections: HashMap::new() }
+    }
+
+    /// The current correction for `cluster` (1.0 when nothing observed).
+    pub fn correction(&self, cluster: ClusterId) -> f64 {
+        self.corrections.get(&cluster.index()).copied().unwrap_or(1.0)
+    }
+
+    /// Incorporates one observation: the job on `cluster` was predicted to
+    /// take `predicted` but took `observed`.
+    ///
+    /// Non-positive or non-finite inputs are ignored (a glitched monitor
+    /// must not poison the model).
+    pub fn observe(&mut self, cluster: ClusterId, predicted: TimeSpan, observed: TimeSpan) {
+        let p = predicted.as_secs();
+        let o = observed.as_secs();
+        if !(p > 0.0) || !(o > 0.0) || !p.is_finite() || !o.is_finite() {
+            return;
+        }
+        let ratio = o / p;
+        let entry = self.corrections.entry(cluster.index()).or_insert(1.0);
+        *entry = (1.0 - self.alpha) * *entry + self.alpha * ratio;
+    }
+
+    /// Number of clusters with learned corrections.
+    pub fn observed_clusters(&self) -> usize {
+        self.corrections.len()
+    }
+
+    /// Applies the learned corrections to an [`OpSpaceConfig`] as
+    /// latency multipliers, returning the corrected config.
+    ///
+    /// Corrections compose multiplicatively with any sharing penalty
+    /// already present.
+    #[must_use]
+    pub fn apply(&self, mut cfg: OpSpaceConfig) -> OpSpaceConfig {
+        for (&idx, &corr) in &self.corrections {
+            let existing = cfg.latency_corrections.get(&idx).copied().unwrap_or(1.0);
+            cfg.latency_corrections.insert(idx, existing * corr);
+        }
+        cfg
+    }
+
+    /// Forgets everything (e.g. after a DVFS-table change).
+    pub fn reset(&mut self) {
+        self.corrections.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::governor::{ExhaustiveGovernor, Governor};
+    use crate::objective::Objective;
+    use crate::opspace::OpSpace;
+    use crate::requirements::Requirements;
+    use eml_dnn::profile::DnnProfile;
+    use eml_platform::presets;
+
+    fn ms(v: f64) -> TimeSpan {
+        TimeSpan::from_millis(v)
+    }
+
+    #[test]
+    fn starts_neutral_and_learns_ratio() {
+        let c0 = ClusterId::from_index(0);
+        let mut fb = LatencyFeedback::new(1.0);
+        assert_eq!(fb.correction(c0), 1.0);
+        fb.observe(c0, ms(100.0), ms(130.0));
+        assert!((fb.correction(c0) - 1.3).abs() < 1e-12);
+        assert_eq!(fb.observed_clusters(), 1);
+        fb.reset();
+        assert_eq!(fb.correction(c0), 1.0);
+    }
+
+    #[test]
+    fn ewma_smooths_observations() {
+        let c0 = ClusterId::from_index(0);
+        let mut fb = LatencyFeedback::new(0.5);
+        fb.observe(c0, ms(100.0), ms(200.0)); // ratio 2.0 -> 1.5
+        assert!((fb.correction(c0) - 1.5).abs() < 1e-12);
+        fb.observe(c0, ms(100.0), ms(200.0)); // -> 1.75
+        assert!((fb.correction(c0) - 1.75).abs() < 1e-12);
+        // Converges toward 2.0, never overshoots.
+        for _ in 0..50 {
+            fb.observe(c0, ms(100.0), ms(200.0));
+        }
+        assert!((fb.correction(c0) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn glitched_monitors_are_ignored() {
+        let c0 = ClusterId::from_index(0);
+        let mut fb = LatencyFeedback::new(1.0);
+        fb.observe(c0, ms(0.0), ms(100.0));
+        fb.observe(c0, ms(100.0), ms(-5.0));
+        fb.observe(c0, ms(f64::NAN), ms(100.0));
+        assert_eq!(fb.correction(c0), 1.0);
+        assert_eq!(fb.observed_clusters(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "EWMA rate")]
+    fn invalid_alpha_panics() {
+        let _ = LatencyFeedback::new(0.0);
+    }
+
+    /// The Fig 5 loop end-to-end: a cluster that runs 40 % slower than
+    /// modelled first produces an over-budget decision; after the monitor
+    /// feedback, the governor picks a configuration that meets the budget
+    /// *under the real behaviour*.
+    #[test]
+    fn feedback_repairs_model_error() {
+        let soc = presets::odroid_xu3();
+        let profile = DnnProfile::reference("dnn");
+        let a15 = soc.find_cluster("a15").unwrap();
+        let real_slowdown = 1.4; // ground truth unknown to the model
+
+        let req = Requirements::new().with_max_latency(ms(200.0));
+        let base_cfg = OpSpaceConfig::default().with_clusters(vec![a15]);
+
+        // 1. Uncorrected decision.
+        let space = OpSpace::new(&soc, &profile, base_cfg.clone()).unwrap();
+        let naive = ExhaustiveGovernor
+            .decide(&space, &req, Objective::default())
+            .unwrap()
+            .expect("feasible in the model's belief");
+        let naive_observed = naive.latency * real_slowdown;
+        assert!(
+            naive_observed.as_millis() > 200.0,
+            "the naive decision must violate in reality ({naive_observed})"
+        );
+
+        // 2. The monitor reports the miss; feedback learns the correction.
+        let mut fb = LatencyFeedback::new(1.0);
+        fb.observe(a15, naive.latency, naive_observed);
+
+        // 3. Corrected decision meets the budget in reality.
+        let corrected_space =
+            OpSpace::new(&soc, &profile, fb.apply(base_cfg)).unwrap();
+        let adapted = ExhaustiveGovernor
+            .decide(&corrected_space, &req, Objective::default())
+            .unwrap()
+            .expect("still feasible after correction");
+        // The corrected prediction already includes the slowdown, so the
+        // real latency equals the prediction.
+        assert!(
+            adapted.latency.as_millis() <= 200.0 + 1e-9,
+            "adapted decision must be really feasible ({})",
+            adapted.latency
+        );
+        assert!(
+            adapted.op.level < naive.op.level || adapted.op.opp_index > naive.op.opp_index,
+            "adaptation must pick a narrower width or higher frequency"
+        );
+    }
+}

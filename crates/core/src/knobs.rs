@@ -1,0 +1,229 @@
+//! Knobs and monitors: the PRiME-style control interface of the paper's
+//! Fig 5.
+//!
+//! The RTM does not touch applications or hardware directly — it reads
+//! *monitors* (accuracy, confidence, latency, frame rate; power,
+//! temperature, performance counters) and writes *knobs* (DNN width, DVFS
+//! level, task mapping, power gating). This module defines those vocabulary
+//! types and the translation from an [`Allocation`] decision to a concrete
+//! actuation list, which the simulator (or a real platform shim) executes.
+
+use std::fmt;
+
+use eml_dnn::WidthLevel;
+use eml_platform::soc::ClusterId;
+
+use crate::rtm::Allocation;
+
+/// What a monitor measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum MonitorKind {
+    /// Application: end-to-end inference latency (seconds).
+    Latency,
+    /// Application: achieved frame rate (frames/second).
+    FrameRate,
+    /// Application: expected top-1 accuracy (percent).
+    Accuracy,
+    /// Application: mean softmax confidence (0..1).
+    Confidence,
+    /// Device: power draw (watts).
+    Power,
+    /// Device: die temperature (degrees Celsius).
+    Temperature,
+    /// Device: cluster utilisation (0..1).
+    Utilization,
+}
+
+impl MonitorKind {
+    /// Whether this is an application-layer monitor (platform-independent)
+    /// as opposed to a device-layer monitor.
+    pub fn is_application(self) -> bool {
+        matches!(
+            self,
+            Self::Latency | Self::FrameRate | Self::Accuracy | Self::Confidence
+        )
+    }
+}
+
+/// One monitor sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonitorReading {
+    /// What is being measured.
+    pub kind: MonitorKind,
+    /// Where it came from (application or cluster name).
+    pub source: String,
+    /// The value, in the unit documented on [`MonitorKind`].
+    pub value: f64,
+    /// Simulation time of the sample, in seconds.
+    pub at_secs: f64,
+}
+
+impl fmt::Display for MonitorReading {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:8.3}s] {}/{:?} = {:.3}",
+            self.at_secs, self.source, self.kind, self.value
+        )
+    }
+}
+
+/// One actuation the RTM issues to the application or device layer.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum KnobCommand {
+    /// Application knob: set a dynamic DNN's width level.
+    SetWidth {
+        /// Application name.
+        app: String,
+        /// Target width level.
+        level: WidthLevel,
+    },
+    /// Device knob: map an application onto a cluster with a core count.
+    Map {
+        /// Application name.
+        app: String,
+        /// Target cluster.
+        cluster: ClusterId,
+        /// Cores to use.
+        cores: u32,
+    },
+    /// Device knob: set a cluster's DVFS operating point.
+    SetOpp {
+        /// Target cluster.
+        cluster: ClusterId,
+        /// OPP index.
+        opp_index: usize,
+    },
+    /// Device knob: clock/power-gate an unused cluster.
+    Gate {
+        /// Target cluster.
+        cluster: ClusterId,
+        /// `true` to gate, `false` to ungate.
+        gated: bool,
+    },
+}
+
+/// Translates an allocation into the ordered knob commands that realise it.
+///
+/// Order: DVFS first (so mappings land on correctly clocked clusters), then
+/// mappings, then width levels — mirroring how a real RTM avoids transient
+/// deadline violations during reconfiguration.
+pub fn commands_for(allocation: &Allocation) -> Vec<KnobCommand> {
+    let mut cmds = Vec::new();
+    let mut seen_opp: Vec<(ClusterId, usize)> = Vec::new();
+    for d in &allocation.dnns {
+        let pair = (d.point.op.cluster, d.point.op.opp_index);
+        if !seen_opp.contains(&pair) {
+            seen_opp.push(pair);
+            cmds.push(KnobCommand::SetOpp { cluster: pair.0, opp_index: pair.1 });
+        }
+    }
+    for r in &allocation.rigid {
+        let pair = (r.cluster, r.opp_index);
+        if !seen_opp.contains(&pair) {
+            seen_opp.push(pair);
+            cmds.push(KnobCommand::SetOpp { cluster: pair.0, opp_index: pair.1 });
+        }
+    }
+    for d in &allocation.dnns {
+        cmds.push(KnobCommand::Map {
+            app: d.app.clone(),
+            cluster: d.point.op.cluster,
+            cores: d.point.op.cores,
+        });
+    }
+    for d in &allocation.dnns {
+        cmds.push(KnobCommand::SetWidth { app: d.app.clone(), level: d.point.op.level });
+    }
+    for &cluster in &allocation.gated {
+        cmds.push(KnobCommand::Gate { cluster, gated: true });
+    }
+    cmds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::Objective;
+    use crate::requirements::Requirements;
+    use crate::rtm::{AppSpec, DnnAppSpec, Rtm, RtmConfig};
+    use eml_dnn::profile::DnnProfile;
+    use eml_platform::presets;
+    use eml_platform::units::TimeSpan;
+
+    #[test]
+    fn monitor_layers() {
+        assert!(MonitorKind::Accuracy.is_application());
+        assert!(MonitorKind::Confidence.is_application());
+        assert!(!MonitorKind::Power.is_application());
+        assert!(!MonitorKind::Temperature.is_application());
+    }
+
+    #[test]
+    fn reading_display() {
+        let r = MonitorReading {
+            kind: MonitorKind::Temperature,
+            source: "soc".into(),
+            value: 74.2,
+            at_secs: 15.0,
+        };
+        let s = r.to_string();
+        assert!(s.contains("Temperature"));
+        assert!(s.contains("74.2"));
+    }
+
+    #[test]
+    fn allocation_translates_to_ordered_commands() {
+        let soc = presets::flagship();
+        let rtm = Rtm::new(RtmConfig::default());
+        let app = AppSpec::Dnn(DnnAppSpec {
+            name: "dnn1".into(),
+            profile: DnnProfile::reference("dnn1"),
+            requirements: Requirements::new()
+                .with_max_latency(TimeSpan::from_millis(11.0)),
+            priority: 1,
+            objective: Some(Objective::MaxAccuracyThenMinEnergy),
+        });
+        let alloc = rtm.allocate(&soc, &[app]).unwrap();
+        let cmds = commands_for(&alloc);
+        // One SetOpp, one Map, one SetWidth, in that order.
+        assert_eq!(cmds.len(), 3);
+        assert!(matches!(cmds[0], KnobCommand::SetOpp { .. }));
+        assert!(matches!(cmds[1], KnobCommand::Map { ref app, .. } if app == "dnn1"));
+        assert!(
+            matches!(cmds[2], KnobCommand::SetWidth { ref app, level } if app == "dnn1" && level == WidthLevel(3))
+        );
+    }
+
+    #[test]
+    fn duplicate_opp_commands_are_merged() {
+        // Two DNNs sharing one accelerator should produce a single SetOpp
+        // for that cluster.
+        let soc = presets::flagship();
+        let rtm = Rtm::new(RtmConfig::default());
+        let mk = |name: &str, prio: u8| {
+            AppSpec::Dnn(DnnAppSpec {
+                name: name.into(),
+                profile: DnnProfile::reference(name),
+                requirements: Requirements::new()
+                    .with_max_latency(TimeSpan::from_millis(50.0)),
+                priority: prio,
+                objective: None,
+            })
+        };
+        let alloc = rtm.allocate(&soc, &[mk("a", 1), mk("b", 2)]).unwrap();
+        let cmds = commands_for(&alloc);
+        let opp_cmds = cmds
+            .iter()
+            .filter(|c| matches!(c, KnobCommand::SetOpp { .. }))
+            .count();
+        let clusters: std::collections::HashSet<_> = alloc
+            .dnns
+            .iter()
+            .map(|d| (d.point.op.cluster, d.point.op.opp_index))
+            .collect();
+        assert_eq!(opp_cmds, clusters.len());
+    }
+}

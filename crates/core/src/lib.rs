@@ -1,0 +1,78 @@
+//! # eml-core
+//!
+//! The runtime resource manager (RTM) — the primary contribution of the
+//! `emlrt` reproduction of *Xun et al., "Optimising Resource Management for
+//! Embedded Machine Learning" (DATE 2020)*.
+//!
+//! The paper's thesis: dynamic DNNs (application knob), DVFS and task
+//! mapping (device knobs) span a rich space of
+//! (energy, power, time, accuracy) operating points, and an online manager
+//! should navigate that space against application requirements and device
+//! limits. This crate implements that manager:
+//!
+//! - [`opspace`] — enumerate and predict the operating-point space
+//!   (the paper's Fig 4a);
+//! - [`requirements`]/[`objective`] — budgets and selection rules (§IV);
+//! - [`governor`] — decision policies: exhaustive oracle, Pareto cache,
+//!   greedy hill-climber (ablations of decision quality vs latency);
+//! - [`rtm`] — multi-application allocation with priorities, accelerator
+//!   time-sharing, DVFS-domain pinning and strict power caps (Fig 2);
+//! - [`knobs`] — the PRiME-style knob/monitor vocabulary and the
+//!   allocation→actuation translation (Fig 5);
+//! - [`baseline`] — the static-pruning design-time baseline (Fig 1, §III-B)
+//!   and its DVFS-robustness comparison against the dynamic approach;
+//! - [`pareto`] — frontier utilities.
+//!
+//! ## The paper's worked example
+//!
+//! ```
+//! use eml_core::governor::{ExhaustiveGovernor, Governor};
+//! use eml_core::objective::Objective;
+//! use eml_core::opspace::{OpSpace, OpSpaceConfig};
+//! use eml_core::requirements::Requirements;
+//! use eml_dnn::profile::DnnProfile;
+//! use eml_platform::presets;
+//! use eml_platform::units::{Energy, TimeSpan};
+//!
+//! # fn main() -> Result<(), eml_core::RtmError> {
+//! let soc = presets::odroid_xu3();
+//! let profile = DnnProfile::reference("dnn");
+//! let cpus = vec![
+//!     soc.find_cluster("a15").unwrap(),
+//!     soc.find_cluster("a7").unwrap(),
+//! ];
+//! let space = OpSpace::new(&soc, &profile, OpSpaceConfig::default().with_clusters(cpus))?;
+//! // Budget: 400 ms, 100 mJ → expect the 100% model on the A7 @ 900 MHz.
+//! let req = Requirements::new()
+//!     .with_max_latency(TimeSpan::from_millis(400.0))
+//!     .with_max_energy(Energy::from_millijoules(100.0));
+//! let best = ExhaustiveGovernor
+//!     .decide(&space, &req, Objective::MaxAccuracyThenMinEnergy)?
+//!     .expect("budget is feasible");
+//! assert_eq!(best.op.level.index(), 3); // 100% model
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod baseline;
+pub mod error;
+pub mod feedback;
+pub mod governor;
+pub mod knobs;
+pub mod objective;
+pub mod opspace;
+pub mod pareto;
+pub mod requirements;
+pub mod rtm;
+
+pub use error::{Result, RtmError};
+pub use feedback::LatencyFeedback;
+pub use governor::{ExhaustiveGovernor, Governor, GreedyGovernor, ParetoGovernor};
+pub use objective::Objective;
+pub use opspace::{EvaluatedPoint, OpSpace, OpSpaceConfig, OperatingPoint};
+pub use requirements::{Requirements, Violation};
+pub use rtm::{Allocation, AppSpec, DnnAppSpec, RigidAppSpec, Rtm, RtmConfig};

@@ -1,0 +1,169 @@
+//! Optimisation objectives for choosing among feasible operating points.
+//!
+//! The paper's worked example (§IV) selects "the highest accuracy and
+//! lowest energy" configuration within the budgets — a lexicographic
+//! objective captured by [`Objective::MaxAccuracyThenMinEnergy`], the RTM
+//! default. Alternatives are provided for ablation.
+
+use std::cmp::Ordering;
+
+use crate::opspace::EvaluatedPoint;
+
+/// How to rank feasible operating points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum Objective {
+    /// Lexicographic: highest accuracy, then lowest energy, then lowest
+    /// latency (the paper's §IV selection rule).
+    #[default]
+    MaxAccuracyThenMinEnergy,
+    /// Lowest energy, ties broken by higher accuracy then lower latency.
+    MinEnergy,
+    /// Lowest latency, ties broken by higher accuracy then lower energy.
+    MinLatency,
+    /// Lowest energy-delay product, ties broken by higher accuracy.
+    MinEdp,
+}
+
+impl Objective {
+    /// Returns `Ordering::Less` when `a` is *better* than `b` under this
+    /// objective (so the best point is the minimum).
+    pub fn compare(self, a: &EvaluatedPoint, b: &EvaluatedPoint) -> Ordering {
+        let by = |x: f64, y: f64| x.partial_cmp(&y).unwrap_or(Ordering::Equal);
+        match self {
+            Self::MaxAccuracyThenMinEnergy => by(b.top1_percent, a.top1_percent)
+                .then(by(a.energy.as_joules(), b.energy.as_joules()))
+                .then(by(a.latency.as_secs(), b.latency.as_secs())),
+            Self::MinEnergy => by(a.energy.as_joules(), b.energy.as_joules())
+                .then(by(b.top1_percent, a.top1_percent))
+                .then(by(a.latency.as_secs(), b.latency.as_secs())),
+            Self::MinLatency => by(a.latency.as_secs(), b.latency.as_secs())
+                .then(by(b.top1_percent, a.top1_percent))
+                .then(by(a.energy.as_joules(), b.energy.as_joules())),
+            Self::MinEdp => by(a.edp(), b.edp()).then(by(b.top1_percent, a.top1_percent)),
+        }
+    }
+
+    /// Selects the best point from an iterator, or `None` if it is empty.
+    pub fn best<'a>(
+        self,
+        points: impl IntoIterator<Item = &'a EvaluatedPoint>,
+    ) -> Option<&'a EvaluatedPoint> {
+        points
+            .into_iter()
+            .min_by(|a, b| self.compare(a, b))
+    }
+
+    /// A scalar "badness" score for hill-climbing search: lower is better.
+    ///
+    /// The lexicographic objectives are approximated with weighted sums
+    /// whose weights separate the tiers by orders of magnitude.
+    pub fn score(self, pt: &EvaluatedPoint) -> f64 {
+        match self {
+            Self::MaxAccuracyThenMinEnergy => {
+                -pt.top1_percent * 1.0e6
+                    + pt.energy.as_millijoules() * 1.0e2
+                    + pt.latency.as_millis() * 1.0e-3
+            }
+            Self::MinEnergy => {
+                pt.energy.as_millijoules() * 1.0e6 - pt.top1_percent * 1.0e2
+                    + pt.latency.as_millis() * 1.0e-3
+            }
+            Self::MinLatency => {
+                pt.latency.as_millis() * 1.0e6 - pt.top1_percent * 1.0e2
+                    + pt.energy.as_millijoules() * 1.0e-3
+            }
+            Self::MinEdp => pt.edp() * 1.0e6 - pt.top1_percent,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opspace::OperatingPoint;
+    use eml_dnn::WidthLevel;
+    use eml_platform::units::{Energy, Power, TimeSpan};
+    use eml_platform::ClusterId;
+
+    fn pt(lat_ms: f64, e_mj: f64, top1: f64) -> EvaluatedPoint {
+        EvaluatedPoint {
+            op: OperatingPoint {
+                cluster: ClusterId::from_index(0),
+                cores: 1,
+                opp_index: 0,
+                level: WidthLevel(0),
+            },
+            latency: TimeSpan::from_millis(lat_ms),
+            energy: Energy::from_millijoules(e_mj),
+            power: Power::from_milliwatts(100.0),
+            top1_percent: top1,
+        }
+    }
+
+    #[test]
+    fn paper_objective_prefers_accuracy_first() {
+        let obj = Objective::MaxAccuracyThenMinEnergy;
+        let high_acc = pt(300.0, 90.0, 71.2);
+        let low_energy = pt(100.0, 10.0, 56.0);
+        assert_eq!(obj.compare(&high_acc, &low_energy), Ordering::Less);
+        // Same accuracy: lower energy wins.
+        let a = pt(300.0, 76.0, 71.2);
+        let b = pt(200.0, 80.0, 71.2);
+        assert_eq!(obj.compare(&a, &b), Ordering::Less);
+        // Same accuracy and energy: lower latency wins.
+        let a = pt(200.0, 80.0, 71.2);
+        let b = pt(300.0, 80.0, 71.2);
+        assert_eq!(obj.compare(&a, &b), Ordering::Less);
+    }
+
+    #[test]
+    fn min_energy_objective() {
+        let obj = Objective::MinEnergy;
+        assert_eq!(obj.compare(&pt(500.0, 10.0, 50.0), &pt(10.0, 20.0, 71.0)), Ordering::Less);
+    }
+
+    #[test]
+    fn min_latency_objective() {
+        let obj = Objective::MinLatency;
+        assert_eq!(obj.compare(&pt(10.0, 99.0, 50.0), &pt(20.0, 1.0, 71.0)), Ordering::Less);
+    }
+
+    #[test]
+    fn min_edp_objective() {
+        let obj = Objective::MinEdp;
+        // EDP: 0.1 J·0.1 s = 0.01 < 0.2·0.2.
+        assert_eq!(
+            obj.compare(&pt(100.0, 100.0, 50.0), &pt(200.0, 200.0, 71.0)),
+            Ordering::Less
+        );
+    }
+
+    #[test]
+    fn best_selects_minimum() {
+        let pts = vec![pt(100.0, 50.0, 62.7), pt(400.0, 76.0, 71.2), pt(50.0, 30.0, 56.0)];
+        let best = Objective::MaxAccuracyThenMinEnergy.best(&pts).unwrap();
+        assert_eq!(best.top1_percent, 71.2);
+        let best = Objective::MinLatency.best(&pts).unwrap();
+        assert_eq!(best.top1_percent, 56.0);
+        assert!(Objective::MinEnergy.best(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn score_agrees_with_compare_on_clear_cases() {
+        for obj in [
+            Objective::MaxAccuracyThenMinEnergy,
+            Objective::MinEnergy,
+            Objective::MinLatency,
+            Objective::MinEdp,
+        ] {
+            let a = pt(100.0, 20.0, 71.2);
+            let b = pt(900.0, 300.0, 56.0);
+            assert_eq!(
+                obj.compare(&a, &b) == Ordering::Less,
+                obj.score(&a) < obj.score(&b),
+                "{obj:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Pareto-frontier utilities over the (latency, energy, accuracy) space.
+//!
+//! The operating points of Fig 4(a) are heavily dominated: for a fixed
+//! accuracy level most (frequency, mapping) combinations are strictly worse
+//! than a neighbour in both time and energy. Governors that cache the
+//! Pareto frontier only need to scan the non-dominated survivors at
+//! decision time.
+
+use crate::opspace::EvaluatedPoint;
+
+/// Returns `true` if `a` dominates `b`: no worse in latency, energy and
+/// accuracy, and strictly better in at least one.
+pub fn dominates(a: &EvaluatedPoint, b: &EvaluatedPoint) -> bool {
+    let no_worse = a.latency <= b.latency
+        && a.energy <= b.energy
+        && a.top1_percent >= b.top1_percent;
+    let strictly_better = a.latency < b.latency
+        || a.energy < b.energy
+        || a.top1_percent > b.top1_percent;
+    no_worse && strictly_better
+}
+
+/// Filters `points` down to its Pareto frontier (non-dominated set).
+///
+/// Order of the survivors follows the input order. `O(n²)` — fine for the
+/// few-hundred-point spaces of embedded SoCs.
+pub fn pareto_front(points: &[EvaluatedPoint]) -> Vec<EvaluatedPoint> {
+    points
+        .iter()
+        .filter(|candidate| !points.iter().any(|other| dominates(other, candidate)))
+        .copied()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opspace::{OpSpace, OpSpaceConfig, OperatingPoint};
+    use eml_dnn::profile::DnnProfile;
+    use eml_dnn::WidthLevel;
+    use eml_platform::presets;
+    use eml_platform::units::{Energy, Power, TimeSpan};
+    use eml_platform::ClusterId;
+
+    fn pt(lat_ms: f64, e_mj: f64, top1: f64) -> EvaluatedPoint {
+        EvaluatedPoint {
+            op: OperatingPoint {
+                cluster: ClusterId::from_index(0),
+                cores: 1,
+                opp_index: 0,
+                level: WidthLevel(0),
+            },
+            latency: TimeSpan::from_millis(lat_ms),
+            energy: Energy::from_millijoules(e_mj),
+            power: Power::from_milliwatts(1.0),
+            top1_percent: top1,
+        }
+    }
+
+    #[test]
+    fn dominance_definition() {
+        let better = pt(100.0, 50.0, 70.0);
+        let worse = pt(200.0, 60.0, 60.0);
+        assert!(dominates(&better, &worse));
+        assert!(!dominates(&worse, &better));
+        // Equal points do not dominate each other.
+        assert!(!dominates(&better, &better.clone()));
+        // Trade-off points do not dominate.
+        let fast_inaccurate = pt(50.0, 40.0, 55.0);
+        let slow_accurate = pt(300.0, 90.0, 71.0);
+        assert!(!dominates(&fast_inaccurate, &slow_accurate));
+        assert!(!dominates(&slow_accurate, &fast_inaccurate));
+    }
+
+    #[test]
+    fn frontier_removes_dominated_points() {
+        let pts = vec![
+            pt(100.0, 50.0, 70.0),
+            pt(200.0, 60.0, 60.0), // dominated by the first
+            pt(50.0, 80.0, 70.0),  // trade-off: faster but hungrier
+        ];
+        let front = pareto_front(&pts);
+        assert_eq!(front.len(), 2);
+        assert!(front.iter().any(|p| p.latency == TimeSpan::from_millis(100.0)));
+        assert!(front.iter().any(|p| p.latency == TimeSpan::from_millis(50.0)));
+    }
+
+    #[test]
+    fn frontier_of_empty_and_singleton() {
+        assert!(pareto_front(&[]).is_empty());
+        let single = [pt(1.0, 1.0, 1.0)];
+        assert_eq!(pareto_front(&single).len(), 1);
+    }
+
+    #[test]
+    fn frontier_is_idempotent() {
+        let pts: Vec<EvaluatedPoint> = (0..20)
+            .map(|i| pt(100.0 + (i as f64) * 7.0 % 90.0, 10.0 + (i as f64 * 13.0) % 70.0, 50.0 + (i as f64 * 3.0) % 22.0))
+            .collect();
+        let f1 = pareto_front(&pts);
+        let f2 = pareto_front(&f1);
+        assert_eq!(f1, f2);
+    }
+
+    #[test]
+    fn xu3_space_frontier_is_much_smaller_than_space() {
+        let soc = presets::odroid_xu3();
+        let profile = DnnProfile::reference("dnn");
+        let cpu = vec![
+            soc.find_cluster("a15").unwrap(),
+            soc.find_cluster("a7").unwrap(),
+        ];
+        let space =
+            OpSpace::new(&soc, &profile, OpSpaceConfig::default().with_clusters(cpu)).unwrap();
+        let all = space.evaluate_all().unwrap();
+        let front = pareto_front(&all);
+        assert!(!front.is_empty());
+        // Most DVFS points are genuine latency/energy trade-offs, so the
+        // frontier stays sizeable — but a meaningful fraction (the
+        // energy-inefficient low-frequency tails) must be dominated.
+        assert!(
+            front.len() < all.len() * 7 / 10,
+            "frontier ({}) should be meaningfully smaller than the space ({})",
+            front.len(),
+            all.len()
+        );
+        // Every non-frontier point is dominated by some frontier point.
+        for p in &all {
+            let on_front = front.iter().any(|f| f.op == p.op);
+            if !on_front {
+                assert!(front.iter().any(|f| dominates(f, p)));
+            }
+        }
+    }
+}

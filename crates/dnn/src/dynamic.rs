@@ -1,0 +1,230 @@
+//! `DynamicDnn`: a live, trained network with a runtime width knob.
+//!
+//! This is the *application* of the paper's Fig 5: it exposes a knob
+//! (width level) and monitors (accuracy from its profile, live softmax
+//! confidence) to the runtime manager, and executes real inference through
+//! [`eml_nn::Network`].
+
+use eml_nn::loss::softmax;
+use eml_nn::tensor::Tensor;
+use eml_nn::train::IncrementalReport;
+use eml_nn::Network;
+
+use crate::error::{DnnError, Result};
+use crate::level::WidthLevel;
+use crate::profile::DnnProfile;
+
+/// A dynamic DNN: network + profile + current width level.
+#[derive(Debug)]
+pub struct DynamicDnn {
+    net: Network,
+    profile: DnnProfile,
+    level: WidthLevel,
+    switches: usize,
+}
+
+impl DynamicDnn {
+    /// Wraps a trained network with a matching profile, starting at full
+    /// width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::InvalidProfile`] if the profile's level count
+    /// differs from the network's group count.
+    pub fn new(mut net: Network, profile: DnnProfile) -> Result<Self> {
+        if profile.level_count() != net.groups() {
+            return Err(DnnError::InvalidProfile {
+                reason: format!(
+                    "profile has {} levels but network has {} groups",
+                    profile.level_count(),
+                    net.groups()
+                ),
+            });
+        }
+        let level = profile.max_level();
+        net.set_active_groups(level.active_groups())?;
+        Ok(Self { net, profile, level, switches: 0 })
+    }
+
+    /// Builds the profile from an incremental-training report, then wraps
+    /// the network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::InvalidProfile`] if the report lacks evaluations
+    /// or level counts mismatch.
+    pub fn from_trained(
+        name: impl Into<String>,
+        mut net: Network,
+        report: &IncrementalReport,
+    ) -> Result<Self> {
+        let acc = report.accuracy_per_width();
+        if acc.is_empty() {
+            return Err(DnnError::InvalidProfile {
+                reason: "incremental report has no evaluations".into(),
+            });
+        }
+        let profile = DnnProfile::from_network(name, &mut net, &acc)?;
+        Self::new(net, profile)
+    }
+
+    /// The current width level.
+    pub fn level(&self) -> WidthLevel {
+        self.level
+    }
+
+    /// The profile (workloads, accuracies, footprints).
+    pub fn profile(&self) -> &DnnProfile {
+        &self.profile
+    }
+
+    /// Number of width switches performed so far.
+    pub fn switch_count(&self) -> usize {
+        self.switches
+    }
+
+    /// Immutable access to the wrapped network.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Mutable access to the wrapped network (e.g. for fine-tuning).
+    pub fn network_mut(&mut self) -> &mut Network {
+        &mut self.net
+    }
+
+    /// Switches the width level — the runtime knob. No parameters change;
+    /// the switch is free of retraining by construction (paper Fig 3c).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::UnknownLevel`] for out-of-range levels.
+    pub fn set_level(&mut self, level: WidthLevel) -> Result<()> {
+        if level.index() >= self.profile.level_count() {
+            return Err(DnnError::UnknownLevel {
+                level: level.index(),
+                count: self.profile.level_count(),
+            });
+        }
+        if level != self.level {
+            self.net.set_active_groups(level.active_groups())?;
+            self.level = level;
+            self.switches += 1;
+        }
+        Ok(())
+    }
+
+    /// Runs inference on a `[N, C, H, W]` batch, returning predicted class
+    /// indices.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network shape errors.
+    pub fn infer(&mut self, batch: &Tensor) -> Result<Vec<usize>> {
+        Ok(self.net.predict(batch)?)
+    }
+
+    /// Mean softmax confidence over a batch — the live platform-independent
+    /// monitor of Fig 5.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network shape errors.
+    pub fn confidence(&mut self, batch: &Tensor) -> Result<f64> {
+        let logits = self.net.forward(batch, false)?;
+        let probs = softmax(&logits)?;
+        let (n, k) = (probs.shape()[0], probs.shape()[1]);
+        let mut total = 0.0f64;
+        for ni in 0..n {
+            let row = &probs.data()[ni * k..(ni + 1) * k];
+            total += row.iter().copied().fold(f32::NEG_INFINITY, f32::max) as f64;
+        }
+        Ok(total / n as f64)
+    }
+
+    /// Expected top-1 accuracy (percent) at the current level, from the
+    /// profile.
+    pub fn expected_top1(&self) -> f64 {
+        self.profile
+            .top1(self.level)
+            .expect("current level always exists in profile")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eml_nn::arch::{build_group_cnn, CnnConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dnn() -> DynamicDnn {
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = build_group_cnn(CnnConfig::default(), &mut rng).unwrap();
+        let mut net2 = net;
+        let profile =
+            DnnProfile::from_network("t", &mut net2, &[0.5, 0.6, 0.65, 0.7]).unwrap();
+        DynamicDnn::new(net2, profile).unwrap()
+    }
+
+    #[test]
+    fn starts_at_full_width() {
+        let d = dnn();
+        assert_eq!(d.level(), WidthLevel(3));
+        assert_eq!(d.network().active_groups(), 4);
+        assert_eq!(d.switch_count(), 0);
+        assert!((d.expected_top1() - 70.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn switching_changes_width_and_counts() {
+        let mut d = dnn();
+        d.set_level(WidthLevel(0)).unwrap();
+        assert_eq!(d.network().active_groups(), 1);
+        assert_eq!(d.switch_count(), 1);
+        // No-op switch doesn't count.
+        d.set_level(WidthLevel(0)).unwrap();
+        assert_eq!(d.switch_count(), 1);
+        assert!(d.set_level(WidthLevel(9)).is_err());
+    }
+
+    #[test]
+    fn inference_works_at_all_levels() {
+        let mut d = dnn();
+        let x = Tensor::full(&[2, 3, 16, 16], 0.1);
+        for i in 0..4 {
+            d.set_level(WidthLevel(i)).unwrap();
+            let preds = d.infer(&x).unwrap();
+            assert_eq!(preds.len(), 2);
+            assert!(preds.iter().all(|&p| p < 10));
+            let conf = d.confidence(&x).unwrap();
+            assert!((0.1..=1.0).contains(&conf), "confidence {conf}");
+        }
+    }
+
+    #[test]
+    fn switching_preserves_parameters() {
+        let mut d = dnn();
+        let x = Tensor::full(&[1, 3, 16, 16], 0.2);
+        let before = d.network_mut().forward(&x, false).unwrap();
+        d.set_level(WidthLevel(0)).unwrap();
+        d.set_level(WidthLevel(3)).unwrap();
+        let after = d.network_mut().forward(&x, false).unwrap();
+        assert_eq!(before.data(), after.data());
+    }
+
+    #[test]
+    fn mismatched_profile_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = build_group_cnn(CnnConfig::default(), &mut rng).unwrap();
+        let profile = DnnProfile::reference("four-levels");
+        // Reference profile has 4 levels and the net 4 groups: OK.
+        assert!(DynamicDnn::new(net, profile).is_ok());
+        let net2 = build_group_cnn(
+            CnnConfig { groups: 2, base_width: 8, ..CnnConfig::default() },
+            &mut rng,
+        )
+        .unwrap();
+        assert!(DynamicDnn::new(net2, DnnProfile::reference("four")).is_err());
+    }
+}

@@ -1,0 +1,86 @@
+//! Error types for the dynamic-DNN layer.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by dynamic-DNN operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DnnError {
+    /// A profile was constructed from inconsistent data.
+    InvalidProfile {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A width level outside the profile's range was requested.
+    UnknownLevel {
+        /// The offending level index.
+        level: usize,
+        /// Number of levels available.
+        count: usize,
+    },
+    /// An underlying neural-network error.
+    Nn(eml_nn::NnError),
+}
+
+impl DnnError {
+    /// Wraps an [`eml_nn::NnError`].
+    pub fn from_nn(e: eml_nn::NnError) -> Self {
+        Self::Nn(e)
+    }
+}
+
+impl fmt::Display for DnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidProfile { reason } => write!(f, "invalid profile: {reason}"),
+            Self::UnknownLevel { level, count } => {
+                write!(f, "unknown width level {level} (profile has {count})")
+            }
+            Self::Nn(e) => write!(f, "network error: {e}"),
+        }
+    }
+}
+
+impl Error for DnnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Nn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<eml_nn::NnError> for DnnError {
+    fn from(e: eml_nn::NnError) -> Self {
+        Self::Nn(e)
+    }
+}
+
+/// Convenience alias for dynamic-DNN results.
+pub type Result<T> = std::result::Result<T, DnnError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = DnnError::UnknownLevel { level: 5, count: 4 };
+        assert!(e.to_string().contains("level 5"));
+        assert!(e.source().is_none());
+
+        let inner = eml_nn::NnError::InvalidConfig { reason: "x".into() };
+        let e = DnnError::from_nn(inner.clone());
+        assert!(e.to_string().contains("network error"));
+        assert!(e.source().is_some());
+        let e2: DnnError = inner.into();
+        assert_eq!(e, e2);
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DnnError>();
+    }
+}

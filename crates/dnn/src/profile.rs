@@ -1,0 +1,283 @@
+//! `DnnProfile`: the platform-facing description of a dynamic DNN.
+//!
+//! The runtime manager and simulator never need live tensors — they need,
+//! per width level: the workload (MACs, bytes) to hand to the platform
+//! model, the expected top-1 accuracy, and the memory footprint. A profile
+//! packages exactly that, and can be built either from the paper's
+//! published numbers ([`DnnProfile::reference`]) or from a live, trained
+//! [`eml_nn::Network`] ([`DnnProfile::from_network`]).
+
+use std::fmt;
+
+use eml_platform::workload::Workload;
+use eml_platform::paper;
+use eml_platform::presets;
+
+use crate::error::{DnnError, Result};
+use crate::level::WidthLevel;
+
+/// One width configuration of a dynamic DNN.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelSpec {
+    /// Fraction of full-width MACs this level costs (`(0, 1]`).
+    pub cost_fraction: f64,
+    /// The platform workload of one inference at this level.
+    pub workload: Workload,
+    /// Expected top-1 accuracy in percent.
+    pub top1_percent: f64,
+    /// Parameters used at this level, in bytes (4 bytes per `f32`).
+    pub param_bytes: f64,
+}
+
+/// A dynamic DNN seen from the resource manager's side.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DnnProfile {
+    name: String,
+    levels: Vec<LevelSpec>,
+    /// Bytes of the single stored model (all groups).
+    model_bytes: f64,
+}
+
+impl DnnProfile {
+    /// Creates a profile from explicit level specs (ascending width).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::InvalidProfile`] if `levels` is empty, fractions
+    /// are not ascending in `(0, 1]`, or accuracies are not finite.
+    pub fn new(name: impl Into<String>, levels: Vec<LevelSpec>, model_bytes: f64) -> Result<Self> {
+        if levels.is_empty() {
+            return Err(DnnError::InvalidProfile {
+                reason: "profile needs at least one level".into(),
+            });
+        }
+        let mut prev = 0.0;
+        for (i, l) in levels.iter().enumerate() {
+            if !(l.cost_fraction > prev && l.cost_fraction <= 1.0 + 1e-9) {
+                return Err(DnnError::InvalidProfile {
+                    reason: format!(
+                        "level {i}: cost fraction {} must ascend within (0, 1]",
+                        l.cost_fraction
+                    ),
+                });
+            }
+            if !l.top1_percent.is_finite() || !(0.0..=100.0).contains(&l.top1_percent) {
+                return Err(DnnError::InvalidProfile {
+                    reason: format!("level {i}: top-1 {}% out of range", l.top1_percent),
+                });
+            }
+            prev = l.cost_fraction;
+        }
+        Ok(Self { name: name.into(), levels, model_bytes })
+    }
+
+    /// The paper's reference dynamic DNN: four levels at 25/50/75/100 % of
+    /// the calibration reference workload, with the published Fig 4(b)
+    /// accuracies (56 / 62.7 / 68.8 / 71.2 %).
+    pub fn reference(name: impl Into<String>) -> Self {
+        let base = presets::reference_workload();
+        let levels = paper::WIDTH_LEVELS
+            .iter()
+            .zip(paper::FIG4B_TOP1)
+            .map(|(&frac, top1)| LevelSpec {
+                cost_fraction: frac,
+                workload: base.scaled(frac),
+                top1_percent: top1,
+                param_bytes: base.param_bytes() * frac,
+            })
+            .collect();
+        Self::new(name, levels, base.param_bytes()).expect("reference data is valid")
+    }
+
+    /// Builds a profile from a live network: exact cost fractions from the
+    /// per-layer cost model, and the provided per-level accuracies
+    /// (fractions in `[0, 1]`, e.g. from
+    /// [`eml_nn::train::IncrementalReport::accuracy_per_width`]).
+    ///
+    /// The workloads are expressed on the platform's calibration scale: the
+    /// full-width level maps to the reference workload so that latency
+    /// predictions correspond to the paper's measured full-model anchors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::InvalidProfile`] if `accuracy_per_width.len()`
+    /// differs from the network's group count, and propagates cost-model
+    /// errors.
+    pub fn from_network(
+        name: impl Into<String>,
+        net: &mut eml_nn::Network,
+        accuracy_per_width: &[f64],
+    ) -> Result<Self> {
+        let groups = net.groups();
+        if accuracy_per_width.len() != groups {
+            return Err(DnnError::InvalidProfile {
+                reason: format!(
+                    "need {} accuracies (one per width), got {}",
+                    groups,
+                    accuracy_per_width.len()
+                ),
+            });
+        }
+        let full = net.cost_at(groups).map_err(DnnError::from_nn)?;
+        let base = presets::reference_workload();
+        let mut levels = Vec::with_capacity(groups);
+        for g in 1..=groups {
+            let c = net.cost_at(g).map_err(DnnError::from_nn)?;
+            let frac = c.macs / full.macs;
+            levels.push(LevelSpec {
+                cost_fraction: frac,
+                workload: base.scaled(frac),
+                top1_percent: accuracy_per_width[g - 1] * 100.0,
+                param_bytes: c.params as f64 * 4.0,
+            });
+        }
+        Self::new(name, levels, full.params_total as f64 * 4.0)
+    }
+
+    /// The profile's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of width levels.
+    pub fn level_count(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// All width levels, narrowest first.
+    pub fn levels(&self) -> impl ExactSizeIterator<Item = (WidthLevel, &LevelSpec)> {
+        self.levels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (WidthLevel(i), l))
+    }
+
+    /// Looks up one level.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::UnknownLevel`] for out-of-range levels.
+    pub fn level(&self, level: WidthLevel) -> Result<&LevelSpec> {
+        self.levels.get(level.0).ok_or(DnnError::UnknownLevel {
+            level: level.0,
+            count: self.levels.len(),
+        })
+    }
+
+    /// The widest level index.
+    pub fn max_level(&self) -> WidthLevel {
+        WidthLevel(self.levels.len() - 1)
+    }
+
+    /// Bytes of the single stored dynamic model.
+    ///
+    /// Contrast with a static-pruning baseline, which must store one model
+    /// *per configuration*: [`DnnProfile::static_baseline_bytes`].
+    pub fn model_bytes(&self) -> f64 {
+        self.model_bytes
+    }
+
+    /// Total storage a static-pruning baseline needs to cover the same
+    /// configurations (one separate model per level — paper §III-B).
+    pub fn static_baseline_bytes(&self) -> f64 {
+        self.levels.iter().map(|l| l.param_bytes).sum()
+    }
+
+    /// Accuracy in percent at `level`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::UnknownLevel`] for out-of-range levels.
+    pub fn top1(&self, level: WidthLevel) -> Result<f64> {
+        Ok(self.level(level)?.top1_percent)
+    }
+
+    /// Workload of one inference at `level`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::UnknownLevel`] for out-of-range levels.
+    pub fn workload(&self, level: WidthLevel) -> Result<&Workload> {
+        Ok(&self.level(level)?.workload)
+    }
+}
+
+impl fmt::Display for DnnProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} levels)", self.name, self.levels.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_profile_matches_paper() {
+        let p = DnnProfile::reference("dnn");
+        assert_eq!(p.level_count(), 4);
+        for (i, (level, spec)) in p.levels().enumerate() {
+            assert_eq!(level.index(), i);
+            assert_eq!(spec.top1_percent, paper::FIG4B_TOP1[i]);
+            assert!((spec.cost_fraction - paper::WIDTH_LEVELS[i]).abs() < 1e-12);
+        }
+        // Full level workload = reference workload MACs.
+        let full = p.workload(WidthLevel(3)).unwrap();
+        assert_eq!(full.macs(), presets::REFERENCE_MACS);
+    }
+
+    #[test]
+    fn static_baseline_needs_more_storage() {
+        let p = DnnProfile::reference("dnn");
+        // 0.25 + 0.5 + 0.75 + 1.0 = 2.5× the single dynamic model.
+        assert!((p.static_baseline_bytes() / p.model_bytes() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_level_is_an_error() {
+        let p = DnnProfile::reference("dnn");
+        assert!(p.level(WidthLevel(4)).is_err());
+        assert!(p.top1(WidthLevel(9)).is_err());
+        assert!(p.level(p.max_level()).is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_levels() {
+        let base = presets::reference_workload();
+        let spec = |frac: f64, top1: f64| LevelSpec {
+            cost_fraction: frac,
+            workload: base.scaled(frac.max(0.01)),
+            top1_percent: top1,
+            param_bytes: 10.0,
+        };
+        assert!(DnnProfile::new("p", vec![], 1.0).is_err());
+        assert!(DnnProfile::new("p", vec![spec(0.0, 50.0)], 1.0).is_err());
+        assert!(DnnProfile::new("p", vec![spec(1.5, 50.0)], 1.0).is_err());
+        assert!(
+            DnnProfile::new("p", vec![spec(0.5, 50.0), spec(0.25, 60.0)], 1.0).is_err(),
+            "fractions must ascend"
+        );
+        assert!(DnnProfile::new("p", vec![spec(0.5, 150.0)], 1.0).is_err());
+        assert!(DnnProfile::new("p", vec![spec(0.5, f64::NAN)], 1.0).is_err());
+    }
+
+    #[test]
+    fn from_network_uses_real_cost_fractions() {
+        use eml_nn::arch::{build_group_cnn, CnnConfig};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut net = build_group_cnn(CnnConfig::default(), &mut rng).unwrap();
+        let p =
+            DnnProfile::from_network("live", &mut net, &[0.5, 0.6, 0.65, 0.7]).unwrap();
+        assert_eq!(p.level_count(), 4);
+        let fracs: Vec<f64> = p.levels().map(|(_, s)| s.cost_fraction).collect();
+        for (i, f) in fracs.iter().enumerate() {
+            let expect = (i + 1) as f64 / 4.0;
+            assert!((f - expect).abs() < 0.01, "level {i}: {f}");
+        }
+        assert!((p.top1(WidthLevel(0)).unwrap() - 50.0).abs() < 1e-9);
+        // Wrong accuracy count rejected.
+        assert!(DnnProfile::from_network("bad", &mut net, &[0.5]).is_err());
+    }
+}

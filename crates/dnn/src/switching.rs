@@ -1,0 +1,101 @@
+//! Reconfiguration-cost models: dynamic width switching vs the
+//! static-pruning baseline.
+//!
+//! The paper (§III-B, citing Park et al. \[20\]) notes that covering many
+//! hardware settings with *separate* statically pruned models costs
+//! significant storage and that switching between them at runtime causes
+//! delay and energy. A dynamic DNN keeps every configuration inside one
+//! model's memory footprint, so a width switch touches no parameter memory
+//! at all.
+
+use eml_platform::units::{Energy, Power, TimeSpan};
+
+use crate::error::Result;
+use crate::level::WidthLevel;
+use crate::profile::DnnProfile;
+
+/// Cost model for swapping model configurations at runtime.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwitchCostModel {
+    /// Sustained memory bandwidth for loading parameters (bytes/s).
+    pub memory_bandwidth: f64,
+    /// Average DRAM power while streaming parameters.
+    pub memory_power: Power,
+}
+
+impl Default for SwitchCostModel {
+    /// LPDDR3-class defaults: 6.4 GB/s sustained, 1.2 W while streaming.
+    fn default() -> Self {
+        Self { memory_bandwidth: 6.4e9, memory_power: Power::from_watts(1.2) }
+    }
+}
+
+/// The latency and energy of one model switch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwitchCost {
+    /// Time until the new configuration is ready.
+    pub latency: TimeSpan,
+    /// Energy spent on the switch.
+    pub energy: Energy,
+}
+
+impl SwitchCost {
+    /// A free switch.
+    pub const FREE: SwitchCost = SwitchCost {
+        latency: TimeSpan::ZERO,
+        energy: Energy::ZERO,
+    };
+}
+
+impl SwitchCostModel {
+    /// Cost of a dynamic-DNN width switch: zero, because every width shares
+    /// the same resident parameters (paper Fig 3c).
+    pub fn dynamic_switch(&self) -> SwitchCost {
+        SwitchCost::FREE
+    }
+
+    /// Cost for a static-pruning baseline to switch to `to`: the target
+    /// model's parameters must be (re)loaded from backing storage into the
+    /// inference engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::DnnError::UnknownLevel`] for out-of-range levels.
+    pub fn static_reload(&self, profile: &DnnProfile, to: WidthLevel) -> Result<SwitchCost> {
+        let bytes = profile.level(to)?.param_bytes;
+        let latency = TimeSpan::from_secs(bytes / self.memory_bandwidth);
+        Ok(SwitchCost { latency, energy: self.memory_power * latency })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dynamic_switch_is_free() {
+        let m = SwitchCostModel::default();
+        let c = m.dynamic_switch();
+        assert_eq!(c.latency, TimeSpan::ZERO);
+        assert_eq!(c.energy, Energy::ZERO);
+    }
+
+    #[test]
+    fn static_reload_scales_with_model_size() {
+        let m = SwitchCostModel::default();
+        let p = DnnProfile::reference("dnn");
+        let small = m.static_reload(&p, WidthLevel(0)).unwrap();
+        let large = m.static_reload(&p, WidthLevel(3)).unwrap();
+        assert!(large.latency > small.latency);
+        assert!(large.energy > small.energy);
+        // 2.4 MB at 6.4 GB/s = 375 µs.
+        assert!((large.latency.as_millis() - 0.375).abs() < 1e-6);
+    }
+
+    #[test]
+    fn static_reload_unknown_level() {
+        let m = SwitchCostModel::default();
+        let p = DnnProfile::reference("dnn");
+        assert!(m.static_reload(&p, WidthLevel(7)).is_err());
+    }
+}

@@ -1,0 +1,180 @@
+//! Parameter-free layers: ReLU and Flatten.
+
+use crate::error::{NnError, Result};
+use crate::layer::{Layer, LayerCost};
+use crate::tensor::Tensor;
+
+/// Rectified linear unit, applied element-wise.
+#[derive(Debug, Default)]
+pub struct Relu {
+    name: String,
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// Creates a named ReLU layer.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), mask: None }
+    }
+}
+
+impl Layer for Relu {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
+        if train {
+            self.mask = Some(input.data().iter().map(|&x| x > 0.0).collect());
+        }
+        Ok(input.map(|x| x.max(0.0)))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let mask = self.mask.as_ref().ok_or_else(|| NnError::InvalidConfig {
+            reason: format!("relu `{}`: backward before training forward", self.name),
+        })?;
+        if mask.len() != grad_out.len() {
+            return Err(NnError::ShapeMismatch {
+                context: format!("relu `{}` backward", self.name),
+                expected: vec![mask.len()],
+                actual: vec![grad_out.len()],
+            });
+        }
+        let mut grad = grad_out.clone();
+        for (g, &m) in grad.data_mut().iter_mut().zip(mask) {
+            if !m {
+                *g = 0.0;
+            }
+        }
+        Ok(grad)
+    }
+
+    fn cost(&self, in_shape: &[usize]) -> Result<LayerCost> {
+        Ok(LayerCost { macs: 0.0, params: 0, out_shape: in_shape.to_vec() })
+    }
+}
+
+/// Flattens `[N, C, H, W]` (or any rank ≥ 2) into `[N, F]`.
+///
+/// Channel-major flattening is what makes width pruning compose with the
+/// classifier: the first `C_active·H·W` features of the flattened vector
+/// are exactly the features of the active channel groups.
+#[derive(Debug, Default)]
+pub struct Flatten {
+    name: String,
+    in_shape: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a named Flatten layer.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), in_shape: None }
+    }
+}
+
+impl Layer for Flatten {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
+        let shape = input.shape();
+        if shape.len() < 2 {
+            return Err(NnError::ShapeMismatch {
+                context: format!("flatten `{}` forward", self.name),
+                expected: vec![0, 0],
+                actual: shape.to_vec(),
+            });
+        }
+        if train {
+            self.in_shape = Some(shape.to_vec());
+        }
+        let n = shape[0];
+        let f: usize = shape[1..].iter().product();
+        input.reshaped(&[n, f])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let shape = self.in_shape.as_ref().ok_or_else(|| NnError::InvalidConfig {
+            reason: format!("flatten `{}`: backward before training forward", self.name),
+        })?;
+        grad_out.reshaped(shape)
+    }
+
+    fn cost(&self, in_shape: &[usize]) -> Result<LayerCost> {
+        Ok(LayerCost {
+            macs: 0.0,
+            params: 0,
+            out_shape: vec![in_shape.iter().product()],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_forward_clamps_negatives() {
+        let mut relu = Relu::new("r");
+        let x = Tensor::from_vec(&[4], vec![-1.0, 0.0, 2.0, -3.0]).unwrap();
+        let y = relu.forward(&x, false).unwrap();
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn relu_backward_masks_gradient() {
+        let mut relu = Relu::new("r");
+        let x = Tensor::from_vec(&[4], vec![-1.0, 0.5, 2.0, -3.0]).unwrap();
+        let _ = relu.forward(&x, true).unwrap();
+        let g = Tensor::full(&[4], 1.0);
+        let gi = relu.backward(&g).unwrap();
+        assert_eq!(gi.data(), &[0.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn relu_backward_without_forward_errors() {
+        let mut relu = Relu::new("r");
+        assert!(relu.backward(&Tensor::zeros(&[1])).is_err());
+    }
+
+    #[test]
+    fn relu_backward_shape_checked() {
+        let mut relu = Relu::new("r");
+        let _ = relu.forward(&Tensor::zeros(&[4]), true).unwrap();
+        assert!(relu.backward(&Tensor::zeros(&[5])).is_err());
+    }
+
+    #[test]
+    fn flatten_round_trip() {
+        let mut fl = Flatten::new("f");
+        let x = Tensor::from_vec(&[2, 3, 2, 2], (0..24).map(|i| i as f32).collect()).unwrap();
+        let y = fl.forward(&x, true).unwrap();
+        assert_eq!(y.shape(), &[2, 12]);
+        // Channel-major ordering preserved.
+        assert_eq!(y.at(&[0, 0]), x.at(&[0, 0, 0, 0]));
+        assert_eq!(y.at(&[0, 4]), x.at(&[0, 1, 0, 0]));
+        let g = fl.backward(&y).unwrap();
+        assert_eq!(g.shape(), x.shape());
+        assert_eq!(g.data(), x.data());
+    }
+
+    #[test]
+    fn flatten_rejects_rank_one() {
+        let mut fl = Flatten::new("f");
+        assert!(fl.forward(&Tensor::zeros(&[4]), false).is_err());
+    }
+
+    #[test]
+    fn parameter_free_costs() {
+        let relu = Relu::new("r");
+        let c = relu.cost(&[8, 4, 4]).unwrap();
+        assert_eq!(c.macs, 0.0);
+        assert_eq!(c.params, 0);
+        assert_eq!(c.out_shape, vec![8, 4, 4]);
+        let fl = Flatten::new("f");
+        let c = fl.cost(&[8, 4, 4]).unwrap();
+        assert_eq!(c.out_shape, vec![128]);
+    }
+}

@@ -1,0 +1,244 @@
+//! The reference CNN architecture of the reproduction: a small VGG-style
+//! network whose convolution channels are partitioned into `G` groups, per
+//! the paper's Fig 3.
+//!
+//! Layer stack (for `base_width = w`):
+//!
+//! ```text
+//! conv1  dense 3→w, 3×3, pad 1, out channels G-partitioned
+//! relu, maxpool 2×2
+//! conv2  grouped w→2w, 3×3, pad 1
+//! relu, maxpool 2×2
+//! conv3  grouped 2w→2w, 3×3, pad 1
+//! relu
+//! flatten
+//! fc     2w·(H/4)·(W/4) → classes, input features G-partitioned
+//! ```
+//!
+//! The cost of a forward pass scales almost exactly with `g/G` (every
+//! parameterised layer's MACs are proportional to the active group count),
+//! which is why the paper names the configurations 25/50/75/100 %.
+
+use rand::Rng;
+
+use crate::conv::{Conv2d, Conv2dConfig};
+use crate::error::{NnError, Result};
+use crate::layer::Layer;
+use crate::linear::Linear;
+use crate::network::Network;
+use crate::pool::MaxPool2d;
+use crate::activation::{Flatten, Relu};
+
+/// Configuration of the reference group CNN.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CnnConfig {
+    /// Input shape `(channels, height, width)`.
+    pub input: (usize, usize, usize),
+    /// Number of output classes.
+    pub classes: usize,
+    /// Dynamic-DNN group count `G` (the paper uses 4).
+    pub groups: usize,
+    /// Output channels of the first convolution (the paper's width scale).
+    pub base_width: usize,
+}
+
+impl Default for CnnConfig {
+    fn default() -> Self {
+        Self { input: (3, 16, 16), classes: 10, groups: 4, base_width: 32 }
+    }
+}
+
+/// Builds the reference CNN.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidConfig`] when the widths are not divisible by
+/// the group count or the spatial size does not survive two 2× poolings.
+///
+/// # Examples
+///
+/// ```
+/// use eml_nn::arch::{build_group_cnn, CnnConfig};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), eml_nn::NnError> {
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let mut net = build_group_cnn(CnnConfig::default(), &mut rng)?;
+/// let full = net.cost()?.macs;
+/// net.set_active_groups(1)?;
+/// let quarter = net.cost()?.macs;
+/// assert!((quarter / full - 0.25).abs() < 0.01);
+/// # Ok(())
+/// # }
+/// ```
+pub fn build_group_cnn(cfg: CnnConfig, rng: &mut impl Rng) -> Result<Network> {
+    let (c, h, w) = cfg.input;
+    if cfg.base_width == 0 || cfg.base_width % cfg.groups != 0 {
+        return Err(NnError::InvalidConfig {
+            reason: format!(
+                "base_width {} must be a positive multiple of groups {}",
+                cfg.base_width, cfg.groups
+            ),
+        });
+    }
+    if h % 4 != 0 || w % 4 != 0 || h < 4 || w < 4 {
+        return Err(NnError::InvalidConfig {
+            reason: format!("input {h}x{w} must be a multiple of 4 for two 2x poolings"),
+        });
+    }
+    if cfg.classes == 0 {
+        return Err(NnError::InvalidConfig { reason: "classes must be positive".into() });
+    }
+    let w1 = cfg.base_width;
+    let w2 = 2 * cfg.base_width;
+    let conv1 = Conv2d::new(
+        "conv1",
+        Conv2dConfig {
+            in_channels: c,
+            out_channels: w1,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+            conv_groups: 1,
+            prune_groups: cfg.groups,
+        },
+        rng,
+    )?;
+    let conv2 = Conv2d::new(
+        "conv2",
+        Conv2dConfig {
+            in_channels: w1,
+            out_channels: w2,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+            conv_groups: cfg.groups,
+            prune_groups: cfg.groups,
+        },
+        rng,
+    )?;
+    let conv3 = Conv2d::new(
+        "conv3",
+        Conv2dConfig {
+            in_channels: w2,
+            out_channels: w2,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+            conv_groups: cfg.groups,
+            prune_groups: cfg.groups,
+        },
+        rng,
+    )?;
+    let fc = Linear::new("fc", w2 * (h / 4) * (w / 4), cfg.classes, cfg.groups, rng)?;
+    let layers: Vec<Box<dyn Layer>> = vec![
+        Box::new(conv1),
+        Box::new(Relu::new("relu1")),
+        Box::new(MaxPool2d::new("pool1", 2)),
+        Box::new(conv2),
+        Box::new(Relu::new("relu2")),
+        Box::new(MaxPool2d::new("pool2", 2)),
+        Box::new(conv3),
+        Box::new(Relu::new("relu3")),
+        Box::new(Flatten::new("flatten")),
+        Box::new(fc),
+    ];
+    Network::new(layers, cfg.groups, vec![c, h, w])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn default_config_builds_and_runs() {
+        let mut net = build_group_cnn(CnnConfig::default(), &mut rng()).unwrap();
+        let y = net.forward(&Tensor::zeros(&[2, 3, 16, 16]), false).unwrap();
+        assert_eq!(y.shape(), &[2, 10]);
+    }
+
+    #[test]
+    fn cost_fraction_tracks_width_level() {
+        let mut net = build_group_cnn(CnnConfig::default(), &mut rng()).unwrap();
+        let full = net.cost().unwrap().macs;
+        for g in 1..=4usize {
+            let c = net.cost_at(g).unwrap().macs;
+            let frac = c / full;
+            let expect = g as f64 / 4.0;
+            assert!(
+                (frac - expect).abs() < 0.01,
+                "width {g}/4: cost fraction {frac:.4} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn forward_works_at_every_width() {
+        let mut net = build_group_cnn(CnnConfig::default(), &mut rng()).unwrap();
+        for g in 1..=4 {
+            net.set_active_groups(g).unwrap();
+            let y = net.forward(&Tensor::zeros(&[1, 3, 16, 16]), false).unwrap();
+            assert_eq!(y.shape(), &[1, 10], "width {g}");
+        }
+    }
+
+    #[test]
+    fn pruned_logits_unchanged_by_inactive_groups() {
+        // Dropping groups then re-adding them reproduces the original
+        // full-width logits exactly (no retraining needed — Fig 3c).
+        let mut net = build_group_cnn(CnnConfig::default(), &mut rng()).unwrap();
+        let x = Tensor::full(&[1, 3, 16, 16], 0.25);
+        let full1 = net.forward(&x, false).unwrap();
+        net.set_active_groups(1).unwrap();
+        let _ = net.forward(&x, false).unwrap();
+        net.set_active_groups(4).unwrap();
+        let full2 = net.forward(&x, false).unwrap();
+        assert_eq!(full1.data(), full2.data());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(build_group_cnn(
+            CnnConfig { base_width: 30, ..CnnConfig::default() },
+            &mut rng()
+        )
+        .is_err());
+        assert!(build_group_cnn(
+            CnnConfig { input: (3, 10, 10), ..CnnConfig::default() },
+            &mut rng()
+        )
+        .is_err());
+        assert!(build_group_cnn(
+            CnnConfig { classes: 0, ..CnnConfig::default() },
+            &mut rng()
+        )
+        .is_err());
+        assert!(build_group_cnn(
+            CnnConfig { base_width: 0, ..CnnConfig::default() },
+            &mut rng()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn parameter_budget_is_single_model() {
+        let net = build_group_cnn(CnnConfig::default(), &mut rng()).unwrap();
+        let cost = net.cost().unwrap();
+        // conv1: 32·3·9+32; conv2: 64·8·9+64; conv3: 64·16·9+64;
+        // fc: 1024·10+10.
+        let expect = (32 * 3 * 9 + 32)
+            + (64 * 8 * 9 + 64)
+            + (64 * 16 * 9 + 64)
+            + (64 * 4 * 4 * 10 + 10);
+        assert_eq!(cost.params_total, expect);
+        assert_eq!(cost.params, expect, "full width uses all params");
+    }
+}

@@ -1,0 +1,672 @@
+//! 2-D convolution with structural groups and runtime width scaling.
+//!
+//! This layer implements both halves of the paper's Fig 3:
+//!
+//! - **Group convolution** (Fig 3a): with `conv_groups = G`, input and
+//!   output channels are partitioned into `G` independent paths.
+//! - **Runtime group pruning** (Fig 3c): [`Conv2d::set_active_groups`]
+//!   restricts execution to the first `g` groups — later groups are simply
+//!   not computed, giving a real latency/energy reduction (unlike
+//!   unstructured weight pruning, which most hardware cannot exploit —
+//!   paper §III-B).
+//!
+//! Incremental training (Fig 3b) is supported through
+//! [`Conv2d::set_trainable_groups`]: frozen groups keep their parameters
+//! bit-identical while later groups learn.
+
+use std::ops::Range;
+
+use rand::Rng;
+
+use crate::error::{NnError, Result};
+use crate::layer::{sgd_update, Layer, LayerCost};
+use crate::tensor::Tensor;
+
+/// Configuration of a [`Conv2d`] layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dConfig {
+    /// Nominal (full-width) input channel count.
+    pub in_channels: usize,
+    /// Nominal (full-width) output channel count.
+    pub out_channels: usize,
+    /// Square kernel size.
+    pub kernel: usize,
+    /// Stride (same both axes).
+    pub stride: usize,
+    /// Zero padding (same all sides).
+    pub padding: usize,
+    /// Structural connectivity groups: `1` for a dense convolution, equal
+    /// to `prune_groups` for the paper's group convolution.
+    pub conv_groups: usize,
+    /// Width-scaling partition `G` of the output channels.
+    pub prune_groups: usize,
+}
+
+impl Conv2dConfig {
+    fn validate(&self) -> Result<()> {
+        let c = |ok: bool, reason: String| {
+            if ok {
+                Ok(())
+            } else {
+                Err(NnError::InvalidConfig { reason })
+            }
+        };
+        c(
+            self.in_channels > 0 && self.out_channels > 0,
+            "channel counts must be positive".into(),
+        )?;
+        c(self.kernel > 0 && self.stride > 0, "kernel and stride must be positive".into())?;
+        c(self.prune_groups > 0, "prune_groups must be positive".into())?;
+        c(
+            self.out_channels % self.prune_groups == 0,
+            format!(
+                "out_channels {} not divisible by prune_groups {}",
+                self.out_channels, self.prune_groups
+            ),
+        )?;
+        c(
+            self.conv_groups == 1 || self.conv_groups == self.prune_groups,
+            format!(
+                "conv_groups must be 1 (dense) or equal to prune_groups {} , got {}",
+                self.prune_groups, self.conv_groups
+            ),
+        )?;
+        c(
+            self.in_channels % self.conv_groups == 0,
+            format!(
+                "in_channels {} not divisible by conv_groups {}",
+                self.in_channels, self.conv_groups
+            ),
+        )?;
+        if self.conv_groups > 1 {
+            c(
+                self.in_channels % self.prune_groups == 0,
+                format!(
+                    "grouped conv requires in_channels {} divisible by prune_groups {}",
+                    self.in_channels, self.prune_groups
+                ),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// A 2-D convolution layer (see module docs).
+#[derive(Debug)]
+pub struct Conv2d {
+    name: String,
+    cfg: Conv2dConfig,
+    /// Weights, laid out `[out_ch][in_per_group][k][k]` row-major.
+    w: Vec<f32>,
+    /// Per-output-channel bias.
+    b: Vec<f32>,
+    gw: Vec<f32>,
+    gb: Vec<f32>,
+    vw: Vec<f32>,
+    vb: Vec<f32>,
+    active: usize,
+    trainable: Range<usize>,
+    cache: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates the layer with Kaiming-uniform initial weights drawn from
+    /// `rng`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] for inconsistent configurations
+    /// (zero sizes, indivisible group counts, unsupported `conv_groups`).
+    pub fn new(name: impl Into<String>, cfg: Conv2dConfig, rng: &mut impl Rng) -> Result<Self> {
+        cfg.validate()?;
+        let in_per_group = cfg.in_channels / cfg.conv_groups;
+        let fan_in = (in_per_group * cfg.kernel * cfg.kernel) as f32;
+        let limit = (6.0 / fan_in).sqrt();
+        let w_len = cfg.out_channels * in_per_group * cfg.kernel * cfg.kernel;
+        let w = (0..w_len).map(|_| rng.gen_range(-limit..limit)).collect();
+        Ok(Self {
+            name: name.into(),
+            cfg,
+            w,
+            b: vec![0.0; cfg.out_channels],
+            gw: vec![0.0; w_len],
+            gb: vec![0.0; cfg.out_channels],
+            vw: vec![0.0; w_len],
+            vb: vec![0.0; cfg.out_channels],
+            active: cfg.prune_groups,
+            trainable: 0..cfg.prune_groups,
+            cache: None,
+        })
+    }
+
+    /// The layer's configuration.
+    pub fn config(&self) -> Conv2dConfig {
+        self.cfg
+    }
+
+    /// Currently active group count.
+    pub fn active_groups(&self) -> usize {
+        self.active
+    }
+
+    /// Raw weight slice (testing/inspection).
+    pub fn weights(&self) -> &[f32] {
+        &self.w
+    }
+
+    fn out_per_group(&self) -> usize {
+        self.cfg.out_channels / self.cfg.prune_groups
+    }
+
+    fn in_per_group(&self) -> usize {
+        self.cfg.in_channels / self.cfg.conv_groups
+    }
+
+    /// Output channels at the current width.
+    pub fn active_out_channels(&self) -> usize {
+        self.out_per_group() * self.active
+    }
+
+    /// Input channels the layer expects at the current width.
+    pub fn expected_in_channels(&self) -> usize {
+        if self.cfg.conv_groups == 1 {
+            self.cfg.in_channels
+        } else {
+            (self.cfg.in_channels / self.cfg.prune_groups) * self.active
+        }
+    }
+
+    fn out_hw(&self, h: usize, w: usize) -> Result<(usize, usize)> {
+        let k = self.cfg.kernel;
+        let p = self.cfg.padding;
+        let s = self.cfg.stride;
+        if h + 2 * p < k || w + 2 * p < k {
+            return Err(NnError::ShapeMismatch {
+                context: format!("conv `{}`: input smaller than kernel", self.name),
+                expected: vec![k, k],
+                actual: vec![h + 2 * p, w + 2 * p],
+            });
+        }
+        Ok(((h + 2 * p - k) / s + 1, (w + 2 * p - k) / s + 1))
+    }
+
+    /// Base input-channel index (within the *active* input tensor) for
+    /// output channel `oc`.
+    fn input_base(&self, oc: usize) -> usize {
+        if self.cfg.conv_groups == 1 {
+            0
+        } else {
+            let group = oc / self.out_per_group();
+            group * (self.cfg.in_channels / self.cfg.prune_groups)
+        }
+    }
+
+    fn weight_offset(&self, oc: usize, icg: usize, ky: usize, kx: usize) -> usize {
+        let k = self.cfg.kernel;
+        ((oc * self.in_per_group() + icg) * k + ky) * k + kx
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
+        let shape = input.shape();
+        let expected_c = self.expected_in_channels();
+        if shape.len() != 4 || shape[1] != expected_c {
+            return Err(NnError::ShapeMismatch {
+                context: format!("conv `{}` forward", self.name),
+                expected: vec![0, expected_c, 0, 0],
+                actual: shape.to_vec(),
+            });
+        }
+        let (n, c_in, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        let (oh, ow) = self.out_hw(h, w)?;
+        let c_out = self.active_out_channels();
+        let k = self.cfg.kernel;
+        let s = self.cfg.stride;
+        let p = self.cfg.padding as isize;
+        let icg_count = if self.cfg.conv_groups == 1 {
+            self.cfg.in_channels
+        } else {
+            self.in_per_group()
+        };
+
+        let mut out = Tensor::zeros(&[n, c_out, oh, ow]);
+        let x = input.data();
+        let o = out.data_mut();
+        for ni in 0..n {
+            for oc in 0..c_out {
+                let base = self.input_base(oc);
+                let bias = self.b[oc];
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = bias;
+                        for icg in 0..icg_count {
+                            let ic = base + icg;
+                            let plane = (ni * c_in + ic) * h * w;
+                            for ky in 0..k {
+                                let iy = (oy * s + ky) as isize - p;
+                                if iy < 0 || iy >= h as isize {
+                                    continue;
+                                }
+                                let row = plane + iy as usize * w;
+                                for kx in 0..k {
+                                    let ix = (ox * s + kx) as isize - p;
+                                    if ix < 0 || ix >= w as isize {
+                                        continue;
+                                    }
+                                    acc += self.w[self.weight_offset(oc, icg, ky, kx)]
+                                        * x[row + ix as usize];
+                                }
+                            }
+                        }
+                        o[((ni * c_out + oc) * oh + oy) * ow + ox] = acc;
+                    }
+                }
+            }
+        }
+        if train {
+            self.cache = Some(input.clone());
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let input = self.cache.as_ref().ok_or_else(|| NnError::InvalidConfig {
+            reason: format!("conv `{}`: backward before training forward", self.name),
+        })?;
+        let in_shape = input.shape().to_vec();
+        let (n, c_in, h, w) = (in_shape[0], in_shape[1], in_shape[2], in_shape[3]);
+        let (oh, ow) = self.out_hw(h, w)?;
+        let c_out = self.active_out_channels();
+        grad_out.expect_shape(&[n, c_out, oh, ow], "conv backward")?;
+
+        let k = self.cfg.kernel;
+        let s = self.cfg.stride;
+        let p = self.cfg.padding as isize;
+        let icg_count = if self.cfg.conv_groups == 1 {
+            self.cfg.in_channels
+        } else {
+            self.in_per_group()
+        };
+
+        let mut grad_in = Tensor::zeros(&in_shape);
+        let x = input.data();
+        let go = grad_out.data();
+        let gi = grad_in.data_mut();
+        for ni in 0..n {
+            for oc in 0..c_out {
+                let base = self.input_base(oc);
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let g = go[((ni * c_out + oc) * oh + oy) * ow + ox];
+                        if g == 0.0 {
+                            continue;
+                        }
+                        self.gb[oc] += g;
+                        for icg in 0..icg_count {
+                            let ic = base + icg;
+                            let plane = (ni * c_in + ic) * h * w;
+                            for ky in 0..k {
+                                let iy = (oy * s + ky) as isize - p;
+                                if iy < 0 || iy >= h as isize {
+                                    continue;
+                                }
+                                let row = plane + iy as usize * w;
+                                for kx in 0..k {
+                                    let ix = (ox * s + kx) as isize - p;
+                                    if ix < 0 || ix >= w as isize {
+                                        continue;
+                                    }
+                                    let woff = self.weight_offset(oc, icg, ky, kx);
+                                    let xoff = row + ix as usize;
+                                    self.gw[woff] += g * x[xoff];
+                                    gi[xoff] += g * self.w[woff];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(grad_in)
+    }
+
+    fn sgd_step(&mut self, lr: f32, momentum: f32) {
+        let out_per_group = self.out_per_group();
+        let weights_per_oc = self.in_per_group() * self.cfg.kernel * self.cfg.kernel;
+        let trainable = self.trainable.clone();
+        let active = self.active;
+        let frozen_oc = |oc: usize| {
+            let g = oc / out_per_group;
+            g >= active || !trainable.contains(&g)
+        };
+        sgd_update(&mut self.w, &self.gw, &mut self.vw, lr, momentum, |wi| {
+            frozen_oc(wi / weights_per_oc)
+        });
+        sgd_update(&mut self.b, &self.gb, &mut self.vb, lr, momentum, frozen_oc);
+    }
+
+    fn zero_grads(&mut self) {
+        self.gw.fill(0.0);
+        self.gb.fill(0.0);
+    }
+
+    fn set_active_groups(&mut self, active: usize) -> Result<()> {
+        if active == 0 || active > self.cfg.prune_groups {
+            return Err(NnError::InvalidGroup {
+                reason: format!(
+                    "conv `{}`: active groups {} not in 1..={}",
+                    self.name, active, self.cfg.prune_groups
+                ),
+            });
+        }
+        self.active = active;
+        // A cached activation from a different width must not be reused.
+        self.cache = None;
+        Ok(())
+    }
+
+    fn set_trainable_groups(&mut self, groups: Range<usize>) {
+        self.trainable = groups;
+    }
+
+    fn cost(&self, in_shape: &[usize]) -> Result<LayerCost> {
+        let expected_c = self.expected_in_channels();
+        if in_shape.len() != 3 || in_shape[0] != expected_c {
+            return Err(NnError::ShapeMismatch {
+                context: format!("conv `{}` cost", self.name),
+                expected: vec![expected_c, 0, 0],
+                actual: in_shape.to_vec(),
+            });
+        }
+        let (oh, ow) = self.out_hw(in_shape[1], in_shape[2])?;
+        let c_out = self.active_out_channels();
+        let icg_count = if self.cfg.conv_groups == 1 {
+            self.cfg.in_channels
+        } else {
+            self.in_per_group()
+        };
+        let k2 = self.cfg.kernel * self.cfg.kernel;
+        Ok(LayerCost {
+            macs: (c_out * oh * ow * icg_count * k2) as f64,
+            params: c_out * icg_count * k2 + c_out,
+            out_shape: vec![c_out, oh, ow],
+        })
+    }
+
+    fn param_count_total(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+
+    fn quantize_weights(&mut self, bits: u32) {
+        crate::quant::quantize_slice(&mut self.w, bits);
+        crate::quant::quantize_slice(&mut self.b, bits);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    fn dense_cfg() -> Conv2dConfig {
+        Conv2dConfig {
+            in_channels: 3,
+            out_channels: 8,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+            conv_groups: 1,
+            prune_groups: 4,
+        }
+    }
+
+    fn grouped_cfg() -> Conv2dConfig {
+        Conv2dConfig {
+            in_channels: 8,
+            out_channels: 8,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+            conv_groups: 4,
+            prune_groups: 4,
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        let mut bad = dense_cfg();
+        bad.out_channels = 6; // not divisible by 4
+        assert!(Conv2d::new("c", bad, &mut rng()).is_err());
+        let mut bad = grouped_cfg();
+        bad.conv_groups = 2; // neither 1 nor prune_groups
+        assert!(Conv2d::new("c", bad, &mut rng()).is_err());
+        let mut bad = grouped_cfg();
+        bad.in_channels = 6; // not divisible by conv_groups=4
+        assert!(Conv2d::new("c", bad, &mut rng()).is_err());
+        let mut bad = dense_cfg();
+        bad.kernel = 0;
+        assert!(Conv2d::new("c", bad, &mut rng()).is_err());
+    }
+
+    #[test]
+    fn forward_shape_dense_same_padding() {
+        let mut c = Conv2d::new("c", dense_cfg(), &mut rng()).unwrap();
+        let x = Tensor::zeros(&[2, 3, 16, 16]);
+        let y = c.forward(&x, false).unwrap();
+        assert_eq!(y.shape(), &[2, 8, 16, 16]);
+    }
+
+    #[test]
+    fn forward_rejects_wrong_channels() {
+        let mut c = Conv2d::new("c", dense_cfg(), &mut rng()).unwrap();
+        assert!(c.forward(&Tensor::zeros(&[1, 4, 8, 8]), false).is_err());
+    }
+
+    #[test]
+    fn known_value_identity_kernel() {
+        // 1x1 kernel, single in/out channel, weight = 2, bias = 1.
+        let cfg = Conv2dConfig {
+            in_channels: 1,
+            out_channels: 1,
+            kernel: 1,
+            stride: 1,
+            padding: 0,
+            conv_groups: 1,
+            prune_groups: 1,
+        };
+        let mut c = Conv2d::new("c", cfg, &mut rng()).unwrap();
+        c.w[0] = 2.0;
+        c.b[0] = 1.0;
+        let x = Tensor::from_vec(&[1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let y = c.forward(&x, false).unwrap();
+        assert_eq!(y.data(), &[3.0, 5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn width_scaling_shrinks_output_channels() {
+        let mut c = Conv2d::new("c", dense_cfg(), &mut rng()).unwrap();
+        c.set_active_groups(2).unwrap();
+        let y = c.forward(&Tensor::zeros(&[1, 3, 8, 8]), false).unwrap();
+        assert_eq!(y.shape(), &[1, 4, 8, 8]);
+        assert_eq!(c.active_out_channels(), 4);
+        assert_eq!(c.expected_in_channels(), 3, "dense conv keeps full input");
+    }
+
+    #[test]
+    fn grouped_width_scaling_shrinks_input_too() {
+        let mut c = Conv2d::new("c", grouped_cfg(), &mut rng()).unwrap();
+        c.set_active_groups(1).unwrap();
+        assert_eq!(c.expected_in_channels(), 2);
+        let y = c.forward(&Tensor::zeros(&[1, 2, 8, 8]), false).unwrap();
+        assert_eq!(y.shape(), &[1, 2, 8, 8]);
+    }
+
+    #[test]
+    fn pruned_output_prefix_matches_full_model() {
+        // The defining property of group pruning (Fig 3c): running the
+        // first g groups produces *exactly* the same values as the full
+        // model's first g groups — switching widths needs no retraining.
+        let mut c = Conv2d::new("c", grouped_cfg(), &mut rng()).unwrap();
+        let mut r = rng();
+        let x_full =
+            Tensor::from_vec(&[1, 8, 4, 4], (0..128).map(|_| r.gen_range(-1.0..1.0)).collect())
+                .unwrap();
+        let y_full = c.forward(&x_full, false).unwrap();
+
+        c.set_active_groups(2).unwrap();
+        // Active input = first 4 channels.
+        let x_half = Tensor::from_vec(&[1, 4, 4, 4], x_full.data()[..64].to_vec()).unwrap();
+        let y_half = c.forward(&x_half, false).unwrap();
+        assert_eq!(y_half.shape(), &[1, 4, 4, 4]);
+        for oc in 0..4 {
+            for y in 0..4 {
+                for x in 0..4 {
+                    assert!(
+                        (y_half.at(&[0, oc, y, x]) - y_full.at(&[0, oc, y, x])).abs() < 1e-6
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_active_groups_rejected() {
+        let mut c = Conv2d::new("c", dense_cfg(), &mut rng()).unwrap();
+        assert!(c.set_active_groups(0).is_err());
+        assert!(c.set_active_groups(5).is_err());
+        assert!(c.set_active_groups(4).is_ok());
+    }
+
+    /// Finite-difference gradient check for weights, bias and input.
+    #[test]
+    fn gradient_check() {
+        let cfg = Conv2dConfig {
+            in_channels: 2,
+            out_channels: 2,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+            conv_groups: 1,
+            prune_groups: 2,
+        };
+        let mut c = Conv2d::new("c", cfg, &mut rng()).unwrap();
+        let mut r = rng();
+        let x =
+            Tensor::from_vec(&[1, 2, 4, 4], (0..32).map(|_| r.gen_range(-1.0..1.0)).collect())
+                .unwrap();
+
+        // Loss = sum(output); dL/dy = 1.
+        let y = c.forward(&x, true).unwrap();
+        let grad_out = Tensor::full(y.shape(), 1.0);
+        let gx = c.backward(&grad_out).unwrap();
+
+        let eps = 1e-3_f32;
+        // Check a sample of weight gradients.
+        for &wi in &[0usize, 5, 17, 23] {
+            let orig = c.w[wi];
+            c.w[wi] = orig + eps;
+            let lp = c.forward(&x, false).unwrap().sum();
+            c.w[wi] = orig - eps;
+            let lm = c.forward(&x, false).unwrap().sum();
+            c.w[wi] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - c.gw[wi]).abs() < 2e-2,
+                "weight {wi}: numeric {numeric} vs analytic {}",
+                c.gw[wi]
+            );
+        }
+        // Check a sample of input gradients.
+        let mut x2 = x.clone();
+        for &xi in &[0usize, 9, 31] {
+            let orig = x2.data()[xi];
+            x2.data_mut()[xi] = orig + eps;
+            let lp = c.forward(&x2, false).unwrap().sum();
+            x2.data_mut()[xi] = orig - eps;
+            let lm = c.forward(&x2, false).unwrap().sum();
+            x2.data_mut()[xi] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - gx.data()[xi]).abs() < 2e-2,
+                "input {xi}: numeric {numeric} vs analytic {}",
+                gx.data()[xi]
+            );
+        }
+        // Bias gradient: dL/db = number of output positions.
+        assert!((c.gb[0] - 16.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn sgd_step_freezes_inactive_and_non_trainable_groups() {
+        let mut c = Conv2d::new("c", grouped_cfg(), &mut rng()).unwrap();
+        let w_before = c.w.clone();
+        // Active = 2 groups; trainable = group 1 only.
+        c.set_active_groups(2).unwrap();
+        c.set_trainable_groups(1..2);
+        let x = Tensor::full(&[1, 4, 4, 4], 1.0);
+        let y = c.forward(&x, true).unwrap();
+        let _ = c.backward(&Tensor::full(y.shape(), 1.0)).unwrap();
+        c.sgd_step(0.1, 0.0);
+
+        let weights_per_oc = 2 * 9; // in_per_group=2, k=3
+        // Group 0 (oc 0..2) frozen.
+        for wi in 0..2 * weights_per_oc {
+            assert_eq!(c.w[wi], w_before[wi], "group 0 weight {wi} must be frozen");
+        }
+        // Group 1 (oc 2..4) updated.
+        let updated = (2 * weights_per_oc..4 * weights_per_oc)
+            .any(|wi| c.w[wi] != w_before[wi]);
+        assert!(updated, "group 1 weights must update");
+        // Groups 2-3 inactive: no gradient, no update.
+        for wi in 4 * weights_per_oc..c.w.len() {
+            assert_eq!(c.w[wi], w_before[wi], "inactive group weight {wi}");
+        }
+    }
+
+    #[test]
+    fn cost_scales_with_active_groups() {
+        let mut c = Conv2d::new("c", grouped_cfg(), &mut rng()).unwrap();
+        let full = c.cost(&[8, 16, 16]).unwrap();
+        c.set_active_groups(1).unwrap();
+        let quarter = c.cost(&[2, 16, 16]).unwrap();
+        assert!((quarter.macs / full.macs - 0.25).abs() < 1e-9);
+        assert_eq!(full.out_shape, vec![8, 16, 16]);
+        assert_eq!(quarter.out_shape, vec![2, 16, 16]);
+        // Total params independent of width.
+        assert_eq!(c.param_count_total(), 8 * 2 * 9 + 8);
+    }
+
+    #[test]
+    fn dense_cost_formula() {
+        let c = Conv2d::new("c", dense_cfg(), &mut rng()).unwrap();
+        let cost = c.cost(&[3, 16, 16]).unwrap();
+        // 8 out * 16*16 positions * 3 in * 9 kernel
+        assert_eq!(cost.macs, (8 * 256 * 3 * 9) as f64);
+        assert_eq!(cost.params, 8 * 3 * 9 + 8);
+    }
+
+    #[test]
+    fn backward_without_forward_errors() {
+        let mut c = Conv2d::new("c", dense_cfg(), &mut rng()).unwrap();
+        assert!(c.backward(&Tensor::zeros(&[1, 8, 16, 16])).is_err());
+    }
+
+    #[test]
+    fn stride_two_output_shape() {
+        let cfg = Conv2dConfig { stride: 2, ..dense_cfg() };
+        let mut c = Conv2d::new("c", cfg, &mut rng()).unwrap();
+        let y = c.forward(&Tensor::zeros(&[1, 3, 16, 16]), false).unwrap();
+        // (16 + 2 - 3)/2 + 1 = 8
+        assert_eq!(y.shape(), &[1, 8, 8, 8]);
+    }
+}

@@ -1,0 +1,70 @@
+//! Error types for the neural-network library.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by network construction and execution.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// Tensor shapes are incompatible with the requested operation.
+    ShapeMismatch {
+        /// What was being attempted.
+        context: String,
+        /// Shape that was expected.
+        expected: Vec<usize>,
+        /// Shape that was provided.
+        actual: Vec<usize>,
+    },
+    /// A layer or network was configured with invalid hyper-parameters.
+    InvalidConfig {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A group index or count is inconsistent with the network's partition.
+    InvalidGroup {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ShapeMismatch { context, expected, actual } => write!(
+                f,
+                "shape mismatch in {context}: expected {expected:?}, got {actual:?}"
+            ),
+            Self::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            Self::InvalidGroup { reason } => write!(f, "invalid group: {reason}"),
+        }
+    }
+}
+
+impl Error for NnError {}
+
+/// Convenience alias for NN results.
+pub type Result<T> = std::result::Result<T, NnError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = NnError::ShapeMismatch {
+            context: "conv2d forward".into(),
+            expected: vec![1, 3, 16, 16],
+            actual: vec![1, 1, 16, 16],
+        };
+        let s = e.to_string();
+        assert!(s.contains("conv2d forward"));
+        assert!(s.contains("[1, 3, 16, 16]"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NnError>();
+    }
+}

@@ -1,0 +1,152 @@
+//! The [`Layer`] trait: the unit of composition for networks.
+//!
+//! Layers own their parameters, gradients and momentum buffers, and are
+//! **width-aware**: layers that participate in the dynamic-DNN group
+//! partition (convolutions, the classifier) implement
+//! [`Layer::set_active_groups`] to restrict execution to the first `g` of
+//! `G` channel groups, and [`Layer::set_trainable_groups`] so the
+//! incremental-training schedule of the paper's Fig 3(b) can freeze earlier
+//! groups while later groups learn.
+
+use std::fmt;
+use std::ops::Range;
+
+use crate::error::Result;
+use crate::tensor::Tensor;
+
+/// Per-sample cost of a layer at its current active width.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerCost {
+    /// Multiply-accumulate operations for one sample.
+    pub macs: f64,
+    /// Number of parameters used at the current width.
+    pub params: usize,
+    /// Output shape for one sample (no batch axis).
+    pub out_shape: Vec<usize>,
+}
+
+/// A differentiable network layer.
+///
+/// The forward/backward contract: `forward(input, train=true)` caches
+/// whatever `backward` needs; `backward(grad_out)` accumulates parameter
+/// gradients and returns the gradient with respect to the layer input.
+/// Batch dimension is always axis 0.
+pub trait Layer: fmt::Debug {
+    /// A short human-readable name (e.g. `"conv1"`).
+    fn name(&self) -> &str;
+
+    /// Computes the layer output. When `train` is true, caches activations
+    /// for a following [`Layer::backward`] call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::NnError::ShapeMismatch`] if the input does not have
+    /// the shape the layer expects at its current active width.
+    fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor>;
+
+    /// Back-propagates `grad_out`, accumulating parameter gradients and
+    /// returning the gradient with respect to the input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::NnError::ShapeMismatch`] if `grad_out` does not
+    /// match the last forward output, or [`crate::NnError::InvalidConfig`]
+    /// if called before a training-mode forward pass.
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor>;
+
+    /// Applies one SGD-with-momentum update to the trainable parameters and
+    /// leaves frozen groups untouched. No-op for parameter-free layers.
+    fn sgd_step(&mut self, _lr: f32, _momentum: f32) {}
+
+    /// Clears accumulated gradients. No-op for parameter-free layers.
+    fn zero_grads(&mut self) {}
+
+    /// Restricts execution to the first `active` of the layer's `G` channel
+    /// groups. Layers that do not partition channels ignore this.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::NnError::InvalidGroup`] if `active` is zero or
+    /// exceeds the layer's group count.
+    fn set_active_groups(&mut self, _active: usize) -> Result<()> {
+        Ok(())
+    }
+
+    /// Marks which group indices may be updated by [`Layer::sgd_step`];
+    /// everything else is frozen. Layers without parameters ignore this.
+    fn set_trainable_groups(&mut self, _groups: Range<usize>) {}
+
+    /// Cost of this layer at its *current* active width for one sample of
+    /// `in_shape` (no batch axis).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::NnError::ShapeMismatch`] if `in_shape` is not
+    /// compatible with the layer.
+    fn cost(&self, in_shape: &[usize]) -> Result<LayerCost>;
+
+    /// Total parameter count across *all* groups (the single-model memory
+    /// footprint the paper contrasts with storing one model per
+    /// configuration).
+    fn param_count_total(&self) -> usize {
+        0
+    }
+
+    /// Snaps the layer's weights to a `bits`-bit symmetric uniform grid
+    /// (see [`crate::quant`]). No-op for parameter-free layers; `bits` is
+    /// validated by the caller.
+    fn quantize_weights(&mut self, _bits: u32) {}
+}
+
+/// Helper: SGD-with-momentum update for one parameter slice, respecting a
+/// per-parameter freeze predicate.
+///
+/// `v ← μ·v − lr·g; w ← w + v` for unfrozen parameters; frozen parameters
+/// keep their velocity zeroed so later unfreezing starts cold.
+pub(crate) fn sgd_update(
+    w: &mut [f32],
+    g: &[f32],
+    v: &mut [f32],
+    lr: f32,
+    momentum: f32,
+    mut frozen: impl FnMut(usize) -> bool,
+) {
+    debug_assert_eq!(w.len(), g.len());
+    debug_assert_eq!(w.len(), v.len());
+    for i in 0..w.len() {
+        if frozen(i) {
+            v[i] = 0.0;
+            continue;
+        }
+        v[i] = momentum * v[i] - lr * g[i];
+        w[i] += v[i];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sgd_update_applies_momentum() {
+        let mut w = vec![1.0, 1.0];
+        let g = vec![0.5, 0.5];
+        let mut v = vec![0.0, 0.0];
+        sgd_update(&mut w, &g, &mut v, 0.1, 0.9, |_| false);
+        assert!((w[0] - 0.95).abs() < 1e-6);
+        // Second step: velocity compounds.
+        sgd_update(&mut w, &g, &mut v, 0.1, 0.9, |_| false);
+        assert!((w[0] - (0.95 - 0.05 * 0.9 - 0.05)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sgd_update_respects_freeze_mask() {
+        let mut w = vec![1.0, 1.0];
+        let g = vec![0.5, 0.5];
+        let mut v = vec![0.3, 0.3];
+        sgd_update(&mut w, &g, &mut v, 0.1, 0.9, |i| i == 0);
+        assert_eq!(w[0], 1.0, "frozen weight untouched");
+        assert_eq!(v[0], 0.0, "frozen velocity cleared");
+        assert!(w[1] != 1.0, "unfrozen weight updated");
+    }
+}

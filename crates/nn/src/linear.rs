@@ -1,0 +1,376 @@
+//! Fully connected (linear) layer with group-partitioned input features.
+//!
+//! The classifier of the paper's dynamic DNN sees features from every
+//! *active* channel group (Fig 3). Its input features are therefore
+//! partitioned into `G` blocks aligned with the channel groups; width
+//! scaling truncates to the first `g` blocks and incremental training
+//! freezes the weight columns of earlier blocks.
+
+use std::ops::Range;
+
+use rand::Rng;
+
+use crate::error::{NnError, Result};
+use crate::layer::{sgd_update, Layer, LayerCost};
+use crate::tensor::Tensor;
+
+/// A dense layer `y = W·x + b` with width-scalable input features.
+#[derive(Debug)]
+pub struct Linear {
+    name: String,
+    in_features: usize,
+    out_features: usize,
+    prune_groups: usize,
+    active: usize,
+    trainable: Range<usize>,
+    /// Weights, laid out `[out][in]` row-major.
+    w: Vec<f32>,
+    b: Vec<f32>,
+    gw: Vec<f32>,
+    gb: Vec<f32>,
+    vw: Vec<f32>,
+    vb: Vec<f32>,
+    cache: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates the layer with Kaiming-uniform initial weights.
+    ///
+    /// `prune_groups` must divide `in_features`; pass `1` for a layer that
+    /// does not participate in width scaling.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] for zero sizes or indivisible
+    /// group counts.
+    pub fn new(
+        name: impl Into<String>,
+        in_features: usize,
+        out_features: usize,
+        prune_groups: usize,
+        rng: &mut impl Rng,
+    ) -> Result<Self> {
+        if in_features == 0 || out_features == 0 {
+            return Err(NnError::InvalidConfig {
+                reason: "linear feature counts must be positive".into(),
+            });
+        }
+        if prune_groups == 0 || in_features % prune_groups != 0 {
+            return Err(NnError::InvalidConfig {
+                reason: format!(
+                    "in_features {in_features} not divisible by prune_groups {prune_groups}"
+                ),
+            });
+        }
+        let limit = (6.0 / in_features as f32).sqrt();
+        let w = (0..in_features * out_features)
+            .map(|_| rng.gen_range(-limit..limit))
+            .collect();
+        Ok(Self {
+            name: name.into(),
+            in_features,
+            out_features,
+            prune_groups,
+            active: prune_groups,
+            trainable: 0..prune_groups,
+            w,
+            b: vec![0.0; out_features],
+            gw: vec![0.0; in_features * out_features],
+            gb: vec![0.0; out_features],
+            vw: vec![0.0; in_features * out_features],
+            vb: vec![0.0; out_features],
+            cache: None,
+        })
+    }
+
+    /// Number of input features at the current width.
+    pub fn active_in_features(&self) -> usize {
+        (self.in_features / self.prune_groups) * self.active
+    }
+
+    /// The nominal (full-width) input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// The output feature count (not width-scaled).
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    fn per_group(&self) -> usize {
+        self.in_features / self.prune_groups
+    }
+}
+
+impl Layer for Linear {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
+        let shape = input.shape();
+        let f_active = self.active_in_features();
+        if shape.len() != 2 || shape[1] != f_active {
+            return Err(NnError::ShapeMismatch {
+                context: format!("linear `{}` forward", self.name),
+                expected: vec![0, f_active],
+                actual: shape.to_vec(),
+            });
+        }
+        let n = shape[0];
+        let mut out = Tensor::zeros(&[n, self.out_features]);
+        let x = input.data();
+        let o = out.data_mut();
+        for ni in 0..n {
+            let xrow = &x[ni * f_active..(ni + 1) * f_active];
+            for of in 0..self.out_features {
+                let wrow = &self.w[of * self.in_features..of * self.in_features + f_active];
+                let mut acc = self.b[of];
+                for (wi, xi) in wrow.iter().zip(xrow) {
+                    acc += wi * xi;
+                }
+                o[ni * self.out_features + of] = acc;
+            }
+        }
+        if train {
+            self.cache = Some(input.clone());
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let input = self.cache.as_ref().ok_or_else(|| NnError::InvalidConfig {
+            reason: format!("linear `{}`: backward before training forward", self.name),
+        })?;
+        let f_active = self.active_in_features();
+        let n = input.shape()[0];
+        grad_out.expect_shape(&[n, self.out_features], "linear backward")?;
+
+        let mut grad_in = Tensor::zeros(&[n, f_active]);
+        let x = input.data();
+        let go = grad_out.data();
+        let gi = grad_in.data_mut();
+        for ni in 0..n {
+            let xrow = &x[ni * f_active..(ni + 1) * f_active];
+            for of in 0..self.out_features {
+                let g = go[ni * self.out_features + of];
+                if g == 0.0 {
+                    continue;
+                }
+                self.gb[of] += g;
+                let wbase = of * self.in_features;
+                for fi in 0..f_active {
+                    self.gw[wbase + fi] += g * xrow[fi];
+                    gi[ni * f_active + fi] += g * self.w[wbase + fi];
+                }
+            }
+        }
+        Ok(grad_in)
+    }
+
+    fn sgd_step(&mut self, lr: f32, momentum: f32) {
+        let per_group = self.per_group();
+        let in_features = self.in_features;
+        let trainable = self.trainable.clone();
+        let active = self.active;
+        sgd_update(&mut self.w, &self.gw, &mut self.vw, lr, momentum, |wi| {
+            let fi = wi % in_features;
+            let g = fi / per_group;
+            g >= active || !trainable.contains(&g)
+        });
+        // The shared bias belongs to group 0: training it during later
+        // incremental steps would silently change the outputs of earlier
+        // (frozen) width configurations, breaking the paper's
+        // switch-without-retraining property.
+        let bias_frozen = !trainable.contains(&0);
+        sgd_update(&mut self.b, &self.gb, &mut self.vb, lr, momentum, |_| bias_frozen);
+    }
+
+    fn zero_grads(&mut self) {
+        self.gw.fill(0.0);
+        self.gb.fill(0.0);
+    }
+
+    fn set_active_groups(&mut self, active: usize) -> Result<()> {
+        if active == 0 || active > self.prune_groups {
+            return Err(NnError::InvalidGroup {
+                reason: format!(
+                    "linear `{}`: active groups {} not in 1..={}",
+                    self.name, active, self.prune_groups
+                ),
+            });
+        }
+        self.active = active;
+        self.cache = None;
+        Ok(())
+    }
+
+    fn set_trainable_groups(&mut self, groups: Range<usize>) {
+        self.trainable = groups;
+    }
+
+    fn cost(&self, in_shape: &[usize]) -> Result<LayerCost> {
+        let f_active = self.active_in_features();
+        if in_shape != [f_active] {
+            return Err(NnError::ShapeMismatch {
+                context: format!("linear `{}` cost", self.name),
+                expected: vec![f_active],
+                actual: in_shape.to_vec(),
+            });
+        }
+        Ok(LayerCost {
+            macs: (f_active * self.out_features) as f64,
+            params: f_active * self.out_features + self.out_features,
+            out_shape: vec![self.out_features],
+        })
+    }
+
+    fn param_count_total(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+
+    fn quantize_weights(&mut self, bits: u32) {
+        crate::quant::quantize_slice(&mut self.w, bits);
+        crate::quant::quantize_slice(&mut self.b, bits);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(Linear::new("l", 0, 4, 1, &mut rng()).is_err());
+        assert!(Linear::new("l", 8, 0, 1, &mut rng()).is_err());
+        assert!(Linear::new("l", 8, 4, 3, &mut rng()).is_err());
+        assert!(Linear::new("l", 8, 4, 0, &mut rng()).is_err());
+        assert!(Linear::new("l", 8, 4, 4, &mut rng()).is_ok());
+    }
+
+    #[test]
+    fn known_value_forward() {
+        let mut l = Linear::new("l", 2, 2, 1, &mut rng()).unwrap();
+        l.w.copy_from_slice(&[1.0, 2.0, 3.0, 4.0]); // row 0: [1,2], row 1: [3,4]
+        l.b.copy_from_slice(&[0.5, -0.5]);
+        let x = Tensor::from_vec(&[1, 2], vec![1.0, 1.0]).unwrap();
+        let y = l.forward(&x, false).unwrap();
+        assert_eq!(y.data(), &[3.5, 6.5]);
+    }
+
+    #[test]
+    fn width_scaling_uses_weight_prefix() {
+        let mut l = Linear::new("l", 4, 1, 4, &mut rng()).unwrap();
+        l.w.copy_from_slice(&[1.0, 10.0, 100.0, 1000.0]);
+        l.b[0] = 0.0;
+        l.set_active_groups(2).unwrap();
+        let x = Tensor::from_vec(&[1, 2], vec![1.0, 1.0]).unwrap();
+        let y = l.forward(&x, false).unwrap();
+        assert_eq!(y.data(), &[11.0], "only the first two columns participate");
+    }
+
+    #[test]
+    fn forward_shape_validation_tracks_width() {
+        let mut l = Linear::new("l", 4, 2, 4, &mut rng()).unwrap();
+        l.set_active_groups(1).unwrap();
+        assert!(l.forward(&Tensor::zeros(&[1, 4]), false).is_err());
+        assert!(l.forward(&Tensor::zeros(&[1, 1]), false).is_ok());
+    }
+
+    #[test]
+    fn gradient_check() {
+        let mut l = Linear::new("l", 6, 3, 3, &mut rng()).unwrap();
+        let mut r = rng();
+        let x = Tensor::from_vec(&[2, 6], (0..12).map(|_| r.gen_range(-1.0f32..1.0)).collect())
+            .unwrap();
+        let y = l.forward(&x, true).unwrap();
+        let go = Tensor::full(y.shape(), 1.0);
+        let gx = l.backward(&go).unwrap();
+
+        let eps = 1e-3_f32;
+        for &wi in &[0usize, 7, 17] {
+            let orig = l.w[wi];
+            l.w[wi] = orig + eps;
+            let lp = l.forward(&x, false).unwrap().sum();
+            l.w[wi] = orig - eps;
+            let lm = l.forward(&x, false).unwrap().sum();
+            l.w[wi] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - l.gw[wi]).abs() < 2e-2,
+                "weight {wi}: numeric {numeric} vs {}",
+                l.gw[wi]
+            );
+        }
+        for &xi in &[0usize, 11] {
+            let mut x2 = x.clone();
+            x2.data_mut()[xi] += eps;
+            let lp = l.forward(&x2, false).unwrap().sum();
+            x2.data_mut()[xi] -= 2.0 * eps;
+            let lm = l.forward(&x2, false).unwrap().sum();
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!((numeric - gx.data()[xi]).abs() < 2e-2);
+        }
+        // dL/db = batch size per output.
+        assert!((l.gb[0] - 2.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn sgd_freezes_earlier_group_columns() {
+        let mut l = Linear::new("l", 4, 2, 4, &mut rng()).unwrap();
+        let w0 = l.w.clone();
+        l.set_active_groups(2).unwrap();
+        l.set_trainable_groups(1..2);
+        let x = Tensor::full(&[1, 2], 1.0);
+        let y = l.forward(&x, true).unwrap();
+        let _ = l.backward(&Tensor::full(y.shape(), 1.0)).unwrap();
+        l.sgd_step(0.1, 0.0);
+        // Column 0 (group 0) frozen, column 1 (group 1) updated, columns
+        // 2-3 inactive.
+        for of in 0..2 {
+            assert_eq!(l.w[of * 4], w0[of * 4], "group-0 column frozen");
+            assert_ne!(l.w[of * 4 + 1], w0[of * 4 + 1], "group-1 column updated");
+            assert_eq!(l.w[of * 4 + 2], w0[of * 4 + 2], "inactive column");
+            assert_eq!(l.w[of * 4 + 3], w0[of * 4 + 3], "inactive column");
+        }
+        // Bias belongs to group 0, which is frozen here.
+        assert_eq!(l.b[0], 0.0);
+    }
+
+    #[test]
+    fn bias_trains_with_group_zero() {
+        let mut l = Linear::new("l", 4, 2, 4, &mut rng()).unwrap();
+        l.set_trainable_groups(0..1);
+        let x = Tensor::full(&[1, 4], 1.0);
+        let y = l.forward(&x, true).unwrap();
+        let _ = l.backward(&Tensor::full(y.shape(), 1.0)).unwrap();
+        l.sgd_step(0.1, 0.0);
+        assert_ne!(l.b[0], 0.0, "bias updates while group 0 is trainable");
+    }
+
+    #[test]
+    fn cost_scales_with_width() {
+        let mut l = Linear::new("l", 8, 10, 4, &mut rng()).unwrap();
+        let full = l.cost(&[8]).unwrap();
+        assert_eq!(full.macs, 80.0);
+        assert_eq!(full.params, 90);
+        l.set_active_groups(1).unwrap();
+        let quarter = l.cost(&[2]).unwrap();
+        assert_eq!(quarter.macs, 20.0);
+        assert_eq!(quarter.out_shape, vec![10]);
+        assert_eq!(l.param_count_total(), 90);
+    }
+
+    #[test]
+    fn backward_without_forward_errors() {
+        let mut l = Linear::new("l", 4, 2, 1, &mut rng()).unwrap();
+        assert!(l.backward(&Tensor::zeros(&[1, 2])).is_err());
+    }
+}

@@ -1,0 +1,170 @@
+//! Softmax cross-entropy loss with a numerically stable fused
+//! implementation.
+
+use crate::error::{NnError, Result};
+use crate::tensor::Tensor;
+
+/// Output of a loss evaluation: scalar loss plus gradient w.r.t. logits.
+#[derive(Debug, Clone)]
+pub struct LossOutput {
+    /// Mean cross-entropy over the batch.
+    pub loss: f32,
+    /// Gradient of the mean loss with respect to the logits, `[N, K]`.
+    pub grad_logits: Tensor,
+    /// Softmax probabilities, `[N, K]` (useful as a confidence monitor).
+    pub probs: Tensor,
+}
+
+/// Computes softmax probabilities row-wise for logits `[N, K]`.
+///
+/// # Errors
+///
+/// Returns [`NnError::ShapeMismatch`] if `logits` is not rank 2.
+pub fn softmax(logits: &Tensor) -> Result<Tensor> {
+    let shape = logits.shape();
+    if shape.len() != 2 {
+        return Err(NnError::ShapeMismatch {
+            context: "softmax".into(),
+            expected: vec![0, 0],
+            actual: shape.to_vec(),
+        });
+    }
+    let (n, k) = (shape[0], shape[1]);
+    let mut probs = logits.clone();
+    let data = probs.data_mut();
+    for ni in 0..n {
+        let row = &mut data[ni * k..(ni + 1) * k];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    Ok(probs)
+}
+
+/// Mean softmax cross-entropy of `logits` `[N, K]` against integer
+/// `labels` (length `N`), with gradient.
+///
+/// # Errors
+///
+/// Returns [`NnError::ShapeMismatch`] for rank/length mismatches and
+/// [`NnError::InvalidConfig`] for out-of-range labels.
+pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> Result<LossOutput> {
+    let shape = logits.shape();
+    if shape.len() != 2 || shape[0] != labels.len() {
+        return Err(NnError::ShapeMismatch {
+            context: "cross_entropy".into(),
+            expected: vec![labels.len(), 0],
+            actual: shape.to_vec(),
+        });
+    }
+    let (n, k) = (shape[0], shape[1]);
+    for (i, &l) in labels.iter().enumerate() {
+        if l >= k {
+            return Err(NnError::InvalidConfig {
+                reason: format!("label {l} at index {i} out of range for {k} classes"),
+            });
+        }
+    }
+    let probs = softmax(logits)?;
+    let mut grad = probs.clone();
+    let g = grad.data_mut();
+    let mut loss = 0.0;
+    let inv_n = 1.0 / n as f32;
+    for (ni, &label) in labels.iter().enumerate() {
+        let p = probs.at(&[ni, label]).max(1e-12);
+        loss -= p.ln();
+        g[ni * k + label] -= 1.0;
+    }
+    for v in g.iter_mut() {
+        *v *= inv_n;
+    }
+    Ok(LossOutput { loss: loss * inv_n, grad_logits: grad, probs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let logits = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]).unwrap();
+        let p = softmax(&logits).unwrap();
+        for ni in 0..2 {
+            let s: f32 = (0..3).map(|k| p.at(&[ni, k])).sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+        // Larger logit ⇒ larger probability.
+        assert!(p.at(&[0, 2]) > p.at(&[0, 1]));
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let a = Tensor::from_vec(&[1, 2], vec![1.0, 2.0]).unwrap();
+        let b = Tensor::from_vec(&[1, 2], vec![1001.0, 1002.0]).unwrap();
+        let pa = softmax(&a).unwrap();
+        let pb = softmax(&b).unwrap();
+        assert!((pa.at(&[0, 0]) - pb.at(&[0, 0])).abs() < 1e-6);
+        assert!(pb.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn uniform_logits_give_ln_k_loss() {
+        let logits = Tensor::zeros(&[4, 10]);
+        let labels = [0, 3, 7, 9];
+        let out = cross_entropy(&logits, &labels).unwrap();
+        assert!((out.loss - 10.0f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn perfect_prediction_gives_near_zero_loss() {
+        let mut logits = Tensor::zeros(&[1, 3]);
+        *logits.at_mut(&[0, 1]) = 50.0;
+        let out = cross_entropy(&logits, &[1]).unwrap();
+        assert!(out.loss < 1e-5);
+    }
+
+    #[test]
+    fn gradient_matches_softmax_minus_onehot() {
+        let logits = Tensor::from_vec(&[1, 3], vec![0.5, 1.5, -0.5]).unwrap();
+        let out = cross_entropy(&logits, &[2]).unwrap();
+        let p = softmax(&logits).unwrap();
+        assert!((out.grad_logits.at(&[0, 0]) - p.at(&[0, 0])).abs() < 1e-6);
+        assert!((out.grad_logits.at(&[0, 2]) - (p.at(&[0, 2]) - 1.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradient_finite_difference_check() {
+        let logits = Tensor::from_vec(&[2, 3], vec![0.1, -0.2, 0.3, 1.0, 0.0, -1.0]).unwrap();
+        let labels = [2, 0];
+        let out = cross_entropy(&logits, &labels).unwrap();
+        let eps = 1e-3;
+        for i in 0..6 {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= eps;
+            let numeric = (cross_entropy(&lp, &labels).unwrap().loss
+                - cross_entropy(&lm, &labels).unwrap().loss)
+                / (2.0 * eps);
+            assert!(
+                (numeric - out.grad_logits.data()[i]).abs() < 1e-3,
+                "logit {i}: numeric {numeric} vs {}",
+                out.grad_logits.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let logits = Tensor::zeros(&[2, 3]);
+        assert!(cross_entropy(&logits, &[0]).is_err(), "label count mismatch");
+        assert!(cross_entropy(&logits, &[0, 3]).is_err(), "label out of range");
+        assert!(softmax(&Tensor::zeros(&[3])).is_err(), "rank-1 logits");
+    }
+}

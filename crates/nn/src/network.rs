@@ -1,0 +1,370 @@
+//! Sequential networks of [`Layer`]s with shared width control.
+//!
+//! [`Network`] owns the layer stack and propagates the dynamic-DNN group
+//! state (active width, trainable range) to every layer, so the rest of the
+//! system can treat "the model" as a single object with a width knob — the
+//! *application knob* of the paper's Fig 5.
+
+use std::fmt;
+use std::ops::Range;
+
+use crate::error::{NnError, Result};
+use crate::layer::{Layer, LayerCost};
+use crate::loss::{cross_entropy, LossOutput};
+use crate::tensor::Tensor;
+
+/// Aggregate cost of a forward pass at some width.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkCost {
+    /// Total multiply-accumulates per sample.
+    pub macs: f64,
+    /// Parameters actually used at this width.
+    pub params: usize,
+    /// Parameters stored in memory regardless of width (single-model
+    /// footprint).
+    pub params_total: usize,
+    /// Per-layer breakdown `(layer name, cost)`.
+    pub per_layer: Vec<(String, LayerCost)>,
+}
+
+/// A feed-forward stack of layers ending in logits.
+pub struct Network {
+    layers: Vec<Box<dyn Layer>>,
+    groups: usize,
+    active: usize,
+    input_shape: Vec<usize>,
+}
+
+impl fmt::Debug for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Network({} layers, {}/{} groups active, input {:?})",
+            self.layers.len(),
+            self.active,
+            self.groups,
+            self.input_shape
+        )
+    }
+}
+
+impl Network {
+    /// Builds a network from layers.
+    ///
+    /// `groups` is the dynamic-DNN partition count `G`; `input_shape` is the
+    /// per-sample input shape (no batch axis), used for cost computation and
+    /// input validation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] if no layers are given or
+    /// `groups == 0`.
+    pub fn new(
+        layers: Vec<Box<dyn Layer>>,
+        groups: usize,
+        input_shape: Vec<usize>,
+    ) -> Result<Self> {
+        if layers.is_empty() {
+            return Err(NnError::InvalidConfig { reason: "network has no layers".into() });
+        }
+        if groups == 0 {
+            return Err(NnError::InvalidConfig { reason: "groups must be positive".into() });
+        }
+        Ok(Self { layers, groups, active: groups, input_shape })
+    }
+
+    /// The group partition count `G`.
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+
+    /// Currently active group count `g ∈ 1..=G`.
+    pub fn active_groups(&self) -> usize {
+        self.active
+    }
+
+    /// Per-sample input shape.
+    pub fn input_shape(&self) -> &[usize] {
+        &self.input_shape
+    }
+
+    /// Number of layers.
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Sets the active width on every layer (the runtime knob of Fig 3c).
+    ///
+    /// Switching width never touches parameters: it is free of retraining
+    /// by construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidGroup`] if `active` is zero or greater
+    /// than `G`.
+    pub fn set_active_groups(&mut self, active: usize) -> Result<()> {
+        if active == 0 || active > self.groups {
+            return Err(NnError::InvalidGroup {
+                reason: format!("active groups {active} not in 1..={}", self.groups),
+            });
+        }
+        for layer in &mut self.layers {
+            layer.set_active_groups(active)?;
+        }
+        self.active = active;
+        Ok(())
+    }
+
+    /// Sets the trainable group range on every layer (the freeze schedule
+    /// of Fig 3b).
+    pub fn set_trainable_groups(&mut self, range: Range<usize>) {
+        for layer in &mut self.layers {
+            layer.set_trainable_groups(range.clone());
+        }
+    }
+
+    /// Runs the network forward. `input` is `[N, …input_shape]` except that
+    /// channel-partitioned inputs are *not* width-scaled (the image always
+    /// has 3 channels); width applies to internal layers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer shape errors.
+    pub fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, train)?;
+        }
+        Ok(x)
+    }
+
+    /// Forward + loss + full backward pass; returns the loss output.
+    ///
+    /// Gradients accumulate in the layers; call [`Network::sgd_step`] then
+    /// [`Network::zero_grads`] (or use [`crate::train`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer and loss errors.
+    pub fn train_batch(&mut self, input: &Tensor, labels: &[usize]) -> Result<LossOutput> {
+        let logits = self.forward(input, true)?;
+        let out = cross_entropy(&logits, labels)?;
+        let mut grad = out.grad_logits.clone();
+        for layer in self.layers.iter_mut().rev() {
+            grad = layer.backward(&grad)?;
+        }
+        Ok(out)
+    }
+
+    /// Applies one SGD-with-momentum step to every layer.
+    pub fn sgd_step(&mut self, lr: f32, momentum: f32) {
+        for layer in &mut self.layers {
+            layer.sgd_step(lr, momentum);
+        }
+    }
+
+    /// Clears accumulated gradients in every layer.
+    pub fn zero_grads(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grads();
+        }
+    }
+
+    /// Predicts class indices for a batch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer shape errors.
+    pub fn predict(&mut self, input: &Tensor) -> Result<Vec<usize>> {
+        let logits = self.forward(input, false)?;
+        let shape = logits.shape();
+        let (n, k) = (shape[0], shape[1]);
+        let data = logits.data();
+        Ok((0..n)
+            .map(|ni| {
+                let row = &data[ni * k..(ni + 1) * k];
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+                    .map(|(i, _)| i)
+                    .expect("non-empty logits row")
+            })
+            .collect())
+    }
+
+    /// Cost of one forward pass at the current width.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer cost errors (shape-propagation failures indicate an
+    /// inconsistent architecture).
+    pub fn cost(&self) -> Result<NetworkCost> {
+        let mut shape = self.input_shape.clone();
+        let mut macs = 0.0;
+        let mut params = 0;
+        let mut params_total = 0;
+        let mut per_layer = Vec::with_capacity(self.layers.len());
+        for layer in &self.layers {
+            let c = layer.cost(&shape)?;
+            macs += c.macs;
+            params += c.params;
+            params_total += layer.param_count_total();
+            shape = c.out_shape.clone();
+            per_layer.push((layer.name().to_string(), c));
+        }
+        Ok(NetworkCost { macs, params, params_total, per_layer })
+    }
+
+    /// Applies weight quantization to every layer (used by
+    /// [`crate::quant::quantize_network`], which validates `bits`).
+    pub(crate) fn quantize_weights_internal(&mut self, bits: u32) {
+        for layer in &mut self.layers {
+            layer.quantize_weights(bits);
+        }
+    }
+
+    /// Cost at a specific width without disturbing the current width.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Network::set_active_groups`] and
+    /// [`Network::cost`].
+    pub fn cost_at(&mut self, active: usize) -> Result<NetworkCost> {
+        let prev = self.active;
+        self.set_active_groups(active)?;
+        let cost = self.cost();
+        self.set_active_groups(prev)?;
+        cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::{Flatten, Relu};
+    use crate::conv::{Conv2d, Conv2dConfig};
+    use crate::linear::Linear;
+    use crate::pool::MaxPool2d;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_net(groups: usize) -> Network {
+        let mut rng = StdRng::seed_from_u64(1);
+        let conv = Conv2d::new(
+            "conv1",
+            Conv2dConfig {
+                in_channels: 1,
+                out_channels: 4,
+                kernel: 3,
+                stride: 1,
+                padding: 1,
+                conv_groups: 1,
+                prune_groups: groups,
+            },
+            &mut rng,
+        )
+        .unwrap();
+        let fc = Linear::new("fc", 4 * 4 * 4, 3, groups, &mut rng).unwrap();
+        Network::new(
+            vec![
+                Box::new(conv),
+                Box::new(Relu::new("relu1")),
+                Box::new(MaxPool2d::new("pool1", 2)),
+                Box::new(Flatten::new("flatten")),
+                Box::new(fc),
+            ],
+            groups,
+            vec![1, 8, 8],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn forward_produces_logits() {
+        let mut net = tiny_net(2);
+        let x = Tensor::zeros(&[2, 1, 8, 8]);
+        let y = net.forward(&x, false).unwrap();
+        assert_eq!(y.shape(), &[2, 3]);
+    }
+
+    #[test]
+    fn width_switch_propagates_to_all_layers() {
+        let mut net = tiny_net(2);
+        net.set_active_groups(1).unwrap();
+        let y = net.forward(&Tensor::zeros(&[1, 1, 8, 8]), false).unwrap();
+        assert_eq!(y.shape(), &[1, 3]);
+        assert_eq!(net.active_groups(), 1);
+        assert!(net.set_active_groups(0).is_err());
+        assert!(net.set_active_groups(3).is_err());
+    }
+
+    #[test]
+    fn train_batch_reduces_loss() {
+        let mut net = tiny_net(2);
+        let mut rng = StdRng::seed_from_u64(9);
+        use rand::Rng;
+        let x = Tensor::from_vec(
+            &[4, 1, 8, 8],
+            (0..256).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+        )
+        .unwrap();
+        let labels = [0usize, 1, 2, 0];
+        let first = net.train_batch(&x, &labels).unwrap().loss;
+        for _ in 0..30 {
+            net.zero_grads();
+            let _ = net.train_batch(&x, &labels).unwrap();
+            net.sgd_step(0.05, 0.9);
+        }
+        net.zero_grads();
+        let last = net.train_batch(&x, &labels).unwrap().loss;
+        assert!(
+            last < first * 0.5,
+            "loss should halve when overfitting 4 samples: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn predict_matches_argmax_of_forward() {
+        let mut net = tiny_net(2);
+        let x = Tensor::full(&[2, 1, 8, 8], 0.3);
+        let logits = net.forward(&x, false).unwrap();
+        let preds = net.predict(&x).unwrap();
+        for (ni, &p) in preds.iter().enumerate() {
+            for k in 0..3 {
+                assert!(logits.at(&[ni, p]) >= logits.at(&[ni, k]));
+            }
+        }
+    }
+
+    #[test]
+    fn cost_shape_propagation() {
+        let mut net = tiny_net(2);
+        let full = net.cost().unwrap();
+        assert!(full.macs > 0.0);
+        assert_eq!(full.per_layer.len(), 5);
+        // conv: 4*8*8*1*9 = 2304 MACs, fc: 64*3 = 192.
+        assert_eq!(full.macs, 2304.0 + 192.0);
+        let half = net.cost_at(1).unwrap();
+        assert!(half.macs < full.macs);
+        // cost_at restores the previous width.
+        assert_eq!(net.active_groups(), 2);
+        // Total (stored) params don't depend on width.
+        assert_eq!(half.params_total, full.params_total);
+        assert!(half.params < full.params);
+    }
+
+    #[test]
+    fn empty_network_rejected() {
+        assert!(Network::new(vec![], 4, vec![1]).is_err());
+        let mut rng = StdRng::seed_from_u64(0);
+        let fc = Linear::new("fc", 4, 2, 1, &mut rng).unwrap();
+        assert!(Network::new(vec![Box::new(fc)], 0, vec![4]).is_err());
+    }
+
+    #[test]
+    fn debug_shows_width_state() {
+        let net = tiny_net(2);
+        let s = format!("{net:?}");
+        assert!(s.contains("2/2 groups"));
+    }
+}

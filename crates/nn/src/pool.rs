@@ -1,0 +1,291 @@
+//! Spatial pooling layers.
+
+use crate::error::{NnError, Result};
+use crate::layer::{Layer, LayerCost};
+use crate::tensor::Tensor;
+
+/// 2-D max pooling with square window and stride equal to the window size.
+#[derive(Debug)]
+pub struct MaxPool2d {
+    name: String,
+    window: usize,
+    /// Cached argmax offsets (into the input data) for backward.
+    argmax: Option<(Vec<usize>, Vec<usize>)>, // (input shape flattened marker, offsets)
+    in_shape: Option<Vec<usize>>,
+}
+
+impl MaxPool2d {
+    /// Creates a max-pool layer with a `window × window` kernel and the same
+    /// stride.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero (programmer error).
+    pub fn new(name: impl Into<String>, window: usize) -> Self {
+        assert!(window > 0, "pool window must be positive");
+        Self { name: name.into(), window, argmax: None, in_shape: None }
+    }
+
+    fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        (h / self.window, w / self.window)
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
+        let shape = input.shape();
+        if shape.len() != 4 {
+            return Err(NnError::ShapeMismatch {
+                context: format!("maxpool `{}` forward", self.name),
+                expected: vec![0, 0, 0, 0],
+                actual: shape.to_vec(),
+            });
+        }
+        let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        if h < self.window || w < self.window {
+            return Err(NnError::ShapeMismatch {
+                context: format!(
+                    "maxpool `{}`: input {h}x{w} smaller than window {}",
+                    self.name, self.window
+                ),
+                expected: vec![self.window, self.window],
+                actual: vec![h, w],
+            });
+        }
+        let (oh, ow) = self.out_hw(h, w);
+        let mut out = Tensor::zeros(&[n, c, oh, ow]);
+        let mut offsets = vec![0usize; n * c * oh * ow];
+        let x = input.data();
+        let o = out.data_mut();
+        let mut oi = 0;
+        for ni in 0..n {
+            for ci in 0..c {
+                let plane = (ni * c + ci) * h * w;
+                for ohy in 0..oh {
+                    for owx in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_off = 0;
+                        for ky in 0..self.window {
+                            for kx in 0..self.window {
+                                let iy = ohy * self.window + ky;
+                                let ix = owx * self.window + kx;
+                                let off = plane + iy * w + ix;
+                                if x[off] > best {
+                                    best = x[off];
+                                    best_off = off;
+                                }
+                            }
+                        }
+                        o[oi] = best;
+                        offsets[oi] = best_off;
+                        oi += 1;
+                    }
+                }
+            }
+        }
+        if train {
+            self.argmax = Some((vec![x.len()], offsets));
+            self.in_shape = Some(shape.to_vec());
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let (marker, offsets) =
+            self.argmax.as_ref().ok_or_else(|| NnError::InvalidConfig {
+                reason: format!("maxpool `{}`: backward before training forward", self.name),
+            })?;
+        if grad_out.len() != offsets.len() {
+            return Err(NnError::ShapeMismatch {
+                context: format!("maxpool `{}` backward", self.name),
+                expected: vec![offsets.len()],
+                actual: vec![grad_out.len()],
+            });
+        }
+        let in_shape = self.in_shape.as_ref().expect("set with argmax");
+        let mut grad_in = Tensor::zeros(in_shape);
+        debug_assert_eq!(grad_in.len(), marker[0]);
+        let gi = grad_in.data_mut();
+        for (o, &off) in grad_out.data().iter().zip(offsets) {
+            gi[off] += o;
+        }
+        Ok(grad_in)
+    }
+
+    fn cost(&self, in_shape: &[usize]) -> Result<LayerCost> {
+        if in_shape.len() != 3 {
+            return Err(NnError::ShapeMismatch {
+                context: format!("maxpool `{}` cost", self.name),
+                expected: vec![0, 0, 0],
+                actual: in_shape.to_vec(),
+            });
+        }
+        let (oh, ow) = self.out_hw(in_shape[1], in_shape[2]);
+        Ok(LayerCost {
+            macs: 0.0,
+            params: 0,
+            out_shape: vec![in_shape[0], oh, ow],
+        })
+    }
+}
+
+/// Global average pooling: `[N, C, H, W] → [N, C]`.
+#[derive(Debug, Default)]
+pub struct GlobalAvgPool {
+    name: String,
+    in_shape: Option<Vec<usize>>,
+}
+
+impl GlobalAvgPool {
+    /// Creates a named global-average-pool layer.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), in_shape: None }
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
+        let shape = input.shape();
+        if shape.len() != 4 {
+            return Err(NnError::ShapeMismatch {
+                context: format!("gap `{}` forward", self.name),
+                expected: vec![0, 0, 0, 0],
+                actual: shape.to_vec(),
+            });
+        }
+        let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        let hw = (h * w) as f32;
+        let mut out = Tensor::zeros(&[n, c]);
+        let x = input.data();
+        let o = out.data_mut();
+        for ni in 0..n {
+            for ci in 0..c {
+                let plane = (ni * c + ci) * h * w;
+                let s: f32 = x[plane..plane + h * w].iter().sum();
+                o[ni * c + ci] = s / hw;
+            }
+        }
+        if train {
+            self.in_shape = Some(shape.to_vec());
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let shape = self.in_shape.clone().ok_or_else(|| NnError::InvalidConfig {
+            reason: format!("gap `{}`: backward before training forward", self.name),
+        })?;
+        let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        grad_out.expect_shape(&[n, c], "global avg pool backward")?;
+        let hw = (h * w) as f32;
+        let mut grad_in = Tensor::zeros(&shape);
+        let gi = grad_in.data_mut();
+        for ni in 0..n {
+            for ci in 0..c {
+                let g = grad_out.at(&[ni, ci]) / hw;
+                let plane = (ni * c + ci) * h * w;
+                for v in &mut gi[plane..plane + h * w] {
+                    *v = g;
+                }
+            }
+        }
+        Ok(grad_in)
+    }
+
+    fn cost(&self, in_shape: &[usize]) -> Result<LayerCost> {
+        if in_shape.len() != 3 {
+            return Err(NnError::ShapeMismatch {
+                context: format!("gap `{}` cost", self.name),
+                expected: vec![0, 0, 0],
+                actual: in_shape.to_vec(),
+            });
+        }
+        Ok(LayerCost { macs: 0.0, params: 0, out_shape: vec![in_shape[0]] })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool_forward_picks_window_max() {
+        let mut p = MaxPool2d::new("p", 2);
+        let x = Tensor::from_vec(
+            &[1, 1, 2, 4],
+            vec![1.0, 2.0, 5.0, 3.0, 4.0, 0.0, -1.0, 6.0],
+        )
+        .unwrap();
+        let y = p.forward(&x, false).unwrap();
+        assert_eq!(y.shape(), &[1, 1, 1, 2]);
+        assert_eq!(y.data(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_gradient_to_argmax() {
+        let mut p = MaxPool2d::new("p", 2);
+        let x = Tensor::from_vec(
+            &[1, 1, 2, 2],
+            vec![1.0, 9.0, 3.0, 4.0],
+        )
+        .unwrap();
+        let _ = p.forward(&x, true).unwrap();
+        let g = Tensor::full(&[1, 1, 1, 1], 2.0);
+        let gi = p.backward(&g).unwrap();
+        assert_eq!(gi.data(), &[0.0, 2.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn maxpool_truncates_odd_sizes() {
+        let mut p = MaxPool2d::new("p", 2);
+        let x = Tensor::zeros(&[1, 1, 5, 5]);
+        let y = p.forward(&x, false).unwrap();
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn maxpool_rejects_small_input_and_bad_rank() {
+        let mut p = MaxPool2d::new("p", 4);
+        assert!(p.forward(&Tensor::zeros(&[1, 1, 2, 2]), false).is_err());
+        assert!(p.forward(&Tensor::zeros(&[1, 4]), false).is_err());
+    }
+
+    #[test]
+    fn maxpool_backward_needs_forward() {
+        let mut p = MaxPool2d::new("p", 2);
+        assert!(p.backward(&Tensor::zeros(&[1, 1, 1, 1])).is_err());
+    }
+
+    #[test]
+    fn gap_forward_and_backward() {
+        let mut g = GlobalAvgPool::new("g");
+        let x = Tensor::from_vec(&[1, 2, 2, 2], vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0])
+            .unwrap();
+        let y = g.forward(&x, true).unwrap();
+        assert_eq!(y.shape(), &[1, 2]);
+        assert_eq!(y.data(), &[2.5, 10.0]);
+        let go = Tensor::from_vec(&[1, 2], vec![4.0, 8.0]).unwrap();
+        let gi = g.backward(&go).unwrap();
+        assert_eq!(gi.shape(), x.shape());
+        assert_eq!(gi.at(&[0, 0, 0, 0]), 1.0);
+        assert_eq!(gi.at(&[0, 1, 1, 1]), 2.0);
+    }
+
+    #[test]
+    fn pool_costs_propagate_shape() {
+        let p = MaxPool2d::new("p", 2);
+        assert_eq!(p.cost(&[8, 16, 16]).unwrap().out_shape, vec![8, 8, 8]);
+        let g = GlobalAvgPool::new("g");
+        assert_eq!(g.cost(&[8, 4, 4]).unwrap().out_shape, vec![8]);
+        assert!(p.cost(&[8, 16]).is_err());
+        assert!(g.cost(&[8]).is_err());
+    }
+}

@@ -1,0 +1,187 @@
+//! Post-training weight quantization — the *data precision* application
+//! knob of the paper's Fig 5.
+//!
+//! Alongside the width knob, the paper lists "data precision" among the
+//! application knobs an RTM can turn. This module implements symmetric
+//! uniform post-training quantization of layer weights: each layer's
+//! weights are snapped to a `2^(bits−1) − 1`-step grid scaled to the
+//! layer's absolute maximum. Inference then *simulates* reduced-precision
+//! execution (weights carry quantization error while arithmetic stays
+//! `f32`), which is the standard way to measure PTQ accuracy impact
+//! without integer kernels.
+//!
+//! Combined with [`crate::metrics::evaluate`], this yields the
+//! accuracy-vs-precision trade-off curve that an RTM could exploit on
+//! platforms with fast low-precision paths.
+
+use crate::error::{NnError, Result};
+use crate::network::Network;
+
+/// Quantizes a weight slice in place: symmetric uniform, per-tensor scale.
+///
+/// `bits` counts the sign bit, so `bits = 8` yields the `[-127, 127]` int8
+/// grid. Zero weights stay exactly zero; an all-zero tensor is unchanged.
+pub(crate) fn quantize_slice(w: &mut [f32], bits: u32) {
+    debug_assert!(bits >= 2);
+    let max_abs = w.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+    if max_abs == 0.0 {
+        return;
+    }
+    let levels = ((1u32 << (bits - 1)) - 1) as f32;
+    let scale = max_abs / levels;
+    for x in w.iter_mut() {
+        *x = (*x / scale).round() * scale;
+    }
+}
+
+/// Quantizes every parameterised layer of `net` to `bits`-bit weights.
+///
+/// This is destructive (the `f32` master weights are overwritten with
+/// their quantized values); rebuild and retrain (deterministically, from
+/// the same seed) to recover a full-precision model.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidConfig`] for `bits < 2` (a 1-bit symmetric
+/// grid has no non-zero levels) or `bits > 32`.
+pub fn quantize_network(net: &mut Network, bits: u32) -> Result<()> {
+    if !(2..=32).contains(&bits) {
+        return Err(NnError::InvalidConfig {
+            reason: format!("weight precision must be 2..=32 bits, got {bits}"),
+        });
+    }
+    net.quantize_weights_internal(bits);
+    Ok(())
+}
+
+/// Number of positive quantization levels of a `bits`-bit symmetric grid
+/// (`2^(bits−1) − 1`, e.g. 127 for int8).
+///
+/// # Errors
+///
+/// Same bit-width conditions as [`quantize_network`].
+pub fn quantized_bits_grid(bits: u32) -> Result<usize> {
+    if !(2..=32).contains(&bits) {
+        return Err(NnError::InvalidConfig {
+            reason: format!("weight precision must be 2..=32 bits, got {bits}"),
+        });
+    }
+    Ok(((1u64 << (bits - 1)) - 1) as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::{build_group_cnn, CnnConfig};
+    use crate::tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn slice_quantization_snaps_to_grid() {
+        let mut w = vec![0.5f32, -1.0, 0.26, 0.0];
+        quantize_slice(&mut w, 3); // levels = 3, scale = 1/3
+        let scale = 1.0f32 / 3.0;
+        for x in &w {
+            let q = x / scale;
+            assert!((q - q.round()).abs() < 1e-5, "{x} not on grid");
+        }
+        assert_eq!(w[3], 0.0, "zeros stay zero");
+        assert_eq!(w[1], -1.0, "max magnitude preserved");
+    }
+
+    #[test]
+    fn eight_bit_error_is_small() {
+        let mut w: Vec<f32> = (0..1000).map(|i| (i as f32 * 0.37).sin()).collect();
+        let orig = w.clone();
+        quantize_slice(&mut w, 8);
+        let max_err = w
+            .iter()
+            .zip(&orig)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        // Half a step of the 127-level grid.
+        assert!(max_err <= 1.0 / 127.0 / 2.0 + 1e-6, "max err {max_err}");
+    }
+
+    #[test]
+    fn all_zero_slice_unchanged() {
+        let mut w = vec![0.0f32; 8];
+        quantize_slice(&mut w, 8);
+        assert!(w.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn quantization_is_idempotent() {
+        let mut w = vec![0.9f32, -0.4, 0.1];
+        quantize_slice(&mut w, 6);
+        let once = w.clone();
+        quantize_slice(&mut w, 6);
+        assert_eq!(w, once);
+    }
+
+    #[test]
+    fn invalid_bit_widths_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut net = build_group_cnn(CnnConfig::default(), &mut rng).unwrap();
+        assert!(quantize_network(&mut net, 1).is_err());
+        assert!(quantize_network(&mut net, 33).is_err());
+        assert!(quantize_network(&mut net, 8).is_ok());
+        assert!(quantized_bits_grid(1).is_err());
+        assert_eq!(quantized_bits_grid(8).unwrap(), 127);
+    }
+
+    #[test]
+    fn eight_bit_network_outputs_stay_close() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut net = build_group_cnn(
+            CnnConfig { base_width: 8, ..CnnConfig::default() },
+            &mut rng,
+        )
+        .unwrap();
+        let x = Tensor::full(&[2, 3, 16, 16], 0.2);
+        let before = net.forward(&x, false).unwrap();
+        quantize_network(&mut net, 8).unwrap();
+        let after = net.forward(&x, false).unwrap();
+        let max_out = before.data().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        let max_diff = before
+            .data()
+            .iter()
+            .zip(after.data())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(
+            max_diff < 0.1 * max_out.max(1.0),
+            "8-bit quantization should barely perturb logits: {max_diff}"
+        );
+        // But 2-bit quantization visibly changes them.
+        quantize_network(&mut net, 2).unwrap();
+        let coarse = net.forward(&x, false).unwrap();
+        let coarse_diff = before
+            .data()
+            .iter()
+            .zip(coarse.data())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(coarse_diff > max_diff, "2-bit must hurt more than 8-bit");
+    }
+
+    #[test]
+    fn quantization_respects_width_switching() {
+        // Quantized weights still honour the no-retraining switch property.
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut net = build_group_cnn(
+            CnnConfig { base_width: 8, ..CnnConfig::default() },
+            &mut rng,
+        )
+        .unwrap();
+        quantize_network(&mut net, 8).unwrap();
+        let x = Tensor::full(&[1, 3, 16, 16], 0.3);
+        let full_before = net.forward(&x, false).unwrap();
+        net.set_active_groups(1).unwrap();
+        let _ = net.forward(&x, false).unwrap();
+        net.set_active_groups(4).unwrap();
+        let full_after = net.forward(&x, false).unwrap();
+        assert_eq!(full_before.data(), full_after.data());
+    }
+}

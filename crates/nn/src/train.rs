@@ -1,0 +1,269 @@
+//! Training loops: standard SGD and the paper's incremental (freeze-group)
+//! schedule.
+//!
+//! Incremental training (Fig 3b):
+//!
+//! ```text
+//! Initialization: all groups untrained.
+//! Step 1: train group 1 of all layers, ignore groups 2–G.
+//! Step k: train group k of all layers while incorporating the pretrained,
+//!         frozen groups 1..k; ignore groups k+1..G.
+//! ```
+//!
+//! After step `k`, configurations `1..=k` are all usable — switching between
+//! them at runtime needs no retraining, because earlier groups are frozen
+//! bit-identical while later groups learn around them.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::dataset::{make_batch, Sample};
+use crate::error::Result;
+use crate::metrics::{evaluate, Evaluation};
+use crate::network::Network;
+
+/// Hyper-parameters for one training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainConfig {
+    /// Passes over the training set.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Initial learning rate.
+    pub lr: f32,
+    /// SGD momentum.
+    pub momentum: f32,
+    /// Multiplicative learning-rate decay applied after each epoch.
+    pub lr_decay: f32,
+    /// Shuffle seed (training is fully deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 8,
+            batch_size: 32,
+            lr: 0.05,
+            momentum: 0.9,
+            lr_decay: 0.85,
+            seed: 7,
+        }
+    }
+}
+
+/// Per-epoch training statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochStats {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Mean training loss over the epoch.
+    pub loss: f32,
+    /// Learning rate used this epoch.
+    pub lr: f32,
+}
+
+/// Trains the network at its *current* width and trainable-group setting.
+///
+/// Returns per-epoch statistics. The caller controls width/freezing; for
+/// the paper's schedule use [`train_incremental`].
+///
+/// # Errors
+///
+/// Propagates network errors; returns an empty vec for an empty training
+/// set.
+pub fn train(net: &mut Network, samples: &[Sample], cfg: &TrainConfig) -> Result<Vec<EpochStats>> {
+    if samples.is_empty() {
+        return Ok(Vec::new());
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut indices: Vec<usize> = (0..samples.len()).collect();
+    let mut lr = cfg.lr;
+    let mut stats = Vec::with_capacity(cfg.epochs);
+    for epoch in 0..cfg.epochs {
+        indices.shuffle(&mut rng);
+        let mut loss_sum = 0.0f64;
+        let mut batches = 0usize;
+        for chunk in indices.chunks(cfg.batch_size.max(1)) {
+            let (x, labels) = make_batch(samples, chunk);
+            net.zero_grads();
+            let out = net.train_batch(&x, &labels)?;
+            net.sgd_step(lr, cfg.momentum);
+            loss_sum += out.loss as f64;
+            batches += 1;
+        }
+        stats.push(EpochStats {
+            epoch,
+            loss: (loss_sum / batches.max(1) as f64) as f32,
+            lr,
+        });
+        lr *= cfg.lr_decay;
+    }
+    Ok(stats)
+}
+
+/// Statistics of one incremental-training step.
+#[derive(Debug, Clone)]
+pub struct StepStats {
+    /// Group index that was trained (0-based).
+    pub group: usize,
+    /// Active width during this step (`group + 1` of `G`).
+    pub active_groups: usize,
+    /// Per-epoch loss curve of the step.
+    pub epochs: Vec<EpochStats>,
+    /// Evaluation at this width after the step, if a test set was given.
+    pub eval: Option<Evaluation>,
+}
+
+/// Report of a full incremental-training run.
+#[derive(Debug, Clone)]
+pub struct IncrementalReport {
+    /// One entry per group, in training order.
+    pub steps: Vec<StepStats>,
+}
+
+impl IncrementalReport {
+    /// Top-1 accuracy after each step (`None` entries skipped), i.e. the
+    /// accuracy of each width configuration — the paper's Fig 4(b) series.
+    pub fn accuracy_per_width(&self) -> Vec<f64> {
+        self.steps
+            .iter()
+            .filter_map(|s| s.eval.as_ref().map(|e| e.top1))
+            .collect()
+    }
+}
+
+/// Runs the paper's incremental-training schedule over all `G` groups.
+///
+/// After completion the network is at full width with every group
+/// populated; switching to any narrower width reuses the parameters frozen
+/// at the corresponding step.
+///
+/// # Errors
+///
+/// Propagates network errors.
+pub fn train_incremental(
+    net: &mut Network,
+    samples: &[Sample],
+    eval_samples: Option<&[Sample]>,
+    cfg: &TrainConfig,
+) -> Result<IncrementalReport> {
+    let groups = net.groups();
+    let mut steps = Vec::with_capacity(groups);
+    for g in 0..groups {
+        net.set_active_groups(g + 1)?;
+        net.set_trainable_groups(g..g + 1);
+        let step_cfg = TrainConfig { seed: cfg.seed.wrapping_add(g as u64), ..cfg.clone() };
+        let epochs = train(net, samples, &step_cfg)?;
+        let eval = match eval_samples {
+            Some(t) => Some(evaluate(net, t, cfg.batch_size.max(1))?),
+            None => None,
+        };
+        steps.push(StepStats { group: g, active_groups: g + 1, epochs, eval });
+    }
+    // Leave the network fully trainable at full width.
+    net.set_trainable_groups(0..groups);
+    Ok(IncrementalReport { steps })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::{build_group_cnn, CnnConfig};
+    use crate::dataset::{DatasetConfig, SyntheticVision};
+    use rand::rngs::StdRng;
+
+    fn quick_cfg() -> TrainConfig {
+        TrainConfig { epochs: 2, batch_size: 16, lr: 0.08, ..TrainConfig::default() }
+    }
+
+    fn small_setup() -> (Network, SyntheticVision) {
+        let data = SyntheticVision::generate(DatasetConfig::tiny());
+        let mut rng = StdRng::seed_from_u64(3);
+        let net = build_group_cnn(
+            CnnConfig { input: (3, 8, 8), classes: 4, groups: 2, base_width: 8 },
+            &mut rng,
+        )
+        .unwrap();
+        (net, data)
+    }
+
+    #[test]
+    fn loss_decreases_over_epochs() {
+        let (mut net, data) = small_setup();
+        let stats = train(&mut net, data.train(), &quick_cfg()).unwrap();
+        assert_eq!(stats.len(), 2);
+        assert!(
+            stats[1].loss < stats[0].loss,
+            "loss should fall: {} -> {}",
+            stats[0].loss,
+            stats[1].loss
+        );
+    }
+
+    #[test]
+    fn lr_decays_between_epochs() {
+        let (mut net, data) = small_setup();
+        let cfg = TrainConfig { epochs: 3, lr_decay: 0.5, ..quick_cfg() };
+        let stats = train(&mut net, data.train(), &cfg).unwrap();
+        assert!((stats[1].lr - stats[0].lr * 0.5).abs() < 1e-9);
+        assert!((stats[2].lr - stats[0].lr * 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_training_set_is_noop() {
+        let (mut net, _) = small_setup();
+        let stats = train(&mut net, &[], &quick_cfg()).unwrap();
+        assert!(stats.is_empty());
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let (mut a, data) = small_setup();
+        let (mut b, _) = small_setup();
+        let sa = train(&mut a, data.train(), &quick_cfg()).unwrap();
+        let sb = train(&mut b, data.train(), &quick_cfg()).unwrap();
+        for (x, y) in sa.iter().zip(&sb) {
+            assert_eq!(x.loss, y.loss);
+        }
+    }
+
+    #[test]
+    fn incremental_training_covers_all_groups() {
+        let (mut net, data) = small_setup();
+        let report =
+            train_incremental(&mut net, data.train(), Some(data.test()), &quick_cfg()).unwrap();
+        assert_eq!(report.steps.len(), 2);
+        assert_eq!(report.steps[0].active_groups, 1);
+        assert_eq!(report.steps[1].active_groups, 2);
+        assert_eq!(report.accuracy_per_width().len(), 2);
+        // Network ends at full width.
+        assert_eq!(net.active_groups(), 2);
+    }
+
+    #[test]
+    fn incremental_training_freezes_earlier_widths() {
+        // After the full schedule, switching back to width 1 must produce
+        // identical logits to what width 1 produced right after step 1:
+        // later steps may not disturb group-0 parameters.
+        let (mut net, data) = small_setup();
+        let x = crate::dataset::make_batch(data.test(), &[0, 1, 2]).0;
+
+        // Step 1 manually.
+        net.set_active_groups(1).unwrap();
+        net.set_trainable_groups(0..1);
+        train(&mut net, data.train(), &quick_cfg()).unwrap();
+        let logits_after_step1 = net.forward(&x, false).unwrap();
+
+        // Step 2.
+        net.set_active_groups(2).unwrap();
+        net.set_trainable_groups(1..2);
+        train(&mut net, data.train(), &quick_cfg()).unwrap();
+
+        // Back to width 1: bit-identical logits.
+        net.set_active_groups(1).unwrap();
+        let logits_now = net.forward(&x, false).unwrap();
+        assert_eq!(logits_after_step1.data(), logits_now.data());
+    }
+}

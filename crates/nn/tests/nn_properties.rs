@@ -1,0 +1,190 @@
+//! Property-based tests over the neural-network substrate: gradient
+//! correctness on random configurations, dataset determinism, quantization
+//! grids and the width-switching invariant.
+
+use eml_nn::arch::{build_group_cnn, CnnConfig};
+use eml_nn::conv::{Conv2d, Conv2dConfig};
+use eml_nn::dataset::{DatasetConfig, SyntheticVision};
+use eml_nn::layer::Layer;
+use eml_nn::linear::Linear;
+use eml_nn::loss::{cross_entropy, softmax};
+use eml_nn::quant::quantize_network;
+use eml_nn::tensor::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_tensor(shape: &[usize], seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let len = shape.iter().product();
+    Tensor::from_vec(shape, (0..len).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+        .expect("shape matches")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Convolution weight gradients match finite differences for random
+    /// shapes, strides, paddings and group structures.
+    #[test]
+    fn conv_gradients_match_finite_differences(
+        seed in 0u64..1000,
+        grouped in proptest::bool::ANY,
+        kernel in 1usize..=3,
+        padding in 0usize..=1,
+        stride in 1usize..=2,
+    ) {
+        let groups = 2;
+        let cfg = Conv2dConfig {
+            in_channels: 2,
+            out_channels: 4,
+            kernel,
+            stride,
+            padding,
+            conv_groups: if grouped { groups } else { 1 },
+            prune_groups: groups,
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut conv = Conv2d::new("c", cfg, &mut rng).expect("valid cfg");
+        let x = random_tensor(&[1, 2, 5, 5], seed ^ 0xABCD);
+        let y = conv.forward(&x, true).expect("forward");
+        let grad_out = Tensor::full(y.shape(), 1.0);
+        let gx = conv.backward(&grad_out).expect("backward");
+
+        // Numeric input-gradient check on a few positions.
+        let eps = 1e-2f32;
+        for &xi in &[0usize, 13, 24, 49] {
+            let mut xp = x.clone();
+            xp.data_mut()[xi] += eps;
+            let lp = conv.forward(&xp, false).expect("fwd").sum();
+            let mut xm = x.clone();
+            xm.data_mut()[xi] -= eps;
+            let lm = conv.forward(&xm, false).expect("fwd").sum();
+            let numeric = (lp - lm) / (2.0 * eps);
+            prop_assert!(
+                (numeric - gx.data()[xi]).abs() < 5e-2,
+                "input {xi}: numeric {numeric} vs analytic {}",
+                gx.data()[xi]
+            );
+        }
+    }
+
+    /// Linear layers: output is linear in the input (additivity check on
+    /// random widths).
+    #[test]
+    fn linear_layer_is_linear(seed in 0u64..1000, out_features in 1usize..6) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut l = Linear::new("l", 8, out_features, 4, &mut rng).expect("valid");
+        let a = random_tensor(&[1, 8], seed ^ 1);
+        let b = random_tensor(&[1, 8], seed ^ 2);
+        let sum = Tensor::from_vec(
+            &[1, 8],
+            a.data().iter().zip(b.data()).map(|(x, y)| x + y).collect(),
+        )
+        .expect("shape");
+        let ya = l.forward(&a, false).expect("fwd");
+        let yb = l.forward(&b, false).expect("fwd");
+        let ys = l.forward(&sum, false).expect("fwd");
+        // f(a) + f(b) - f(0) = f(a + b) for affine f.
+        let zero = Tensor::zeros(&[1, 8]);
+        let y0 = l.forward(&zero, false).expect("fwd");
+        for i in 0..out_features {
+            let lhs = ya.data()[i] + yb.data()[i] - y0.data()[i];
+            prop_assert!((lhs - ys.data()[i]).abs() < 1e-4);
+        }
+    }
+
+    /// Softmax + cross-entropy: loss is non-negative and gradient rows sum
+    /// to zero for arbitrary logits.
+    #[test]
+    fn loss_invariants(seed in 0u64..5000, classes in 2usize..8, n in 1usize..5) {
+        let logits = random_tensor(&[n, classes], seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 7);
+        let labels: Vec<usize> = (0..n).map(|_| rng.gen_range(0..classes)).collect();
+        let out = cross_entropy(&logits, &labels).expect("valid");
+        prop_assert!(out.loss >= 0.0);
+        for ni in 0..n {
+            let row_sum: f32 = (0..classes).map(|k| out.grad_logits.at(&[ni, k])).sum();
+            prop_assert!(row_sum.abs() < 1e-5, "gradient rows must sum to zero");
+        }
+        let probs = softmax(&logits).expect("valid");
+        prop_assert!(probs.data().iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    /// Dataset generation is a pure function of its configuration.
+    #[test]
+    fn dataset_determinism(seed in 0u64..200) {
+        let cfg = DatasetConfig { seed, ..DatasetConfig::tiny() };
+        let a = SyntheticVision::generate(cfg.clone());
+        let b = SyntheticVision::generate(cfg);
+        prop_assert_eq!(a.train().len(), b.train().len());
+        for (x, y) in a.train().iter().zip(b.train()) {
+            prop_assert_eq!(x.label, y.label);
+            prop_assert_eq!(x.image.data(), y.image.data());
+        }
+    }
+
+    /// The width-switch invariant holds for arbitrary untrained networks:
+    /// visiting other widths never changes full-width outputs.
+    #[test]
+    fn width_switching_is_pure(seed in 0u64..500, base_width in 1usize..4) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = build_group_cnn(
+            CnnConfig {
+                input: (3, 8, 8),
+                classes: 4,
+                groups: 4,
+                base_width: base_width * 4,
+            },
+            &mut rng,
+        )
+        .expect("valid");
+        let x = random_tensor(&[1, 3, 8, 8], seed ^ 99);
+        let before = net.forward(&x, false).expect("fwd");
+        for g in [1, 3, 2, 4, 1, 4] {
+            net.set_active_groups(g).expect("valid");
+            let _ = net.forward(&x, false).expect("fwd");
+        }
+        net.set_active_groups(4).expect("valid");
+        let after = net.forward(&x, false).expect("fwd");
+        prop_assert_eq!(before.data(), after.data());
+    }
+
+    /// Quantization always produces weights on the advertised grid and is
+    /// idempotent at the network level.
+    #[test]
+    fn quantization_grid_property(seed in 0u64..300, bits in 2u32..10) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = build_group_cnn(
+            CnnConfig { input: (3, 8, 8), classes: 4, groups: 2, base_width: 8 },
+            &mut rng,
+        )
+        .expect("valid");
+        let x = random_tensor(&[1, 3, 8, 8], seed ^ 3);
+        quantize_network(&mut net, bits).expect("valid bits");
+        let once = net.forward(&x, false).expect("fwd");
+        quantize_network(&mut net, bits).expect("valid bits");
+        let twice = net.forward(&x, false).expect("fwd");
+        prop_assert_eq!(once.data(), twice.data(), "idempotent quantization");
+    }
+
+    /// Cost model consistency: MACs at width g are exactly g/G of the full
+    /// cost for the reference architecture, for arbitrary widths.
+    #[test]
+    fn cost_fraction_property(seed in 0u64..100, groups in 2usize..5) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base_width = groups * 4;
+        let mut net = build_group_cnn(
+            CnnConfig { input: (3, 8, 8), classes: 4, groups, base_width },
+            &mut rng,
+        )
+        .expect("valid");
+        let full = net.cost_at(groups).expect("valid").macs;
+        for g in 1..=groups {
+            let c = net.cost_at(g).expect("valid").macs;
+            let frac = c / full;
+            let expect = g as f64 / groups as f64;
+            prop_assert!((frac - expect).abs() < 0.02, "width {g}/{groups}: {frac}");
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Error types for the platform model.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::units::Freq;
+
+/// Errors returned by platform-model queries.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PlatformError {
+    /// The requested cluster index does not exist on this SoC.
+    UnknownCluster {
+        /// The offending cluster index.
+        index: usize,
+        /// Number of clusters on the SoC.
+        count: usize,
+    },
+    /// No cluster with the requested name exists on this SoC.
+    UnknownClusterName {
+        /// The requested name.
+        name: String,
+    },
+    /// The requested frequency is not an operating performance point of the
+    /// cluster.
+    FrequencyNotSupported {
+        /// Cluster name.
+        cluster: String,
+        /// The offending frequency.
+        freq: Freq,
+    },
+    /// The requested OPP index is out of range for the cluster.
+    OppIndexOutOfRange {
+        /// Cluster name.
+        cluster: String,
+        /// The offending index.
+        index: usize,
+        /// Number of OPPs on the cluster.
+        count: usize,
+    },
+    /// More cores were requested than the cluster provides.
+    TooManyCores {
+        /// Cluster name.
+        cluster: String,
+        /// Requested core count.
+        requested: u32,
+        /// Available core count.
+        available: u32,
+    },
+    /// Zero cores were requested; a placement must use at least one core.
+    ZeroCores {
+        /// Cluster name.
+        cluster: String,
+    },
+    /// A model was constructed from invalid data (e.g. empty OPP table,
+    /// non-monotonic anchors).
+    InvalidModel {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownCluster { index, count } => {
+                write!(f, "unknown cluster index {index} (SoC has {count} clusters)")
+            }
+            Self::UnknownClusterName { name } => {
+                write!(f, "no cluster named `{name}` on this SoC")
+            }
+            Self::FrequencyNotSupported { cluster, freq } => {
+                write!(
+                    f,
+                    "frequency {:.0} MHz is not an OPP of cluster `{cluster}`",
+                    freq.as_mhz()
+                )
+            }
+            Self::OppIndexOutOfRange { cluster, index, count } => {
+                write!(
+                    f,
+                    "OPP index {index} out of range for cluster `{cluster}` ({count} OPPs)"
+                )
+            }
+            Self::TooManyCores { cluster, requested, available } => {
+                write!(
+                    f,
+                    "requested {requested} cores on cluster `{cluster}` with only {available}"
+                )
+            }
+            Self::ZeroCores { cluster } => {
+                write!(f, "placement on cluster `{cluster}` must use at least one core")
+            }
+            Self::InvalidModel { reason } => write!(f, "invalid model: {reason}"),
+        }
+    }
+}
+
+impl Error for PlatformError {}
+
+/// Convenience alias for platform-model results.
+pub type Result<T> = std::result::Result<T, PlatformError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PlatformError>();
+    }
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = PlatformError::UnknownCluster { index: 3, count: 2 };
+        let msg = format!("{e}");
+        assert!(msg.contains("unknown cluster index 3"));
+        assert!(msg.contains("2 clusters"));
+
+        let e = PlatformError::FrequencyNotSupported {
+            cluster: "a15".into(),
+            freq: Freq::from_mhz(250.0),
+        };
+        assert!(format!("{e}").contains("250 MHz"));
+
+        let e = PlatformError::TooManyCores {
+            cluster: "a7".into(),
+            requested: 8,
+            available: 4,
+        };
+        assert!(format!("{e}").contains("8 cores"));
+
+        let e = PlatformError::ZeroCores { cluster: "a7".into() };
+        assert!(format!("{e}").contains("at least one core"));
+    }
+
+    #[test]
+    fn error_trait_object_usable() {
+        let e: Box<dyn Error> = Box::new(PlatformError::InvalidModel {
+            reason: "empty opp table".into(),
+        });
+        assert!(e.to_string().contains("empty opp table"));
+    }
+}

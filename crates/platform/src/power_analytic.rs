@@ -1,0 +1,297 @@
+//! A closed-form CMOS power model, and why the presets don't use it.
+//!
+//! The textbook model is
+//!
+//! ```text
+//! P(f, V, a) = c_dyn · V²·f · a  +  c_leak · V  +  p_base
+//! ```
+//!
+//! (switching power proportional to `V²·f` and activity, leakage roughly
+//! linear in `V` at fixed temperature, plus a constant floor). This module
+//! implements that model and a least-squares fit from measured anchors.
+//!
+//! Fitting it to the paper's Odroid XU3 A15 measurements yields *negative*
+//! leakage coefficients — the published triple (326 mW @ 200 MHz,
+//! 846 mW @ 1 GHz, 2120 mW @ 1.8 GHz) rises faster than `V²·f` can explain
+//! with any plausible voltage curve, because real measurements fold in
+//! utilisation effects, shared-rail losses, and temperature-dependent
+//! leakage. That nonphysical fit (demonstrated in the tests below) is why
+//! [`crate::power::AnchoredPowerModel`] interpolates measured anchors
+//! instead: empirical fidelity beats closed-form elegance when the paper's
+//! numbers are the ground truth. The analytic model remains useful for
+//! *hypothetical* platforms with no measurements at all.
+
+use crate::error::{PlatformError, Result};
+use crate::units::{Freq, Power, Voltage};
+
+/// Closed-form power model `P = c_dyn·V²f·a + c_leak·V + p_base`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnalyticPowerModel {
+    /// Effective switching capacitance term, in W per (V²·GHz).
+    pub c_dyn: f64,
+    /// Leakage coefficient, in W per volt.
+    pub c_leak: f64,
+    /// Constant floor, in watts.
+    pub p_base: f64,
+}
+
+impl AnalyticPowerModel {
+    /// Creates a model from explicit coefficients.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::InvalidModel`] if any coefficient is
+    /// negative or non-finite — such a model predicts nonphysical power
+    /// somewhere in its domain.
+    pub fn new(c_dyn: f64, c_leak: f64, p_base: f64) -> Result<Self> {
+        for (name, v) in [("c_dyn", c_dyn), ("c_leak", c_leak), ("p_base", p_base)] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(PlatformError::InvalidModel {
+                    reason: format!("analytic coefficient {name} must be finite and >= 0, got {v}"),
+                });
+            }
+        }
+        Ok(Self { c_dyn, c_leak, p_base })
+    }
+
+    /// Predicted power at `freq`, `voltage` and activity `a ∈ [0, 1]`.
+    pub fn power(&self, freq: Freq, voltage: Voltage, activity: f64) -> Power {
+        let a = activity.clamp(0.0, 1.0);
+        Power::from_watts(
+            self.c_dyn * voltage.squared_times(freq) * a
+                + self.c_leak * voltage.as_volts()
+                + self.p_base,
+        )
+    }
+}
+
+/// Result of a least-squares fit: the model plus its quality on the
+/// anchors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnalyticFit {
+    /// The fitted model (coefficients clamped to be physical).
+    pub model: AnalyticPowerModel,
+    /// Maximum relative error over the anchors.
+    pub max_rel_error: f64,
+    /// Whether the *unclamped* least-squares solution had negative
+    /// coefficients — a sign the data does not follow the closed form and
+    /// an anchored model should be preferred.
+    pub unphysical: bool,
+}
+
+/// Fits `P = c_dyn·V²f + c_leak·V + p_base` to full-activity anchors by
+/// ordinary least squares on the basis `[V²f, V, 1]`, then clamps negative
+/// coefficients to zero and re-solves the reduced system.
+///
+/// # Errors
+///
+/// Returns [`PlatformError::InvalidModel`] with fewer than three anchors
+/// (the system is underdetermined) or non-positive powers.
+pub fn fit_analytic(anchors: &[(Freq, Voltage, Power)]) -> Result<AnalyticFit> {
+    if anchors.len() < 3 {
+        return Err(PlatformError::InvalidModel {
+            reason: format!("analytic fit needs >= 3 anchors, got {}", anchors.len()),
+        });
+    }
+    for &(_, _, p) in anchors {
+        if p.as_watts() <= 0.0 {
+            return Err(PlatformError::InvalidModel {
+                reason: "anchor powers must be positive".into(),
+            });
+        }
+    }
+    let rows: Vec<[f64; 3]> = anchors
+        .iter()
+        .map(|&(f, v, _)| [v.squared_times(f), v.as_volts(), 1.0])
+        .collect();
+    let ys: Vec<f64> = anchors.iter().map(|&(_, _, p)| p.as_watts()).collect();
+
+    let full = solve_normal_equations(&rows, &ys)?;
+    let unphysical = full.iter().any(|&c| c < 0.0);
+    let coeffs = if unphysical {
+        // Clamp: refit with only the dynamic term plus a floor (the two
+        // physically guaranteed components).
+        let rows2: Vec<[f64; 3]> = rows.iter().map(|r| [r[0], 0.0, 1.0]).collect();
+        let mut c = solve_normal_equations(&rows2, &ys)?;
+        c[1] = 0.0;
+        if c[0] < 0.0 {
+            c[0] = 0.0;
+        }
+        if c[2] < 0.0 {
+            c[2] = 0.0;
+        }
+        c
+    } else {
+        full
+    };
+    let model = AnalyticPowerModel::new(coeffs[0].max(0.0), coeffs[1].max(0.0), coeffs[2].max(0.0))?;
+    let max_rel_error = anchors
+        .iter()
+        .map(|&(f, v, p)| {
+            let pred = model.power(f, v, 1.0).as_watts();
+            ((pred - p.as_watts()) / p.as_watts()).abs()
+        })
+        .fold(0.0, f64::max);
+    Ok(AnalyticFit { model, max_rel_error, unphysical })
+}
+
+/// Solves the 3×3 normal equations `AᵀA x = Aᵀy` by Gaussian elimination
+/// with partial pivoting. Degenerate columns (all zero) get coefficient 0.
+fn solve_normal_equations(rows: &[[f64; 3]], ys: &[f64]) -> Result<[f64; 3]> {
+    let mut ata = [[0.0f64; 3]; 3];
+    let mut aty = [0.0f64; 3];
+    for (r, &y) in rows.iter().zip(ys) {
+        for i in 0..3 {
+            aty[i] += r[i] * y;
+            for j in 0..3 {
+                ata[i][j] += r[i] * r[j];
+            }
+        }
+    }
+    // Regularise degenerate diagonals so zeroed-out basis columns solve to 0.
+    for i in 0..3 {
+        if ata[i][i].abs() < 1e-12 {
+            ata[i][i] = 1.0;
+            aty[i] = 0.0;
+        }
+    }
+    let mut m = [[0.0f64; 4]; 3];
+    for i in 0..3 {
+        m[i][..3].copy_from_slice(&ata[i]);
+        m[i][3] = aty[i];
+    }
+    for col in 0..3 {
+        let pivot = (col..3)
+            .max_by(|&a, &b| {
+                m[a][col]
+                    .abs()
+                    .partial_cmp(&m[b][col].abs())
+                    .expect("finite")
+            })
+            .expect("non-empty range");
+        if m[pivot][col].abs() < 1e-12 {
+            return Err(PlatformError::InvalidModel {
+                reason: "analytic fit is degenerate (anchors not independent)".into(),
+            });
+        }
+        m.swap(col, pivot);
+        for row in 0..3 {
+            if row == col {
+                continue;
+            }
+            let factor = m[row][col] / m[col][col];
+            for k in col..4 {
+                m[row][k] -= factor * m[col][k];
+            }
+        }
+    }
+    Ok([m[0][3] / m[0][0], m[1][3] / m[1][1], m[2][3] / m[2][2]])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn anchor(mhz: f64, volts: f64, mw: f64) -> (Freq, Voltage, Power) {
+        (
+            Freq::from_mhz(mhz),
+            Voltage::from_volts(volts),
+            Power::from_milliwatts(mw),
+        )
+    }
+
+    #[test]
+    fn recovers_exact_synthetic_coefficients() {
+        // Generate data from a known model; the fit must recover it.
+        let truth = AnalyticPowerModel::new(0.8, 0.3, 0.05).unwrap();
+        let anchors: Vec<_> = [(200.0, 0.9), (1000.0, 1.0), (1800.0, 1.2), (600.0, 0.95)]
+            .iter()
+            .map(|&(mhz, v)| {
+                let f = Freq::from_mhz(mhz);
+                let volt = Voltage::from_volts(v);
+                (f, volt, truth.power(f, volt, 1.0))
+            })
+            .collect();
+        let fit = fit_analytic(&anchors).unwrap();
+        assert!(!fit.unphysical);
+        assert!((fit.model.c_dyn - 0.8).abs() < 1e-9);
+        assert!((fit.model.c_leak - 0.3).abs() < 1e-9);
+        assert!((fit.model.p_base - 0.05).abs() < 1e-9);
+        assert!(fit.max_rel_error < 1e-9);
+    }
+
+    #[test]
+    fn paper_a15_triple_is_unphysical_for_the_closed_form() {
+        // The design-decision documentation: the published A15 measurements
+        // cannot be explained by c_dyn·V²f + c_leak·V + base with
+        // non-negative coefficients and the nominal voltage curve —
+        // which is why the presets interpolate anchors instead.
+        let anchors = vec![
+            anchor(200.0, 0.9125, 326.0),
+            anchor(1000.0, 1.025, 846.0),
+            anchor(1800.0, 1.225, 2120.0),
+        ];
+        let fit = fit_analytic(&anchors).unwrap();
+        assert!(fit.unphysical, "the unclamped LSQ must go negative");
+        // The clamped fallback is physical but visibly worse than the
+        // anchored model's exact reproduction.
+        assert!(fit.max_rel_error > 0.05, "err {}", fit.max_rel_error);
+        assert!(fit.model.c_leak == 0.0);
+    }
+
+    #[test]
+    fn model_predictions_scale_sensibly() {
+        let m = AnalyticPowerModel::new(0.5, 0.2, 0.03).unwrap();
+        let v = Voltage::from_volts(1.0);
+        let p_low = m.power(Freq::from_mhz(500.0), v, 1.0);
+        let p_high = m.power(Freq::from_mhz(1000.0), v, 1.0);
+        assert!(p_high > p_low);
+        // Idle (activity 0) leaves leakage + base.
+        let idle = m.power(Freq::from_mhz(1000.0), v, 0.0);
+        assert!((idle.as_watts() - 0.23).abs() < 1e-12);
+        // Activity clamps.
+        assert_eq!(m.power(Freq::from_mhz(1000.0), v, 5.0), p_high);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(AnalyticPowerModel::new(-0.1, 0.0, 0.0).is_err());
+        assert!(AnalyticPowerModel::new(0.1, f64::NAN, 0.0).is_err());
+        assert!(fit_analytic(&[anchor(200.0, 0.9, 100.0)]).is_err());
+        assert!(fit_analytic(&[
+            anchor(200.0, 0.9, 100.0),
+            anchor(300.0, 0.9, 120.0),
+            anchor(400.0, 0.9, -5.0),
+        ])
+        .is_err());
+        // Degenerate: identical anchors.
+        let same = vec![
+            anchor(500.0, 1.0, 300.0),
+            anchor(500.0, 1.0, 300.0),
+            anchor(500.0, 1.0, 300.0),
+        ];
+        assert!(fit_analytic(&same).is_err());
+    }
+
+    #[test]
+    fn fit_interpolates_between_anchors_monotonically() {
+        let truth = AnalyticPowerModel::new(1.2, 0.1, 0.02).unwrap();
+        let anchors: Vec<_> = [(300.0, 0.85), (900.0, 1.0), (1500.0, 1.15)]
+            .iter()
+            .map(|&(mhz, v)| {
+                let f = Freq::from_mhz(mhz);
+                let volt = Voltage::from_volts(v);
+                (f, volt, truth.power(f, volt, 1.0))
+            })
+            .collect();
+        let fit = fit_analytic(&anchors).unwrap();
+        let mut prev = 0.0;
+        for mhz in (300..=1500).step_by(100) {
+            let t = (mhz as f64 - 300.0) / 1200.0;
+            let v = Voltage::from_volts(0.85 + t * 0.3);
+            let p = fit.model.power(Freq::from_mhz(mhz as f64), v, 1.0).as_watts();
+            assert!(p >= prev);
+            prev = p;
+        }
+    }
+}

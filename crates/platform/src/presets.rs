@@ -1,0 +1,521 @@
+//! Ready-made SoC models calibrated against the paper's boards.
+//!
+//! - [`odroid_xu3`]: Samsung Exynos 5422 (4×A15 + 4×A7 + Mali GPU), the
+//!   board of the paper's case study (Fig 4). The A15/A7 latency and power
+//!   models are anchored to the six Odroid rows of Table I; OPP voltage
+//!   tables are nominal Exynos 5422 values.
+//! - [`jetson_nano`]: NVIDIA Jetson Nano (4×A57 + 128-core Maxwell GPU),
+//!   anchored to the four Jetson rows of Table I. The `gpu` cluster models
+//!   the *GPU + host CPU* composite exactly as the paper measured it.
+//! - [`flagship`]: a Kirin-990-class phone SoC (big/little CPUs, GPU,
+//!   NPU, DSP) with nominal characteristics, used for the multi-application
+//!   runtime scenario of Fig 2 where an NPU and resource contention matter.
+//!
+//! All numbers that come from the paper live in [`crate::paper`]; everything
+//! else is a documented nominal value.
+
+use crate::error::Result;
+use crate::latency::LatencyModel;
+use crate::opp::{grid_with_voltage_keys, OppTable};
+use crate::paper;
+use crate::power::{AnchoredPowerModel, PowerAnchor};
+use crate::soc::{ClusterSpec, CoreKind, Soc};
+use crate::thermal::ThermalModel;
+use crate::units::{Freq, Power, TimeSpan};
+use crate::workload::Workload;
+
+/// MAC count of the calibration reference workload (one inference of the
+/// paper's full-width CIFAR-10 CNN; nominal).
+///
+/// All preset latency models are expressed relative to this workload: a
+/// workload of `REFERENCE_MACS` MACs reproduces the paper's Table I
+/// latencies, and other workloads scale linearly in their MAC count.
+pub const REFERENCE_MACS: f64 = 62.0e6;
+
+/// The reference workload the presets are calibrated against: one inference
+/// of the paper's full-width (100 %) CNN.
+pub fn reference_workload() -> Workload {
+    Workload::new("paper-ref-dnn", REFERENCE_MACS)
+        .with_param_bytes(2.4e6)
+        .with_activation_bytes(1.1e6)
+}
+
+fn anchors_ms(points: &[(f64, f64)]) -> Vec<(Freq, TimeSpan)> {
+    points
+        .iter()
+        .map(|&(mhz, ms)| (Freq::from_mhz(mhz), TimeSpan::from_millis(ms)))
+        .collect()
+}
+
+/// Builds the Odroid XU3 model (Samsung Exynos 5422).
+///
+/// Clusters: `a15` (4 cores, 17 OPPs, 200–1800 MHz), `a7` (4 cores,
+/// 12 OPPs, 200–1300 MHz) — the DVFS level counts the paper sweeps in
+/// Fig 4(a) — plus a nominal `gpu` (Mali-T628).
+///
+/// # Panics
+///
+/// Never panics: the embedded calibration data is validated by unit tests.
+pub fn odroid_xu3() -> Soc {
+    build_odroid_xu3().expect("embedded XU3 calibration data is valid")
+}
+
+fn build_odroid_xu3() -> Result<Soc> {
+    // Nominal Exynos 5422 OPP voltages (V) at key frequencies; the grid
+    // interpolates between them. 17 A15 levels / 12 A7 levels per Fig 4(a).
+    let a15_opps = OppTable::from_mhz_mv(&grid_with_voltage_keys(
+        200.0,
+        100.0,
+        paper::FIG4A_A15_LEVELS,
+        &[
+            (200.0, 912.5),
+            (400.0, 912.5),
+            (600.0, 925.0),
+            (800.0, 985.0),
+            (900.0, 1012.5),
+            (1000.0, 1025.0),
+            (1400.0, 1125.0),
+            (1800.0, 1225.0),
+        ],
+    ))?;
+    let a7_opps = OppTable::from_mhz_mv(&grid_with_voltage_keys(
+        200.0,
+        100.0,
+        paper::FIG4A_A7_LEVELS,
+        &[
+            (200.0, 900.0),
+            (600.0, 950.0),
+            (900.0, 1000.0),
+            (1100.0, 1040.0),
+            (1300.0, 1100.0),
+        ],
+    ))?;
+
+    // Table I anchors (Odroid XU3 rows).
+    let a15_latency = LatencyModel::from_anchors(
+        &anchors_ms(&[(200.0, 1020.0), (1000.0, 204.0), (1800.0, 117.0)]),
+        REFERENCE_MACS,
+        4,
+    )?;
+    let a7_latency = LatencyModel::from_anchors(
+        &anchors_ms(&[(200.0, 1780.0), (700.0, 504.0), (1300.0, 280.0)]),
+        REFERENCE_MACS,
+        4,
+    )?;
+    let a15_power = AnchoredPowerModel::new(
+        vec![
+            PowerAnchor::from_mhz_mw(200.0, 326.0),
+            PowerAnchor::from_mhz_mw(1000.0, 846.0),
+            PowerAnchor::from_mhz_mw(1800.0, 2120.0),
+        ],
+        Power::from_milliwatts(120.0),
+        &a15_opps,
+    )?;
+    let a7_power = AnchoredPowerModel::new(
+        vec![
+            PowerAnchor::from_mhz_mw(200.0, 72.4),
+            PowerAnchor::from_mhz_mw(700.0, 141.0),
+            PowerAnchor::from_mhz_mw(1300.0, 329.0),
+        ],
+        Power::from_milliwatts(25.0),
+        &a7_opps,
+    )?;
+
+    // Nominal Mali-T628 GPU (not characterised in the paper; present so
+    // XU3 scenarios can offload). Single anchor: full-width inference in
+    // 60 ms at 1.6 W when clocked at 600 MHz.
+    let gpu_opps = OppTable::from_mhz_mv(&[
+        (177.0, 850.0),
+        (266.0, 875.0),
+        (350.0, 900.0),
+        (420.0, 925.0),
+        (480.0, 950.0),
+        (543.0, 1000.0),
+        (600.0, 1050.0),
+    ])?;
+    let gpu_latency = LatencyModel::from_anchors(
+        &anchors_ms(&[(600.0, 60.0)]),
+        REFERENCE_MACS,
+        1,
+    )?;
+    let gpu_power = AnchoredPowerModel::new(
+        vec![PowerAnchor::from_mhz_mw(600.0, 1600.0)],
+        Power::from_milliwatts(80.0),
+        &gpu_opps,
+    )?;
+
+    let a15 = ClusterSpec::new("a15", CoreKind::BigCpu, 4, a15_opps, a15_latency, a15_power)?
+        .with_local_thermal_resistance(2.5);
+    let a7 = ClusterSpec::new("a7", CoreKind::LittleCpu, 4, a7_opps, a7_latency, a7_power)?
+        .with_local_thermal_resistance(1.5);
+    let gpu = ClusterSpec::new("gpu", CoreKind::Gpu, 1, gpu_opps, gpu_latency, gpu_power)?
+        .with_local_thermal_resistance(2.0);
+
+    Soc::new(
+        "odroid-xu3",
+        vec![a15, a7, gpu],
+        ThermalModel {
+            r_die_k_per_w: 7.0,
+            tau_s: 5.0,
+            ambient: crate::units::Celsius::from_celsius(25.0),
+            limit: crate::units::Celsius::from_celsius(85.0),
+        },
+    )
+}
+
+/// Builds the NVIDIA Jetson Nano model.
+///
+/// Clusters: `a57` (4 cores) and `gpu`. The `gpu` cluster reproduces the
+/// paper's "GPU + A57 CPU" composite rows of Table I: its power anchors are
+/// total board compute power (GPU plus the host CPU doing pre-processing),
+/// because that is what the paper measured and what an energy budget sees.
+///
+/// # Panics
+///
+/// Never panics: the embedded calibration data is validated by unit tests.
+pub fn jetson_nano() -> Soc {
+    build_jetson_nano().expect("embedded Jetson calibration data is valid")
+}
+
+fn build_jetson_nano() -> Result<Soc> {
+    let a57_opps = OppTable::from_mhz_mv(&[
+        (102.0, 800.0),
+        (204.0, 800.0),
+        (307.2, 800.0),
+        (403.2, 812.5),
+        (518.4, 825.0),
+        (614.4, 837.5),
+        (710.4, 850.0),
+        (825.6, 875.0),
+        (921.6, 900.0),
+        (1036.8, 937.5),
+        (1132.8, 975.0),
+        (1224.0, 1000.0),
+        (1326.0, 1050.0),
+        (1428.0, 1100.0),
+    ])?;
+    let a57_latency = LatencyModel::from_anchors(
+        &anchors_ms(&[(921.6, 69.4), (1428.0, 46.9)]),
+        REFERENCE_MACS,
+        4,
+    )?;
+    let a57_power = AnchoredPowerModel::new(
+        vec![
+            PowerAnchor::from_mhz_mw(921.6, 878.0),
+            PowerAnchor::from_mhz_mw(1428.0, 1490.0),
+        ],
+        Power::from_milliwatts(200.0),
+        &a57_opps,
+    )?;
+
+    let gpu_opps = OppTable::from_mhz_mv(&[
+        (76.8, 800.0),
+        (153.6, 812.5),
+        (230.4, 825.0),
+        (307.2, 837.5),
+        (384.0, 862.5),
+        (460.8, 887.5),
+        (537.6, 912.5),
+        (614.4, 937.5),
+        (691.2, 975.0),
+        (768.0, 1012.5),
+        (844.8, 1050.0),
+        (921.6, 1100.0),
+    ])?;
+    let gpu_latency = LatencyModel::from_anchors(
+        &anchors_ms(&[(614.4, 7.4), (921.6, 4.93)]),
+        REFERENCE_MACS,
+        1,
+    )?;
+    let gpu_power = AnchoredPowerModel::new(
+        vec![
+            PowerAnchor::from_mhz_mw(614.4, 1340.0),
+            PowerAnchor::from_mhz_mw(921.6, 2500.0),
+        ],
+        Power::from_milliwatts(300.0),
+        &gpu_opps,
+    )?;
+
+    let a57 = ClusterSpec::new("a57", CoreKind::BigCpu, 4, a57_opps, a57_latency, a57_power)?
+        .with_local_thermal_resistance(2.0);
+    let gpu = ClusterSpec::new("gpu", CoreKind::Gpu, 1, gpu_opps, gpu_latency, gpu_power)?
+        .with_local_thermal_resistance(1.5);
+
+    Soc::new(
+        "jetson-nano",
+        vec![a57, gpu],
+        ThermalModel {
+            r_die_k_per_w: 4.0,
+            tau_s: 8.0,
+            ambient: crate::units::Celsius::from_celsius(25.0),
+            limit: crate::units::Celsius::from_celsius(97.0),
+        },
+    )
+}
+
+/// Builds a Kirin-990-class flagship phone SoC with nominal characteristics:
+/// a `big` (4×) and `little` (4×) CPU cluster, a `gpu`, an `npu` and a
+/// `dsp` — the device cartoon of the paper's Fig 2.
+///
+/// The paper's Fig 2 scenario runs on this class of device. Relative
+/// performance/energy ordering (NPU ≫ GPU ≫ big ≫ little for
+/// MAC-dominated inference) follows the paper's §II discussion.
+///
+/// # Panics
+///
+/// Never panics: the embedded nominal data is validated by unit tests.
+pub fn flagship() -> Soc {
+    build_flagship().expect("embedded flagship nominal data is valid")
+}
+
+fn build_flagship() -> Result<Soc> {
+    let big_opps = OppTable::from_mhz_mv(&[
+        (600.0, 650.0),
+        (900.0, 687.5),
+        (1200.0, 725.0),
+        (1600.0, 775.0),
+        (2000.0, 837.5),
+        (2400.0, 900.0),
+        (2600.0, 950.0),
+        (2860.0, 1000.0),
+    ])?;
+    let big = ClusterSpec::new(
+        "big",
+        CoreKind::BigCpu,
+        4,
+        big_opps.clone(),
+        LatencyModel::from_anchors(
+            &anchors_ms(&[(2860.0, 40.0)]),
+            REFERENCE_MACS,
+            4,
+        )?,
+        AnchoredPowerModel::new(
+            vec![PowerAnchor::from_mhz_mw(2860.0, 4200.0)],
+            Power::from_milliwatts(120.0),
+            &big_opps,
+        )?,
+    )?
+    .with_local_thermal_resistance(3.0);
+
+    let little_opps = OppTable::from_mhz_mv(&[
+        (500.0, 600.0),
+        (800.0, 625.0),
+        (1100.0, 662.5),
+        (1400.0, 700.0),
+        (1700.0, 750.0),
+        (1950.0, 800.0),
+    ])?;
+    let little = ClusterSpec::new(
+        "little",
+        CoreKind::LittleCpu,
+        4,
+        little_opps.clone(),
+        LatencyModel::from_anchors(
+            &anchors_ms(&[(1950.0, 150.0)]),
+            REFERENCE_MACS,
+            4,
+        )?,
+        AnchoredPowerModel::new(
+            vec![PowerAnchor::from_mhz_mw(1950.0, 900.0)],
+            Power::from_milliwatts(30.0),
+            &little_opps,
+        )?,
+    )?
+    .with_local_thermal_resistance(1.5);
+
+    let gpu_opps = OppTable::from_mhz_mv(&[
+        (400.0, 650.0),
+        (600.0, 725.0),
+        (800.0, 800.0),
+    ])?;
+    let gpu = ClusterSpec::new(
+        "gpu",
+        CoreKind::Gpu,
+        1,
+        gpu_opps.clone(),
+        LatencyModel::from_anchors(&anchors_ms(&[(800.0, 12.0)]), REFERENCE_MACS, 1)?,
+        AnchoredPowerModel::new(
+            vec![PowerAnchor::from_mhz_mw(800.0, 5500.0)],
+            Power::from_milliwatts(250.0),
+            &gpu_opps,
+        )?,
+    )?
+    .with_local_thermal_resistance(2.0);
+
+    let npu_opps = OppTable::from_mhz_mv(&[
+        (480.0, 650.0),
+        (720.0, 725.0),
+        (960.0, 800.0),
+    ])?;
+    let npu = ClusterSpec::new(
+        "npu",
+        CoreKind::Npu,
+        1,
+        npu_opps.clone(),
+        LatencyModel::from_anchors(&anchors_ms(&[(960.0, 2.5)]), REFERENCE_MACS, 1)?,
+        AnchoredPowerModel::new(
+            vec![PowerAnchor::from_mhz_mw(960.0, 1800.0)],
+            Power::from_milliwatts(100.0),
+            &npu_opps,
+        )?,
+    )?
+    .with_local_thermal_resistance(1.5);
+
+    let dsp_opps = OppTable::from_mhz_mv(&[
+        (576.0, 650.0),
+        (787.0, 725.0),
+        (998.0, 800.0),
+    ])?;
+    let dsp = ClusterSpec::new(
+        "dsp",
+        CoreKind::Dsp,
+        1,
+        dsp_opps.clone(),
+        LatencyModel::from_anchors(&anchors_ms(&[(998.0, 180.0)]), REFERENCE_MACS, 1)?,
+        AnchoredPowerModel::new(
+            vec![PowerAnchor::from_mhz_mw(998.0, 800.0)],
+            Power::from_milliwatts(40.0),
+            &dsp_opps,
+        )?,
+    )?
+    .with_local_thermal_resistance(1.5);
+
+    Soc::new(
+        "flagship",
+        vec![big, little, gpu, npu, dsp],
+        ThermalModel::mobile_default(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::soc::Placement;
+
+    /// Reproduce every Table I row on the calibrated presets.
+    #[test]
+    fn table_one_reproduced_within_tolerance() {
+        let socs = [odroid_xu3(), jetson_nano()];
+        let w = reference_workload();
+        for row in &paper::TABLE_ONE {
+            let soc = socs
+                .iter()
+                .find(|s| s.name() == row.platform)
+                .expect("preset exists for every Table I platform");
+            let id = soc.find_cluster(row.cluster).expect("cluster exists");
+            let spec = soc.cluster(id).unwrap();
+            let placement = Placement::whole_cluster(id, spec);
+            let p = soc
+                .predict(placement, Freq::from_mhz(row.freq_mhz), &w)
+                .unwrap();
+            let t_err = (p.latency.as_millis() - row.time_ms).abs() / row.time_ms;
+            let p_err = (p.power.as_milliwatts() - row.power_mw).abs() / row.power_mw;
+            let e_err = (p.energy.as_millijoules() - row.energy_mj).abs() / row.energy_mj;
+            assert!(t_err < 0.02, "{}: latency err {:.1}%", row.label, t_err * 100.0);
+            assert!(p_err < 0.01, "{}: power err {:.1}%", row.label, p_err * 100.0);
+            // The paper's own energy column differs from P·t by up to ~4 %.
+            assert!(e_err < 0.06, "{}: energy err {:.1}%", row.label, e_err * 100.0);
+        }
+    }
+
+    #[test]
+    fn xu3_has_the_fig4a_dvfs_level_counts() {
+        let soc = odroid_xu3();
+        let a15 = soc.cluster(soc.find_cluster("a15").unwrap()).unwrap();
+        let a7 = soc.cluster(soc.find_cluster("a7").unwrap()).unwrap();
+        assert_eq!(a15.opps().len(), paper::FIG4A_A15_LEVELS);
+        assert_eq!(a7.opps().len(), paper::FIG4A_A7_LEVELS);
+        assert_eq!(a15.opps().max_freq(), Freq::from_mhz(1800.0));
+        assert_eq!(a7.opps().max_freq(), Freq::from_mhz(1300.0));
+    }
+
+    #[test]
+    fn a15_faster_but_hungrier_than_a7() {
+        let soc = odroid_xu3();
+        let w = reference_workload();
+        let a15 = soc.find_cluster("a15").unwrap();
+        let a7 = soc.find_cluster("a7").unwrap();
+        let p15 = soc
+            .predict(Placement::new(a15, 4), Freq::from_mhz(1000.0), &w)
+            .unwrap();
+        let p7 = soc
+            .predict(Placement::new(a7, 4), Freq::from_mhz(1000.0), &w)
+            .unwrap();
+        assert!(p15.latency < p7.latency);
+        assert!(p15.power > p7.power);
+    }
+
+    #[test]
+    fn case_study_anchor_a7_900mhz_full_model_meets_budget_one() {
+        // §IV: "for a budget of 400 ms and 100 mJ, a 100% model on the A7
+        // CPU at 900 MHz could offer the highest accuracy and lowest energy".
+        let soc = odroid_xu3();
+        let a7 = soc.find_cluster("a7").unwrap();
+        let w = reference_workload();
+        let p = soc
+            .predict(Placement::new(a7, 4), Freq::from_mhz(900.0), &w)
+            .unwrap();
+        assert!(p.latency.as_millis() <= 400.0, "latency {}", p.latency);
+        assert!(p.energy.as_millijoules() <= 100.0, "energy {}", p.energy);
+    }
+
+    #[test]
+    fn flagship_accelerator_ordering() {
+        // NPU must dominate GPU, which must dominate the big CPU cluster,
+        // in both speed and energy for MAC-dominated inference.
+        let soc = flagship();
+        let w = reference_workload();
+        let preds: Vec<_> = ["npu", "gpu", "big", "little"]
+            .iter()
+            .map(|name| {
+                let id = soc.find_cluster(name).unwrap();
+                let spec = soc.cluster(id).unwrap();
+                let opp = spec.opps().max_opp();
+                soc.predict(Placement::whole_cluster(id, spec), opp.freq(), &w)
+                    .unwrap()
+            })
+            .collect();
+        for pair in preds.windows(2) {
+            assert!(pair[0].latency < pair[1].latency, "speed ordering violated");
+        }
+        // NPU energy per inference beats GPU and CPUs.
+        assert!(preds[0].energy < preds[1].energy);
+        assert!(preds[0].energy < preds[2].energy);
+    }
+
+    #[test]
+    fn flagship_full_blast_exceeds_sustainable_power() {
+        // The Fig 2 scenario needs a thermal violation when big CPUs, GPU
+        // and NPU all run flat out.
+        let soc = flagship();
+        let w = reference_workload();
+        let total: Power = ["big", "gpu", "npu"]
+            .iter()
+            .map(|name| {
+                let id = soc.find_cluster(name).unwrap();
+                let spec = soc.cluster(id).unwrap();
+                let opp = spec.opps().max_opp();
+                soc.predict(Placement::whole_cluster(id, spec), opp.freq(), &w)
+                    .unwrap()
+                    .power
+            })
+            .sum();
+        assert!(total > soc.thermal().sustainable_power());
+    }
+
+    #[test]
+    fn presets_have_distinct_cluster_names() {
+        for soc in [odroid_xu3(), jetson_nano(), flagship()] {
+            let names: Vec<&str> = soc.clusters().map(|(_, c)| c.name()).collect();
+            let mut dedup = names.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(names.len(), dedup.len(), "{}", soc.name());
+        }
+    }
+
+    #[test]
+    fn reference_workload_macs_match_constant() {
+        assert_eq!(reference_workload().macs(), REFERENCE_MACS);
+    }
+}

@@ -1,0 +1,212 @@
+//! Lumped-RC thermal model.
+//!
+//! The paper's runtime scenario (Fig 2, t = 15 s) hinges on a thermal
+//! violation: when a DNN occupies all four big cores while a VR/AR workload
+//! saturates the GPU, the SoC exceeds its thermal limit and the RTM must
+//! compress the DNN and collapse it onto one core.
+//!
+//! We model the die as a single thermal capacitance coupled to ambient
+//! through a thermal resistance (a first-order RC, as in lumped HotSpot
+//! configurations), plus a small per-cluster self-heating resistance that
+//! lets individual clusters run hotter than the die average:
+//!
+//! ```text
+//! C · dT/dt = P_total − (T − T_ambient) / R
+//! T_cluster = T + R_local · P_cluster
+//! ```
+//!
+//! Integration uses the exact exponential step, so it is unconditionally
+//! stable for any `dt`.
+
+use crate::units::{Celsius, Power, TimeSpan};
+
+/// Static thermal description of an SoC package.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThermalModel {
+    /// Die-to-ambient thermal resistance in K/W.
+    pub r_die_k_per_w: f64,
+    /// Thermal time constant τ = R·C in seconds.
+    pub tau_s: f64,
+    /// Ambient temperature.
+    pub ambient: Celsius,
+    /// Junction temperature limit; the RTM throttles above this.
+    pub limit: Celsius,
+}
+
+impl ThermalModel {
+    /// A typical passively cooled mobile SoC: 6 K/W to ambient, τ = 4 s,
+    /// 25 °C ambient, 75 °C throttle point.
+    pub fn mobile_default() -> Self {
+        Self {
+            r_die_k_per_w: 6.0,
+            tau_s: 4.0,
+            ambient: Celsius::from_celsius(25.0),
+            limit: Celsius::from_celsius(75.0),
+        }
+    }
+
+    /// Steady-state die temperature under constant `power`.
+    pub fn steady_state(&self, power: Power) -> Celsius {
+        Celsius::from_celsius(
+            self.ambient.as_celsius() + self.r_die_k_per_w * power.as_watts(),
+        )
+    }
+
+    /// Headroom power: the largest sustained total power that keeps the die
+    /// at or below the thermal limit.
+    pub fn sustainable_power(&self) -> Power {
+        Power::from_watts(
+            (self.limit.as_celsius() - self.ambient.as_celsius()).max(0.0)
+                / self.r_die_k_per_w,
+        )
+    }
+}
+
+/// Mutable thermal state advanced by the simulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThermalState {
+    die_temp: Celsius,
+}
+
+impl ThermalState {
+    /// Starts at thermal equilibrium with ambient.
+    pub fn at_ambient(model: &ThermalModel) -> Self {
+        Self { die_temp: model.ambient }
+    }
+
+    /// Current die temperature.
+    pub fn die_temp(&self) -> Celsius {
+        self.die_temp
+    }
+
+    /// Advances the die temperature by `dt` under constant total `power`,
+    /// using the exact solution of the first-order RC:
+    /// `T(t+dt) = T∞ + (T(t) − T∞)·exp(−dt/τ)`.
+    pub fn step(&mut self, model: &ThermalModel, power: Power, dt: TimeSpan) {
+        let t_inf = model.steady_state(power).as_celsius();
+        let t = self.die_temp.as_celsius();
+        let decay = (-dt.as_secs() / model.tau_s).exp();
+        self.die_temp = Celsius::from_celsius(t_inf + (t - t_inf) * decay);
+    }
+
+    /// Temperature of one cluster given its own power draw (die temperature
+    /// plus local self-heating through `r_local_k_per_w`).
+    pub fn cluster_temp(&self, r_local_k_per_w: f64, cluster_power: Power) -> Celsius {
+        Celsius::from_celsius(
+            self.die_temp.as_celsius() + r_local_k_per_w * cluster_power.as_watts(),
+        )
+    }
+
+    /// Whether the die exceeds the model's thermal limit.
+    pub fn over_limit(&self, model: &ThermalModel) -> bool {
+        self.die_temp > model.limit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> ThermalModel {
+        ThermalModel::mobile_default()
+    }
+
+    #[test]
+    fn starts_at_ambient() {
+        let m = model();
+        let s = ThermalState::at_ambient(&m);
+        assert_eq!(s.die_temp(), m.ambient);
+        assert!(!s.over_limit(&m));
+    }
+
+    #[test]
+    fn converges_to_steady_state() {
+        let m = model();
+        let mut s = ThermalState::at_ambient(&m);
+        let p = Power::from_watts(5.0);
+        for _ in 0..1000 {
+            s.step(&m, p, TimeSpan::from_millis(100.0));
+        }
+        let expected = m.steady_state(p).as_celsius(); // 25 + 30 = 55
+        assert!((s.die_temp().as_celsius() - expected).abs() < 0.01);
+    }
+
+    #[test]
+    fn steady_state_formula() {
+        let m = model();
+        assert_eq!(m.steady_state(Power::from_watts(10.0)).as_celsius(), 85.0);
+        assert_eq!(m.steady_state(Power::ZERO), m.ambient);
+    }
+
+    #[test]
+    fn heats_monotonically_toward_higher_power_target() {
+        let m = model();
+        let mut s = ThermalState::at_ambient(&m);
+        let mut prev = s.die_temp().as_celsius();
+        for _ in 0..50 {
+            s.step(&m, Power::from_watts(8.0), TimeSpan::from_millis(200.0));
+            let t = s.die_temp().as_celsius();
+            assert!(t >= prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn cools_when_power_drops() {
+        let m = model();
+        let mut s = ThermalState::at_ambient(&m);
+        for _ in 0..200 {
+            s.step(&m, Power::from_watts(9.0), TimeSpan::from_millis(100.0));
+        }
+        let hot = s.die_temp().as_celsius();
+        for _ in 0..200 {
+            s.step(&m, Power::from_watts(1.0), TimeSpan::from_millis(100.0));
+        }
+        assert!(s.die_temp().as_celsius() < hot);
+    }
+
+    #[test]
+    fn exponential_step_is_stable_for_huge_dt() {
+        let m = model();
+        let mut s = ThermalState::at_ambient(&m);
+        // One enormous step lands exactly on steady state, no oscillation.
+        s.step(&m, Power::from_watts(5.0), TimeSpan::from_secs(1.0e6));
+        assert!((s.die_temp().as_celsius() - 55.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn step_size_invariance() {
+        // Two half-steps equal one full step (exact integrator property).
+        let m = model();
+        let p = Power::from_watts(6.0);
+        let mut a = ThermalState::at_ambient(&m);
+        a.step(&m, p, TimeSpan::from_secs(1.0));
+        let mut b = ThermalState::at_ambient(&m);
+        b.step(&m, p, TimeSpan::from_secs(0.5));
+        b.step(&m, p, TimeSpan::from_secs(0.5));
+        assert!((a.die_temp().as_celsius() - b.die_temp().as_celsius()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn over_limit_detection_and_sustainable_power() {
+        let m = model();
+        let mut s = ThermalState::at_ambient(&m);
+        // 10 W steady state = 85 °C > 75 °C limit.
+        for _ in 0..500 {
+            s.step(&m, Power::from_watts(10.0), TimeSpan::from_millis(100.0));
+        }
+        assert!(s.over_limit(&m));
+        // Sustainable power keeps us exactly at the limit.
+        let ps = m.sustainable_power();
+        assert!((ps.as_watts() - 50.0 / 6.0).abs() < 1e-9);
+        assert!(m.steady_state(ps) <= m.limit);
+    }
+
+    #[test]
+    fn cluster_temp_adds_local_self_heating() {
+        let m = model();
+        let s = ThermalState::at_ambient(&m);
+        let t = s.cluster_temp(2.0, Power::from_watts(3.0));
+        assert_eq!(t.as_celsius(), 25.0 + 6.0);
+    }
+}

@@ -1,0 +1,58 @@
+//! Error types for the simulator.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by simulation runs.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// Invalid simulation configuration or scenario.
+    InvalidScenario {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// An underlying RTM error.
+    Rtm(eml_core::RtmError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidScenario { reason } => write!(f, "invalid scenario: {reason}"),
+            Self::Rtm(e) => write!(f, "rtm error: {e}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Rtm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<eml_core::RtmError> for SimError {
+    fn from(e: eml_core::RtmError) -> Self {
+        Self::Rtm(e)
+    }
+}
+
+/// Convenience alias for simulator results.
+pub type Result<T> = std::result::Result<T, SimError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = SimError::InvalidScenario { reason: "events out of order".into() };
+        assert!(e.to_string().contains("events out of order"));
+        assert!(e.source().is_none());
+        let e: SimError = eml_core::RtmError::EmptySpace { reason: "x".into() }.into();
+        assert!(e.source().is_some());
+    }
+}

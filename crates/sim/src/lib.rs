@@ -1,0 +1,39 @@
+//! # eml-sim
+//!
+//! Time-stepped system simulation with the RTM in the loop, for the `emlrt`
+//! reproduction of *Xun et al., "Optimising Resource Management for Embedded
+//! Machine Learning" (DATE 2020)*.
+//!
+//! The simulator executes multi-application scenarios on a modelled SoC:
+//! applications arrive, depart and change requirements; the RTM re-allocates
+//! in response; power is integrated with per-application duty cycling; a
+//! lumped-RC thermal model closes the loop through a reactive thermal
+//! governor. [`scenario::fig2_scenario`] reproduces the paper's Fig 2
+//! storyline end to end.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use eml_sim::scenario;
+//!
+//! # fn main() -> Result<(), eml_sim::SimError> {
+//! let sim = scenario::fig2_scenario()?;
+//! let trace = sim.run()?;
+//! let summary = trace.summary();
+//! assert_eq!(summary.thermal_violations, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod error;
+pub mod scenario;
+pub mod simulator;
+pub mod trace;
+
+pub use error::{Result, SimError};
+pub use simulator::{Action, ScenarioEvent, SimConfig, Simulator, ThermalPolicy};
+pub use trace::{Decision, DecisionReason, Sample, Trace, TraceSummary};

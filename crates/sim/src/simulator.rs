@@ -1,0 +1,516 @@
+//! The time-stepped system simulator with the RTM in the loop.
+//!
+//! The simulator advances in fixed steps. At each step it:
+//!
+//! 1. applies any scenario events that are due (arrivals, departures,
+//!    requirement changes) and re-invokes the RTM when they occur;
+//! 2. computes the SoC power draw from the current allocation, duty-cycling
+//!    each DNN by `latency / period` (an application that finishes early
+//!    idles until its next frame);
+//! 3. advances the lumped-RC thermal state;
+//! 4. runs the *reactive thermal governor*: when the die exceeds its limit
+//!    the RTM is re-invoked with a tightened power cap
+//!    (`sustainable × thermal_backoff`); when it cools below
+//!    `limit − hysteresis` the cap is lifted — the t = 15 s dynamics of the
+//!    paper's Fig 2.
+//!
+//! Everything observable is recorded in a [`Trace`].
+
+use eml_core::knobs::commands_for;
+use eml_core::rtm::{Allocation, AppSpec, Rtm, RtmConfig};
+use eml_platform::thermal::ThermalState;
+use eml_platform::units::{Power, TimeSpan};
+use eml_platform::Soc;
+
+use crate::error::{Result, SimError};
+use crate::trace::{AppSample, Decision, DecisionReason, Sample, Trace};
+
+/// A timed scenario event.
+#[derive(Debug, Clone)]
+pub struct ScenarioEvent {
+    /// When the event fires (seconds).
+    pub at_secs: f64,
+    /// What happens.
+    pub action: Action,
+}
+
+/// Scenario actions.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum Action {
+    /// A new application starts.
+    Arrive(AppSpec),
+    /// An application stops (by name).
+    Depart(String),
+    /// Replace an application's spec (requirement/objective change).
+    Update(AppSpec),
+}
+
+/// Thermal-management policy of the in-loop governor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ThermalPolicy {
+    /// React after the die exceeds its limit (the paper's Fig 2 sequence).
+    #[default]
+    Reactive,
+    /// Throttle as soon as the *predicted steady-state* temperature of the
+    /// current allocation exceeds the limit — trades sustained application
+    /// performance for zero thermal violations (an ablation the paper's
+    /// §V "temperature ... monitored ... DVFS could be then applied"
+    /// discussion motivates).
+    Proactive,
+}
+
+/// Simulation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Step size.
+    pub dt: TimeSpan,
+    /// Total simulated duration.
+    pub duration: TimeSpan,
+    /// Sampling interval for the trace.
+    pub sample_every: TimeSpan,
+    /// Power-cap fraction of sustainable power applied while throttling.
+    pub thermal_backoff: f64,
+    /// Degrees below the limit at which the throttle is released.
+    pub thermal_hysteresis: f64,
+    /// When to throttle.
+    pub thermal_policy: ThermalPolicy,
+    /// RTM configuration used for normal (unthrottled) decisions.
+    pub rtm: RtmConfig,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            dt: TimeSpan::from_millis(50.0),
+            duration: TimeSpan::from_secs(40.0),
+            sample_every: TimeSpan::from_millis(200.0),
+            thermal_backoff: 0.6,
+            thermal_hysteresis: 10.0,
+            thermal_policy: ThermalPolicy::Reactive,
+            rtm: RtmConfig::default(),
+        }
+    }
+}
+
+/// The simulator.
+#[derive(Debug)]
+pub struct Simulator {
+    soc: Soc,
+    cfg: SimConfig,
+    events: Vec<ScenarioEvent>,
+}
+
+impl Simulator {
+    /// Creates a simulator for `soc` with the given scenario events.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidScenario`] if events are not in
+    /// non-decreasing time order, fire after the configured duration, or
+    /// the step size is non-positive.
+    pub fn new(soc: Soc, events: Vec<ScenarioEvent>, cfg: SimConfig) -> Result<Self> {
+        if cfg.dt.as_secs() <= 0.0 {
+            return Err(SimError::InvalidScenario {
+                reason: "step size must be positive".into(),
+            });
+        }
+        for pair in events.windows(2) {
+            if pair[1].at_secs < pair[0].at_secs {
+                return Err(SimError::InvalidScenario {
+                    reason: format!(
+                        "events out of order: {} s after {} s",
+                        pair[1].at_secs, pair[0].at_secs
+                    ),
+                });
+            }
+        }
+        if let Some(last) = events.last() {
+            if last.at_secs > cfg.duration.as_secs() {
+                return Err(SimError::InvalidScenario {
+                    reason: format!(
+                        "event at {} s is beyond the {} s duration",
+                        last.at_secs,
+                        cfg.duration.as_secs()
+                    ),
+                });
+            }
+        }
+        Ok(Self { soc, cfg, events })
+    }
+
+    /// The simulated SoC.
+    pub fn soc(&self) -> &Soc {
+        &self.soc
+    }
+
+    fn throttle_cfg(&self, throttled: bool) -> RtmConfig {
+        if throttled {
+            RtmConfig {
+                power_cap: Some(
+                    self.soc.thermal().sustainable_power() * self.cfg.thermal_backoff,
+                ),
+                ..self.cfg.rtm
+            }
+        } else {
+            self.cfg.rtm
+        }
+    }
+
+    /// Runs the simulation to completion and returns the trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates RTM errors (structural only; infeasibility is recorded in
+    /// the trace, not raised).
+    pub fn run(&self) -> Result<Trace> {
+        let mut trace = Trace::default();
+        let mut apps: Vec<AppSpec> = Vec::new();
+        let mut allocation: Option<Allocation> = None;
+        let mut thermal = ThermalState::at_ambient(self.soc.thermal());
+        let mut throttled = false;
+        let mut next_event = 0usize;
+        let mut time = 0.0f64;
+        let mut since_sample = f64::INFINITY; // sample at t = 0
+
+        let steps = (self.cfg.duration.as_secs() / self.cfg.dt.as_secs()).round() as usize;
+        for _ in 0..=steps {
+            // 1. Scenario events due at this time.
+            let mut reasons: Vec<DecisionReason> = Vec::new();
+            while next_event < self.events.len()
+                && self.events[next_event].at_secs <= time + 1e-9
+            {
+                let ev = &self.events[next_event];
+                match &ev.action {
+                    Action::Arrive(spec) => {
+                        apps.retain(|a| a.name() != spec.name());
+                        apps.push(spec.clone());
+                        reasons.push(DecisionReason::AppArrived(spec.name().to_string()));
+                    }
+                    Action::Depart(name) => {
+                        apps.retain(|a| a.name() != name);
+                        reasons.push(DecisionReason::AppDeparted(name.clone()));
+                    }
+                    Action::Update(spec) => {
+                        apps.retain(|a| a.name() != spec.name());
+                        apps.push(spec.clone());
+                        reasons.push(DecisionReason::RequirementChange(
+                            spec.name().to_string(),
+                        ));
+                    }
+                }
+                next_event += 1;
+            }
+
+            // 2. Thermal governor transitions (reactive policy; also the
+            // safety net under the proactive policy, where it should never
+            // fire).
+            let limit = self.soc.thermal().limit.as_celsius();
+            let temp = thermal.die_temp().as_celsius();
+            if !throttled && temp > limit {
+                throttled = true;
+                reasons.push(DecisionReason::ThermalViolation);
+            } else if self.cfg.thermal_policy == ThermalPolicy::Reactive
+                && throttled
+                && temp < limit - self.cfg.thermal_hysteresis
+            {
+                throttled = false;
+                reasons.push(DecisionReason::ThermalRecovered);
+            }
+
+            // 3. Re-allocate if anything happened. Under the proactive
+            // policy, an unthrottled allocation whose steady-state
+            // temperature would exceed the limit is redone with the
+            // throttled cap before it ever runs.
+            let mut had_decision = !reasons.is_empty();
+            if !reasons.is_empty() {
+                let mut alloc = Rtm::new(self.throttle_cfg(throttled))
+                    .allocate(&self.soc, &apps)?;
+                if self.cfg.thermal_policy == ThermalPolicy::Proactive {
+                    let predicted = self
+                        .soc
+                        .thermal()
+                        .steady_state(effective_power(&self.soc, &alloc, &apps));
+                    if !throttled && predicted > self.soc.thermal().limit {
+                        throttled = true;
+                        reasons.push(DecisionReason::ProactiveThrottle);
+                        alloc = Rtm::new(self.throttle_cfg(true))
+                            .allocate(&self.soc, &apps)?;
+                    } else if throttled {
+                        // Would the unthrottled allocation now be safe?
+                        let candidate = Rtm::new(self.throttle_cfg(false))
+                            .allocate(&self.soc, &apps)?;
+                        let p = effective_power(&self.soc, &candidate, &apps);
+                        if self.soc.thermal().steady_state(p)
+                            <= self.soc.thermal().limit
+                        {
+                            throttled = false;
+                            alloc = candidate;
+                        }
+                    }
+                }
+                for reason in reasons {
+                    trace.decisions.push(Decision {
+                        at_secs: time,
+                        reason,
+                        allocation: alloc.to_string(),
+                        commands: commands_for(&alloc),
+                    });
+                }
+                allocation = Some(alloc);
+                had_decision = true;
+            }
+
+            // 4. Power for this step.
+            let power = allocation
+                .as_ref()
+                .map(|a| effective_power(&self.soc, a, &apps))
+                .unwrap_or_else(|| self.soc.idle_power());
+
+            // 5. Sampling, *before* the thermal step: the sample reflects
+            // the state at time `t`, including the over-limit temperature
+            // that triggered a violation. Decision steps always sample.
+            since_sample += self.cfg.dt.as_secs();
+            if had_decision {
+                since_sample = f64::INFINITY;
+            }
+            if since_sample + 1e-9 >= self.cfg.sample_every.as_secs() {
+                since_sample = 0.0;
+                trace.samples.push(Sample {
+                    at_secs: time,
+                    power,
+                    temp: thermal.die_temp(),
+                    throttled,
+                    apps: allocation
+                        .as_ref()
+                        .map(|a| app_samples(a))
+                        .unwrap_or_default(),
+                });
+            }
+
+            // 6. Thermal update.
+            thermal.step(self.soc.thermal(), power, self.cfg.dt);
+
+            time += self.cfg.dt.as_secs();
+        }
+        Ok(trace)
+    }
+}
+
+/// Average SoC power of an allocation with per-DNN duty cycling: a DNN that
+/// beats its deadline idles until the next frame, so its cluster's dynamic
+/// power is scaled by `latency / period`.
+fn effective_power(soc: &Soc, alloc: &Allocation, apps: &[AppSpec]) -> Power {
+    let mut total = soc.idle_power();
+    for r in &alloc.rigid {
+        total += r.power;
+    }
+    for d in &alloc.dnns {
+        let spec = apps.iter().find_map(|a| match a {
+            AppSpec::Dnn(s) if s.name == d.app => Some(s),
+            _ => None,
+        });
+        let period = spec
+            .and_then(|s| s.requirements.max_latency())
+            .map(|budget| budget.as_secs().max(d.point.latency.as_secs()))
+            .unwrap_or(d.point.latency.as_secs());
+        let duty = if period > 0.0 {
+            (d.point.latency.as_secs() / period).clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
+        let cluster = soc
+            .cluster(d.point.op.cluster)
+            .expect("allocation ids valid");
+        let idle = cluster.power_model().idle_power();
+        // Busy power of this app's share of the cluster, over the idle
+        // floor already counted, weighted by duty. Shared accelerators
+        // split the busy power among sharers (round-robin: each runs
+        // 1/sharers of the time).
+        let busy_over_idle = (d.point.power - idle) / d.sharers as f64;
+        total += busy_over_idle * duty;
+    }
+    total
+}
+
+fn app_samples(alloc: &Allocation) -> Vec<AppSample> {
+    let mut out = Vec::with_capacity(alloc.dnns.len() + alloc.rigid.len());
+    for r in &alloc.rigid {
+        out.push(AppSample {
+            app: r.app.clone(),
+            cluster: r.cluster_name.clone(),
+            freq_mhz: 0.0,
+            cores: 0,
+            level: usize::MAX,
+            latency_ms: 0.0,
+            met: true,
+        });
+    }
+    for d in &alloc.dnns {
+        out.push(AppSample {
+            app: d.app.clone(),
+            cluster: d.cluster_name.clone(),
+            freq_mhz: d.freq.as_mhz(),
+            cores: d.point.op.cores,
+            level: d.point.op.level.index(),
+            latency_ms: d.point.latency.as_millis(),
+            met: d.violations.is_empty(),
+        });
+    }
+    for name in &alloc.unplaced {
+        out.push(AppSample {
+            app: name.clone(),
+            cluster: String::new(),
+            freq_mhz: 0.0,
+            cores: 0,
+            level: usize::MAX,
+            latency_ms: 0.0,
+            met: false,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eml_core::requirements::Requirements;
+    use eml_core::rtm::DnnAppSpec;
+    use eml_dnn::profile::DnnProfile;
+    use eml_platform::presets;
+
+    fn dnn_app(name: &str, latency_ms: f64) -> AppSpec {
+        AppSpec::Dnn(DnnAppSpec {
+            name: name.into(),
+            profile: DnnProfile::reference(name),
+            requirements: Requirements::new()
+                .with_max_latency(TimeSpan::from_millis(latency_ms)),
+            priority: 1,
+            objective: None,
+        })
+    }
+
+    fn quick_cfg(duration_s: f64) -> SimConfig {
+        SimConfig {
+            duration: TimeSpan::from_secs(duration_s),
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn rejects_bad_scenarios() {
+        let soc = presets::flagship();
+        let out_of_order = vec![
+            ScenarioEvent { at_secs: 5.0, action: Action::Depart("a".into()) },
+            ScenarioEvent { at_secs: 1.0, action: Action::Depart("b".into()) },
+        ];
+        assert!(Simulator::new(soc.clone(), out_of_order, quick_cfg(10.0)).is_err());
+        let too_late = vec![ScenarioEvent {
+            at_secs: 99.0,
+            action: Action::Depart("a".into()),
+        }];
+        assert!(Simulator::new(soc.clone(), too_late, quick_cfg(10.0)).is_err());
+        let bad_dt = SimConfig { dt: TimeSpan::ZERO, ..quick_cfg(10.0) };
+        assert!(Simulator::new(soc, vec![], bad_dt).is_err());
+    }
+
+    #[test]
+    fn idle_simulation_stays_at_ambient() {
+        let soc = presets::flagship();
+        let ambient = soc.thermal().ambient;
+        let sim = Simulator::new(soc, vec![], quick_cfg(5.0)).unwrap();
+        let trace = sim.run().unwrap();
+        assert!(!trace.samples.is_empty());
+        let last = trace.samples.last().unwrap();
+        // Idle power heats the die a little, but nowhere near the limit.
+        assert!(last.temp.as_celsius() < ambient.as_celsius() + 10.0);
+        assert!(trace.decisions.is_empty());
+    }
+
+    #[test]
+    fn arrival_triggers_decision_and_power_rise() {
+        let soc = presets::flagship();
+        let events = vec![ScenarioEvent {
+            at_secs: 1.0,
+            action: Action::Arrive(dnn_app("dnn1", 11.0)),
+        }];
+        let sim = Simulator::new(soc, events, quick_cfg(5.0)).unwrap();
+        let trace = sim.run().unwrap();
+        assert_eq!(trace.decisions.len(), 1);
+        assert!(matches!(trace.decisions[0].reason, DecisionReason::AppArrived(_)));
+        assert!((trace.decisions[0].at_secs - 1.0).abs() < 0.1);
+        // Power after arrival exceeds idle power before it.
+        let before = trace.samples.iter().find(|s| s.at_secs < 0.9).unwrap();
+        let after = trace.samples.iter().find(|s| s.at_secs > 2.0).unwrap();
+        assert!(after.power > before.power);
+        assert_eq!(after.apps.len(), 1);
+        assert_eq!(after.apps[0].cluster, "npu");
+    }
+
+    #[test]
+    fn departure_returns_to_idle() {
+        let soc = presets::flagship();
+        let idle = soc.idle_power();
+        let events = vec![
+            ScenarioEvent { at_secs: 0.0, action: Action::Arrive(dnn_app("dnn1", 11.0)) },
+            ScenarioEvent { at_secs: 2.0, action: Action::Depart("dnn1".into()) },
+        ];
+        let sim = Simulator::new(soc, events, quick_cfg(5.0)).unwrap();
+        let trace = sim.run().unwrap();
+        let last = trace.samples.last().unwrap();
+        assert!(last.apps.is_empty());
+        assert!((last.power.as_watts() - idle.as_watts()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duty_cycling_reduces_power_below_always_busy() {
+        // A DNN with lots of slack (loose deadline) must draw less average
+        // power than the allocation's busy power.
+        let soc = presets::flagship();
+        let events = vec![ScenarioEvent {
+            at_secs: 0.0,
+            action: Action::Arrive(dnn_app("lazy", 1000.0)),
+        }];
+        let sim = Simulator::new(soc.clone(), events, quick_cfg(3.0)).unwrap();
+        let trace = sim.run().unwrap();
+        let s = trace.samples.last().unwrap();
+        // NPU busy power is ≥ 0.5 W; with ~0.3% duty the average must sit
+        // just above idle.
+        assert!(s.power.as_watts() < soc.idle_power().as_watts() + 0.1);
+    }
+
+    #[test]
+    fn trace_sampling_interval_respected() {
+        let soc = presets::flagship();
+        let cfg = SimConfig {
+            duration: TimeSpan::from_secs(2.0),
+            sample_every: TimeSpan::from_millis(500.0),
+            ..SimConfig::default()
+        };
+        let sim = Simulator::new(soc, vec![], cfg).unwrap();
+        let trace = sim.run().unwrap();
+        // 0.0, 0.5, 1.0, 1.5, 2.0 → 5 samples.
+        assert_eq!(trace.samples.len(), 5);
+    }
+
+    #[test]
+    fn update_event_changes_requirements() {
+        let soc = presets::flagship();
+        let mut relaxed = dnn_app("dnn1", 11.0);
+        if let AppSpec::Dnn(d) = &mut relaxed {
+            d.requirements = Requirements::new()
+                .with_max_latency(TimeSpan::from_millis(200.0));
+        }
+        let events = vec![
+            ScenarioEvent { at_secs: 0.0, action: Action::Arrive(dnn_app("dnn1", 11.0)) },
+            ScenarioEvent { at_secs: 1.0, action: Action::Update(relaxed) },
+        ];
+        let sim = Simulator::new(soc, events, quick_cfg(3.0)).unwrap();
+        let trace = sim.run().unwrap();
+        assert_eq!(trace.decisions.len(), 2);
+        assert!(matches!(
+            trace.decisions[1].reason,
+            DecisionReason::RequirementChange(_)
+        ));
+    }
+}

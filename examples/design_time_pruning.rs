@@ -1,0 +1,83 @@
+//! Design-time static pruning across platforms (the paper's Fig 1) and why
+//! it breaks at runtime (§III-B).
+//!
+//! ```sh
+//! cargo run --example design_time_pruning
+//! ```
+
+use emlrt::prelude::*;
+use emlrt::rtm::baseline::{design_time_prune, dvfs_robustness, summarize};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let profile = DnnProfile::reference("camera-dnn");
+    let platforms = [
+        emlrt::platform::presets::flagship(),
+        emlrt::platform::presets::jetson_nano(),
+        emlrt::platform::presets::odroid_xu3(),
+    ];
+    // Fig 1's three application classes.
+    let requirements = [
+        ("1 fps, very-high accuracy", Requirements::new().with_target_fps(1.0).with_min_top1(71.0)),
+        ("25 fps, high accuracy", Requirements::new().with_target_fps(25.0).with_min_top1(66.0)),
+        ("60 fps, medium accuracy", Requirements::new().with_target_fps(60.0).with_min_top1(60.0)),
+    ];
+
+    println!("=== Fig 1: design-time compression per platform ===");
+    println!("{:<14} {:<28} {:>7} {:>10} {:>10}", "platform", "requirement", "width", "cluster", "freq");
+    for soc in &platforms {
+        for (label, req) in &requirements {
+            match design_time_prune(soc, &profile, req, OpSpaceConfig::default())? {
+                Some(d) => println!(
+                    "{:<14} {:<28} {:>6}% {:>10} {:>7.0}MHz",
+                    soc.name(),
+                    label,
+                    (d.level.index() + 1) * 25,
+                    d.cluster_name,
+                    d.freq.as_mhz()
+                ),
+                None => println!("{:<14} {:<28} {:>7}", soc.name(), label, "none"),
+            }
+        }
+    }
+
+    // §III-B: the static design assumes a hardware setting that other
+    // workloads can take away.
+    println!("\n=== §III-B: robustness to DVFS perturbation (XU3, A15) ===");
+    let soc = emlrt::platform::presets::odroid_xu3();
+    let a15 = soc.find_cluster("a15").expect("preset cluster");
+    let req = Requirements::new().with_max_latency(TimeSpan::from_millis(210.0));
+    let design = design_time_prune(
+        &soc,
+        &profile,
+        &req,
+        OpSpaceConfig::default().with_clusters(vec![a15]),
+    )?
+    .expect("feasible at design time");
+    println!(
+        "design-time choice: {}% model @ {:.0} MHz",
+        (design.level.index() + 1) * 25,
+        design.freq.as_mhz()
+    );
+    let outcomes = dvfs_robustness(&soc, &profile, &req, &design)?;
+    println!("{:>10} {:>14} {:>14}", "freq (MHz)", "static", "dynamic");
+    for o in &outcomes {
+        let spec = soc.cluster(a15)?;
+        let freq = spec.opps().get(o.actual_opp).expect("valid OPP").freq();
+        let dynamic = match &o.dynamic_point {
+            Some(d) => format!("{}% ok", (d.op.level.index() + 1) * 25),
+            None => "infeasible".to_string(),
+        };
+        println!(
+            "{:>10.0} {:>14} {:>14}",
+            freq.as_mhz(),
+            if o.static_ok { "ok" } else { "VIOLATES" },
+            dynamic
+        );
+    }
+    let s = summarize(&outcomes);
+    println!(
+        "\nstatic violates at {}/{} frequencies; dynamic feasible at {}/{}",
+        s.static_violations, s.total, s.dynamic_feasible, s.total
+    );
+    Ok(())
+}

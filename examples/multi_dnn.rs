@@ -1,0 +1,76 @@
+//! Multi-DNN arbitration: how the RTM shares a flagship SoC between
+//! concurrent DNNs of different priorities, and what a power cap does.
+//!
+//! ```sh
+//! cargo run --example multi_dnn
+//! ```
+
+use emlrt::prelude::*;
+use emlrt::sim::scenario::scaled_reference_profile;
+
+fn dnn(name: &str, scale: f64, fps: f64, priority: u8) -> AppSpec {
+    let profile = if (scale - 1.0).abs() < 1e-12 {
+        DnnProfile::reference(name)
+    } else {
+        scaled_reference_profile(name, scale)
+    };
+    AppSpec::Dnn(DnnAppSpec {
+        name: name.to_string(),
+        profile,
+        requirements: Requirements::new().with_target_fps(fps),
+        priority,
+        objective: None,
+    })
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let soc = emlrt::platform::presets::flagship();
+
+    println!("=== Three concurrent DNNs, no power cap ===");
+    let apps = [
+        dnn("keyword-spotter", 0.2, 20.0, 3),
+        dnn("face-detector", 1.0, 60.0, 2),
+        dnn("scene-segmenter", 4.0, 15.0, 1),
+    ];
+    let rtm = Rtm::new(RtmConfig::default());
+    let alloc = rtm.allocate(&soc, &apps)?;
+    println!("{alloc}\n");
+
+    println!("=== Same workload under a 4 W power cap ===");
+    let rtm = Rtm::new(RtmConfig {
+        power_cap: Some(Power::from_watts(4.0)),
+        ..RtmConfig::default()
+    });
+    let alloc = rtm.allocate(&soc, &apps)?;
+    println!("{alloc}\n");
+
+    println!("=== Sweep: feasible accuracy vs power cap ===");
+    println!("{:>9} {:>22} {:>22} {:>22}", "cap (W)", "keyword-spotter", "face-detector", "scene-segmenter");
+    for cap_w in [2.0, 3.0, 4.0, 6.0, 8.0, 12.0] {
+        let rtm = Rtm::new(RtmConfig {
+            power_cap: Some(Power::from_watts(cap_w)),
+            ..RtmConfig::default()
+        });
+        let alloc = rtm.allocate(&soc, &apps)?;
+        let describe = |name: &str| -> String {
+            match alloc.dnn(name) {
+                Some(d) => format!(
+                    "{}% on {}{}",
+                    (d.point.op.level.index() + 1) * 25,
+                    d.cluster_name,
+                    if d.violations.is_empty() { "" } else { " (!)" }
+                ),
+                None => "unplaced".to_string(),
+            }
+        };
+        println!(
+            "{:>9.1} {:>22} {:>22} {:>22}",
+            cap_w,
+            describe("keyword-spotter"),
+            describe("face-detector"),
+            describe("scene-segmenter")
+        );
+    }
+    println!("\n(!) = placed with requirement violations (best effort under the cap)");
+    Ok(())
+}

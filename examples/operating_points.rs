@@ -1,0 +1,39 @@
+//! Dump the paper's Fig 4(a) operating-point space as CSV.
+//!
+//! Sweeps the four dynamic-DNN widths across the A15 (17 DVFS levels) and
+//! A7 (12 levels) clusters of the Odroid XU3 and prints
+//! `(cluster, width, freq, time, energy)` rows suitable for plotting.
+//!
+//! ```sh
+//! cargo run --example operating_points > fig4a.csv
+//! ```
+
+use emlrt::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let soc = emlrt::platform::presets::odroid_xu3();
+    let profile = DnnProfile::reference("camera-dnn");
+    let cpus = vec![
+        soc.find_cluster("a15").expect("preset cluster"),
+        soc.find_cluster("a7").expect("preset cluster"),
+    ];
+    let space = OpSpace::new(&soc, &profile, OpSpaceConfig::default().with_clusters(cpus))?;
+
+    println!("cluster,width_percent,freq_mhz,time_ms,energy_mj,power_mw,top1_percent");
+    for op in space.iter() {
+        let pt = space.evaluate(op)?;
+        let cluster = soc.cluster(op.cluster)?;
+        let freq = cluster.opps().get(op.opp_index).expect("valid OPP").freq();
+        println!(
+            "{},{},{:.0},{:.2},{:.2},{:.0},{:.1}",
+            cluster.name(),
+            (op.level.index() + 1) * 25,
+            freq.as_mhz(),
+            pt.latency.as_millis(),
+            pt.energy.as_millijoules(),
+            pt.power.as_milliwatts(),
+            pt.top1_percent
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! Quickstart: the paper's §IV worked example, end to end.
+//!
+//! Builds the Odroid XU3 platform model, the reference dynamic-DNN profile,
+//! and asks the RTM for the best operating point under the paper's two
+//! budgets. Run with:
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use emlrt::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The board of the paper's case study: Samsung Exynos 5422 (4×A15 +
+    // 4×A7), calibrated against the published Table I measurements.
+    let soc = emlrt::platform::presets::odroid_xu3();
+
+    // The paper's dynamic DNN: 25/50/75/100% width levels with the
+    // published CIFAR-10 accuracies (56 / 62.7 / 68.8 / 71.2 %).
+    let profile = DnnProfile::reference("camera-dnn");
+
+    // The §IV space: CPU clusters only (A15 × 17 DVFS levels, A7 × 12).
+    let cpus = vec![
+        soc.find_cluster("a15").expect("XU3 has an A15 cluster"),
+        soc.find_cluster("a7").expect("XU3 has an A7 cluster"),
+    ];
+    let space = OpSpace::new(&soc, &profile, OpSpaceConfig::default().with_clusters(cpus))?;
+    println!(
+        "operating-point space: {} points ({} widths x 29 DVFS/mapping settings)\n",
+        space.len(),
+        profile.level_count()
+    );
+
+    for (label, time_ms, energy_mj) in [
+        ("budget 1 (paper: 100% model on A7 @ 900 MHz)", 400.0, 100.0),
+        ("budget 2 (paper: 75% model on A15 @ 1 GHz)", 200.0, 150.0),
+    ] {
+        let req = Requirements::new()
+            .with_max_latency(TimeSpan::from_millis(time_ms))
+            .with_max_energy(Energy::from_millijoules(energy_mj));
+        let best = ExhaustiveGovernor
+            .decide(&space, &req, Objective::MaxAccuracyThenMinEnergy)?
+            .expect("both paper budgets are feasible");
+        let cluster = soc.cluster(best.op.cluster)?;
+        let freq = cluster
+            .opps()
+            .get(best.op.opp_index)
+            .expect("valid OPP")
+            .freq();
+        println!("{label}");
+        println!(
+            "  -> {} model on {} @ {:.0} MHz x{} cores",
+            ["25%", "50%", "75%", "100%"][best.op.level.index()],
+            cluster.name(),
+            freq.as_mhz(),
+            best.op.cores
+        );
+        println!(
+            "     predicted: {:.1} ms, {:.1} mJ, {:.0} mW, top-1 {:.1} %\n",
+            best.latency.as_millis(),
+            best.energy.as_millijoules(),
+            best.power.as_milliwatts(),
+            best.top1_percent
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! The paper's Fig 2 runtime scenario: two DNNs, a VR/AR app and a thermal
+//! violation on a flagship phone SoC.
+//!
+//! ```sh
+//! cargo run --example runtime_scenario
+//! ```
+
+use emlrt::sim::scenario;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let sim = scenario::fig2_scenario()?;
+    let trace = sim.run()?;
+
+    println!("=== RTM decision log ===");
+    print!("{}", trace.decision_log());
+
+    println!("\n=== State at key times ===");
+    println!(
+        "{:>6} {:>8} {:>9} {:>10} {:>6} {:>7} {:>12} {:>5}",
+        "t (s)", "app", "cluster", "freq (MHz)", "cores", "width", "latency (ms)", "met"
+    );
+    for t in [3.0, 10.0, 16.0, 22.0, 30.0, 38.0] {
+        for app in [scenario::names::DNN1, scenario::names::DNN2, scenario::names::VRAR] {
+            if let Some(a) = trace.app_at(t, app) {
+                let width = if a.level == usize::MAX {
+                    "-".to_string()
+                } else {
+                    format!("{}%", (a.level + 1) * 25)
+                };
+                println!(
+                    "{:>6.1} {:>8} {:>9} {:>10.0} {:>6} {:>7} {:>12.1} {:>5}",
+                    t, a.app, a.cluster, a.freq_mhz, a.cores, width, a.latency_ms, a.met
+                );
+            }
+        }
+    }
+
+    let s = trace.summary();
+    println!("\n=== Run summary ===");
+    println!("duration:            {:.1} s", s.duration.as_secs());
+    println!("total energy:        {:.1} J", s.total_energy.as_joules());
+    println!("mean power:          {:.2} W", s.mean_power.as_watts());
+    println!("peak temperature:    {:.1} C", s.peak_temp.as_celsius());
+    println!("RTM decisions:       {}", s.decisions);
+    println!("thermal violations:  {}", s.thermal_violations);
+    println!("feasible fraction:   {:.1} %", s.feasible_fraction * 100.0);
+    Ok(())
+}

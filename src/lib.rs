@@ -1,0 +1,82 @@
+//! # emlrt — runtime resource management for embedded machine learning
+//!
+//! A full reproduction of *Lei Xun, Long Tran-Thanh, Bashir M. Al-Hashimi,
+//! Geoff V. Merrett, "Optimising Resource Management for Embedded Machine
+//! Learning", DATE 2020* (arXiv:2105.03608), as a Rust workspace:
+//!
+//! | Crate | Role |
+//! |-------|------|
+//! | [`platform`] | Heterogeneous SoC models (Odroid XU3, Jetson Nano, flagship), calibrated against the paper's Table I |
+//! | [`nn`] | From-scratch NN library: group convolutions, incremental training, exact cost model |
+//! | [`dnn`] | Dynamic DNNs: width levels, profiles, switching-cost models |
+//! | [`rtm`] | The runtime resource manager: operating-point spaces, governors, multi-app allocation, knobs/monitors |
+//! | [`sim`] | Multi-application simulator with reactive thermal management |
+//!
+//! ## The paper in three lines
+//!
+//! ```
+//! use emlrt::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let soc = emlrt::platform::presets::odroid_xu3();
+//! let profile = DnnProfile::reference("camera-dnn");
+//! let space = OpSpace::new(&soc, &profile, OpSpaceConfig::default())?;
+//! let req = Requirements::new()
+//!     .with_max_latency(TimeSpan::from_millis(400.0))
+//!     .with_max_energy(Energy::from_millijoules(100.0));
+//! let best = ExhaustiveGovernor.decide(&space, &req, Objective::default())?;
+//! assert!(best.is_some());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `README.md` for the architecture overview, `DESIGN.md` for the
+//! system inventory and `EXPERIMENTS.md` for paper-vs-measured results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Heterogeneous SoC performance/power/thermal models (re-export of
+/// [`eml_platform`]).
+pub use eml_platform as platform;
+
+/// Minimal neural-network library with group convolutions (re-export of
+/// [`eml_nn`]).
+pub use eml_nn as nn;
+
+/// Dynamic DNNs: runtime width scaling (re-export of [`eml_dnn`]).
+pub use eml_dnn as dnn;
+
+/// The runtime resource manager (re-export of [`eml_core`]).
+pub use eml_core as rtm;
+
+/// Multi-application simulator (re-export of [`eml_sim`]).
+pub use eml_sim as sim;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use eml_core::governor::{ExhaustiveGovernor, Governor, GreedyGovernor, ParetoGovernor};
+    pub use eml_core::objective::Objective;
+    pub use eml_core::opspace::{EvaluatedPoint, OpSpace, OpSpaceConfig, OperatingPoint};
+    pub use eml_core::requirements::Requirements;
+    pub use eml_core::rtm::{AppSpec, DnnAppSpec, RigidAppSpec, Rtm, RtmConfig};
+    pub use eml_dnn::profile::{DnnProfile, LevelSpec};
+    pub use eml_dnn::{DynamicDnn, FourLevel, WidthLevel};
+    pub use eml_platform::soc::{ClusterId, CoreKind, Placement, Soc};
+    pub use eml_platform::units::{Celsius, Energy, Freq, Power, TimeSpan, Voltage};
+    pub use eml_platform::workload::Workload;
+    pub use eml_sim::{SimConfig, Simulator, Trace};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_compiles_and_reexports_work() {
+        use crate::prelude::*;
+        let soc = crate::platform::presets::odroid_xu3();
+        assert_eq!(soc.name(), "odroid-xu3");
+        let p = DnnProfile::reference("x");
+        assert_eq!(p.level_count(), 4);
+        let _ = Requirements::new().with_max_latency(TimeSpan::from_millis(1.0));
+    }
+}

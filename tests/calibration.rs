@@ -1,0 +1,106 @@
+//! Integration test: Table I reproduction through the public API.
+
+use emlrt::platform::paper::TABLE_ONE;
+use emlrt::platform::presets;
+use emlrt::prelude::*;
+
+#[test]
+fn every_table_one_row_is_reproduced() {
+    let socs = [presets::odroid_xu3(), presets::jetson_nano()];
+    let w = presets::reference_workload();
+    for row in &TABLE_ONE {
+        let soc = socs.iter().find(|s| s.name() == row.platform).unwrap();
+        let id = soc.find_cluster(row.cluster).unwrap();
+        let spec = soc.cluster(id).unwrap();
+        let p = soc
+            .predict(
+                Placement::whole_cluster(id, spec),
+                Freq::from_mhz(row.freq_mhz),
+                &w,
+            )
+            .unwrap();
+        let t_err = (p.latency.as_millis() - row.time_ms).abs() / row.time_ms;
+        let p_err = (p.power.as_milliwatts() - row.power_mw).abs() / row.power_mw;
+        assert!(t_err < 0.02, "{}: latency {:.1}%", row.label, t_err * 100.0);
+        assert!(p_err < 0.01, "{}: power {:.1}%", row.label, p_err * 100.0);
+    }
+}
+
+#[test]
+fn accuracy_is_platform_independent_in_our_model_too() {
+    // Table I's platform-independent column: the same width level reports
+    // the same accuracy regardless of where it runs.
+    let profile = DnnProfile::reference("dnn");
+    for soc in [presets::odroid_xu3(), presets::jetson_nano(), presets::flagship()] {
+        let space = OpSpace::new(&soc, &profile, OpSpaceConfig::default()).unwrap();
+        for op in space.iter() {
+            let pt = space.evaluate(op).unwrap();
+            let expected = profile.top1(op.level).unwrap();
+            assert_eq!(pt.top1_percent, expected, "{} {:?}", soc.name(), op);
+        }
+    }
+}
+
+#[test]
+fn jetson_gpu_dominates_jetson_cpu_as_in_table_one() {
+    // Shape check: the GPU rows beat the CPU rows in both time and energy,
+    // as the paper measured.
+    let soc = presets::jetson_nano();
+    let w = presets::reference_workload();
+    let gpu = soc.find_cluster("gpu").unwrap();
+    let cpu = soc.find_cluster("a57").unwrap();
+    let pg = soc
+        .predict(Placement::new(gpu, 1), Freq::from_mhz(921.6), &w)
+        .unwrap();
+    let pc = soc
+        .predict(Placement::new(cpu, 4), Freq::from_mhz(1428.0), &w)
+        .unwrap();
+    assert!(pg.latency < pc.latency);
+    assert!(pg.energy < pc.energy);
+}
+
+#[test]
+fn xu3_a7_wins_energy_a15_wins_speed() {
+    // The Table I shape that drives the whole case study: the A7 is the
+    // energy-efficient cluster, the A15 the fast one.
+    let soc = presets::odroid_xu3();
+    let w = presets::reference_workload();
+    let a15 = soc.find_cluster("a15").unwrap();
+    let a7 = soc.find_cluster("a7").unwrap();
+    let best_a15_time = soc
+        .predict(Placement::new(a15, 4), Freq::from_mhz(1800.0), &w)
+        .unwrap();
+    let best_a7_energy = soc
+        .predict(Placement::new(a7, 4), Freq::from_mhz(700.0), &w)
+        .unwrap();
+    // A15's fastest beats anything the A7 can do.
+    let a7_fastest = soc
+        .predict(Placement::new(a7, 4), Freq::from_mhz(1300.0), &w)
+        .unwrap();
+    assert!(best_a15_time.latency < a7_fastest.latency);
+    // A7's most efficient beats anything the A15 can do.
+    let mut best_a15_energy = f64::INFINITY;
+    let spec = soc.cluster(a15).unwrap();
+    for opp in spec.opps().iter() {
+        let p = soc
+            .predict(Placement::new(a15, 4), opp.freq(), &w)
+            .unwrap();
+        best_a15_energy = best_a15_energy.min(p.energy.as_millijoules());
+    }
+    assert!(best_a7_energy.energy.as_millijoules() < best_a15_energy);
+}
+
+#[test]
+fn workload_scaling_preserves_calibration_ratios() {
+    // A workload of half the MACs takes half the time at the same power.
+    let soc = presets::odroid_xu3();
+    let a15 = soc.find_cluster("a15").unwrap();
+    let w_full = presets::reference_workload();
+    let w_half = w_full.scaled(0.5);
+    let f = Freq::from_mhz(1000.0);
+    let pf = soc.predict(Placement::new(a15, 4), f, &w_full).unwrap();
+    let ph = soc.predict(Placement::new(a15, 4), f, &w_half).unwrap();
+    assert!((ph.latency.as_secs() / pf.latency.as_secs() - 0.5).abs() < 1e-9);
+    assert_eq!(ph.power, pf.power);
+    assert!((ph.energy.as_joules() / pf.energy.as_joules() - 0.5).abs() < 1e-9);
+}

@@ -1,0 +1,122 @@
+//! Integration test: the paper's §IV worked example through the public API,
+//! across all three governor implementations.
+
+use emlrt::platform::paper::{CASE_STUDY_BUDGET_1, CASE_STUDY_BUDGET_2};
+use emlrt::prelude::*;
+
+fn cpu_space<'a>(
+    soc: &'a Soc,
+    profile: &'a DnnProfile,
+) -> OpSpace<'a> {
+    let cpus = vec![
+        soc.find_cluster("a15").unwrap(),
+        soc.find_cluster("a7").unwrap(),
+    ];
+    OpSpace::new(soc, profile, OpSpaceConfig::default().with_clusters(cpus)).unwrap()
+}
+
+fn check_budget(
+    governor: &mut dyn Governor,
+    budget: &emlrt::platform::paper::CaseStudyBudget,
+) {
+    let soc = emlrt::platform::presets::odroid_xu3();
+    let profile = DnnProfile::reference("dnn");
+    let space = cpu_space(&soc, &profile);
+    let req = Requirements::new()
+        .with_max_latency(TimeSpan::from_millis(budget.time_ms))
+        .with_max_energy(Energy::from_millijoules(budget.energy_mj));
+    let pt = governor
+        .decide(&space, &req, Objective::MaxAccuracyThenMinEnergy)
+        .unwrap()
+        .unwrap_or_else(|| panic!("{}: budget must be feasible", governor.name()));
+
+    let cluster = soc.cluster(pt.op.cluster).unwrap();
+    let freq = cluster.opps().get(pt.op.opp_index).unwrap().freq();
+    assert_eq!(
+        cluster.name(),
+        budget.expect_cluster,
+        "{}: wrong cluster for ({} ms, {} mJ)",
+        governor.name(),
+        budget.time_ms,
+        budget.energy_mj
+    );
+    assert!(
+        (freq.as_mhz() - budget.expect_freq_mhz).abs() < 0.5,
+        "{}: {} MHz vs expected {}",
+        governor.name(),
+        freq.as_mhz(),
+        budget.expect_freq_mhz
+    );
+    let width = (pt.op.level.index() + 1) as f64 * 0.25;
+    assert!(
+        (width - budget.expect_width).abs() < 1e-9,
+        "{}: width {width} vs expected {}",
+        governor.name(),
+        budget.expect_width
+    );
+    // And the point actually meets the budgets.
+    assert!(pt.latency.as_millis() <= budget.time_ms + 1e-9);
+    assert!(pt.energy.as_millijoules() <= budget.energy_mj + 1e-9);
+}
+
+#[test]
+fn exhaustive_governor_reproduces_both_budgets() {
+    check_budget(&mut ExhaustiveGovernor, &CASE_STUDY_BUDGET_1);
+    check_budget(&mut ExhaustiveGovernor, &CASE_STUDY_BUDGET_2);
+}
+
+#[test]
+fn pareto_governor_reproduces_both_budgets() {
+    // Fresh governor per budget and a shared one across budgets must agree.
+    check_budget(&mut ParetoGovernor::new(), &CASE_STUDY_BUDGET_1);
+    check_budget(&mut ParetoGovernor::new(), &CASE_STUDY_BUDGET_2);
+    let mut shared = ParetoGovernor::new();
+    check_budget(&mut shared, &CASE_STUDY_BUDGET_1);
+    check_budget(&mut shared, &CASE_STUDY_BUDGET_2);
+}
+
+#[test]
+fn greedy_governor_finds_the_same_optima_here() {
+    // The hill-climber is not guaranteed optimal in general, but on this
+    // well-behaved space it lands on the paper's answers too.
+    check_budget(&mut GreedyGovernor::default(), &CASE_STUDY_BUDGET_1);
+    check_budget(&mut GreedyGovernor::default(), &CASE_STUDY_BUDGET_2);
+}
+
+#[test]
+fn budget_transition_shrinks_width_as_in_the_paper() {
+    // Moving from budget 1 to budget 2 at runtime is exactly a dynamic-DNN
+    // width switch plus a task migration — no retraining involved.
+    let soc = emlrt::platform::presets::odroid_xu3();
+    let profile = DnnProfile::reference("dnn");
+    let space = cpu_space(&soc, &profile);
+    let req1 = Requirements::new()
+        .with_max_latency(TimeSpan::from_millis(CASE_STUDY_BUDGET_1.time_ms))
+        .with_max_energy(Energy::from_millijoules(CASE_STUDY_BUDGET_1.energy_mj));
+    let req2 = Requirements::new()
+        .with_max_latency(TimeSpan::from_millis(CASE_STUDY_BUDGET_2.time_ms))
+        .with_max_energy(Energy::from_millijoules(CASE_STUDY_BUDGET_2.energy_mj));
+    let p1 = ExhaustiveGovernor
+        .decide(&space, &req1, Objective::default())
+        .unwrap()
+        .unwrap();
+    let p2 = ExhaustiveGovernor
+        .decide(&space, &req2, Objective::default())
+        .unwrap()
+        .unwrap();
+    assert!(p2.op.level < p1.op.level, "tighter latency forces narrower width");
+    assert_ne!(p1.op.cluster, p2.op.cluster, "and a migration (A7 -> A15)");
+}
+
+#[test]
+fn infeasible_budget_is_reported_not_fudged() {
+    let soc = emlrt::platform::presets::odroid_xu3();
+    let profile = DnnProfile::reference("dnn");
+    let space = cpu_space(&soc, &profile);
+    // 10 ms on XU3 CPUs is impossible even for the 25% model.
+    let req = Requirements::new().with_max_latency(TimeSpan::from_millis(10.0));
+    assert!(ExhaustiveGovernor
+        .decide(&space, &req, Objective::default())
+        .unwrap()
+        .is_none());
+}

@@ -1,0 +1,127 @@
+//! Integration test: train a dynamic DNN end to end (Fig 3 + Fig 4b
+//! properties) and drive it through the profile/platform pipeline.
+//!
+//! Uses a miniature dataset/network so the test stays fast in debug builds;
+//! the full-size run lives in the `fig3`/`fig4b` bench regenerators.
+
+use emlrt::dnn::{DynamicDnn, WidthLevel};
+use emlrt::nn::arch::{build_group_cnn, CnnConfig};
+use emlrt::nn::dataset::{make_batch, DatasetConfig, SyntheticVision};
+use emlrt::nn::metrics::evaluate;
+use emlrt::nn::train::{train_incremental, TrainConfig};
+use emlrt::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn trained() -> (DynamicDnn, SyntheticVision) {
+    let data = SyntheticVision::generate(DatasetConfig {
+        classes: 4,
+        height: 8,
+        width: 8,
+        train_per_class: 60,
+        test_per_class: 25,
+        modes_per_class: 2,
+        ..DatasetConfig::default()
+    });
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut net = build_group_cnn(
+        CnnConfig { input: (3, 8, 8), classes: 4, groups: 4, base_width: 8 },
+        &mut rng,
+    )
+    .unwrap();
+    let cfg = TrainConfig { epochs: 3, batch_size: 16, lr: 0.08, ..TrainConfig::default() };
+    let report = train_incremental(&mut net, data.train(), Some(data.test()), &cfg).unwrap();
+    let dnn = DynamicDnn::from_trained("test-dnn", net, &report).unwrap();
+    (dnn, data)
+}
+
+#[test]
+fn training_yields_usable_accuracy_at_every_width() {
+    let (mut dnn, data) = trained();
+    // Chance level for 4 classes is 25%; every width must clearly beat it.
+    for level in 0..4 {
+        dnn.set_level(WidthLevel(level)).unwrap();
+        let eval = evaluate(dnn.network_mut(), data.test(), 16).unwrap();
+        assert!(
+            eval.top1 > 0.45,
+            "width {level}: top-1 {:.2} should beat chance 0.25",
+            eval.top1
+        );
+    }
+}
+
+#[test]
+fn wider_is_never_much_worse_and_full_is_best_or_close() {
+    let (mut dnn, data) = trained();
+    let mut accs = Vec::new();
+    for level in 0..4 {
+        dnn.set_level(WidthLevel(level)).unwrap();
+        accs.push(evaluate(dnn.network_mut(), data.test(), 16).unwrap().top1);
+    }
+    // The Fig 4(b) property on a small dataset, stated robustly: adding
+    // groups never loses more than a couple of points, and the full model
+    // is within noise of the best.
+    for w in accs.windows(2) {
+        assert!(w[1] >= w[0] - 0.05, "accuracy collapse across widths: {accs:?}");
+    }
+    let best = accs.iter().copied().fold(0.0, f64::max);
+    assert!(accs[3] >= best - 0.05, "full width far from best: {accs:?}");
+}
+
+#[test]
+fn profile_cost_fractions_match_the_quarter_grid() {
+    let (dnn, _) = trained();
+    for (i, (_, spec)) in dnn.profile().levels().enumerate() {
+        let expect = (i + 1) as f64 * 0.25;
+        assert!(
+            (spec.cost_fraction - expect).abs() < 0.01,
+            "level {i}: {:.3} vs {expect}",
+            spec.cost_fraction
+        );
+    }
+}
+
+#[test]
+fn width_switching_is_free_of_retraining() {
+    let (mut dnn, data) = trained();
+    let (batch, _) = make_batch(data.test(), &(0..8).collect::<Vec<_>>());
+    dnn.set_level(WidthLevel(1)).unwrap();
+    let before = dnn.infer(&batch).unwrap();
+    // Bounce through every level and come back.
+    for l in [3, 0, 2, 1] {
+        dnn.set_level(WidthLevel(l)).unwrap();
+        let _ = dnn.infer(&batch).unwrap();
+    }
+    dnn.set_level(WidthLevel(1)).unwrap();
+    let after = dnn.infer(&batch).unwrap();
+    assert_eq!(before, after, "predictions must be bit-stable across switches");
+}
+
+#[test]
+fn trained_profile_drives_the_platform_pipeline() {
+    // The live-trained profile (not the reference one) must flow through
+    // the op-space machinery and produce a feasible decision.
+    let (dnn, _) = trained();
+    let soc = emlrt::platform::presets::odroid_xu3();
+    let space = OpSpace::new(&soc, dnn.profile(), OpSpaceConfig::default()).unwrap();
+    let req = Requirements::new().with_max_latency(TimeSpan::from_millis(500.0));
+    let pt = ExhaustiveGovernor
+        .decide(&space, &req, Objective::default())
+        .unwrap()
+        .expect("feasible");
+    assert!(pt.latency.as_millis() <= 500.0);
+    // Accuracy flows from the measured evaluation, not the paper table.
+    let expected = dnn.profile().top1(pt.op.level).unwrap();
+    assert_eq!(pt.top1_percent, expected);
+}
+
+#[test]
+fn confidence_monitor_is_sane_at_all_widths() {
+    let (mut dnn, data) = trained();
+    let (batch, _) = make_batch(data.test(), &(0..16).collect::<Vec<_>>());
+    for level in 0..4 {
+        dnn.set_level(WidthLevel(level)).unwrap();
+        let c = dnn.confidence(&batch).unwrap();
+        assert!((0.25..=1.0).contains(&c), "width {level}: confidence {c}");
+    }
+}

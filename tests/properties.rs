@@ -1,0 +1,225 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants of the reproduction.
+
+use emlrt::platform::calibration::{fit_inverse_affine, interp_extrapolate};
+use emlrt::platform::opp::OppTable;
+use emlrt::platform::presets;
+use emlrt::platform::thermal::{ThermalModel, ThermalState};
+use emlrt::prelude::*;
+use emlrt::rtm::pareto::{dominates, pareto_front};
+use proptest::prelude::*;
+
+fn arb_point() -> impl Strategy<Value = EvaluatedPoint> {
+    (
+        1.0f64..1000.0,
+        0.1f64..500.0,
+        10.0f64..3000.0,
+        40.0f64..80.0,
+        0usize..4,
+    )
+        .prop_map(|(lat_ms, e_mj, p_mw, top1, level)| EvaluatedPoint {
+            op: OperatingPoint {
+                cluster: ClusterId::from_index(0),
+                cores: 1,
+                opp_index: 0,
+                level: WidthLevel(level),
+            },
+            latency: TimeSpan::from_millis(lat_ms),
+            energy: Energy::from_millijoules(e_mj),
+            power: Power::from_milliwatts(p_mw),
+            top1_percent: top1,
+        })
+}
+
+proptest! {
+    /// Power × time = energy holds for arbitrary magnitudes.
+    #[test]
+    fn unit_algebra_round_trips(p in 1e-6f64..1e3, t in 1e-6f64..1e3) {
+        let power = Power::from_watts(p);
+        let time = TimeSpan::from_secs(t);
+        let energy = power * time;
+        prop_assert!((energy / time - power).abs().as_watts() < 1e-9 * p.max(1.0));
+        prop_assert!(((energy / power) - time).abs().as_secs() < 1e-9 * t.max(1.0));
+    }
+
+    /// The latency fit is exact on single anchors and monotone decreasing
+    /// in frequency for all fitted models.
+    #[test]
+    fn latency_fit_monotone(anchor_mhz in 100.0f64..3000.0, anchor_ms in 1.0f64..2000.0) {
+        let fit = fit_inverse_affine(&[(
+            Freq::from_mhz(anchor_mhz),
+            TimeSpan::from_millis(anchor_ms),
+        )]).unwrap();
+        let t_anchor = fit.eval(Freq::from_mhz(anchor_mhz));
+        prop_assert!((t_anchor.as_millis() - anchor_ms).abs() < 1e-6);
+        let mut prev = f64::INFINITY;
+        for mhz in (1..=30).map(|i| i as f64 * 100.0) {
+            let t = fit.eval(Freq::from_mhz(mhz)).as_secs();
+            prop_assert!(t <= prev);
+            prev = t;
+        }
+    }
+
+    /// Linear interpolation is exact on its anchors and bounded between
+    /// them within each segment.
+    #[test]
+    fn interpolation_respects_anchors(
+        ys in proptest::collection::vec(0.1f64..100.0, 2..6),
+        t in 0.0f64..1.0,
+    ) {
+        let points: Vec<(f64, f64)> = ys
+            .iter()
+            .enumerate()
+            .map(|(i, &y)| (i as f64, y))
+            .collect();
+        for &(x, y) in &points {
+            prop_assert!((interp_extrapolate(&points, x) - y).abs() < 1e-9);
+        }
+        // A query inside segment 0 stays within the segment's value range.
+        let x = t * (points[1].0 - points[0].0) + points[0].0;
+        let v = interp_extrapolate(&points, x);
+        let lo = points[0].1.min(points[1].1) - 1e-9;
+        let hi = points[0].1.max(points[1].1) + 1e-9;
+        prop_assert!(v >= lo && v <= hi);
+    }
+
+    /// OPP tables reject unsorted input and accept sorted input.
+    #[test]
+    fn opp_table_ordering_invariant(mut freqs in proptest::collection::vec(100.0f64..3000.0, 2..8)) {
+        freqs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        freqs.dedup_by(|a, b| (*a - *b).abs() < 1.0);
+        prop_assume!(freqs.len() >= 2);
+        let points: Vec<(f64, f64)> = freqs
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| (f, 800.0 + i as f64 * 10.0))
+            .collect();
+        let table = OppTable::from_mhz_mv(&points).unwrap();
+        prop_assert_eq!(table.len(), points.len());
+        // Reversed voltage ordering must be rejected.
+        let bad: Vec<(f64, f64)> = freqs
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| (f, 1000.0 - i as f64 * 10.0))
+            .collect();
+        prop_assert!(OppTable::from_mhz_mv(&bad).is_err());
+    }
+
+    /// No point on a Pareto frontier dominates another frontier point, and
+    /// every input point is dominated by or equal to some frontier point.
+    #[test]
+    fn pareto_frontier_properties(points in proptest::collection::vec(arb_point(), 1..40)) {
+        let front = pareto_front(&points);
+        prop_assert!(!front.is_empty());
+        for a in &front {
+            for b in &front {
+                prop_assert!(!dominates(a, b) || a == b);
+            }
+        }
+        for p in &points {
+            let covered = front.iter().any(|f| f == p || dominates(f, p));
+            prop_assert!(covered);
+        }
+    }
+
+    /// Requirements: relaxing any budget never shrinks the feasible set.
+    #[test]
+    fn requirement_relaxation_is_monotone(
+        pt in arb_point(),
+        lat in 1.0f64..1000.0,
+        slack in 1.0f64..100.0,
+    ) {
+        let tight = Requirements::new().with_max_latency(TimeSpan::from_millis(lat));
+        let loose = Requirements::new().with_max_latency(TimeSpan::from_millis(lat + slack));
+        if tight.satisfied_by(&pt) {
+            prop_assert!(loose.satisfied_by(&pt));
+        }
+    }
+
+    /// Thermal state converges toward steady state from any start and never
+    /// overshoots it.
+    #[test]
+    fn thermal_never_overshoots(power_w in 0.0f64..20.0, start_c in 0.0f64..120.0, dt_s in 0.001f64..10.0) {
+        let model = ThermalModel::mobile_default();
+        let target = model.steady_state(Power::from_watts(power_w)).as_celsius();
+        let mut state = ThermalState::at_ambient(&model);
+        // Force an arbitrary starting temperature via a long step at the
+        // power that gives `start_c` as steady state.
+        let r = model.r_die_k_per_w;
+        let p_start = ((start_c - model.ambient.as_celsius()) / r).max(0.0);
+        state.step(&model, Power::from_watts(p_start), TimeSpan::from_secs(1e9));
+        let t0 = state.die_temp().as_celsius();
+        state.step(&model, Power::from_watts(power_w), TimeSpan::from_secs(dt_s));
+        let t1 = state.die_temp().as_celsius();
+        // t1 must lie between t0 and the target (no overshoot, monotone).
+        let lo = t0.min(target) - 1e-9;
+        let hi = t0.max(target) + 1e-9;
+        prop_assert!(t1 >= lo && t1 <= hi, "t0={t0} t1={t1} target={target}");
+    }
+
+    /// Platform predictions scale linearly in workload MACs and are
+    /// monotone in frequency, for every cluster of every preset.
+    #[test]
+    fn prediction_monotonicity(scale in 0.05f64..4.0) {
+        for soc in [presets::odroid_xu3(), presets::jetson_nano(), presets::flagship()] {
+            let w = presets::reference_workload().scaled(scale);
+            for (id, spec) in soc.clusters() {
+                let placement = Placement::whole_cluster(id, spec);
+                let mut prev_latency = f64::INFINITY;
+                for opp in spec.opps().iter() {
+                    let p = soc.predict(placement, opp.freq(), &w).unwrap();
+                    prop_assert!(p.latency.as_secs() > 0.0);
+                    prop_assert!(p.latency.as_secs() < prev_latency);
+                    prop_assert!(p.power.as_watts() > 0.0);
+                    prev_latency = p.latency.as_secs();
+                }
+            }
+        }
+    }
+
+    /// The exhaustive governor's answer always satisfies the requirements
+    /// it was given, whatever they are.
+    #[test]
+    fn governor_answers_are_feasible(lat_ms in 50.0f64..2000.0, e_mj in 20.0f64..400.0) {
+        let soc = presets::odroid_xu3();
+        let profile = DnnProfile::reference("dnn");
+        let space = OpSpace::new(&soc, &profile, OpSpaceConfig::default()).unwrap();
+        let req = Requirements::new()
+            .with_max_latency(TimeSpan::from_millis(lat_ms))
+            .with_max_energy(Energy::from_millijoules(e_mj));
+        if let Some(pt) = ExhaustiveGovernor
+            .decide(&space, &req, Objective::default())
+            .unwrap()
+        {
+            prop_assert!(pt.latency.as_millis() <= lat_ms + 1e-9);
+            prop_assert!(pt.energy.as_millijoules() <= e_mj + 1e-9);
+        }
+    }
+
+    /// Pareto and exhaustive governors agree for every budget (the cached
+    /// frontier loses no optima).
+    #[test]
+    fn pareto_equals_oracle(lat_ms in 50.0f64..2000.0, e_mj in 20.0f64..400.0) {
+        let soc = presets::odroid_xu3();
+        let profile = DnnProfile::reference("dnn");
+        let space = OpSpace::new(&soc, &profile, OpSpaceConfig::default()).unwrap();
+        let req = Requirements::new()
+            .with_max_latency(TimeSpan::from_millis(lat_ms))
+            .with_max_energy(Energy::from_millijoules(e_mj));
+        let oracle = ExhaustiveGovernor
+            .decide(&space, &req, Objective::default())
+            .unwrap();
+        let cached = ParetoGovernor::new()
+            .decide(&space, &req, Objective::default())
+            .unwrap();
+        match (oracle, cached) {
+            (None, None) => {}
+            (Some(a), Some(b)) => {
+                // Same objective value (op may differ only on exact ties).
+                prop_assert_eq!(a.top1_percent, b.top1_percent);
+                prop_assert!((a.energy.as_joules() - b.energy.as_joules()).abs() < 1e-12);
+            }
+            (a, b) => prop_assert!(false, "oracle {a:?} vs pareto {b:?}"),
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Integration test: the Fig 2 scenario through the public `emlrt` API,
+//! plus custom scenario variations.
+
+use emlrt::prelude::*;
+use emlrt::sim::scenario::{self, names};
+use emlrt::sim::simulator::{Action, ScenarioEvent};
+use emlrt::sim::DecisionReason;
+
+#[test]
+fn fig2_phases_from_public_api() {
+    let trace = scenario::fig2_scenario().unwrap().run().unwrap();
+    // Phase (a): NPU, full width.
+    let a = trace.app_at(3.0, names::DNN1).unwrap();
+    assert_eq!((a.cluster.as_str(), a.level), ("npu", 3));
+    // Phase (b): displaced to GPU, compressed.
+    let b = trace.app_at(10.0, names::DNN1).unwrap();
+    assert_eq!(b.cluster, "gpu");
+    assert!(b.level < 3);
+    // Phase (c): big CPU.
+    let c = trace.app_at(16.0, names::DNN1).unwrap();
+    assert_eq!(c.cluster, "big");
+    // Phase (d): both DNNs share the NPU, DNN1 at full width again.
+    let d1 = trace.app_at(35.0, names::DNN1).unwrap();
+    let d2 = trace.app_at(35.0, names::DNN2).unwrap();
+    assert_eq!((d1.cluster.as_str(), d1.level), ("npu", 3));
+    assert_eq!(d2.cluster, "npu");
+    assert!(d2.level < 3);
+}
+
+#[test]
+fn thermal_violation_happens_shortly_after_vr_arrival() {
+    let trace = scenario::fig2_scenario().unwrap().run().unwrap();
+    let violation = trace
+        .decisions
+        .iter()
+        .find(|d| d.reason == DecisionReason::ThermalViolation)
+        .expect("violation occurs");
+    assert!(violation.at_secs > 15.0 && violation.at_secs < 24.0);
+    // Temperature at the violation sample exceeds the limit.
+    let soc = scenario::fig2_soc();
+    let sample = trace
+        .samples
+        .iter()
+        .find(|s| (s.at_secs - violation.at_secs).abs() < 1e-6)
+        .expect("decision steps are sampled");
+    assert!(sample.temp.as_celsius() > soc.thermal().limit.as_celsius());
+}
+
+#[test]
+fn departures_free_resources_for_lower_priority_apps() {
+    // DNN2 leaves at t = 10 s; DNN1 should reclaim the NPU at full width.
+    let events = vec![
+        ScenarioEvent { at_secs: 0.0, action: Action::Arrive(scenario::dnn1()) },
+        ScenarioEvent { at_secs: 2.0, action: Action::Arrive(scenario::dnn2()) },
+        ScenarioEvent { at_secs: 10.0, action: Action::Depart(names::DNN2.into()) },
+    ];
+    let sim = Simulator::new(scenario::fig2_soc(), events, SimConfig {
+        duration: TimeSpan::from_secs(15.0),
+        ..SimConfig::default()
+    })
+    .unwrap();
+    let trace = sim.run().unwrap();
+    let mid = trace.app_at(5.0, names::DNN1).unwrap();
+    assert_eq!(mid.cluster, "gpu", "displaced while dnn2 runs");
+    let late = trace.app_at(12.0, names::DNN1).unwrap();
+    assert_eq!(late.cluster, "npu", "reclaims the NPU after dnn2 departs");
+    assert_eq!(late.level, 3);
+}
+
+#[test]
+fn trace_is_deterministic() {
+    let a = scenario::fig2_scenario().unwrap().run().unwrap();
+    let b = scenario::fig2_scenario().unwrap().run().unwrap();
+    assert_eq!(a.samples.len(), b.samples.len());
+    assert_eq!(a.decisions.len(), b.decisions.len());
+    for (x, y) in a.samples.iter().zip(&b.samples) {
+        assert_eq!(x, y);
+    }
+}
+
+#[test]
+fn energy_accounting_is_consistent_with_mean_power() {
+    let trace = scenario::fig2_scenario().unwrap().run().unwrap();
+    let s = trace.summary();
+    let recomputed = s.mean_power * s.duration;
+    assert!(
+        (recomputed.as_joules() - s.total_energy.as_joules()).abs()
+            / s.total_energy.as_joules()
+            < 1e-9
+    );
+}

@@ -1,0 +1,200 @@
+//! Stress and failure-injection tests: randomized multi-application churn
+//! through the full simulator, asserting global invariants on every run.
+
+use emlrt::prelude::*;
+use emlrt::sim::scenario::scaled_reference_profile;
+use emlrt::sim::simulator::{Action, ScenarioEvent};
+use emlrt::sim::ThermalPolicy;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a random but valid scenario: apps arrive, depart and mutate at
+/// random times with random workload scales, budgets and priorities.
+fn random_scenario(seed: u64, duration_s: f64) -> Vec<ScenarioEvent> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut events = Vec::new();
+    let mut alive: Vec<String> = Vec::new();
+    let mut t = 0.0;
+    let mut next_id = 0usize;
+    while t < duration_s - 1.0 {
+        t += rng.gen_range(0.5..3.0);
+        if t >= duration_s {
+            break;
+        }
+        let action = match rng.gen_range(0..10) {
+            // Mostly arrivals; departures and updates when possible.
+            0..=5 => {
+                let name = format!("app{next_id}");
+                next_id += 1;
+                alive.push(name.clone());
+                let scale = rng.gen_range(0.2..4.0);
+                let budget_ms = rng.gen_range(5.0..200.0);
+                Action::Arrive(AppSpec::Dnn(DnnAppSpec {
+                    name: name.clone(),
+                    profile: scaled_reference_profile(&name, scale),
+                    requirements: Requirements::new()
+                        .with_max_latency(TimeSpan::from_millis(budget_ms)),
+                    priority: rng.gen_range(0..5),
+                    objective: None,
+                }))
+            }
+            6..=7 if !alive.is_empty() => {
+                let idx = rng.gen_range(0..alive.len());
+                let name = alive.remove(idx);
+                Action::Depart(name)
+            }
+            _ if !alive.is_empty() => {
+                let name = alive[rng.gen_range(0..alive.len())].clone();
+                let scale = rng.gen_range(0.2..4.0);
+                Action::Update(AppSpec::Dnn(DnnAppSpec {
+                    name: name.clone(),
+                    profile: scaled_reference_profile(&name, scale),
+                    requirements: Requirements::new()
+                        .with_target_fps(rng.gen_range(5.0..120.0))
+                        .with_min_top1(rng.gen_range(50.0..70.0)),
+                    priority: rng.gen_range(0..5),
+                    objective: Some(Objective::MinEnergy),
+                }))
+            }
+            _ => continue,
+        };
+        events.push(ScenarioEvent { at_secs: t, action });
+    }
+    events
+}
+
+fn check_invariants(seed: u64, policy: ThermalPolicy) {
+    let duration = 20.0;
+    let events = random_scenario(seed, duration);
+    let soc = emlrt::platform::presets::flagship();
+    let limit = soc.thermal().limit.as_celsius();
+    let sim = Simulator::new(
+        soc,
+        events,
+        SimConfig {
+            duration: TimeSpan::from_secs(duration),
+            thermal_policy: policy,
+            ..SimConfig::default()
+        },
+    )
+    .expect("generated scenario is valid");
+    let trace = sim.run().expect("simulation never crashes on valid scenarios");
+
+    // Invariant 1: every sample is physically sane.
+    for s in &trace.samples {
+        assert!(s.power.as_watts() >= 0.0 && s.power.as_watts() < 50.0, "seed {seed}");
+        assert!(
+            s.temp.as_celsius() >= 20.0 && s.temp.as_celsius() < 150.0,
+            "seed {seed}: temp {}",
+            s.temp
+        );
+        for a in &s.apps {
+            assert!(a.latency_ms >= 0.0, "seed {seed}");
+        }
+    }
+    // Invariant 2: time is monotone and within duration.
+    for pair in trace.samples.windows(2) {
+        assert!(pair[1].at_secs > pair[0].at_secs - 1e-9, "seed {seed}");
+    }
+    assert!(trace.samples.last().unwrap().at_secs <= duration + 1e-6);
+    // Invariant 3: throttled samples exist only after a thermal decision.
+    if trace.samples.iter().any(|s| s.throttled) {
+        assert!(
+            trace.decisions.iter().any(|d| matches!(
+                d.reason,
+                emlrt::sim::DecisionReason::ThermalViolation
+                    | emlrt::sim::DecisionReason::ProactiveThrottle
+            )),
+            "seed {seed}"
+        );
+    }
+    // Invariant 4 (proactive only): the die never meaningfully exceeds the
+    // limit.
+    if policy == ThermalPolicy::Proactive {
+        let peak = trace.summary().peak_temp.as_celsius();
+        assert!(peak <= limit + 1.0, "seed {seed}: proactive peak {peak}");
+    }
+    // Invariant 5: the summary is internally consistent.
+    let s = trace.summary();
+    assert!((0.0..=1.0).contains(&s.feasible_fraction), "seed {seed}");
+    assert!(s.total_energy.as_joules() >= 0.0, "seed {seed}");
+}
+
+#[test]
+fn random_churn_reactive_policy_holds_invariants() {
+    for seed in 0..12 {
+        check_invariants(seed, ThermalPolicy::Reactive);
+    }
+}
+
+#[test]
+fn random_churn_proactive_policy_holds_invariants() {
+    for seed in 100..112 {
+        check_invariants(seed, ThermalPolicy::Proactive);
+    }
+}
+
+#[test]
+fn pathological_scenarios_fail_loud_not_weird() {
+    let soc = emlrt::platform::presets::flagship();
+    // Impossible per-app requirements: everything gets placed best-effort
+    // or reported unplaced — never a crash.
+    let impossible = AppSpec::Dnn(DnnAppSpec {
+        name: "impossible".into(),
+        profile: DnnProfile::reference("impossible"),
+        requirements: Requirements::new()
+            .with_max_latency(TimeSpan::from_millis(0.0001))
+            .with_min_top1(99.9),
+        priority: 9,
+        objective: None,
+    });
+    let events = vec![ScenarioEvent { at_secs: 0.0, action: Action::Arrive(impossible) }];
+    let sim = Simulator::new(
+        soc,
+        events,
+        SimConfig { duration: TimeSpan::from_secs(2.0), ..SimConfig::default() },
+    )
+    .unwrap();
+    let trace = sim.run().unwrap();
+    let app = trace.app_at(1.0, "impossible").expect("still tracked");
+    assert!(!app.met, "infeasible app is reported, not silently dropped");
+}
+
+#[test]
+fn forty_concurrent_dnns_saturate_but_do_not_break() {
+    // Far more applications than clusters: priorities decide who gets the
+    // accelerators; everyone else time-shares or degrades.
+    let soc = emlrt::platform::presets::flagship();
+    let rtm = Rtm::new(RtmConfig::default());
+    let apps: Vec<AppSpec> = (0..40)
+        .map(|i| {
+            AppSpec::Dnn(DnnAppSpec {
+                name: format!("dnn{i}"),
+                profile: DnnProfile::reference(format!("dnn{i}")),
+                requirements: Requirements::new()
+                    .with_max_latency(TimeSpan::from_millis(500.0)),
+                priority: (i % 5) as u8,
+                objective: None,
+            })
+        })
+        .collect();
+    let alloc = rtm.allocate(&soc, &apps).unwrap();
+    // Everyone is placed (CPUs can co-host via cores, accelerators via
+    // time-sharing) or explicitly unplaced; the ledger never over-commits
+    // CPU cores.
+    assert_eq!(alloc.dnns.len() + alloc.unplaced.len(), 40);
+    let mut cores_used = std::collections::HashMap::new();
+    for d in &alloc.dnns {
+        let spec = soc.cluster(d.point.op.cluster).unwrap();
+        if spec.kind().is_cpu() {
+            *cores_used.entry(d.point.op.cluster.index()).or_insert(0u32) +=
+                d.point.op.cores;
+        }
+    }
+    for (idx, used) in cores_used {
+        let spec = soc
+            .cluster(ClusterId::from_index(idx))
+            .unwrap();
+        assert!(used <= spec.cores(), "cluster {idx} over-committed: {used}");
+    }
+}
