@@ -43,13 +43,19 @@ fn main() {
 }
 
 fn thermal_policy_ablation(verdicts: &mut Verdicts) {
-    banner("Ablation 1", "reactive vs proactive thermal management (Fig 2 scenario)");
+    banner(
+        "Ablation 1",
+        "reactive vs proactive thermal management (Fig 2 scenario)",
+    );
     let run = |policy: ThermalPolicy| {
-        scenario::fig2_scenario_with(SimConfig { thermal_policy: policy, ..SimConfig::default() })
-            .expect("valid scenario")
-            .run()
-            .expect("runs")
-            .summary()
+        scenario::fig2_scenario_with(SimConfig {
+            thermal_policy: policy,
+            ..SimConfig::default()
+        })
+        .expect("valid scenario")
+        .run()
+        .expect("runs")
+        .summary()
     };
     let reactive = run(ThermalPolicy::Reactive);
     let proactive = run(ThermalPolicy::Proactive);
@@ -128,7 +134,10 @@ fn objective_ablation(verdicts: &mut Verdicts) {
     );
     let mut chosen = Vec::new();
     for (name, obj) in [
-        ("MaxAccuracyThenMinEnergy", Objective::MaxAccuracyThenMinEnergy),
+        (
+            "MaxAccuracyThenMinEnergy",
+            Objective::MaxAccuracyThenMinEnergy,
+        ),
         ("MinEnergy", Objective::MinEnergy),
         ("MinLatency", Objective::MinLatency),
         ("MinEdp", Objective::MinEdp),
@@ -153,7 +162,12 @@ fn objective_ablation(verdicts: &mut Verdicts) {
                 &widths
             )
         );
-        chosen.push((name, cluster.name().to_string(), freq.as_mhz(), pt.op.level.index()));
+        chosen.push((
+            name,
+            cluster.name().to_string(),
+            freq.as_mhz(),
+            pt.op.level.index(),
+        ));
     }
     verdicts.check(
         "the paper's lexicographic objective reproduces the SS IV optimum (A7@900, 100%)",
@@ -161,7 +175,9 @@ fn objective_ablation(verdicts: &mut Verdicts) {
     );
     verdicts.check(
         "alternative objectives choose different points (the rule matters)",
-        chosen[1..].iter().any(|c| (c.1.clone(), c.2 as i64, c.3) != (chosen[0].1.clone(), chosen[0].2 as i64, chosen[0].3)),
+        chosen[1..].iter().any(|c| {
+            (c.1.clone(), c.2 as i64, c.3) != (chosen[0].1.clone(), chosen[0].2 as i64, chosen[0].3)
+        }),
     );
     verdicts.check(
         "min-energy objective compresses below full width",
@@ -176,9 +192,12 @@ fn power_gating_ablation(verdicts: &mut Verdicts) {
     let plain = Rtm::new(RtmConfig::default())
         .allocate(&soc, std::slice::from_ref(&app))
         .expect("allocates");
-    let gated = Rtm::new(RtmConfig { power_gating: true, ..RtmConfig::default() })
-        .allocate(&soc, std::slice::from_ref(&app))
-        .expect("allocates");
+    let gated = Rtm::new(RtmConfig {
+        power_gating: true,
+        ..RtmConfig::default()
+    })
+    .allocate(&soc, std::slice::from_ref(&app))
+    .expect("allocates");
     let saved = plain.total_power - gated.total_power;
     println!(
         "single DNN on flagship: total {:.0} mW without DPM, {:.0} mW with DPM ({} clusters gated, {:.0} mW saved)",
@@ -198,7 +217,10 @@ fn power_gating_ablation(verdicts: &mut Verdicts) {
 }
 
 fn precision_ablation(verdicts: &mut Verdicts) {
-    banner("Ablation 4", "weight precision (the Fig 5 data-precision knob)");
+    banner(
+        "Ablation 4",
+        "weight precision (the Fig 5 data-precision knob)",
+    );
     let data = SyntheticVision::generate(DatasetConfig {
         classes: 10,
         train_per_class: 120,
@@ -208,11 +230,19 @@ fn precision_ablation(verdicts: &mut Verdicts) {
     let train_once = || {
         let mut rng = StdRng::seed_from_u64(2020);
         let mut net = build_group_cnn(
-            CnnConfig { base_width: 16, ..CnnConfig::default() },
+            CnnConfig {
+                base_width: 16,
+                ..CnnConfig::default()
+            },
             &mut rng,
         )
         .expect("valid arch");
-        let cfg = TrainConfig { epochs: 4, batch_size: 32, lr: 0.05, ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            epochs: 4,
+            batch_size: 32,
+            lr: 0.05,
+            ..TrainConfig::default()
+        };
         train_incremental(&mut net, data.train(), None, &cfg).expect("trains");
         net
     };
@@ -271,7 +301,10 @@ fn precision_ablation(verdicts: &mut Verdicts) {
         (full[0] - full[1]).abs() < 2.0,
     );
     verdicts.check(
-        &format!("2-bit quantization clearly degrades accuracy ({:.1} vs {:.1})", full[0], full[4]),
+        &format!(
+            "2-bit quantization clearly degrades accuracy ({:.1} vs {:.1})",
+            full[0], full[4]
+        ),
         full[4] < full[0] - 5.0,
     );
     verdicts.check(

@@ -28,7 +28,10 @@ fn cpu_only(soc: &Soc) -> OpSpaceConfig {
 }
 
 fn main() {
-    banner("Fig 1", "design-time compression per platform and requirement");
+    banner(
+        "Fig 1",
+        "design-time compression per platform and requirement",
+    );
 
     let profile = DnnProfile::reference("camera-dnn");
     let requirements = [
@@ -38,14 +41,22 @@ fn main() {
         ),
         (
             "25 fps, high accuracy",
-            Requirements::new().with_target_fps(25.0).with_min_top1(66.0),
+            Requirements::new()
+                .with_target_fps(25.0)
+                .with_min_top1(66.0),
         ),
         (
             "60 fps, medium accuracy",
-            Requirements::new().with_target_fps(60.0).with_min_top1(60.0),
+            Requirements::new()
+                .with_target_fps(60.0)
+                .with_min_top1(60.0),
         ),
     ];
-    let platforms = [presets::flagship(), presets::jetson_nano(), presets::odroid_xu3()];
+    let platforms = [
+        presets::flagship(),
+        presets::jetson_nano(),
+        presets::odroid_xu3(),
+    ];
 
     let widths = [14, 28, 8, 10, 10];
     println!(
@@ -109,7 +120,10 @@ fn main() {
     for (soc, per_req) in platforms.iter().zip(&width_table) {
         if let Some(level) = per_req[0] {
             verdicts.check(
-                &format!("{}: 1 fps / very-high accuracy ships the 100% model", soc.name()),
+                &format!(
+                    "{}: 1 fps / very-high accuracy ships the 100% model",
+                    soc.name()
+                ),
                 level == 3,
             );
         }

@@ -11,7 +11,10 @@ use eml_sim::scenario::{self, names};
 use eml_sim::DecisionReason;
 
 fn main() {
-    banner("Fig 2", "runtime resource variation under concurrent applications");
+    banner(
+        "Fig 2",
+        "runtime resource variation under concurrent applications",
+    );
 
     let sim = scenario::fig2_scenario().expect("built-in scenario is valid");
     let trace = sim.run().expect("simulation completes");
@@ -25,7 +28,11 @@ fn main() {
     // (a) t = 0 s: single DNN on the NPU ("the NPU is used").
     let a = trace.app_at(3.0, names::DNN1).expect("dnn1 sampled");
     verdicts.check(
-        &format!("(a) t=3s: DNN1 on the NPU at 100% width (got {} @{}%)", a.cluster, (a.level + 1) * 25),
+        &format!(
+            "(a) t=3s: DNN1 on the NPU at 100% width (got {} @{}%)",
+            a.cluster,
+            (a.level + 1) * 25
+        ),
         a.cluster == "npu" && a.level == 3,
     );
 
@@ -34,11 +41,19 @@ fn main() {
     let d2 = trace.app_at(10.0, names::DNN2).unwrap();
     let d1 = trace.app_at(10.0, names::DNN1).unwrap();
     verdicts.check(
-        &format!("(b) t=10s: DNN2 on the NPU at 100% (got {} @{}%)", d2.cluster, (d2.level + 1) * 25),
+        &format!(
+            "(b) t=10s: DNN2 on the NPU at 100% (got {} @{}%)",
+            d2.cluster,
+            (d2.level + 1) * 25
+        ),
         d2.cluster == "npu" && d2.level == 3,
     );
     verdicts.check(
-        &format!("(b) t=10s: DNN1 migrated to GPU, compressed (got {} @{}%)", d1.cluster, (d1.level + 1) * 25),
+        &format!(
+            "(b) t=10s: DNN1 migrated to GPU, compressed (got {} @{}%)",
+            d1.cluster,
+            (d1.level + 1) * 25
+        ),
         d1.cluster == "gpu" && d1.level < 3,
     );
 
@@ -68,7 +83,9 @@ fn main() {
             "(c') thermal violation occurs shortly after VR/AR arrival (at {:?} s)",
             violation.map(|v| v.at_secs)
         ),
-        violation.map(|v| v.at_secs > 15.0 && v.at_secs < 25.0).unwrap_or(false),
+        violation
+            .map(|v| v.at_secs > 15.0 && v.at_secs < 25.0)
+            .unwrap_or(false),
     );
     if let Some(v) = violation {
         let d1 = trace.app_at(v.at_secs + 1.0, names::DNN1).unwrap();
@@ -101,7 +118,10 @@ fn main() {
         d2.level < 3,
     );
     verdicts.check(
-        &format!("(d) t=30s: DNN1 recovers 100% width (got {}%)", (d1.level + 1) * 25),
+        &format!(
+            "(d) t=30s: DNN1 recovers 100% width (got {}%)",
+            (d1.level + 1) * 25
+        ),
         d1.level == 3,
     );
 

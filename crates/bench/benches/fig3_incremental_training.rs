@@ -23,7 +23,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    banner("Fig 3", "incremental training and runtime group-convolution pruning");
+    banner(
+        "Fig 3",
+        "incremental training and runtime group-convolution pruning",
+    );
 
     let data = SyntheticVision::generate(DatasetConfig {
         classes: 10,
@@ -33,10 +36,13 @@ fn main() {
     });
     let mut rng = StdRng::seed_from_u64(2020);
     let mut net = build_group_cnn(
-        CnnConfig { base_width: 16, ..CnnConfig::default() },
+        CnnConfig {
+            base_width: 16,
+            ..CnnConfig::default()
+        },
         &mut rng,
     )
-        .expect("default architecture is valid");
+    .expect("default architecture is valid");
     let total_params = net.cost().expect("cost model works").params_total;
     println!(
         "dataset: {} train / {} test, 10 classes; model: {} params, G=4 groups\n",
@@ -45,7 +51,12 @@ fn main() {
         total_params
     );
 
-    let cfg = TrainConfig { epochs: 6, batch_size: 32, lr: 0.05, ..TrainConfig::default() };
+    let cfg = TrainConfig {
+        epochs: 6,
+        batch_size: 32,
+        lr: 0.05,
+        ..TrainConfig::default()
+    };
     let report = train_incremental(&mut net, data.train(), Some(data.test()), &cfg)
         .expect("training succeeds");
 
@@ -98,12 +109,15 @@ fn main() {
         let frac = net.cost_at(g).expect("valid").macs / full_macs;
         (frac - g as f64 * 0.25).abs() < 0.01
     });
-    verdicts.check("compute cost scales 25/50/75/100% with active groups", cost_ok);
+    verdicts.check(
+        "compute cost scales 25/50/75/100% with active groups",
+        cost_ok,
+    );
 
     // Runtime switching without retraining: narrow outputs identical
     // before and after visiting other widths.
-    let mut dnn = DynamicDnn::from_trained("fig3-dnn", net, &report)
-        .expect("trained report is complete");
+    let mut dnn =
+        DynamicDnn::from_trained("fig3-dnn", net, &report).expect("trained report is complete");
     let (batch, _) = make_batch(data.test(), &(0..32).collect::<Vec<_>>());
     dnn.set_level(WidthLevel(0)).expect("level exists");
     let before = dnn.infer(&batch).expect("inference works");

@@ -17,7 +17,10 @@ use eml_platform::paper::{FIG4A_A15_LEVELS, FIG4A_A7_LEVELS};
 use eml_platform::presets;
 
 fn main() {
-    banner("Fig 4(a)", "E-t operating-point space: width x mapping x DVFS");
+    banner(
+        "Fig 4(a)",
+        "E-t operating-point space: width x mapping x DVFS",
+    );
 
     let soc = presets::odroid_xu3();
     let profile = DnnProfile::reference("camera-dnn");
@@ -73,7 +76,10 @@ fn main() {
             }
         }
     }
-    verdicts.check("each (cluster, width) series is monotone in DVFS", series_ok);
+    verdicts.check(
+        "each (cluster, width) series is monotone in DVFS",
+        series_ok,
+    );
 
     // Shape 2: halving width halves time and energy at fixed setting.
     let eval = |cluster, opp, level| {
@@ -105,17 +111,26 @@ fn main() {
         .min_by(|a, b| a.2.latency.partial_cmp(&b.2.latency).expect("finite"))
         .expect("non-empty");
     verdicts.check(
-        &format!("global minimum energy lives on the A7 (got {})", min_energy.0),
+        &format!(
+            "global minimum energy lives on the A7 (got {})",
+            min_energy.0
+        ),
         min_energy.0 == "a7",
     );
     verdicts.check(
-        &format!("global minimum latency lives on the A15 (got {})", min_latency.0),
+        &format!(
+            "global minimum latency lives on the A15 (got {})",
+            min_latency.0
+        ),
         min_latency.0 == "a15",
     );
 
     // Shape 4: the combined knobs span a wide dynamic range (the paper's
     // axes: 0-1200 ms, 0-350 mJ for the full model).
-    let t_max = points.iter().map(|(_, _, p)| p.latency.as_millis()).fold(0.0, f64::max);
+    let t_max = points
+        .iter()
+        .map(|(_, _, p)| p.latency.as_millis())
+        .fold(0.0, f64::max);
     let t_min = points
         .iter()
         .map(|(_, _, p)| p.latency.as_millis())

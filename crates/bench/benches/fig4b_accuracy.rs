@@ -23,7 +23,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    banner("Fig 4(b)", "top-1 accuracy per width, with per-class variance");
+    banner(
+        "Fig 4(b)",
+        "top-1 accuracy per width, with per-class variance",
+    );
 
     let data = SyntheticVision::generate(DatasetConfig {
         classes: 10,
@@ -32,12 +35,20 @@ fn main() {
         ..DatasetConfig::default()
     });
     let mut rng = StdRng::seed_from_u64(41);
-    let mut net =
-        build_group_cnn(
-        CnnConfig { base_width: 16, ..CnnConfig::default() },
+    let mut net = build_group_cnn(
+        CnnConfig {
+            base_width: 16,
+            ..CnnConfig::default()
+        },
         &mut rng,
-    ).expect("default arch valid");
-    let cfg = TrainConfig { epochs: 6, batch_size: 32, lr: 0.05, ..TrainConfig::default() };
+    )
+    .expect("default arch valid");
+    let cfg = TrainConfig {
+        epochs: 6,
+        batch_size: 32,
+        lr: 0.05,
+        ..TrainConfig::default()
+    };
     let report = train_incremental(&mut net, data.train(), Some(data.test()), &cfg)
         .expect("training succeeds");
 
@@ -93,7 +104,10 @@ fn main() {
         measured.iter().all(|&m| m > 30.0),
     );
     verdicts.check(
-        &format!("widening 25%->100% buys a meaningful accuracy gain ({:.1} pp)", measured[3] - measured[0]),
+        &format!(
+            "widening 25%->100% buys a meaningful accuracy gain ({:.1} pp)",
+            measured[3] - measured[0]
+        ),
         measured[3] - measured[0] > 3.0,
     );
     verdicts.check(

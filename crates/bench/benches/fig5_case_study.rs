@@ -31,7 +31,10 @@ fn req_of(b: &CaseStudyBudget) -> Requirements {
 }
 
 fn main() {
-    banner("Fig 5 / §IV", "RTM knobs & monitors: the worked example + governor ablation");
+    banner(
+        "Fig 5 / §IV",
+        "RTM knobs & monitors: the worked example + governor ablation",
+    );
 
     let soc = presets::odroid_xu3();
     let profile = DnnProfile::reference("camera-dnn");
@@ -39,12 +42,8 @@ fn main() {
         soc.find_cluster("a15").expect("preset"),
         soc.find_cluster("a7").expect("preset"),
     ];
-    let space = OpSpace::new(
-        &soc,
-        &profile,
-        OpSpaceConfig::default().with_clusters(cpus),
-    )
-    .expect("non-empty space");
+    let space = OpSpace::new(&soc, &profile, OpSpaceConfig::default().with_clusters(cpus))
+        .expect("non-empty space");
 
     let mut verdicts = Verdicts::new();
     let budgets = [CASE_STUDY_BUDGET_1, CASE_STUDY_BUDGET_2];
@@ -130,7 +129,10 @@ fn main() {
     }
 
     // --- Fig 5 proper: the decision is actuated through knob commands ---
-    let rtm = Rtm::new(RtmConfig { partial_cores: false, ..RtmConfig::default() });
+    let rtm = Rtm::new(RtmConfig {
+        partial_cores: false,
+        ..RtmConfig::default()
+    });
     let app = AppSpec::Dnn(DnnAppSpec {
         name: "camera-dnn".into(),
         profile: profile.clone(),

@@ -1,27 +1,47 @@
 //! Criterion microbenchmarks of the neural-network substrate: forward
-//! passes at each width (the real compute the dynamic DNN saves), training
-//! steps and width switching.
+//! passes at each width (the real compute the dynamic DNN saves) on both
+//! compute backends, training steps and width switching.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use eml_nn::arch::{build_group_cnn, CnnConfig};
+use eml_nn::gemm::Backend;
+use eml_nn::network::Network;
 use eml_nn::tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+/// One freshly built default network, configured to `width` and
+/// `backend`, reused across the whole timing loop.
+fn net_at(width: usize, backend: Backend) -> Network {
+    let mut net =
+        build_group_cnn(CnnConfig::default(), &mut StdRng::seed_from_u64(1)).expect("valid arch");
+    net.set_active_groups(width).expect("valid width");
+    net.set_backend(backend);
+    net
+}
+
 fn bench_forward_per_width(c: &mut Criterion) {
-    let mut rng = StdRng::seed_from_u64(1);
-    let mut net = build_group_cnn(CnnConfig::default(), &mut rng).expect("valid arch");
     let x = Tensor::full(&[1, 3, 16, 16], 0.1);
     let mut group = c.benchmark_group("nn/forward");
     for g in 1..=4usize {
-        net.set_active_groups(g).expect("valid width");
+        let mut net = net_at(g, Backend::Gemm);
         group.bench_function(format!("width_{}pct", g * 25), |b| {
-            // Width state is set outside the timing loop; forward is pure.
-            let mut net = build_group_cnn(CnnConfig::default(), &mut StdRng::seed_from_u64(1))
-                .expect("valid arch");
-            net.set_active_groups(g).expect("valid width");
+            b.iter(|| net.forward(black_box(&x), false).expect("forward"))
+        });
+    }
+    group.finish();
+}
+
+/// The same sweep on the reference backend: the ratio to `nn/forward`
+/// is the GEMM speedup (also emitted by the `bench_nn_json` binary).
+fn bench_forward_per_width_reference(c: &mut Criterion) {
+    let x = Tensor::full(&[1, 3, 16, 16], 0.1);
+    let mut group = c.benchmark_group("nn/forward_reference");
+    for g in 1..=4usize {
+        let mut net = net_at(g, Backend::Reference);
+        group.bench_function(format!("width_{}pct", g * 25), |b| {
             b.iter(|| net.forward(black_box(&x), false).expect("forward"))
         });
     }
@@ -29,22 +49,32 @@ fn bench_forward_per_width(c: &mut Criterion) {
 }
 
 fn bench_training_step(c: &mut Criterion) {
-    let mut rng = StdRng::seed_from_u64(2);
-    let mut net = build_group_cnn(
-        CnnConfig { base_width: 16, ..CnnConfig::default() },
-        &mut rng,
-    )
-    .expect("valid arch");
     let x = Tensor::full(&[8, 3, 16, 16], 0.1);
     let labels = [0usize, 1, 2, 3, 4, 5, 6, 7];
-    c.bench_function("nn/train_batch_8", |b| {
-        b.iter(|| {
-            net.zero_grads();
-            let out = net.train_batch(black_box(&x), black_box(&labels)).expect("train");
-            net.sgd_step(0.01, 0.9);
-            out.loss
-        })
-    });
+    for (name, backend) in [
+        ("nn/train_batch_8", Backend::Gemm),
+        ("nn/train_batch_8_reference", Backend::Reference),
+    ] {
+        let mut net = build_group_cnn(
+            CnnConfig {
+                base_width: 16,
+                ..CnnConfig::default()
+            },
+            &mut StdRng::seed_from_u64(2),
+        )
+        .expect("valid arch");
+        net.set_backend(backend);
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                net.zero_grads();
+                let out = net
+                    .train_batch(black_box(&x), black_box(&labels))
+                    .expect("train");
+                net.sgd_step(0.01, 0.9);
+                out.loss
+            })
+        });
+    }
 }
 
 fn bench_width_switch(c: &mut Criterion) {
@@ -68,6 +98,7 @@ fn bench_cost_model(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_forward_per_width,
+    bench_forward_per_width_reference,
     bench_training_step,
     bench_width_switch,
     bench_cost_model

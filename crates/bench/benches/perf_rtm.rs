@@ -114,7 +114,10 @@ fn bench_multi_app(c: &mut Criterion) {
         }),
     ];
     c.bench_function("rtm/allocate_three_apps_flagship", |b| {
-        b.iter(|| rtm.allocate(black_box(&soc), black_box(&apps)).expect("allocates"))
+        b.iter(|| {
+            rtm.allocate(black_box(&soc), black_box(&apps))
+                .expect("allocates")
+        })
     });
 }
 

@@ -15,7 +15,10 @@ use eml_platform::soc::Placement;
 use eml_platform::units::Freq;
 
 fn main() {
-    banner("Table I", "platform-dependent & independent DNN performance metrics");
+    banner(
+        "Table I",
+        "platform-dependent & independent DNN performance metrics",
+    );
 
     let socs = [presets::odroid_xu3(), presets::jetson_nano()];
     let workload = presets::reference_workload();

@@ -1,0 +1,127 @@
+//! Emits `BENCH_nn.json`: median forward-pass latency per width for the
+//! reference and GEMM backends of the NN substrate, on the default
+//! `CnnConfig`. Later PRs compare against this machine-readable
+//! baseline to track the perf trajectory.
+//!
+//! Usage: `cargo run --release -p eml-bench --bin bench_nn_json
+//! [-- --out PATH] [-- --quick]` — `--quick` shrinks sample counts for
+//! CI smoke runs.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use eml_nn::arch::{build_group_cnn, CnnConfig};
+use eml_nn::gemm::Backend;
+use eml_nn::network::Network;
+use eml_nn::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct Opts {
+    out: String,
+    samples: usize,
+    target_sample_ns: u128,
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        out: "BENCH_nn.json".to_string(),
+        samples: 15,
+        target_sample_ns: 20_000_000,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => {
+                opts.out = args.next().expect("--out requires a path");
+            }
+            "--quick" => {
+                opts.samples = 3;
+                opts.target_sample_ns = 2_000_000;
+            }
+            other => panic!("unknown argument `{other}`"),
+        }
+    }
+    opts
+}
+
+/// Median nanoseconds per call of `f`, over `samples` batched samples.
+fn median_ns(opts: &Opts, mut f: impl FnMut()) -> f64 {
+    // Warm up (fills scratch arenas, faults pages) and calibrate the
+    // per-sample iteration count.
+    let t0 = Instant::now();
+    f();
+    let once = t0.elapsed().as_nanos().max(100);
+    let iters = (opts.target_sample_ns / once).clamp(1, 1_000_000) as usize;
+    for _ in 0..iters.min(16) {
+        f();
+    }
+    let mut means: Vec<f64> = (0..opts.samples)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            start.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    means.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    means[means.len() / 2]
+}
+
+fn forward_ns(opts: &Opts, net: &mut Network, x: &Tensor) -> f64 {
+    median_ns(opts, || {
+        black_box(net.forward(black_box(x), false).expect("forward"));
+    })
+}
+
+fn main() {
+    let opts = parse_opts();
+    let cfg = CnnConfig::default();
+    let (c, h, w) = cfg.input;
+    let x = Tensor::full(&[1, c, h, w], 0.1);
+
+    let mut rows = Vec::new();
+    println!("nn/forward, default CnnConfig, batch 1");
+    println!(
+        "{:>8} {:>16} {:>16} {:>9}",
+        "width", "reference", "gemm", "speedup"
+    );
+    for g in 1..=cfg.groups {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut net = build_group_cnn(cfg, &mut rng).expect("valid arch");
+        net.set_active_groups(g).expect("valid width");
+
+        net.set_backend(Backend::Reference);
+        let reference_ns = forward_ns(&opts, &mut net, &x);
+        net.set_backend(Backend::Gemm);
+        let gemm_ns = forward_ns(&opts, &mut net, &x);
+
+        let pct = g * 100 / cfg.groups;
+        let speedup = reference_ns / gemm_ns;
+        println!(
+            "{:>7}% {:>13.0} ns {:>13.0} ns {:>8.2}x",
+            pct, reference_ns, gemm_ns, speedup
+        );
+        rows.push(format!(
+            concat!(
+                "    {{\"active_groups\": {}, \"width_pct\": {}, ",
+                "\"reference_ns\": {:.0}, \"gemm_ns\": {:.0}, ",
+                "\"speedup\": {:.3}}}"
+            ),
+            g, pct, reference_ns, gemm_ns, speedup
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"nn/forward\",\n  \"config\": {{\"input\": [{c}, {h}, {w}], \
+         \"classes\": {}, \"groups\": {}, \"base_width\": {}}},\n  \"batch\": 1,\n  \
+         \"unit\": \"ns/forward\",\n  \"widths\": [\n{}\n  ]\n}}\n",
+        cfg.classes,
+        cfg.groups,
+        cfg.base_width,
+        rows.join(",\n")
+    );
+    std::fs::write(&opts.out, json).expect("write BENCH_nn.json");
+    println!("wrote {}", opts.out);
+}

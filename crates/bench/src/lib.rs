@@ -71,7 +71,11 @@ impl Verdicts {
             self.total - self.failed,
             self.total
         );
-        assert_eq!(self.failed, 0, "{experiment}: {} checks failed", self.failed);
+        assert_eq!(
+            self.failed, 0,
+            "{experiment}: {} checks failed",
+            self.failed
+        );
     }
 }
 

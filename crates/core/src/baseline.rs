@@ -148,7 +148,10 @@ pub struct RobustnessSummary {
 pub fn summarize(outcomes: &[RobustnessOutcome]) -> RobustnessSummary {
     RobustnessSummary {
         static_violations: outcomes.iter().filter(|o| !o.static_ok).count(),
-        dynamic_feasible: outcomes.iter().filter(|o| o.dynamic_point.is_some()).count(),
+        dynamic_feasible: outcomes
+            .iter()
+            .filter(|o| o.dynamic_point.is_some())
+            .count(),
         total: outcomes.len(),
     }
 }
@@ -194,9 +197,11 @@ mod tests {
         let profile = DnnProfile::reference("dnn");
         let req = Requirements::new().with_max_latency(TimeSpan::from_millis(0.01));
         let soc = presets::odroid_xu3();
-        assert!(design_time_prune(&soc, &profile, &req, OpSpaceConfig::default())
-            .unwrap()
-            .is_none());
+        assert!(
+            design_time_prune(&soc, &profile, &req, OpSpaceConfig::default())
+                .unwrap()
+                .is_none()
+        );
     }
 
     #[test]
@@ -245,8 +250,9 @@ mod tests {
         let profile = DnnProfile::reference("dnn");
         let soc = presets::odroid_xu3();
         let req = Requirements::new().with_max_latency(TimeSpan::from_millis(300.0));
-        let design =
-            design_time_prune(&soc, &profile, &req, OpSpaceConfig::default()).unwrap().unwrap();
+        let design = design_time_prune(&soc, &profile, &req, OpSpaceConfig::default())
+            .unwrap()
+            .unwrap();
         let outcomes = dvfs_robustness(&soc, &profile, &req, &design).unwrap();
         let spec = soc.cluster(design.point.op.cluster).unwrap();
         assert_eq!(outcomes.len(), spec.opps().len());

@@ -70,7 +70,9 @@ mod tests {
         assert!(e.source().is_some());
         let e: RtmError = eml_dnn::DnnError::UnknownLevel { level: 1, count: 1 }.into();
         assert!(e.to_string().contains("dnn error"));
-        let e = RtmError::EmptySpace { reason: "no clusters".into() };
+        let e = RtmError::EmptySpace {
+            reason: "no clusters".into(),
+        };
         assert!(e.to_string().contains("no clusters"));
         assert!(e.source().is_none());
     }

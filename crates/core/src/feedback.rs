@@ -42,12 +42,18 @@ impl LatencyFeedback {
             alpha > 0.0 && alpha <= 1.0,
             "EWMA rate must be in (0, 1], got {alpha}"
         );
-        Self { alpha, corrections: HashMap::new() }
+        Self {
+            alpha,
+            corrections: HashMap::new(),
+        }
     }
 
     /// The current correction for `cluster` (1.0 when nothing observed).
     pub fn correction(&self, cluster: ClusterId) -> f64 {
-        self.corrections.get(&cluster.index()).copied().unwrap_or(1.0)
+        self.corrections
+            .get(&cluster.index())
+            .copied()
+            .unwrap_or(1.0)
     }
 
     /// Incorporates one observation: the job on `cluster` was predicted to
@@ -58,7 +64,7 @@ impl LatencyFeedback {
     pub fn observe(&mut self, cluster: ClusterId, predicted: TimeSpan, observed: TimeSpan) {
         let p = predicted.as_secs();
         let o = observed.as_secs();
-        if !(p > 0.0) || !(o > 0.0) || !p.is_finite() || !o.is_finite() {
+        if p <= 0.0 || o <= 0.0 || !p.is_finite() || !o.is_finite() {
             return;
         }
         let ratio = o / p;
@@ -180,8 +186,7 @@ mod tests {
         fb.observe(a15, naive.latency, naive_observed);
 
         // 3. Corrected decision meets the budget in reality.
-        let corrected_space =
-            OpSpace::new(&soc, &profile, fb.apply(base_cfg)).unwrap();
+        let corrected_space = OpSpace::new(&soc, &profile, fb.apply(base_cfg)).unwrap();
         let adapted = ExhaustiveGovernor
             .decide(&corrected_space, &req, Objective::default())
             .unwrap()

@@ -148,11 +148,7 @@ impl Default for GreedyGovernor {
 }
 
 impl GreedyGovernor {
-    fn penalised_score(
-        objective: Objective,
-        req: &Requirements,
-        pt: &EvaluatedPoint,
-    ) -> f64 {
+    fn penalised_score(objective: Objective, req: &Requirements, pt: &EvaluatedPoint) -> f64 {
         // Infeasibility dominates; its *magnitude* (normalised excess)
         // gives the climb a gradient toward the feasible region, so the
         // search does not stall at the feasibility boundary chasing the
@@ -168,22 +164,40 @@ impl GreedyGovernor {
             .cluster(op.cluster)
             .expect("ops enumerated from this soc");
         if op.opp_index > 0 {
-            out.push(OperatingPoint { opp_index: op.opp_index - 1, ..op });
+            out.push(OperatingPoint {
+                opp_index: op.opp_index - 1,
+                ..op
+            });
         }
         if op.opp_index + 1 < spec.opps().len() {
-            out.push(OperatingPoint { opp_index: op.opp_index + 1, ..op });
+            out.push(OperatingPoint {
+                opp_index: op.opp_index + 1,
+                ..op
+            });
         }
         if op.level.index() > 0 {
-            out.push(OperatingPoint { level: WidthLevel(op.level.index() - 1), ..op });
+            out.push(OperatingPoint {
+                level: WidthLevel(op.level.index() - 1),
+                ..op
+            });
         }
         if op.level.index() + 1 < space.profile().level_count() {
-            out.push(OperatingPoint { level: WidthLevel(op.level.index() + 1), ..op });
+            out.push(OperatingPoint {
+                level: WidthLevel(op.level.index() + 1),
+                ..op
+            });
         }
         if op.cores > 1 {
-            out.push(OperatingPoint { cores: op.cores - 1, ..op });
+            out.push(OperatingPoint {
+                cores: op.cores - 1,
+                ..op
+            });
         }
         if op.cores < spec.cores() {
-            out.push(OperatingPoint { cores: op.cores + 1, ..op });
+            out.push(OperatingPoint {
+                cores: op.cores + 1,
+                ..op
+            });
         }
         // Stay within the configured space: `evaluate` would happily
         // predict e.g. partial-core points even when the space only
@@ -250,9 +264,7 @@ impl Governor for GreedyGovernor {
             if req.satisfied_by(&current) {
                 match &best {
                     None => best = Some((current_score, current)),
-                    Some((bs, _)) if current_score < *bs => {
-                        best = Some((current_score, current))
-                    }
+                    Some((bs, _)) if current_score < *bs => best = Some((current_score, current)),
                     _ => {}
                 }
             }
@@ -271,10 +283,7 @@ mod tests {
     use eml_platform::units::{Energy, Freq, TimeSpan};
     use eml_platform::Soc;
 
-    fn xu3_cpu_space<'a>(
-        soc: &'a Soc,
-        profile: &'a DnnProfile,
-    ) -> OpSpace<'a> {
+    fn xu3_cpu_space<'a>(soc: &'a Soc, profile: &'a DnnProfile) -> OpSpace<'a> {
         let cpu = vec![
             soc.find_cluster("a15").unwrap(),
             soc.find_cluster("a7").unwrap(),
@@ -407,7 +416,11 @@ mod tests {
         let profile = DnnProfile::reference("dnn");
         let space = xu3_cpu_space(&soc, &profile);
         let pt = ExhaustiveGovernor
-            .decide(&space, &Requirements::new(), Objective::MaxAccuracyThenMinEnergy)
+            .decide(
+                &space,
+                &Requirements::new(),
+                Objective::MaxAccuracyThenMinEnergy,
+            )
             .unwrap()
             .unwrap();
         assert_eq!(pt.op.level, WidthLevel(3));

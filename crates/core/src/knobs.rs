@@ -117,14 +117,20 @@ pub fn commands_for(allocation: &Allocation) -> Vec<KnobCommand> {
         let pair = (d.point.op.cluster, d.point.op.opp_index);
         if !seen_opp.contains(&pair) {
             seen_opp.push(pair);
-            cmds.push(KnobCommand::SetOpp { cluster: pair.0, opp_index: pair.1 });
+            cmds.push(KnobCommand::SetOpp {
+                cluster: pair.0,
+                opp_index: pair.1,
+            });
         }
     }
     for r in &allocation.rigid {
         let pair = (r.cluster, r.opp_index);
         if !seen_opp.contains(&pair) {
             seen_opp.push(pair);
-            cmds.push(KnobCommand::SetOpp { cluster: pair.0, opp_index: pair.1 });
+            cmds.push(KnobCommand::SetOpp {
+                cluster: pair.0,
+                opp_index: pair.1,
+            });
         }
     }
     for d in &allocation.dnns {
@@ -135,10 +141,16 @@ pub fn commands_for(allocation: &Allocation) -> Vec<KnobCommand> {
         });
     }
     for d in &allocation.dnns {
-        cmds.push(KnobCommand::SetWidth { app: d.app.clone(), level: d.point.op.level });
+        cmds.push(KnobCommand::SetWidth {
+            app: d.app.clone(),
+            level: d.point.op.level,
+        });
     }
     for &cluster in &allocation.gated {
-        cmds.push(KnobCommand::Gate { cluster, gated: true });
+        cmds.push(KnobCommand::Gate {
+            cluster,
+            gated: true,
+        });
     }
     cmds
 }
@@ -181,8 +193,7 @@ mod tests {
         let app = AppSpec::Dnn(DnnAppSpec {
             name: "dnn1".into(),
             profile: DnnProfile::reference("dnn1"),
-            requirements: Requirements::new()
-                .with_max_latency(TimeSpan::from_millis(11.0)),
+            requirements: Requirements::new().with_max_latency(TimeSpan::from_millis(11.0)),
             priority: 1,
             objective: Some(Objective::MaxAccuracyThenMinEnergy),
         });
@@ -207,8 +218,7 @@ mod tests {
             AppSpec::Dnn(DnnAppSpec {
                 name: name.into(),
                 profile: DnnProfile::reference(name),
-                requirements: Requirements::new()
-                    .with_max_latency(TimeSpan::from_millis(50.0)),
+                requirements: Requirements::new().with_max_latency(TimeSpan::from_millis(50.0)),
                 priority: prio,
                 objective: None,
             })

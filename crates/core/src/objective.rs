@@ -49,9 +49,7 @@ impl Objective {
         self,
         points: impl IntoIterator<Item = &'a EvaluatedPoint>,
     ) -> Option<&'a EvaluatedPoint> {
-        points
-            .into_iter()
-            .min_by(|a, b| self.compare(a, b))
+        points.into_iter().min_by(|a, b| self.compare(a, b))
     }
 
     /// A scalar "badness" score for hill-climbing search: lower is better.
@@ -120,13 +118,19 @@ mod tests {
     #[test]
     fn min_energy_objective() {
         let obj = Objective::MinEnergy;
-        assert_eq!(obj.compare(&pt(500.0, 10.0, 50.0), &pt(10.0, 20.0, 71.0)), Ordering::Less);
+        assert_eq!(
+            obj.compare(&pt(500.0, 10.0, 50.0), &pt(10.0, 20.0, 71.0)),
+            Ordering::Less
+        );
     }
 
     #[test]
     fn min_latency_objective() {
         let obj = Objective::MinLatency;
-        assert_eq!(obj.compare(&pt(10.0, 99.0, 50.0), &pt(20.0, 1.0, 71.0)), Ordering::Less);
+        assert_eq!(
+            obj.compare(&pt(10.0, 99.0, 50.0), &pt(20.0, 1.0, 71.0)),
+            Ordering::Less
+        );
     }
 
     #[test]
@@ -141,7 +145,11 @@ mod tests {
 
     #[test]
     fn best_selects_minimum() {
-        let pts = vec![pt(100.0, 50.0, 62.7), pt(400.0, 76.0, 71.2), pt(50.0, 30.0, 56.0)];
+        let pts = vec![
+            pt(100.0, 50.0, 62.7),
+            pt(400.0, 76.0, 71.2),
+            pt(50.0, 30.0, 56.0),
+        ];
         let best = Objective::MaxAccuracyThenMinEnergy.best(&pts).unwrap();
         assert_eq!(best.top1_percent, 71.2);
         let best = Objective::MinLatency.best(&pts).unwrap();

@@ -118,7 +118,8 @@ impl OpSpaceConfig {
     /// Applies a latency multiplier for sharing `cluster` with other work.
     #[must_use]
     pub fn with_sharing_penalty(mut self, cluster: ClusterId, factor: f64) -> Self {
-        self.sharing_penalty.insert(cluster.index(), factor.max(1.0));
+        self.sharing_penalty
+            .insert(cluster.index(), factor.max(1.0));
         self
     }
 
@@ -191,7 +192,12 @@ impl<'a> OpSpace<'a> {
             for &cores in &core_options {
                 for &opp in &opp_indices {
                     for (level, _) in profile.levels() {
-                        points.push(OperatingPoint { cluster: cid, cores, opp_index: opp, level });
+                        points.push(OperatingPoint {
+                            cluster: cid,
+                            cores,
+                            opp_index: opp,
+                            level,
+                        });
                     }
                 }
             }
@@ -205,7 +211,12 @@ impl<'a> OpSpace<'a> {
                 ),
             });
         }
-        Ok(Self { soc, profile, cfg, points })
+        Ok(Self {
+            soc,
+            profile,
+            cfg,
+            points,
+        })
     }
 
     /// The SoC this space is defined over.
@@ -343,7 +354,12 @@ mod tests {
         let profile = DnnProfile::reference("dnn");
         let space = OpSpace::new(&soc, &profile, OpSpaceConfig::default()).unwrap();
         let a15 = soc.find_cluster("a15").unwrap();
-        let mk = |level| OperatingPoint { cluster: a15, cores: 4, opp_index: 8, level };
+        let mk = |level| OperatingPoint {
+            cluster: a15,
+            cores: 4,
+            opp_index: 8,
+            level,
+        };
         let full = space.evaluate(mk(WidthLevel(3))).unwrap();
         let quarter = space.evaluate(mk(WidthLevel(0))).unwrap();
         assert!((quarter.latency.as_secs() / full.latency.as_secs() - 0.25).abs() < 0.01);
@@ -365,7 +381,9 @@ mod tests {
         )
         .unwrap();
         assert_eq!(space.len(), 2 * 4);
-        assert!(space.iter().all(|op| op.opp_index == 3 || op.opp_index == 8));
+        assert!(space
+            .iter()
+            .all(|op| op.opp_index == 3 || op.opp_index == 8));
     }
 
     #[test]
@@ -397,7 +415,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(space.len(), 4 * 12 * 4); // cores × OPPs × levels
-        // Fewer cores: slower, cheaper.
+                                             // Fewer cores: slower, cheaper.
         let eval = |cores| {
             space
                 .evaluate(OperatingPoint {
@@ -431,7 +449,12 @@ mod tests {
                 .with_sharing_penalty(gpu, 2.0),
         )
         .unwrap();
-        let op = OperatingPoint { cluster: gpu, cores: 1, opp_index: 6, level: WidthLevel(3) };
+        let op = OperatingPoint {
+            cluster: gpu,
+            cores: 1,
+            opp_index: 6,
+            level: WidthLevel(3),
+        };
         let a = exclusive.evaluate(op).unwrap();
         let b = shared.evaluate(op).unwrap();
         assert!((b.latency.as_secs() / a.latency.as_secs() - 2.0).abs() < 1e-9);

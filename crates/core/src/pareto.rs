@@ -11,12 +11,10 @@ use crate::opspace::EvaluatedPoint;
 /// Returns `true` if `a` dominates `b`: no worse in latency, energy and
 /// accuracy, and strictly better in at least one.
 pub fn dominates(a: &EvaluatedPoint, b: &EvaluatedPoint) -> bool {
-    let no_worse = a.latency <= b.latency
-        && a.energy <= b.energy
-        && a.top1_percent >= b.top1_percent;
-    let strictly_better = a.latency < b.latency
-        || a.energy < b.energy
-        || a.top1_percent > b.top1_percent;
+    let no_worse =
+        a.latency <= b.latency && a.energy <= b.energy && a.top1_percent >= b.top1_percent;
+    let strictly_better =
+        a.latency < b.latency || a.energy < b.energy || a.top1_percent > b.top1_percent;
     no_worse && strictly_better
 }
 
@@ -81,8 +79,12 @@ mod tests {
         ];
         let front = pareto_front(&pts);
         assert_eq!(front.len(), 2);
-        assert!(front.iter().any(|p| p.latency == TimeSpan::from_millis(100.0)));
-        assert!(front.iter().any(|p| p.latency == TimeSpan::from_millis(50.0)));
+        assert!(front
+            .iter()
+            .any(|p| p.latency == TimeSpan::from_millis(100.0)));
+        assert!(front
+            .iter()
+            .any(|p| p.latency == TimeSpan::from_millis(50.0)));
     }
 
     #[test]
@@ -95,7 +97,13 @@ mod tests {
     #[test]
     fn frontier_is_idempotent() {
         let pts: Vec<EvaluatedPoint> = (0..20)
-            .map(|i| pt(100.0 + (i as f64) * 7.0 % 90.0, 10.0 + (i as f64 * 13.0) % 70.0, 50.0 + (i as f64 * 3.0) % 22.0))
+            .map(|i| {
+                pt(
+                    100.0 + (i as f64) * 7.0 % 90.0,
+                    10.0 + (i as f64 * 13.0) % 70.0,
+                    50.0 + (i as f64 * 3.0) % 22.0,
+                )
+            })
             .collect();
         let f1 = pareto_front(&pts);
         let f2 = pareto_front(&f1);

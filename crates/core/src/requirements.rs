@@ -120,15 +120,11 @@ impl Requirements {
         self.violations(pt)
             .iter()
             .map(|v| match *v {
-                Violation::Latency { actual, budget } => {
-                    actual.as_secs() / budget.as_secs() - 1.0
-                }
+                Violation::Latency { actual, budget } => actual.as_secs() / budget.as_secs() - 1.0,
                 Violation::Energy { actual, budget } => {
                     actual.as_joules() / budget.as_joules() - 1.0
                 }
-                Violation::Power { actual, budget } => {
-                    actual.as_watts() / budget.as_watts() - 1.0
-                }
+                Violation::Power { actual, budget } => actual.as_watts() / budget.as_watts() - 1.0,
                 Violation::Accuracy { actual, min } => (min - actual) / min.max(1e-9),
             })
             .sum()
@@ -139,22 +135,34 @@ impl Requirements {
         let mut v = Vec::new();
         if let Some(budget) = self.max_latency() {
             if pt.latency > budget {
-                v.push(Violation::Latency { actual: pt.latency, budget });
+                v.push(Violation::Latency {
+                    actual: pt.latency,
+                    budget,
+                });
             }
         }
         if let Some(budget) = self.max_energy {
             if pt.energy > budget {
-                v.push(Violation::Energy { actual: pt.energy, budget });
+                v.push(Violation::Energy {
+                    actual: pt.energy,
+                    budget,
+                });
             }
         }
         if let Some(budget) = self.max_power {
             if pt.power > budget {
-                v.push(Violation::Power { actual: pt.power, budget });
+                v.push(Violation::Power {
+                    actual: pt.power,
+                    budget,
+                });
             }
         }
         if let Some(min) = self.min_top1 {
             if pt.top1_percent < min {
-                v.push(Violation::Accuracy { actual: pt.top1_percent, min });
+                v.push(Violation::Accuracy {
+                    actual: pt.top1_percent,
+                    min,
+                });
             }
         }
         v
@@ -257,7 +265,10 @@ mod tests {
             .with_max_energy(Energy::from_millijoules(50.0))
             .with_max_power(Power::from_milliwatts(500.0))
             .with_min_top1(60.0);
-        assert!(req.satisfied_by(&point(100.0, 50.0, 500.0, 60.0)), "boundary is feasible");
+        assert!(
+            req.satisfied_by(&point(100.0, 50.0, 500.0, 60.0)),
+            "boundary is feasible"
+        );
         assert_eq!(req.violations(&point(101.0, 50.0, 500.0, 60.0)).len(), 1);
         assert_eq!(req.violations(&point(100.0, 51.0, 500.0, 60.0)).len(), 1);
         assert_eq!(req.violations(&point(100.0, 50.0, 501.0, 60.0)).len(), 1);

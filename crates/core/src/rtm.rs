@@ -157,7 +157,11 @@ impl Allocation {
 impl fmt::Display for Allocation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for r in &self.rigid {
-            writeln!(f, "{} -> {} (rigid, opp {})", r.app, r.cluster_name, r.opp_index)?;
+            writeln!(
+                f,
+                "{} -> {} (rigid, opp {})",
+                r.app, r.cluster_name, r.opp_index
+            )?;
         }
         for d in &self.dnns {
             writeln!(
@@ -171,7 +175,11 @@ impl fmt::Display for Allocation {
                 d.point.latency.as_millis(),
                 d.point.energy.as_millijoules(),
                 if d.sharers > 1 { ", shared" } else { "" },
-                if d.violations.is_empty() { "" } else { ", VIOLATED" },
+                if d.violations.is_empty() {
+                    ""
+                } else {
+                    ", VIOLATED"
+                },
             )?;
         }
         if !self.gated.is_empty() {
@@ -233,7 +241,9 @@ struct LedgerEntry {
 
 impl Ledger {
     fn new(soc: &Soc) -> Self {
-        Self { entries: vec![LedgerEntry::default(); soc.cluster_count()] }
+        Self {
+            entries: vec![LedgerEntry::default(); soc.cluster_count()],
+        }
     }
 
     fn entry(&self, id: ClusterId) -> &LedgerEntry {
@@ -259,7 +269,9 @@ impl Ledger {
 
     /// Total SoC power at current occupancy.
     fn total_power(&self, soc: &Soc) -> Power {
-        soc.cluster_ids().map(|id| self.cluster_power(soc, id)).sum()
+        soc.cluster_ids()
+            .map(|id| self.cluster_power(soc, id))
+            .sum()
     }
 }
 
@@ -314,12 +326,10 @@ impl Rtm {
 
         for &i in &order {
             match &apps[i] {
-                AppSpec::Rigid(spec) => {
-                    match self.place_rigid(soc, &mut ledger, spec, cap)? {
-                        Some(alloc) => rigid_allocs.push(alloc),
-                        None => unplaced.push(spec.name.clone()),
-                    }
-                }
+                AppSpec::Rigid(spec) => match self.place_rigid(soc, &mut ledger, spec, cap)? {
+                    Some(alloc) => rigid_allocs.push(alloc),
+                    None => unplaced.push(spec.name.clone()),
+                },
                 AppSpec::Dnn(spec) => {
                     match self.place_dnn(soc, &mut ledger, spec, cap, &dnn_allocs, &req_of)? {
                         Some(alloc) => dnn_allocs.push(alloc),
@@ -485,8 +495,8 @@ impl Rtm {
                         if other.point.op.cluster != id {
                             return false;
                         }
-                        let scaled = other.point.latency
-                            * (sharers_after as f64 / other.sharers as f64);
+                        let scaled =
+                            other.point.latency * (sharers_after as f64 / other.sharers as f64);
                         let mut hyp = other.point;
                         hyp.latency = scaled;
                         match req_of(&other.app) {
@@ -536,7 +546,11 @@ impl Rtm {
                 e.activity = e.cores_used as f64 / cluster.cores() as f64;
             }
         }
-        let freq = cluster.opps().get(pt.op.opp_index).expect("opp valid").freq();
+        let freq = cluster
+            .opps()
+            .get(pt.op.opp_index)
+            .expect("opp valid")
+            .freq();
         Ok(Some(DnnAllocation {
             app: spec.name.clone(),
             violations: spec.requirements.violations(&pt),
@@ -628,8 +642,7 @@ mod tests {
         AppSpec::Dnn(DnnAppSpec {
             name: name.to_string(),
             profile,
-            requirements: Requirements::new()
-                .with_max_latency(TimeSpan::from_millis(latency_ms)),
+            requirements: Requirements::new().with_max_latency(TimeSpan::from_millis(latency_ms)),
             priority,
             objective: None,
         })
@@ -738,7 +751,10 @@ mod tests {
         let alloc = rtm.allocate(&soc, &apps).unwrap();
         let d1 = alloc.dnn("dnn1").unwrap();
         assert_eq!(d1.cluster_name, "big", "{alloc}");
-        assert!(d1.point.op.cores < 4, "core allocation must shrink: {alloc}");
+        assert!(
+            d1.point.op.cores < 4,
+            "core allocation must shrink: {alloc}"
+        );
         assert_eq!(d1.point.op.level.index(), 0, "compressed to 25%: {alloc}");
         assert!(!d1.violations.is_empty(), "latency is sacrificed: {alloc}");
         assert!(alloc.total_power <= alloc.power_cap, "{alloc}");
@@ -764,7 +780,11 @@ mod tests {
         assert_eq!(d2.cluster_name, "npu", "{alloc}");
         assert!(d2.point.op.level.index() < 3, "dnn2 compresses: {alloc}");
         assert_eq!(d1.cluster_name, "npu", "both share the NPU: {alloc}");
-        assert_eq!(d1.point.op.level.index(), 3, "dnn1 recovers accuracy: {alloc}");
+        assert_eq!(
+            d1.point.op.level.index(),
+            3,
+            "dnn1 recovers accuracy: {alloc}"
+        );
         assert_eq!(d1.sharers, 2, "{alloc}");
         assert!(alloc.fully_feasible(), "{alloc}");
     }
@@ -810,7 +830,10 @@ mod tests {
         let soc = presets::flagship();
         for cap_frac in [0.4, 0.6, 0.8, 1.0] {
             let cap = soc.thermal().sustainable_power() * cap_frac;
-            let rtm = Rtm::new(RtmConfig { power_cap: Some(cap), ..RtmConfig::default() });
+            let rtm = Rtm::new(RtmConfig {
+                power_cap: Some(cap),
+                ..RtmConfig::default()
+            });
             let apps = [dnn("a", 1.0, 50.0, 1), dnn("b", 1.0, 50.0, 2)];
             let alloc = rtm.allocate(&soc, &apps).unwrap();
             assert!(
@@ -824,14 +847,22 @@ mod tests {
     fn power_gating_drops_idle_power_of_unused_clusters() {
         let soc = presets::flagship();
         let apps = [dnn("dnn1", 1.0, 11.0, 1)];
-        let plain = Rtm::new(RtmConfig::default()).allocate(&soc, &apps).unwrap();
-        let gated = Rtm::new(RtmConfig { power_gating: true, ..RtmConfig::default() })
+        let plain = Rtm::new(RtmConfig::default())
             .allocate(&soc, &apps)
             .unwrap();
+        let gated = Rtm::new(RtmConfig {
+            power_gating: true,
+            ..RtmConfig::default()
+        })
+        .allocate(&soc, &apps)
+        .unwrap();
         assert!(plain.gated.is_empty());
         // dnn1 occupies exactly one cluster; the other four are gated.
         assert_eq!(gated.gated.len(), soc.cluster_count() - 1);
-        assert!(gated.total_power < plain.total_power, "{gated}\nvs\n{plain}");
+        assert!(
+            gated.total_power < plain.total_power,
+            "{gated}\nvs\n{plain}"
+        );
         // Saving equals the gated clusters' idle power.
         let saved: Power = gated
             .gated
@@ -850,9 +881,12 @@ mod tests {
             dnn("dnn2", 4.0, 16.7, 2),
             vr_app(3),
         ];
-        let alloc = Rtm::new(RtmConfig { power_gating: true, ..RtmConfig::default() })
-            .allocate(&soc, &apps)
-            .unwrap();
+        let alloc = Rtm::new(RtmConfig {
+            power_gating: true,
+            ..RtmConfig::default()
+        })
+        .allocate(&soc, &apps)
+        .unwrap();
         let occupied: Vec<ClusterId> = alloc
             .dnns
             .iter()
@@ -870,7 +904,10 @@ mod tests {
         // The single-app §IV case study also falls out of the multi-app
         // allocator when the XU3 CPU clusters are the only options.
         let soc = presets::odroid_xu3();
-        let rtm = Rtm::new(RtmConfig { partial_cores: false, ..RtmConfig::default() });
+        let rtm = Rtm::new(RtmConfig {
+            partial_cores: false,
+            ..RtmConfig::default()
+        });
         let mut app = match dnn("dnn", 1.0, 400.0, 1) {
             AppSpec::Dnn(d) => d,
             _ => unreachable!(),

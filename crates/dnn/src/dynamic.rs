@@ -43,7 +43,12 @@ impl DynamicDnn {
         }
         let level = profile.max_level();
         net.set_active_groups(level.active_groups())?;
-        Ok(Self { net, profile, level, switches: 0 })
+        Ok(Self {
+            net,
+            profile,
+            level,
+            switches: 0,
+        })
     }
 
     /// Builds the profile from an incremental-training report, then wraps
@@ -162,8 +167,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let net = build_group_cnn(CnnConfig::default(), &mut rng).unwrap();
         let mut net2 = net;
-        let profile =
-            DnnProfile::from_network("t", &mut net2, &[0.5, 0.6, 0.65, 0.7]).unwrap();
+        let profile = DnnProfile::from_network("t", &mut net2, &[0.5, 0.6, 0.65, 0.7]).unwrap();
         DynamicDnn::new(net2, profile).unwrap()
     }
 
@@ -221,7 +225,11 @@ mod tests {
         // Reference profile has 4 levels and the net 4 groups: OK.
         assert!(DynamicDnn::new(net, profile).is_ok());
         let net2 = build_group_cnn(
-            CnnConfig { groups: 2, base_width: 8, ..CnnConfig::default() },
+            CnnConfig {
+                groups: 2,
+                base_width: 8,
+                ..CnnConfig::default()
+            },
             &mut rng,
         )
         .unwrap();

@@ -9,9 +9,9 @@
 
 use std::fmt;
 
-use eml_platform::workload::Workload;
 use eml_platform::paper;
 use eml_platform::presets;
+use eml_platform::workload::Workload;
 
 use crate::error::{DnnError, Result};
 use crate::level::WidthLevel;
@@ -68,7 +68,11 @@ impl DnnProfile {
             }
             prev = l.cost_fraction;
         }
-        Ok(Self { name: name.into(), levels, model_bytes })
+        Ok(Self {
+            name: name.into(),
+            levels,
+            model_bytes,
+        })
     }
 
     /// The paper's reference dynamic DNN: four levels at 25/50/75/100 % of
@@ -268,8 +272,7 @@ mod tests {
         use rand::SeedableRng;
         let mut rng = StdRng::seed_from_u64(0);
         let mut net = build_group_cnn(CnnConfig::default(), &mut rng).unwrap();
-        let p =
-            DnnProfile::from_network("live", &mut net, &[0.5, 0.6, 0.65, 0.7]).unwrap();
+        let p = DnnProfile::from_network("live", &mut net, &[0.5, 0.6, 0.65, 0.7]).unwrap();
         assert_eq!(p.level_count(), 4);
         let fracs: Vec<f64> = p.levels().map(|(_, s)| s.cost_fraction).collect();
         for (i, f) in fracs.iter().enumerate() {

@@ -26,7 +26,10 @@ pub struct SwitchCostModel {
 impl Default for SwitchCostModel {
     /// LPDDR3-class defaults: 6.4 GB/s sustained, 1.2 W while streaming.
     fn default() -> Self {
-        Self { memory_bandwidth: 6.4e9, memory_power: Power::from_watts(1.2) }
+        Self {
+            memory_bandwidth: 6.4e9,
+            memory_power: Power::from_watts(1.2),
+        }
     }
 }
 
@@ -64,7 +67,10 @@ impl SwitchCostModel {
     pub fn static_reload(&self, profile: &DnnProfile, to: WidthLevel) -> Result<SwitchCost> {
         let bytes = profile.level(to)?.param_bytes;
         let latency = TimeSpan::from_secs(bytes / self.memory_bandwidth);
-        Ok(SwitchCost { latency, energy: self.memory_power * latency })
+        Ok(SwitchCost {
+            latency,
+            energy: self.memory_power * latency,
+        })
     }
 }
 

@@ -14,7 +14,10 @@ pub struct Relu {
 impl Relu {
     /// Creates a named ReLU layer.
     pub fn new(name: impl Into<String>) -> Self {
-        Self { name: name.into(), mask: None }
+        Self {
+            name: name.into(),
+            mask: None,
+        }
     }
 }
 
@@ -51,7 +54,11 @@ impl Layer for Relu {
     }
 
     fn cost(&self, in_shape: &[usize]) -> Result<LayerCost> {
-        Ok(LayerCost { macs: 0.0, params: 0, out_shape: in_shape.to_vec() })
+        Ok(LayerCost {
+            macs: 0.0,
+            params: 0,
+            out_shape: in_shape.to_vec(),
+        })
     }
 }
 
@@ -69,7 +76,10 @@ pub struct Flatten {
 impl Flatten {
     /// Creates a named Flatten layer.
     pub fn new(name: impl Into<String>) -> Self {
-        Self { name: name.into(), in_shape: None }
+        Self {
+            name: name.into(),
+            in_shape: None,
+        }
     }
 }
 
@@ -96,9 +106,12 @@ impl Layer for Flatten {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
-        let shape = self.in_shape.as_ref().ok_or_else(|| NnError::InvalidConfig {
-            reason: format!("flatten `{}`: backward before training forward", self.name),
-        })?;
+        let shape = self
+            .in_shape
+            .as_ref()
+            .ok_or_else(|| NnError::InvalidConfig {
+                reason: format!("flatten `{}`: backward before training forward", self.name),
+            })?;
         grad_out.reshaped(shape)
     }
 

@@ -21,13 +21,13 @@
 
 use rand::Rng;
 
+use crate::activation::{Flatten, Relu};
 use crate::conv::{Conv2d, Conv2dConfig};
 use crate::error::{NnError, Result};
 use crate::layer::Layer;
 use crate::linear::Linear;
 use crate::network::Network;
 use crate::pool::MaxPool2d;
-use crate::activation::{Flatten, Relu};
 
 /// Configuration of the reference group CNN.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,7 +44,12 @@ pub struct CnnConfig {
 
 impl Default for CnnConfig {
     fn default() -> Self {
-        Self { input: (3, 16, 16), classes: 10, groups: 4, base_width: 32 }
+        Self {
+            input: (3, 16, 16),
+            classes: 10,
+            groups: 4,
+            base_width: 32,
+        }
     }
 }
 
@@ -74,7 +79,7 @@ impl Default for CnnConfig {
 /// ```
 pub fn build_group_cnn(cfg: CnnConfig, rng: &mut impl Rng) -> Result<Network> {
     let (c, h, w) = cfg.input;
-    if cfg.base_width == 0 || cfg.base_width % cfg.groups != 0 {
+    if cfg.base_width == 0 || !cfg.base_width.is_multiple_of(cfg.groups) {
         return Err(NnError::InvalidConfig {
             reason: format!(
                 "base_width {} must be a positive multiple of groups {}",
@@ -88,7 +93,9 @@ pub fn build_group_cnn(cfg: CnnConfig, rng: &mut impl Rng) -> Result<Network> {
         });
     }
     if cfg.classes == 0 {
-        return Err(NnError::InvalidConfig { reason: "classes must be positive".into() });
+        return Err(NnError::InvalidConfig {
+            reason: "classes must be positive".into(),
+        });
     }
     let w1 = cfg.base_width;
     let w2 = 2 * cfg.base_width;
@@ -207,22 +214,34 @@ mod tests {
     #[test]
     fn invalid_configs_rejected() {
         assert!(build_group_cnn(
-            CnnConfig { base_width: 30, ..CnnConfig::default() },
+            CnnConfig {
+                base_width: 30,
+                ..CnnConfig::default()
+            },
             &mut rng()
         )
         .is_err());
         assert!(build_group_cnn(
-            CnnConfig { input: (3, 10, 10), ..CnnConfig::default() },
+            CnnConfig {
+                input: (3, 10, 10),
+                ..CnnConfig::default()
+            },
             &mut rng()
         )
         .is_err());
         assert!(build_group_cnn(
-            CnnConfig { classes: 0, ..CnnConfig::default() },
+            CnnConfig {
+                classes: 0,
+                ..CnnConfig::default()
+            },
             &mut rng()
         )
         .is_err());
         assert!(build_group_cnn(
-            CnnConfig { base_width: 0, ..CnnConfig::default() },
+            CnnConfig {
+                base_width: 0,
+                ..CnnConfig::default()
+            },
             &mut rng()
         )
         .is_err());
@@ -234,10 +253,8 @@ mod tests {
         let cost = net.cost().unwrap();
         // conv1: 32·3·9+32; conv2: 64·8·9+64; conv3: 64·16·9+64;
         // fc: 1024·10+10.
-        let expect = (32 * 3 * 9 + 32)
-            + (64 * 8 * 9 + 64)
-            + (64 * 16 * 9 + 64)
-            + (64 * 4 * 4 * 10 + 10);
+        let expect =
+            (32 * 3 * 9 + 32) + (64 * 8 * 9 + 64) + (64 * 16 * 9 + 64) + (64 * 4 * 4 * 10 + 10);
         assert_eq!(cost.params_total, expect);
         assert_eq!(cost.params, expect, "full width uses all params");
     }

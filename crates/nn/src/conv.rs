@@ -13,14 +13,24 @@
 //! Incremental training (Fig 3b) is supported through
 //! [`Conv2d::set_trainable_groups`]: frozen groups keep their parameters
 //! bit-identical while later groups learn.
+//!
+//! Two compute backends share this layer's semantics (see
+//! [`crate::gemm`]): the default [`Backend::Gemm`] lowers each
+//! (sample, group) pair to `Out = W · im2col(x)` on the blocked GEMM
+//! kernel with a reusable scratch arena, parallelising over the batch;
+//! [`Backend::Reference`] is the original nested loop, retained as the
+//! correctness oracle for the equivalence property tests.
 
 use std::ops::Range;
 
 use rand::Rng;
 
 use crate::error::{NnError, Result};
+use crate::gemm::{gemm, Backend, MatRef};
+use crate::im2col::{col2im_add, im2col, ConvGeom};
 use crate::layer::{sgd_update, Layer, LayerCost};
 use crate::tensor::Tensor;
+use crate::workers;
 
 /// Configuration of a [`Conv2d`] layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,10 +65,16 @@ impl Conv2dConfig {
             self.in_channels > 0 && self.out_channels > 0,
             "channel counts must be positive".into(),
         )?;
-        c(self.kernel > 0 && self.stride > 0, "kernel and stride must be positive".into())?;
-        c(self.prune_groups > 0, "prune_groups must be positive".into())?;
         c(
-            self.out_channels % self.prune_groups == 0,
+            self.kernel > 0 && self.stride > 0,
+            "kernel and stride must be positive".into(),
+        )?;
+        c(
+            self.prune_groups > 0,
+            "prune_groups must be positive".into(),
+        )?;
+        c(
+            self.out_channels.is_multiple_of(self.prune_groups),
             format!(
                 "out_channels {} not divisible by prune_groups {}",
                 self.out_channels, self.prune_groups
@@ -72,7 +88,7 @@ impl Conv2dConfig {
             ),
         )?;
         c(
-            self.in_channels % self.conv_groups == 0,
+            self.in_channels.is_multiple_of(self.conv_groups),
             format!(
                 "in_channels {} not divisible by conv_groups {}",
                 self.in_channels, self.conv_groups
@@ -80,7 +96,7 @@ impl Conv2dConfig {
         )?;
         if self.conv_groups > 1 {
             c(
-                self.in_channels % self.prune_groups == 0,
+                self.in_channels.is_multiple_of(self.prune_groups),
                 format!(
                     "grouped conv requires in_channels {} divisible by prune_groups {}",
                     self.in_channels, self.prune_groups
@@ -107,6 +123,32 @@ pub struct Conv2d {
     active: usize,
     trainable: Range<usize>,
     cache: Option<Tensor>,
+    backend: Backend,
+    scratch: Scratch,
+}
+
+/// Reusable per-layer buffers for the GEMM backend; they only grow, so
+/// steady-state forward/backward does no transient heap allocation
+/// beyond the output tensor. Sized one column-matrix slot per worker
+/// band ([`workers::band_count`]), so peak scratch is bounded by the
+/// machine's parallelism, not the batch size.
+#[derive(Default)]
+struct Scratch {
+    /// im2col matrices, one slot per worker band.
+    col: Vec<f32>,
+    /// Gradient column matrices, one slot per worker band.
+    dcol: Vec<f32>,
+}
+
+impl std::fmt::Debug for Scratch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Scratch(col: {}, dcol: {})",
+            self.col.len(),
+            self.dcol.len()
+        )
+    }
 }
 
 impl Conv2d {
@@ -136,7 +178,15 @@ impl Conv2d {
             active: cfg.prune_groups,
             trainable: 0..cfg.prune_groups,
             cache: None,
+            backend: Backend::default(),
+            scratch: Scratch::default(),
         })
+    }
+
+    /// The currently selected compute backend (see
+    /// [`Layer::set_backend`]).
+    pub fn backend(&self) -> Backend {
+        self.backend
     }
 
     /// The layer's configuration.
@@ -205,6 +255,207 @@ impl Conv2d {
         let k = self.cfg.kernel;
         ((oc * self.in_per_group() + icg) * k + ky) * k + kx
     }
+
+    /// Input channels each output channel reads (shared by both
+    /// backends and the cost model).
+    fn icg_count(&self) -> usize {
+        if self.cfg.conv_groups == 1 {
+            self.cfg.in_channels
+        } else {
+            self.in_per_group()
+        }
+    }
+
+    /// `(groups to execute, output channels per executed group)` at the
+    /// current width: a dense conv is one GEMM over all active output
+    /// channels, a grouped conv is one GEMM per active group.
+    fn exec_groups(&self) -> (usize, usize) {
+        if self.cfg.conv_groups == 1 {
+            (1, self.active_out_channels())
+        } else {
+            (self.active, self.out_per_group())
+        }
+    }
+
+    /// Lowering geometry for executed group `g` of a sample with input
+    /// `h × w` and output `oh × ow`.
+    fn geom(&self, g: usize, h: usize, w: usize, oh: usize, ow: usize) -> ConvGeom {
+        ConvGeom {
+            channels: self.icg_count(),
+            ch_base: if self.cfg.conv_groups == 1 {
+                0
+            } else {
+                g * (self.cfg.in_channels / self.cfg.prune_groups)
+            },
+            h,
+            w,
+            k: self.cfg.kernel,
+            stride: self.cfg.stride,
+            padding: self.cfg.padding,
+            oh,
+            ow,
+        }
+    }
+
+    /// GEMM-backend forward: per sample and group,
+    /// `Out_g = W_g · im2col(x_g)`, batch-parallel when the work pays
+    /// for it.
+    fn forward_gemm(&mut self, input: &Tensor, out: &mut Tensor) {
+        let (n, c_in, h, w) = {
+            let s = input.shape();
+            (s[0], s[1], s[2], s[3])
+        };
+        let (c_out, oh, ow) = {
+            let s = out.shape();
+            (s[1], s[2], s[3])
+        };
+        let (groups_exec, opg) = self.exec_groups();
+        let kdim = self.icg_count() * self.cfg.kernel * self.cfg.kernel;
+        let ohw = oh * ow;
+        let col_slot = kdim * ohw;
+        let sample_in = c_in * h * w;
+        let sample_out = c_out * ohw;
+        let per_sample_macs = groups_exec * opg * ohw * kdim;
+        let batch_par = n > 1 && n * per_sample_macs >= crate::gemm::PAR_MIN_WORK;
+
+        // One column-matrix slot per band (bounded by the worker count,
+        // not the batch size); each band reuses its slot across samples.
+        let bands = workers::band_count(n, batch_par);
+        self.scratch
+            .col
+            .resize((bands * col_slot).max(self.scratch.col.len()), 0.0);
+        let geoms: Vec<ConvGeom> = (0..groups_exec)
+            .map(|g| self.geom(g, h, w, oh, ow))
+            .collect();
+        let (weights, bias) = (&self.w, &self.b);
+        let x = input.data();
+        workers::for_each_band(
+            out.data_mut(),
+            n,
+            sample_out,
+            &mut self.scratch.col,
+            col_slot,
+            batch_par,
+            |n0, out_band, col| {
+                for (bi, out_s) in out_band.chunks_mut(sample_out).enumerate() {
+                    let x_s = &x[(n0 + bi) * sample_in..][..sample_in];
+                    for (g, geom) in geoms.iter().enumerate() {
+                        im2col(x_s, geom, col);
+                        gemm(
+                            opg,
+                            ohw,
+                            kdim,
+                            MatRef::new(&weights[g * opg * kdim..][..opg * kdim], kdim),
+                            MatRef::new(col, ohw),
+                            0.0,
+                            &mut out_s[g * opg * ohw..][..opg * ohw],
+                            ohw,
+                            !batch_par,
+                        );
+                    }
+                    for (oc, row) in out_s.chunks_mut(ohw).enumerate() {
+                        let b = bias[oc];
+                        for v in row {
+                            *v += b;
+                        }
+                    }
+                }
+            },
+        );
+    }
+
+    /// GEMM-backend backward: bias sums, then batch-parallel
+    /// `grad_in = col2im(W_gᵀ · dOut_g)`, then serial weight-gradient
+    /// accumulation `gW_g += dOut_g · im2col(x)ᵀ` (serial because every
+    /// sample adds into the same gradient buffer; the GEMM itself still
+    /// splits across workers).
+    fn backward_gemm(&mut self, grad_out: &Tensor, grad_in: &mut Tensor) {
+        let input = self.cache.as_ref().expect("checked by backward");
+        let (n, c_in, h, w) = {
+            let s = input.shape();
+            (s[0], s[1], s[2], s[3])
+        };
+        let (c_out, oh, ow) = {
+            let s = grad_out.shape();
+            (s[1], s[2], s[3])
+        };
+        let (groups_exec, opg) = self.exec_groups();
+        let kdim = self.icg_count() * self.cfg.kernel * self.cfg.kernel;
+        let ohw = oh * ow;
+        let col_slot = kdim * ohw;
+        let sample_in = c_in * h * w;
+        let sample_out = c_out * ohw;
+        let go = grad_out.data();
+
+        for (oc, gb) in self.gb.iter_mut().enumerate().take(c_out) {
+            for ni in 0..n {
+                let row = &go[ni * sample_out + oc * ohw..][..ohw];
+                *gb += row.iter().sum::<f32>();
+            }
+        }
+
+        let geoms: Vec<ConvGeom> = (0..groups_exec)
+            .map(|g| self.geom(g, h, w, oh, ow))
+            .collect();
+        let per_sample_macs = groups_exec * opg * ohw * kdim;
+        let batch_par = n > 1 && n * per_sample_macs >= crate::gemm::PAR_MIN_WORK;
+        let bands = workers::band_count(n, batch_par);
+        self.scratch
+            .dcol
+            .resize((bands * col_slot).max(self.scratch.dcol.len()), 0.0);
+        let weights = &self.w;
+        workers::for_each_band(
+            grad_in.data_mut(),
+            n,
+            sample_in,
+            &mut self.scratch.dcol,
+            col_slot,
+            batch_par,
+            |n0, gi_band, dcol| {
+                for (bi, gi_s) in gi_band.chunks_mut(sample_in).enumerate() {
+                    let go_s = &go[(n0 + bi) * sample_out..][..sample_out];
+                    for (g, geom) in geoms.iter().enumerate() {
+                        gemm(
+                            kdim,
+                            ohw,
+                            opg,
+                            MatRef::t(&weights[g * opg * kdim..][..opg * kdim], kdim),
+                            MatRef::new(&go_s[g * opg * ohw..][..opg * ohw], ohw),
+                            0.0,
+                            dcol,
+                            ohw,
+                            !batch_par,
+                        );
+                        col2im_add(dcol, geom, gi_s);
+                    }
+                }
+            },
+        );
+
+        self.scratch
+            .col
+            .resize(col_slot.max(self.scratch.col.len()), 0.0);
+        let (col, gw) = (&mut self.scratch.col, &mut self.gw);
+        let x = input.data();
+        for ni in 0..n {
+            let x_s = &x[ni * sample_in..][..sample_in];
+            let go_s = &go[ni * sample_out..][..sample_out];
+            for (g, geom) in geoms.iter().enumerate() {
+                im2col(x_s, geom, &mut col[..col_slot]);
+                gemm(
+                    opg,
+                    kdim,
+                    ohw,
+                    MatRef::new(&go_s[g * opg * ohw..][..opg * ohw], ohw),
+                    MatRef::t(&col[..col_slot], ohw),
+                    1.0,
+                    &mut gw[g * opg * kdim..][..opg * kdim],
+                    kdim,
+                    true,
+                );
+            }
+        }
+    }
 }
 
 impl Layer for Conv2d {
@@ -222,51 +473,13 @@ impl Layer for Conv2d {
                 actual: shape.to_vec(),
             });
         }
-        let (n, c_in, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        let (n, h, w) = (shape[0], shape[2], shape[3]);
         let (oh, ow) = self.out_hw(h, w)?;
         let c_out = self.active_out_channels();
-        let k = self.cfg.kernel;
-        let s = self.cfg.stride;
-        let p = self.cfg.padding as isize;
-        let icg_count = if self.cfg.conv_groups == 1 {
-            self.cfg.in_channels
-        } else {
-            self.in_per_group()
-        };
-
         let mut out = Tensor::zeros(&[n, c_out, oh, ow]);
-        let x = input.data();
-        let o = out.data_mut();
-        for ni in 0..n {
-            for oc in 0..c_out {
-                let base = self.input_base(oc);
-                let bias = self.b[oc];
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        let mut acc = bias;
-                        for icg in 0..icg_count {
-                            let ic = base + icg;
-                            let plane = (ni * c_in + ic) * h * w;
-                            for ky in 0..k {
-                                let iy = (oy * s + ky) as isize - p;
-                                if iy < 0 || iy >= h as isize {
-                                    continue;
-                                }
-                                let row = plane + iy as usize * w;
-                                for kx in 0..k {
-                                    let ix = (ox * s + kx) as isize - p;
-                                    if ix < 0 || ix >= w as isize {
-                                        continue;
-                                    }
-                                    acc += self.w[self.weight_offset(oc, icg, ky, kx)]
-                                        * x[row + ix as usize];
-                                }
-                            }
-                        }
-                        o[((ni * c_out + oc) * oh + oy) * ow + ox] = acc;
-                    }
-                }
-            }
+        match self.backend {
+            Backend::Reference => self.forward_reference(input, &mut out),
+            Backend::Gemm => self.forward_gemm(input, &mut out),
         }
         if train {
             self.cache = Some(input.clone());
@@ -279,58 +492,14 @@ impl Layer for Conv2d {
             reason: format!("conv `{}`: backward before training forward", self.name),
         })?;
         let in_shape = input.shape().to_vec();
-        let (n, c_in, h, w) = (in_shape[0], in_shape[1], in_shape[2], in_shape[3]);
+        let (n, h, w) = (in_shape[0], in_shape[2], in_shape[3]);
         let (oh, ow) = self.out_hw(h, w)?;
         let c_out = self.active_out_channels();
         grad_out.expect_shape(&[n, c_out, oh, ow], "conv backward")?;
-
-        let k = self.cfg.kernel;
-        let s = self.cfg.stride;
-        let p = self.cfg.padding as isize;
-        let icg_count = if self.cfg.conv_groups == 1 {
-            self.cfg.in_channels
-        } else {
-            self.in_per_group()
-        };
-
         let mut grad_in = Tensor::zeros(&in_shape);
-        let x = input.data();
-        let go = grad_out.data();
-        let gi = grad_in.data_mut();
-        for ni in 0..n {
-            for oc in 0..c_out {
-                let base = self.input_base(oc);
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        let g = go[((ni * c_out + oc) * oh + oy) * ow + ox];
-                        if g == 0.0 {
-                            continue;
-                        }
-                        self.gb[oc] += g;
-                        for icg in 0..icg_count {
-                            let ic = base + icg;
-                            let plane = (ni * c_in + ic) * h * w;
-                            for ky in 0..k {
-                                let iy = (oy * s + ky) as isize - p;
-                                if iy < 0 || iy >= h as isize {
-                                    continue;
-                                }
-                                let row = plane + iy as usize * w;
-                                for kx in 0..k {
-                                    let ix = (ox * s + kx) as isize - p;
-                                    if ix < 0 || ix >= w as isize {
-                                        continue;
-                                    }
-                                    let woff = self.weight_offset(oc, icg, ky, kx);
-                                    let xoff = row + ix as usize;
-                                    self.gw[woff] += g * x[xoff];
-                                    gi[xoff] += g * self.w[woff];
-                                }
-                            }
-                        }
-                    }
-                }
-            }
+        match self.backend {
+            Backend::Reference => self.backward_reference(grad_out, &mut grad_in),
+            Backend::Gemm => self.backward_gemm(grad_out, &mut grad_in),
         }
         Ok(grad_in)
     }
@@ -374,6 +543,10 @@ impl Layer for Conv2d {
         self.trainable = groups;
     }
 
+    fn set_backend(&mut self, backend: Backend) {
+        self.backend = backend;
+    }
+
     fn cost(&self, in_shape: &[usize]) -> Result<LayerCost> {
         let expected_c = self.expected_in_channels();
         if in_shape.len() != 3 || in_shape[0] != expected_c {
@@ -385,11 +558,7 @@ impl Layer for Conv2d {
         }
         let (oh, ow) = self.out_hw(in_shape[1], in_shape[2])?;
         let c_out = self.active_out_channels();
-        let icg_count = if self.cfg.conv_groups == 1 {
-            self.cfg.in_channels
-        } else {
-            self.in_per_group()
-        };
+        let icg_count = self.icg_count();
         let k2 = self.cfg.kernel * self.cfg.kernel;
         Ok(LayerCost {
             macs: (c_out * oh * ow * icg_count * k2) as f64,
@@ -405,6 +574,112 @@ impl Layer for Conv2d {
     fn quantize_weights(&mut self, bits: u32) {
         crate::quant::quantize_slice(&mut self.w, bits);
         crate::quant::quantize_slice(&mut self.b, bits);
+    }
+}
+
+impl Conv2d {
+    /// Reference-backend forward: the original scalar loop nest, kept
+    /// as the correctness oracle.
+    fn forward_reference(&self, input: &Tensor, out: &mut Tensor) {
+        let shape = input.shape();
+        let (n, c_in, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        let (c_out, oh, ow) = {
+            let s = out.shape();
+            (s[1], s[2], s[3])
+        };
+        let k = self.cfg.kernel;
+        let s = self.cfg.stride;
+        let p = self.cfg.padding as isize;
+        let icg_count = self.icg_count();
+
+        let x = input.data();
+        let o = out.data_mut();
+        for ni in 0..n {
+            for oc in 0..c_out {
+                let base = self.input_base(oc);
+                let bias = self.b[oc];
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = bias;
+                        for icg in 0..icg_count {
+                            let ic = base + icg;
+                            let plane = (ni * c_in + ic) * h * w;
+                            for ky in 0..k {
+                                let iy = (oy * s + ky) as isize - p;
+                                if iy < 0 || iy >= h as isize {
+                                    continue;
+                                }
+                                let row = plane + iy as usize * w;
+                                for kx in 0..k {
+                                    let ix = (ox * s + kx) as isize - p;
+                                    if ix < 0 || ix >= w as isize {
+                                        continue;
+                                    }
+                                    acc += self.w[self.weight_offset(oc, icg, ky, kx)]
+                                        * x[row + ix as usize];
+                                }
+                            }
+                        }
+                        o[((ni * c_out + oc) * oh + oy) * ow + ox] = acc;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Reference-backend backward: the original scalar loop nest.
+    fn backward_reference(&mut self, grad_out: &Tensor, grad_in: &mut Tensor) {
+        let input = self.cache.as_ref().expect("checked by backward");
+        let in_shape = input.shape();
+        let (n, c_in, h, w) = (in_shape[0], in_shape[1], in_shape[2], in_shape[3]);
+        let (c_out, oh, ow) = {
+            let s = grad_out.shape();
+            (s[1], s[2], s[3])
+        };
+
+        let k = self.cfg.kernel;
+        let s = self.cfg.stride;
+        let p = self.cfg.padding as isize;
+        let icg_count = self.icg_count();
+
+        let x = input.data();
+        let go = grad_out.data();
+        let gi = grad_in.data_mut();
+        for ni in 0..n {
+            for oc in 0..c_out {
+                let base = self.input_base(oc);
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let g = go[((ni * c_out + oc) * oh + oy) * ow + ox];
+                        if g == 0.0 {
+                            continue;
+                        }
+                        self.gb[oc] += g;
+                        for icg in 0..icg_count {
+                            let ic = base + icg;
+                            let plane = (ni * c_in + ic) * h * w;
+                            for ky in 0..k {
+                                let iy = (oy * s + ky) as isize - p;
+                                if iy < 0 || iy >= h as isize {
+                                    continue;
+                                }
+                                let row = plane + iy as usize * w;
+                                for kx in 0..k {
+                                    let ix = (ox * s + kx) as isize - p;
+                                    if ix < 0 || ix >= w as isize {
+                                        continue;
+                                    }
+                                    let woff = self.weight_offset(oc, icg, ky, kx);
+                                    let xoff = row + ix as usize;
+                                    self.gw[woff] += g * x[xoff];
+                                    gi[xoff] += g * self.w[woff];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -518,9 +793,11 @@ mod tests {
         // model's first g groups — switching widths needs no retraining.
         let mut c = Conv2d::new("c", grouped_cfg(), &mut rng()).unwrap();
         let mut r = rng();
-        let x_full =
-            Tensor::from_vec(&[1, 8, 4, 4], (0..128).map(|_| r.gen_range(-1.0..1.0)).collect())
-                .unwrap();
+        let x_full = Tensor::from_vec(
+            &[1, 8, 4, 4],
+            (0..128).map(|_| r.gen_range(-1.0..1.0)).collect(),
+        )
+        .unwrap();
         let y_full = c.forward(&x_full, false).unwrap();
 
         c.set_active_groups(2).unwrap();
@@ -531,9 +808,7 @@ mod tests {
         for oc in 0..4 {
             for y in 0..4 {
                 for x in 0..4 {
-                    assert!(
-                        (y_half.at(&[0, oc, y, x]) - y_full.at(&[0, oc, y, x])).abs() < 1e-6
-                    );
+                    assert!((y_half.at(&[0, oc, y, x]) - y_full.at(&[0, oc, y, x])).abs() < 1e-6);
                 }
             }
         }
@@ -561,9 +836,11 @@ mod tests {
         };
         let mut c = Conv2d::new("c", cfg, &mut rng()).unwrap();
         let mut r = rng();
-        let x =
-            Tensor::from_vec(&[1, 2, 4, 4], (0..32).map(|_| r.gen_range(-1.0..1.0)).collect())
-                .unwrap();
+        let x = Tensor::from_vec(
+            &[1, 2, 4, 4],
+            (0..32).map(|_| r.gen_range(-1.0..1.0)).collect(),
+        )
+        .unwrap();
 
         // Loss = sum(output); dL/dy = 1.
         let y = c.forward(&x, true).unwrap();
@@ -619,17 +896,26 @@ mod tests {
         c.sgd_step(0.1, 0.0);
 
         let weights_per_oc = 2 * 9; // in_per_group=2, k=3
-        // Group 0 (oc 0..2) frozen.
-        for wi in 0..2 * weights_per_oc {
-            assert_eq!(c.w[wi], w_before[wi], "group 0 weight {wi} must be frozen");
+                                    // Group 0 (oc 0..2) frozen.
+        for (wi, (&now, &was)) in
+            c.w.iter()
+                .zip(&w_before)
+                .enumerate()
+                .take(2 * weights_per_oc)
+        {
+            assert_eq!(now, was, "group 0 weight {wi} must be frozen");
         }
         // Group 1 (oc 2..4) updated.
-        let updated = (2 * weights_per_oc..4 * weights_per_oc)
-            .any(|wi| c.w[wi] != w_before[wi]);
+        let updated = (2 * weights_per_oc..4 * weights_per_oc).any(|wi| c.w[wi] != w_before[wi]);
         assert!(updated, "group 1 weights must update");
         // Groups 2-3 inactive: no gradient, no update.
-        for wi in 4 * weights_per_oc..c.w.len() {
-            assert_eq!(c.w[wi], w_before[wi], "inactive group weight {wi}");
+        for (wi, (&now, &was)) in
+            c.w.iter()
+                .zip(&w_before)
+                .enumerate()
+                .skip(4 * weights_per_oc)
+        {
+            assert_eq!(now, was, "inactive group weight {wi}");
         }
     }
 
@@ -663,7 +949,10 @@ mod tests {
 
     #[test]
     fn stride_two_output_shape() {
-        let cfg = Conv2dConfig { stride: 2, ..dense_cfg() };
+        let cfg = Conv2dConfig {
+            stride: 2,
+            ..dense_cfg()
+        };
         let mut c = Conv2d::new("c", cfg, &mut rng()).unwrap();
         let y = c.forward(&Tensor::zeros(&[1, 3, 16, 16]), false).unwrap();
         // (16 + 2 - 3)/2 + 1 = 8

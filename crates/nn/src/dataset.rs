@@ -120,12 +120,12 @@ impl SyntheticVision {
             .collect();
         let mut train = Vec::with_capacity(cfg.classes * cfg.train_per_class);
         let mut test = Vec::with_capacity(cfg.classes * cfg.test_per_class);
-        for class in 0..cfg.classes {
+        for (class, class_modes) in modes.iter().enumerate() {
             for _ in 0..cfg.train_per_class {
-                train.push(Self::draw_sample(&cfg, class, &modes[class], &mut rng));
+                train.push(Self::draw_sample(&cfg, class, class_modes, &mut rng));
             }
             for _ in 0..cfg.test_per_class {
-                test.push(Self::draw_sample(&cfg, class, &modes[class], &mut rng));
+                test.push(Self::draw_sample(&cfg, class, class_modes, &mut rng));
             }
         }
         Self { cfg, train, test }
@@ -155,12 +155,7 @@ impl SyntheticVision {
         }
     }
 
-    fn draw_sample(
-        cfg: &DatasetConfig,
-        class: usize,
-        modes: &[Mode],
-        rng: &mut StdRng,
-    ) -> Sample {
+    fn draw_sample(cfg: &DatasetConfig, class: usize, modes: &[Mode], rng: &mut StdRng) -> Sample {
         let mode = modes[rng.gen_range(0..modes.len())];
         let (h, w, c) = (cfg.height, cfg.width, cfg.channels);
         let phase = mode.phase0 + rng.gen_range(-0.6..0.6);
@@ -174,11 +169,8 @@ impl SyntheticVision {
             for x in 0..w {
                 let yn = (y as f32 + dy) / h as f32;
                 let xn = (x as f32 + dx) / w as f32;
-                let grating = (std::f32::consts::TAU
-                    * mode.freq
-                    * (xn * cos_t + yn * sin_t)
-                    + phase)
-                    .sin();
+                let grating =
+                    (std::f32::consts::TAU * mode.freq * (xn * cos_t + yn * sin_t) + phase).sin();
                 let ry = yn - mode.blob_cy;
                 let rx = xn - mode.blob_cx;
                 let blob = (-(ry * ry + rx * rx) / (2.0 * mode.blob_r * mode.blob_r)).exp();
@@ -189,7 +181,10 @@ impl SyntheticVision {
                 }
             }
         }
-        Sample { image, label: class }
+        Sample {
+            image,
+            label: class,
+        }
     }
 
     /// The generator configuration.
@@ -223,7 +218,10 @@ fn gauss(rng: &mut StdRng) -> f32 {
 /// Panics if `indices` is empty or contains out-of-range values; callers
 /// control both.
 pub fn make_batch(samples: &[Sample], indices: &[usize]) -> (Tensor, Vec<usize>) {
-    assert!(!indices.is_empty(), "batch must contain at least one sample");
+    assert!(
+        !indices.is_empty(),
+        "batch must contain at least one sample"
+    );
     let shape = samples[indices[0]].image.shape().to_vec();
     let per = samples[indices[0]].image.len();
     let mut batch_shape = vec![indices.len()];
@@ -259,7 +257,10 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let a = SyntheticVision::generate(DatasetConfig::tiny());
-        let b = SyntheticVision::generate(DatasetConfig { seed: 999, ..DatasetConfig::tiny() });
+        let b = SyntheticVision::generate(DatasetConfig {
+            seed: 999,
+            ..DatasetConfig::tiny()
+        });
         let same = a
             .train()
             .iter()
@@ -291,7 +292,10 @@ mod tests {
         // Noise-free images of one class should correlate across samples of
         // the same mode more than across classes on average; as a cheap
         // proxy, check non-trivial per-image variance.
-        let cfg = DatasetConfig { noise: 0.0, ..DatasetConfig::tiny() };
+        let cfg = DatasetConfig {
+            noise: 0.0,
+            ..DatasetConfig::tiny()
+        };
         let d = SyntheticVision::generate(cfg);
         for s in d.train().iter().take(10) {
             let mean = s.image.mean();

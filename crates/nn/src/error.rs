@@ -31,7 +31,11 @@ pub enum NnError {
 impl fmt::Display for NnError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Self::ShapeMismatch { context, expected, actual } => write!(
+            Self::ShapeMismatch {
+                context,
+                expected,
+                actual,
+            } => write!(
                 f,
                 "shape mismatch in {context}: expected {expected:?}, got {actual:?}"
             ),

@@ -1,0 +1,548 @@
+//! Cache-blocked, register-tiled `f32` matrix multiplication — the
+//! shared compute kernel behind [`crate::conv::Conv2d`] and
+//! [`crate::linear::Linear`] when they run on [`Backend::Gemm`].
+//!
+//! # Layout
+//!
+//! All matrices are row-major slices with an explicit leading dimension
+//! (`ld` = elements between consecutive rows), so sub-matrices and
+//! transposed views cost nothing: a [`MatRef`] with [`Trans::T`] reads
+//! `A[i][p]` from `data[p * ld + i]`, and transposition is absorbed by
+//! the packing step below rather than strided inner loops.
+//!
+//! # Blocking
+//!
+//! The kernel follows the classic three-level GEMM structure
+//! (Goto/BLIS; the same shape TFLite Micro's optimised kernels use):
+//!
+//! ```text
+//!        N                 for pc in K step KC:        ┌── packed B panel
+//!   ┌─────────┐              pack B[pc..pc+KC][0..N]   │   KC × N, NR-wide
+//!   │    B    │ K            for ic in M step MC:      │   column strips
+//!   └─────────┘                pack A[ic..+MC][pc..]   ├── packed A block
+//! M ┌──┐┌─────────┐            for each MR×NR tile:    │   MC × KC, MR-tall
+//!   │A ││    C    │              micro-kernel          │   row strips
+//!   └──┘└─────────┘                                    └── both zero-padded
+//! ```
+//!
+//! Blocking parameters: `MR×NR = 4×16` register tile (8 accumulator
+//! vectors of 8 `f32` on AVX2-class hardware, written as plain arrays so
+//! safe Rust auto-vectorises), `MC = 64` rows, `KC = 256` — an A block
+//! of 64 KiB and a B panel that stays resident in L1/L2 for the matrix
+//! sizes this crate meets. Panels are padded to multiples of `MR`/`NR`
+//! with zeros so the micro-kernel has no edge cases; the write-back
+//! masks the padding.
+//!
+//! Pack buffers are thread-local and only ever grow, so steady-state
+//! *serial* calls do no heap allocation. Large products split their
+//! `M` range across workers (see [`crate::workers`]); each worker
+//! packs into its own thread-local buffers and writes a disjoint band
+//! of `C`. Under the vendored `rayon` (fresh scoped threads per
+//! region, no pool) those worker thread-locals start empty each time,
+//! so the parallel path re-allocates its pack blocks per spawn — a
+//! persistent pool restores the zero-allocation property there (see
+//! ROADMAP open items).
+
+use std::cell::RefCell;
+
+/// Which implementation a layer uses for its forward/backward math.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// The original nested-loop implementation. Slow, but simple enough
+    /// to audit by eye — kept as the correctness oracle for the
+    /// equivalence tests and as a fallback.
+    Reference,
+    /// im2col + blocked GEMM (this module). The default.
+    #[default]
+    Gemm,
+}
+
+/// Register tile height (rows of C per micro-kernel call).
+pub const MR: usize = 4;
+/// Register tile width (columns of C per micro-kernel call).
+pub const NR: usize = 16;
+/// Rows of A packed per block.
+pub const MC: usize = 64;
+/// Depth (K) packed per block.
+pub const KC: usize = 256;
+
+/// Minimum `m·n·k` (MAC count) before a product is worth splitting
+/// across workers; also used by the layers to gate batch parallelism.
+pub(crate) const PAR_MIN_WORK: usize = 1 << 21;
+
+/// Whether a matrix operand is read as stored or transposed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trans {
+    /// `A[i][p] = data[i * ld + p]`.
+    N,
+    /// `A[i][p] = data[p * ld + i]`.
+    T,
+}
+
+/// A borrowed row-major matrix view with leading dimension and
+/// optional transposition.
+#[derive(Debug, Clone, Copy)]
+pub struct MatRef<'a> {
+    /// Underlying elements.
+    pub data: &'a [f32],
+    /// Elements between consecutive stored rows.
+    pub ld: usize,
+    /// How logical indices map onto storage.
+    pub trans: Trans,
+}
+
+impl<'a> MatRef<'a> {
+    /// A non-transposed view.
+    pub fn new(data: &'a [f32], ld: usize) -> Self {
+        Self {
+            data,
+            ld,
+            trans: Trans::N,
+        }
+    }
+
+    /// A transposed view.
+    pub fn t(data: &'a [f32], ld: usize) -> Self {
+        Self {
+            data,
+            ld,
+            trans: Trans::T,
+        }
+    }
+
+    #[inline]
+    fn at(&self, i: usize, p: usize) -> f32 {
+        match self.trans {
+            Trans::N => self.data[i * self.ld + p],
+            Trans::T => self.data[p * self.ld + i],
+        }
+    }
+}
+
+thread_local! {
+    /// Per-thread (packed A, packed B) buffers; grown once, then reused.
+    static PACK_BUFS: RefCell<(Vec<f32>, Vec<f32>)> = const { RefCell::new((Vec::new(), Vec::new())) };
+}
+
+/// `C = A·B + beta·C` for logical shapes `A: m×k`, `B: k×n`, `C: m×n`.
+///
+/// `beta` must be `0.0` (overwrite `C`) or `1.0` (accumulate into `C`);
+/// those are the only modes the layers need. `c` is a row-major view
+/// with leading dimension `ldc ≥ n`. When `parallel` is true and the
+/// product is large enough, the `M` range is split across workers —
+/// pass `false` from code that already parallelises an outer dimension.
+///
+/// # Panics
+///
+/// Debug-asserts shape/stride consistency; out-of-bounds operands panic
+/// via slice indexing.
+#[allow(clippy::too_many_arguments)] // GEMM is inherently (m, n, k, A, B, beta, C)-shaped
+pub fn gemm(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    beta: f32,
+    c: &mut [f32],
+    ldc: usize,
+    parallel: bool,
+) {
+    debug_assert!(beta == 0.0 || beta == 1.0, "beta must be 0 or 1");
+    debug_assert!(ldc >= n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        if beta == 0.0 {
+            for row in c.chunks_mut(ldc).take(m) {
+                row[..n].fill(0.0);
+            }
+        }
+        return;
+    }
+    let workers = crate::workers::worker_count();
+    if parallel && workers > 1 && m * n * k >= PAR_MIN_WORK && m >= 2 * MR {
+        gemm_parallel(m, n, k, a, b, beta, c, ldc, workers);
+    } else {
+        gemm_serial(0, m, n, k, a, b, beta, c, ldc);
+    }
+}
+
+/// Parallel blocked GEMM: per K-slice, the calling thread packs the B
+/// panel once, then `M` bands fan out across workers, each packing its
+/// own A blocks and writing a disjoint band of `C`.
+#[allow(clippy::too_many_arguments)]
+fn gemm_parallel(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    beta: f32,
+    c: &mut [f32],
+    ldc: usize,
+    workers: usize,
+) {
+    // Band height: even split over workers, rounded up to MR.
+    let band = m.div_ceil(workers).div_ceil(MR) * MR;
+    // Take the B buffer *out* of the thread-local rather than holding a
+    // RefCell borrow across the scope: with a work-stealing runtime the
+    // calling thread may execute one of its own `band_tiles` tasks,
+    // which borrows the same thread-local cell.
+    let mut pb = PACK_BUFS.with(|bufs| std::mem::take(&mut bufs.borrow_mut().1));
+    let n_pad = n.div_ceil(NR) * NR;
+    pb.resize((KC * n_pad).max(pb.len()), 0.0);
+
+    let mut pc = 0;
+    while pc < k {
+        let kc = KC.min(k - pc);
+        pack_b(b, pc, kc, n, &mut pb);
+        // Accumulate after the first K-slice regardless of beta.
+        let slice_beta = if pc == 0 { beta } else { 1.0 };
+        let pb_shared: &[f32] = &pb;
+        rayon::scope(|s| {
+            let mut rest = &mut c[..];
+            let mut i0 = 0;
+            while i0 < m {
+                let rows = band.min(m - i0);
+                let split = (rows * ldc).min(rest.len());
+                let (band_c, tail) = rest.split_at_mut(split);
+                s.spawn(move |_| {
+                    band_tiles(i0, rows, n, pc, kc, a, pb_shared, slice_beta, band_c, ldc);
+                });
+                rest = tail;
+                i0 += rows;
+            }
+        });
+        pc += kc;
+    }
+    PACK_BUFS.with(|bufs| bufs.borrow_mut().1 = pb);
+}
+
+/// One worker's share of a K-slice: packs its own A blocks (worker
+/// thread-locals) against the shared, already-packed B panel.
+#[allow(clippy::too_many_arguments)]
+fn band_tiles(
+    i0: usize,
+    m: usize,
+    n: usize,
+    pc: usize,
+    kc: usize,
+    a: MatRef<'_>,
+    pb: &[f32],
+    beta: f32,
+    c: &mut [f32],
+    ldc: usize,
+) {
+    PACK_BUFS.with(|bufs| {
+        let mut bufs = bufs.borrow_mut();
+        let (pa, _) = &mut *bufs;
+        pa.resize((MC * KC).max(pa.len()), 0.0);
+        let mut ic = 0;
+        while ic < m {
+            let mc = MC.min(m - ic);
+            pack_a(a, i0 + ic, mc, pc, kc, pa);
+            macro_tile(pa, pb, mc, n, kc, beta, &mut c[ic * ldc..], ldc);
+            ic += mc;
+        }
+    });
+}
+
+/// The single-threaded blocked GEMM over rows `i0..i0+m` of the logical
+/// product; `c` starts at row `i0`.
+#[allow(clippy::too_many_arguments)]
+fn gemm_serial(
+    i0: usize,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    beta: f32,
+    c: &mut [f32],
+    ldc: usize,
+) {
+    PACK_BUFS.with(|bufs| {
+        let mut bufs = bufs.borrow_mut();
+        let (pa, pb) = &mut *bufs;
+        let n_pad = n.div_ceil(NR) * NR;
+        pa.resize((MC * KC).max(pa.len()), 0.0);
+        pb.resize((KC * n_pad).max(pb.len()), 0.0);
+
+        let mut pc = 0;
+        while pc < k {
+            let kc = KC.min(k - pc);
+            pack_b(b, pc, kc, n, pb);
+            // Accumulate after the first K-slice regardless of beta.
+            let slice_beta = if pc == 0 { beta } else { 1.0 };
+            let mut ic = 0;
+            while ic < m {
+                let mc = MC.min(m - ic);
+                pack_a(a, i0 + ic, mc, pc, kc, pa);
+                macro_tile(pa, pb, mc, n, kc, slice_beta, &mut c[ic * ldc..], ldc);
+                ic += mc;
+            }
+            pc += kc;
+        }
+    });
+}
+
+/// Packs `A[i0..i0+mc][pc..pc+kc]` into MR-tall row strips:
+/// `pa[strip][p][r]`, zero-padding the last strip.
+fn pack_a(a: MatRef<'_>, i0: usize, mc: usize, pc: usize, kc: usize, pa: &mut [f32]) {
+    let strips = mc.div_ceil(MR);
+    for strip in 0..strips {
+        let base = strip * kc * MR;
+        for p in 0..kc {
+            for r in 0..MR {
+                let i = strip * MR + r;
+                pa[base + p * MR + r] = if i < mc { a.at(i0 + i, pc + p) } else { 0.0 };
+            }
+        }
+    }
+}
+
+/// Packs `B[pc..pc+kc][0..n]` into NR-wide column strips:
+/// `pb[strip][p][c]`, zero-padding the last strip.
+fn pack_b(b: MatRef<'_>, pc: usize, kc: usize, n: usize, pb: &mut [f32]) {
+    let strips = n.div_ceil(NR);
+    match b.trans {
+        Trans::N => {
+            for p in 0..kc {
+                let row = &b.data[(pc + p) * b.ld..][..n];
+                for strip in 0..strips {
+                    let j0 = strip * NR;
+                    let width = NR.min(n - j0);
+                    let dst = &mut pb[strip * kc * NR + p * NR..][..NR];
+                    dst[..width].copy_from_slice(&row[j0..j0 + width]);
+                    dst[width..].fill(0.0);
+                }
+            }
+        }
+        Trans::T => {
+            for strip in 0..strips {
+                let j0 = strip * NR;
+                let width = NR.min(n - j0);
+                let base = strip * kc * NR;
+                for p in 0..kc {
+                    let dst = &mut pb[base + p * NR..][..NR];
+                    for (j, d) in dst[..width].iter_mut().enumerate() {
+                        *d = b.data[(j0 + j) * b.ld + pc + p];
+                    }
+                    dst[width..].fill(0.0);
+                }
+            }
+        }
+    }
+}
+
+/// Runs the micro-kernel over every MR×NR tile of an `mc × n` block of
+/// `C` (rows start at `c[0]`).
+#[allow(clippy::too_many_arguments)]
+fn macro_tile(
+    pa: &[f32],
+    pb: &[f32],
+    mc: usize,
+    n: usize,
+    kc: usize,
+    beta: f32,
+    c: &mut [f32],
+    ldc: usize,
+) {
+    let row_strips = mc.div_ceil(MR);
+    let col_strips = n.div_ceil(NR);
+    for rs in 0..row_strips {
+        let pa_strip = &pa[rs * kc * MR..][..kc * MR];
+        let rows = MR.min(mc - rs * MR);
+        for cs in 0..col_strips {
+            let pb_strip = &pb[cs * kc * NR..][..kc * NR];
+            let cols = NR.min(n - cs * NR);
+            let acc = micro_kernel(pa_strip, pb_strip);
+            // Write-back masks the zero padding.
+            for r in 0..rows {
+                let row = &mut c[(rs * MR + r) * ldc + cs * NR..][..cols];
+                if beta == 0.0 {
+                    row.copy_from_slice(&acc[r][..cols]);
+                } else {
+                    for (dst, &v) in row.iter_mut().zip(&acc[r][..cols]) {
+                        *dst += v;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The register-tiled core: one MR×NR tile of `A_strip · B_strip`.
+///
+/// Written over `chunks_exact` so the compiler sees fixed trip counts
+/// and vectorises the NR-wide FMA rows without bounds checks.
+#[inline]
+fn micro_kernel(pa_strip: &[f32], pb_strip: &[f32]) -> [[f32; NR]; MR] {
+    let mut acc = [[0.0f32; NR]; MR];
+    for (ap, bp) in pa_strip.chunks_exact(MR).zip(pb_strip.chunks_exact(NR)) {
+        for r in 0..MR {
+            let av = ap[r];
+            for (x, &bv) in acc[r].iter_mut().zip(bp) {
+                *x += av * bv;
+            }
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[allow(clippy::too_many_arguments)]
+    fn naive(
+        m: usize,
+        n: usize,
+        k: usize,
+        a: MatRef<'_>,
+        b: MatRef<'_>,
+        beta: f32,
+        c: &mut [f32],
+        ldc: usize,
+    ) {
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f64;
+                for p in 0..k {
+                    acc += f64::from(a.at(i, p)) * f64::from(b.at(p, j));
+                }
+                let prev = if beta == 0.0 {
+                    0.0
+                } else {
+                    f64::from(c[i * ldc + j])
+                };
+                c[i * ldc + j] = (prev + acc) as f32;
+            }
+        }
+    }
+
+    fn random_vec(len: usize, seed: u64) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect()
+    }
+
+    fn check_case(m: usize, n: usize, k: usize, ta: Trans, tb: Trans, beta: f32) {
+        let a_data = random_vec(m * k, 1 + m as u64 * 31 + k as u64);
+        let b_data = random_vec(k * n, 2 + n as u64 * 17);
+        let (a_ld, b_ld) = (
+            if ta == Trans::N { k } else { m },
+            if tb == Trans::N { n } else { k },
+        );
+        let a = MatRef {
+            data: &a_data,
+            ld: a_ld,
+            trans: ta,
+        };
+        let b = MatRef {
+            data: &b_data,
+            ld: b_ld,
+            trans: tb,
+        };
+        let mut c = random_vec(m * n, 3);
+        let mut expect = c.clone();
+        gemm(m, n, k, a, b, beta, &mut c, n, false);
+        naive(m, n, k, a, b, beta, &mut expect, n);
+        for (i, (&got, &want)) in c.iter().zip(&expect).enumerate() {
+            assert!(
+                (got - want).abs() < 1e-4,
+                "({m}x{n}x{k} {ta:?}{tb:?} beta={beta}) c[{i}]: {got} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_naive_across_shapes_and_transposes() {
+        for &(m, n, k) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (4, 16, 8),
+            (5, 17, 9),
+            (32, 64, 27),
+            (65, 33, 300),
+        ] {
+            for &ta in &[Trans::N, Trans::T] {
+                for &tb in &[Trans::N, Trans::T] {
+                    check_case(m, n, k, ta, tb, 0.0);
+                    check_case(m, n, k, ta, tb, 1.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn respects_leading_dimension_on_c() {
+        // C wider than n: untouched columns must keep their values.
+        let (m, n, k, ldc) = (3usize, 4usize, 5usize, 7usize);
+        let a_data = random_vec(m * k, 4);
+        let b_data = random_vec(k * n, 5);
+        let mut c = vec![9.0f32; m * ldc];
+        gemm(
+            m,
+            n,
+            k,
+            MatRef::new(&a_data, k),
+            MatRef::new(&b_data, n),
+            0.0,
+            &mut c,
+            ldc,
+            false,
+        );
+        for row in c.chunks(ldc) {
+            for &v in &row[n..] {
+                assert_eq!(v, 9.0, "columns beyond n must not be written");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_split_matches_serial() {
+        let (m, n, k) = (256, 128, 96);
+        let a_data = random_vec(m * k, 6);
+        let b_data = random_vec(k * n, 7);
+        let a = MatRef::new(&a_data, k);
+        let b = MatRef::new(&b_data, n);
+        let mut serial = vec![0.0f32; m * n];
+        let mut par = vec![0.0f32; m * n];
+        gemm(m, n, k, a, b, 0.0, &mut serial, n, false);
+        gemm(m, n, k, a, b, 0.0, &mut par, n, true);
+        assert_eq!(serial, par, "banding must not change row results");
+    }
+
+    #[test]
+    fn k_zero_clears_or_keeps_c() {
+        let mut c = vec![5.0f32; 6];
+        gemm(
+            2,
+            3,
+            0,
+            MatRef::new(&[], 1),
+            MatRef::new(&[], 1),
+            1.0,
+            &mut c,
+            3,
+            false,
+        );
+        assert!(c.iter().all(|&v| v == 5.0));
+        gemm(
+            2,
+            3,
+            0,
+            MatRef::new(&[], 1),
+            MatRef::new(&[], 1),
+            0.0,
+            &mut c,
+            3,
+            false,
+        );
+        assert!(c.iter().all(|&v| v == 0.0));
+    }
+}

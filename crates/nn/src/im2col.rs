@@ -1,0 +1,276 @@
+//! im2col/col2im lowering: turns convolution into matrix
+//! multiplication.
+//!
+//! # Layout
+//!
+//! For one sample and one channel group, [`im2col`] writes the column
+//! matrix `Col` with one **row per (channel, ky, kx) weight position**
+//! and one **column per output pixel**:
+//!
+//! ```text
+//! row (icg·k + ky)·k + kx, column oy·ow + ox
+//!     = x[ch_base + icg][oy·s + ky − p][ox·s + kx − p]   (0 if padded)
+//!
+//!            ┌───────────── oh·ow ─────────────┐
+//!            │ x(c0, shifted by ky=0,kx=0) ... │
+//!  icg·k·k   │ x(c0, shifted by ky=0,kx=1) ... │
+//!   rows     │           ...                   │
+//!            │ x(c_last, ky=k−1, kx=k−1)   ... │
+//!            └─────────────────────────────────┘
+//! ```
+//!
+//! The convolution then becomes `Out = W · Col` where `W` is the
+//! layer's weight matrix (`out_channels × icg·k·k`, already stored
+//! row-major in exactly that order), computed by [`crate::gemm`].
+//! [`col2im_add`] is the adjoint scatter used by the backward pass.
+//!
+//! Rows are filled segment-wise: for each row the valid `ox` interval
+//! is computed once from the padding arithmetic, the out-of-image
+//! margins are zero-filled, and the in-image span is a `memcpy` for
+//! stride 1 (the common case) or a short strided loop otherwise — no
+//! per-element bounds branching.
+
+/// Geometry of one conv lowering (per sample, per group).
+#[derive(Debug, Clone, Copy)]
+pub struct ConvGeom {
+    /// Channels read by this group.
+    pub channels: usize,
+    /// First input channel of the group within the sample.
+    pub ch_base: usize,
+    /// Input height.
+    pub h: usize,
+    /// Input width.
+    pub w: usize,
+    /// Square kernel size.
+    pub k: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Zero padding.
+    pub padding: usize,
+    /// Output height.
+    pub oh: usize,
+    /// Output width.
+    pub ow: usize,
+}
+
+impl ConvGeom {
+    /// Rows of the column matrix (`channels · k²`).
+    pub fn rows(&self) -> usize {
+        self.channels * self.k * self.k
+    }
+
+    /// Columns of the column matrix (`oh · ow`).
+    pub fn cols(&self) -> usize {
+        self.oh * self.ow
+    }
+
+    /// Required `col` buffer length.
+    pub fn col_len(&self) -> usize {
+        self.rows() * self.cols()
+    }
+
+    /// The valid `ox` range `[lo, hi)` for kernel column `kx`, i.e.
+    /// where `0 ≤ ox·s + kx − p < w`.
+    #[inline]
+    fn ox_range(&self, kx: usize) -> (usize, usize) {
+        let (s, p, w) = (self.stride, self.padding as isize, self.w as isize);
+        let kx = kx as isize;
+        // ox ≥ (p − kx) / s, rounded up.
+        let lo = ((p - kx).max(0) as usize).div_ceil(s);
+        // ox ≤ (w − 1 − kx + p) / s, rounded down — floor division, not
+        // Rust's toward-zero `/`: the numerator is negative when the
+        // kernel overhangs the whole row (kernel > w + padding).
+        let hi_excl = ((w - 1 - kx + p).div_euclid(s as isize) + 1).max(0) as usize;
+        (lo.min(self.ow), hi_excl.min(self.ow))
+    }
+
+    /// The input row index for output row `oy` and kernel row `ky`, or
+    /// `None` when it falls in the padding.
+    #[inline]
+    fn iy(&self, oy: usize, ky: usize) -> Option<usize> {
+        let iy = (oy * self.stride + ky) as isize - self.padding as isize;
+        (iy >= 0 && iy < self.h as isize).then_some(iy as usize)
+    }
+}
+
+/// Fills `col` (length [`ConvGeom::col_len`]) from one sample's input
+/// plane `x` (`≥ (ch_base + channels)·h·w` elements).
+pub fn im2col(x: &[f32], g: &ConvGeom, col: &mut [f32]) {
+    let (k, s, ow) = (g.k, g.stride, g.ow);
+    let plane = g.h * g.w;
+    let cols = g.cols();
+    for icg in 0..g.channels {
+        let xc = &x[(g.ch_base + icg) * plane..][..plane];
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = ((icg * k + ky) * k + kx) * cols;
+                let dst = &mut col[row..][..cols];
+                let (lo, hi) = g.ox_range(kx);
+                for oy in 0..g.oh {
+                    let seg = &mut dst[oy * ow..][..ow];
+                    match g.iy(oy, ky) {
+                        None => seg.fill(0.0),
+                        Some(iy) => {
+                            seg[..lo].fill(0.0);
+                            seg[hi..].fill(0.0);
+                            if lo < hi {
+                                let ix0 = lo * s + kx - g.padding;
+                                let src = &xc[iy * g.w..][..g.w];
+                                if s == 1 {
+                                    seg[lo..hi].copy_from_slice(&src[ix0..ix0 + (hi - lo)]);
+                                } else {
+                                    for (i, v) in seg[lo..hi].iter_mut().enumerate() {
+                                        *v = src[ix0 + i * s];
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Adjoint of [`im2col`]: scatter-adds `col` back into the gradient
+/// plane `gx` (same layout as the input sample).
+pub fn col2im_add(col: &[f32], g: &ConvGeom, gx: &mut [f32]) {
+    let (k, s, ow) = (g.k, g.stride, g.ow);
+    let plane = g.h * g.w;
+    let cols = g.cols();
+    for icg in 0..g.channels {
+        let gc = &mut gx[(g.ch_base + icg) * plane..][..plane];
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = ((icg * k + ky) * k + kx) * cols;
+                let src_row = &col[row..][..cols];
+                let (lo, hi) = g.ox_range(kx);
+                if lo >= hi {
+                    continue;
+                }
+                for oy in 0..g.oh {
+                    let Some(iy) = g.iy(oy, ky) else { continue };
+                    let seg = &src_row[oy * ow..][..ow];
+                    let ix0 = lo * s + kx - g.padding;
+                    let dst = &mut gc[iy * g.w..][..g.w];
+                    if s == 1 {
+                        for (d, &v) in dst[ix0..ix0 + (hi - lo)].iter_mut().zip(&seg[lo..hi]) {
+                            *d += v;
+                        }
+                    } else {
+                        for (i, &v) in seg[lo..hi].iter().enumerate() {
+                            dst[ix0 + i * s] += v;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_im2col(x: &[f32], g: &ConvGeom) -> Vec<f32> {
+        let mut col = vec![0.0f32; g.col_len()];
+        let cols = g.cols();
+        for icg in 0..g.channels {
+            for ky in 0..g.k {
+                for kx in 0..g.k {
+                    for oy in 0..g.oh {
+                        for ox in 0..g.ow {
+                            let iy = (oy * g.stride + ky) as isize - g.padding as isize;
+                            let ix = (ox * g.stride + kx) as isize - g.padding as isize;
+                            let v = if iy >= 0
+                                && (iy as usize) < g.h
+                                && ix >= 0
+                                && (ix as usize) < g.w
+                            {
+                                x[(g.ch_base + icg) * g.h * g.w + iy as usize * g.w + ix as usize]
+                            } else {
+                                0.0
+                            };
+                            col[((icg * g.k + ky) * g.k + kx) * cols + oy * g.ow + ox] = v;
+                        }
+                    }
+                }
+            }
+        }
+        col
+    }
+
+    fn geom(h: usize, w: usize, k: usize, s: usize, p: usize, ch: usize, base: usize) -> ConvGeom {
+        ConvGeom {
+            channels: ch,
+            ch_base: base,
+            h,
+            w,
+            k,
+            stride: s,
+            padding: p,
+            oh: (h + 2 * p - k) / s + 1,
+            ow: (w + 2 * p - k) / s + 1,
+        }
+    }
+
+    #[test]
+    fn matches_naive_lowering() {
+        for &(h, w, k, s, p) in &[
+            (5, 5, 3, 1, 1),
+            (5, 7, 3, 2, 1),
+            (4, 4, 1, 1, 0),
+            (6, 6, 3, 1, 0),
+            (8, 5, 2, 2, 0),
+            (3, 3, 3, 1, 2),
+            // Kernel overhangs the whole input row (regression: the
+            // valid-ox interval must be empty, not [0, 1)).
+            (2, 2, 4, 2, 1),
+            (3, 3, 5, 2, 1),
+        ] {
+            let g = geom(h, w, k, s, p, 2, 1);
+            let x: Vec<f32> = (0..(g.ch_base + g.channels) * h * w)
+                .map(|i| i as f32 * 0.25 - 3.0)
+                .collect();
+            let mut col = vec![f32::NAN; g.col_len()];
+            im2col(&x, &g, &mut col);
+            assert_eq!(col, naive_im2col(&x, &g), "geom h{h} w{w} k{k} s{s} p{p}");
+        }
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), c> == <x, col2im(c)> for all x, c — the defining
+        // property of the adjoint, checked on a dense basis-free probe.
+        let g = geom(5, 6, 3, 2, 1, 2, 0);
+        let x: Vec<f32> = (0..g.channels * g.h * g.w)
+            .map(|i| (i as f32).sin())
+            .collect();
+        let c: Vec<f32> = (0..g.col_len()).map(|i| (i as f32 * 0.7).cos()).collect();
+        let mut col = vec![0.0f32; g.col_len()];
+        im2col(&x, &g, &mut col);
+        let lhs: f64 = col
+            .iter()
+            .zip(&c)
+            .map(|(&a, &b)| f64::from(a) * f64::from(b))
+            .sum();
+        let mut gx = vec![0.0f32; x.len()];
+        col2im_add(&c, &g, &mut gx);
+        let rhs: f64 = x
+            .iter()
+            .zip(&gx)
+            .map(|(&a, &b)| f64::from(a) * f64::from(b))
+            .sum();
+        assert!((lhs - rhs).abs() < 1e-3, "adjoint mismatch: {lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn col2im_accumulates() {
+        let g = geom(4, 4, 3, 1, 1, 1, 0);
+        let col = vec![1.0f32; g.col_len()];
+        let mut gx = vec![0.5f32; g.h * g.w];
+        col2im_add(&col, &g, &mut gx);
+        // Centre pixels are touched by all 9 kernel offsets.
+        assert_eq!(gx[4 + 1], 0.5 + 9.0);
+    }
+}

@@ -12,6 +12,7 @@ use std::fmt;
 use std::ops::Range;
 
 use crate::error::Result;
+use crate::gemm::Backend;
 use crate::tensor::Tensor;
 
 /// Per-sample cost of a layer at its current active width.
@@ -75,6 +76,13 @@ pub trait Layer: fmt::Debug {
     /// Marks which group indices may be updated by [`Layer::sgd_step`];
     /// everything else is frozen. Layers without parameters ignore this.
     fn set_trainable_groups(&mut self, _groups: Range<usize>) {}
+
+    /// Selects the compute backend for layers with a choice of
+    /// implementations ([`crate::conv::Conv2d`],
+    /// [`crate::linear::Linear`]); everything else ignores it. The
+    /// default everywhere is [`Backend::Gemm`]; [`Backend::Reference`]
+    /// is the slow loop-nest oracle used by equivalence tests.
+    fn set_backend(&mut self, _backend: Backend) {}
 
     /// Cost of this layer at its *current* active width for one sample of
     /// `in_shape` (no batch axis).

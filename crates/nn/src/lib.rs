@@ -51,6 +51,8 @@ pub mod arch;
 pub mod conv;
 pub mod dataset;
 pub mod error;
+pub mod gemm;
+pub mod im2col;
 pub mod layer;
 pub mod linear;
 pub mod loss;
@@ -60,8 +62,10 @@ pub mod pool;
 pub mod quant;
 pub mod tensor;
 pub mod train;
+pub(crate) mod workers;
 
 pub use error::{NnError, Result};
+pub use gemm::Backend;
 pub use layer::{Layer, LayerCost};
 pub use network::{Network, NetworkCost};
 pub use tensor::Tensor;

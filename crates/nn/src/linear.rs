@@ -5,12 +5,19 @@
 //! partitioned into `G` blocks aligned with the channel groups; width
 //! scaling truncates to the first `g` blocks and incremental training
 //! freezes the weight columns of earlier blocks.
+//!
+//! Like [`crate::conv::Conv2d`], the layer runs on the blocked GEMM
+//! kernel by default ([`Backend::Gemm`]; forward is one
+//! `Y = X · Wᵀ + b` product over the batch) with the original
+//! row-by-row dot products retained as [`Backend::Reference`], the
+//! oracle for the equivalence property tests.
 
 use std::ops::Range;
 
 use rand::Rng;
 
 use crate::error::{NnError, Result};
+use crate::gemm::{gemm, Backend, MatRef};
 use crate::layer::{sgd_update, Layer, LayerCost};
 use crate::tensor::Tensor;
 
@@ -31,6 +38,7 @@ pub struct Linear {
     vw: Vec<f32>,
     vb: Vec<f32>,
     cache: Option<Tensor>,
+    backend: Backend,
 }
 
 impl Linear {
@@ -55,7 +63,7 @@ impl Linear {
                 reason: "linear feature counts must be positive".into(),
             });
         }
-        if prune_groups == 0 || in_features % prune_groups != 0 {
+        if prune_groups == 0 || !in_features.is_multiple_of(prune_groups) {
             return Err(NnError::InvalidConfig {
                 reason: format!(
                     "in_features {in_features} not divisible by prune_groups {prune_groups}"
@@ -80,7 +88,14 @@ impl Linear {
             vw: vec![0.0; in_features * out_features],
             vb: vec![0.0; out_features],
             cache: None,
+            backend: Backend::default(),
         })
+    }
+
+    /// The currently selected compute backend (see
+    /// [`Layer::set_backend`]).
+    pub fn backend(&self) -> Backend {
+        self.backend
     }
 
     /// Number of input features at the current width.
@@ -121,16 +136,40 @@ impl Layer for Linear {
         let n = shape[0];
         let mut out = Tensor::zeros(&[n, self.out_features]);
         let x = input.data();
-        let o = out.data_mut();
-        for ni in 0..n {
-            let xrow = &x[ni * f_active..(ni + 1) * f_active];
-            for of in 0..self.out_features {
-                let wrow = &self.w[of * self.in_features..of * self.in_features + f_active];
-                let mut acc = self.b[of];
-                for (wi, xi) in wrow.iter().zip(xrow) {
-                    acc += wi * xi;
+        match self.backend {
+            Backend::Reference => {
+                let o = out.data_mut();
+                for ni in 0..n {
+                    let xrow = &x[ni * f_active..(ni + 1) * f_active];
+                    for of in 0..self.out_features {
+                        let wrow = &self.w[of * self.in_features..of * self.in_features + f_active];
+                        let mut acc = self.b[of];
+                        for (wi, xi) in wrow.iter().zip(xrow) {
+                            acc += wi * xi;
+                        }
+                        o[ni * self.out_features + of] = acc;
+                    }
                 }
-                o[ni * self.out_features + of] = acc;
+            }
+            Backend::Gemm => {
+                // Y = X · Wᵀ: one product over the whole batch; the
+                // kernel splits rows (samples) across workers itself.
+                gemm(
+                    n,
+                    self.out_features,
+                    f_active,
+                    MatRef::new(x, f_active),
+                    MatRef::t(&self.w, self.in_features),
+                    0.0,
+                    out.data_mut(),
+                    self.out_features,
+                    true,
+                );
+                for row in out.data_mut().chunks_mut(self.out_features) {
+                    for (v, &b) in row.iter_mut().zip(&self.b) {
+                        *v += b;
+                    }
+                }
             }
         }
         if train {
@@ -151,19 +190,54 @@ impl Layer for Linear {
         let x = input.data();
         let go = grad_out.data();
         let gi = grad_in.data_mut();
-        for ni in 0..n {
-            let xrow = &x[ni * f_active..(ni + 1) * f_active];
-            for of in 0..self.out_features {
-                let g = go[ni * self.out_features + of];
-                if g == 0.0 {
-                    continue;
+        match self.backend {
+            Backend::Reference => {
+                for ni in 0..n {
+                    let xrow = &x[ni * f_active..(ni + 1) * f_active];
+                    for of in 0..self.out_features {
+                        let g = go[ni * self.out_features + of];
+                        if g == 0.0 {
+                            continue;
+                        }
+                        self.gb[of] += g;
+                        let wbase = of * self.in_features;
+                        for fi in 0..f_active {
+                            self.gw[wbase + fi] += g * xrow[fi];
+                            gi[ni * f_active + fi] += g * self.w[wbase + fi];
+                        }
+                    }
                 }
-                self.gb[of] += g;
-                let wbase = of * self.in_features;
-                for fi in 0..f_active {
-                    self.gw[wbase + fi] += g * xrow[fi];
-                    gi[ni * f_active + fi] += g * self.w[wbase + fi];
+            }
+            Backend::Gemm => {
+                for row in go.chunks(self.out_features) {
+                    for (gb, &g) in self.gb.iter_mut().zip(row) {
+                        *gb += g;
+                    }
                 }
+                // gW += dYᵀ · X (into the f_active-column prefix).
+                gemm(
+                    self.out_features,
+                    f_active,
+                    n,
+                    MatRef::t(go, self.out_features),
+                    MatRef::new(x, f_active),
+                    1.0,
+                    &mut self.gw,
+                    self.in_features,
+                    true,
+                );
+                // dX = dY · W (active-column prefix of W).
+                gemm(
+                    n,
+                    f_active,
+                    self.out_features,
+                    MatRef::new(go, self.out_features),
+                    MatRef::new(&self.w, self.in_features),
+                    0.0,
+                    gi,
+                    f_active,
+                    true,
+                );
             }
         }
         Ok(grad_in)
@@ -184,7 +258,9 @@ impl Layer for Linear {
         // (frozen) width configurations, breaking the paper's
         // switch-without-retraining property.
         let bias_frozen = !trainable.contains(&0);
-        sgd_update(&mut self.b, &self.gb, &mut self.vb, lr, momentum, |_| bias_frozen);
+        sgd_update(&mut self.b, &self.gb, &mut self.vb, lr, momentum, |_| {
+            bias_frozen
+        });
     }
 
     fn zero_grads(&mut self) {
@@ -208,6 +284,10 @@ impl Layer for Linear {
 
     fn set_trainable_groups(&mut self, groups: Range<usize>) {
         self.trainable = groups;
+    }
+
+    fn set_backend(&mut self, backend: Backend) {
+        self.backend = backend;
     }
 
     fn cost(&self, in_shape: &[usize]) -> Result<LayerCost> {
@@ -288,8 +368,11 @@ mod tests {
     fn gradient_check() {
         let mut l = Linear::new("l", 6, 3, 3, &mut rng()).unwrap();
         let mut r = rng();
-        let x = Tensor::from_vec(&[2, 6], (0..12).map(|_| r.gen_range(-1.0f32..1.0)).collect())
-            .unwrap();
+        let x = Tensor::from_vec(
+            &[2, 6],
+            (0..12).map(|_| r.gen_range(-1.0f32..1.0)).collect(),
+        )
+        .unwrap();
         let y = l.forward(&x, true).unwrap();
         let go = Tensor::full(y.shape(), 1.0);
         let gx = l.backward(&go).unwrap();

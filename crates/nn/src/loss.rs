@@ -84,7 +84,11 @@ pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> Result<LossOutput> {
     for v in g.iter_mut() {
         *v *= inv_n;
     }
-    Ok(LossOutput { loss: loss * inv_n, grad_logits: grad, probs })
+    Ok(LossOutput {
+        loss: loss * inv_n,
+        grad_logits: grad,
+        probs,
+    })
 }
 
 #[cfg(test)]
@@ -163,8 +167,14 @@ mod tests {
     #[test]
     fn invalid_inputs_rejected() {
         let logits = Tensor::zeros(&[2, 3]);
-        assert!(cross_entropy(&logits, &[0]).is_err(), "label count mismatch");
-        assert!(cross_entropy(&logits, &[0, 3]).is_err(), "label out of range");
+        assert!(
+            cross_entropy(&logits, &[0]).is_err(),
+            "label count mismatch"
+        );
+        assert!(
+            cross_entropy(&logits, &[0, 3]).is_err(),
+            "label out of range"
+        );
         assert!(softmax(&Tensor::zeros(&[3])).is_err(), "rank-1 logits");
     }
 }

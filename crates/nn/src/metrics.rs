@@ -79,7 +79,11 @@ pub fn evaluate(net: &mut Network, samples: &[Sample], batch: usize) -> Result<E
         })
         .collect();
     Ok(Evaluation {
-        top1: if samples.is_empty() { 0.0 } else { correct as f64 / samples.len() as f64 },
+        top1: if samples.is_empty() {
+            0.0
+        } else {
+            correct as f64 / samples.len() as f64
+        },
         per_class,
         confusion,
         n: samples.len(),
@@ -118,8 +122,8 @@ pub fn mean_confidence(net: &mut Network, samples: &[Sample], batch: usize) -> R
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::dataset::{DatasetConfig, SyntheticVision};
     use crate::arch::{build_group_cnn, CnnConfig};
+    use crate::dataset::{DatasetConfig, SyntheticVision};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

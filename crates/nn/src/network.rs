@@ -65,12 +65,21 @@ impl Network {
         input_shape: Vec<usize>,
     ) -> Result<Self> {
         if layers.is_empty() {
-            return Err(NnError::InvalidConfig { reason: "network has no layers".into() });
+            return Err(NnError::InvalidConfig {
+                reason: "network has no layers".into(),
+            });
         }
         if groups == 0 {
-            return Err(NnError::InvalidConfig { reason: "groups must be positive".into() });
+            return Err(NnError::InvalidConfig {
+                reason: "groups must be positive".into(),
+            });
         }
-        Ok(Self { layers, groups, active: groups, input_shape })
+        Ok(Self {
+            layers,
+            groups,
+            active: groups,
+            input_shape,
+        })
     }
 
     /// The group partition count `G`.
@@ -120,6 +129,16 @@ impl Network {
     pub fn set_trainable_groups(&mut self, range: Range<usize>) {
         for layer in &mut self.layers {
             layer.set_trainable_groups(range.clone());
+        }
+    }
+
+    /// Selects the compute backend on every layer (see
+    /// [`crate::gemm::Backend`]). Purely an implementation switch: both
+    /// backends produce outputs equal to within float re-association,
+    /// and the equivalence property tests pin them together.
+    pub fn set_backend(&mut self, backend: crate::gemm::Backend) {
+        for layer in &mut self.layers {
+            layer.set_backend(backend);
         }
     }
 
@@ -212,7 +231,12 @@ impl Network {
             shape = c.out_shape.clone();
             per_layer.push((layer.name().to_string(), c));
         }
-        Ok(NetworkCost { macs, params, params_total, per_layer })
+        Ok(NetworkCost {
+            macs,
+            params,
+            params_total,
+            per_layer,
+        })
     }
 
     /// Applies weight quantization to every layer (used by

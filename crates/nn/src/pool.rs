@@ -23,7 +23,12 @@ impl MaxPool2d {
     /// Panics if `window` is zero (programmer error).
     pub fn new(name: impl Into<String>, window: usize) -> Self {
         assert!(window > 0, "pool window must be positive");
-        Self { name: name.into(), window, argmax: None, in_shape: None }
+        Self {
+            name: name.into(),
+            window,
+            argmax: None,
+            in_shape: None,
+        }
     }
 
     fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
@@ -95,10 +100,9 @@ impl Layer for MaxPool2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
-        let (marker, offsets) =
-            self.argmax.as_ref().ok_or_else(|| NnError::InvalidConfig {
-                reason: format!("maxpool `{}`: backward before training forward", self.name),
-            })?;
+        let (marker, offsets) = self.argmax.as_ref().ok_or_else(|| NnError::InvalidConfig {
+            reason: format!("maxpool `{}`: backward before training forward", self.name),
+        })?;
         if grad_out.len() != offsets.len() {
             return Err(NnError::ShapeMismatch {
                 context: format!("maxpool `{}` backward", self.name),
@@ -143,7 +147,10 @@ pub struct GlobalAvgPool {
 impl GlobalAvgPool {
     /// Creates a named global-average-pool layer.
     pub fn new(name: impl Into<String>) -> Self {
-        Self { name: name.into(), in_shape: None }
+        Self {
+            name: name.into(),
+            in_shape: None,
+        }
     }
 }
 
@@ -180,9 +187,12 @@ impl Layer for GlobalAvgPool {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
-        let shape = self.in_shape.clone().ok_or_else(|| NnError::InvalidConfig {
-            reason: format!("gap `{}`: backward before training forward", self.name),
-        })?;
+        let shape = self
+            .in_shape
+            .clone()
+            .ok_or_else(|| NnError::InvalidConfig {
+                reason: format!("gap `{}`: backward before training forward", self.name),
+            })?;
         let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
         grad_out.expect_shape(&[n, c], "global avg pool backward")?;
         let hw = (h * w) as f32;
@@ -208,7 +218,11 @@ impl Layer for GlobalAvgPool {
                 actual: in_shape.to_vec(),
             });
         }
-        Ok(LayerCost { macs: 0.0, params: 0, out_shape: vec![in_shape[0]] })
+        Ok(LayerCost {
+            macs: 0.0,
+            params: 0,
+            out_shape: vec![in_shape[0]],
+        })
     }
 }
 
@@ -219,11 +233,8 @@ mod tests {
     #[test]
     fn maxpool_forward_picks_window_max() {
         let mut p = MaxPool2d::new("p", 2);
-        let x = Tensor::from_vec(
-            &[1, 1, 2, 4],
-            vec![1.0, 2.0, 5.0, 3.0, 4.0, 0.0, -1.0, 6.0],
-        )
-        .unwrap();
+        let x =
+            Tensor::from_vec(&[1, 1, 2, 4], vec![1.0, 2.0, 5.0, 3.0, 4.0, 0.0, -1.0, 6.0]).unwrap();
         let y = p.forward(&x, false).unwrap();
         assert_eq!(y.shape(), &[1, 1, 1, 2]);
         assert_eq!(y.data(), &[4.0, 6.0]);
@@ -232,11 +243,7 @@ mod tests {
     #[test]
     fn maxpool_backward_routes_gradient_to_argmax() {
         let mut p = MaxPool2d::new("p", 2);
-        let x = Tensor::from_vec(
-            &[1, 1, 2, 2],
-            vec![1.0, 9.0, 3.0, 4.0],
-        )
-        .unwrap();
+        let x = Tensor::from_vec(&[1, 1, 2, 2], vec![1.0, 9.0, 3.0, 4.0]).unwrap();
         let _ = p.forward(&x, true).unwrap();
         let g = Tensor::full(&[1, 1, 1, 1], 2.0);
         let gi = p.backward(&g).unwrap();
@@ -267,8 +274,11 @@ mod tests {
     #[test]
     fn gap_forward_and_backward() {
         let mut g = GlobalAvgPool::new("g");
-        let x = Tensor::from_vec(&[1, 2, 2, 2], vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0])
-            .unwrap();
+        let x = Tensor::from_vec(
+            &[1, 2, 2, 2],
+            vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0],
+        )
+        .unwrap();
         let y = g.forward(&x, true).unwrap();
         assert_eq!(y.shape(), &[1, 2]);
         assert_eq!(y.data(), &[2.5, 10.0]);

@@ -135,7 +135,10 @@ mod tests {
     fn eight_bit_network_outputs_stay_close() {
         let mut rng = StdRng::seed_from_u64(1);
         let mut net = build_group_cnn(
-            CnnConfig { base_width: 8, ..CnnConfig::default() },
+            CnnConfig {
+                base_width: 8,
+                ..CnnConfig::default()
+            },
             &mut rng,
         )
         .unwrap();
@@ -171,7 +174,10 @@ mod tests {
         // Quantized weights still honour the no-retraining switch property.
         let mut rng = StdRng::seed_from_u64(2);
         let mut net = build_group_cnn(
-            CnnConfig { base_width: 8, ..CnnConfig::default() },
+            CnnConfig {
+                base_width: 8,
+                ..CnnConfig::default()
+            },
             &mut rng,
         )
         .unwrap();

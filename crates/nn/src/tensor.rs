@@ -7,6 +7,8 @@
 
 use std::fmt;
 
+use rand::Rng;
+
 use crate::error::{NnError, Result};
 
 /// A dense, row-major `f32` tensor of arbitrary rank.
@@ -41,7 +43,10 @@ impl Tensor {
             "tensor shape must be non-empty with positive axes, got {shape:?}"
         );
         let len = shape.iter().product();
-        Self { shape: shape.to_vec(), data: vec![0.0; len] }
+        Self {
+            shape: shape.to_vec(),
+            data: vec![0.0; len],
+        }
     }
 
     /// Creates a tensor filled with `value`.
@@ -49,6 +54,25 @@ impl Tensor {
         let mut t = Self::zeros(shape);
         t.data.fill(value);
         t
+    }
+
+    /// Creates a tensor of uniform random values in `[-1, 1)` — the
+    /// standard probe input of the test and benchmark suites.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid shapes (see [`Tensor::zeros`]).
+    pub fn random(shape: &[usize], rng: &mut impl Rng) -> Self {
+        let mut t = Self::zeros(shape);
+        for v in &mut t.data {
+            *v = rng.gen_range(-1.0..1.0);
+        }
+        t
+    }
+
+    /// Overwrites every element with `value`.
+    pub fn fill(&mut self, value: f32) {
+        self.data.fill(value);
     }
 
     /// Wraps an existing buffer.
@@ -66,7 +90,10 @@ impl Tensor {
                 actual: vec![data.len()],
             });
         }
-        Ok(Self { shape: shape.to_vec(), data })
+        Ok(Self {
+            shape: shape.to_vec(),
+            data,
+        })
     }
 
     /// The tensor's shape.
@@ -114,7 +141,10 @@ impl Tensor {
         );
         let mut off = 0;
         for (i, (&ix, &dim)) in index.iter().zip(&self.shape).enumerate() {
-            assert!(ix < dim, "index {ix} out of bounds for axis {i} (size {dim})");
+            assert!(
+                ix < dim,
+                "index {ix} out of bounds for axis {i} (size {dim})"
+            );
             off = off * dim + ix;
         }
         off
@@ -229,6 +259,27 @@ mod tests {
         assert_eq!(z.data(), &[0.0; 4]);
         let f = Tensor::full(&[3], 2.5);
         assert_eq!(f.data(), &[2.5, 2.5, 2.5]);
+    }
+
+    #[test]
+    fn random_is_bounded_and_seeded() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let a = Tensor::random(&[4, 5], &mut StdRng::seed_from_u64(3));
+        let b = Tensor::random(&[4, 5], &mut StdRng::seed_from_u64(3));
+        assert_eq!(a.data(), b.data(), "same seed, same tensor");
+        assert!(a.data().iter().all(|v| (-1.0..1.0).contains(v)));
+        assert!(a.data().iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn fill_overwrites() {
+        let mut t = Tensor::random(&[3], &mut {
+            use rand::SeedableRng;
+            rand::rngs::StdRng::seed_from_u64(1)
+        });
+        t.fill(7.0);
+        assert_eq!(t.data(), &[7.0, 7.0, 7.0]);
     }
 
     #[test]

@@ -154,13 +154,21 @@ pub fn train_incremental(
     for g in 0..groups {
         net.set_active_groups(g + 1)?;
         net.set_trainable_groups(g..g + 1);
-        let step_cfg = TrainConfig { seed: cfg.seed.wrapping_add(g as u64), ..cfg.clone() };
+        let step_cfg = TrainConfig {
+            seed: cfg.seed.wrapping_add(g as u64),
+            ..cfg.clone()
+        };
         let epochs = train(net, samples, &step_cfg)?;
         let eval = match eval_samples {
             Some(t) => Some(evaluate(net, t, cfg.batch_size.max(1))?),
             None => None,
         };
-        steps.push(StepStats { group: g, active_groups: g + 1, epochs, eval });
+        steps.push(StepStats {
+            group: g,
+            active_groups: g + 1,
+            epochs,
+            eval,
+        });
     }
     // Leave the network fully trainable at full width.
     net.set_trainable_groups(0..groups);
@@ -175,14 +183,24 @@ mod tests {
     use rand::rngs::StdRng;
 
     fn quick_cfg() -> TrainConfig {
-        TrainConfig { epochs: 2, batch_size: 16, lr: 0.08, ..TrainConfig::default() }
+        TrainConfig {
+            epochs: 2,
+            batch_size: 16,
+            lr: 0.08,
+            ..TrainConfig::default()
+        }
     }
 
     fn small_setup() -> (Network, SyntheticVision) {
         let data = SyntheticVision::generate(DatasetConfig::tiny());
         let mut rng = StdRng::seed_from_u64(3);
         let net = build_group_cnn(
-            CnnConfig { input: (3, 8, 8), classes: 4, groups: 2, base_width: 8 },
+            CnnConfig {
+                input: (3, 8, 8),
+                classes: 4,
+                groups: 2,
+                base_width: 8,
+            },
             &mut rng,
         )
         .unwrap();
@@ -205,7 +223,11 @@ mod tests {
     #[test]
     fn lr_decays_between_epochs() {
         let (mut net, data) = small_setup();
-        let cfg = TrainConfig { epochs: 3, lr_decay: 0.5, ..quick_cfg() };
+        let cfg = TrainConfig {
+            epochs: 3,
+            lr_decay: 0.5,
+            ..quick_cfg()
+        };
         let stats = train(&mut net, data.train(), &cfg).unwrap();
         assert!((stats[1].lr - stats[0].lr * 0.5).abs() < 1e-9);
         assert!((stats[2].lr - stats[0].lr * 0.25).abs() < 1e-9);

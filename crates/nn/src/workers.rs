@@ -1,0 +1,134 @@
+//! A small worker abstraction over `rayon` for batch-parallel layer
+//! math.
+//!
+//! The layers parallelise over the batch (and the GEMM over its `M`
+//! dimension, see [`crate::gemm`]); both funnel through
+//! [`for_each_band`], which splits a mutable output slice into
+//! contiguous per-worker bands of whole items and runs a closure per
+//! band inside a `rayon::scope`. Small workloads stay on the calling
+//! thread — spawning is only worth it when each band carries real work.
+
+/// Number of workers parallel regions should target — taken from the
+/// executor itself so band math stays correct if a configured rayon
+/// pool (smaller or larger than the machine) is swapped in.
+pub(crate) fn worker_count() -> usize {
+    rayon::current_num_threads().max(1)
+}
+
+/// Number of bands [`for_each_band`] will split `items` into — callers
+/// size their per-band scratch with this, so peak scratch is bounded by
+/// the worker count, not the batch size.
+pub(crate) fn band_count(items: usize, parallel: bool) -> usize {
+    if parallel {
+        worker_count().min(items).max(1)
+    } else {
+        1
+    }
+}
+
+/// Splits `data` — `items` logical items of `item_len` elements each —
+/// into at most [`band_count`] contiguous bands of whole items and
+/// invokes `f(first_item_index, band, band_scratch)` for each, in
+/// parallel when more than one band results. Every band gets its own
+/// `scratch_per_band`-element slice of `scratch` to reuse across its
+/// items (`scratch` must hold at least `band_count(items, parallel) *
+/// scratch_per_band` elements).
+pub(crate) fn for_each_band<F>(
+    data: &mut [f32],
+    items: usize,
+    item_len: usize,
+    scratch: &mut [f32],
+    scratch_per_band: usize,
+    parallel: bool,
+    f: F,
+) where
+    F: Fn(usize, &mut [f32], &mut [f32]) + Sync,
+{
+    let bands = band_count(items, parallel);
+    debug_assert!(data.len() >= items * item_len);
+    debug_assert!(scratch.len() >= bands * scratch_per_band);
+    if bands <= 1 {
+        f(
+            0,
+            &mut data[..items * item_len],
+            &mut scratch[..scratch_per_band],
+        );
+        return;
+    }
+    let per_band = items.div_ceil(bands);
+    rayon::scope(|s| {
+        let mut rest = &mut data[..items * item_len];
+        let mut rest_scratch = &mut scratch[..];
+        let mut item0 = 0;
+        while item0 < items {
+            let band_items = per_band.min(items - item0);
+            let (band, tail) = rest.split_at_mut(band_items * item_len);
+            let (band_scratch, tail_scratch) = rest_scratch.split_at_mut(scratch_per_band);
+            let f = &f;
+            s.spawn(move |_| f(item0, band, band_scratch));
+            rest = tail;
+            rest_scratch = tail_scratch;
+            item0 += band_items;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_every_item_with_private_scratch() {
+        let items = 7;
+        let mut data = vec![0.0f32; items * 3];
+        let mut scratch = vec![0.0f32; band_count(items, true) * 2];
+        for_each_band(
+            &mut data,
+            items,
+            3,
+            &mut scratch,
+            2,
+            true,
+            |item0, band, s| {
+                assert_eq!(s.len(), 2, "one scratch slot per band");
+                for (i, item) in band.chunks_mut(3).enumerate() {
+                    // Reuse the slot per item, as the layers do.
+                    s.fill((item0 + i) as f32);
+                    for (v, sv) in item.iter_mut().zip(s.iter()) {
+                        *v = *sv;
+                    }
+                    item[2] = s[0];
+                }
+            },
+        );
+        for (i, item) in data.chunks(3).enumerate() {
+            assert!(item.iter().all(|&v| v == i as f32), "item {i}: {item:?}");
+        }
+    }
+
+    #[test]
+    fn serial_mode_is_one_band() {
+        let mut data = vec![0.0f32; 4 * 2];
+        let mut scratch = vec![0.0f32; 5];
+        let mut bands_seen = 0;
+        // Serial closure runs inline, so a mutable counter is fine.
+        let counter = std::sync::Mutex::new(&mut bands_seen);
+        for_each_band(&mut data, 4, 2, &mut scratch, 5, false, |item0, band, _| {
+            assert_eq!(item0, 0);
+            assert_eq!(band.len(), 8, "serial = every item in one band");
+            **counter.lock().expect("no poisoning") += 1;
+        });
+        assert_eq!(bands_seen, 1);
+    }
+
+    #[test]
+    fn handles_single_item() {
+        let mut data = vec![1.0f32; 5];
+        let mut scratch = vec![0.0f32; 1];
+        for_each_band(&mut data, 1, 5, &mut scratch, 1, true, |item0, band, _| {
+            assert_eq!(item0, 0);
+            band.fill(2.0);
+        });
+        assert!(data.iter().all(|&v| v == 2.0));
+    }
+}

@@ -1,0 +1,229 @@
+//! Property tests pinning the GEMM backend to the reference backend:
+//! on random shapes, strides, paddings, group structures and widths,
+//! `Backend::Gemm` and `Backend::Reference` must agree to within 1e-4
+//! on forward outputs, input gradients and post-step weights, and
+//! frozen groups must stay bit-identical through a training step.
+
+use eml_nn::arch::{build_group_cnn, CnnConfig};
+use eml_nn::conv::{Conv2d, Conv2dConfig};
+use eml_nn::gemm::Backend;
+use eml_nn::layer::Layer;
+use eml_nn::linear::Linear;
+use eml_nn::tensor::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const TOL: f32 = 1e-4;
+
+fn assert_close(a: &Tensor, b: &Tensor, what: &str) -> Result<(), String> {
+    if a.shape() != b.shape() {
+        return Err(format!("{what}: shapes {:?} vs {:?}", a.shape(), b.shape()));
+    }
+    for (i, (&x, &y)) in a.data().iter().zip(b.data()).enumerate() {
+        if (x - y).abs() > TOL {
+            return Err(format!("{what}[{i}]: reference {x} vs gemm {y}"));
+        }
+    }
+    Ok(())
+}
+
+/// The batch-parallel GEMM path (band splitting + per-band scratch
+/// reuse) agrees with the reference backend on the full default
+/// network. Batch 16 on `CnnConfig::default()` pushes every conv layer
+/// past the parallel work threshold, which the small proptest shapes
+/// below never reach.
+#[test]
+fn large_batch_parallel_path_matches_reference() {
+    let batch = 16;
+    let x = Tensor::random(&[batch, 3, 16, 16], &mut StdRng::seed_from_u64(11));
+    let mut outputs = Vec::new();
+    for backend in [Backend::Reference, Backend::Gemm] {
+        let mut net =
+            build_group_cnn(CnnConfig::default(), &mut StdRng::seed_from_u64(5)).expect("arch");
+        net.set_backend(backend);
+        let y = net.forward(&x, true).expect("forward");
+        // Drive backward through the public training path too.
+        let labels: Vec<usize> = (0..batch).map(|i| i % 10).collect();
+        net.zero_grads();
+        net.train_batch(&x, &labels).expect("train batch");
+        net.sgd_step(0.05, 0.9);
+        let y2 = net.forward(&x, false).expect("forward after step");
+        outputs.push((y, y2));
+    }
+    let (ref_out, gemm_out) = (&outputs[0], &outputs[1]);
+    for (a, b, what) in [
+        (&ref_out.0, &gemm_out.0, "batch-16 forward"),
+        (
+            &ref_out.1,
+            &gemm_out.1,
+            "batch-16 forward after training step",
+        ),
+    ] {
+        assert_close(a, b, what).unwrap_or_else(|e| panic!("{e}"));
+    }
+}
+
+/// Two identically-initialised copies of a conv layer, one per backend.
+fn conv_pair(cfg: Conv2dConfig, seed: u64) -> (Conv2d, Conv2d) {
+    let mut reference = Conv2d::new("c", cfg, &mut StdRng::seed_from_u64(seed)).expect("cfg");
+    let mut gemm = Conv2d::new("c", cfg, &mut StdRng::seed_from_u64(seed)).expect("cfg");
+    reference.set_backend(Backend::Reference);
+    gemm.set_backend(Backend::Gemm);
+    (reference, gemm)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Conv2d: forward, input gradient and one SGD step agree across
+    /// backends for random geometry, both group structures and every
+    /// active width.
+    #[test]
+    fn conv_backends_agree(
+        seed in 0u64..10_000,
+        grouped in proptest::bool::ANY,
+        groups in 2usize..=4,
+        cpg in 1usize..=2,
+        opg in 1usize..=2,
+        kernel in 1usize..=5,
+        stride in 1usize..=2,
+        padding in 0usize..=2,
+        h in 3usize..=6,
+        w in 3usize..=6,
+        batch in 1usize..=3,
+        active_pick in 0usize..100,
+    ) {
+        // Keep the padded input at least kernel-sized (out_hw rejects
+        // smaller), but deliberately include kernels that overhang the
+        // whole row (kernel > w, valid with padding) — a class the
+        // lowering once mishandled.
+        let kernel = kernel.min(h.min(w) + 2 * padding);
+        let cfg = Conv2dConfig {
+            in_channels: groups * cpg,
+            out_channels: groups * opg,
+            kernel,
+            stride,
+            padding,
+            conv_groups: if grouped { groups } else { 1 },
+            prune_groups: groups,
+        };
+        let active = active_pick % groups + 1;
+        let (mut reference, mut gemm) = conv_pair(cfg, seed);
+        reference.set_active_groups(active).expect("valid width");
+        gemm.set_active_groups(active).expect("valid width");
+
+        let c_in = reference.expected_in_channels();
+        let x = Tensor::random(&[batch, c_in, h, w], &mut StdRng::seed_from_u64(seed ^ 0xA5));
+        let y_ref = reference.forward(&x, true).expect("reference forward");
+        let y_gemm = gemm.forward(&x, true).expect("gemm forward");
+        assert_close(&y_ref, &y_gemm, "conv forward")?;
+
+        let go = Tensor::random(y_ref.shape(), &mut StdRng::seed_from_u64(seed ^ 0x5A));
+        let gx_ref = reference.backward(&go).expect("reference backward");
+        let gx_gemm = gemm.backward(&go).expect("gemm backward");
+        assert_close(&gx_ref, &gx_gemm, "conv input gradient")?;
+
+        // Weight/bias gradients agree iff the updated layers still
+        // produce the same outputs after a step.
+        reference.sgd_step(0.1, 0.0);
+        gemm.sgd_step(0.1, 0.0);
+        for (i, (&a, &b)) in reference.weights().iter().zip(gemm.weights()).enumerate() {
+            prop_assert!(
+                (a - b).abs() <= TOL,
+                "post-step weight {i}: reference {a} vs gemm {b}"
+            );
+        }
+        let y2_ref = reference.forward(&x, false).expect("reference forward");
+        let y2_gemm = gemm.forward(&x, false).expect("gemm forward");
+        assert_close(&y2_ref, &y2_gemm, "conv forward after step")?;
+    }
+
+    /// Linear: forward, input gradient and one SGD step agree across
+    /// backends for random sizes and every active width.
+    #[test]
+    fn linear_backends_agree(
+        seed in 0u64..10_000,
+        groups in 1usize..=4,
+        per_group in 1usize..=3,
+        out_features in 1usize..=5,
+        batch in 1usize..=4,
+        active_pick in 0usize..100,
+    ) {
+        let in_features = groups * per_group;
+        let active = active_pick % groups + 1;
+        let mut reference =
+            Linear::new("l", in_features, out_features, groups, &mut StdRng::seed_from_u64(seed))
+                .expect("cfg");
+        let mut gemm =
+            Linear::new("l", in_features, out_features, groups, &mut StdRng::seed_from_u64(seed))
+                .expect("cfg");
+        reference.set_backend(Backend::Reference);
+        gemm.set_backend(Backend::Gemm);
+        reference.set_active_groups(active).expect("valid width");
+        gemm.set_active_groups(active).expect("valid width");
+
+        let f_active = reference.active_in_features();
+        let x = Tensor::random(&[batch, f_active], &mut StdRng::seed_from_u64(seed ^ 0xA5));
+        let y_ref = reference.forward(&x, true).expect("reference forward");
+        let y_gemm = gemm.forward(&x, true).expect("gemm forward");
+        assert_close(&y_ref, &y_gemm, "linear forward")?;
+
+        let go = Tensor::random(y_ref.shape(), &mut StdRng::seed_from_u64(seed ^ 0x5A));
+        let gx_ref = reference.backward(&go).expect("reference backward");
+        let gx_gemm = gemm.backward(&go).expect("gemm backward");
+        assert_close(&gx_ref, &gx_gemm, "linear input gradient")?;
+
+        reference.sgd_step(0.1, 0.0);
+        gemm.sgd_step(0.1, 0.0);
+        let y2_ref = reference.forward(&x, false).expect("reference forward");
+        let y2_gemm = gemm.forward(&x, false).expect("gemm forward");
+        assert_close(&y2_ref, &y2_gemm, "linear forward after step")?;
+    }
+
+    /// Frozen groups stay bit-identical through a GEMM-backend training
+    /// step (the paper's switch-without-retraining property must not
+    /// depend on the compute backend).
+    #[test]
+    fn gemm_training_step_keeps_frozen_groups_bit_identical(
+        seed in 0u64..10_000,
+        grouped in proptest::bool::ANY,
+        groups in 2usize..=4,
+        train_from_pick in 0usize..100,
+    ) {
+        let cfg = Conv2dConfig {
+            in_channels: groups * 2,
+            out_channels: groups * 2,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+            conv_groups: if grouped { groups } else { 1 },
+            prune_groups: groups,
+        };
+        let mut conv = Conv2d::new("c", cfg, &mut StdRng::seed_from_u64(seed)).expect("cfg");
+        // Freeze groups 0..train_from, train train_from..groups.
+        let train_from = train_from_pick % groups;
+        conv.set_trainable_groups(train_from..groups);
+        let before = conv.weights().to_vec();
+
+        let c_in = conv.expected_in_channels();
+        let x = Tensor::random(&[2, c_in, 5, 5], &mut StdRng::seed_from_u64(seed ^ 0x77));
+        let y = conv.forward(&x, true).expect("forward");
+        let go = Tensor::random(y.shape(), &mut StdRng::seed_from_u64(seed ^ 0x88));
+        conv.backward(&go).expect("backward");
+        conv.sgd_step(0.05, 0.9);
+
+        let weights_per_oc = cfg.in_channels / cfg.conv_groups * cfg.kernel * cfg.kernel;
+        let opg = cfg.out_channels / groups;
+        for (wi, (&now, &was)) in conv.weights().iter().zip(&before).enumerate() {
+            let group = wi / weights_per_oc / opg;
+            if group < train_from {
+                // Bit-identical: compare representations, not values.
+                prop_assert!(
+                    now.to_bits() == was.to_bits(),
+                    "frozen group {group} weight {wi} changed: {was} -> {now}"
+                );
+            }
+        }
+    }
+}

@@ -17,8 +17,11 @@ use rand::{Rng, SeedableRng};
 fn random_tensor(shape: &[usize], seed: u64) -> Tensor {
     let mut rng = StdRng::seed_from_u64(seed);
     let len = shape.iter().product();
-    Tensor::from_vec(shape, (0..len).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
-        .expect("shape matches")
+    Tensor::from_vec(
+        shape,
+        (0..len).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+    )
+    .expect("shape matches")
 }
 
 proptest! {

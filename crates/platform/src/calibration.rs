@@ -105,11 +105,7 @@ pub fn fit_inverse_affine(anchors: &[(Freq, TimeSpan)]) -> Result<InverseAffineF
     if b < 0.0 {
         // Re-fit through the origin: a = Σxy / Σx².
         b = 0.0;
-        a = xs
-            .iter()
-            .zip(&ys)
-            .map(|(x, y)| x * y)
-            .sum::<f64>()
+        a = xs.iter().zip(&ys).map(|(x, y)| x * y).sum::<f64>()
             / xs.iter().map(|x| x * x).sum::<f64>();
     }
     if a < 0.0 {
@@ -134,7 +130,11 @@ pub fn interp_extrapolate(points: &[(f64, f64)], x: f64) -> f64 {
         // Single anchor: scale proportionally through the origin, which for
         // power-vs-V²f corresponds to pure dynamic scaling.
         let (x0, y0) = points[0];
-        return if x0.abs() < f64::EPSILON { y0 } else { y0 * x / x0 };
+        return if x0.abs() < f64::EPSILON {
+            y0
+        } else {
+            y0 * x / x0
+        };
     }
     let first = points[0];
     let last = points[points.len() - 1];
@@ -184,7 +184,11 @@ mod tests {
             (mhz(1800.0), ms(117.0)),
         ];
         let fit = fit_inverse_affine(&anchors).unwrap();
-        assert!(fit.max_rel_error(&anchors) < 0.02, "err = {}", fit.max_rel_error(&anchors));
+        assert!(
+            fit.max_rel_error(&anchors) < 0.02,
+            "err = {}",
+            fit.max_rel_error(&anchors)
+        );
         assert!(fit.a_ghz_s > 0.19 && fit.a_ghz_s < 0.21);
         assert!(fit.b_s >= 0.0);
     }
@@ -216,9 +220,7 @@ mod tests {
         assert!(fit_inverse_affine(&[]).is_err());
         assert!(fit_inverse_affine(&[(mhz(0.0), ms(1.0))]).is_err());
         assert!(fit_inverse_affine(&[(mhz(100.0), ms(0.0))]).is_err());
-        assert!(
-            fit_inverse_affine(&[(mhz(100.0), ms(1.0)), (mhz(100.0), ms(2.0))]).is_err()
-        );
+        assert!(fit_inverse_affine(&[(mhz(100.0), ms(1.0)), (mhz(100.0), ms(2.0))]).is_err());
     }
 
     #[test]

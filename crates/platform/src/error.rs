@@ -64,7 +64,10 @@ impl fmt::Display for PlatformError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::UnknownCluster { index, count } => {
-                write!(f, "unknown cluster index {index} (SoC has {count} clusters)")
+                write!(
+                    f,
+                    "unknown cluster index {index} (SoC has {count} clusters)"
+                )
             }
             Self::UnknownClusterName { name } => {
                 write!(f, "no cluster named `{name}` on this SoC")
@@ -76,20 +79,31 @@ impl fmt::Display for PlatformError {
                     freq.as_mhz()
                 )
             }
-            Self::OppIndexOutOfRange { cluster, index, count } => {
+            Self::OppIndexOutOfRange {
+                cluster,
+                index,
+                count,
+            } => {
                 write!(
                     f,
                     "OPP index {index} out of range for cluster `{cluster}` ({count} OPPs)"
                 )
             }
-            Self::TooManyCores { cluster, requested, available } => {
+            Self::TooManyCores {
+                cluster,
+                requested,
+                available,
+            } => {
                 write!(
                     f,
                     "requested {requested} cores on cluster `{cluster}` with only {available}"
                 )
             }
             Self::ZeroCores { cluster } => {
-                write!(f, "placement on cluster `{cluster}` must use at least one core")
+                write!(
+                    f,
+                    "placement on cluster `{cluster}` must use at least one core"
+                )
             }
             Self::InvalidModel { reason } => write!(f, "invalid model: {reason}"),
         }
@@ -131,7 +145,9 @@ mod tests {
         };
         assert!(format!("{e}").contains("8 cores"));
 
-        let e = PlatformError::ZeroCores { cluster: "a7".into() };
+        let e = PlatformError::ZeroCores {
+            cluster: "a7".into(),
+        };
         assert!(format!("{e}").contains("at least one core"));
     }
 

@@ -61,7 +61,7 @@ impl LatencyModel {
         ref_macs: f64,
         ref_cores: u32,
     ) -> Result<Self> {
-        if !(ref_macs > 0.0) {
+        if ref_macs <= 0.0 || ref_macs.is_nan() {
             return Err(PlatformError::InvalidModel {
                 reason: "reference workload must have positive MACs".into(),
             });
@@ -133,7 +133,9 @@ impl LatencyModel {
     /// maximum.
     pub fn latency(&self, freq: Freq, workload: &Workload, cores: u32) -> Result<TimeSpan> {
         if cores == 0 {
-            return Err(PlatformError::ZeroCores { cluster: String::new() });
+            return Err(PlatformError::ZeroCores {
+                cluster: String::new(),
+            });
         }
         if cores > self.max_cores {
             return Err(PlatformError::TooManyCores {

@@ -120,9 +120,7 @@ impl OppTable {
         Self::new(
             points
                 .iter()
-                .map(|&(mhz, mv)| {
-                    Opp::new(Freq::from_mhz(mhz), Voltage::from_millivolts(mv))
-                })
+                .map(|&(mhz, mv)| Opp::new(Freq::from_mhz(mhz), Voltage::from_millivolts(mv)))
                 .collect(),
         )
     }
@@ -194,7 +192,11 @@ impl OppTable {
             let (lo, hi) = (pair[0], pair[1]);
             if f >= lo.freq().as_mhz() && f <= hi.freq().as_mhz() {
                 let span = hi.freq().as_mhz() - lo.freq().as_mhz();
-                let t = if span > 0.0 { (f - lo.freq().as_mhz()) / span } else { 0.0 };
+                let t = if span > 0.0 {
+                    (f - lo.freq().as_mhz()) / span
+                } else {
+                    0.0
+                };
                 let v = lo.voltage().as_volts()
                     + t * (hi.voltage().as_volts() - lo.voltage().as_volts());
                 return Voltage::from_volts(v);
@@ -355,12 +357,7 @@ mod tests {
 
     #[test]
     fn grid_builder_produces_expected_points() {
-        let grid = grid_with_voltage_keys(
-            200.0,
-            100.0,
-            5,
-            &[(200.0, 900.0), (600.0, 1000.0)],
-        );
+        let grid = grid_with_voltage_keys(200.0, 100.0, 5, &[(200.0, 900.0), (600.0, 1000.0)]);
         assert_eq!(grid.len(), 5);
         assert_eq!(grid[0], (200.0, 900.0));
         assert_eq!(grid[4], (600.0, 1000.0));

@@ -100,10 +100,7 @@ impl AnchoredPowerModel {
             }
             if a.active_power < idle {
                 return Err(PlatformError::InvalidModel {
-                    reason: format!(
-                        "anchor power {} below idle power {}",
-                        a.active_power, idle
-                    ),
+                    reason: format!("anchor power {} below idle power {}", a.active_power, idle),
                 });
             }
             let v = opps.voltage_at(a.freq);
@@ -126,7 +123,11 @@ impl AnchoredPowerModel {
             .iter()
             .map(|o| (o.freq().as_mhz(), o.voltage().as_volts()))
             .collect();
-        Ok(Self { curve, voltage_curve, idle })
+        Ok(Self {
+            curve,
+            voltage_curve,
+            idle,
+        })
     }
 
     /// The idle-power floor of the cluster (clock-gated, not power-gated).

@@ -51,7 +51,11 @@ impl AnalyticPowerModel {
                 });
             }
         }
-        Ok(Self { c_dyn, c_leak, p_base })
+        Ok(Self {
+            c_dyn,
+            c_leak,
+            p_base,
+        })
     }
 
     /// Predicted power at `freq`, `voltage` and activity `a ∈ [0, 1]`.
@@ -124,7 +128,8 @@ pub fn fit_analytic(anchors: &[(Freq, Voltage, Power)]) -> Result<AnalyticFit> {
     } else {
         full
     };
-    let model = AnalyticPowerModel::new(coeffs[0].max(0.0), coeffs[1].max(0.0), coeffs[2].max(0.0))?;
+    let model =
+        AnalyticPowerModel::new(coeffs[0].max(0.0), coeffs[1].max(0.0), coeffs[2].max(0.0))?;
     let max_rel_error = anchors
         .iter()
         .map(|&(f, v, p)| {
@@ -132,7 +137,11 @@ pub fn fit_analytic(anchors: &[(Freq, Voltage, Power)]) -> Result<AnalyticFit> {
             ((pred - p.as_watts()) / p.as_watts()).abs()
         })
         .fold(0.0, f64::max);
-    Ok(AnalyticFit { model, max_rel_error, unphysical })
+    Ok(AnalyticFit {
+        model,
+        max_rel_error,
+        unphysical,
+    })
 }
 
 /// Solves the 3×3 normal equations `AᵀA x = Aᵀy` by Gaussian elimination
@@ -180,8 +189,9 @@ fn solve_normal_equations(rows: &[[f64; 3]], ys: &[f64]) -> Result<[f64; 3]> {
                 continue;
             }
             let factor = m[row][col] / m[col][col];
-            for k in col..4 {
-                m[row][k] -= factor * m[col][k];
+            let pivot_row = m[col];
+            for (k, cell) in m[row].iter_mut().enumerate().skip(col) {
+                *cell -= factor * pivot_row[k];
             }
         }
     }
@@ -289,7 +299,10 @@ mod tests {
         for mhz in (300..=1500).step_by(100) {
             let t = (mhz as f64 - 300.0) / 1200.0;
             let v = Voltage::from_volts(0.85 + t * 0.3);
-            let p = fit.model.power(Freq::from_mhz(mhz as f64), v, 1.0).as_watts();
+            let p = fit
+                .model
+                .power(Freq::from_mhz(mhz as f64), v, 1.0)
+                .as_watts();
             assert!(p >= prev);
             prev = p;
         }

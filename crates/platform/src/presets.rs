@@ -133,11 +133,7 @@ fn build_odroid_xu3() -> Result<Soc> {
         (543.0, 1000.0),
         (600.0, 1050.0),
     ])?;
-    let gpu_latency = LatencyModel::from_anchors(
-        &anchors_ms(&[(600.0, 60.0)]),
-        REFERENCE_MACS,
-        1,
-    )?;
+    let gpu_latency = LatencyModel::from_anchors(&anchors_ms(&[(600.0, 60.0)]), REFERENCE_MACS, 1)?;
     let gpu_power = AnchoredPowerModel::new(
         vec![PowerAnchor::from_mhz_mw(600.0, 1600.0)],
         Power::from_milliwatts(80.0),
@@ -284,11 +280,7 @@ fn build_flagship() -> Result<Soc> {
         CoreKind::BigCpu,
         4,
         big_opps.clone(),
-        LatencyModel::from_anchors(
-            &anchors_ms(&[(2860.0, 40.0)]),
-            REFERENCE_MACS,
-            4,
-        )?,
+        LatencyModel::from_anchors(&anchors_ms(&[(2860.0, 40.0)]), REFERENCE_MACS, 4)?,
         AnchoredPowerModel::new(
             vec![PowerAnchor::from_mhz_mw(2860.0, 4200.0)],
             Power::from_milliwatts(120.0),
@@ -310,11 +302,7 @@ fn build_flagship() -> Result<Soc> {
         CoreKind::LittleCpu,
         4,
         little_opps.clone(),
-        LatencyModel::from_anchors(
-            &anchors_ms(&[(1950.0, 150.0)]),
-            REFERENCE_MACS,
-            4,
-        )?,
+        LatencyModel::from_anchors(&anchors_ms(&[(1950.0, 150.0)]), REFERENCE_MACS, 4)?,
         AnchoredPowerModel::new(
             vec![PowerAnchor::from_mhz_mw(1950.0, 900.0)],
             Power::from_milliwatts(30.0),
@@ -323,11 +311,7 @@ fn build_flagship() -> Result<Soc> {
     )?
     .with_local_thermal_resistance(1.5);
 
-    let gpu_opps = OppTable::from_mhz_mv(&[
-        (400.0, 650.0),
-        (600.0, 725.0),
-        (800.0, 800.0),
-    ])?;
+    let gpu_opps = OppTable::from_mhz_mv(&[(400.0, 650.0), (600.0, 725.0), (800.0, 800.0)])?;
     let gpu = ClusterSpec::new(
         "gpu",
         CoreKind::Gpu,
@@ -342,11 +326,7 @@ fn build_flagship() -> Result<Soc> {
     )?
     .with_local_thermal_resistance(2.0);
 
-    let npu_opps = OppTable::from_mhz_mv(&[
-        (480.0, 650.0),
-        (720.0, 725.0),
-        (960.0, 800.0),
-    ])?;
+    let npu_opps = OppTable::from_mhz_mv(&[(480.0, 650.0), (720.0, 725.0), (960.0, 800.0)])?;
     let npu = ClusterSpec::new(
         "npu",
         CoreKind::Npu,
@@ -361,11 +341,7 @@ fn build_flagship() -> Result<Soc> {
     )?
     .with_local_thermal_resistance(1.5);
 
-    let dsp_opps = OppTable::from_mhz_mv(&[
-        (576.0, 650.0),
-        (787.0, 725.0),
-        (998.0, 800.0),
-    ])?;
+    let dsp_opps = OppTable::from_mhz_mv(&[(576.0, 650.0), (787.0, 725.0), (998.0, 800.0)])?;
     let dsp = ClusterSpec::new(
         "dsp",
         CoreKind::Dsp,
@@ -411,10 +387,25 @@ mod tests {
             let t_err = (p.latency.as_millis() - row.time_ms).abs() / row.time_ms;
             let p_err = (p.power.as_milliwatts() - row.power_mw).abs() / row.power_mw;
             let e_err = (p.energy.as_millijoules() - row.energy_mj).abs() / row.energy_mj;
-            assert!(t_err < 0.02, "{}: latency err {:.1}%", row.label, t_err * 100.0);
-            assert!(p_err < 0.01, "{}: power err {:.1}%", row.label, p_err * 100.0);
+            assert!(
+                t_err < 0.02,
+                "{}: latency err {:.1}%",
+                row.label,
+                t_err * 100.0
+            );
+            assert!(
+                p_err < 0.01,
+                "{}: power err {:.1}%",
+                row.label,
+                p_err * 100.0
+            );
             // The paper's own energy column differs from P·t by up to ~4 %.
-            assert!(e_err < 0.06, "{}: energy err {:.1}%", row.label, e_err * 100.0);
+            assert!(
+                e_err < 0.06,
+                "{}: energy err {:.1}%",
+                row.label,
+                e_err * 100.0
+            );
         }
     }
 

@@ -192,7 +192,10 @@ impl Placement {
 
     /// Places a job on every core of the cluster described by `spec`.
     pub fn whole_cluster(cluster: ClusterId, spec: &ClusterSpec) -> Self {
-        Self { cluster, cores: spec.cores() }
+        Self {
+            cluster,
+            cores: spec.cores(),
+        }
     }
 }
 
@@ -276,7 +279,11 @@ impl Soc {
                 }
             }
         }
-        Ok(Self { name: name.into(), clusters, thermal })
+        Ok(Self {
+            name: name.into(),
+            clusters,
+            thermal,
+        })
     }
 
     /// The SoC's name, e.g. `"odroid-xu3"`.
@@ -313,10 +320,12 @@ impl Soc {
     ///
     /// Returns [`PlatformError::UnknownCluster`] for a stale or foreign id.
     pub fn cluster(&self, id: ClusterId) -> Result<&ClusterSpec> {
-        self.clusters.get(id.0).ok_or(PlatformError::UnknownCluster {
-            index: id.0,
-            count: self.clusters.len(),
-        })
+        self.clusters
+            .get(id.0)
+            .ok_or(PlatformError::UnknownCluster {
+                index: id.0,
+                count: self.clusters.len(),
+            })
     }
 
     /// Finds a cluster by name.
@@ -359,7 +368,11 @@ impl Soc {
             .map_err(|e| name_error(e, spec.name()))?;
         let activity = placement.cores as f64 / spec.cores() as f64;
         let power = spec.power_model().power(freq, activity);
-        Ok(Prediction { latency, power, energy: power * latency })
+        Ok(Prediction {
+            latency,
+            power,
+            energy: power * latency,
+        })
     }
 
     /// Predicts at a specific OPP index of the placement's cluster.
@@ -375,13 +388,14 @@ impl Soc {
         workload: &Workload,
     ) -> Result<Prediction> {
         let spec = self.cluster(placement.cluster)?;
-        let opp: Opp = spec.opps().get(opp_index).ok_or_else(|| {
-            PlatformError::OppIndexOutOfRange {
-                cluster: spec.name().to_string(),
-                index: opp_index,
-                count: spec.opps().len(),
-            }
-        })?;
+        let opp: Opp =
+            spec.opps()
+                .get(opp_index)
+                .ok_or_else(|| PlatformError::OppIndexOutOfRange {
+                    cluster: spec.name().to_string(),
+                    index: opp_index,
+                    count: spec.opps().len(),
+                })?;
         self.predict(placement, opp.freq(), workload)
     }
 
@@ -396,16 +410,18 @@ impl Soc {
 
 fn name_error(e: PlatformError, name: &str) -> PlatformError {
     match e {
-        PlatformError::ZeroCores { .. } => {
-            PlatformError::ZeroCores { cluster: name.to_string() }
-        }
-        PlatformError::TooManyCores { requested, available, .. } => {
-            PlatformError::TooManyCores {
-                cluster: name.to_string(),
-                requested,
-                available,
-            }
-        }
+        PlatformError::ZeroCores { .. } => PlatformError::ZeroCores {
+            cluster: name.to_string(),
+        },
+        PlatformError::TooManyCores {
+            requested,
+            available,
+            ..
+        } => PlatformError::TooManyCores {
+            cluster: name.to_string(),
+            requested,
+            available,
+        },
         other => other,
     }
 }
@@ -498,7 +514,11 @@ mod tests {
         let id = soc.find_cluster("cpu").unwrap();
         let w = Workload::new("w", 1.0e6);
         match soc.predict(Placement::new(id, 3), Freq::from_mhz(1000.0), &w) {
-            Err(PlatformError::TooManyCores { cluster, requested: 3, available: 2 }) => {
+            Err(PlatformError::TooManyCores {
+                cluster,
+                requested: 3,
+                available: 2,
+            }) => {
                 assert_eq!(cluster, "cpu");
             }
             other => panic!("expected TooManyCores, got {other:?}"),

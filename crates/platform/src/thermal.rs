@@ -47,17 +47,14 @@ impl ThermalModel {
 
     /// Steady-state die temperature under constant `power`.
     pub fn steady_state(&self, power: Power) -> Celsius {
-        Celsius::from_celsius(
-            self.ambient.as_celsius() + self.r_die_k_per_w * power.as_watts(),
-        )
+        Celsius::from_celsius(self.ambient.as_celsius() + self.r_die_k_per_w * power.as_watts())
     }
 
     /// Headroom power: the largest sustained total power that keeps the die
     /// at or below the thermal limit.
     pub fn sustainable_power(&self) -> Power {
         Power::from_watts(
-            (self.limit.as_celsius() - self.ambient.as_celsius()).max(0.0)
-                / self.r_die_k_per_w,
+            (self.limit.as_celsius() - self.ambient.as_celsius()).max(0.0) / self.r_die_k_per_w,
         )
     }
 }
@@ -71,7 +68,9 @@ pub struct ThermalState {
 impl ThermalState {
     /// Starts at thermal equilibrium with ambient.
     pub fn at_ambient(model: &ThermalModel) -> Self {
-        Self { die_temp: model.ambient }
+        Self {
+            die_temp: model.ambient,
+        }
     }
 
     /// Current die temperature.

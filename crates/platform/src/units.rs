@@ -475,10 +475,7 @@ mod tests {
 
     #[test]
     fn sum_of_quantities() {
-        let total: Power = [1.0, 2.0, 3.5]
-            .into_iter()
-            .map(Power::from_watts)
-            .sum();
+        let total: Power = [1.0, 2.0, 3.5].into_iter().map(Power::from_watts).sum();
         assert_eq!(total.as_watts(), 6.5);
     }
 

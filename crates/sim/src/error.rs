@@ -49,7 +49,9 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let e = SimError::InvalidScenario { reason: "events out of order".into() };
+        let e = SimError::InvalidScenario {
+            reason: "events out of order".into(),
+        };
         assert!(e.to_string().contains("events out of order"));
         assert!(e.source().is_none());
         let e: SimError = eml_core::RtmError::EmptySpace { reason: "x".into() }.into();

@@ -114,10 +114,22 @@ pub fn fig2_scenario() -> crate::error::Result<Simulator> {
 /// the 25 s event timeline.
 pub fn fig2_scenario_with(cfg: SimConfig) -> crate::error::Result<Simulator> {
     let events = vec![
-        ScenarioEvent { at_secs: 0.0, action: Action::Arrive(dnn1()) },
-        ScenarioEvent { at_secs: 5.0, action: Action::Arrive(dnn2()) },
-        ScenarioEvent { at_secs: 15.0, action: Action::Arrive(vr_ar()) },
-        ScenarioEvent { at_secs: 25.0, action: Action::Update(dnn2_relaxed()) },
+        ScenarioEvent {
+            at_secs: 0.0,
+            action: Action::Arrive(dnn1()),
+        },
+        ScenarioEvent {
+            at_secs: 5.0,
+            action: Action::Arrive(dnn2()),
+        },
+        ScenarioEvent {
+            at_secs: 15.0,
+            action: Action::Arrive(vr_ar()),
+        },
+        ScenarioEvent {
+            at_secs: 25.0,
+            action: Action::Update(dnn2_relaxed()),
+        },
     ];
     Simulator::new(fig2_soc(), events, cfg)
 }
@@ -171,9 +183,7 @@ mod tests {
             "violation at {} s",
             violation.at_secs
         );
-        let d1 = trace
-            .app_at(violation.at_secs + 1.0, names::DNN1)
-            .unwrap();
+        let d1 = trace.app_at(violation.at_secs + 1.0, names::DNN1).unwrap();
         assert!(d1.cores < 4, "throttled core allocation: {d1:?}");
         assert_eq!(d1.level, 0, "compressed to the 25% model: {d1:?}");
 
@@ -200,13 +210,19 @@ mod tests {
     fn fig2_summary_counts_events() {
         let trace = fig2_scenario().unwrap().run().unwrap();
         let s = trace.summary();
-        assert!(s.decisions >= 5, "arrivals + change + thermal events: {s:?}");
+        assert!(
+            s.decisions >= 5,
+            "arrivals + change + thermal events: {s:?}"
+        );
         assert_eq!(s.thermal_violations, 1, "{s:?}");
         assert!(s.peak_temp.as_celsius() > fig2_soc().thermal().limit.as_celsius());
         assert!(s.total_energy.as_joules() > 0.0);
         // Requirements are met most of the time, but not during the
         // thermal squeeze.
-        assert!(s.feasible_fraction > 0.5 && s.feasible_fraction < 1.0, "{s:?}");
+        assert!(
+            s.feasible_fraction > 0.5 && s.feasible_fraction < 1.0,
+            "{s:?}"
+        );
     }
 
     #[test]

@@ -147,9 +147,7 @@ impl Simulator {
     fn throttle_cfg(&self, throttled: bool) -> RtmConfig {
         if throttled {
             RtmConfig {
-                power_cap: Some(
-                    self.soc.thermal().sustainable_power() * self.cfg.thermal_backoff,
-                ),
+                power_cap: Some(self.soc.thermal().sustainable_power() * self.cfg.thermal_backoff),
                 ..self.cfg.rtm
             }
         } else {
@@ -177,9 +175,7 @@ impl Simulator {
         for _ in 0..=steps {
             // 1. Scenario events due at this time.
             let mut reasons: Vec<DecisionReason> = Vec::new();
-            while next_event < self.events.len()
-                && self.events[next_event].at_secs <= time + 1e-9
-            {
+            while next_event < self.events.len() && self.events[next_event].at_secs <= time + 1e-9 {
                 let ev = &self.events[next_event];
                 match &ev.action {
                     Action::Arrive(spec) => {
@@ -194,9 +190,7 @@ impl Simulator {
                     Action::Update(spec) => {
                         apps.retain(|a| a.name() != spec.name());
                         apps.push(spec.clone());
-                        reasons.push(DecisionReason::RequirementChange(
-                            spec.name().to_string(),
-                        ));
+                        reasons.push(DecisionReason::RequirementChange(spec.name().to_string()));
                     }
                 }
                 next_event += 1;
@@ -224,8 +218,8 @@ impl Simulator {
             // throttled cap before it ever runs.
             let mut had_decision = !reasons.is_empty();
             if !reasons.is_empty() {
-                let mut alloc = Rtm::new(self.throttle_cfg(throttled))
-                    .allocate(&self.soc, &apps)?;
+                let mut alloc =
+                    Rtm::new(self.throttle_cfg(throttled)).allocate(&self.soc, &apps)?;
                 if self.cfg.thermal_policy == ThermalPolicy::Proactive {
                     let predicted = self
                         .soc
@@ -234,16 +228,13 @@ impl Simulator {
                     if !throttled && predicted > self.soc.thermal().limit {
                         throttled = true;
                         reasons.push(DecisionReason::ProactiveThrottle);
-                        alloc = Rtm::new(self.throttle_cfg(true))
-                            .allocate(&self.soc, &apps)?;
+                        alloc = Rtm::new(self.throttle_cfg(true)).allocate(&self.soc, &apps)?;
                     } else if throttled {
                         // Would the unthrottled allocation now be safe?
-                        let candidate = Rtm::new(self.throttle_cfg(false))
-                            .allocate(&self.soc, &apps)?;
+                        let candidate =
+                            Rtm::new(self.throttle_cfg(false)).allocate(&self.soc, &apps)?;
                         let p = effective_power(&self.soc, &candidate, &apps);
-                        if self.soc.thermal().steady_state(p)
-                            <= self.soc.thermal().limit
-                        {
+                        if self.soc.thermal().steady_state(p) <= self.soc.thermal().limit {
                             throttled = false;
                             alloc = candidate;
                         }
@@ -281,10 +272,7 @@ impl Simulator {
                     power,
                     temp: thermal.die_temp(),
                     throttled,
-                    apps: allocation
-                        .as_ref()
-                        .map(|a| app_samples(a))
-                        .unwrap_or_default(),
+                    apps: allocation.as_ref().map(app_samples).unwrap_or_default(),
                 });
             }
 
@@ -383,8 +371,7 @@ mod tests {
         AppSpec::Dnn(DnnAppSpec {
             name: name.into(),
             profile: DnnProfile::reference(name),
-            requirements: Requirements::new()
-                .with_max_latency(TimeSpan::from_millis(latency_ms)),
+            requirements: Requirements::new().with_max_latency(TimeSpan::from_millis(latency_ms)),
             priority: 1,
             objective: None,
         })
@@ -401,8 +388,14 @@ mod tests {
     fn rejects_bad_scenarios() {
         let soc = presets::flagship();
         let out_of_order = vec![
-            ScenarioEvent { at_secs: 5.0, action: Action::Depart("a".into()) },
-            ScenarioEvent { at_secs: 1.0, action: Action::Depart("b".into()) },
+            ScenarioEvent {
+                at_secs: 5.0,
+                action: Action::Depart("a".into()),
+            },
+            ScenarioEvent {
+                at_secs: 1.0,
+                action: Action::Depart("b".into()),
+            },
         ];
         assert!(Simulator::new(soc.clone(), out_of_order, quick_cfg(10.0)).is_err());
         let too_late = vec![ScenarioEvent {
@@ -410,7 +403,10 @@ mod tests {
             action: Action::Depart("a".into()),
         }];
         assert!(Simulator::new(soc.clone(), too_late, quick_cfg(10.0)).is_err());
-        let bad_dt = SimConfig { dt: TimeSpan::ZERO, ..quick_cfg(10.0) };
+        let bad_dt = SimConfig {
+            dt: TimeSpan::ZERO,
+            ..quick_cfg(10.0)
+        };
         assert!(Simulator::new(soc, vec![], bad_dt).is_err());
     }
 
@@ -437,7 +433,10 @@ mod tests {
         let sim = Simulator::new(soc, events, quick_cfg(5.0)).unwrap();
         let trace = sim.run().unwrap();
         assert_eq!(trace.decisions.len(), 1);
-        assert!(matches!(trace.decisions[0].reason, DecisionReason::AppArrived(_)));
+        assert!(matches!(
+            trace.decisions[0].reason,
+            DecisionReason::AppArrived(_)
+        ));
         assert!((trace.decisions[0].at_secs - 1.0).abs() < 0.1);
         // Power after arrival exceeds idle power before it.
         let before = trace.samples.iter().find(|s| s.at_secs < 0.9).unwrap();
@@ -452,8 +451,14 @@ mod tests {
         let soc = presets::flagship();
         let idle = soc.idle_power();
         let events = vec![
-            ScenarioEvent { at_secs: 0.0, action: Action::Arrive(dnn_app("dnn1", 11.0)) },
-            ScenarioEvent { at_secs: 2.0, action: Action::Depart("dnn1".into()) },
+            ScenarioEvent {
+                at_secs: 0.0,
+                action: Action::Arrive(dnn_app("dnn1", 11.0)),
+            },
+            ScenarioEvent {
+                at_secs: 2.0,
+                action: Action::Depart("dnn1".into()),
+            },
         ];
         let sim = Simulator::new(soc, events, quick_cfg(5.0)).unwrap();
         let trace = sim.run().unwrap();
@@ -498,12 +503,17 @@ mod tests {
         let soc = presets::flagship();
         let mut relaxed = dnn_app("dnn1", 11.0);
         if let AppSpec::Dnn(d) = &mut relaxed {
-            d.requirements = Requirements::new()
-                .with_max_latency(TimeSpan::from_millis(200.0));
+            d.requirements = Requirements::new().with_max_latency(TimeSpan::from_millis(200.0));
         }
         let events = vec![
-            ScenarioEvent { at_secs: 0.0, action: Action::Arrive(dnn_app("dnn1", 11.0)) },
-            ScenarioEvent { at_secs: 1.0, action: Action::Update(relaxed) },
+            ScenarioEvent {
+                at_secs: 0.0,
+                action: Action::Arrive(dnn_app("dnn1", 11.0)),
+            },
+            ScenarioEvent {
+                at_secs: 1.0,
+                action: Action::Update(relaxed),
+            },
         ];
         let sim = Simulator::new(soc, events, quick_cfg(3.0)).unwrap();
         let trace = sim.run().unwrap();

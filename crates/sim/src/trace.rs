@@ -271,7 +271,10 @@ mod tests {
 
     #[test]
     fn csv_has_header_and_rows() {
-        let trace = Trace { samples: vec![sample(0.5, 1.0, 40.0, true)], decisions: vec![] };
+        let trace = Trace {
+            samples: vec![sample(0.5, 1.0, 40.0, true)],
+            decisions: vec![],
+        };
         let csv = trace.to_csv();
         let lines: Vec<&str> = csv.lines().collect();
         assert!(lines[0].starts_with("t_s,power_w"));
@@ -297,6 +300,9 @@ mod tests {
             DecisionReason::AppArrived("x".into()).to_string(),
             "app `x` arrived"
         );
-        assert_eq!(DecisionReason::ThermalViolation.to_string(), "thermal limit exceeded");
+        assert_eq!(
+            DecisionReason::ThermalViolation.to_string(),
+            "thermal limit exceeded"
+        );
     }
 }

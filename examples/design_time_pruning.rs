@@ -17,13 +17,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
     // Fig 1's three application classes.
     let requirements = [
-        ("1 fps, very-high accuracy", Requirements::new().with_target_fps(1.0).with_min_top1(71.0)),
-        ("25 fps, high accuracy", Requirements::new().with_target_fps(25.0).with_min_top1(66.0)),
-        ("60 fps, medium accuracy", Requirements::new().with_target_fps(60.0).with_min_top1(60.0)),
+        (
+            "1 fps, very-high accuracy",
+            Requirements::new().with_target_fps(1.0).with_min_top1(71.0),
+        ),
+        (
+            "25 fps, high accuracy",
+            Requirements::new()
+                .with_target_fps(25.0)
+                .with_min_top1(66.0),
+        ),
+        (
+            "60 fps, medium accuracy",
+            Requirements::new()
+                .with_target_fps(60.0)
+                .with_min_top1(60.0),
+        ),
     ];
 
     println!("=== Fig 1: design-time compression per platform ===");
-    println!("{:<14} {:<28} {:>7} {:>10} {:>10}", "platform", "requirement", "width", "cluster", "freq");
+    println!(
+        "{:<14} {:<28} {:>7} {:>10} {:>10}",
+        "platform", "requirement", "width", "cluster", "freq"
+    );
     for soc in &platforms {
         for (label, req) in &requirements {
             match design_time_prune(soc, &profile, req, OpSpaceConfig::default())? {

@@ -32,16 +32,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut rng = StdRng::seed_from_u64(2020);
     let mut net = build_group_cnn(
-        CnnConfig { input: (3, 16, 16), classes: 10, groups: 4, base_width: 16 },
+        CnnConfig {
+            input: (3, 16, 16),
+            classes: 10,
+            groups: 4,
+            base_width: 16,
+        },
         &mut rng,
     )?;
-    println!("network: {} parameters (single model)\n", net.cost()?.params_total);
+    println!(
+        "network: {} parameters (single model)\n",
+        net.cost()?.params_total
+    );
 
     // Fig 3(b): train group k while groups <k stay frozen, >k ignored.
-    let cfg = TrainConfig { epochs: 4, batch_size: 32, lr: 0.06, ..TrainConfig::default() };
+    let cfg = TrainConfig {
+        epochs: 4,
+        batch_size: 32,
+        lr: 0.06,
+        ..TrainConfig::default()
+    };
     let report = train_incremental(&mut net, data.train(), Some(data.test()), &cfg)?;
 
-    println!("{:>7} {:>12} {:>12} {:>12}", "width", "top-1 (%)", "MACs frac", "params");
+    println!(
+        "{:>7} {:>12} {:>12} {:>12}",
+        "width", "top-1 (%)", "MACs frac", "params"
+    );
     let full_macs = net.cost_at(4)?.macs;
     for step in &report.steps {
         let eval = step.eval.as_ref().expect("eval requested");

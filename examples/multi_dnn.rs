@@ -45,7 +45,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{alloc}\n");
 
     println!("=== Sweep: feasible accuracy vs power cap ===");
-    println!("{:>9} {:>22} {:>22} {:>22}", "cap (W)", "keyword-spotter", "face-detector", "scene-segmenter");
+    println!(
+        "{:>9} {:>22} {:>22} {:>22}",
+        "cap (W)", "keyword-spotter", "face-detector", "scene-segmenter"
+    );
     for cap_w in [2.0, 3.0, 4.0, 6.0, 8.0, 12.0] {
         let rtm = Rtm::new(RtmConfig {
             power_cap: Some(Power::from_watts(cap_w)),

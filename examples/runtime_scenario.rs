@@ -20,7 +20,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "t (s)", "app", "cluster", "freq (MHz)", "cores", "width", "latency (ms)", "met"
     );
     for t in [3.0, 10.0, 16.0, 22.0, 30.0, 38.0] {
-        for app in [scenario::names::DNN1, scenario::names::DNN2, scenario::names::VRAR] {
+        for app in [
+            scenario::names::DNN1,
+            scenario::names::DNN2,
+            scenario::names::VRAR,
+        ] {
             if let Some(a) = trace.app_at(t, app) {
                 let width = if a.level == usize::MAX {
                     "-".to_string()

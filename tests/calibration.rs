@@ -31,7 +31,11 @@ fn accuracy_is_platform_independent_in_our_model_too() {
     // Table I's platform-independent column: the same width level reports
     // the same accuracy regardless of where it runs.
     let profile = DnnProfile::reference("dnn");
-    for soc in [presets::odroid_xu3(), presets::jetson_nano(), presets::flagship()] {
+    for soc in [
+        presets::odroid_xu3(),
+        presets::jetson_nano(),
+        presets::flagship(),
+    ] {
         let space = OpSpace::new(&soc, &profile, OpSpaceConfig::default()).unwrap();
         for op in space.iter() {
             let pt = space.evaluate(op).unwrap();
@@ -82,9 +86,7 @@ fn xu3_a7_wins_energy_a15_wins_speed() {
     let mut best_a15_energy = f64::INFINITY;
     let spec = soc.cluster(a15).unwrap();
     for opp in spec.opps().iter() {
-        let p = soc
-            .predict(Placement::new(a15, 4), opp.freq(), &w)
-            .unwrap();
+        let p = soc.predict(Placement::new(a15, 4), opp.freq(), &w).unwrap();
         best_a15_energy = best_a15_energy.min(p.energy.as_millijoules());
     }
     assert!(best_a7_energy.energy.as_millijoules() < best_a15_energy);

@@ -4,10 +4,7 @@
 use emlrt::platform::paper::{CASE_STUDY_BUDGET_1, CASE_STUDY_BUDGET_2};
 use emlrt::prelude::*;
 
-fn cpu_space<'a>(
-    soc: &'a Soc,
-    profile: &'a DnnProfile,
-) -> OpSpace<'a> {
+fn cpu_space<'a>(soc: &'a Soc, profile: &'a DnnProfile) -> OpSpace<'a> {
     let cpus = vec![
         soc.find_cluster("a15").unwrap(),
         soc.find_cluster("a7").unwrap(),
@@ -15,10 +12,7 @@ fn cpu_space<'a>(
     OpSpace::new(soc, profile, OpSpaceConfig::default().with_clusters(cpus)).unwrap()
 }
 
-fn check_budget(
-    governor: &mut dyn Governor,
-    budget: &emlrt::platform::paper::CaseStudyBudget,
-) {
+fn check_budget(governor: &mut dyn Governor, budget: &emlrt::platform::paper::CaseStudyBudget) {
     let soc = emlrt::platform::presets::odroid_xu3();
     let profile = DnnProfile::reference("dnn");
     let space = cpu_space(&soc, &profile);
@@ -104,7 +98,10 @@ fn budget_transition_shrinks_width_as_in_the_paper() {
         .decide(&space, &req2, Objective::default())
         .unwrap()
         .unwrap();
-    assert!(p2.op.level < p1.op.level, "tighter latency forces narrower width");
+    assert!(
+        p2.op.level < p1.op.level,
+        "tighter latency forces narrower width"
+    );
     assert_ne!(p1.op.cluster, p2.op.cluster, "and a migration (A7 -> A15)");
 }
 

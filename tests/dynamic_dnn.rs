@@ -25,11 +25,21 @@ fn trained() -> (DynamicDnn, SyntheticVision) {
     });
     let mut rng = StdRng::seed_from_u64(7);
     let mut net = build_group_cnn(
-        CnnConfig { input: (3, 8, 8), classes: 4, groups: 4, base_width: 8 },
+        CnnConfig {
+            input: (3, 8, 8),
+            classes: 4,
+            groups: 4,
+            base_width: 8,
+        },
         &mut rng,
     )
     .unwrap();
-    let cfg = TrainConfig { epochs: 3, batch_size: 16, lr: 0.08, ..TrainConfig::default() };
+    let cfg = TrainConfig {
+        epochs: 3,
+        batch_size: 16,
+        lr: 0.08,
+        ..TrainConfig::default()
+    };
     let report = train_incremental(&mut net, data.train(), Some(data.test()), &cfg).unwrap();
     let dnn = DynamicDnn::from_trained("test-dnn", net, &report).unwrap();
     (dnn, data)
@@ -62,7 +72,10 @@ fn wider_is_never_much_worse_and_full_is_best_or_close() {
     // groups never loses more than a couple of points, and the full model
     // is within noise of the best.
     for w in accs.windows(2) {
-        assert!(w[1] >= w[0] - 0.05, "accuracy collapse across widths: {accs:?}");
+        assert!(
+            w[1] >= w[0] - 0.05,
+            "accuracy collapse across widths: {accs:?}"
+        );
     }
     let best = accs.iter().copied().fold(0.0, f64::max);
     assert!(accs[3] >= best - 0.05, "full width far from best: {accs:?}");
@@ -94,7 +107,10 @@ fn width_switching_is_free_of_retraining() {
     }
     dnn.set_level(WidthLevel(1)).unwrap();
     let after = dnn.infer(&batch).unwrap();
-    assert_eq!(before, after, "predictions must be bit-stable across switches");
+    assert_eq!(
+        before, after,
+        "predictions must be bit-stable across switches"
+    );
 }
 
 #[test]

@@ -50,14 +50,27 @@ fn thermal_violation_happens_shortly_after_vr_arrival() {
 fn departures_free_resources_for_lower_priority_apps() {
     // DNN2 leaves at t = 10 s; DNN1 should reclaim the NPU at full width.
     let events = vec![
-        ScenarioEvent { at_secs: 0.0, action: Action::Arrive(scenario::dnn1()) },
-        ScenarioEvent { at_secs: 2.0, action: Action::Arrive(scenario::dnn2()) },
-        ScenarioEvent { at_secs: 10.0, action: Action::Depart(names::DNN2.into()) },
+        ScenarioEvent {
+            at_secs: 0.0,
+            action: Action::Arrive(scenario::dnn1()),
+        },
+        ScenarioEvent {
+            at_secs: 2.0,
+            action: Action::Arrive(scenario::dnn2()),
+        },
+        ScenarioEvent {
+            at_secs: 10.0,
+            action: Action::Depart(names::DNN2.into()),
+        },
     ];
-    let sim = Simulator::new(scenario::fig2_soc(), events, SimConfig {
-        duration: TimeSpan::from_secs(15.0),
-        ..SimConfig::default()
-    })
+    let sim = Simulator::new(
+        scenario::fig2_soc(),
+        events,
+        SimConfig {
+            duration: TimeSpan::from_secs(15.0),
+            ..SimConfig::default()
+        },
+    )
     .unwrap();
     let trace = sim.run().unwrap();
     let mid = trace.app_at(5.0, names::DNN1).unwrap();
@@ -84,8 +97,7 @@ fn energy_accounting_is_consistent_with_mean_power() {
     let s = trace.summary();
     let recomputed = s.mean_power * s.duration;
     assert!(
-        (recomputed.as_joules() - s.total_energy.as_joules()).abs()
-            / s.total_energy.as_joules()
+        (recomputed.as_joules() - s.total_energy.as_joules()).abs() / s.total_energy.as_joules()
             < 1e-9
     );
 }

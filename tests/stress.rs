@@ -78,11 +78,16 @@ fn check_invariants(seed: u64, policy: ThermalPolicy) {
         },
     )
     .expect("generated scenario is valid");
-    let trace = sim.run().expect("simulation never crashes on valid scenarios");
+    let trace = sim
+        .run()
+        .expect("simulation never crashes on valid scenarios");
 
     // Invariant 1: every sample is physically sane.
     for s in &trace.samples {
-        assert!(s.power.as_watts() >= 0.0 && s.power.as_watts() < 50.0, "seed {seed}");
+        assert!(
+            s.power.as_watts() >= 0.0 && s.power.as_watts() < 50.0,
+            "seed {seed}"
+        );
         assert!(
             s.temp.as_celsius() >= 20.0 && s.temp.as_celsius() < 150.0,
             "seed {seed}: temp {}",
@@ -148,11 +153,17 @@ fn pathological_scenarios_fail_loud_not_weird() {
         priority: 9,
         objective: None,
     });
-    let events = vec![ScenarioEvent { at_secs: 0.0, action: Action::Arrive(impossible) }];
+    let events = vec![ScenarioEvent {
+        at_secs: 0.0,
+        action: Action::Arrive(impossible),
+    }];
     let sim = Simulator::new(
         soc,
         events,
-        SimConfig { duration: TimeSpan::from_secs(2.0), ..SimConfig::default() },
+        SimConfig {
+            duration: TimeSpan::from_secs(2.0),
+            ..SimConfig::default()
+        },
     )
     .unwrap();
     let trace = sim.run().unwrap();
@@ -171,8 +182,7 @@ fn forty_concurrent_dnns_saturate_but_do_not_break() {
             AppSpec::Dnn(DnnAppSpec {
                 name: format!("dnn{i}"),
                 profile: DnnProfile::reference(format!("dnn{i}")),
-                requirements: Requirements::new()
-                    .with_max_latency(TimeSpan::from_millis(500.0)),
+                requirements: Requirements::new().with_max_latency(TimeSpan::from_millis(500.0)),
                 priority: (i % 5) as u8,
                 objective: None,
             })
@@ -187,14 +197,11 @@ fn forty_concurrent_dnns_saturate_but_do_not_break() {
     for d in &alloc.dnns {
         let spec = soc.cluster(d.point.op.cluster).unwrap();
         if spec.kind().is_cpu() {
-            *cores_used.entry(d.point.op.cluster.index()).or_insert(0u32) +=
-                d.point.op.cores;
+            *cores_used.entry(d.point.op.cluster.index()).or_insert(0u32) += d.point.op.cores;
         }
     }
     for (idx, used) in cores_used {
-        let spec = soc
-            .cluster(ClusterId::from_index(idx))
-            .unwrap();
+        let spec = soc.cluster(ClusterId::from_index(idx)).unwrap();
         assert!(used <= spec.cores(), "cluster {idx} over-committed: {used}");
     }
 }

@@ -1,0 +1,292 @@
+//! Minimal offline stand-in for the `criterion` benchmark harness.
+//!
+//! Supports the subset this workspace's `harness = false` benches use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`]/[`Bencher::iter_batched`], [`BatchSize`], the
+//! `criterion_group!`/`criterion_main!` macros and the `--test` CLI
+//! smoke mode (`cargo bench -- --test` runs every benchmark exactly
+//! once without measuring). Reports the median and spread of per-sample
+//! mean iteration times on stdout; no HTML reports, no statistics
+//! beyond that.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup cost (accepted for API
+/// compatibility; this implementation always re-runs setup per sample
+/// batch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per measured iteration.
+    PerIteration,
+}
+
+/// Drives the timing loop of one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    test_mode: bool,
+    samples: usize,
+    target_sample_time: Duration,
+    /// Mean nanoseconds per iteration for each collected sample.
+    sample_means_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measures `routine` repeatedly and records per-iteration times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Calibrate: how many iterations fit the per-sample budget?
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(20));
+        let iters =
+            (self.target_sample_time.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as usize;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.sample_means_ns
+                .push(elapsed.as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    /// Measures `routine` on fresh inputs produced by `setup` (setup
+    /// time is excluded from the measurement).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            black_box(routine(setup()));
+            return;
+        }
+        for _ in 0..self.samples {
+            const BATCH: usize = 8;
+            let inputs: Vec<I> = (0..BATCH).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let elapsed = start.elapsed();
+            self.sample_means_ns
+                .push(elapsed.as_nanos() as f64 / BATCH as f64);
+        }
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug)]
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+    samples: usize,
+    target_sample_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            test_mode: false,
+            filter: None,
+            samples: 30,
+            target_sample_time: Duration::from_millis(5),
+        }
+    }
+}
+
+impl Criterion {
+    /// Builds a harness configured from the process CLI arguments
+    /// (`--test` enables smoke mode; a bare string filters by name).
+    pub fn configure_from_args() -> Self {
+        let mut c = Self::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => c.test_mode = true,
+                "--bench" => {}
+                s if !s.starts_with('-') => c.filter = Some(s.to_string()),
+                _ => {}
+            }
+        }
+        c
+    }
+
+    fn run(&mut self, name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            test_mode: self.test_mode,
+            samples: self.samples,
+            target_sample_time: self.target_sample_time,
+            sample_means_ns: Vec::new(),
+        };
+        f(&mut b);
+        if self.test_mode {
+            println!("{name}: test passed");
+            return;
+        }
+        let mut means = b.sample_means_ns;
+        if means.is_empty() {
+            println!("{name}: no samples collected");
+            return;
+        }
+        means.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median = means[means.len() / 2];
+        let lo = means[means.len() / 20];
+        let hi = means[means.len() - 1 - means.len() / 20];
+        println!(
+            "{name}: time [{:>12} {:>12} {:>12}]",
+            fmt_ns(lo),
+            fmt_ns(median),
+            fmt_ns(hi)
+        );
+    }
+
+    /// Registers and runs a single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        self.run(name, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named collection of benchmarks (`group/function` naming).
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Registers and runs one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl AsRef<str>,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        self.criterion.run(&full, &mut f);
+        self
+    }
+
+    /// Ends the group (formatting no-op, kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Bundles benchmark functions into a group runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Generates `main` for a bench target, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::configure_from_args();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_routine_in_test_mode() {
+        let mut calls = 0usize;
+        let mut b = Bencher {
+            test_mode: true,
+            samples: 5,
+            target_sample_time: Duration::from_millis(1),
+            sample_means_ns: Vec::new(),
+        };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1, "test mode runs exactly once");
+    }
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher {
+            test_mode: false,
+            samples: 3,
+            target_sample_time: Duration::from_micros(50),
+            sample_means_ns: Vec::new(),
+        };
+        b.iter(|| black_box(1 + 1));
+        assert_eq!(b.sample_means_ns.len(), 3);
+        assert!(b.sample_means_ns.iter().all(|&m| m > 0.0));
+    }
+
+    #[test]
+    fn group_names_are_prefixed() {
+        let mut c = Criterion {
+            test_mode: true,
+            ..Criterion::default()
+        };
+        let mut group = c.benchmark_group("g");
+        let mut ran = false;
+        group.bench_function("f", |b| {
+            b.iter(|| ran = true);
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            test_mode: true,
+            filter: Some("match".into()),
+            ..Criterion::default()
+        };
+        let mut ran = false;
+        c.bench_function("other", |b| b.iter(|| ran = true));
+        assert!(!ran);
+        c.bench_function("match_this", |b| b.iter(|| ran = true));
+        assert!(ran);
+    }
+}

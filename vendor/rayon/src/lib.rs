@@ -1,0 +1,112 @@
+//! Minimal offline stand-in for the `rayon` crate.
+//!
+//! Provides the structured-parallelism subset this workspace uses —
+//! [`scope`] with [`Scope::spawn`], [`join`] and
+//! [`current_num_threads`] — implemented on `std::thread::scope` (one
+//! OS thread per spawn, no pool). Callers are expected to chunk work so
+//! the number of spawns per scope stays near [`current_num_threads`];
+//! the `eml_nn` worker helpers do exactly that. Swap for the real crate
+//! when a registry is available; the call sites need no change.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+use std::thread;
+
+/// Number of worker threads a parallel region should target (the
+/// machine's available parallelism).
+pub fn current_num_threads() -> usize {
+    thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// A scope for spawning borrowed work, mirroring `rayon::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a task that may borrow from outside the scope; the scope
+    /// joins it before returning.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || {
+            let nested = Scope { inner };
+            f(&nested);
+        });
+    }
+}
+
+/// Runs `f` with a [`Scope`]; returns once every spawned task finished.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    thread::scope(|s| f(&Scope { inner: s }))
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    thread::scope(|s| {
+        let b = s.spawn(oper_b);
+        let ra = oper_a();
+        let rb = b.join().expect("rayon::join task panicked");
+        (ra, rb)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all_spawns() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn scope_tasks_can_borrow_disjoint_chunks() {
+        let mut data = vec![0u32; 64];
+        super::scope(|s| {
+            for chunk in data.chunks_mut(16) {
+                s.spawn(move |_| {
+                    for v in chunk {
+                        *v += 1;
+                    }
+                });
+            }
+        });
+        assert!(data.iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn num_threads_positive() {
+        assert!(super::current_num_threads() >= 1);
+    }
+}
