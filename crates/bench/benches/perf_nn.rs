@@ -34,6 +34,23 @@ fn bench_forward_per_width(c: &mut Criterion) {
     group.finish();
 }
 
+/// Batched forward passes: batch 1 hides dispatch overhead behind a
+/// single sample, so throughput-style workloads (and the pool's
+/// per-region cost) are only visible at batch > 1.
+fn bench_forward_batched(c: &mut Criterion) {
+    for batch in [8usize, 32] {
+        let x = Tensor::full(&[batch, 3, 16, 16], 0.1);
+        let mut group = c.benchmark_group(format!("nn/forward_batch{batch}"));
+        for g in 1..=4usize {
+            let mut net = net_at(g, Backend::Gemm);
+            group.bench_function(format!("width_{}pct", g * 25), |b| {
+                b.iter(|| net.forward(black_box(&x), false).expect("forward"))
+            });
+        }
+        group.finish();
+    }
+}
+
 /// The same sweep on the reference backend: the ratio to `nn/forward`
 /// is the GEMM speedup (also emitted by the `bench_nn_json` binary).
 fn bench_forward_per_width_reference(c: &mut Criterion) {
@@ -55,6 +72,7 @@ fn bench_training_step(c: &mut Criterion) {
         ("nn/train_batch_8", Backend::Gemm),
         ("nn/train_batch_8_reference", Backend::Reference),
     ] {
+        // Width-scaled base (16) keeps the reference run affordable.
         let mut net = build_group_cnn(
             CnnConfig {
                 base_width: 16,
@@ -98,6 +116,7 @@ fn bench_cost_model(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_forward_per_width,
+    bench_forward_batched,
     bench_forward_per_width_reference,
     bench_training_step,
     bench_width_switch,

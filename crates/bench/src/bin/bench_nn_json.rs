@@ -1,26 +1,56 @@
-//! Emits `BENCH_nn.json`: median forward-pass latency per width for the
-//! reference and GEMM backends of the NN substrate, on the default
-//! `CnnConfig`. Later PRs compare against this machine-readable
-//! baseline to track the perf trajectory.
+//! Emits `BENCH_nn.json`: the machine-readable perf baseline of the
+//! hot paths — median forward-pass latency per width (batch 1, both
+//! compute backends), median training-step latency per width (batch 8,
+//! GEMM backend) and the RTM's `allocate` decision latency. Later PRs
+//! compare against this baseline to track the perf trajectory.
 //!
 //! Usage: `cargo run --release -p eml-bench --bin bench_nn_json
-//! [-- --out PATH] [-- --quick]` — `--quick` shrinks sample counts for
-//! CI smoke runs.
+//! [-- --out PATH] [-- --quick] [-- --check BASELINE]`
+//!
+//! - `--quick` shrinks sample counts for CI smoke runs.
+//! - `--check BASELINE` compares the fresh measurement against a
+//!   committed baseline file and exits non-zero if any width's
+//!   `gemm_ns` regressed by more than 25%. Because CI runners and dev
+//!   machines differ in absolute speed, the comparison is normalised by
+//!   the reference backend: the reference loop nest is rarely touched,
+//!   so `reference_ns(now)/reference_ns(baseline)` estimates the
+//!   machine-speed ratio and cancels it out of the `gemm_ns`
+//!   comparison. A change that slows both backends equally slips
+//!   through; the absolute numbers are printed so a human can spot it.
 
 use std::hint::black_box;
 use std::time::Instant;
 
+use eml_core::requirements::Requirements;
+use eml_core::rtm::{AppSpec, DnnAppSpec, RigidAppSpec, Rtm, RtmConfig};
+use eml_dnn::profile::DnnProfile;
 use eml_nn::arch::{build_group_cnn, CnnConfig};
 use eml_nn::gemm::Backend;
 use eml_nn::network::Network;
 use eml_nn::tensor::Tensor;
+use eml_platform::presets;
+use eml_platform::soc::CoreKind;
+use eml_platform::units::TimeSpan;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Batch size of the training-step measurement (the mid-sized batch
+/// embedded incremental training uses — see ISSUE 2 / ROADMAP).
+const TRAIN_BATCH: usize = 8;
+
+/// Maximum tolerated normalised `gemm_ns` regression in `--check` mode.
+const MAX_REGRESSION: f64 = 1.25;
+
+/// Looser bound for `train_step_ns`: a full training step has more
+/// non-kernel variance (allocator, page faults, scheduler) than a
+/// batch-1 forward, so its medians jitter more on shared runners.
+const MAX_TRAIN_REGRESSION: f64 = 1.35;
 
 struct Opts {
     out: String,
     samples: usize,
     target_sample_ns: u128,
+    check: Option<String>,
 }
 
 fn parse_opts() -> Opts {
@@ -28,12 +58,16 @@ fn parse_opts() -> Opts {
         out: "BENCH_nn.json".to_string(),
         samples: 15,
         target_sample_ns: 20_000_000,
+        check: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--out" => {
                 opts.out = args.next().expect("--out requires a path");
+            }
+            "--check" => {
+                opts.check = Some(args.next().expect("--check requires a baseline path"));
             }
             "--quick" => {
                 opts.samples = 3;
@@ -75,17 +109,158 @@ fn forward_ns(opts: &Opts, net: &mut Network, x: &Tensor) -> f64 {
     })
 }
 
+/// Median latency of one full training step (zero grads, forward, loss,
+/// backward, SGD update) at the network's current width.
+fn train_step_ns(opts: &Opts, net: &mut Network, x: &Tensor, labels: &[usize]) -> f64 {
+    median_ns(opts, || {
+        net.zero_grads();
+        let out = net
+            .train_batch(black_box(x), black_box(labels))
+            .expect("train batch");
+        net.sgd_step(0.01, 0.9);
+        black_box(out.loss);
+    })
+}
+
+/// The RTM decision-latency scenario: three mixed-priority apps on the
+/// flagship SoC (mirrors `perf_rtm`'s `rtm/allocate_three_apps`).
+fn rtm_allocate_ns(opts: &Opts) -> f64 {
+    let soc = presets::flagship();
+    let rtm = Rtm::new(RtmConfig::default());
+    let apps = vec![
+        AppSpec::Dnn(DnnAppSpec {
+            name: "dnn1".into(),
+            profile: DnnProfile::reference("dnn1"),
+            requirements: Requirements::new().with_max_latency(TimeSpan::from_millis(11.0)),
+            priority: 1,
+            objective: None,
+        }),
+        AppSpec::Dnn(DnnAppSpec {
+            name: "dnn2".into(),
+            profile: DnnProfile::reference("dnn2"),
+            requirements: Requirements::new().with_target_fps(60.0),
+            priority: 2,
+            objective: None,
+        }),
+        AppSpec::Rigid(RigidAppSpec {
+            name: "vr".into(),
+            preferred: vec![CoreKind::Gpu],
+            utilization: 0.9,
+            priority: 3,
+        }),
+    ];
+    median_ns(opts, || {
+        black_box(
+            rtm.allocate(black_box(&soc), black_box(&apps))
+                .expect("allocates"),
+        );
+    })
+}
+
+/// Every `"key": <number>` occurrence in `json`, in order. Enough of a
+/// parser for the flat format this binary itself writes.
+fn extract_all(json: &str, key: &str) -> Vec<f64> {
+    let needle = format!("\"{key}\":");
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(pos) = rest.find(&needle) {
+        rest = &rest[pos + needle.len()..];
+        let end = rest
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == ' '))
+            .unwrap_or(rest.len());
+        if let Ok(v) = rest[..end].trim().parse::<f64>() {
+            out.push(v);
+        }
+    }
+    out
+}
+
+struct WidthRow {
+    active_groups: usize,
+    width_pct: usize,
+    reference_ns: f64,
+    gemm_ns: f64,
+    train_step_ns: f64,
+}
+
+/// Compares fresh `rows` against the committed `baseline` JSON; returns
+/// an error message per width whose machine-normalised `gemm_ns` (or
+/// `train_step_ns`, when the baseline records it) regressed past its
+/// threshold.
+///
+/// The reference-backend normalisation cancels *scalar* machine-speed
+/// differences only; it cannot account for core-count differences
+/// (reference is always serial, the GEMM path may parallelise), so the
+/// CI step pins `RAYON_NUM_THREADS=1` to keep both sides serial.
+fn check_regressions(rows: &[WidthRow], baseline: &str) -> Vec<String> {
+    let base_groups = extract_all(baseline, "active_groups");
+    let base_ref = extract_all(baseline, "reference_ns");
+    let base_gemm = extract_all(baseline, "gemm_ns");
+    let base_train = extract_all(baseline, "train_step_ns");
+    assert!(
+        base_groups.len() == base_ref.len() && base_groups.len() == base_gemm.len(),
+        "malformed baseline: {} widths, {} reference_ns, {} gemm_ns",
+        base_groups.len(),
+        base_ref.len(),
+        base_gemm.len()
+    );
+    let mut failures = Vec::new();
+    println!("\nperf check vs baseline (machine-normalised by reference_ns):");
+    println!(
+        "{:>8} {:>14} {:>14} {:>14} {:>14} {:>8}",
+        "width", "metric", "baseline", "allowed", "measured", "ratio"
+    );
+    for row in rows {
+        let Some(i) = base_groups
+            .iter()
+            .position(|&g| g == row.active_groups as f64)
+        else {
+            println!("{:>7}% (not in baseline, skipped)", row.width_pct);
+            continue;
+        };
+        let machine_scale = row.reference_ns / base_ref[i];
+        // (metric name, baseline ns, measured ns, threshold); the
+        // train row is skipped for baselines predating train_step_ns.
+        let mut metrics = vec![("gemm_ns", base_gemm[i], row.gemm_ns, MAX_REGRESSION)];
+        if let Some(&bt) = base_train.get(i) {
+            metrics.push(("train_step_ns", bt, row.train_step_ns, MAX_TRAIN_REGRESSION));
+        }
+        for (name, base, measured, threshold) in metrics {
+            let allowed = base * machine_scale * threshold;
+            let ratio = measured / (base * machine_scale);
+            let verdict = if measured > allowed { "FAIL" } else { "ok" };
+            println!(
+                "{:>7}% {:>14} {:>11.0} ns {:>11.0} ns {:>11.0} ns {:>7.2}x {verdict}",
+                row.width_pct, name, base, allowed, measured, ratio
+            );
+            if measured > allowed {
+                failures.push(format!(
+                    "width {width}%: {name} {measured:.0} exceeds allowed {allowed:.0} \
+                     (baseline {base:.0}, machine scale {machine_scale:.2})",
+                    width = row.width_pct
+                ));
+            }
+        }
+    }
+    failures
+}
+
 fn main() {
     let opts = parse_opts();
     let cfg = CnnConfig::default();
     let (c, h, w) = cfg.input;
-    let x = Tensor::full(&[1, c, h, w], 0.1);
+    let x1 = Tensor::full(&[1, c, h, w], 0.1);
+    let xt = Tensor::full(&[TRAIN_BATCH, c, h, w], 0.1);
+    let labels: Vec<usize> = (0..TRAIN_BATCH).map(|i| i % cfg.classes).collect();
 
     let mut rows = Vec::new();
-    println!("nn/forward, default CnnConfig, batch 1");
     println!(
-        "{:>8} {:>16} {:>16} {:>9}",
-        "width", "reference", "gemm", "speedup"
+        "nn, default CnnConfig: forward batch 1, training step batch {}",
+        TRAIN_BATCH
+    );
+    println!(
+        "{:>8} {:>16} {:>16} {:>9} {:>16}",
+        "width", "reference", "gemm", "speedup", "train_step"
     );
     for g in 1..=cfg.groups {
         let mut rng = StdRng::seed_from_u64(1);
@@ -93,35 +268,78 @@ fn main() {
         net.set_active_groups(g).expect("valid width");
 
         net.set_backend(Backend::Reference);
-        let reference_ns = forward_ns(&opts, &mut net, &x);
+        let reference_ns = forward_ns(&opts, &mut net, &x1);
         net.set_backend(Backend::Gemm);
-        let gemm_ns = forward_ns(&opts, &mut net, &x);
+        let gemm_ns = forward_ns(&opts, &mut net, &x1);
+        // A fresh net for training so the timed steps don't inherit the
+        // forward-bench weights; full trainable range, width g.
+        let mut train_net = build_group_cnn(cfg, &mut StdRng::seed_from_u64(2)).expect("arch");
+        train_net.set_active_groups(g).expect("valid width");
+        let step_ns = train_step_ns(&opts, &mut train_net, &xt, &labels);
 
         let pct = g * 100 / cfg.groups;
         let speedup = reference_ns / gemm_ns;
         println!(
-            "{:>7}% {:>13.0} ns {:>13.0} ns {:>8.2}x",
-            pct, reference_ns, gemm_ns, speedup
+            "{:>7}% {:>13.0} ns {:>13.0} ns {:>8.2}x {:>13.0} ns",
+            pct, reference_ns, gemm_ns, speedup, step_ns
         );
-        rows.push(format!(
-            concat!(
-                "    {{\"active_groups\": {}, \"width_pct\": {}, ",
-                "\"reference_ns\": {:.0}, \"gemm_ns\": {:.0}, ",
-                "\"speedup\": {:.3}}}"
-            ),
-            g, pct, reference_ns, gemm_ns, speedup
-        ));
+        rows.push(WidthRow {
+            active_groups: g,
+            width_pct: pct,
+            reference_ns,
+            gemm_ns,
+            train_step_ns: step_ns,
+        });
     }
 
+    let rtm_ns = rtm_allocate_ns(&opts);
+    println!("rtm/allocate (3 apps, flagship): {rtm_ns:.0} ns");
+
+    let width_rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                concat!(
+                    "    {{\"active_groups\": {}, \"width_pct\": {}, ",
+                    "\"reference_ns\": {:.0}, \"gemm_ns\": {:.0}, ",
+                    "\"speedup\": {:.3}, \"train_step_ns\": {:.0}}}"
+                ),
+                r.active_groups,
+                r.width_pct,
+                r.reference_ns,
+                r.gemm_ns,
+                r.reference_ns / r.gemm_ns,
+                r.train_step_ns
+            )
+        })
+        .collect();
     let json = format!(
         "{{\n  \"bench\": \"nn/forward\",\n  \"config\": {{\"input\": [{c}, {h}, {w}], \
          \"classes\": {}, \"groups\": {}, \"base_width\": {}}},\n  \"batch\": 1,\n  \
-         \"unit\": \"ns/forward\",\n  \"widths\": [\n{}\n  ]\n}}\n",
+         \"train_batch\": {TRAIN_BATCH},\n  \"unit\": \"ns\",\n  \"widths\": [\n{}\n  ],\n  \
+         \"rtm_allocate_ns\": {rtm_ns:.0}\n}}\n",
         cfg.classes,
         cfg.groups,
         cfg.base_width,
-        rows.join(",\n")
+        width_rows.join(",\n")
     );
     std::fs::write(&opts.out, json).expect("write BENCH_nn.json");
     println!("wrote {}", opts.out);
+
+    if let Some(baseline_path) = &opts.check {
+        let baseline = std::fs::read_to_string(baseline_path)
+            .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
+        let failures = check_regressions(&rows, &baseline);
+        if !failures.is_empty() {
+            eprintln!("\nperf regression detected:");
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+            std::process::exit(1);
+        }
+        println!(
+            "perf check passed (thresholds: gemm {MAX_REGRESSION}x, \
+             train {MAX_TRAIN_REGRESSION}x)"
+        );
+    }
 }

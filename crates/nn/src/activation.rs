@@ -27,10 +27,26 @@ impl Layer for Relu {
     }
 
     fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
+        let mut out = input.clone();
         if train {
-            self.mask = Some(input.data().iter().map(|&x| x > 0.0).collect());
+            // One fused pass computes output and mask together; the
+            // mask buffer is reused across steps (no per-call alloc).
+            let mask = self.mask.get_or_insert_with(Vec::new);
+            mask.clear();
+            mask.resize(out.len(), false);
+            for (v, m) in out.data_mut().iter_mut().zip(mask.iter_mut()) {
+                if *v > 0.0 {
+                    *m = true;
+                } else {
+                    *v = 0.0;
+                }
+            }
+        } else {
+            for v in out.data_mut() {
+                *v = v.max(0.0);
+            }
         }
-        Ok(input.map(|x| x.max(0.0)))
+        Ok(out)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {

@@ -20,15 +20,27 @@
 //! kernel with a reusable scratch arena, parallelising over the batch;
 //! [`Backend::Reference`] is the original nested loop, retained as the
 //! correctness oracle for the equivalence property tests.
+//!
+//! The GEMM path keeps per-call overhead off the hot loop three ways:
+//! weight panels are packed once per weight version and cached
+//! ([`Conv2d`]`::packed_w`, invalidated on any parameter update, width
+//! switch or backend change), the input lowering writes the kernel's
+//! packed layout directly ([`crate::im2col::im2col_packed`]), and the
+//! bias add is fused into the GEMM epilogue. The backward pass shards
+//! weight-gradient accumulation per worker band (transposed shards, so
+//! the products need no strided packing) and reduces the shards after
+//! the parallel scope.
 
 use std::ops::Range;
 
 use rand::Rng;
 
 use crate::error::{NnError, Result};
-use crate::gemm::{gemm, Backend, MatRef};
-use crate::im2col::{col2im_add, im2col, ConvGeom};
-use crate::layer::{sgd_update, Layer, LayerCost};
+use crate::gemm::{
+    gemm_with, packed_b_len, Backend, Epilogue, Lhs, MatRef, PackedA, PackedARef, PackedBRef, Rhs,
+};
+use crate::im2col::{col2im_add, im2col_packed, im2col_packed_lhs, ConvGeom};
+use crate::layer::{sgd_update_span, Layer, LayerCost};
 use crate::tensor::Tensor;
 use crate::workers;
 
@@ -125,6 +137,13 @@ pub struct Conv2d {
     cache: Option<Tensor>,
     backend: Backend,
     scratch: Scratch,
+    /// Weight panels pre-packed for the forward GEMM, one per executed
+    /// group at the current width; `None` until the first forward and
+    /// after every invalidation (see [`Conv2d::invalidate_packed`]).
+    packed_w: Option<Vec<PackedA>>,
+    /// `Wᵀ` panels for the backward input-gradient GEMM, cached and
+    /// invalidated exactly like [`Conv2d::packed_w`].
+    packed_wt: Option<Vec<PackedA>>,
 }
 
 /// Reusable per-layer buffers for the GEMM backend; they only grow, so
@@ -134,19 +153,24 @@ pub struct Conv2d {
 /// machine's parallelism, not the batch size.
 #[derive(Default)]
 struct Scratch {
-    /// im2col matrices, one slot per worker band.
+    /// Packed im2col matrices (forward), one slot per worker band.
     col: Vec<f32>,
-    /// Gradient column matrices, one slot per worker band.
+    /// Column matrices (backward: im2col then gradient columns), one
+    /// slot per worker band.
     dcol: Vec<f32>,
+    /// Transposed weight-gradient shards, one per worker band; reduced
+    /// into the gradient buffer after the parallel scope.
+    gw_shards: Vec<f32>,
 }
 
 impl std::fmt::Debug for Scratch {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "Scratch(col: {}, dcol: {})",
+            "Scratch(col: {}, dcol: {}, gw_shards: {})",
             self.col.len(),
-            self.dcol.len()
+            self.dcol.len(),
+            self.gw_shards.len()
         )
     }
 }
@@ -180,7 +204,17 @@ impl Conv2d {
             cache: None,
             backend: Backend::default(),
             scratch: Scratch::default(),
+            packed_w: None,
+            packed_wt: None,
         })
+    }
+
+    /// Drops the cached packed weight panels. Must be called whenever
+    /// the weights, the active width or the backend change; the next
+    /// GEMM forward re-packs lazily.
+    fn invalidate_packed(&mut self) {
+        self.packed_w = None;
+        self.packed_wt = None;
     }
 
     /// The currently selected compute backend (see
@@ -298,8 +332,11 @@ impl Conv2d {
     }
 
     /// GEMM-backend forward: per sample and group,
-    /// `Out_g = W_g · im2col(x_g)`, batch-parallel when the work pays
-    /// for it.
+    /// `Out_g = W_g · im2col(x_g) + b_g`, batch-parallel when the work
+    /// pays for it. The weight operand comes pre-packed from the
+    /// per-layer cache, the lowering writes the kernel's packed layout
+    /// directly, and the bias add rides the GEMM epilogue — the hot
+    /// loop packs nothing.
     fn forward_gemm(&mut self, input: &Tensor, out: &mut Tensor) {
         let (n, c_in, h, w) = {
             let s = input.shape();
@@ -312,11 +349,28 @@ impl Conv2d {
         let (groups_exec, opg) = self.exec_groups();
         let kdim = self.icg_count() * self.cfg.kernel * self.cfg.kernel;
         let ohw = oh * ow;
-        let col_slot = kdim * ohw;
+        let col_slot = packed_b_len(kdim, ohw);
         let sample_in = c_in * h * w;
         let sample_out = c_out * ohw;
         let per_sample_macs = groups_exec * opg * ohw * kdim;
         let batch_par = n > 1 && n * per_sample_macs >= crate::gemm::PAR_MIN_WORK;
+
+        // Pack the active weight panels once per weight version.
+        if self.packed_w.is_none() {
+            let weights = &self.w;
+            self.packed_w = Some(
+                (0..groups_exec)
+                    .map(|g| {
+                        PackedA::pack(
+                            MatRef::new(&weights[g * opg * kdim..][..opg * kdim], kdim),
+                            opg,
+                            kdim,
+                        )
+                    })
+                    .collect(),
+            );
+        }
+        let packed_w = self.packed_w.as_ref().expect("packed above");
 
         // One column-matrix slot per band (bounded by the worker count,
         // not the batch size); each band reuses its slot across samples.
@@ -327,7 +381,7 @@ impl Conv2d {
         let geoms: Vec<ConvGeom> = (0..groups_exec)
             .map(|g| self.geom(g, h, w, oh, ow))
             .collect();
-        let (weights, bias) = (&self.w, &self.b);
+        let bias = &self.b;
         let x = input.data();
         workers::for_each_band(
             out.data_mut(),
@@ -335,41 +389,45 @@ impl Conv2d {
             sample_out,
             &mut self.scratch.col,
             col_slot,
+            &mut [],
+            0,
             batch_par,
-            |n0, out_band, col| {
+            |n0, out_band, col, _| {
                 for (bi, out_s) in out_band.chunks_mut(sample_out).enumerate() {
                     let x_s = &x[(n0 + bi) * sample_in..][..sample_in];
                     for (g, geom) in geoms.iter().enumerate() {
-                        im2col(x_s, geom, col);
-                        gemm(
+                        im2col_packed(x_s, geom, col);
+                        gemm_with(
                             opg,
                             ohw,
                             kdim,
-                            MatRef::new(&weights[g * opg * kdim..][..opg * kdim], kdim),
-                            MatRef::new(col, ohw),
+                            Lhs::Packed(packed_w[g].as_ref()),
+                            Rhs::Packed(PackedBRef::new(&col[..col_slot], kdim, ohw)),
                             0.0,
                             &mut out_s[g * opg * ohw..][..opg * ohw],
                             ohw,
                             !batch_par,
+                            Epilogue::bias_row(&bias[g * opg..][..opg]),
                         );
-                    }
-                    for (oc, row) in out_s.chunks_mut(ohw).enumerate() {
-                        let b = bias[oc];
-                        for v in row {
-                            *v += b;
-                        }
                     }
                 }
             },
         );
     }
 
-    /// GEMM-backend backward: bias sums, then batch-parallel
-    /// `grad_in = col2im(W_gᵀ · dOut_g)`, then serial weight-gradient
-    /// accumulation `gW_g += dOut_g · im2col(x)ᵀ` (serial because every
-    /// sample adds into the same gradient buffer; the GEMM itself still
-    /// splits across workers).
-    fn backward_gemm(&mut self, grad_out: &Tensor, grad_in: &mut Tensor) {
+    /// GEMM-backend backward, one batch-parallel pass: per sample and
+    /// group, the weight gradient accumulates **transposed** into the
+    /// band's private shard (`gWᵀ_g += im2col(x) · dOut_gᵀ` — the
+    /// transposed form keeps both operands sequentially packable) and,
+    /// when `grad_in` is wanted, the input gradient scatters back
+    /// through `grad_in = col2im(W_gᵀ · dOut_g)` with a pre-packed
+    /// `Wᵀ`. The shards are reduced (and transposed) into the gradient
+    /// buffer after the scope; bias gradients are summed up front.
+    ///
+    /// `grad_in = None` is the first-layer fast path
+    /// ([`Layer::backward_params`]): the input-gradient GEMM and the
+    /// adjoint scatter are skipped entirely.
+    fn backward_gemm(&mut self, grad_out: &Tensor, grad_in: Option<&mut Tensor>) {
         let input = self.cache.as_ref().expect("checked by backward");
         let (n, c_in, h, w) = {
             let s = input.shape();
@@ -382,7 +440,12 @@ impl Conv2d {
         let (groups_exec, opg) = self.exec_groups();
         let kdim = self.icg_count() * self.cfg.kernel * self.cfg.kernel;
         let ohw = oh * ow;
-        let col_slot = kdim * ohw;
+        // The band buffer first holds the packed-A column matrix for
+        // the weight-gradient product, then is overwritten with the
+        // plain gradient columns for the adjoint scatter; the packed
+        // length (rows padded to MR) also covers the plain kdim×ohw
+        // layout.
+        let col_slot = crate::gemm::packed_a_len(kdim, ohw);
         let sample_in = c_in * h * w;
         let sample_out = c_out * ohw;
         let go = grad_out.data();
@@ -394,65 +457,123 @@ impl Conv2d {
             }
         }
 
+        // Wᵀ panels for the input-gradient products, packed once per
+        // weight version (cache invalidated with `packed_w`) and shared
+        // by every band (not needed on the first-layer fast path).
+        let compute_gi = grad_in.is_some();
+        if compute_gi && self.packed_wt.is_none() {
+            let weights = &self.w;
+            self.packed_wt = Some(
+                (0..groups_exec)
+                    .map(|g| {
+                        PackedA::pack(
+                            MatRef::t(&weights[g * opg * kdim..][..opg * kdim], kdim),
+                            kdim,
+                            opg,
+                        )
+                    })
+                    .collect(),
+            );
+        }
+        let packed_wt: &[PackedA] = self.packed_wt.as_deref().unwrap_or(&[]);
+
         let geoms: Vec<ConvGeom> = (0..groups_exec)
             .map(|g| self.geom(g, h, w, oh, ow))
             .collect();
         let per_sample_macs = groups_exec * opg * ohw * kdim;
         let batch_par = n > 1 && n * per_sample_macs >= crate::gemm::PAR_MIN_WORK;
         let bands = workers::band_count(n, batch_par);
-        self.scratch
-            .dcol
-            .resize((bands * col_slot).max(self.scratch.dcol.len()), 0.0);
-        let weights = &self.w;
+        let shard_len = groups_exec * kdim * opg;
+        let Scratch {
+            dcol, gw_shards, ..
+        } = &mut self.scratch;
+        dcol.resize((bands * col_slot).max(dcol.len()), 0.0);
+        gw_shards.resize((bands * shard_len).max(gw_shards.len()), 0.0);
+        // Shards accumulate across the band's samples: start from zero.
+        gw_shards[..bands * shard_len].fill(0.0);
+        let x = input.data();
+        // Without an input gradient the band pass still needs a slice
+        // to split the batch over; one element per sample stands in.
+        let mut dummy: Vec<f32>;
+        let (band_data, item_len): (&mut [f32], usize) = match grad_in {
+            Some(gi) => (gi.data_mut(), sample_in),
+            None => {
+                dummy = vec![0.0; n];
+                (&mut dummy, 1)
+            }
+        };
         workers::for_each_band(
-            grad_in.data_mut(),
+            band_data,
             n,
-            sample_in,
-            &mut self.scratch.dcol,
+            item_len,
+            dcol,
             col_slot,
+            gw_shards,
+            shard_len,
             batch_par,
-            |n0, gi_band, dcol| {
-                for (bi, gi_s) in gi_band.chunks_mut(sample_in).enumerate() {
+            |n0, gi_band, colbuf, shard| {
+                for (bi, gi_s) in gi_band.chunks_mut(item_len).enumerate() {
+                    let x_s = &x[(n0 + bi) * sample_in..][..sample_in];
                     let go_s = &go[(n0 + bi) * sample_out..][..sample_out];
                     for (g, geom) in geoms.iter().enumerate() {
-                        gemm(
+                        let go_g = &go_s[g * opg * ohw..][..opg * ohw];
+                        // Weight gradient, transposed: shard_g has one
+                        // row per kdim entry, one column per channel.
+                        // The lowering writes packed-A layout directly,
+                        // so the product packs nothing for its left
+                        // operand.
+                        im2col_packed_lhs(x_s, geom, colbuf);
+                        gemm_with(
                             kdim,
-                            ohw,
                             opg,
-                            MatRef::t(&weights[g * opg * kdim..][..opg * kdim], kdim),
-                            MatRef::new(&go_s[g * opg * ohw..][..opg * ohw], ohw),
-                            0.0,
-                            dcol,
                             ohw,
+                            Lhs::Packed(PackedARef::new(&colbuf[..col_slot], kdim, ohw)),
+                            Rhs::Mat(MatRef::t(go_g, ohw)),
+                            1.0,
+                            &mut shard[g * kdim * opg..][..kdim * opg],
+                            opg,
+                            // The shard is band-private, so when the
+                            // batch itself is not split the product may
+                            // still fan out over its rows.
                             !batch_par,
+                            Epilogue::none(),
                         );
-                        col2im_add(dcol, geom, gi_s);
+                        if compute_gi {
+                            // Input gradient: dcol = Wᵀ·dOut, reusing
+                            // the column buffer, then the adjoint
+                            // scatter.
+                            gemm_with(
+                                kdim,
+                                ohw,
+                                opg,
+                                Lhs::Packed(packed_wt[g].as_ref()),
+                                Rhs::Mat(MatRef::new(go_g, ohw)),
+                                0.0,
+                                colbuf,
+                                ohw,
+                                !batch_par,
+                                Epilogue::none(),
+                            );
+                            col2im_add(colbuf, geom, gi_s);
+                        }
                     }
                 }
             },
         );
 
-        self.scratch
-            .col
-            .resize(col_slot.max(self.scratch.col.len()), 0.0);
-        let (col, gw) = (&mut self.scratch.col, &mut self.gw);
-        let x = input.data();
-        for ni in 0..n {
-            let x_s = &x[ni * sample_in..][..sample_in];
-            let go_s = &go[ni * sample_out..][..sample_out];
-            for (g, geom) in geoms.iter().enumerate() {
-                im2col(x_s, geom, &mut col[..col_slot]);
-                gemm(
-                    opg,
-                    kdim,
-                    ohw,
-                    MatRef::new(&go_s[g * opg * ohw..][..opg * ohw], ohw),
-                    MatRef::t(&col[..col_slot], ohw),
-                    1.0,
-                    &mut gw[g * opg * kdim..][..opg * kdim],
-                    kdim,
-                    true,
-                );
+        // Reduce the transposed shards into the gradient buffer, band
+        // by band (deterministic order).
+        let gw = &mut self.gw;
+        for band in 0..bands {
+            let shard = &gw_shards[band * shard_len..][..shard_len];
+            for g in 0..groups_exec {
+                let shard_g = &shard[g * kdim * opg..][..kdim * opg];
+                for r in 0..opg {
+                    let grow = &mut gw[(g * opg + r) * kdim..][..kdim];
+                    for (j, gv) in grow.iter_mut().enumerate() {
+                        *gv += shard_g[j * opg + r];
+                    }
+                }
             }
         }
     }
@@ -499,24 +620,56 @@ impl Layer for Conv2d {
         let mut grad_in = Tensor::zeros(&in_shape);
         match self.backend {
             Backend::Reference => self.backward_reference(grad_out, &mut grad_in),
-            Backend::Gemm => self.backward_gemm(grad_out, &mut grad_in),
+            Backend::Gemm => self.backward_gemm(grad_out, Some(&mut grad_in)),
         }
         Ok(grad_in)
     }
 
+    fn backward_params(&mut self, grad_out: &Tensor) -> Result<()> {
+        if self.backend == Backend::Reference {
+            // The oracle loop computes everything at once; keep it
+            // untouched and drop the input gradient.
+            return self.backward(grad_out).map(|_| ());
+        }
+        let input = self.cache.as_ref().ok_or_else(|| NnError::InvalidConfig {
+            reason: format!("conv `{}`: backward before training forward", self.name),
+        })?;
+        let in_shape = input.shape().to_vec();
+        let (n, h, w) = (in_shape[0], in_shape[2], in_shape[3]);
+        let (oh, ow) = self.out_hw(h, w)?;
+        let c_out = self.active_out_channels();
+        grad_out.expect_shape(&[n, c_out, oh, ow], "conv backward")?;
+        self.backward_gemm(grad_out, None);
+        Ok(())
+    }
+
     fn sgd_step(&mut self, lr: f32, momentum: f32) {
+        // A channel trains iff its group is both active and trainable;
+        // with `trainable` contiguous that is one output-channel span,
+        // so the update runs slice-wise (no per-weight predicate).
         let out_per_group = self.out_per_group();
         let weights_per_oc = self.in_per_group() * self.cfg.kernel * self.cfg.kernel;
-        let trainable = self.trainable.clone();
-        let active = self.active;
-        let frozen_oc = |oc: usize| {
-            let g = oc / out_per_group;
-            g >= active || !trainable.contains(&g)
-        };
-        sgd_update(&mut self.w, &self.gw, &mut self.vw, lr, momentum, |wi| {
-            frozen_oc(wi / weights_per_oc)
-        });
-        sgd_update(&mut self.b, &self.gb, &mut self.vb, lr, momentum, frozen_oc);
+        let g_lo = self.trainable.start.min(self.active);
+        let g_hi = self.trainable.end.min(self.active);
+        let (oc_lo, oc_hi) = (g_lo * out_per_group, g_hi.max(g_lo) * out_per_group);
+        sgd_update_span(
+            &mut self.w,
+            &self.gw,
+            &mut self.vw,
+            lr,
+            momentum,
+            oc_lo * weights_per_oc..oc_hi * weights_per_oc,
+        );
+        sgd_update_span(
+            &mut self.b,
+            &self.gb,
+            &mut self.vb,
+            lr,
+            momentum,
+            oc_lo..oc_hi,
+        );
+        // The packed panels now describe stale weights.
+        self.invalidate_packed();
     }
 
     fn zero_grads(&mut self) {
@@ -534,8 +687,10 @@ impl Layer for Conv2d {
             });
         }
         self.active = active;
-        // A cached activation from a different width must not be reused.
+        // A cached activation from a different width must not be
+        // reused, and the packed panels cover the wrong group set.
         self.cache = None;
+        self.invalidate_packed();
         Ok(())
     }
 
@@ -545,6 +700,8 @@ impl Layer for Conv2d {
 
     fn set_backend(&mut self, backend: Backend) {
         self.backend = backend;
+        // Also frees the panel memory when leaving the GEMM backend.
+        self.invalidate_packed();
     }
 
     fn cost(&self, in_shape: &[usize]) -> Result<LayerCost> {
@@ -574,6 +731,7 @@ impl Layer for Conv2d {
     fn quantize_weights(&mut self, bits: u32) {
         crate::quant::quantize_slice(&mut self.w, bits);
         crate::quant::quantize_slice(&mut self.b, bits);
+        self.invalidate_packed();
     }
 }
 
@@ -848,14 +1006,18 @@ mod tests {
         let gx = c.backward(&grad_out).unwrap();
 
         let eps = 1e-3_f32;
-        // Check a sample of weight gradients.
+        // Check a sample of weight gradients. Direct weight pokes
+        // bypass the layer API, so drop the packed panels by hand.
         for &wi in &[0usize, 5, 17, 23] {
             let orig = c.w[wi];
             c.w[wi] = orig + eps;
+            c.invalidate_packed();
             let lp = c.forward(&x, false).unwrap().sum();
             c.w[wi] = orig - eps;
+            c.invalidate_packed();
             let lm = c.forward(&x, false).unwrap().sum();
             c.w[wi] = orig;
+            c.invalidate_packed();
             let numeric = (lp - lm) / (2.0 * eps);
             assert!(
                 (numeric - c.gw[wi]).abs() < 2e-2,
@@ -917,6 +1079,104 @@ mod tests {
         {
             assert_eq!(now, was, "inactive group weight {wi}");
         }
+    }
+
+    /// The sharded parallel backward (per-band transposed gradient
+    /// shards, reduced after the scope) must agree with the reference
+    /// loops whatever the band count. The machine's real worker count
+    /// is irrelevant here: the test pins it, so multi-band splitting
+    /// and the shard reduction run even on a single-core host.
+    #[test]
+    fn sharded_backward_matches_reference_across_band_counts() {
+        // Large enough that `batch_par` passes the work threshold:
+        // 16·196·72 MACs/sample × batch 10 ≈ 2.8M ≥ 2^21.
+        let cfg = Conv2dConfig {
+            in_channels: 8,
+            out_channels: 16,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+            conv_groups: 1,
+            prune_groups: 2,
+        };
+        let x = Tensor::random(&[10, 8, 14, 14], &mut rng());
+        let mut reference = Conv2d::new("c", cfg, &mut rng()).unwrap();
+        reference.set_backend(Backend::Reference);
+        let y = reference.forward(&x, true).unwrap();
+        let go = Tensor::random(y.shape(), &mut rng());
+        let gx_ref = reference.backward(&go).unwrap();
+
+        for bands in [1usize, 2, 3, 8] {
+            crate::workers::FORCE_WORKERS.with(|f| f.set(Some(bands)));
+            let mut gemm = Conv2d::new("c", cfg, &mut rng()).unwrap();
+            let _ = gemm.forward(&x, true).unwrap();
+            let gx = gemm.backward(&go).unwrap();
+            crate::workers::FORCE_WORKERS.with(|f| f.set(None));
+            for (i, (&a, &b)) in gx_ref.data().iter().zip(gx.data()).enumerate() {
+                assert!(
+                    (a - b).abs() < 1e-4,
+                    "bands {bands}: grad_in[{i}] {a} vs {b}"
+                );
+            }
+            for (i, (&a, &b)) in reference.gw.iter().zip(&gemm.gw).enumerate() {
+                assert!((a - b).abs() < 1e-3, "bands {bands}: gw[{i}] {a} vs {b}");
+            }
+            for (i, (&a, &b)) in reference.gb.iter().zip(&gemm.gb).enumerate() {
+                assert!((a - b).abs() < 1e-3, "bands {bands}: gb[{i}] {a} vs {b}");
+            }
+        }
+    }
+
+    /// `backward_params` (the first-layer fast path) must accumulate
+    /// exactly the same parameter gradients as full `backward`.
+    #[test]
+    fn backward_params_matches_full_backward_gradients() {
+        let cfg = dense_cfg();
+        let x = Tensor::random(&[3, 3, 8, 8], &mut rng());
+        let mut full = Conv2d::new("c", cfg, &mut rng()).unwrap();
+        let y = full.forward(&x, true).unwrap();
+        let go = Tensor::random(y.shape(), &mut rng());
+        let _ = full.backward(&go).unwrap();
+
+        let mut fast = Conv2d::new("c", cfg, &mut rng()).unwrap();
+        let _ = fast.forward(&x, true).unwrap();
+        fast.backward_params(&go).unwrap();
+        assert_eq!(full.gw, fast.gw, "weight gradients must be identical");
+        assert_eq!(full.gb, fast.gb, "bias gradients must be identical");
+    }
+
+    /// Every public mutation of the weights or the execution geometry
+    /// must drop the packed-panel cache: after each one, the GEMM
+    /// forward has to agree with a reference forward of the same layer.
+    #[test]
+    fn packed_weight_cache_tracks_every_mutation() {
+        let mut c = Conv2d::new("c", grouped_cfg(), &mut rng()).unwrap();
+        let x_full = Tensor::random(&[2, 8, 6, 6], &mut rng());
+        let check = |c: &mut Conv2d, x: &Tensor, what: &str| {
+            let y_gemm = c.forward(x, false).unwrap();
+            c.set_backend(Backend::Reference);
+            let y_ref = c.forward(x, false).unwrap();
+            c.set_backend(Backend::Gemm);
+            for (i, (&a, &b)) in y_gemm.data().iter().zip(y_ref.data()).enumerate() {
+                assert!(
+                    (a - b).abs() < 1e-5,
+                    "{what}[{i}]: gemm {a} vs reference {b}"
+                );
+            }
+        };
+        check(&mut c, &x_full, "initial");
+        // Weight update through the training API.
+        let y = c.forward(&x_full, true).unwrap();
+        c.backward(&Tensor::full(y.shape(), 0.5)).unwrap();
+        c.sgd_step(0.1, 0.0);
+        check(&mut c, &x_full, "after sgd_step");
+        // Width switch repacks the group panels.
+        c.set_active_groups(2).unwrap();
+        let x_half = Tensor::random(&[2, 4, 6, 6], &mut rng());
+        check(&mut c, &x_half, "after width switch");
+        // Quantisation rewrites the weights in place.
+        c.quantize_weights(6);
+        check(&mut c, &x_half, "after quantisation");
     }
 
     #[test]

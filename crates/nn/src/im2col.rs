@@ -29,6 +29,12 @@
 //! margins are zero-filled, and the in-image span is a `memcpy` for
 //! stride 1 (the common case) or a short strided loop otherwise — no
 //! per-element bounds branching.
+//!
+//! [`im2col_packed`] writes the same matrix **directly in the GEMM
+//! kernel's packed-B panel layout** (NR-wide column strips per K-slice,
+//! see [`crate::gemm::PackedB`]), so the convolution hot path skips the
+//! kernel's separate pack pass entirely: lowering and packing become
+//! one write over the data.
 
 /// Geometry of one conv lowering (per sample, per group).
 #[derive(Debug, Clone, Copy)]
@@ -129,6 +135,210 @@ pub fn im2col(x: &[f32], g: &ConvGeom, col: &mut [f32]) {
                 }
             }
         }
+    }
+}
+
+/// The destination of one packed row: resolves column index `j` of
+/// logical row `p` to positions inside the packed-B buffer. Columns of
+/// a row sit NR apart in memory strips; walking `j` therefore jumps by
+/// `strip_stride` every NR columns.
+#[derive(Clone, Copy)]
+struct PackedRow {
+    /// Offset of column 0 of this row (strip 0).
+    base: usize,
+    /// Elements between consecutive strips of this row's K-slice.
+    strip_stride: usize,
+}
+
+impl PackedRow {
+    fn new(p: usize, k_rows: usize, n_pad: usize) -> Self {
+        use crate::gemm::{KC, NR};
+        let slice = p / KC;
+        let kc = KC.min(k_rows - slice * KC);
+        Self {
+            base: n_pad * slice * KC + (p % KC) * NR,
+            strip_stride: kc * NR,
+        }
+    }
+
+    /// Zero-fills columns `[j0, j1)`.
+    fn fill_zero(&self, pb: &mut [f32], mut j0: usize, j1: usize) {
+        use crate::gemm::NR;
+        while j0 < j1 {
+            let off = j0 % NR;
+            let take = (NR - off).min(j1 - j0);
+            let at = self.base + (j0 / NR) * self.strip_stride + off;
+            pb[at..at + take].fill(0.0);
+            j0 += take;
+        }
+    }
+
+    /// Writes `src[0], src[stride], …` into columns `[j0, j0 + len)`.
+    fn copy_strided(&self, pb: &mut [f32], mut j0: usize, len: usize, src: &[f32], stride: usize) {
+        use crate::gemm::NR;
+        let j1 = j0 + len;
+        let mut i = 0;
+        while j0 < j1 {
+            let off = j0 % NR;
+            let take = (NR - off).min(j1 - j0);
+            let at = self.base + (j0 / NR) * self.strip_stride + off;
+            if stride == 1 {
+                pb[at..at + take].copy_from_slice(&src[i..i + take]);
+            } else {
+                for (t, d) in pb[at..at + take].iter_mut().enumerate() {
+                    *d = src[(i + t) * stride];
+                }
+            }
+            i += take;
+            j0 += take;
+        }
+    }
+}
+
+/// [`im2col`], but writing straight into the GEMM kernel's packed-B
+/// panel layout: `pb` must hold at least
+/// [`crate::gemm::packed_b_len`]`(g.rows(), g.cols())` elements and is
+/// fully overwritten (including the zero padding), so it can be reused
+/// across samples without clearing. Wrap the result in
+/// [`crate::gemm::PackedBRef::new`] and multiply with
+/// [`crate::gemm::gemm_with`].
+pub fn im2col_packed(x: &[f32], g: &ConvGeom, pb: &mut [f32]) {
+    use crate::gemm::{packed_b_len, NR};
+    let (k, s, ow) = (g.k, g.stride, g.ow);
+    let plane = g.h * g.w;
+    let n = g.cols();
+    let k_rows = g.rows();
+    let n_pad = n.div_ceil(NR) * NR;
+    debug_assert!(pb.len() >= packed_b_len(k_rows, n));
+    for icg in 0..g.channels {
+        let xc = &x[(g.ch_base + icg) * plane..][..plane];
+        for ky in 0..k {
+            for kx in 0..k {
+                let p = (icg * k + ky) * k + kx;
+                let row = PackedRow::new(p, k_rows, n_pad);
+                let (lo, hi) = g.ox_range(kx);
+                for oy in 0..g.oh {
+                    let j0 = oy * ow;
+                    match g.iy(oy, ky) {
+                        None => row.fill_zero(pb, j0, j0 + ow),
+                        Some(iy) => {
+                            row.fill_zero(pb, j0, j0 + lo);
+                            row.fill_zero(pb, j0 + hi, j0 + ow);
+                            if lo < hi {
+                                let ix0 = lo * s + kx - g.padding;
+                                let src = &xc[iy * g.w + ix0..];
+                                row.copy_strided(pb, j0 + lo, hi - lo, src, s);
+                            }
+                        }
+                    }
+                }
+                // Padding columns n..n_pad must be zero, matching what
+                // the kernel's own pack step would have produced.
+                row.fill_zero(pb, n, n_pad);
+            }
+        }
+    }
+}
+
+/// The destination of one row of the column matrix in **packed-A**
+/// layout (MR-tall row strips per K-slice, see
+/// [`crate::gemm::PackedA`]): the backward pass multiplies
+/// `im2col(x) · dOutᵀ`, where the column matrix is the *left* operand,
+/// so its rows interleave MR-wise instead of its columns.
+#[derive(Clone, Copy)]
+struct PackedLhsRow {
+    /// `i / MR` — which MR-tall strip holds this row.
+    strip: usize,
+    /// `i % MR` — lane within the strip.
+    lane: usize,
+    /// Rows of the logical matrix, padded to a multiple of MR.
+    m_pad: usize,
+    /// Total K extent (columns of the logical matrix).
+    total_k: usize,
+}
+
+impl PackedLhsRow {
+    fn new(i: usize, m: usize, total_k: usize) -> Self {
+        use crate::gemm::MR;
+        Self {
+            strip: i / MR,
+            lane: i % MR,
+            m_pad: m.div_ceil(MR) * MR,
+            total_k,
+        }
+    }
+
+    /// Runs `write(addr, idx)` for every column `j0 + idx` in
+    /// `[j0, j1)`, resolving the packed address slice by slice.
+    #[inline]
+    fn for_each(&self, mut j: usize, j1: usize, mut write: impl FnMut(usize, usize)) {
+        use crate::gemm::{KC, MR};
+        let j0 = j;
+        while j < j1 {
+            let slice = j / KC;
+            let kc = KC.min(self.total_k - slice * KC);
+            let slice_end = (slice * KC + kc).min(j1);
+            let mut addr =
+                self.m_pad * slice * KC + self.strip * kc * MR + (j % KC) * MR + self.lane;
+            while j < slice_end {
+                write(addr, j - j0);
+                addr += MR;
+                j += 1;
+            }
+        }
+    }
+
+    fn fill_zero(&self, pa: &mut [f32], j0: usize, j1: usize) {
+        self.for_each(j0, j1, |addr, _| pa[addr] = 0.0);
+    }
+
+    fn copy_strided(&self, pa: &mut [f32], j0: usize, len: usize, src: &[f32], stride: usize) {
+        self.for_each(j0, j0 + len, |addr, idx| pa[addr] = src[idx * stride]);
+    }
+}
+
+/// [`im2col`], but writing straight into the GEMM kernel's packed-A
+/// layout, for products where the column matrix is the *left* operand
+/// (`gWᵀ = im2col(x) · dOutᵀ` in the convolution backward pass). `pa`
+/// must hold at least [`crate::gemm::packed_a_len`]`(g.rows(),
+/// g.cols())` elements and is fully overwritten, padding included.
+/// Wrap the result in [`crate::gemm::PackedARef::new`].
+pub fn im2col_packed_lhs(x: &[f32], g: &ConvGeom, pa: &mut [f32]) {
+    use crate::gemm::{packed_a_len, MR};
+    let (k, s, ow) = (g.k, g.stride, g.ow);
+    let plane = g.h * g.w;
+    let n = g.cols();
+    let m = g.rows();
+    debug_assert!(pa.len() >= packed_a_len(m, n));
+    for icg in 0..g.channels {
+        let xc = &x[(g.ch_base + icg) * plane..][..plane];
+        for ky in 0..k {
+            for kx in 0..k {
+                let i = (icg * k + ky) * k + kx;
+                let row = PackedLhsRow::new(i, m, n);
+                let (lo, hi) = g.ox_range(kx);
+                for oy in 0..g.oh {
+                    let j0 = oy * ow;
+                    match g.iy(oy, ky) {
+                        None => row.fill_zero(pa, j0, j0 + ow),
+                        Some(iy) => {
+                            row.fill_zero(pa, j0, j0 + lo);
+                            row.fill_zero(pa, j0 + hi, j0 + ow);
+                            if lo < hi {
+                                let ix0 = lo * s + kx - g.padding;
+                                let src = &xc[iy * g.w + ix0..];
+                                row.copy_strided(pa, j0 + lo, hi - lo, src, s);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Lane padding: rows m..m_pad of the last strip must be zero.
+    let m_pad = m.div_ceil(MR) * MR;
+    for i in m..m_pad {
+        PackedLhsRow::new(i, m, n).fill_zero(pa, 0, n);
     }
 }
 
@@ -235,6 +445,133 @@ mod tests {
             let mut col = vec![f32::NAN; g.col_len()];
             im2col(&x, &g, &mut col);
             assert_eq!(col, naive_im2col(&x, &g), "geom h{h} w{w} k{k} s{s} p{p}");
+        }
+    }
+
+    #[test]
+    fn packed_lowering_matches_pack_of_plain_lowering() {
+        use crate::gemm::{packed_b_len, MatRef, PackedB};
+        // Geometries cover: unaligned column counts (ow not a multiple
+        // of NR), strides, padding, kernels overhanging the row, and a
+        // row count above KC (kernel 6 × 8 channels = 288 rows > 256),
+        // which forces a second K-slice in the packed layout.
+        for &(h, w, k, s, p, ch) in &[
+            (5usize, 5usize, 3usize, 1usize, 1usize, 2usize),
+            (5, 7, 3, 2, 1, 2),
+            (4, 4, 1, 1, 0, 3),
+            (8, 5, 2, 2, 0, 2),
+            (2, 2, 4, 2, 1, 1),
+            (9, 9, 6, 1, 2, 8),
+        ] {
+            let g = geom(h, w, k, s, p, ch, 1);
+            let x: Vec<f32> = (0..(g.ch_base + g.channels) * h * w)
+                .map(|i| (i as f32 * 0.37).sin())
+                .collect();
+            let mut col = vec![0.0f32; g.col_len()];
+            im2col(&x, &g, &mut col);
+            let expect = PackedB::pack(MatRef::new(&col, g.cols()), g.rows(), g.cols());
+            // Poison the destination: the packed writer must overwrite
+            // everything, padding included.
+            let mut pb = vec![f32::NAN; packed_b_len(g.rows(), g.cols())];
+            im2col_packed(&x, &g, &mut pb);
+            let mut probe = vec![0.0f32; g.rows() * g.cols()];
+            let mut probe2 = vec![0.0f32; g.rows() * g.cols()];
+            // Compare through the GEMM (identity A would do, but a
+            // random A exercises every panel): bit-equality required.
+            let a: Vec<f32> = (0..3 * g.rows()).map(|i| (i as f32 * 0.11).cos()).collect();
+            crate::gemm::gemm_with(
+                3,
+                g.cols(),
+                g.rows(),
+                crate::gemm::Lhs::Mat(MatRef::new(&a, g.rows())),
+                crate::gemm::Rhs::Packed(expect.as_ref()),
+                0.0,
+                &mut probe,
+                g.cols(),
+                false,
+                crate::gemm::Epilogue::none(),
+            );
+            crate::gemm::gemm_with(
+                3,
+                g.cols(),
+                g.rows(),
+                crate::gemm::Lhs::Mat(MatRef::new(&a, g.rows())),
+                crate::gemm::Rhs::Packed(crate::gemm::PackedBRef::new(&pb, g.rows(), g.cols())),
+                0.0,
+                &mut probe2,
+                g.cols(),
+                false,
+                crate::gemm::Epilogue::none(),
+            );
+            assert!(
+                probe
+                    .iter()
+                    .zip(&probe2)
+                    .all(|(x, y)| x.to_bits() == y.to_bits()),
+                "geom h{h} w{w} k{k} s{s} p{p} ch{ch}: packed lowering differs"
+            );
+        }
+    }
+
+    #[test]
+    fn packed_lhs_lowering_matches_pack_of_plain_lowering() {
+        use crate::gemm::{packed_a_len, Epilogue, Lhs, MatRef, PackedA, PackedARef, Rhs};
+        // Same geometry sweep as the packed-B test; the kernel-6 case
+        // again pushes the row count past one K-slice worth of columns
+        // is impossible here (K = output positions), so a 17×17 input
+        // with stride 1 drives cols() past KC instead.
+        for &(h, w, k, s, p, ch) in &[
+            (5usize, 5usize, 3usize, 1usize, 1usize, 2usize),
+            (5, 7, 3, 2, 1, 2),
+            (4, 4, 1, 1, 0, 3),
+            (8, 5, 2, 2, 0, 2),
+            (2, 2, 4, 2, 1, 1),
+            (17, 17, 3, 1, 1, 2),
+        ] {
+            let g = geom(h, w, k, s, p, ch, 0);
+            let x: Vec<f32> = (0..g.channels * h * w)
+                .map(|i| (i as f32 * 0.29).sin())
+                .collect();
+            let mut col = vec![0.0f32; g.col_len()];
+            im2col(&x, &g, &mut col);
+            let expect = PackedA::pack(MatRef::new(&col, g.cols()), g.rows(), g.cols());
+            let mut pa = vec![f32::NAN; packed_a_len(g.rows(), g.cols())];
+            im2col_packed_lhs(&x, &g, &mut pa);
+            // Compare through the GEMM: bit-equality required.
+            let b: Vec<f32> = (0..g.cols() * 3).map(|i| (i as f32 * 0.13).cos()).collect();
+            let mut probe = vec![0.0f32; g.rows() * 3];
+            let mut probe2 = vec![0.0f32; g.rows() * 3];
+            crate::gemm::gemm_with(
+                g.rows(),
+                3,
+                g.cols(),
+                Lhs::Packed(expect.as_ref()),
+                Rhs::Mat(MatRef::new(&b, 3)),
+                0.0,
+                &mut probe,
+                3,
+                false,
+                Epilogue::none(),
+            );
+            crate::gemm::gemm_with(
+                g.rows(),
+                3,
+                g.cols(),
+                Lhs::Packed(PackedARef::new(&pa, g.rows(), g.cols())),
+                Rhs::Mat(MatRef::new(&b, 3)),
+                0.0,
+                &mut probe2,
+                3,
+                false,
+                Epilogue::none(),
+            );
+            assert!(
+                probe
+                    .iter()
+                    .zip(&probe2)
+                    .all(|(x, y)| x.to_bits() == y.to_bits()),
+                "geom h{h} w{w} k{k} s{s} p{p} ch{ch}: packed-A lowering differs"
+            );
         }
     }
 

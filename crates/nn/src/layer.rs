@@ -55,6 +55,20 @@ pub trait Layer: fmt::Debug {
     /// if called before a training-mode forward pass.
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor>;
 
+    /// [`Layer::backward`] for the *first* layer of a network: only the
+    /// parameter gradients are needed, the input gradient would be
+    /// discarded. Layers with an expensive input-gradient path override
+    /// this to skip it ([`crate::conv::Conv2d`] saves one GEMM plus the
+    /// adjoint scatter per sample and group); the default just drops
+    /// the result.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Layer::backward`].
+    fn backward_params(&mut self, grad_out: &Tensor) -> Result<()> {
+        self.backward(grad_out).map(|_| ())
+    }
+
     /// Applies one SGD-with-momentum update to the trainable parameters and
     /// leaves frozen groups untouched. No-op for parameter-free layers.
     fn sgd_step(&mut self, _lr: f32, _momentum: f32) {}
@@ -111,6 +125,10 @@ pub trait Layer: fmt::Debug {
 ///
 /// `v ← μ·v − lr·g; w ← w + v` for unfrozen parameters; frozen parameters
 /// keep their velocity zeroed so later unfreezing starts cold.
+///
+/// Retained as the oracle for `sgd_update_span`, which is what the
+/// layers call on their hot path.
+#[cfg(test)]
 pub(crate) fn sgd_update(
     w: &mut [f32],
     g: &[f32],
@@ -128,6 +146,38 @@ pub(crate) fn sgd_update(
         }
         v[i] = momentum * v[i] - lr * g[i];
         w[i] += v[i];
+    }
+}
+
+/// Range-based SGD-with-momentum update for layers whose freeze
+/// pattern is a contiguous trainable span inside each parameter block:
+/// elements in `train` get the dense momentum update
+/// (`v ← μ·v − lr·g; w ← w + v`), everything else only has its
+/// velocity cleared. Same element-wise arithmetic as the predicate
+/// form `sgd_update` (bit-identical results, pinned by a test), but
+/// branch- and division-free — a per-index predicate costs real time
+/// when a training step updates tens of thousands of parameters.
+pub(crate) fn sgd_update_span(
+    w: &mut [f32],
+    g: &[f32],
+    v: &mut [f32],
+    lr: f32,
+    momentum: f32,
+    train: std::ops::Range<usize>,
+) {
+    debug_assert_eq!(w.len(), g.len());
+    debug_assert_eq!(w.len(), v.len());
+    debug_assert!(train.start <= train.end && train.end <= w.len());
+    v[..train.start].fill(0.0);
+    v[train.end..].fill(0.0);
+    let (w, g, v) = (
+        &mut w[train.clone()],
+        &g[train.clone()],
+        &mut v[train.clone()],
+    );
+    for ((w, &g), v) in w.iter_mut().zip(g).zip(v.iter_mut()) {
+        *v = momentum * *v - lr * g;
+        *w += *v;
     }
 }
 
@@ -156,5 +206,20 @@ mod tests {
         assert_eq!(w[0], 1.0, "frozen weight untouched");
         assert_eq!(v[0], 0.0, "frozen velocity cleared");
         assert!(w[1] != 1.0, "unfrozen weight updated");
+    }
+
+    #[test]
+    fn sgd_update_span_matches_predicate_form() {
+        let g: Vec<f32> = (0..12).map(|i| (i as f32 * 0.7).sin()).collect();
+        for (lo, hi) in [(0usize, 12usize), (3, 9), (0, 0), (12, 12), (5, 5)] {
+            let mut w1: Vec<f32> = (0..12).map(|i| i as f32 * 0.1).collect();
+            let mut v1 = vec![0.25f32; 12];
+            let mut w2 = w1.clone();
+            let mut v2 = v1.clone();
+            sgd_update(&mut w1, &g, &mut v1, 0.05, 0.9, |i| !(lo..hi).contains(&i));
+            sgd_update_span(&mut w2, &g, &mut v2, 0.05, 0.9, lo..hi);
+            assert_eq!(w1, w2, "span {lo}..{hi} weights");
+            assert_eq!(v1, v2, "span {lo}..{hi} velocities");
+        }
     }
 }

@@ -11,14 +11,19 @@
 //! `Y = X · Wᵀ + b` product over the batch) with the original
 //! row-by-row dot products retained as [`Backend::Reference`], the
 //! oracle for the equivalence property tests.
+//!
+//! Both weight operands the GEMM path reads — `Wᵀ` in forward and `W`
+//! in the input-gradient product — are packed once per weight version
+//! and cached, invalidated on updates, width switches and backend
+//! changes; the bias add is fused into the forward GEMM's epilogue.
 
 use std::ops::Range;
 
 use rand::Rng;
 
 use crate::error::{NnError, Result};
-use crate::gemm::{gemm, Backend, MatRef};
-use crate::layer::{sgd_update, Layer, LayerCost};
+use crate::gemm::{gemm, gemm_with, Backend, Epilogue, Lhs, MatRef, PackedB, Rhs};
+use crate::layer::{sgd_update_span, Layer, LayerCost};
 use crate::tensor::Tensor;
 
 /// A dense layer `y = W·x + b` with width-scalable input features.
@@ -39,6 +44,10 @@ pub struct Linear {
     vb: Vec<f32>,
     cache: Option<Tensor>,
     backend: Backend,
+    /// `Wᵀ` (active-width prefix) packed for the forward GEMM.
+    packed_fwd: Option<PackedB>,
+    /// `W` (active-width prefix) packed for the input-gradient GEMM.
+    packed_bwd: Option<PackedB>,
 }
 
 impl Linear {
@@ -89,7 +98,17 @@ impl Linear {
             vb: vec![0.0; out_features],
             cache: None,
             backend: Backend::default(),
+            packed_fwd: None,
+            packed_bwd: None,
         })
+    }
+
+    /// Drops the cached packed weight operands. Must be called whenever
+    /// the weights, the active width or the backend change; the next
+    /// GEMM pass re-packs lazily.
+    fn invalidate_packed(&mut self) {
+        self.packed_fwd = None;
+        self.packed_bwd = None;
     }
 
     /// The currently selected compute backend (see
@@ -152,24 +171,26 @@ impl Layer for Linear {
                 }
             }
             Backend::Gemm => {
-                // Y = X · Wᵀ: one product over the whole batch; the
-                // kernel splits rows (samples) across workers itself.
-                gemm(
+                // Y = X · Wᵀ + b: one product over the whole batch with
+                // the cached packed Wᵀ and the bias fused into the
+                // epilogue; the kernel splits rows (samples) across
+                // workers itself.
+                let (w, in_features, out_features) = (&self.w, self.in_features, self.out_features);
+                let packed = self.packed_fwd.get_or_insert_with(|| {
+                    PackedB::pack(MatRef::t(w, in_features), f_active, out_features)
+                });
+                gemm_with(
                     n,
-                    self.out_features,
+                    out_features,
                     f_active,
-                    MatRef::new(x, f_active),
-                    MatRef::t(&self.w, self.in_features),
+                    Lhs::Mat(MatRef::new(x, f_active)),
+                    Rhs::Packed(packed.as_ref()),
                     0.0,
                     out.data_mut(),
-                    self.out_features,
+                    out_features,
                     true,
+                    Epilogue::bias_col(&self.b),
                 );
-                for row in out.data_mut().chunks_mut(self.out_features) {
-                    for (v, &b) in row.iter_mut().zip(&self.b) {
-                        *v += b;
-                    }
-                }
             }
         }
         if train {
@@ -226,17 +247,23 @@ impl Layer for Linear {
                     self.in_features,
                     true,
                 );
-                // dX = dY · W (active-column prefix of W).
-                gemm(
+                // dX = dY · W (active-column prefix of W, cached
+                // packed).
+                let (w, in_features, out_features) = (&self.w, self.in_features, self.out_features);
+                let packed = self.packed_bwd.get_or_insert_with(|| {
+                    PackedB::pack(MatRef::new(w, in_features), out_features, f_active)
+                });
+                gemm_with(
                     n,
                     f_active,
-                    self.out_features,
-                    MatRef::new(go, self.out_features),
-                    MatRef::new(&self.w, self.in_features),
+                    out_features,
+                    Lhs::Mat(MatRef::new(go, out_features)),
+                    Rhs::Packed(packed.as_ref()),
                     0.0,
                     gi,
                     f_active,
                     true,
+                    Epilogue::none(),
                 );
             }
         }
@@ -244,23 +271,38 @@ impl Layer for Linear {
     }
 
     fn sgd_step(&mut self, lr: f32, momentum: f32) {
+        // A weight column trains iff its feature group is both active
+        // and trainable; with `trainable` contiguous that is one column
+        // span repeated per output row, so each row updates slice-wise
+        // (no per-weight predicate).
         let per_group = self.per_group();
         let in_features = self.in_features;
-        let trainable = self.trainable.clone();
-        let active = self.active;
-        sgd_update(&mut self.w, &self.gw, &mut self.vw, lr, momentum, |wi| {
-            let fi = wi % in_features;
-            let g = fi / per_group;
-            g >= active || !trainable.contains(&g)
-        });
+        let g_lo = self.trainable.start.min(self.active);
+        let g_hi = self.trainable.end.min(self.active);
+        let (col_lo, col_hi) = (g_lo * per_group, g_hi.max(g_lo) * per_group);
+        for of in 0..self.out_features {
+            let row = of * in_features..(of + 1) * in_features;
+            sgd_update_span(
+                &mut self.w[row.clone()],
+                &self.gw[row.clone()],
+                &mut self.vw[row],
+                lr,
+                momentum,
+                col_lo..col_hi,
+            );
+        }
         // The shared bias belongs to group 0: training it during later
         // incremental steps would silently change the outputs of earlier
         // (frozen) width configurations, breaking the paper's
         // switch-without-retraining property.
-        let bias_frozen = !trainable.contains(&0);
-        sgd_update(&mut self.b, &self.gb, &mut self.vb, lr, momentum, |_| {
-            bias_frozen
-        });
+        let bias_span = if self.trainable.contains(&0) {
+            0..self.out_features
+        } else {
+            0..0
+        };
+        sgd_update_span(&mut self.b, &self.gb, &mut self.vb, lr, momentum, bias_span);
+        // The packed operands now describe stale weights.
+        self.invalidate_packed();
     }
 
     fn zero_grads(&mut self) {
@@ -279,6 +321,8 @@ impl Layer for Linear {
         }
         self.active = active;
         self.cache = None;
+        // The packed operands cover the wrong feature prefix.
+        self.invalidate_packed();
         Ok(())
     }
 
@@ -288,6 +332,8 @@ impl Layer for Linear {
 
     fn set_backend(&mut self, backend: Backend) {
         self.backend = backend;
+        // Also frees the panel memory when leaving the GEMM backend.
+        self.invalidate_packed();
     }
 
     fn cost(&self, in_shape: &[usize]) -> Result<LayerCost> {
@@ -313,6 +359,7 @@ impl Layer for Linear {
     fn quantize_weights(&mut self, bits: u32) {
         crate::quant::quantize_slice(&mut self.w, bits);
         crate::quant::quantize_slice(&mut self.b, bits);
+        self.invalidate_packed();
     }
 }
 
@@ -378,13 +425,18 @@ mod tests {
         let gx = l.backward(&go).unwrap();
 
         let eps = 1e-3_f32;
+        // Direct weight pokes bypass the layer API, so drop the packed
+        // operands by hand.
         for &wi in &[0usize, 7, 17] {
             let orig = l.w[wi];
             l.w[wi] = orig + eps;
+            l.invalidate_packed();
             let lp = l.forward(&x, false).unwrap().sum();
             l.w[wi] = orig - eps;
+            l.invalidate_packed();
             let lm = l.forward(&x, false).unwrap().sum();
             l.w[wi] = orig;
+            l.invalidate_packed();
             let numeric = (lp - lm) / (2.0 * eps);
             assert!(
                 (numeric - l.gw[wi]).abs() < 2e-2,

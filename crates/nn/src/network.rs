@@ -169,8 +169,14 @@ impl Network {
         let logits = self.forward(input, true)?;
         let out = cross_entropy(&logits, labels)?;
         let mut grad = out.grad_logits.clone();
-        for layer in self.layers.iter_mut().rev() {
-            grad = layer.backward(&grad)?;
+        for (i, layer) in self.layers.iter_mut().enumerate().rev() {
+            if i == 0 {
+                // The first layer's input gradient (w.r.t. the image)
+                // is never consumed: take the parameters-only path.
+                layer.backward_params(&grad)?;
+            } else {
+                grad = layer.backward(&grad)?;
+            }
         }
         Ok(out)
     }

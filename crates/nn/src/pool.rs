@@ -34,6 +34,104 @@ impl MaxPool2d {
     fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
         (h / self.window, w / self.window)
     }
+
+    /// The generic window loop, tracking argmax when `offsets` is
+    /// given. `plane` is the offset of the current channel plane.
+    #[allow(clippy::too_many_arguments)]
+    fn pool_plane(
+        &self,
+        x: &[f32],
+        plane: usize,
+        h: usize,
+        w: usize,
+        o: &mut [f32],
+        mut offsets: Option<&mut [usize]>,
+        oi0: usize,
+    ) {
+        let (oh, ow) = self.out_hw(h, w);
+        let win = self.window;
+        if win == 2 {
+            // Fast path for the ubiquitous 2×2 window: two row slices
+            // per output row instead of four indexed lookups per
+            // output. First maximum wins, as in the generic loop.
+            for ohy in 0..oh {
+                let row0 = plane + (2 * ohy) * w;
+                let r0 = &x[row0..][..w];
+                let r1 = &x[row0 + w..][..w];
+                let orow = &mut o[oi0 + ohy * ow..][..ow];
+                match offsets.as_deref_mut() {
+                    None => {
+                        for (owx, out) in orow.iter_mut().enumerate() {
+                            // Strict comparisons (not f32::max) so NaN
+                            // candidates are skipped exactly as in the
+                            // train path and the generic loop below.
+                            let i = 2 * owx;
+                            let mut best = f32::NEG_INFINITY;
+                            for &v in &[r0[i], r0[i + 1], r1[i], r1[i + 1]] {
+                                if v > best {
+                                    best = v;
+                                }
+                            }
+                            *out = best;
+                        }
+                    }
+                    Some(offs) => {
+                        let offs = &mut offs[oi0 + ohy * ow..][..ow];
+                        for (owx, (out, off)) in orow.iter_mut().zip(offs).enumerate() {
+                            let i = 2 * owx;
+                            // Seed with -inf and use the generic loop's
+                            // strict comparisons so a NaN candidate is
+                            // skipped (not propagated) exactly as in
+                            // eval mode and the window > 2 path.
+                            let mut best = f32::NEG_INFINITY;
+                            let mut best_off = row0 + i;
+                            if r0[i] > best {
+                                best = r0[i];
+                                best_off = row0 + i;
+                            }
+                            if r0[i + 1] > best {
+                                best = r0[i + 1];
+                                best_off = row0 + i + 1;
+                            }
+                            if r1[i] > best {
+                                best = r1[i];
+                                best_off = row0 + w + i;
+                            }
+                            if r1[i + 1] > best {
+                                best = r1[i + 1];
+                                best_off = row0 + w + i + 1;
+                            }
+                            *out = best;
+                            *off = best_off;
+                        }
+                    }
+                }
+            }
+            return;
+        }
+        let mut oi = oi0;
+        let mut offsets = offsets;
+        for ohy in 0..oh {
+            for owx in 0..ow {
+                let mut best = f32::NEG_INFINITY;
+                let mut best_off = 0;
+                for ky in 0..win {
+                    for kx in 0..win {
+                        let off = plane + (ohy * win + ky) * w + owx * win + kx;
+                        if x[off] > best {
+                            best = x[off];
+                            best_off = off;
+                        }
+                    }
+                }
+                o[oi] = best;
+                if let Some(offs) = offsets.as_deref_mut() {
+                    offs[oi] = best_off;
+                }
+                oi += 1;
+            }
+        }
+    }
 }
 
 impl Layer for MaxPool2d {
@@ -63,36 +161,26 @@ impl Layer for MaxPool2d {
         }
         let (oh, ow) = self.out_hw(h, w);
         let mut out = Tensor::zeros(&[n, c, oh, ow]);
-        let mut offsets = vec![0usize; n * c * oh * ow];
         let x = input.data();
+        // Argmax bookkeeping only exists in training mode; the buffer
+        // is reused across steps (no per-call alloc).
+        let mut offsets = if train {
+            let (_, mut offs) = self.argmax.take().unwrap_or_default();
+            offs.clear();
+            offs.resize(n * c * oh * ow, 0);
+            Some(offs)
+        } else {
+            None
+        };
         let o = out.data_mut();
-        let mut oi = 0;
         for ni in 0..n {
             for ci in 0..c {
                 let plane = (ni * c + ci) * h * w;
-                for ohy in 0..oh {
-                    for owx in 0..ow {
-                        let mut best = f32::NEG_INFINITY;
-                        let mut best_off = 0;
-                        for ky in 0..self.window {
-                            for kx in 0..self.window {
-                                let iy = ohy * self.window + ky;
-                                let ix = owx * self.window + kx;
-                                let off = plane + iy * w + ix;
-                                if x[off] > best {
-                                    best = x[off];
-                                    best_off = off;
-                                }
-                            }
-                        }
-                        o[oi] = best;
-                        offsets[oi] = best_off;
-                        oi += 1;
-                    }
-                }
+                let oi0 = (ni * c + ci) * oh * ow;
+                self.pool_plane(x, plane, h, w, o, offsets.as_deref_mut(), oi0);
             }
         }
-        if train {
+        if let Some(offsets) = offsets {
             self.argmax = Some((vec![x.len()], offsets));
             self.in_shape = Some(shape.to_vec());
         }

@@ -5,13 +5,39 @@
 //! dimension, see [`crate::gemm`]); both funnel through
 //! [`for_each_band`], which splits a mutable output slice into
 //! contiguous per-worker bands of whole items and runs a closure per
-//! band inside a `rayon::scope`. Small workloads stay on the calling
-//! thread — spawning is only worth it when each band carries real work.
+//! band inside a `rayon::scope`. Under the pooled `rayon` stand-in the
+//! scope dispatches onto persistent, parked workers, so a parallel
+//! region costs a queue push per band rather than an OS thread spawn.
+//! Small workloads stay on the calling thread — dispatching is only
+//! worth it when each band carries real work.
+//!
+//! Each band receives two private scratch slices: a general per-band
+//! buffer (im2col/column matrices, reused across the band's items) and
+//! an *aux* buffer used by reductions — [`crate::conv::Conv2d`]'s
+//! backward pass accumulates per-band weight-gradient shards there and
+//! folds them together after the scope, so gradient accumulation
+//! parallelises without any shared mutable state. Both are sized per
+//! band, so peak scratch is bounded by the worker count, not the batch
+//! size.
+
+#[cfg(test)]
+thread_local! {
+    /// Test-only override of [`worker_count`], so band splitting and
+    /// shard reduction can be exercised deterministically on machines
+    /// with any core count. Only read on the thread that *plans* the
+    /// bands; closures running on pool workers see the real count.
+    pub(crate) static FORCE_WORKERS: std::cell::Cell<Option<usize>> =
+        const { std::cell::Cell::new(None) };
+}
 
 /// Number of workers parallel regions should target — taken from the
 /// executor itself so band math stays correct if a configured rayon
 /// pool (smaller or larger than the machine) is swapped in.
 pub(crate) fn worker_count() -> usize {
+    #[cfg(test)]
+    if let Some(n) = FORCE_WORKERS.with(std::cell::Cell::get) {
+        return n;
+    }
     rayon::current_num_threads().max(1)
 }
 
@@ -28,30 +54,37 @@ pub(crate) fn band_count(items: usize, parallel: bool) -> usize {
 
 /// Splits `data` — `items` logical items of `item_len` elements each —
 /// into at most [`band_count`] contiguous bands of whole items and
-/// invokes `f(first_item_index, band, band_scratch)` for each, in
-/// parallel when more than one band results. Every band gets its own
-/// `scratch_per_band`-element slice of `scratch` to reuse across its
-/// items (`scratch` must hold at least `band_count(items, parallel) *
-/// scratch_per_band` elements).
+/// invokes `f(first_item_index, band, band_scratch, band_aux)` for
+/// each, in parallel when more than one band results. Every band gets
+/// its own `scratch_per_band`-element slice of `scratch` and
+/// `aux_per_band`-element slice of `aux` to reuse across its items
+/// (each buffer must hold at least `band_count(items, parallel)` times
+/// its per-band length; pass an empty `aux` with `aux_per_band == 0`
+/// when unused).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn for_each_band<F>(
     data: &mut [f32],
     items: usize,
     item_len: usize,
     scratch: &mut [f32],
     scratch_per_band: usize,
+    aux: &mut [f32],
+    aux_per_band: usize,
     parallel: bool,
     f: F,
 ) where
-    F: Fn(usize, &mut [f32], &mut [f32]) + Sync,
+    F: Fn(usize, &mut [f32], &mut [f32], &mut [f32]) + Sync,
 {
     let bands = band_count(items, parallel);
     debug_assert!(data.len() >= items * item_len);
     debug_assert!(scratch.len() >= bands * scratch_per_band);
+    debug_assert!(aux.len() >= bands * aux_per_band);
     if bands <= 1 {
         f(
             0,
             &mut data[..items * item_len],
             &mut scratch[..scratch_per_band],
+            &mut aux[..aux_per_band],
         );
         return;
     }
@@ -59,15 +92,18 @@ pub(crate) fn for_each_band<F>(
     rayon::scope(|s| {
         let mut rest = &mut data[..items * item_len];
         let mut rest_scratch = &mut scratch[..];
+        let mut rest_aux = &mut aux[..];
         let mut item0 = 0;
         while item0 < items {
             let band_items = per_band.min(items - item0);
             let (band, tail) = rest.split_at_mut(band_items * item_len);
             let (band_scratch, tail_scratch) = rest_scratch.split_at_mut(scratch_per_band);
+            let (band_aux, tail_aux) = rest_aux.split_at_mut(aux_per_band);
             let f = &f;
-            s.spawn(move |_| f(item0, band, band_scratch));
+            s.spawn(move |_| f(item0, band, band_scratch, band_aux));
             rest = tail;
             rest_scratch = tail_scratch;
+            rest_aux = tail_aux;
             item0 += band_items;
         }
     });
@@ -82,15 +118,19 @@ mod tests {
         let items = 7;
         let mut data = vec![0.0f32; items * 3];
         let mut scratch = vec![0.0f32; band_count(items, true) * 2];
+        let mut aux = vec![0.0f32; band_count(items, true)];
         for_each_band(
             &mut data,
             items,
             3,
             &mut scratch,
             2,
+            &mut aux,
+            1,
             true,
-            |item0, band, s| {
+            |item0, band, s, aux| {
                 assert_eq!(s.len(), 2, "one scratch slot per band");
+                assert_eq!(aux.len(), 1, "one aux slot per band");
                 for (i, item) in band.chunks_mut(3).enumerate() {
                     // Reuse the slot per item, as the layers do.
                     s.fill((item0 + i) as f32);
@@ -98,12 +138,15 @@ mod tests {
                         *v = *sv;
                     }
                     item[2] = s[0];
+                    aux[0] += 1.0;
                 }
             },
         );
         for (i, item) in data.chunks(3).enumerate() {
             assert!(item.iter().all(|&v| v == i as f32), "item {i}: {item:?}");
         }
+        // Aux slots accumulated one count per item, band by band.
+        assert_eq!(aux.iter().sum::<f32>(), items as f32);
     }
 
     #[test]
@@ -113,11 +156,22 @@ mod tests {
         let mut bands_seen = 0;
         // Serial closure runs inline, so a mutable counter is fine.
         let counter = std::sync::Mutex::new(&mut bands_seen);
-        for_each_band(&mut data, 4, 2, &mut scratch, 5, false, |item0, band, _| {
-            assert_eq!(item0, 0);
-            assert_eq!(band.len(), 8, "serial = every item in one band");
-            **counter.lock().expect("no poisoning") += 1;
-        });
+        for_each_band(
+            &mut data,
+            4,
+            2,
+            &mut scratch,
+            5,
+            &mut [],
+            0,
+            false,
+            |item0, band, _, aux| {
+                assert_eq!(item0, 0);
+                assert_eq!(band.len(), 8, "serial = every item in one band");
+                assert!(aux.is_empty());
+                **counter.lock().expect("no poisoning") += 1;
+            },
+        );
         assert_eq!(bands_seen, 1);
     }
 
@@ -125,10 +179,20 @@ mod tests {
     fn handles_single_item() {
         let mut data = vec![1.0f32; 5];
         let mut scratch = vec![0.0f32; 1];
-        for_each_band(&mut data, 1, 5, &mut scratch, 1, true, |item0, band, _| {
-            assert_eq!(item0, 0);
-            band.fill(2.0);
-        });
+        for_each_band(
+            &mut data,
+            1,
+            5,
+            &mut scratch,
+            1,
+            &mut [],
+            0,
+            true,
+            |item0, band, _, _| {
+                assert_eq!(item0, 0);
+                band.fill(2.0);
+            },
+        );
         assert!(data.iter().all(|&v| v == 2.0));
     }
 }

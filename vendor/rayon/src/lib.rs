@@ -2,55 +2,287 @@
 //!
 //! Provides the structured-parallelism subset this workspace uses —
 //! [`scope`] with [`Scope::spawn`], [`join`] and
-//! [`current_num_threads`] — implemented on `std::thread::scope` (one
-//! OS thread per spawn, no pool). Callers are expected to chunk work so
+//! [`current_num_threads`] — implemented on a **persistent worker
+//! pool**, like the real crate (minus work stealing): a fixed set of
+//! threads is spawned lazily on first use and parked on a condvar
+//! between parallel regions, so a region pays a queue push and a wakeup
+//! instead of an OS thread spawn. Callers are expected to chunk work so
 //! the number of spawns per scope stays near [`current_num_threads`];
 //! the `eml_nn` worker helpers do exactly that. Swap for the real crate
 //! when a registry is available; the call sites need no change.
+//!
+//! # Semantics
+//!
+//! - [`scope`] returns only after every task spawned into it (including
+//!   tasks spawned by tasks) has finished, so tasks may borrow from the
+//!   caller's stack, exactly like `rayon::scope`.
+//! - A panic inside a spawned task is captured and re-thrown from
+//!   [`scope`] on the calling thread (first panic wins); remaining
+//!   tasks of the scope still run to completion first.
+//! - A [`scope`] entered *from a pool worker* (a nested parallel
+//!   region) runs its tasks inline on that worker. This keeps the
+//!   executor deadlock-free without work stealing: workers never block
+//!   waiting on other workers.
+//!
+//! # Safety
+//!
+//! This crate contains one `unsafe` block: spawned tasks are boxed and
+//! their `'scope` lifetime is erased to `'static` so the long-lived
+//! workers can hold them. That is sound because [`scope`] does not
+//! return until the pool has finished (and dropped) every task of the
+//! scope — the borrows a task captures are live for as long as the task
+//! exists. This is the standard scoped-pool contract (`rayon`,
+//! `crossbeam::scope`); the latch logic enforcing it lives entirely in
+//! [`ScopeState`].
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 use std::thread;
 
-/// Number of worker threads a parallel region should target (the
-/// machine's available parallelism).
+/// A lifetime-erased task, executable by any worker.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// The shared state of the worker pool: a FIFO injector queue and the
+/// condvar workers park on while it is empty.
+struct PoolShared {
+    queue: Mutex<VecDeque<Job>>,
+    /// Signalled when a job is pushed.
+    available: Condvar,
+}
+
+struct Pool {
+    shared: Arc<PoolShared>,
+    workers: usize,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+thread_local! {
+    /// True on pool worker threads; nested scopes detect this and run
+    /// inline (see module docs).
+    static IS_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Locks a mutex, ignoring poisoning: the state a pool mutex guards is
+/// only ever mutated under the lock by panic-free code (task panics are
+/// caught before the latch is touched).
+fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The worker count the pool has (or will have once spawned):
+/// `RAYON_NUM_THREADS` when set to a positive integer (the real
+/// crate's env knob — CI uses it to pin perf runs to one worker so
+/// measurements compare across hosts with different core counts),
+/// otherwise the machine's available parallelism. Cached —
+/// `available_parallelism` re-reads cgroup limits on Linux, which is
+/// far too slow for a per-GEMM-call query.
+fn worker_target() -> usize {
+    static TARGET: OnceLock<usize> = OnceLock::new();
+    *TARGET.get_or_init(|| {
+        if let Some(n) = std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+        {
+            return n;
+        }
+        thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| {
+        let workers = worker_target();
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+        });
+        for i in 0..workers {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name(format!("eml-pool-{i}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn pool worker");
+        }
+        Pool { shared, workers }
+    })
+}
+
+fn worker_loop(shared: &PoolShared) {
+    IS_WORKER.with(|w| w.set(true));
+    loop {
+        let job = {
+            let mut queue = lock_ignore_poison(&shared.queue);
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                queue = shared
+                    .available
+                    .wait(queue)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        };
+        // The job wrapper catches panics and reports them through its
+        // scope's latch; the worker itself never unwinds.
+        job();
+    }
+}
+
+/// Number of worker threads a parallel region should target — the size
+/// of the persistent pool (the machine's available parallelism).
+/// Reading the count does not spawn the pool; workers start on the
+/// first [`Scope::spawn`], so purely serial callers never pay for
+/// parked threads.
 pub fn current_num_threads() -> usize {
-    thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
+    POOL.get().map_or_else(worker_target, |p| p.workers)
+}
+
+/// The completion latch of one [`scope`]: counts outstanding tasks and
+/// records the first panic payload.
+#[derive(Default)]
+struct ScopeState {
+    sync: Mutex<ScopeSync>,
+    /// Signalled when the outstanding-task count reaches zero.
+    done: Condvar,
+}
+
+#[derive(Default)]
+struct ScopeSync {
+    pending: usize,
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+impl ScopeState {
+    fn task_spawned(&self) {
+        lock_ignore_poison(&self.sync).pending += 1;
+    }
+
+    fn task_finished(&self, panic: Option<Box<dyn Any + Send>>) {
+        let mut sync = lock_ignore_poison(&self.sync);
+        sync.pending -= 1;
+        if sync.panic.is_none() {
+            sync.panic = panic;
+        }
+        if sync.pending == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    /// Blocks until every task has finished; returns the first captured
+    /// panic, if any.
+    fn wait(&self) -> Option<Box<dyn Any + Send>> {
+        let mut sync = lock_ignore_poison(&self.sync);
+        while sync.pending > 0 {
+            sync = self
+                .done
+                .wait(sync)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        sync.panic.take()
+    }
 }
 
 /// A scope for spawning borrowed work, mirroring `rayon::Scope`.
 pub struct Scope<'scope, 'env: 'scope> {
-    inner: &'scope thread::Scope<'scope, 'env>,
+    /// `None` when running inline on a pool worker (nested region).
+    state: Option<Arc<ScopeState>>,
+    /// Invariant over both lifetimes, as in `rayon`.
+    _marker: PhantomData<&'scope mut &'env ()>,
 }
 
 impl<'scope, 'env> Scope<'scope, 'env> {
     /// Spawns a task that may borrow from outside the scope; the scope
-    /// joins it before returning.
+    /// joins it (and any task it transitively spawns) before returning.
     pub fn spawn<F>(&self, f: F)
     where
         F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
     {
-        let inner = self.inner;
-        inner.spawn(move || {
-            let nested = Scope { inner };
-            f(&nested);
+        let Some(state) = &self.state else {
+            // Inline (nested-on-worker) scope: run now, on this thread.
+            f(self);
+            return;
+        };
+        let state = Arc::clone(state);
+        state.task_spawned();
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            let panic = {
+                let nested = Scope {
+                    state: Some(Arc::clone(&state)),
+                    _marker: PhantomData,
+                };
+                catch_unwind(AssertUnwindSafe(|| f(&nested))).err()
+                // `f` and `nested` are dropped here, before the latch is
+                // released — no borrow survives past `scope`'s return.
+            };
+            state.task_finished(panic);
         });
+        // SAFETY: the worker pool outlives the process, but `scope`
+        // blocks on `ScopeState::wait` until this job has run and been
+        // dropped (the `pending` count it decrements was incremented
+        // above, before the push). Everything the job borrows therefore
+        // strictly outlives the job, which is the guarantee `'scope`
+        // encoded; erasing the lifetime does not extend any actual use.
+        let job: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Box<dyn FnOnce() + Send>>(job)
+        };
+        let shared = &pool().shared;
+        lock_ignore_poison(&shared.queue).push_back(job);
+        shared.available.notify_one();
     }
 }
 
 /// Runs `f` with a [`Scope`]; returns once every spawned task finished.
+/// Tasks run on the persistent worker pool. Panics from tasks are
+/// re-thrown here after the whole scope has completed.
 pub fn scope<'env, F, R>(f: F) -> R
 where
     F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
 {
-    thread::scope(|s| f(&Scope { inner: s }))
+    if IS_WORKER.with(|w| w.get()) {
+        // Nested region on a worker: run inline (see module docs).
+        let inline = Scope {
+            state: None,
+            _marker: PhantomData,
+        };
+        return f(&inline);
+    }
+    let state = Arc::new(ScopeState::default());
+    let scope_ref = Scope {
+        state: Some(Arc::clone(&state)),
+        _marker: PhantomData,
+    };
+    // Run the body, then *always* wait for spawned tasks — even if the
+    // body panicked — so borrows stay valid for as long as tasks exist.
+    let body = catch_unwind(AssertUnwindSafe(|| f(&scope_ref)));
+    let task_panic = state.wait();
+    match body {
+        Err(panic) => resume_unwind(panic),
+        Ok(result) => {
+            if let Some(panic) = task_panic {
+                resume_unwind(panic);
+            }
+            result
+        }
+    }
 }
 
 /// Runs two closures, potentially in parallel, returning both results.
+///
+/// Like the real crate, `oper_a` runs on the calling thread while
+/// `oper_b` is offered to the pool; a panic in either is re-thrown
+/// here with its original payload.
 pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -58,17 +290,20 @@ where
     RA: Send,
     RB: Send,
 {
-    thread::scope(|s| {
-        let b = s.spawn(oper_b);
-        let ra = oper_a();
-        let rb = b.join().expect("rayon::join task panicked");
-        (ra, rb)
-    })
+    let mut rb = None;
+    let ra = scope(|s| {
+        let rb = &mut rb;
+        s.spawn(move |_| *rb = Some(oper_b()));
+        oper_a()
+    });
+    (ra, rb.expect("join task ran to completion"))
 }
 
 #[cfg(test)]
 mod tests {
+    use std::collections::HashSet;
     use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
 
     #[test]
     fn scope_joins_all_spawns() {
@@ -106,7 +341,161 @@ mod tests {
     }
 
     #[test]
+    fn join_propagates_original_panic_payload() {
+        let result = std::panic::catch_unwind(|| {
+            super::join(|| 1, || -> i32 { panic!("join boom") });
+        });
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or("<non-str payload>");
+        assert_eq!(msg, "join boom");
+    }
+
+    #[test]
     fn num_threads_positive() {
         assert!(super::current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn zero_work_scope_returns_immediately() {
+        // A region that spawns nothing must not touch the pool at all.
+        let out = super::scope(|_| 41 + 1);
+        assert_eq!(out, 42);
+    }
+
+    #[test]
+    fn pool_is_reused_across_many_regions() {
+        // 64 regions × several tasks: a spawn-per-task executor would
+        // burn through hundreds of distinct OS threads; the pool must
+        // keep the set of executing threads within its fixed size.
+        let seen = Mutex::new(HashSet::new());
+        for _ in 0..64 {
+            super::scope(|s| {
+                for _ in 0..4 {
+                    s.spawn(|_| {
+                        seen.lock()
+                            .expect("no poisoning")
+                            .insert(std::thread::current().id());
+                    });
+                }
+            });
+        }
+        let distinct = seen.lock().expect("no poisoning").len();
+        assert!(
+            distinct <= super::current_num_threads(),
+            "{distinct} distinct threads for a {}-worker pool",
+            super::current_num_threads()
+        );
+    }
+
+    #[test]
+    fn pool_size_respects_worker_count_bound() {
+        // The pool is sized to the machine's available parallelism and
+        // never grows, however many tasks are queued at once.
+        let bound = super::current_num_threads();
+        let seen = Mutex::new(HashSet::new());
+        super::scope(|s| {
+            for _ in 0..8 * bound {
+                s.spawn(|_| {
+                    seen.lock()
+                        .expect("no poisoning")
+                        .insert(std::thread::current().id());
+                });
+            }
+        });
+        let distinct = seen.lock().expect("no poisoning").len();
+        assert!(distinct >= 1);
+        assert!(
+            distinct <= bound,
+            "{distinct} executing threads exceed the {bound}-worker bound"
+        );
+    }
+
+    #[test]
+    fn task_panic_propagates_to_scope_caller() {
+        let result = std::panic::catch_unwind(|| {
+            super::scope(|s| {
+                s.spawn(|_| panic!("task boom"));
+            });
+        });
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or("<non-str payload>");
+        assert_eq!(msg, "task boom");
+    }
+
+    #[test]
+    fn sibling_tasks_still_run_when_one_panics() {
+        // The scope reports the panic only after quiescing: work
+        // already spawned is not abandoned mid-flight.
+        let done = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(|| {
+            super::scope(|s| {
+                s.spawn(|_| panic!("first"));
+                for _ in 0..4 {
+                    s.spawn(|_| {
+                        done.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            });
+        });
+        assert!(result.is_err());
+        assert_eq!(done.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn pool_survives_a_panicked_region() {
+        let _ = std::panic::catch_unwind(|| {
+            super::scope(|s| s.spawn(|_| panic!("poison attempt")));
+        });
+        // The same workers must still execute later regions.
+        let counter = AtomicUsize::new(0);
+        super::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn nested_scopes_complete_without_deadlock() {
+        // A task that opens its own scope runs it inline on the worker;
+        // with as few as one worker this must still terminate.
+        let counter = AtomicUsize::new(0);
+        super::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|_| {
+                    super::scope(|inner| {
+                        for _ in 0..3 {
+                            inner.spawn(|_| {
+                                counter.fetch_add(1, Ordering::SeqCst);
+                            });
+                        }
+                    });
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 6);
+    }
+
+    #[test]
+    fn tasks_can_spawn_siblings_into_the_same_scope() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|s| {
+            s.spawn(|s| {
+                counter.fetch_add(1, Ordering::SeqCst);
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 2);
     }
 }
