@@ -65,6 +65,21 @@ fn bench_forward_per_width_reference(c: &mut Criterion) {
     group.finish();
 }
 
+/// The same sweep on the quantised int8 backend: the ratio to
+/// `nn/forward` is the data-precision knob's measured latency win
+/// (also emitted by the `bench_nn_json` binary as `quant_gemm_ns`).
+fn bench_forward_per_width_quant_i8(c: &mut Criterion) {
+    let x = Tensor::full(&[1, 3, 16, 16], 0.1);
+    let mut group = c.benchmark_group("nn/forward_quant_i8");
+    for g in 1..=4usize {
+        let mut net = net_at(g, Backend::QuantI8);
+        group.bench_function(format!("width_{}pct", g * 25), |b| {
+            b.iter(|| net.forward(black_box(&x), false).expect("forward"))
+        });
+    }
+    group.finish();
+}
+
 fn bench_training_step(c: &mut Criterion) {
     let x = Tensor::full(&[8, 3, 16, 16], 0.1);
     let labels = [0usize, 1, 2, 3, 4, 5, 6, 7];
@@ -118,6 +133,7 @@ criterion_group!(
     bench_forward_per_width,
     bench_forward_batched,
     bench_forward_per_width_reference,
+    bench_forward_per_width_quant_i8,
     bench_training_step,
     bench_width_switch,
     bench_cost_model

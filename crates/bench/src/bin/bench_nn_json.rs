@@ -1,8 +1,9 @@
 //! Emits `BENCH_nn.json`: the machine-readable perf baseline of the
-//! hot paths — median forward-pass latency per width (batch 1, both
-//! compute backends), median training-step latency per width (batch 8,
-//! GEMM backend) and the RTM's `allocate` decision latency. Later PRs
-//! compare against this baseline to track the perf trajectory.
+//! hot paths — median forward-pass latency per width (batch 1, on the
+//! reference, f32 GEMM and quantised int8 backends), median
+//! training-step latency per width (batches 8 and 32, GEMM backend)
+//! and the RTM's `allocate` decision latency. Later PRs compare
+//! against this baseline to track the perf trajectory.
 //!
 //! Usage: `cargo run --release -p eml-bench --bin bench_nn_json
 //! [-- --out PATH] [-- --quick] [-- --check BASELINE]`
@@ -10,7 +11,8 @@
 //! - `--quick` shrinks sample counts for CI smoke runs.
 //! - `--check BASELINE` compares the fresh measurement against a
 //!   committed baseline file and exits non-zero if any width's
-//!   `gemm_ns` regressed by more than 25%. Because CI runners and dev
+//!   `gemm_ns` or `quant_gemm_ns` regressed by more than 25% (training
+//!   steps get a looser 35%). Because CI runners and dev
 //!   machines differ in absolute speed, the comparison is normalised by
 //!   the reference backend: the reference loop nest is rarely touched,
 //!   so `reference_ns(now)/reference_ns(baseline)` estimates the
@@ -37,6 +39,10 @@ use rand::SeedableRng;
 /// Batch size of the training-step measurement (the mid-sized batch
 /// embedded incremental training uses — see ISSUE 2 / ROADMAP).
 const TRAIN_BATCH: usize = 8;
+
+/// Batch size of the second training-step measurement (the larger
+/// batch the ROADMAP calls out for amortised-lowering throughput).
+const TRAIN_BATCH_32: usize = 32;
 
 /// Maximum tolerated normalised `gemm_ns` regression in `--check` mode.
 const MAX_REGRESSION: f64 = 1.25;
@@ -180,13 +186,15 @@ struct WidthRow {
     width_pct: usize,
     reference_ns: f64,
     gemm_ns: f64,
+    quant_gemm_ns: f64,
     train_step_ns: f64,
+    train_step32_ns: f64,
 }
 
 /// Compares fresh `rows` against the committed `baseline` JSON; returns
 /// an error message per width whose machine-normalised `gemm_ns` (or
-/// `train_step_ns`, when the baseline records it) regressed past its
-/// threshold.
+/// `quant_gemm_ns` / `train_step_ns` / `train_step32_ns`, when the
+/// baseline records them) regressed past its threshold.
 ///
 /// The reference-backend normalisation cancels *scalar* machine-speed
 /// differences only; it cannot account for core-count differences
@@ -196,7 +204,9 @@ fn check_regressions(rows: &[WidthRow], baseline: &str) -> Vec<String> {
     let base_groups = extract_all(baseline, "active_groups");
     let base_ref = extract_all(baseline, "reference_ns");
     let base_gemm = extract_all(baseline, "gemm_ns");
+    let base_quant = extract_all(baseline, "quant_gemm_ns");
     let base_train = extract_all(baseline, "train_step_ns");
+    let base_train32 = extract_all(baseline, "train_step32_ns");
     assert!(
         base_groups.len() == base_ref.len() && base_groups.len() == base_gemm.len(),
         "malformed baseline: {} widths, {} reference_ns, {} gemm_ns",
@@ -222,8 +232,19 @@ fn check_regressions(rows: &[WidthRow], baseline: &str) -> Vec<String> {
         // (metric name, baseline ns, measured ns, threshold); the
         // train row is skipped for baselines predating train_step_ns.
         let mut metrics = vec![("gemm_ns", base_gemm[i], row.gemm_ns, MAX_REGRESSION)];
+        if let Some(&bq) = base_quant.get(i) {
+            metrics.push(("quant_gemm_ns", bq, row.quant_gemm_ns, MAX_REGRESSION));
+        }
         if let Some(&bt) = base_train.get(i) {
             metrics.push(("train_step_ns", bt, row.train_step_ns, MAX_TRAIN_REGRESSION));
+        }
+        if let Some(&bt) = base_train32.get(i) {
+            metrics.push((
+                "train_step32_ns",
+                bt,
+                row.train_step32_ns,
+                MAX_TRAIN_REGRESSION,
+            ));
         }
         for (name, base, measured, threshold) in metrics {
             let allowed = base * machine_scale * threshold;
@@ -251,16 +272,18 @@ fn main() {
     let (c, h, w) = cfg.input;
     let x1 = Tensor::full(&[1, c, h, w], 0.1);
     let xt = Tensor::full(&[TRAIN_BATCH, c, h, w], 0.1);
+    let xt32 = Tensor::full(&[TRAIN_BATCH_32, c, h, w], 0.1);
     let labels: Vec<usize> = (0..TRAIN_BATCH).map(|i| i % cfg.classes).collect();
+    let labels32: Vec<usize> = (0..TRAIN_BATCH_32).map(|i| i % cfg.classes).collect();
 
     let mut rows = Vec::new();
     println!(
-        "nn, default CnnConfig: forward batch 1, training step batch {}",
-        TRAIN_BATCH
+        "nn, default CnnConfig: forward batch 1, training step batches {} and {}",
+        TRAIN_BATCH, TRAIN_BATCH_32
     );
     println!(
-        "{:>8} {:>16} {:>16} {:>9} {:>16}",
-        "width", "reference", "gemm", "speedup", "train_step"
+        "{:>8} {:>16} {:>16} {:>9} {:>16} {:>9} {:>14} {:>14}",
+        "width", "reference", "gemm", "speedup", "quant_i8", "vs gemm", "train8", "train32"
     );
     for g in 1..=cfg.groups {
         let mut rng = StdRng::seed_from_u64(1);
@@ -271,24 +294,32 @@ fn main() {
         let reference_ns = forward_ns(&opts, &mut net, &x1);
         net.set_backend(Backend::Gemm);
         let gemm_ns = forward_ns(&opts, &mut net, &x1);
+        net.set_backend(Backend::QuantI8);
+        let quant_gemm_ns = forward_ns(&opts, &mut net, &x1);
         // A fresh net for training so the timed steps don't inherit the
         // forward-bench weights; full trainable range, width g.
         let mut train_net = build_group_cnn(cfg, &mut StdRng::seed_from_u64(2)).expect("arch");
         train_net.set_active_groups(g).expect("valid width");
         let step_ns = train_step_ns(&opts, &mut train_net, &xt, &labels);
+        let mut train_net32 = build_group_cnn(cfg, &mut StdRng::seed_from_u64(3)).expect("arch");
+        train_net32.set_active_groups(g).expect("valid width");
+        let step32_ns = train_step_ns(&opts, &mut train_net32, &xt32, &labels32);
 
         let pct = g * 100 / cfg.groups;
         let speedup = reference_ns / gemm_ns;
+        let qspeedup = gemm_ns / quant_gemm_ns;
         println!(
-            "{:>7}% {:>13.0} ns {:>13.0} ns {:>8.2}x {:>13.0} ns",
-            pct, reference_ns, gemm_ns, speedup, step_ns
+            "{:>7}% {:>13.0} ns {:>13.0} ns {:>8.2}x {:>13.0} ns {:>8.2}x {:>11.0} ns {:>11.0} ns",
+            pct, reference_ns, gemm_ns, speedup, quant_gemm_ns, qspeedup, step_ns, step32_ns
         );
         rows.push(WidthRow {
             active_groups: g,
             width_pct: pct,
             reference_ns,
             gemm_ns,
+            quant_gemm_ns,
             train_step_ns: step_ns,
+            train_step32_ns: step32_ns,
         });
     }
 
@@ -302,21 +333,27 @@ fn main() {
                 concat!(
                     "    {{\"active_groups\": {}, \"width_pct\": {}, ",
                     "\"reference_ns\": {:.0}, \"gemm_ns\": {:.0}, ",
-                    "\"speedup\": {:.3}, \"train_step_ns\": {:.0}}}"
+                    "\"speedup\": {:.3}, \"quant_gemm_ns\": {:.0}, ",
+                    "\"quant_speedup\": {:.3}, \"train_step_ns\": {:.0}, ",
+                    "\"train_step32_ns\": {:.0}}}"
                 ),
                 r.active_groups,
                 r.width_pct,
                 r.reference_ns,
                 r.gemm_ns,
                 r.reference_ns / r.gemm_ns,
-                r.train_step_ns
+                r.quant_gemm_ns,
+                r.gemm_ns / r.quant_gemm_ns,
+                r.train_step_ns,
+                r.train_step32_ns
             )
         })
         .collect();
     let json = format!(
         "{{\n  \"bench\": \"nn/forward\",\n  \"config\": {{\"input\": [{c}, {h}, {w}], \
          \"classes\": {}, \"groups\": {}, \"base_width\": {}}},\n  \"batch\": 1,\n  \
-         \"train_batch\": {TRAIN_BATCH},\n  \"unit\": \"ns\",\n  \"widths\": [\n{}\n  ],\n  \
+         \"train_batch\": {TRAIN_BATCH},\n  \"train_batch32\": {TRAIN_BATCH_32},\n  \
+         \"unit\": \"ns\",\n  \"widths\": [\n{}\n  ],\n  \
          \"rtm_allocate_ns\": {rtm_ns:.0}\n}}\n",
         cfg.classes,
         cfg.groups,

@@ -10,7 +10,7 @@
 
 use std::fmt;
 
-use eml_dnn::WidthLevel;
+use eml_dnn::{Precision, WidthLevel};
 use eml_platform::soc::ClusterId;
 
 use crate::rtm::Allocation;
@@ -79,6 +79,19 @@ pub enum KnobCommand {
         app: String,
         /// Target width level.
         level: WidthLevel,
+    },
+    /// Application knob: set a dynamic DNN's data-precision mode
+    /// (executed int8 vs full `f32` — see
+    /// [`eml_dnn::DynamicDnn::set_precision`]). The allocator does not
+    /// yet place precision in its operating-point search, so
+    /// [`commands_for`] never emits this; it is the vocabulary an RTM
+    /// policy (or the simulator's scenario script) uses to actuate the
+    /// knob directly.
+    SetPrecision {
+        /// Application name.
+        app: String,
+        /// Target precision mode.
+        precision: Precision,
     },
     /// Device knob: map an application onto a cluster with a core count.
     Map {
@@ -184,6 +197,20 @@ mod tests {
         let s = r.to_string();
         assert!(s.contains("Temperature"));
         assert!(s.contains("74.2"));
+    }
+
+    #[test]
+    fn precision_command_names_the_int8_mode() {
+        // The precision knob's actuation vocabulary: an RTM policy can
+        // command the executed int8 path per app.
+        let cmd = KnobCommand::SetPrecision {
+            app: "dnn1".into(),
+            precision: Precision::Int8,
+        };
+        assert!(
+            matches!(cmd, KnobCommand::SetPrecision { ref app, precision }
+                if app == "dnn1" && precision == Precision::Int8)
+        );
     }
 
     #[test]

@@ -8,19 +8,22 @@
 use eml_nn::loss::softmax;
 use eml_nn::tensor::Tensor;
 use eml_nn::train::IncrementalReport;
-use eml_nn::Network;
+use eml_nn::{Network, Precision};
 
 use crate::error::{DnnError, Result};
 use crate::level::WidthLevel;
 use crate::profile::DnnProfile;
 
-/// A dynamic DNN: network + profile + current width level.
+/// A dynamic DNN: network + profile + current width and precision
+/// level.
 #[derive(Debug)]
 pub struct DynamicDnn {
     net: Network,
     profile: DnnProfile,
     level: WidthLevel,
+    precision: Precision,
     switches: usize,
+    precision_switches: usize,
 }
 
 impl DynamicDnn {
@@ -47,7 +50,9 @@ impl DynamicDnn {
             net,
             profile,
             level,
+            precision: Precision::default(),
             switches: 0,
+            precision_switches: 0,
         })
     }
 
@@ -86,6 +91,31 @@ impl DynamicDnn {
     /// Number of width switches performed so far.
     pub fn switch_count(&self) -> usize {
         self.switches
+    }
+
+    /// The current data-precision mode.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Number of precision switches performed so far.
+    pub fn precision_switch_count(&self) -> usize {
+        self.precision_switches
+    }
+
+    /// Switches the data-precision mode — the paper's second
+    /// application knob, next to width. [`Precision::Int8`] runs
+    /// forward passes on the real int8 kernel path (measured latency
+    /// win for a small, measured accuracy cost);
+    /// [`Precision::F32`] restores full-precision compute. Like the
+    /// width switch, no parameters change: the int8 path quantises
+    /// from the master `f32` weights, so switching back is lossless.
+    pub fn set_precision(&mut self, precision: Precision) {
+        if precision != self.precision {
+            self.net.set_precision(precision);
+            self.precision = precision;
+            self.precision_switches += 1;
+        }
     }
 
     /// Immutable access to the wrapped network.
@@ -203,6 +233,42 @@ mod tests {
             assert!(preds.iter().all(|&p| p < 10));
             let conf = d.confidence(&x).unwrap();
             assert!((0.1..=1.0).contains(&conf), "confidence {conf}");
+        }
+    }
+
+    #[test]
+    fn precision_knob_switches_and_counts() {
+        let mut d = dnn();
+        assert_eq!(d.precision(), Precision::F32);
+        let x = Tensor::full(&[2, 3, 16, 16], 0.1);
+        let f32_preds = d.infer(&x).unwrap();
+        d.set_precision(Precision::Int8);
+        assert_eq!(d.precision(), Precision::Int8);
+        assert_eq!(d.precision_switch_count(), 1);
+        // No-op switch doesn't count.
+        d.set_precision(Precision::Int8);
+        assert_eq!(d.precision_switch_count(), 1);
+        let int8_preds = d.infer(&x).unwrap();
+        assert_eq!(int8_preds.len(), 2);
+        // Switching back is lossless: the int8 path quantises from the
+        // master f32 weights, so f32 inference is bit-identical to
+        // before the excursion.
+        d.set_precision(Precision::F32);
+        assert_eq!(d.infer(&x).unwrap(), f32_preds);
+        assert_eq!(d.precision_switch_count(), 2);
+    }
+
+    #[test]
+    fn precision_and_width_knobs_compose() {
+        let mut d = dnn();
+        d.set_precision(Precision::Int8);
+        let x = Tensor::full(&[1, 3, 16, 16], 0.2);
+        for i in 0..4 {
+            d.set_level(WidthLevel(i)).unwrap();
+            let preds = d.infer(&x).unwrap();
+            assert_eq!(preds.len(), 1);
+            let conf = d.confidence(&x).unwrap();
+            assert!((0.1..=1.0).contains(&conf), "width {i}: confidence {conf}");
         }
     }
 

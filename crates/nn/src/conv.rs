@@ -14,12 +14,17 @@
 //! [`Conv2d::set_trainable_groups`]: frozen groups keep their parameters
 //! bit-identical while later groups learn.
 //!
-//! Two compute backends share this layer's semantics (see
+//! Three compute backends share this layer's semantics (see
 //! [`crate::gemm`]): the default [`Backend::Gemm`] lowers each
 //! (sample, group) pair to `Out = W · im2col(x)` on the blocked GEMM
 //! kernel with a reusable scratch arena, parallelising over the batch;
-//! [`Backend::Reference`] is the original nested loop, retained as the
-//! correctness oracle for the equivalence property tests.
+//! [`Backend::QuantI8`] runs the same structure on the quantised int8
+//! kernel ([`crate::gemm::int8`]) — cached int8 weight panels, a
+//! one-pass quantise-and-lower of the input, exact `i32` accumulation
+//! and a fused requantisation epilogue (the executed form of the
+//! paper's data-precision knob); [`Backend::Reference`] is the
+//! original nested loop, retained as the correctness oracle for the
+//! equivalence property tests.
 //!
 //! The GEMM path keeps per-call overhead off the hot loop three ways:
 //! weight panels are packed once per weight version and cached
@@ -37,10 +42,12 @@ use rand::Rng;
 
 use crate::error::{NnError, Result};
 use crate::gemm::{
-    gemm_with, packed_b_len, Backend, Epilogue, Lhs, MatRef, PackedA, PackedARef, PackedBRef, Rhs,
+    gemm_i8, gemm_with, packed_b8_len, packed_b_len, Backend, Epilogue, Lhs, MatRef, PackedA,
+    PackedA8, PackedARef, PackedB8Ref, PackedBRef, QEpilogue, Rhs,
 };
-use crate::im2col::{col2im_add, im2col_packed, im2col_packed_lhs, ConvGeom};
+use crate::im2col::{col2im_add, im2col_packed, im2col_packed_i8, im2col_packed_lhs, ConvGeom};
 use crate::layer::{sgd_update_span, Layer, LayerCost};
+use crate::quant::{finite_max_abs, inv_or_zero, quantize_slice_i16, ActObserver, I8_LEVELS};
 use crate::tensor::Tensor;
 use crate::workers;
 
@@ -144,6 +151,14 @@ pub struct Conv2d {
     /// `Wᵀ` panels for the backward input-gradient GEMM, cached and
     /// invalidated exactly like [`Conv2d::packed_w`].
     packed_wt: Option<Vec<PackedA>>,
+    /// Quantised int8 weight panels for [`Backend::QuantI8`] forward
+    /// (per-tensor weight scale + one packed panel per executed
+    /// group), cached and invalidated exactly like
+    /// [`Conv2d::packed_w`].
+    packed_w8: Option<(f32, Vec<PackedA8>)>,
+    /// Input-activation range observer for the int8 path (see
+    /// [`ActObserver`]).
+    act_obs: ActObserver,
 }
 
 /// Reusable per-layer buffers for the GEMM backend; they only grow, so
@@ -155,6 +170,10 @@ pub struct Conv2d {
 struct Scratch {
     /// Packed im2col matrices (forward), one slot per worker band.
     col: Vec<f32>,
+    /// Int8-forward band buffers: a quantised copy of the sample
+    /// followed by the packed quantised im2col matrix, one slot per
+    /// worker band.
+    col8: Vec<i16>,
     /// Column matrices (backward: im2col then gradient columns), one
     /// slot per worker band.
     dcol: Vec<f32>,
@@ -167,8 +186,9 @@ impl std::fmt::Debug for Scratch {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "Scratch(col: {}, dcol: {}, gw_shards: {})",
+            "Scratch(col: {}, col8: {}, dcol: {}, gw_shards: {})",
             self.col.len(),
+            self.col8.len(),
             self.dcol.len(),
             self.gw_shards.len()
         )
@@ -206,15 +226,24 @@ impl Conv2d {
             scratch: Scratch::default(),
             packed_w: None,
             packed_wt: None,
+            packed_w8: None,
+            act_obs: ActObserver::default(),
         })
     }
 
-    /// Drops the cached packed weight panels. Must be called whenever
-    /// the weights, the active width or the backend change; the next
-    /// GEMM forward re-packs lazily.
+    /// Drops the cached packed weight panels (f32 and int8). Must be
+    /// called whenever the weights, the active width or the backend
+    /// change; the next GEMM forward re-packs lazily.
     fn invalidate_packed(&mut self) {
         self.packed_w = None;
         self.packed_wt = None;
+        self.packed_w8 = None;
+    }
+
+    /// The int8 input-activation observer (range seen so far, frozen
+    /// state); see [`ActObserver`].
+    pub fn act_observer(&self) -> ActObserver {
+        self.act_obs
     }
 
     /// The currently selected compute backend (see
@@ -415,6 +444,105 @@ impl Conv2d {
         );
     }
 
+    /// Int8-backend forward: the same per-sample, per-group structure
+    /// as [`Conv2d::forward_gemm`], but on the quantised kernel — the
+    /// active weights are quantised per-tensor and packed into int8
+    /// panels once per weight version; each sample is quantised in one
+    /// vectorised pass (scale from the layer's [`ActObserver`]) and
+    /// lowered by pure integer copies into packed int8 panel layout
+    /// ([`im2col_packed_i8`]); and the `i8×i8→i32` product requantises
+    /// through a fused epilogue (`out = acc·scale_x·scale_w + bias`,
+    /// in `f32`).
+    fn forward_quant(&mut self, input: &Tensor, out: &mut Tensor) {
+        let (n, c_in, h, w) = {
+            let s = input.shape();
+            (s[0], s[1], s[2], s[3])
+        };
+        let (c_out, oh, ow) = {
+            let s = out.shape();
+            (s[1], s[2], s[3])
+        };
+        let (groups_exec, opg) = self.exec_groups();
+        let kdim = self.icg_count() * self.cfg.kernel * self.cfg.kernel;
+        let ohw = oh * ow;
+        let col_slot = packed_b8_len(kdim, ohw);
+        let sample_in = c_in * h * w;
+        let sample_out = c_out * ohw;
+        let per_sample_macs = groups_exec * opg * ohw * kdim;
+        let batch_par = n > 1 && n * per_sample_macs >= crate::gemm::PAR_MIN_WORK;
+
+        // Quantise + pack the active weight panels once per weight
+        // version; the per-tensor scale spans every active weight.
+        if self.packed_w8.is_none() {
+            let active_w = groups_exec * opg * kdim;
+            let w_scale = finite_max_abs(&self.w[..active_w]) / I8_LEVELS;
+            let inv_w = inv_or_zero(w_scale);
+            let weights = &self.w;
+            self.packed_w8 = Some((
+                w_scale,
+                (0..groups_exec)
+                    .map(|g| {
+                        PackedA8::pack_quantized(
+                            MatRef::new(&weights[g * opg * kdim..][..opg * kdim], kdim),
+                            opg,
+                            kdim,
+                            inv_w,
+                        )
+                    })
+                    .collect(),
+            ));
+        }
+
+        // Per-tensor activation scale: the batch's own range when the
+        // observer is dynamic, the calibrated range when frozen.
+        let (x_scale, inv_x) = self.act_obs.observe_scale(finite_max_abs(input.data()));
+        let (w_scale, packed_w8) = self.packed_w8.as_ref().expect("packed above");
+        let q_scale = x_scale * w_scale;
+
+        // Band slot: quantised sample copy, then the packed panel.
+        let slot = sample_in + col_slot;
+        let bands = workers::band_count(n, batch_par);
+        self.scratch
+            .col8
+            .resize((bands * slot).max(self.scratch.col8.len()), 0);
+        let geoms: Vec<ConvGeom> = (0..groups_exec)
+            .map(|g| self.geom(g, h, w, oh, ow))
+            .collect();
+        let bias = &self.b;
+        let x = input.data();
+        workers::for_each_band(
+            out.data_mut(),
+            n,
+            sample_out,
+            &mut self.scratch.col8,
+            slot,
+            &mut [],
+            0,
+            batch_par,
+            |n0, out_band, buf, _| {
+                let (qx, col) = buf.split_at_mut(sample_in);
+                for (bi, out_s) in out_band.chunks_mut(sample_out).enumerate() {
+                    let x_s = &x[(n0 + bi) * sample_in..][..sample_in];
+                    quantize_slice_i16(x_s, inv_x, qx);
+                    for (g, geom) in geoms.iter().enumerate() {
+                        im2col_packed_i8(qx, geom, col);
+                        gemm_i8(
+                            opg,
+                            ohw,
+                            kdim,
+                            packed_w8[g].as_ref(),
+                            PackedB8Ref::new(&col[..col_slot], kdim, ohw),
+                            &mut out_s[g * opg * ohw..][..opg * ohw],
+                            ohw,
+                            !batch_par,
+                            QEpilogue::scaled(q_scale).with_bias_row(&bias[g * opg..][..opg]),
+                        );
+                    }
+                }
+            },
+        );
+    }
+
     /// GEMM-backend backward, one batch-parallel pass: per sample and
     /// group, the weight gradient accumulates **transposed** into the
     /// band's private shard (`gWᵀ_g += im2col(x) · dOut_gᵀ` — the
@@ -601,6 +729,7 @@ impl Layer for Conv2d {
         match self.backend {
             Backend::Reference => self.forward_reference(input, &mut out),
             Backend::Gemm => self.forward_gemm(input, &mut out),
+            Backend::QuantI8 => self.forward_quant(input, &mut out),
         }
         if train {
             self.cache = Some(input.clone());
@@ -620,7 +749,10 @@ impl Layer for Conv2d {
         let mut grad_in = Tensor::zeros(&in_shape);
         match self.backend {
             Backend::Reference => self.backward_reference(grad_out, &mut grad_in),
-            Backend::Gemm => self.backward_gemm(grad_out, Some(&mut grad_in)),
+            // Training under QuantI8 runs the f32 backward against the
+            // master weights: the forward cache holds the f32 input, so
+            // gradients are full-precision.
+            Backend::Gemm | Backend::QuantI8 => self.backward_gemm(grad_out, Some(&mut grad_in)),
         }
         Ok(grad_in)
     }
@@ -702,6 +834,10 @@ impl Layer for Conv2d {
         self.backend = backend;
         // Also frees the panel memory when leaving the GEMM backend.
         self.invalidate_packed();
+    }
+
+    fn freeze_act_scale(&mut self, frozen: bool) {
+        self.act_obs.freeze(frozen);
     }
 
     fn cost(&self, in_shape: &[usize]) -> Result<LayerCost> {
@@ -1177,6 +1313,97 @@ mod tests {
         // Quantisation rewrites the weights in place.
         c.quantize_weights(6);
         check(&mut c, &x_half, "after quantisation");
+    }
+
+    /// The int8 weight-panel cache must track every mutation exactly
+    /// like the f32 cache: after each one, a cached QuantI8 forward has
+    /// to equal the forward of a freshly-built layer with identical
+    /// weights (which packs from scratch), bit for bit.
+    #[test]
+    fn quant_packed_cache_tracks_every_mutation() {
+        let mut c = Conv2d::new("c", grouped_cfg(), &mut rng()).unwrap();
+        c.set_backend(Backend::QuantI8);
+        let check = |c: &mut Conv2d, x: &Tensor, what: &str| {
+            let y_cached = c.forward(x, false).unwrap();
+            let mut fresh = Conv2d::new("c", c.config(), &mut rng()).unwrap();
+            fresh.w.copy_from_slice(&c.w);
+            fresh.b.copy_from_slice(&c.b);
+            fresh.set_active_groups(c.active_groups()).unwrap();
+            fresh.set_backend(Backend::QuantI8);
+            let y_fresh = fresh.forward(x, false).unwrap();
+            assert_eq!(y_cached.data(), y_fresh.data(), "{what}: stale int8 panels");
+        };
+        let x_full = Tensor::random(&[2, 8, 6, 6], &mut rng());
+        check(&mut c, &x_full, "initial");
+        // Weight update through the training API (QuantI8 backward runs
+        // the f32 gradient path against the master weights).
+        let y = c.forward(&x_full, true).unwrap();
+        c.backward(&Tensor::full(y.shape(), 0.5)).unwrap();
+        c.sgd_step(0.1, 0.0);
+        check(&mut c, &x_full, "after sgd_step");
+        // Width switch re-quantises for the new active prefix.
+        c.set_active_groups(2).unwrap();
+        let x_half = Tensor::random(&[2, 4, 6, 6], &mut rng());
+        check(&mut c, &x_half, "after width switch");
+        // Weight-grid quantisation rewrites the masters in place.
+        c.quantize_weights(6);
+        check(&mut c, &x_half, "after quantisation");
+    }
+
+    /// The activation observer records the ranges QuantI8 forwards see,
+    /// and freezing pins the quantisation scale: inputs beyond the
+    /// frozen range saturate instead of rescaling.
+    #[test]
+    fn act_observer_records_and_freezes() {
+        let mut c = Conv2d::new("c", dense_cfg(), &mut rng()).unwrap();
+        c.set_backend(Backend::QuantI8);
+        assert_eq!(c.act_observer().max_abs(), 0.0);
+        let _ = c.forward(&Tensor::full(&[1, 3, 8, 8], 0.5), false).unwrap();
+        assert_eq!(c.act_observer().max_abs(), 0.5);
+        let _ = c
+            .forward(&Tensor::full(&[1, 3, 8, 8], -2.0), false)
+            .unwrap();
+        assert_eq!(c.act_observer().max_abs(), 2.0);
+        // Freeze at the observed range; a 4x larger input now saturates
+        // at ±127 of the frozen scale, so the output equals that of an
+        // input clamped to the frozen range.
+        c.freeze_act_scale(true);
+        assert!(c.act_observer().is_frozen());
+        let y_big = c.forward(&Tensor::full(&[1, 3, 8, 8], 8.0), false).unwrap();
+        let y_clamped = c.forward(&Tensor::full(&[1, 3, 8, 8], 2.0), false).unwrap();
+        assert_eq!(y_big.data(), y_clamped.data(), "beyond-range saturates");
+        // Unfreeze: dynamic scaling resumes and the outputs differ.
+        c.freeze_act_scale(false);
+        let y_dyn = c.forward(&Tensor::full(&[1, 3, 8, 8], 8.0), false).unwrap();
+        assert_ne!(y_dyn.data(), y_clamped.data());
+    }
+
+    /// Training with the QuantI8 backend selected: forward runs int8,
+    /// backward accumulates full-precision gradients from the cached
+    /// f32 input — the loss must still fall.
+    #[test]
+    fn quant_i8_training_reduces_loss() {
+        let mut c = Conv2d::new("c", dense_cfg(), &mut rng()).unwrap();
+        c.set_backend(Backend::QuantI8);
+        let x = Tensor::random(&[2, 3, 6, 6], &mut rng());
+        let loss = |y: &Tensor| y.data().iter().map(|v| v * v).sum::<f32>();
+        let y0 = c.forward(&x, true).unwrap();
+        let first = loss(&y0);
+        let mut y = y0;
+        for _ in 0..8 {
+            // dL/dy = 2y for L = Σy².
+            let grad =
+                Tensor::from_vec(y.shape(), y.data().iter().map(|v| 2.0 * v).collect()).unwrap();
+            c.zero_grads();
+            c.backward(&grad).unwrap();
+            c.sgd_step(0.01, 0.0);
+            y = c.forward(&x, true).unwrap();
+        }
+        let last = loss(&y);
+        assert!(
+            last < first * 0.5,
+            "squared-output loss should fall: {first} -> {last}"
+        );
     }
 
     #[test]

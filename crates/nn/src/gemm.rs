@@ -1,6 +1,9 @@
 //! Cache-blocked, register-tiled `f32` matrix multiplication — the
 //! shared compute kernel behind [`crate::conv::Conv2d`] and
-//! [`crate::linear::Linear`] when they run on [`Backend::Gemm`].
+//! [`crate::linear::Linear`] when they run on [`Backend::Gemm`]. The
+//! quantised sibling behind [`Backend::QuantI8`] lives in [`int8`]
+//! (same blocked structure, `i8`-grid operands, exact `i32`
+//! accumulation, fused requantisation).
 //!
 //! # Layout
 //!
@@ -61,6 +64,13 @@
 
 use std::cell::RefCell;
 
+pub mod int8;
+
+pub use int8::{
+    gemm_i8, pack_a8_quantized, packed_a8_len, packed_b8_len, requantize_i8, PackedA8, PackedA8Ref,
+    PackedB8, PackedB8Ref, QEpilogue,
+};
+
 /// Which implementation a layer uses for its forward/backward math.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Backend {
@@ -71,6 +81,13 @@ pub enum Backend {
     /// im2col + blocked GEMM (this module). The default.
     #[default]
     Gemm,
+    /// Quantised int8 inference ([`int8`]): forward passes run
+    /// `i8×i8→i32` on packed quantised panels with a fused
+    /// requantisation epilogue — the executed form of the paper's
+    /// data-precision knob. Backward passes (training) still run the
+    /// `f32` GEMM path against the master weights, so a network can
+    /// train in `f32` and serve in int8 without a backend round-trip.
+    QuantI8,
 }
 
 /// Register tile height (rows of C per micro-kernel call).

@@ -1,0 +1,924 @@
+//! Quantised `i8×i8→i32` GEMM — the integer twin of the `f32` kernel
+//! in [`crate::gemm`], used by [`crate::gemm::Backend::QuantI8`].
+//!
+//! # Int8 kernel layout
+//!
+//! The blocked structure mirrors the `f32` kernel (MR-tall A row
+//! strips, NR-wide B column strips, zero-padded, one panel group per
+//! K-slice), with three quantisation-specific differences:
+//!
+//! - values are quantised to the symmetric int8 grid `[-127, 127]`
+//!   **during packing** (`round(x · inv_scale)`, saturating), so
+//!   quantisation is never a separate pass over the data. They are
+//!   *stored* as `i16` in **pair-interleaved** panels — for k-pair
+//!   `q`, row `r` of an A strip holds `(a[2q][r], a[2q+1][r])`
+//!   adjacently and column `c` of a B strip holds `(b[2q][c],
+//!   b[2q+1][c])` — the exact operand shape of the SSE2 `pmaddwd`
+//!   multiply-accumulate the micro-kernel
+//!   ([`eml_simd::madd_tile_i16`]) is built on. Odd depths are padded
+//!   with one zero k-step;
+//! - the K-slice depth is [`KC8`]` = 1024` instead of the `f32`
+//!   kernel's 256 (an i16 panel is half the bytes of an f32 one at the
+//!   same footprint). Every layer shape in this crate then fits a
+//!   *single* K-slice, which keeps the kernel on its fast path:
+//!   accumulate an MR×NR tile of `i32` in registers and requantise in
+//!   the write-back, with no spill buffer;
+//! - deeper products (`k > KC8`) accumulate per MC8-row block into a
+//!   thread-local `i32` scratch and requantise once after the last
+//!   slice, so multi-slice results are identical to a single wide
+//!   slice.
+//!
+//! ```text
+//!        N                 per MR×NR tile, per k-pair:   ┌── PackedB8 panel
+//!   ┌─────────┐              acc_i32 += a0·b0 + a1·b1   │   KC8 × N i16 pairs,
+//!   │ B (i16  │ K            (pmaddwd: 8 MACs/insn)     │   NR-wide strips
+//!   │  pairs) │              f32 out = acc·scale + b    ├── PackedA8 block
+//!   └─────────┘                                         │   MR-tall strips
+//! M ┌──┐┌─────────┐                                     └── both zero-padded
+//!   │A8││ C (f32) │
+//!   └──┘└─────────┘
+//! ```
+//!
+//! # Requantisation
+//!
+//! The accumulator is `i32` throughout — exact integer arithmetic, no
+//! rounding until the epilogue. [`QEpilogue`] folds the whole
+//! dequantise-bias-activate sequence into the write-back:
+//! `out = relu(acc · scale + bias)` in `f32`, where `scale` is the
+//! product of the two operands' per-tensor scales. For quantised
+//! chaining, [`requantize_i8`] performs the same sequence with a
+//! saturating round to `[-127, 127]`.
+//!
+//! # Overflow guard
+//!
+//! Each i8-grid product is at most `127² = 16129`, so a same-sign
+//! reduction over `k` terms stays inside `i32` iff
+//! `k ≤ i32::MAX / 16129 =`[`MAX_K_I8`]. [`gemm_i8`] asserts this —
+//! the layers are orders of magnitude below it, but the guard turns a
+//! silent wrap into a loud panic if someone feeds the kernel a
+//! pathological shape.
+
+use std::cell::RefCell;
+
+use crate::gemm::{Bias, MatRef, MR, NR};
+use crate::quant::quantize_i8w;
+
+// The register tile this module packs for is the one the shared
+// micro-kernel crate implements.
+const _: () = assert!(MR == eml_simd::MR8 && NR == eml_simd::NR8);
+
+/// Depth (K) packed per K-slice of the int8 kernel (see module docs).
+pub const KC8: usize = 1024;
+/// Rows of A per macro block (same as the `f32` kernel's `MC`).
+pub const MC8: usize = 64;
+/// Largest `k` the kernel accepts: beyond this a same-sign i8-grid
+/// reduction could wrap the `i32` accumulator (`i32::MAX / 127²`).
+pub const MAX_K_I8: usize = (i32::MAX / (127 * 127)) as usize;
+
+/// Depth padded to whole k-pairs (the layout stores two k-steps
+/// adjacently, so odd depths carry one zero k-step).
+#[inline]
+fn k_pad(k: usize) -> usize {
+    k + (k & 1)
+}
+
+/// Buffer length (in `i16` elements) of a packed `m × k` int8 A
+/// operand (see [`PackedA8`]).
+pub fn packed_a8_len(m: usize, k: usize) -> usize {
+    m.div_ceil(MR) * MR * k_pad(k)
+}
+
+/// Buffer length (in `i16` elements) of a packed `k × n` int8 B
+/// operand (see [`PackedB8`]).
+pub fn packed_b8_len(k: usize, n: usize) -> usize {
+    n.div_ceil(NR) * NR * k_pad(k)
+}
+
+/// Quantises and packs `A[i0..i0+mc][pc..pc+kc]` into MR-tall
+/// pair-interleaved row strips (layout of [`PackedA8`], one K-slice's
+/// worth): element `(p, r)` lands at `(p/2)·2MR + r·2 + p%2` of its
+/// strip. Pads the odd tail k-step and the rows past `mc` with zeros.
+fn pack_a8_w(a: MatRef<'_>, i0: usize, mc: usize, pc: usize, kc: usize, inv: f32, pa: &mut [i16]) {
+    let strips = mc.div_ceil(MR);
+    let kcp = k_pad(kc);
+    for strip in 0..strips {
+        let base = strip * kcp * MR;
+        for p in 0..kcp {
+            let dst = base + (p / 2) * 2 * MR + (p & 1);
+            for r in 0..MR {
+                let i = strip * MR + r;
+                pa[dst + r * 2] = if i < mc && p < kc {
+                    quantize_i8w(a.at(i0 + i, pc + p), inv)
+                } else {
+                    0
+                };
+            }
+        }
+    }
+}
+
+/// Quantises and packs `B[pc..pc+kc][0..n]` into NR-wide
+/// pair-interleaved column strips (layout of [`PackedB8`], one
+/// K-slice's worth): element `(p, c)` lands at `(p/2)·2NR + c·2 + p%2`
+/// of its strip. Pads the odd tail k-step and the columns past `n`
+/// with zeros.
+fn pack_b8_w(b: MatRef<'_>, pc: usize, kc: usize, n: usize, inv: f32, pb: &mut [i16]) {
+    let strips = n.div_ceil(NR);
+    let kcp = k_pad(kc);
+    for strip in 0..strips {
+        let j0 = strip * NR;
+        let width = NR.min(n - j0);
+        let base = strip * kcp * NR;
+        for p in 0..kcp {
+            let dst = &mut pb[base + (p / 2) * 2 * NR + (p & 1)..][..2 * NR - 1];
+            if p < kc {
+                for (j, d) in dst.iter_mut().step_by(2).enumerate() {
+                    *d = if j < width {
+                        quantize_i8w(b.at(pc + p, j0 + j), inv)
+                    } else {
+                        0
+                    };
+                }
+            } else {
+                for d in dst.iter_mut().step_by(2) {
+                    *d = 0;
+                }
+            }
+        }
+    }
+}
+
+/// Quantises an `m × k` logical `f32` matrix straight into the packed
+/// int8 A layout inside `buf` (length ≥ [`packed_a8_len`]). Wrap the
+/// result in [`PackedA8Ref::new`]; [`PackedA8::pack_quantized`] is the
+/// owning convenience form.
+pub fn pack_a8_quantized(a: MatRef<'_>, m: usize, k: usize, inv_scale: f32, buf: &mut [i16]) {
+    debug_assert!(buf.len() >= packed_a8_len(m, k));
+    let m_pad = m.div_ceil(MR) * MR;
+    let mut pc = 0;
+    while pc < k {
+        let kc = KC8.min(k - pc);
+        pack_a8_w(a, 0, m, pc, kc, inv_scale, &mut buf[m_pad * pc..]);
+        pc += kc;
+    }
+}
+
+/// An owned, fully packed, quantised A (left-hand) operand: int8-grid
+/// values in the pair-interleaved `i16` layout (see module docs), with
+/// [`KC8`]-deep slices.
+#[derive(Clone)]
+pub struct PackedA8 {
+    buf: Vec<i16>,
+    m: usize,
+    k: usize,
+}
+
+impl std::fmt::Debug for PackedA8 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PackedA8({}x{})", self.m, self.k)
+    }
+}
+
+impl PackedA8 {
+    /// Quantises the `m × k` logical `f32` matrix `a` with
+    /// `value = round(x · inv_scale)` (saturating to `[-127, 127]`)
+    /// and packs it.
+    pub fn pack_quantized(a: MatRef<'_>, m: usize, k: usize, inv_scale: f32) -> Self {
+        let mut buf = vec![0i16; packed_a8_len(m, k)];
+        if k > 0 {
+            pack_a8_quantized(a, m, k, inv_scale, &mut buf);
+        }
+        Self { buf, m, k }
+    }
+
+    /// A borrowed view for [`gemm_i8`].
+    pub fn as_ref(&self) -> PackedA8Ref<'_> {
+        PackedA8Ref {
+            data: &self.buf,
+            m: self.m,
+            k: self.k,
+        }
+    }
+}
+
+/// A borrowed packed int8 A operand (see [`PackedA8`]).
+#[derive(Debug, Clone, Copy)]
+pub struct PackedA8Ref<'a> {
+    data: &'a [i16],
+    m: usize,
+    k: usize,
+}
+
+impl<'a> PackedA8Ref<'a> {
+    /// Wraps an externally built packed buffer (layout of [`PackedA8`]).
+    pub fn new(data: &'a [i16], m: usize, k: usize) -> Self {
+        debug_assert!(data.len() >= packed_a8_len(m, k));
+        Self { data, m, k }
+    }
+
+    /// The strips of rows `i0..` (with `i0 % MR == 0`) of K-slice
+    /// `pc..pc+kc`.
+    #[inline]
+    fn block(&self, i0: usize, pc: usize, kc: usize) -> &'a [i16] {
+        debug_assert_eq!(i0 % MR, 0);
+        let m_pad = self.m.div_ceil(MR) * MR;
+        &self.data[m_pad * pc + (i0 / MR) * k_pad(kc) * MR..]
+    }
+}
+
+/// An owned, fully packed, quantised B (right-hand) operand: int8-grid
+/// values in the pair-interleaved `i16` layout (see module docs), with
+/// [`KC8`]-deep slices.
+#[derive(Clone)]
+pub struct PackedB8 {
+    buf: Vec<i16>,
+    k: usize,
+    n: usize,
+}
+
+impl std::fmt::Debug for PackedB8 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PackedB8({}x{})", self.k, self.n)
+    }
+}
+
+impl PackedB8 {
+    /// Quantises the `k × n` logical `f32` matrix `b` with
+    /// `value = round(x · inv_scale)` (saturating to `[-127, 127]`)
+    /// and packs it.
+    pub fn pack_quantized(b: MatRef<'_>, k: usize, n: usize, inv_scale: f32) -> Self {
+        let n_pad = n.div_ceil(NR) * NR;
+        let mut buf = vec![0i16; packed_b8_len(k, n)];
+        let mut pc = 0;
+        while pc < k {
+            let kc = KC8.min(k - pc);
+            pack_b8_w(b, pc, kc, n, inv_scale, &mut buf[n_pad * pc..]);
+            pc += kc;
+        }
+        Self { buf, k, n }
+    }
+
+    /// A borrowed view for [`gemm_i8`].
+    pub fn as_ref(&self) -> PackedB8Ref<'_> {
+        PackedB8Ref {
+            data: &self.buf,
+            k: self.k,
+            n: self.n,
+        }
+    }
+}
+
+/// A borrowed packed int8 B operand (see [`PackedB8`]). Also
+/// constructible over an external buffer, e.g. one filled by
+/// [`crate::im2col::im2col_packed_i8`].
+#[derive(Debug, Clone, Copy)]
+pub struct PackedB8Ref<'a> {
+    data: &'a [i16],
+    k: usize,
+    n: usize,
+}
+
+impl<'a> PackedB8Ref<'a> {
+    /// Wraps an externally built packed buffer (layout of [`PackedB8`]).
+    pub fn new(data: &'a [i16], k: usize, n: usize) -> Self {
+        debug_assert!(data.len() >= packed_b8_len(k, n));
+        Self { data, k, n }
+    }
+
+    /// The panel of K-slice `pc..pc+kc`.
+    #[inline]
+    fn panel(&self, pc: usize, kc: usize) -> &'a [i16] {
+        let n_pad = self.n.div_ceil(NR) * NR;
+        &self.data[n_pad * pc..][..n_pad * k_pad(kc)]
+    }
+}
+
+/// The requantisation epilogue fused into [`gemm_i8`]'s write-back:
+/// `out = relu(acc · scale + bias)`, applied once per output element
+/// after the full `k` reduction. `scale` is the product of the two
+/// operands' per-tensor quantisation scales (dequantising the integer
+/// accumulator back to real units); bias and ReLU are optional and
+/// applied in that order, exactly like the `f32` kernel's
+/// [`crate::gemm::Epilogue`].
+#[derive(Debug, Clone, Copy)]
+pub struct QEpilogue<'a> {
+    scale: f32,
+    bias: Option<Bias<'a>>,
+    relu: bool,
+}
+
+impl<'a> QEpilogue<'a> {
+    /// Dequantise only: `out = acc · scale`.
+    pub fn scaled(scale: f32) -> Self {
+        Self {
+            scale,
+            bias: None,
+            relu: false,
+        }
+    }
+
+    /// Fuses a per-row (`f32`) bias add after the dequantise.
+    pub fn with_bias_row(mut self, bias: &'a [f32]) -> Self {
+        self.bias = Some(Bias::Row(bias));
+        self
+    }
+
+    /// Fuses a per-column (`f32`) bias add after the dequantise.
+    pub fn with_bias_col(mut self, bias: &'a [f32]) -> Self {
+        self.bias = Some(Bias::Col(bias));
+        self
+    }
+
+    /// Additionally clamps the final value at zero (ReLU), after the
+    /// bias add.
+    pub fn with_relu(mut self) -> Self {
+        self.relu = true;
+        self
+    }
+
+    #[inline]
+    fn bias_at(&self, row: usize, col: usize) -> f32 {
+        match self.bias {
+            Some(Bias::Row(b)) => b[row],
+            Some(Bias::Col(b)) => b[col],
+            None => 0.0,
+        }
+    }
+
+    /// Requantises one full register-tile row; the fixed width lets the
+    /// compiler vectorise the convert-scale-add sequence.
+    #[inline]
+    fn apply_tile_row(&self, dst: &mut [f32; NR], acc: &[i32; NR], row: usize, col0: usize) {
+        match self.bias {
+            Some(Bias::Row(b)) => {
+                let bv = b[row];
+                for (d, &a) in dst.iter_mut().zip(acc) {
+                    *d = a as f32 * self.scale + bv;
+                }
+            }
+            Some(Bias::Col(b)) => {
+                let b: &[f32; NR] = b[col0..col0 + NR].try_into().expect("NR columns");
+                for ((d, &a), &bv) in dst.iter_mut().zip(acc).zip(b) {
+                    *d = a as f32 * self.scale + bv;
+                }
+            }
+            None => {
+                for (d, &a) in dst.iter_mut().zip(acc) {
+                    *d = a as f32 * self.scale;
+                }
+            }
+        }
+        if self.relu {
+            for d in dst.iter_mut() {
+                *d = d.max(0.0);
+            }
+        }
+    }
+
+    /// Requantises one row segment. `row` is the global row index,
+    /// `col0` the global column of `dst[0]`/`acc[0]`.
+    #[inline]
+    fn apply(&self, dst: &mut [f32], acc: &[i32], row: usize, col0: usize) {
+        for (j, (d, &a)) in dst.iter_mut().zip(acc).enumerate() {
+            let mut v = a as f32 * self.scale + self.bias_at(row, col0 + j);
+            if self.relu {
+                v = v.max(0.0);
+            }
+            *d = v;
+        }
+    }
+}
+
+/// Saturating int8 requantisation of one `i32` accumulator:
+/// `round(acc · scale + bias)` (ReLU before the round when `relu`),
+/// clamped to the symmetric int8 grid `[-127, 127]`. This is the
+/// output half of a quantised-to-quantised layer chain; `scale` there
+/// is `in_scale · weight_scale / out_scale`.
+pub fn requantize_i8(acc: i32, scale: f32, bias: f32, relu: bool) -> i8 {
+    let mut v = acc as f32 * scale + bias;
+    if relu {
+        v = v.max(0.0);
+    }
+    v.round().clamp(-127.0, 127.0) as i8
+}
+
+thread_local! {
+    /// Per-thread i32 accumulator block for multi-slice products
+    /// (`k > KC8`); grown once, then reused.
+    static ACC32: RefCell<Vec<i32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// `C = epilogue(A·B)` over quantised operands: logical shapes
+/// `A: m×k` (int8 grid, [`PackedA8Ref`]), `B: k×n` (int8 grid,
+/// [`PackedB8Ref`]), `C: m×n` (`f32`, row-major with leading dimension
+/// `ldc ≥ n`, overwritten). Accumulation is exact `i32`; the
+/// [`QEpilogue`] dequantises in the write-back.
+///
+/// Both operands arrive pre-packed by construction — the layers cache
+/// quantised weight panels and lower activations directly into packed
+/// layout, so unlike the `f32` kernel there is no internal pack path.
+/// When `parallel` is set and the product is large enough the `M`
+/// range splits across worker bands exactly like
+/// [`crate::gemm::gemm_with`].
+///
+/// # Panics
+///
+/// Panics if `k > `[`MAX_K_I8`] (the `i32` overflow guard);
+/// debug-asserts operand dimensions.
+#[allow(clippy::too_many_arguments)] // GEMM is inherently (m, n, k, A, B, C)-shaped
+pub fn gemm_i8(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: PackedA8Ref<'_>,
+    b: PackedB8Ref<'_>,
+    c: &mut [f32],
+    ldc: usize,
+    parallel: bool,
+    ep: QEpilogue<'_>,
+) {
+    assert!(
+        k <= MAX_K_I8,
+        "gemm_i8: k = {k} exceeds the i32 overflow bound {MAX_K_I8}"
+    );
+    debug_assert!(ldc >= n);
+    debug_assert!(a.m == m && a.k == k, "packed A8 is {}x{}", a.m, a.k);
+    debug_assert!(b.k == k && b.n == n, "packed B8 is {}x{}", b.k, b.n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        let zeros = [0i32; NR];
+        for (i, row) in c.chunks_mut(ldc).take(m).enumerate() {
+            let mut j0 = 0;
+            while j0 < n {
+                let width = NR.min(n - j0);
+                ep.apply(&mut row[j0..j0 + width], &zeros[..width], i, j0);
+                j0 += width;
+            }
+        }
+        return;
+    }
+    let workers = crate::workers::worker_count();
+    if parallel && workers > 1 && m * n * k >= crate::gemm::PAR_MIN_WORK && m >= 2 * MR {
+        // Band height: even split over workers, rounded up to MR. With
+        // both operands pre-packed the bands are fully independent —
+        // each runs the whole serial algorithm on its row range.
+        let band = m.div_ceil(workers).div_ceil(MR) * MR;
+        rayon::scope(|s| {
+            let mut rest = &mut c[..];
+            let mut i0 = 0;
+            while i0 < m {
+                let rows = band.min(m - i0);
+                let split = (rows * ldc).min(rest.len());
+                let (band_c, tail) = rest.split_at_mut(split);
+                s.spawn(move |_| gemm_i8_serial(i0, rows, n, k, a, b, band_c, ldc, ep));
+                rest = tail;
+                i0 += rows;
+            }
+        });
+    } else {
+        gemm_i8_serial(0, m, n, k, a, b, c, ldc, ep);
+    }
+}
+
+/// The single-threaded int8 blocked GEMM over rows `i0..i0+m` of the
+/// logical product; `c` starts at row `i0`.
+#[allow(clippy::too_many_arguments)]
+fn gemm_i8_serial(
+    i0: usize,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: PackedA8Ref<'_>,
+    b: PackedB8Ref<'_>,
+    c: &mut [f32],
+    ldc: usize,
+    ep: QEpilogue<'_>,
+) {
+    if k <= KC8 {
+        // Single-slice fast path (every layer shape in this crate):
+        // requantise straight out of the register tile.
+        let panel = b.panel(0, k);
+        let mut ic = 0;
+        while ic < m {
+            let mc = MC8.min(m - ic);
+            macro_tile_i8(
+                a.block(i0 + ic, 0, k),
+                panel,
+                mc,
+                n,
+                k,
+                &mut c[ic * ldc..],
+                ldc,
+                i0 + ic,
+                ep,
+            );
+            ic += mc;
+        }
+        return;
+    }
+    // Multi-slice: accumulate each MC8-row block across all K-slices in
+    // an i32 scratch, requantise once after the last slice.
+    ACC32.with(|cell| {
+        let mut acc = cell.take();
+        acc.resize((MC8 * n).max(acc.len()), 0);
+        let mut ic = 0;
+        while ic < m {
+            let mc = MC8.min(m - ic);
+            acc[..mc * n].fill(0);
+            let mut pc = 0;
+            while pc < k {
+                let kc = KC8.min(k - pc);
+                macro_tile_i8_acc(
+                    a.block(i0 + ic, pc, kc),
+                    b.panel(pc, kc),
+                    mc,
+                    n,
+                    kc,
+                    &mut acc,
+                );
+                pc += kc;
+            }
+            for r in 0..mc {
+                let row = &mut c[(ic + r) * ldc..][..n];
+                ep.apply(row, &acc[r * n..][..n], i0 + ic + r, 0);
+            }
+            ic += mc;
+        }
+        cell.replace(acc);
+    });
+}
+
+/// Runs the int8 micro-kernel ([`eml_simd::madd_tile_i16`]) over every
+/// MR×NR tile of an `mc × n` block, requantising each tile row
+/// straight into `c` (single-slice path). `row0` is the global row
+/// index of `c[0]`.
+#[allow(clippy::too_many_arguments)]
+fn macro_tile_i8(
+    pa: &[i16],
+    pb: &[i16],
+    mc: usize,
+    n: usize,
+    kc: usize,
+    c: &mut [f32],
+    ldc: usize,
+    row0: usize,
+    ep: QEpilogue<'_>,
+) {
+    let row_strips = mc.div_ceil(MR);
+    let col_strips = n.div_ceil(NR);
+    let kcp = k_pad(kc);
+    for rs in 0..row_strips {
+        let pa_strip = &pa[rs * kcp * MR..][..kcp * MR];
+        let rows = MR.min(mc - rs * MR);
+        for cs in 0..col_strips {
+            let pb_strip = &pb[cs * kcp * NR..][..kcp * NR];
+            let cols = NR.min(n - cs * NR);
+            let mut acc = [[0i32; NR]; MR];
+            eml_simd::madd_tile_i16(pa_strip, pb_strip, kcp / 2, &mut acc);
+            if rows == MR && cols == NR {
+                // Full-tile fast path: fixed-size rows vectorise the
+                // convert-scale-store.
+                for (r, vals) in acc.iter().enumerate() {
+                    let dst: &mut [f32; NR] = (&mut c[(rs * MR + r) * ldc + cs * NR..][..NR])
+                        .try_into()
+                        .expect("NR-wide row");
+                    ep.apply_tile_row(dst, vals, row0 + rs * MR + r, cs * NR);
+                }
+                continue;
+            }
+            for (r, vals) in acc.iter().enumerate().take(rows) {
+                let row = &mut c[(rs * MR + r) * ldc + cs * NR..][..cols];
+                ep.apply(row, &vals[..cols], row0 + rs * MR + r, cs * NR);
+            }
+        }
+    }
+}
+
+/// [`macro_tile_i8`], but accumulating raw `i32` tiles into `acc`
+/// (`mc × n`, row-major) for the multi-slice path.
+fn macro_tile_i8_acc(pa: &[i16], pb: &[i16], mc: usize, n: usize, kc: usize, acc: &mut [i32]) {
+    let row_strips = mc.div_ceil(MR);
+    let col_strips = n.div_ceil(NR);
+    let kcp = k_pad(kc);
+    for rs in 0..row_strips {
+        let pa_strip = &pa[rs * kcp * MR..][..kcp * MR];
+        let rows = MR.min(mc - rs * MR);
+        for cs in 0..col_strips {
+            let pb_strip = &pb[cs * kcp * NR..][..kcp * NR];
+            let cols = NR.min(n - cs * NR);
+            let mut tile = [[0i32; NR]; MR];
+            eml_simd::madd_tile_i16(pa_strip, pb_strip, kcp / 2, &mut tile);
+            for (r, vals) in tile.iter().enumerate().take(rows) {
+                let row = &mut acc[(rs * MR + r) * n + cs * NR..][..cols];
+                for (d, &v) in row.iter_mut().zip(vals) {
+                    *d += v;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quant::quantize_i8;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_vec(len: usize, seed: u64) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect()
+    }
+
+    /// Scalar oracle: quantise both operands exactly like the pack
+    /// step, multiply in i64, requantise per element.
+    #[allow(clippy::too_many_arguments)]
+    fn naive_i8(
+        m: usize,
+        n: usize,
+        k: usize,
+        a: &[f32],
+        b: &[f32],
+        inv_a: f32,
+        inv_b: f32,
+        scale: f32,
+        bias_row: Option<&[f32]>,
+        bias_col: Option<&[f32]>,
+        relu: bool,
+    ) -> Vec<f32> {
+        let qa: Vec<i32> = a.iter().map(|&x| quantize_i8(x, inv_a) as i32).collect();
+        let qb: Vec<i32> = b.iter().map(|&x| quantize_i8(x, inv_b) as i32).collect();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0i64;
+                for p in 0..k {
+                    acc += i64::from(qa[i * k + p]) * i64::from(qb[p * n + j]);
+                }
+                let mut v = acc as f32 * scale
+                    + bias_row.map_or(0.0, |b| b[i])
+                    + bias_col.map_or(0.0, |b| b[j]);
+                if relu {
+                    v = v.max(0.0);
+                }
+                out[i * n + j] = v;
+            }
+        }
+        out
+    }
+
+    fn check_case(m: usize, n: usize, k: usize, bias_kind: usize, relu: bool) {
+        let a = random_vec(m * k, 100 + m as u64 * 7 + k as u64);
+        let b = random_vec(k * n, 200 + n as u64 * 13);
+        let bias = random_vec(m.max(n), 300);
+        let (inv_a, inv_b) = (127.0 / 0.9, 127.0 / 0.8);
+        let scale = (0.9 / 127.0) * (0.8 / 127.0);
+        let pa = PackedA8::pack_quantized(MatRef::new(&a, k), m, k, inv_a);
+        let pb = PackedB8::pack_quantized(MatRef::new(&b, n), k, n, inv_b);
+        let mut ep = QEpilogue::scaled(scale);
+        let (bias_row, bias_col) = match bias_kind {
+            1 => {
+                ep = ep.with_bias_row(&bias[..m]);
+                (Some(&bias[..m]), None)
+            }
+            2 => {
+                ep = ep.with_bias_col(&bias[..n]);
+                (None, Some(&bias[..n]))
+            }
+            _ => (None, None),
+        };
+        if relu {
+            ep = ep.with_relu();
+        }
+        let expect = naive_i8(
+            m, n, k, &a, &b, inv_a, inv_b, scale, bias_row, bias_col, relu,
+        );
+        let mut c = vec![f32::NAN; m * n];
+        gemm_i8(m, n, k, pa.as_ref(), pb.as_ref(), &mut c, n, false, ep);
+        for (i, (&got, &want)) in c.iter().zip(&expect).enumerate() {
+            // Integer accumulation is exact; the only float work is the
+            // final scale+bias, identical in both — bit-equal expected.
+            assert!(
+                got.to_bits() == want.to_bits(),
+                "({m}x{n}x{k} bias{bias_kind} relu{relu}) c[{i}]: {got} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_naive_across_shapes_and_epilogues() {
+        for &(m, n, k) in &[
+            (1usize, 1usize, 1usize),
+            (3, 5, 7),
+            (4, 16, 8),
+            (5, 17, 9),
+            (32, 64, 27),
+            (13, 40, 144),
+            (65, 33, 301),
+        ] {
+            for bias_kind in 0..3 {
+                for relu in [false, true] {
+                    check_case(m, n, k, bias_kind, relu);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_slice_matches_single_wide_slice_semantics() {
+        // k > KC8 exercises the i32-scratch accumulation path; the
+        // oracle reduces in one pass, so agreement proves the slices
+        // compose exactly. Odd k additionally pads the tail slice.
+        let (m, n, k) = (9usize, 21usize, KC8 + 37);
+        check_case(m, n, k, 1, true);
+        check_case(m, n, k, 0, false);
+        check_case(m, n, 2 * KC8 + 2, 2, false);
+    }
+
+    #[test]
+    fn parallel_band_split_matches_serial() {
+        let (m, n, k) = (96usize, 64usize, 400usize);
+        let a = random_vec(m * k, 6);
+        let b = random_vec(k * n, 7);
+        let bias = random_vec(m, 8);
+        let inv = 127.0;
+        let scale = 1.0 / (127.0 * 127.0);
+        let pa = PackedA8::pack_quantized(MatRef::new(&a, k), m, k, inv);
+        let pb = PackedB8::pack_quantized(MatRef::new(&b, n), k, n, inv);
+        let ep = QEpilogue::scaled(scale).with_bias_row(&bias).with_relu();
+        let mut serial = vec![0.0f32; m * n];
+        gemm_i8(m, n, k, pa.as_ref(), pb.as_ref(), &mut serial, n, false, ep);
+        for workers in [2usize, 4] {
+            crate::workers::FORCE_WORKERS.with(|f| f.set(Some(workers)));
+            let mut par = vec![0.0f32; m * n];
+            gemm_i8(m, n, k, pa.as_ref(), pb.as_ref(), &mut par, n, true, ep);
+            crate::workers::FORCE_WORKERS.with(|f| f.set(None));
+            assert!(
+                serial
+                    .iter()
+                    .zip(&par)
+                    .all(|(x, y)| x.to_bits() == y.to_bits()),
+                "workers={workers}: banded int8 product differs from serial"
+            );
+        }
+    }
+
+    #[test]
+    fn k_zero_writes_bias_only() {
+        let bias = [1.5f32, -2.0];
+        let mut c = vec![9.0f32; 6];
+        let ep = QEpilogue::scaled(0.25).with_bias_row(&bias);
+        gemm_i8(
+            2,
+            3,
+            0,
+            PackedA8Ref::new(&[], 2, 0),
+            PackedB8Ref::new(&[], 0, 3),
+            &mut c,
+            3,
+            false,
+            ep,
+        );
+        assert_eq!(c, &[1.5, 1.5, 1.5, -2.0, -2.0, -2.0]);
+        // With ReLU the negative bias clamps to zero.
+        let ep = QEpilogue::scaled(0.25).with_bias_row(&bias).with_relu();
+        gemm_i8(
+            2,
+            3,
+            0,
+            PackedA8Ref::new(&[], 2, 0),
+            PackedB8Ref::new(&[], 0, 3),
+            &mut c,
+            3,
+            false,
+            ep,
+        );
+        assert_eq!(c, &[1.5, 1.5, 1.5, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn respects_leading_dimension_on_c() {
+        let (m, n, k, ldc) = (3usize, 4usize, 5usize, 7usize);
+        let a = random_vec(m * k, 4);
+        let b = random_vec(k * n, 5);
+        let pa = PackedA8::pack_quantized(MatRef::new(&a, k), m, k, 127.0);
+        let pb = PackedB8::pack_quantized(MatRef::new(&b, n), k, n, 127.0);
+        let mut c = vec![9.0f32; m * ldc];
+        gemm_i8(
+            m,
+            n,
+            k,
+            pa.as_ref(),
+            pb.as_ref(),
+            &mut c,
+            ldc,
+            false,
+            QEpilogue::scaled(1.0),
+        );
+        for row in c.chunks(ldc) {
+            for &v in &row[n..] {
+                assert_eq!(v, 9.0, "columns beyond n must not be written");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "i32 overflow bound")]
+    fn overflow_guard_rejects_pathological_k() {
+        let k = MAX_K_I8 + 1;
+        let pa_buf = vec![0i16; packed_a8_len(4, k)];
+        let pb_buf = vec![0i16; packed_b8_len(k, 1)];
+        let mut c = vec![0.0f32; 4];
+        gemm_i8(
+            4,
+            1,
+            k,
+            PackedA8Ref::new(&pa_buf, 4, k),
+            PackedB8Ref::new(&pb_buf, k, 1),
+            &mut c,
+            1,
+            false,
+            QEpilogue::scaled(1.0),
+        );
+    }
+
+    #[test]
+    fn quantized_packing_saturates_and_rounds() {
+        // Values past the grid clamp to ±127 rather than wrapping, and
+        // non-finite values land on the grid (never escape it).
+        let a = [
+            2.0f32,
+            -2.0,
+            0.004,
+            f32::NAN,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+        ];
+        let pa = PackedA8::pack_quantized(MatRef::new(&a, 6), 1, 6, 127.0);
+        let strip = pa.as_ref().block(0, 0, 6);
+        // Pair-interleaved: element p of row 0 is at (p/2)·2MR + p%2.
+        let lane0: Vec<i16> = (0..6).map(|p| strip[(p / 2) * 2 * MR + (p % 2)]).collect();
+        assert_eq!(lane0, vec![127, -127, 1, -127, 127, -127]);
+    }
+
+    #[test]
+    fn requantize_i8_saturation_edges() {
+        // i32 extremes saturate to the grid ends instead of wrapping.
+        assert_eq!(requantize_i8(i32::MAX, 1.0, 0.0, false), 127);
+        assert_eq!(requantize_i8(i32::MIN, 1.0, 0.0, false), -127);
+        // ±127 clamp exactly at the boundary, one step inside and out.
+        assert_eq!(requantize_i8(127, 1.0, 0.0, false), 127);
+        assert_eq!(requantize_i8(128, 1.0, 0.0, false), 127);
+        assert_eq!(requantize_i8(-127, 1.0, 0.0, false), -127);
+        assert_eq!(requantize_i8(-128, 1.0, 0.0, false), -127);
+        // Bias shifts before the clamp; ReLU clips negatives first.
+        assert_eq!(requantize_i8(100, 1.0, 100.0, false), 127);
+        assert_eq!(requantize_i8(-50, 1.0, 0.0, true), 0);
+        // All-zero accumulator stays exactly zero whatever the scale.
+        assert_eq!(requantize_i8(0, 12345.0, 0.0, false), 0);
+        assert_eq!(requantize_i8(0, 0.0, 0.0, true), 0);
+        // Round-to-nearest on the dequantised value.
+        assert_eq!(requantize_i8(3, 0.5, 0.0, false), 2);
+        assert_eq!(requantize_i8(5, 0.5, 0.0, false), 3); // 2.5 rounds away from zero
+    }
+
+    #[test]
+    fn all_zero_operands_give_exact_zero_or_bias() {
+        let (m, n, k) = (4usize, 16usize, 32usize);
+        let a = vec![0.0f32; m * k];
+        let b = vec![0.0f32; k * n];
+        let pa = PackedA8::pack_quantized(MatRef::new(&a, k), m, k, 0.0);
+        let pb = PackedB8::pack_quantized(MatRef::new(&b, n), k, n, 0.0);
+        let mut c = vec![f32::NAN; m * n];
+        gemm_i8(
+            m,
+            n,
+            k,
+            pa.as_ref(),
+            pb.as_ref(),
+            &mut c,
+            n,
+            false,
+            QEpilogue::scaled(0.0),
+        );
+        assert!(c.iter().all(|&v| v == 0.0));
+        let bias = random_vec(m, 9);
+        let mut c2 = vec![f32::NAN; m * n];
+        gemm_i8(
+            m,
+            n,
+            k,
+            pa.as_ref(),
+            pb.as_ref(),
+            &mut c2,
+            n,
+            false,
+            QEpilogue::scaled(0.0).with_bias_row(&bias),
+        );
+        for (i, row) in c2.chunks(n).enumerate() {
+            assert!(row.iter().all(|&v| v == bias[i]));
+        }
+    }
+}

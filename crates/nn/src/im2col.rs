@@ -34,7 +34,10 @@
 //! kernel's packed-B panel layout** (NR-wide column strips per K-slice,
 //! see [`crate::gemm::PackedB`]), so the convolution hot path skips the
 //! kernel's separate pack pass entirely: lowering and packing become
-//! one write over the data.
+//! one write over the data. [`im2col_packed_i8`] does the same for the
+//! quantised int8 kernel's pair-interleaved panels (see
+//! [`crate::gemm::int8`]), lowering a pre-quantised sample with pure
+//! integer copies.
 
 /// Geometry of one conv lowering (per sample, per group).
 #[derive(Debug, Clone, Copy)]
@@ -235,6 +238,105 @@ pub fn im2col_packed(x: &[f32], g: &ConvGeom, pb: &mut [f32]) {
                 // Padding columns n..n_pad must be zero, matching what
                 // the kernel's own pack step would have produced.
                 row.fill_zero(pb, n, n_pad);
+            }
+        }
+    }
+}
+
+/// The destination of one packed row in the **int8** kernel's packed-B
+/// layout: the same strip walk as [`PackedRow`], but over the int8
+/// kernel's deeper, pair-interleaved K-slices
+/// ([`crate::gemm::int8::KC8`]) — consecutive k-rows share a pair, so
+/// one logical row's columns sit two elements apart.
+#[derive(Clone, Copy)]
+struct PackedRow8 {
+    /// Offset of column 0 of this row (strip 0, including the pair
+    /// lane).
+    base: usize,
+    /// Elements between consecutive strips of this row's K-slice.
+    strip_stride: usize,
+}
+
+impl PackedRow8 {
+    fn new(p: usize, k_rows: usize, n_pad: usize) -> Self {
+        use crate::gemm::int8::KC8;
+        use crate::gemm::NR;
+        let slice = p / KC8;
+        let kc = KC8.min(k_rows - slice * KC8);
+        let kcp = kc + (kc & 1);
+        let p_in = p % KC8;
+        Self {
+            base: n_pad * slice * KC8 + (p_in / 2) * 2 * NR + (p_in & 1),
+            strip_stride: kcp * NR,
+        }
+    }
+
+    /// Writes `src[0], src[stride], …` into columns `[j0, j0 + len)`
+    /// (lane-strided: each column is two elements from the next).
+    fn copy_strided(&self, pb: &mut [i16], mut j0: usize, len: usize, src: &[i16], stride: usize) {
+        use crate::gemm::NR;
+        let j1 = j0 + len;
+        let mut i = 0;
+        while j0 < j1 {
+            let off = j0 % NR;
+            let take = (NR - off).min(j1 - j0);
+            let at = self.base + (j0 / NR) * self.strip_stride + off * 2;
+            let dst = &mut pb[at..at + 2 * take];
+            if stride == 1 {
+                for (d, &v) in dst.chunks_exact_mut(2).zip(&src[i..i + take]) {
+                    d[0] = v;
+                }
+            } else {
+                for (t, d) in dst.chunks_exact_mut(2).enumerate() {
+                    d[0] = src[(i + t) * stride];
+                }
+            }
+            i += take;
+            j0 += take;
+        }
+    }
+}
+
+/// [`im2col`], but lowering a **pre-quantised** sample (int8-grid
+/// values in `i16` storage, see `quant::quantize_slice_i16`) straight
+/// into the int8 GEMM kernel's pair-interleaved packed-B layout:
+/// quantise once per sample, then lowering and packing are one pass of
+/// integer copies. `qx` has the same `[channels][h][w]` plane layout as
+/// the `f32` sample; `pb` must hold at least
+/// [`crate::gemm::packed_b8_len`]`(g.rows(), g.cols())` elements and is
+/// fully overwritten — the used region is zeroed up front in one
+/// `memset`-class pass (cheaper than per-row scattered zero writes into
+/// the lane-strided layout), then only the in-image spans are copied.
+/// Wrap the result in [`crate::gemm::PackedB8Ref::new`] and multiply
+/// with [`crate::gemm::gemm_i8`].
+pub fn im2col_packed_i8(qx: &[i16], g: &ConvGeom, pb: &mut [i16]) {
+    use crate::gemm::{packed_b8_len, NR};
+    let (k, s, ow) = (g.k, g.stride, g.ow);
+    let plane = g.h * g.w;
+    let n = g.cols();
+    let k_rows = g.rows();
+    let n_pad = n.div_ceil(NR) * NR;
+    let used = packed_b8_len(k_rows, n);
+    debug_assert!(pb.len() >= used);
+    // One straight-line zero pass covers the padding margins, the
+    // strip/pair padding and (for odd row counts) the pad k-step.
+    pb[..used].fill(0);
+    for icg in 0..g.channels {
+        let xc = &qx[(g.ch_base + icg) * plane..][..plane];
+        for ky in 0..k {
+            for kx in 0..k {
+                let p = (icg * k + ky) * k + kx;
+                let row = PackedRow8::new(p, k_rows, n_pad);
+                let (lo, hi) = g.ox_range(kx);
+                if lo >= hi {
+                    continue;
+                }
+                for oy in 0..g.oh {
+                    let Some(iy) = g.iy(oy, ky) else { continue };
+                    let ix0 = lo * s + kx - g.padding;
+                    let src = &xc[iy * g.w + ix0..];
+                    row.copy_strided(pb, oy * ow + lo, hi - lo, src, s);
+                }
             }
         }
     }
@@ -509,6 +611,85 @@ mod tests {
                     .zip(&probe2)
                     .all(|(x, y)| x.to_bits() == y.to_bits()),
                 "geom h{h} w{w} k{k} s{s} p{p} ch{ch}: packed lowering differs"
+            );
+        }
+    }
+
+    #[test]
+    fn packed_i8_lowering_matches_quantised_pack_of_plain_lowering() {
+        use crate::gemm::int8::QEpilogue;
+        use crate::gemm::{gemm_i8, packed_b8_len, MatRef, PackedA8, PackedB8, PackedB8Ref};
+        use crate::quant::quantize_slice_i16;
+        // Same geometry classes as the f32 packed test: unaligned
+        // column counts, strides, padding, overhanging kernels, odd
+        // row counts (pair padding) — plus one geometry whose row
+        // count exceeds the int8 kernel's own (deeper) K-slice,
+        // pinning the KC8-based pair-interleaved slice addressing.
+        for &(h, w, k, s, p, ch) in &[
+            (5usize, 5usize, 3usize, 1usize, 1usize, 2usize),
+            (5, 7, 3, 2, 1, 2),
+            (4, 4, 1, 1, 0, 3),
+            (8, 5, 2, 2, 0, 2),
+            (2, 2, 4, 2, 1, 1),
+            (9, 9, 6, 1, 2, 8),
+            // 3 channels x 3^2 kernel = 27 rows: odd, so the layout
+            // carries a zero pad k-step.
+            (6, 6, 3, 1, 1, 3),
+            // 8 channels x 12^2 kernel = 1152 rows > KC8: forces a
+            // second int8 K-slice in the packed layout.
+            (12, 12, 12, 1, 2, 8),
+        ] {
+            let g = geom(h, w, k, s, p, ch, 1);
+            let x: Vec<f32> = (0..(g.ch_base + g.channels) * h * w)
+                .map(|i| (i as f32 * 0.37).sin())
+                .collect();
+            let inv = 127.0 / 0.95;
+            let mut col = vec![0.0f32; g.col_len()];
+            im2col(&x, &g, &mut col);
+            let expect =
+                PackedB8::pack_quantized(MatRef::new(&col, g.cols()), g.rows(), g.cols(), inv);
+            // Quantise the sample once, then lower; poison the
+            // destination: the writer must overwrite everything,
+            // padding included.
+            let mut qx = vec![0i16; x.len()];
+            quantize_slice_i16(&x, inv, &mut qx);
+            let mut pb = vec![i16::MIN; packed_b8_len(g.rows(), g.cols())];
+            im2col_packed_i8(&qx, &g, &mut pb);
+            // Compare through the int8 GEMM (a random quantised A
+            // exercises every panel): bit-equality required.
+            let a: Vec<f32> = (0..3 * g.rows()).map(|i| (i as f32 * 0.11).cos()).collect();
+            let pa = PackedA8::pack_quantized(MatRef::new(&a, g.rows()), 3, g.rows(), 127.0);
+            let mut probe = vec![0.0f32; 3 * g.cols()];
+            let mut probe2 = vec![0.0f32; 3 * g.cols()];
+            let ep = QEpilogue::scaled(1.0);
+            gemm_i8(
+                3,
+                g.cols(),
+                g.rows(),
+                pa.as_ref(),
+                expect.as_ref(),
+                &mut probe,
+                g.cols(),
+                false,
+                ep,
+            );
+            gemm_i8(
+                3,
+                g.cols(),
+                g.rows(),
+                pa.as_ref(),
+                PackedB8Ref::new(&pb, g.rows(), g.cols()),
+                &mut probe2,
+                g.cols(),
+                false,
+                ep,
+            );
+            assert!(
+                probe
+                    .iter()
+                    .zip(&probe2)
+                    .all(|(x, y)| x.to_bits() == y.to_bits()),
+                "geom h{h} w{w} k{k} s{s} p{p} ch{ch}: packed int8 lowering differs"
             );
         }
     }

@@ -95,8 +95,16 @@ pub trait Layer: fmt::Debug {
     /// implementations ([`crate::conv::Conv2d`],
     /// [`crate::linear::Linear`]); everything else ignores it. The
     /// default everywhere is [`Backend::Gemm`]; [`Backend::Reference`]
-    /// is the slow loop-nest oracle used by equivalence tests.
+    /// is the slow loop-nest oracle used by equivalence tests;
+    /// [`Backend::QuantI8`] runs forward passes on the real int8
+    /// kernel (the executed data-precision knob, see [`crate::quant`]).
     fn set_backend(&mut self, _backend: Backend) {}
+
+    /// Freezes (or unfreezes) the layer's int8 activation-quantisation
+    /// scale at the range observed so far (see
+    /// [`crate::quant::ActObserver`]). No-op for layers without an
+    /// int8 path.
+    fn freeze_act_scale(&mut self, _frozen: bool) {}
 
     /// Cost of this layer at its *current* active width for one sample of
     /// `in_shape` (no batch axis).

@@ -68,4 +68,5 @@ pub use error::{NnError, Result};
 pub use gemm::Backend;
 pub use layer::{Layer, LayerCost};
 pub use network::{Network, NetworkCost};
+pub use quant::{ActObserver, Precision};
 pub use tensor::Tensor;

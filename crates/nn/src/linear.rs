@@ -8,9 +8,12 @@
 //!
 //! Like [`crate::conv::Conv2d`], the layer runs on the blocked GEMM
 //! kernel by default ([`Backend::Gemm`]; forward is one
-//! `Y = X · Wᵀ + b` product over the batch) with the original
-//! row-by-row dot products retained as [`Backend::Reference`], the
-//! oracle for the equivalence property tests.
+//! `Y = X · Wᵀ + b` product over the batch), on the quantised int8
+//! kernel under [`Backend::QuantI8`] (cached int8 `Wᵀ` panels, the
+//! batch quantised and packed per call, fused requantisation — the
+//! executed data-precision knob), with the original row-by-row dot
+//! products retained as [`Backend::Reference`], the oracle for the
+//! equivalence property tests.
 //!
 //! Both weight operands the GEMM path reads — `Wᵀ` in forward and `W`
 //! in the input-gradient product — are packed once per weight version
@@ -22,8 +25,12 @@ use std::ops::Range;
 use rand::Rng;
 
 use crate::error::{NnError, Result};
-use crate::gemm::{gemm, gemm_with, Backend, Epilogue, Lhs, MatRef, PackedB, Rhs};
+use crate::gemm::{
+    gemm, gemm_i8, gemm_with, pack_a8_quantized, packed_a8_len, Backend, Epilogue, Lhs, MatRef,
+    PackedA8Ref, PackedB, PackedB8, QEpilogue, Rhs,
+};
 use crate::layer::{sgd_update_span, Layer, LayerCost};
+use crate::quant::{finite_max_abs, inv_or_zero, ActObserver, I8_LEVELS};
 use crate::tensor::Tensor;
 
 /// A dense layer `y = W·x + b` with width-scalable input features.
@@ -48,6 +55,16 @@ pub struct Linear {
     packed_fwd: Option<PackedB>,
     /// `W` (active-width prefix) packed for the input-gradient GEMM.
     packed_bwd: Option<PackedB>,
+    /// `Wᵀ` (active-width prefix) quantised and packed for the
+    /// [`Backend::QuantI8`] forward: per-tensor weight scale + int8
+    /// panels, invalidated exactly like [`Linear::packed_fwd`].
+    packed_fwd8: Option<(f32, PackedB8)>,
+    /// Reusable buffer for the quantised, packed input batch of the
+    /// int8 forward; grows once, then reused.
+    qx_buf: Vec<i16>,
+    /// Input-activation range observer for the int8 path (see
+    /// [`ActObserver`]).
+    act_obs: ActObserver,
 }
 
 impl Linear {
@@ -100,15 +117,25 @@ impl Linear {
             backend: Backend::default(),
             packed_fwd: None,
             packed_bwd: None,
+            packed_fwd8: None,
+            qx_buf: Vec::new(),
+            act_obs: ActObserver::default(),
         })
     }
 
-    /// Drops the cached packed weight operands. Must be called whenever
-    /// the weights, the active width or the backend change; the next
-    /// GEMM pass re-packs lazily.
+    /// Drops the cached packed weight operands (f32 and int8). Must be
+    /// called whenever the weights, the active width or the backend
+    /// change; the next GEMM pass re-packs lazily.
     fn invalidate_packed(&mut self) {
         self.packed_fwd = None;
         self.packed_bwd = None;
+        self.packed_fwd8 = None;
+    }
+
+    /// The int8 input-activation observer (range seen so far, frozen
+    /// state); see [`ActObserver`].
+    pub fn act_observer(&self) -> ActObserver {
+        self.act_obs
     }
 
     /// The currently selected compute backend (see
@@ -130,6 +157,11 @@ impl Linear {
     /// The output feature count (not width-scaled).
     pub fn out_features(&self) -> usize {
         self.out_features
+    }
+
+    /// Raw weight slice, `[out][in]` row-major (testing/inspection).
+    pub fn weights(&self) -> &[f32] {
+        &self.w
     }
 
     fn per_group(&self) -> usize {
@@ -192,6 +224,55 @@ impl Layer for Linear {
                     Epilogue::bias_col(&self.b),
                 );
             }
+            Backend::QuantI8 => {
+                // Same product on the int8 kernel: Wᵀ quantised
+                // per-tensor (over the active column prefix) and packed
+                // once per weight version; the batch quantised into
+                // packed int8 layout per call (scale from the
+                // activation observer); requantisation + bias fused in
+                // the epilogue.
+                let (w, in_features, out_features) = (&self.w, self.in_features, self.out_features);
+                if self.packed_fwd8.is_none() {
+                    let mut w_max = 0.0f32;
+                    for of in 0..out_features {
+                        w_max = w_max.max(finite_max_abs(&w[of * in_features..][..f_active]));
+                    }
+                    let w_scale = w_max / I8_LEVELS;
+                    let inv_w = inv_or_zero(w_scale);
+                    self.packed_fwd8 = Some((
+                        w_scale,
+                        PackedB8::pack_quantized(
+                            MatRef::t(w, in_features),
+                            f_active,
+                            out_features,
+                            inv_w,
+                        ),
+                    ));
+                }
+                let (x_scale, inv_x) = self.act_obs.observe_scale(finite_max_abs(x));
+                let (w_scale, packed) = self.packed_fwd8.as_ref().expect("packed above");
+                let q_scale = x_scale * w_scale;
+                let qx_len = packed_a8_len(n, f_active);
+                self.qx_buf.resize(qx_len.max(self.qx_buf.len()), 0);
+                pack_a8_quantized(
+                    MatRef::new(x, f_active),
+                    n,
+                    f_active,
+                    inv_x,
+                    &mut self.qx_buf,
+                );
+                gemm_i8(
+                    n,
+                    out_features,
+                    f_active,
+                    PackedA8Ref::new(&self.qx_buf[..qx_len], n, f_active),
+                    packed.as_ref(),
+                    out.data_mut(),
+                    out_features,
+                    true,
+                    QEpilogue::scaled(q_scale).with_bias_col(&self.b),
+                );
+            }
         }
         if train {
             self.cache = Some(input.clone());
@@ -229,7 +310,9 @@ impl Layer for Linear {
                     }
                 }
             }
-            Backend::Gemm => {
+            // Training under QuantI8 runs the f32 backward against the
+            // master weights (the forward cache holds the f32 input).
+            Backend::Gemm | Backend::QuantI8 => {
                 for row in go.chunks(self.out_features) {
                     for (gb, &g) in self.gb.iter_mut().zip(row) {
                         *gb += g;
@@ -334,6 +417,10 @@ impl Layer for Linear {
         self.backend = backend;
         // Also frees the panel memory when leaving the GEMM backend.
         self.invalidate_packed();
+    }
+
+    fn freeze_act_scale(&mut self, frozen: bool) {
+        self.act_obs.freeze(frozen);
     }
 
     fn cost(&self, in_shape: &[usize]) -> Result<LayerCost> {

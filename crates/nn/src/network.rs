@@ -133,12 +133,34 @@ impl Network {
     }
 
     /// Selects the compute backend on every layer (see
-    /// [`crate::gemm::Backend`]). Purely an implementation switch: both
-    /// backends produce outputs equal to within float re-association,
-    /// and the equivalence property tests pin them together.
+    /// [`crate::gemm::Backend`]). For `Reference`/`Gemm` this is purely
+    /// an implementation switch (outputs equal to within float
+    /// re-association, pinned by the equivalence property tests);
+    /// `QuantI8` changes the numerics — forward passes run real int8
+    /// arithmetic, trading a small, measurable accuracy cost for
+    /// latency.
     pub fn set_backend(&mut self, backend: crate::gemm::Backend) {
         for layer in &mut self.layers {
             layer.set_backend(backend);
+        }
+    }
+
+    /// Sets the data-precision knob (the second application knob of the
+    /// paper's Fig 5, next to width): [`crate::quant::Precision::F32`]
+    /// runs the `f32` GEMM backend,
+    /// [`crate::quant::Precision::Int8`] the real int8 kernel path.
+    pub fn set_precision(&mut self, precision: crate::quant::Precision) {
+        self.set_backend(precision.backend());
+    }
+
+    /// Freezes (or unfreezes) every layer's int8 activation scale at
+    /// the range observed so far — run representative data through the
+    /// network first (at any precision the layers observe, i.e.
+    /// `QuantI8`), then freeze for batch-to-batch consistent
+    /// quantisation. See [`crate::quant::ActObserver`].
+    pub fn freeze_act_scales(&mut self, frozen: bool) {
+        for layer in &mut self.layers {
+            layer.freeze_act_scale(frozen);
         }
     }
 

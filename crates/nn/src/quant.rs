@@ -1,36 +1,167 @@
-//! Post-training weight quantization — the *data precision* application
-//! knob of the paper's Fig 5.
+//! Quantization — the *data precision* application knob of the paper's
+//! Fig 5, in both of its forms.
 //!
 //! Alongside the width knob, the paper lists "data precision" among the
 //! application knobs an RTM can turn. This module implements symmetric
-//! uniform post-training quantization of layer weights: each layer's
-//! weights are snapped to a `2^(bits−1) − 1`-step grid scaled to the
-//! layer's absolute maximum. Inference then *simulates* reduced-precision
-//! execution (weights carry quantization error while arithmetic stays
-//! `f32`), which is the standard way to measure PTQ accuracy impact
-//! without integer kernels.
+//! uniform quantization two ways:
 //!
-//! Combined with [`crate::metrics::evaluate`], this yields the
-//! accuracy-vs-precision trade-off curve that an RTM could exploit on
-//! platforms with fast low-precision paths.
+//! 1. **Simulation** ([`quantize_network`]): layer weights are snapped
+//!    in place to a `2^(bits−1) − 1`-step grid scaled to the layer's
+//!    absolute maximum, while arithmetic stays `f32` — the standard way
+//!    to measure PTQ accuracy impact at *any* bit width.
+//! 2. **Execution** ([`Precision::Int8`] /
+//!    [`crate::gemm::Backend::QuantI8`]): `Conv2d`/`Linear` forward
+//!    passes run on the real int8 kernel ([`crate::gemm::int8`]) —
+//!    per-tensor int8 weights packed and cached per weight version,
+//!    activations quantised through a per-layer [`ActObserver`] scale,
+//!    exact `i32` accumulation and a fused requantisation epilogue. The
+//!    precision knob then trades **measured** latency against
+//!    **measured** accuracy instead of simulating it.
+//!
+//! Combined with [`crate::metrics::evaluate`], either path yields the
+//! accuracy-vs-precision trade-off curve the RTM exploits.
 
 use crate::error::{NnError, Result};
+use crate::gemm::Backend;
 use crate::network::Network;
+
+/// Number of positive levels of the symmetric int8 grid.
+pub(crate) const I8_LEVELS: f32 = 127.0;
+
+/// Largest finite absolute value in `w`; `0.0` for an empty or
+/// all-non-finite slice. The non-finite guard keeps a single NaN/inf
+/// from poisoning a whole tensor's quantisation scale.
+///
+/// Runs per batch on the int8 forward path (activation range), so it
+/// is written as eight independent branchless max lanes — a
+/// `filter(is_finite)` fold compiles to a scalar compare-and-branch
+/// loop, while this form vectorises (`cmpps`/`andps`/`maxps`).
+pub(crate) fn finite_max_abs(w: &[f32]) -> f32 {
+    let mut lanes = [0.0f32; 8];
+    let mut it = w.chunks_exact(8);
+    for chunk in &mut it {
+        for (m, &x) in lanes.iter_mut().zip(chunk) {
+            let a = x.abs();
+            // `a <= MAX` is false for NaN and +inf: both lower to 0,
+            // i.e. they are ignored by the running max.
+            let a = if a <= f32::MAX { a } else { 0.0 };
+            if a > *m {
+                *m = a;
+            }
+        }
+    }
+    let mut m = 0.0f32;
+    for &l in &lanes {
+        if l > m {
+            m = l;
+        }
+    }
+    for &x in it.remainder() {
+        let a = x.abs();
+        if a <= f32::MAX && a > m {
+            m = a;
+        }
+    }
+    m
+}
+
+/// Quantises one value to the symmetric int8 grid:
+/// `round(x · inv_scale)` (ties to even) clamped to `[-127, 127]`.
+/// Saturates instead of wrapping; NaN and −inf map to `−127`, +inf to
+/// `+127` (through the clamp, whose `max` resolves NaN to its limit).
+///
+/// Written clamp-first with the classic `+1.5·2²³` magic-bias round
+/// rather than `f32::round` + saturating cast, because on the baseline
+/// x86-64 target `round()` is a libm call and the saturating cast
+/// needs per-lane fix-up branches — both defeat vectorisation of the
+/// packing loops, which this form keeps branchless (`mulps`/`maxps`/
+/// `minps`/`addps` + integer subtract).
+#[inline]
+#[cfg(test)] // production packing stores i16 (quantize_i8w); the i8 form is the test oracle
+pub(crate) fn quantize_i8(x: f32, inv_scale: f32) -> i8 {
+    quantize_grid(x, inv_scale) as i8
+}
+
+/// [`quantize_i8`], widened to the `i16` storage the packed int8
+/// panels use (values stay on the `[-127, 127]` grid).
+#[inline]
+pub(crate) fn quantize_i8w(x: f32, inv_scale: f32) -> i16 {
+    quantize_grid(x, inv_scale) as i16
+}
+
+/// Shared core of the int8-grid quantisers: after the magic bias the
+/// low bits hold the rounded value in two's complement, so a
+/// truncating cast to `i8`/`i16` recovers it exactly on the clamped
+/// range.
+#[inline]
+#[allow(clippy::manual_clamp)] // f32::clamp propagates NaN into the bit tricks below; max-then-min resolves NaN to a grid edge
+fn quantize_grid(x: f32, inv_scale: f32) -> u32 {
+    /// `1.5 · 2²³`: adding it to a value in `[-127, 127]` pushes the
+    /// rounded value into the low mantissa bits.
+    const MAGIC: f32 = 12_582_912.0;
+    let v = (x * inv_scale).max(-I8_LEVELS).min(I8_LEVELS);
+    (v + MAGIC).to_bits().wrapping_sub(MAGIC.to_bits())
+}
+
+/// The multiplier that quantises against `scale`, with the degenerate
+/// all-zero (or all-non-finite) range mapping to `0` — every value
+/// then quantises to exactly `0` instead of dividing by zero. Shared
+/// by all weight- and activation-scale call sites so the zero-scale
+/// policy cannot diverge between layers.
+#[inline]
+pub(crate) fn inv_or_zero(scale: f32) -> f32 {
+    if scale > 0.0 {
+        1.0 / scale
+    } else {
+        0.0
+    }
+}
+
+/// Quantises a contiguous `f32` slice onto the int8 grid in `i16`
+/// storage — the branchless per-element form vectorises, so this is
+/// one cheap pass even over whole input tensors. Only the first
+/// `src.len()` elements of `dst` are written.
+pub(crate) fn quantize_slice_i16(src: &[f32], inv_scale: f32, dst: &mut [i16]) {
+    for (d, &x) in dst.iter_mut().zip(src) {
+        *d = quantize_i8w(x, inv_scale);
+    }
+}
 
 /// Quantizes a weight slice in place: symmetric uniform, per-tensor scale.
 ///
 /// `bits` counts the sign bit, so `bits = 8` yields the `[-127, 127]` int8
 /// grid. Zero weights stay exactly zero; an all-zero tensor is unchanged.
+///
+/// Non-finite weights are clamped rather than propagated: the scale is
+/// computed over finite values only (a single NaN/inf would otherwise
+/// silently zero — or NaN — every other weight through an infinite
+/// scale), then NaN snaps to `0` and ±inf to the grid ends `±max_abs`.
 pub(crate) fn quantize_slice(w: &mut [f32], bits: u32) {
     debug_assert!(bits >= 2);
-    let max_abs = w.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+    let max_abs = finite_max_abs(w);
     if max_abs == 0.0 {
+        // Nothing finite and non-zero to derive a scale from; still
+        // scrub non-finite values so they cannot leak downstream.
+        for x in w.iter_mut() {
+            if !x.is_finite() {
+                *x = 0.0;
+            }
+        }
         return;
     }
     let levels = ((1u32 << (bits - 1)) - 1) as f32;
     let scale = max_abs / levels;
     for x in w.iter_mut() {
-        *x = (*x / scale).round() * scale;
+        let v = if x.is_finite() {
+            *x
+        } else if *x == f32::INFINITY {
+            max_abs
+        } else if *x == f32::NEG_INFINITY {
+            -max_abs
+        } else {
+            0.0
+        };
+        *x = (v / scale).round() * scale;
     }
 }
 
@@ -52,6 +183,94 @@ pub fn quantize_network(net: &mut Network, bits: u32) -> Result<()> {
     }
     net.quantize_weights_internal(bits);
     Ok(())
+}
+
+/// The data-precision execution modes of the RTM's knob: full `f32`
+/// compute, or the real int8 kernel path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Precision {
+    /// `f32` arithmetic throughout ([`Backend::Gemm`]). The default.
+    #[default]
+    F32,
+    /// int8 storage and arithmetic with `i32` accumulation on the
+    /// quantised kernel path ([`Backend::QuantI8`]): lower latency and
+    /// memory traffic for a small, measurable accuracy cost.
+    Int8,
+}
+
+impl Precision {
+    /// The compute backend that realises this precision.
+    pub fn backend(self) -> Backend {
+        match self {
+            Self::F32 => Backend::Gemm,
+            Self::Int8 => Backend::QuantI8,
+        }
+    }
+}
+
+/// Tracks the dynamic range of a layer's input activations for int8
+/// quantisation. Each `Conv2d`/`Linear` owns one; every `QuantI8`
+/// forward pass feeds it the batch's absolute maximum.
+///
+/// Unfrozen (the default), the quantisation scale is *dynamic*: each
+/// batch uses its own max-abs, so no calibration pass is required and
+/// identical inputs always produce identical outputs. [`ActObserver::freeze`]
+/// switches to *static* scales — the running maximum observed so far
+/// becomes the fixed scale (activations beyond it saturate at ±127),
+/// which makes quantisation consistent across batches after a
+/// calibration run over representative data.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ActObserver {
+    max_abs: f32,
+    frozen: bool,
+}
+
+impl ActObserver {
+    /// Records one batch's absolute maximum (ignored when frozen or
+    /// non-finite).
+    pub fn observe(&mut self, batch_max_abs: f32) {
+        if !self.frozen && batch_max_abs.is_finite() {
+            self.max_abs = self.max_abs.max(batch_max_abs);
+        }
+    }
+
+    /// The largest activation magnitude observed so far.
+    pub fn max_abs(&self) -> f32 {
+        self.max_abs
+    }
+
+    /// Freezes (or unfreezes) the observed range as the static
+    /// quantisation scale.
+    pub fn freeze(&mut self, frozen: bool) {
+        self.frozen = frozen;
+    }
+
+    /// Whether the scale is static (frozen) rather than per-batch.
+    pub fn is_frozen(&self) -> bool {
+        self.frozen
+    }
+
+    /// The quantisation scale to use for a batch with the given
+    /// max-abs: the frozen range when static, the batch's own range
+    /// when dynamic.
+    pub fn scale_for(&self, batch_max_abs: f32) -> f32 {
+        let amax = if self.frozen {
+            self.max_abs
+        } else {
+            batch_max_abs
+        };
+        amax / I8_LEVELS
+    }
+
+    /// One-call form of the per-batch observe/derive sequence the
+    /// quantised layer forwards run: records `batch_max_abs`, then
+    /// returns `(scale, inv_scale)` with the shared zero-range policy
+    /// of [`inv_or_zero`].
+    pub(crate) fn observe_scale(&mut self, batch_max_abs: f32) -> (f32, f32) {
+        self.observe(batch_max_abs);
+        let scale = self.scale_for(batch_max_abs);
+        (scale, inv_or_zero(scale))
+    }
 }
 
 /// Number of positive quantization levels of a `bits`-bit symmetric grid
@@ -109,6 +328,79 @@ mod tests {
         let mut w = vec![0.0f32; 8];
         quantize_slice(&mut w, 8);
         assert!(w.iter().all(|&x| x == 0.0));
+    }
+
+    /// Regression: a single NaN or inf used to flow into `max_abs`,
+    /// producing a NaN/inf scale that silently poisoned (zeroed or
+    /// NaN-ed) every other weight in the tensor.
+    #[test]
+    fn non_finite_weights_cannot_poison_the_tensor() {
+        let mut w = vec![
+            0.5f32,
+            f32::NAN,
+            -1.0,
+            f32::INFINITY,
+            0.25,
+            f32::NEG_INFINITY,
+        ];
+        quantize_slice(&mut w, 8);
+        assert!(w.iter().all(|x| x.is_finite()), "no non-finite survives");
+        // Finite values quantise against the finite max (1.0), as if the
+        // bad values were absent.
+        let scale = 1.0f32 / 127.0;
+        assert!((w[0] - (0.5f32 / scale).round() * scale).abs() < 1e-6);
+        assert_eq!(w[2], -1.0, "finite max magnitude preserved");
+        // NaN snaps to zero, ±inf clamps to the grid ends.
+        assert_eq!(w[1], 0.0);
+        assert_eq!(w[3], 1.0);
+        assert_eq!(w[5], -1.0);
+        // All-non-finite tensor: scrubbed to zero, not left poisoned.
+        let mut bad = vec![f32::NAN, f32::INFINITY, f32::NEG_INFINITY];
+        quantize_slice(&mut bad, 8);
+        assert_eq!(bad, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn act_observer_dynamic_and_frozen_scales() {
+        let mut obs = ActObserver::default();
+        assert!(!obs.is_frozen());
+        // Dynamic: the batch's own range wins, observation just records.
+        obs.observe(2.0);
+        obs.observe(f32::NAN); // ignored
+        obs.observe(1.0);
+        assert_eq!(obs.max_abs(), 2.0);
+        assert_eq!(obs.scale_for(4.0), 4.0 / 127.0);
+        // Frozen: the recorded range becomes the static scale.
+        obs.freeze(true);
+        assert_eq!(obs.scale_for(4.0), 2.0 / 127.0);
+        obs.observe(10.0); // frozen observers stop recording
+        assert_eq!(obs.max_abs(), 2.0);
+        obs.freeze(false);
+        obs.observe(10.0);
+        assert_eq!(obs.max_abs(), 10.0);
+    }
+
+    #[test]
+    fn precision_maps_to_backends() {
+        assert_eq!(Precision::default(), Precision::F32);
+        assert_eq!(Precision::F32.backend(), Backend::Gemm);
+        assert_eq!(Precision::Int8.backend(), Backend::QuantI8);
+    }
+
+    #[test]
+    fn quantize_i8_saturates_and_handles_non_finite() {
+        assert_eq!(quantize_i8(0.5, 127.0), 64); // 63.5 rounds to even 64
+        assert_eq!(quantize_i8(0.25, 2.0), 0); // 0.5 ties to even 0
+        assert_eq!(quantize_i8(0.75, 2.0), 2); // 1.5 ties to even 2
+        assert_eq!(quantize_i8(1.0, 127.0), 127);
+        assert_eq!(quantize_i8(-1.0, 127.0), -127);
+        assert_eq!(quantize_i8(40.0, 127.0), 127, "saturates, never wraps");
+        assert_eq!(quantize_i8(-40.0, 127.0), -127);
+        // Non-finite values land on the grid, never escape it.
+        assert_eq!(quantize_i8(f32::NAN, 127.0), -127);
+        assert_eq!(quantize_i8(f32::INFINITY, 127.0), 127);
+        assert_eq!(quantize_i8(f32::NEG_INFINITY, 127.0), -127);
+        assert_eq!(quantize_i8(0.3, 0.0), 0, "zero inv-scale quantises to 0");
     }
 
     #[test]

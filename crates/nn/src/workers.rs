@@ -60,20 +60,23 @@ pub(crate) fn band_count(items: usize, parallel: bool) -> usize {
 /// `aux_per_band`-element slice of `aux` to reuse across its items
 /// (each buffer must hold at least `band_count(items, parallel)` times
 /// its per-band length; pass an empty `aux` with `aux_per_band == 0`
-/// when unused).
+/// when unused). The scratch element type is generic so the quantised
+/// forward path can hand out per-band `i16` column buffers through the
+/// same mechanism as the `f32` paths.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn for_each_band<F>(
+pub(crate) fn for_each_band<S, F>(
     data: &mut [f32],
     items: usize,
     item_len: usize,
-    scratch: &mut [f32],
+    scratch: &mut [S],
     scratch_per_band: usize,
     aux: &mut [f32],
     aux_per_band: usize,
     parallel: bool,
     f: F,
 ) where
-    F: Fn(usize, &mut [f32], &mut [f32], &mut [f32]) + Sync,
+    S: Send,
+    F: Fn(usize, &mut [f32], &mut [S], &mut [f32]) + Sync,
 {
     let bands = band_count(items, parallel);
     debug_assert!(data.len() >= items * item_len);

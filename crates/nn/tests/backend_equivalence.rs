@@ -3,6 +3,12 @@
 //! `Backend::Gemm` and `Backend::Reference` must agree to within 1e-4
 //! on forward outputs, input gradients and post-step weights, and
 //! frozen groups must stay bit-identical through a training step.
+//!
+//! The int8 path gets the same treatment with an analytic bound:
+//! `Backend::QuantI8` forward must match the quant-simulated `f32`
+//! forward (int8-grid weights, `f32` arithmetic) within a tolerance
+//! *derived from the quantisation scales* — see
+//! [`quant_tolerance`].
 
 use eml_nn::arch::{build_group_cnn, CnnConfig};
 use eml_nn::conv::{Conv2d, Conv2dConfig};
@@ -15,6 +21,22 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 const TOL: f32 = 1e-4;
+
+/// Per-output-element error bound of the int8 path against the
+/// quant-simulated `f32` reference, from first principles: with weight
+/// scale `sw`, activation scale `sx`, reduction depth `k`, `Σ|w|` over
+/// the output's weight row and `xmax` the activation range,
+///
+/// ```text
+/// |Δy| ≤ sw/2 · k · xmax   (weight re-quantisation, ≤ half a step)
+///      + sx/2 · Σ|w|       (activation quantisation, ≤ half a step)
+///      + k · sw·sx/4       (cross term)
+/// ```
+///
+/// plus a small float-reassociation slack.
+fn quant_tolerance(sw: f32, sx: f32, k: usize, w_rowsum_abs: f32, xmax: f32) -> f32 {
+    0.5 * sw * k as f32 * xmax + 0.5 * sx * w_rowsum_abs + 0.25 * k as f32 * sw * sx + 1e-4
+}
 
 fn assert_close(a: &Tensor, b: &Tensor, what: &str) -> Result<(), String> {
     if a.shape() != b.shape() {
@@ -250,6 +272,130 @@ proptest! {
         let y2_ref = reference.forward(&x, false).expect("reference forward");
         let y2_gemm = gemm.forward(&x, false).expect("gemm forward");
         assert_close(&y2_ref, &y2_gemm, "linear forward after step")?;
+    }
+
+    /// `Backend::QuantI8` forward matches the quant-simulated `f32`
+    /// reference (master weights snapped to the int8 grid, arithmetic
+    /// in `f32`) within the scale-derived bound of [`quant_tolerance`],
+    /// across conv geometry, group structure and every active width.
+    #[test]
+    fn conv_quant_i8_matches_quant_simulated_f32(
+        seed in 0u64..10_000,
+        grouped in proptest::bool::ANY,
+        groups in 2usize..=4,
+        cpg in 1usize..=2,
+        opg in 1usize..=2,
+        kernel in 1usize..=5,
+        stride in 1usize..=2,
+        padding in 0usize..=2,
+        h in 3usize..=6,
+        w in 3usize..=6,
+        batch in 1usize..=3,
+        active_pick in 0usize..100,
+    ) {
+        let kernel = kernel.min(h.min(w) + 2 * padding);
+        let cfg = Conv2dConfig {
+            in_channels: groups * cpg,
+            out_channels: groups * opg,
+            kernel,
+            stride,
+            padding,
+            conv_groups: if grouped { groups } else { 1 },
+            prune_groups: groups,
+        };
+        let active = active_pick % groups + 1;
+        let (mut simulated, mut quant) = conv_pair(cfg, seed);
+        simulated.set_backend(Backend::Gemm);
+        quant.set_backend(Backend::QuantI8);
+        // Snap both copies' master weights to the int8 grid: the f32
+        // copy then *simulates* int8 weights, the QuantI8 copy
+        // re-quantises them (an extra ≤ half-step of error when the
+        // active prefix's scale differs from the full-tensor scale).
+        simulated.quantize_weights(8);
+        quant.quantize_weights(8);
+        simulated.set_active_groups(active).expect("valid width");
+        quant.set_active_groups(active).expect("valid width");
+
+        let c_in = simulated.expected_in_channels();
+        let x = Tensor::random(&[batch, c_in, h, w], &mut StdRng::seed_from_u64(seed ^ 0xA5));
+        let y_sim = simulated.forward(&x, false).expect("simulated forward");
+        let y_q = quant.forward(&x, false).expect("quant forward");
+        prop_assert_eq!(y_sim.shape(), y_q.shape());
+
+        // Scales exactly as the layer derives them.
+        let icg = if grouped { cpg } else { groups * cpg };
+        let kdim = icg * kernel * kernel;
+        let active_w = quant.active_out_channels() * kdim;
+        let sw = quant.weights()[..active_w]
+            .iter()
+            .fold(0.0f32, |m, &v| m.max(v.abs()))
+            / 127.0;
+        let xmax = x.data().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        let sx = xmax / 127.0;
+        let (c_out, ohw) = (y_sim.shape()[1], y_sim.shape()[2] * y_sim.shape()[3]);
+        for (i, (&a, &b)) in y_sim.data().iter().zip(y_q.data()).enumerate() {
+            let oc = (i / ohw) % c_out;
+            let rowsum: f32 = quant.weights()[oc * kdim..][..kdim]
+                .iter()
+                .map(|v| v.abs())
+                .sum();
+            let tol = quant_tolerance(sw, sx, kdim, rowsum, xmax);
+            prop_assert!(
+                (a - b).abs() <= tol,
+                "y[{i}] (oc {oc}): simulated {a} vs int8 {b}, tol {tol}"
+            );
+        }
+    }
+
+    /// Linear: same scale-derived pin of `Backend::QuantI8` against the
+    /// quant-simulated `f32` reference across sizes and widths.
+    #[test]
+    fn linear_quant_i8_matches_quant_simulated_f32(
+        seed in 0u64..10_000,
+        groups in 1usize..=4,
+        per_group in 1usize..=3,
+        out_features in 1usize..=5,
+        batch in 1usize..=4,
+        active_pick in 0usize..100,
+    ) {
+        let in_features = groups * per_group;
+        let active = active_pick % groups + 1;
+        let mut simulated =
+            Linear::new("l", in_features, out_features, groups, &mut StdRng::seed_from_u64(seed))
+                .expect("cfg");
+        let mut quant =
+            Linear::new("l", in_features, out_features, groups, &mut StdRng::seed_from_u64(seed))
+                .expect("cfg");
+        simulated.set_backend(Backend::Gemm);
+        quant.set_backend(Backend::QuantI8);
+        simulated.quantize_weights(8);
+        quant.quantize_weights(8);
+        simulated.set_active_groups(active).expect("valid width");
+        quant.set_active_groups(active).expect("valid width");
+
+        let f_active = simulated.active_in_features();
+        let x = Tensor::random(&[batch, f_active], &mut StdRng::seed_from_u64(seed ^ 0xA5));
+        let y_sim = simulated.forward(&x, false).expect("simulated forward");
+        let y_q = quant.forward(&x, false).expect("quant forward");
+
+        let sw = (0..out_features)
+            .flat_map(|of| &quant.weights()[of * in_features..][..f_active])
+            .fold(0.0f32, |m, &v| m.max(v.abs()))
+            / 127.0;
+        let xmax = x.data().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        let sx = xmax / 127.0;
+        for (i, (&a, &b)) in y_sim.data().iter().zip(y_q.data()).enumerate() {
+            let of = i % out_features;
+            let rowsum: f32 = quant.weights()[of * in_features..][..f_active]
+                .iter()
+                .map(|v| v.abs())
+                .sum();
+            let tol = quant_tolerance(sw, sx, f_active, rowsum, xmax);
+            prop_assert!(
+                (a - b).abs() <= tol,
+                "y[{i}] (of {of}): simulated {a} vs int8 {b}, tol {tol}"
+            );
+        }
     }
 
     /// Frozen groups stay bit-identical through a GEMM-backend training

@@ -1,0 +1,239 @@
+//! # eml-simd
+//!
+//! Arch-specific micro-kernel primitives for the `emlrt` workspace —
+//! the "arch intrinsics behind a feature gate" rung of the ROADMAP.
+//! This is deliberately the **only** product crate that contains
+//! `unsafe`: one narrowly-scoped block per intrinsic kernel, with the
+//! safety argument written out, and a portable scalar implementation
+//! that is both the non-x86 fallback and the test oracle.
+//!
+//! The sole kernel today is [`madd_tile_i16`]: the inner tile of the
+//! quantised int8 GEMM (`eml_nn::gemm::int8`). Values are int8-grid
+//! quantised (`[-127, 127]`) but **stored as `i16` in pair-interleaved
+//! panels**, because the one integer multiply-accumulate instruction
+//! the x86-64 *baseline* (SSE2) offers — `pmaddwd` — consumes adjacent
+//! `i16` pairs: `acc_i32 += a0·b0 + a1·b1` per lane, 8 MACs per
+//! instruction, twice the `f32` `mulps+addps` rate. Auto-vectorisation
+//! cannot be coaxed into emitting it reliably (measured: the best
+//! scalar formulation runs ~2× *slower* than the f32 kernel), which is
+//! why this crate exists.
+//!
+//! # Panel layout
+//!
+//! For a register tile of [`MR8`]`×`[`NR8`] and a depth slice of
+//! `pairs` k-pairs (odd depths are zero-padded to even by the packers):
+//!
+//! ```text
+//! A strip: [q][r][2] — pairs * 2*MR8 i16   (one 16-byte row per pair)
+//! B strip: [q][c][2] — pairs * 2*NR8 i16   (four 16-byte rows per pair)
+//! ```
+//!
+//! i.e. for k-pair `q`, row `r` of A holds `(a[2q][r], a[2q+1][r])`
+//! adjacently, and column `c` of B holds `(b[2q][c], b[2q+1][c])`
+//! adjacently — exactly the operand shape `pmaddwd` multiplies.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+/// Register tile height (rows of the accumulator tile).
+pub const MR8: usize = 4;
+/// Register tile width (columns of the accumulator tile).
+pub const NR8: usize = 16;
+
+/// Accumulates one [`MR8`]`×`[`NR8`] `i32` tile of `A_strip · B_strip`
+/// into `acc`, where both strips hold int8-grid values in the
+/// pair-interleaved `i16` layout above: `pa` is `pairs * 2*MR8`
+/// elements, `pb` is `pairs * 2*NR8` elements.
+///
+/// The accumulation is exact integer arithmetic: with values in
+/// `[-127, 127]` each pair sum is at most `2·127² = 32258`, so the
+/// `i16×i16→i32` pairwise products never overflow an `i32` lane for
+/// any depth the caller's overflow guard admits.
+///
+/// # Panics
+///
+/// Panics if either slice is shorter than the layout requires.
+#[inline]
+pub fn madd_tile_i16(pa: &[i16], pb: &[i16], pairs: usize, acc: &mut [[i32; NR8]; MR8]) {
+    assert!(
+        pa.len() >= pairs * 2 * MR8 && pb.len() >= pairs * 2 * NR8,
+        "strip buffers shorter than {pairs} k-pairs"
+    );
+    #[cfg(target_arch = "x86_64")]
+    x86::madd_tile_sse2(pa, pb, pairs, acc);
+    #[cfg(not(target_arch = "x86_64"))]
+    madd_tile_scalar(pa, pb, pairs, acc);
+}
+
+/// Portable scalar form of [`madd_tile_i16`]: the non-x86 fallback and
+/// the oracle the intrinsics path is tested against.
+pub fn madd_tile_scalar(pa: &[i16], pb: &[i16], pairs: usize, acc: &mut [[i32; NR8]; MR8]) {
+    assert!(pa.len() >= pairs * 2 * MR8 && pb.len() >= pairs * 2 * NR8);
+    for q in 0..pairs {
+        let ap = &pa[q * 2 * MR8..][..2 * MR8];
+        let bp = &pb[q * 2 * NR8..][..2 * NR8];
+        for (r, row) in acc.iter_mut().enumerate() {
+            let a0 = i32::from(ap[2 * r]);
+            let a1 = i32::from(ap[2 * r + 1]);
+            for (x, b) in row.iter_mut().zip(bp.chunks_exact(2)) {
+                *x += a0 * i32::from(b[0]) + a1 * i32::from(b[1]);
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    //! SSE2 `pmaddwd` tile kernel. SSE2 is part of the x86-64 baseline
+    //! ABI, so this path needs no runtime feature detection.
+    #![allow(unsafe_code)]
+
+    use super::{MR8, NR8};
+    use core::arch::x86_64::{
+        __m128i, _mm_add_epi32, _mm_loadu_si128, _mm_madd_epi16, _mm_setzero_si128,
+        _mm_shuffle_epi32, _mm_storeu_si128,
+    };
+
+    /// See [`super::madd_tile_i16`]; caller has checked the slice
+    /// lengths.
+    pub(super) fn madd_tile_sse2(
+        pa: &[i16],
+        pb: &[i16],
+        pairs: usize,
+        acc: &mut [[i32; NR8]; MR8],
+    ) {
+        debug_assert!(pa.len() >= pairs * 2 * MR8 && pb.len() >= pairs * 2 * NR8);
+        // Four i32x4 accumulator vectors per row: the whole MR8×NR8
+        // tile lives in xmm registers across the k loop.
+        let mut c: [[__m128i; 4]; MR8] =
+            // SAFETY: `_mm_setzero_si128` has no preconditions (SSE2,
+            // baseline on x86_64).
+            unsafe { [[_mm_setzero_si128(); 4]; MR8] };
+        for q in 0..pairs {
+            // Bounds-checked subslices: every 8-lane load below reads
+            // exactly the 16 bytes these slices prove are in range.
+            let ap: &[i16] = &pa[q * 2 * MR8..][..2 * MR8];
+            let bp: &[i16] = &pb[q * 2 * NR8..][..2 * NR8];
+            // SAFETY: `_mm_loadu_si128` reads 16 unaligned bytes; each
+            // pointer is derived from an in-bounds 8-element `i16`
+            // subslice (16 bytes exactly). All intrinsics are SSE2.
+            unsafe {
+                let aw = _mm_loadu_si128(ap.as_ptr().cast());
+                let b0 = _mm_loadu_si128(bp[0..8].as_ptr().cast());
+                let b1 = _mm_loadu_si128(bp[8..16].as_ptr().cast());
+                let b2 = _mm_loadu_si128(bp[16..24].as_ptr().cast());
+                let b3 = _mm_loadu_si128(bp[24..32].as_ptr().cast());
+                // Broadcast row r's (even, odd) i16 pair — one 32-bit
+                // lane of `aw` — against every column pair.
+                macro_rules! row {
+                    ($r:expr, $imm:expr) => {{
+                        let ar = _mm_shuffle_epi32(aw, $imm);
+                        c[$r][0] = _mm_add_epi32(c[$r][0], _mm_madd_epi16(ar, b0));
+                        c[$r][1] = _mm_add_epi32(c[$r][1], _mm_madd_epi16(ar, b1));
+                        c[$r][2] = _mm_add_epi32(c[$r][2], _mm_madd_epi16(ar, b2));
+                        c[$r][3] = _mm_add_epi32(c[$r][3], _mm_madd_epi16(ar, b3));
+                    }};
+                }
+                row!(0, 0x00);
+                row!(1, 0x55);
+                row!(2, 0xAA);
+                row!(3, 0xFF);
+            }
+        }
+        for (row, vecs) in acc.iter_mut().zip(&c) {
+            for (seg, v) in row.chunks_exact_mut(4).zip(vecs) {
+                let mut out = [0i32; 4];
+                // SAFETY: `_mm_storeu_si128` writes 16 unaligned bytes
+                // into `out`, a local `[i32; 4]` (16 bytes exactly).
+                unsafe { _mm_storeu_si128(out.as_mut_ptr().cast(), *v) };
+                for (d, &x) in seg.iter_mut().zip(&out) {
+                    *d += x;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pattern(len: usize, seed: i32) -> Vec<i16> {
+        (0..len)
+            .map(|i| ((i as i32 * 37 + seed) % 255 - 127) as i16)
+            .collect()
+    }
+
+    #[test]
+    fn dispatch_matches_scalar_oracle() {
+        for pairs in [0usize, 1, 2, 7, 72, 513] {
+            let pa = pattern(pairs * 2 * MR8, 1);
+            let pb = pattern(pairs * 2 * NR8, 2);
+            let mut got = [[3i32; NR8]; MR8];
+            let mut want = [[3i32; NR8]; MR8];
+            madd_tile_i16(&pa, &pb, pairs, &mut got);
+            madd_tile_scalar(&pa, &pb, pairs, &mut want);
+            assert_eq!(got, want, "pairs = {pairs}");
+        }
+    }
+
+    #[test]
+    fn accumulates_on_top_of_existing_tile() {
+        let pa = pattern(2 * MR8, 5);
+        let pb = pattern(2 * NR8, 6);
+        let mut once = [[0i32; NR8]; MR8];
+        madd_tile_i16(&pa, &pb, 1, &mut once);
+        let mut twice = [[0i32; NR8]; MR8];
+        madd_tile_i16(&pa, &pb, 1, &mut twice);
+        madd_tile_i16(&pa, &pb, 1, &mut twice);
+        for (a, b) in once.iter().flatten().zip(twice.iter().flatten()) {
+            assert_eq!(2 * a, *b);
+        }
+    }
+
+    #[test]
+    fn known_value_tile() {
+        // a row r = [r+1, 1], b col c = [c, 2] for both k-steps of the
+        // single pair: acc[r][c] = (r+1)*c + 1*2.
+        let mut pa = [0i16; 2 * MR8];
+        for r in 0..MR8 {
+            pa[2 * r] = r as i16 + 1;
+            pa[2 * r + 1] = 1;
+        }
+        let mut pb = [0i16; 2 * NR8];
+        for c in 0..NR8 {
+            pb[2 * c] = c as i16;
+            pb[2 * c + 1] = 2;
+        }
+        let mut acc = [[0i32; NR8]; MR8];
+        madd_tile_i16(&pa, &pb, 1, &mut acc);
+        for (r, row) in acc.iter().enumerate() {
+            for (c, &v) in row.iter().enumerate() {
+                assert_eq!(v, (r as i32 + 1) * c as i32 + 2, "acc[{r}][{c}]");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k-pairs")]
+    fn short_buffer_rejected() {
+        let pa = [0i16; 4];
+        let pb = [0i16; 2 * NR8];
+        let mut acc = [[0i32; NR8]; MR8];
+        madd_tile_i16(&pa, &pb, 1, &mut acc);
+    }
+
+    /// Extremes of the int8 grid across a long reduction: exactness of
+    /// the i32 accumulation at the values the quantiser can produce.
+    #[test]
+    fn grid_extremes_accumulate_exactly() {
+        let pairs = 500;
+        let pa = vec![127i16; pairs * 2 * MR8];
+        let pb = vec![-127i16; pairs * 2 * NR8];
+        let mut acc = [[0i32; NR8]; MR8];
+        madd_tile_i16(&pa, &pb, pairs, &mut acc);
+        let want = -(127 * 127) * 2 * pairs as i32;
+        assert!(acc.iter().flatten().all(|&v| v == want));
+    }
+}

