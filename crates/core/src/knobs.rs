@@ -10,9 +10,10 @@
 
 use std::fmt;
 
-use eml_dnn::{Precision, WidthLevel};
+use eml_dnn::{DynamicDnn, Precision, WidthLevel};
 use eml_platform::soc::ClusterId;
 
+use crate::error::Result;
 use crate::rtm::Allocation;
 
 /// What a monitor measures.
@@ -85,8 +86,7 @@ pub enum KnobCommand {
     /// [`eml_dnn::DynamicDnn::set_precision`]). The allocator does not
     /// yet place precision in its operating-point search, so
     /// [`commands_for`] never emits this; it is the vocabulary an RTM
-    /// policy (or the simulator's scenario script) uses to actuate the
-    /// knob directly.
+    /// policy issues directly and [`apply_app_command`] executes.
     SetPrecision {
         /// Application name.
         app: String,
@@ -168,6 +168,34 @@ pub fn commands_for(allocation: &Allocation) -> Vec<KnobCommand> {
     cmds
 }
 
+/// Executes one command's *application-layer* part against the dynamic
+/// DNN backing `app`: [`KnobCommand::SetWidth`] switches the width
+/// level, [`KnobCommand::SetPrecision`] the data-precision mode.
+/// Returns `true` when the command addressed `app` with an application
+/// knob; device knobs ([`KnobCommand::Map`] / [`KnobCommand::SetOpp`] /
+/// [`KnobCommand::Gate`]) and commands for other apps return `false`
+/// untouched — they belong to the device layer. This is the shim a
+/// real platform (or a test harness) uses to actuate an RTM decision
+/// on live models.
+///
+/// # Errors
+///
+/// Propagates the width-switch error of an out-of-range
+/// [`KnobCommand::SetWidth`] level.
+pub fn apply_app_command(cmd: &KnobCommand, app: &str, dnn: &mut DynamicDnn) -> Result<bool> {
+    match cmd {
+        KnobCommand::SetWidth { app: a, level } if a == app => {
+            dnn.set_level(*level)?;
+            Ok(true)
+        }
+        KnobCommand::SetPrecision { app: a, precision } if a == app => {
+            dnn.set_precision(*precision);
+            Ok(true)
+        }
+        _ => Ok(false),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -199,18 +227,48 @@ mod tests {
         assert!(s.contains("74.2"));
     }
 
+    /// The application-knob executor actuates width and precision
+    /// commands on the addressed model and leaves everything else to
+    /// the device layer.
     #[test]
-    fn precision_command_names_the_int8_mode() {
-        // The precision knob's actuation vocabulary: an RTM policy can
-        // command the executed int8 path per app.
-        let cmd = KnobCommand::SetPrecision {
+    fn app_commands_actuate_width_and_precision() {
+        use eml_nn::arch::{build_group_cnn, CnnConfig};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut net = build_group_cnn(CnnConfig::default(), &mut rng).unwrap();
+        let profile = DnnProfile::from_network("dnn1", &mut net, &[0.5, 0.6, 0.65, 0.7]).unwrap();
+        let mut dnn = eml_dnn::DynamicDnn::new(net, profile).unwrap();
+
+        let quant = KnobCommand::SetPrecision {
             app: "dnn1".into(),
             precision: Precision::Int8,
         };
-        assert!(
-            matches!(cmd, KnobCommand::SetPrecision { ref app, precision }
-                if app == "dnn1" && precision == Precision::Int8)
-        );
+        assert!(apply_app_command(&quant, "dnn1", &mut dnn).unwrap());
+        assert_eq!(dnn.precision(), Precision::Int8);
+
+        let narrow = KnobCommand::SetWidth {
+            app: "dnn1".into(),
+            level: WidthLevel(1),
+        };
+        assert!(apply_app_command(&narrow, "dnn1", &mut dnn).unwrap());
+        assert_eq!(dnn.level(), WidthLevel(1));
+
+        // Another app's command and device knobs are not for us.
+        assert!(!apply_app_command(&quant, "dnn2", &mut dnn).unwrap());
+        let gate = KnobCommand::Gate {
+            cluster: presets::flagship().cluster_ids().next().unwrap(),
+            gated: true,
+        };
+        assert!(!apply_app_command(&gate, "dnn1", &mut dnn).unwrap());
+        assert_eq!(dnn.precision(), Precision::Int8, "state untouched");
+
+        // Out-of-range width errors propagate.
+        let bad = KnobCommand::SetWidth {
+            app: "dnn1".into(),
+            level: WidthLevel(9),
+        };
+        assert!(apply_app_command(&bad, "dnn1", &mut dnn).is_err());
     }
 
     #[test]

@@ -110,9 +110,21 @@ impl DynamicDnn {
     /// [`Precision::F32`] restores full-precision compute. Like the
     /// width switch, no parameters change: the int8 path quantises
     /// from the master `f32` weights, so switching back is lossless.
+    ///
+    /// Int8 activation scales are *dynamic* by default (each batch
+    /// quantises against its own max-abs), so a sample's output — and
+    /// therefore measured accuracy — depends on the composition of the
+    /// batch it shares; compare eval runs only at the same batch size,
+    /// or freeze static scales first via
+    /// [`eml_nn::Network::freeze_act_scales`] on
+    /// [`Self::network_mut`] after a calibration pass.
     pub fn set_precision(&mut self, precision: Precision) {
+        // Always pushed down, never guarded on the cached field:
+        // `network_mut` can switch the backend underneath us, and
+        // re-selecting the active backend is free (layers keep their
+        // packed caches), so this re-syncs instead of trusting state.
+        self.net.set_precision(precision);
         if precision != self.precision {
-            self.net.set_precision(precision);
             self.precision = precision;
             self.precision_switches += 1;
         }
@@ -256,6 +268,32 @@ mod tests {
         d.set_precision(Precision::F32);
         assert_eq!(d.infer(&x).unwrap(), f32_preds);
         assert_eq!(d.precision_switch_count(), 2);
+    }
+
+    /// `network_mut` can switch the backend underneath the wrapper
+    /// (e.g. during calibration); re-issuing the knob must re-sync the
+    /// network rather than trust the cached mode.
+    #[test]
+    fn set_precision_resyncs_after_network_mut_divergence() {
+        let mut d = dnn();
+        let x = Tensor::full(&[1, 3, 16, 16], 0.2);
+        let f32_out = d.network_mut().forward(&x, false).unwrap();
+        d.set_precision(Precision::Int8);
+        let int8_out = d.network_mut().forward(&x, false).unwrap();
+        assert_ne!(f32_out.data(), int8_out.data(), "backends distinguishable");
+        // Diverge through the escape hatch: the wrapper now reports
+        // Int8 while the network actually runs f32.
+        d.network_mut().set_precision(Precision::F32);
+        assert_eq!(d.precision(), Precision::Int8);
+        // Re-issuing the same knob value pushes it down regardless…
+        d.set_precision(Precision::Int8);
+        assert_eq!(
+            d.network_mut().forward(&x, false).unwrap().data(),
+            int8_out.data(),
+            "re-issued knob must re-sync the backend"
+        );
+        // …but is not a counted switch: the knob mode never changed.
+        assert_eq!(d.precision_switch_count(), 1);
     }
 
     #[test]

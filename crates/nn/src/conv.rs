@@ -453,7 +453,7 @@ impl Conv2d {
     /// ([`im2col_packed_i8`]); and the `i8×i8→i32` product requantises
     /// through a fused epilogue (`out = acc·scale_x·scale_w + bias`,
     /// in `f32`).
-    fn forward_quant(&mut self, input: &Tensor, out: &mut Tensor) {
+    fn forward_quant(&mut self, input: &Tensor, out: &mut Tensor, train: bool) {
         let (n, c_in, h, w) = {
             let s = input.shape();
             (s[0], s[1], s[2], s[3])
@@ -495,7 +495,7 @@ impl Conv2d {
 
         // Per-tensor activation scale: the batch's own range when the
         // observer is dynamic, the calibrated range when frozen.
-        let (x_scale, inv_x) = self.act_obs.observe_scale(finite_max_abs(input.data()));
+        let (x_scale, inv_x) = self.act_obs.observe_scale(input.data(), train);
         let (w_scale, packed_w8) = self.packed_w8.as_ref().expect("packed above");
         let q_scale = x_scale * w_scale;
 
@@ -729,7 +729,7 @@ impl Layer for Conv2d {
         match self.backend {
             Backend::Reference => self.forward_reference(input, &mut out),
             Backend::Gemm => self.forward_gemm(input, &mut out),
-            Backend::QuantI8 => self.forward_quant(input, &mut out),
+            Backend::QuantI8 => self.forward_quant(input, &mut out, train),
         }
         if train {
             self.cache = Some(input.clone());
@@ -831,6 +831,12 @@ impl Layer for Conv2d {
     }
 
     fn set_backend(&mut self, backend: Backend) {
+        // Re-selecting the current backend keeps the packed caches:
+        // an RTM policy may issue its precision choice every control
+        // epoch, and a no-op switch must not force a re-pack.
+        if backend == self.backend {
+            return;
+        }
         self.backend = backend;
         // Also frees the panel memory when leaving the GEMM backend.
         self.invalidate_packed();
@@ -1348,6 +1354,22 @@ mod tests {
         // Weight-grid quantisation rewrites the masters in place.
         c.quantize_weights(6);
         check(&mut c, &x_half, "after quantisation");
+    }
+
+    /// Re-selecting the current backend keeps the packed caches — an
+    /// RTM policy may re-issue its precision choice every control
+    /// epoch, and a no-op switch must not force a per-layer re-pack.
+    #[test]
+    fn reselecting_backend_keeps_packed_caches() {
+        let mut c = Conv2d::new("c", dense_cfg(), &mut rng()).unwrap();
+        c.set_backend(Backend::QuantI8);
+        let x = Tensor::full(&[1, 3, 8, 8], 0.5);
+        let _ = c.forward(&x, false).unwrap();
+        assert!(c.packed_w8.is_some());
+        c.set_backend(Backend::QuantI8);
+        assert!(c.packed_w8.is_some(), "no-op switch dropped the panels");
+        c.set_backend(Backend::Gemm);
+        assert!(c.packed_w8.is_none(), "real switch must invalidate");
     }
 
     /// The activation observer records the ranges QuantI8 forwards see,

@@ -281,14 +281,18 @@ impl PackedRow8 {
             let off = j0 % NR;
             let take = (NR - off).min(j1 - j0);
             let at = self.base + (j0 / NR) * self.strip_stride + off * 2;
-            let dst = &mut pb[at..at + 2 * take];
+            // `at` already carries the odd pair-lane offset, so slice
+            // only the elements actually written (`2·take − 1`, like
+            // `pack_b8_w`): `at + 2·take` runs one past the buffer
+            // when an odd row's span ends at the last strip boundary.
+            let dst = &mut pb[at..at + 2 * take - 1];
             if stride == 1 {
-                for (d, &v) in dst.chunks_exact_mut(2).zip(&src[i..i + take]) {
-                    d[0] = v;
+                for (d, &v) in dst.iter_mut().step_by(2).zip(&src[i..i + take]) {
+                    *d = v;
                 }
             } else {
-                for (t, d) in dst.chunks_exact_mut(2).enumerate() {
-                    d[0] = src[(i + t) * stride];
+                for (t, d) in dst.iter_mut().step_by(2).enumerate() {
+                    *d = src[(i + t) * stride];
                 }
             }
             i += take;
@@ -632,6 +636,11 @@ mod tests {
             (8, 5, 2, 2, 0, 2),
             (2, 2, 4, 2, 1, 1),
             (9, 9, 6, 1, 2, 8),
+            // Pointwise conv, 2 channels on 4x4: an even row count
+            // with cols an exact multiple of NR, so the odd row's last
+            // span ends flush at the final strip boundary (regression:
+            // the pair-lane slice used to overrun the buffer by one).
+            (4, 4, 1, 1, 0, 2),
             // 3 channels x 3^2 kernel = 27 rows: odd, so the layout
             // carries a zero pad k-step.
             (6, 6, 3, 1, 1, 3),

@@ -249,7 +249,7 @@ impl Layer for Linear {
                         ),
                     ));
                 }
-                let (x_scale, inv_x) = self.act_obs.observe_scale(finite_max_abs(x));
+                let (x_scale, inv_x) = self.act_obs.observe_scale(x, train);
                 let (w_scale, packed) = self.packed_fwd8.as_ref().expect("packed above");
                 let q_scale = x_scale * w_scale;
                 let qx_len = packed_a8_len(n, f_active);
@@ -414,6 +414,12 @@ impl Layer for Linear {
     }
 
     fn set_backend(&mut self, backend: Backend) {
+        // Re-selecting the current backend keeps the packed caches:
+        // an RTM policy may issue its precision choice every control
+        // epoch, and a no-op switch must not force a re-pack.
+        if backend == self.backend {
+            return;
+        }
         self.backend = backend;
         // Also frees the panel memory when leaving the GEMM backend.
         self.invalidate_packed();

@@ -149,6 +149,15 @@ impl Network {
     /// paper's Fig 5, next to width): [`crate::quant::Precision::F32`]
     /// runs the `f32` GEMM backend,
     /// [`crate::quant::Precision::Int8`] the real int8 kernel path.
+    ///
+    /// With unfrozen activation observers (the default) the int8 scale
+    /// is *dynamic*: each batch quantises against its own max-abs, so a
+    /// sample's output depends on which other samples share its batch —
+    /// batch-1 and batch-N inference of the same input can differ
+    /// slightly, and accuracy numbers taken at different eval batch
+    /// sizes are not directly comparable. For reproducible serving, run
+    /// representative data through the network and then
+    /// [`Self::freeze_act_scales`] to pin static per-layer scales.
     pub fn set_precision(&mut self, precision: crate::quant::Precision) {
         self.set_backend(precision.backend());
     }

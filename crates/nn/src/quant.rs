@@ -103,6 +103,23 @@ fn quantize_grid(x: f32, inv_scale: f32) -> u32 {
     (v + MAGIC).to_bits().wrapping_sub(MAGIC.to_bits())
 }
 
+/// [`finite_max_abs`] for the quantised forward path's *activation*
+/// inputs, with a debug-build finiteness guard. Masking non-finite
+/// values is the right policy for weights (regression-tested), but a
+/// non-finite *activation* means an upstream data-pipeline defect: the
+/// f32 backends would propagate the NaN and make it visible, whereas
+/// the int8 grid clamp maps NaN to `−127` and yields finite,
+/// plausible-looking outputs. Release builds keep the silent clamp (no
+/// panics in production); debug builds fail loudly at the defect.
+pub(crate) fn act_max_abs(x: &[f32]) -> f32 {
+    debug_assert!(
+        x.iter().all(|v| v.is_finite()),
+        "non-finite activation input on the QuantI8 forward path: the int8 clamp \
+         (NaN → −127) would mask a defect the f32 backends would propagate"
+    );
+    finite_max_abs(x)
+}
+
 /// The multiplier that quantises against `scale`, with the degenerate
 /// all-zero (or all-non-finite) range mapping to `0` — every value
 /// then quantises to exactly `0` instead of dividing by zero. Shared
@@ -263,10 +280,38 @@ impl ActObserver {
     }
 
     /// One-call form of the per-batch observe/derive sequence the
-    /// quantised layer forwards run: records `batch_max_abs`, then
-    /// returns `(scale, inv_scale)` with the shared zero-range policy
-    /// of [`inv_or_zero`].
-    pub(crate) fn observe_scale(&mut self, batch_max_abs: f32) -> (f32, f32) {
+    /// quantised layer forwards run: sweeps the batch's max-abs from
+    /// the raw activation slice, records it, then returns
+    /// `(scale, inv_scale)` with the shared zero-range policy of
+    /// [`inv_or_zero`]. When the scale is frozen, release builds skip
+    /// the sweep entirely — the static scale ignores the batch range,
+    /// so the pass would be pure waste on the batch-1 latency path.
+    ///
+    /// Two debug-build guards fire here (release keeps the silent
+    /// clamps):
+    /// - non-finite activations assert on the *inference* path
+    ///   (`train = false`) via [`act_max_abs`]; training is exempt —
+    ///   divergence legitimately produces inf/NaN activations, and the
+    ///   f32 loss surfaces them either way;
+    /// - a frozen observer whose recorded range is still zero asserts
+    ///   when the batch carries signal: [`ActObserver::freeze`] ran
+    ///   before any calibration forward observed this layer, so every
+    ///   activation would quantise to 0 and the layer output silently
+    ///   collapse to its bias.
+    pub(crate) fn observe_scale(&mut self, x: &[f32], train: bool) -> (f32, f32) {
+        let batch_max_abs = if self.frozen && !cfg!(debug_assertions) {
+            0.0
+        } else if train {
+            finite_max_abs(x)
+        } else {
+            act_max_abs(x)
+        };
+        debug_assert!(
+            !self.frozen || self.max_abs > 0.0 || batch_max_abs == 0.0,
+            "frozen activation scale is zero: freeze ran before any calibration \
+             forward observed this layer, so every activation quantises to 0 and \
+             the layer output collapses to its bias"
+        );
         self.observe(batch_max_abs);
         let scale = self.scale_for(batch_max_abs);
         (scale, inv_or_zero(scale))
@@ -358,6 +403,59 @@ mod tests {
         let mut bad = vec![f32::NAN, f32::INFINITY, f32::NEG_INFINITY];
         quantize_slice(&mut bad, 8);
         assert_eq!(bad, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn act_max_abs_matches_finite_max_on_clean_input() {
+        let x = [0.5f32, -3.0, 2.0, -0.25];
+        assert_eq!(act_max_abs(&x), 3.0);
+    }
+
+    /// A NaN activation must fail loudly (debug builds) instead of
+    /// being silently clamped onto the int8 grid where the f32
+    /// backends would have propagated it.
+    #[test]
+    #[should_panic(expected = "non-finite activation")]
+    #[cfg(debug_assertions)]
+    fn act_max_abs_rejects_non_finite_in_debug() {
+        act_max_abs(&[0.5f32, f32::NAN, 1.0]);
+    }
+
+    #[test]
+    fn observe_scale_sweeps_dynamic_and_respects_frozen() {
+        let mut obs = ActObserver::default();
+        // Dynamic: the batch's own range sets the scale.
+        let (scale, inv) = obs.observe_scale(&[0.5, -2.0, 1.0], false);
+        assert_eq!(scale, 2.0 / 127.0);
+        assert_eq!(inv, 127.0 / 2.0);
+        // Frozen after calibration: the recorded range wins regardless
+        // of the batch (and release builds skip the sweep entirely —
+        // same result either way, which is what this pins).
+        obs.freeze(true);
+        let (scale, _) = obs.observe_scale(&[9.0, -9.0], false);
+        assert_eq!(scale, 2.0 / 127.0);
+    }
+
+    /// Training is exempt from the non-finite guard: divergence can
+    /// legitimately push activations to inf/NaN, and the f32 loss
+    /// surfaces them either way — the sweep just ignores them.
+    #[test]
+    fn observe_scale_tolerates_non_finite_when_training() {
+        let mut obs = ActObserver::default();
+        let (scale, _) = obs.observe_scale(&[0.5, f32::NAN, f32::INFINITY, -1.0], true);
+        assert_eq!(scale, 1.0 / 127.0);
+    }
+
+    /// Freezing before any calibration forward would silently quantise
+    /// every activation to 0 (output collapses to the bias); debug
+    /// builds must fail loudly instead.
+    #[test]
+    #[should_panic(expected = "frozen activation scale is zero")]
+    #[cfg(debug_assertions)]
+    fn observe_scale_rejects_unfed_frozen_observer_in_debug() {
+        let mut obs = ActObserver::default();
+        obs.freeze(true);
+        let _ = obs.observe_scale(&[1.0, -0.5], false);
     }
 
     #[test]

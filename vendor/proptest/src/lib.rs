@@ -408,14 +408,25 @@ mod tests {
             prop_assert_eq!(*v.last().expect("non-empty"), 9);
         }
 
-        #[test]
-        fn bool_any_hits_both(flag in crate::bool::ANY) {
-            // Either value is valid; the property is that sampling
-            // produces a well-formed bool (asserted through a form
-            // clippy's overly_complex_bool_expr accepts, unlike the
-            // tautological `flag || !flag`).
-            prop_assert!(usize::from(flag) <= 1);
+    }
+
+    #[test]
+    fn bool_any_hits_both() {
+        // Sampling across case indices must actually produce both
+        // values — a degenerate always-true/always-false strategy
+        // would starve every boolean branch of generated tests.
+        let (mut seen_true, mut seen_false) = (false, false);
+        for case in 0..64 {
+            let mut rng = crate::test_runner::TestRng::deterministic(case);
+            match crate::bool::ANY.sample(&mut rng) {
+                true => seen_true = true,
+                false => seen_false = true,
+            }
         }
+        assert!(
+            seen_true && seen_false,
+            "bool::ANY never yielded both values"
+        );
     }
 
     #[test]
