@@ -1,9 +1,12 @@
 //! Emits `BENCH_nn.json`: the machine-readable perf baseline of the
 //! hot paths — median forward-pass latency per width (batch 1, on the
-//! reference, f32 GEMM and quantised int8 backends), median
-//! training-step latency per width (batches 8 and 32, GEMM backend)
-//! and the RTM's `allocate` decision latency. Later PRs compare
-//! against this baseline to track the perf trajectory.
+//! reference, f32 GEMM, dynamic-scale int8 and calibrated *chained*
+//! int8 backends), median training-step latency per width (batches 8
+//! and 32, GEMM backend) and the RTM's `allocate` decision latency.
+//! Later PRs compare against this baseline to track the perf
+//! trajectory. `chained_quant_gemm_ns` measures the frozen-scale
+//! pipeline (`Network::calibrate` + chained plan); `quant_gemm_ns`
+//! stays the dynamic per-batch-scale path.
 //!
 //! Usage: `cargo run --release -p eml-bench --bin bench_nn_json
 //! [-- --out PATH] [-- --quick] [-- --check BASELINE]`
@@ -11,8 +14,8 @@
 //! - `--quick` shrinks sample counts for CI smoke runs.
 //! - `--check BASELINE` compares the fresh measurement against a
 //!   committed baseline file and exits non-zero if any width's
-//!   `gemm_ns` or `quant_gemm_ns` regressed by more than 25% (training
-//!   steps get a looser 35%). Because CI runners and dev
+//!   `gemm_ns`, `quant_gemm_ns` or `chained_quant_gemm_ns` regressed
+//!   by more than 25% (training steps get a looser 35%). Because CI runners and dev
 //!   machines differ in absolute speed, the comparison is normalised by
 //!   the reference backend: the reference loop nest is rarely touched,
 //!   so `reference_ns(now)/reference_ns(baseline)` estimates the
@@ -187,6 +190,7 @@ struct WidthRow {
     reference_ns: f64,
     gemm_ns: f64,
     quant_gemm_ns: f64,
+    chained_quant_gemm_ns: f64,
     train_step_ns: f64,
     train_step32_ns: f64,
 }
@@ -205,6 +209,7 @@ fn check_regressions(rows: &[WidthRow], baseline: &str) -> Vec<String> {
     let base_ref = extract_all(baseline, "reference_ns");
     let base_gemm = extract_all(baseline, "gemm_ns");
     let base_quant = extract_all(baseline, "quant_gemm_ns");
+    let base_chained = extract_all(baseline, "chained_quant_gemm_ns");
     let base_train = extract_all(baseline, "train_step_ns");
     let base_train32 = extract_all(baseline, "train_step32_ns");
     assert!(
@@ -234,6 +239,14 @@ fn check_regressions(rows: &[WidthRow], baseline: &str) -> Vec<String> {
         let mut metrics = vec![("gemm_ns", base_gemm[i], row.gemm_ns, MAX_REGRESSION)];
         if let Some(&bq) = base_quant.get(i) {
             metrics.push(("quant_gemm_ns", bq, row.quant_gemm_ns, MAX_REGRESSION));
+        }
+        if let Some(&bc) = base_chained.get(i) {
+            metrics.push((
+                "chained_quant_gemm_ns",
+                bc,
+                row.chained_quant_gemm_ns,
+                MAX_REGRESSION,
+            ));
         }
         if let Some(&bt) = base_train.get(i) {
             metrics.push(("train_step_ns", bt, row.train_step_ns, MAX_TRAIN_REGRESSION));
@@ -282,8 +295,17 @@ fn main() {
         TRAIN_BATCH, TRAIN_BATCH_32
     );
     println!(
-        "{:>8} {:>16} {:>16} {:>9} {:>16} {:>9} {:>14} {:>14}",
-        "width", "reference", "gemm", "speedup", "quant_i8", "vs gemm", "train8", "train32"
+        "{:>8} {:>16} {:>16} {:>9} {:>16} {:>9} {:>16} {:>9} {:>14} {:>14}",
+        "width",
+        "reference",
+        "gemm",
+        "speedup",
+        "quant_i8",
+        "vs gemm",
+        "chained_i8",
+        "vs gemm",
+        "train8",
+        "train32"
     );
     for g in 1..=cfg.groups {
         let mut rng = StdRng::seed_from_u64(1);
@@ -296,6 +318,18 @@ fn main() {
         let gemm_ns = forward_ns(&opts, &mut net, &x1);
         net.set_backend(Backend::QuantI8);
         let quant_gemm_ns = forward_ns(&opts, &mut net, &x1);
+        // Static-calibration serving mode: freeze the activation
+        // scales (the calibration batch doubles as the measured
+        // input), which engages the chained int8 pipeline — no
+        // per-layer f32 round trips, no per-batch max-abs sweeps.
+        net.calibrate(std::slice::from_ref(&x1))
+            .expect("calibration runs");
+        assert!(
+            net.plan_quant_chain().engaged(),
+            "frozen QuantI8 network must chain"
+        );
+        let chained_quant_gemm_ns = forward_ns(&opts, &mut net, &x1);
+        net.freeze_act_scales(false);
         // A fresh net for training so the timed steps don't inherit the
         // forward-bench weights; full trainable range, width g.
         let mut train_net = build_group_cnn(cfg, &mut StdRng::seed_from_u64(2)).expect("arch");
@@ -308,9 +342,20 @@ fn main() {
         let pct = g * 100 / cfg.groups;
         let speedup = reference_ns / gemm_ns;
         let qspeedup = gemm_ns / quant_gemm_ns;
+        let cspeedup = gemm_ns / chained_quant_gemm_ns;
         println!(
-            "{:>7}% {:>13.0} ns {:>13.0} ns {:>8.2}x {:>13.0} ns {:>8.2}x {:>11.0} ns {:>11.0} ns",
-            pct, reference_ns, gemm_ns, speedup, quant_gemm_ns, qspeedup, step_ns, step32_ns
+            "{:>7}% {:>13.0} ns {:>13.0} ns {:>8.2}x {:>13.0} ns {:>8.2}x {:>13.0} ns {:>8.2}x \
+             {:>11.0} ns {:>11.0} ns",
+            pct,
+            reference_ns,
+            gemm_ns,
+            speedup,
+            quant_gemm_ns,
+            qspeedup,
+            chained_quant_gemm_ns,
+            cspeedup,
+            step_ns,
+            step32_ns
         );
         rows.push(WidthRow {
             active_groups: g,
@@ -318,6 +363,7 @@ fn main() {
             reference_ns,
             gemm_ns,
             quant_gemm_ns,
+            chained_quant_gemm_ns,
             train_step_ns: step_ns,
             train_step32_ns: step32_ns,
         });
@@ -334,7 +380,8 @@ fn main() {
                     "    {{\"active_groups\": {}, \"width_pct\": {}, ",
                     "\"reference_ns\": {:.0}, \"gemm_ns\": {:.0}, ",
                     "\"speedup\": {:.3}, \"quant_gemm_ns\": {:.0}, ",
-                    "\"quant_speedup\": {:.3}, \"train_step_ns\": {:.0}, ",
+                    "\"quant_speedup\": {:.3}, \"chained_quant_gemm_ns\": {:.0}, ",
+                    "\"chained_quant_speedup\": {:.3}, \"train_step_ns\": {:.0}, ",
                     "\"train_step32_ns\": {:.0}}}"
                 ),
                 r.active_groups,
@@ -344,6 +391,8 @@ fn main() {
                 r.reference_ns / r.gemm_ns,
                 r.quant_gemm_ns,
                 r.gemm_ns / r.quant_gemm_ns,
+                r.chained_quant_gemm_ns,
+                r.gemm_ns / r.chained_quant_gemm_ns,
                 r.train_step_ns,
                 r.train_step32_ns
             )

@@ -8,7 +8,7 @@
 use eml_nn::loss::softmax;
 use eml_nn::tensor::Tensor;
 use eml_nn::train::IncrementalReport;
-use eml_nn::{Network, Precision};
+use eml_nn::{ActScaleReport, Network, Precision};
 
 use crate::error::{DnnError, Result};
 use crate::level::WidthLevel;
@@ -128,6 +128,30 @@ impl DynamicDnn {
             self.precision = precision;
             self.precision_switches += 1;
         }
+    }
+
+    /// Static calibration for int8 serving: runs every batch through a
+    /// quantised forward with the activation observers recording, then
+    /// freezes the observed ranges as static per-layer scales —
+    /// [`eml_nn::Network::calibrate`]. With scales frozen and the
+    /// precision knob at [`Precision::Int8`], inference runs the
+    /// *chained* int8 pipeline (one input quantisation, one logits
+    /// dequantisation, saturating-i8 layer edges in between — see
+    /// [`eml_nn::Network::plan_quant_chain`]) and becomes reproducible
+    /// across batch compositions. The serving backend is restored
+    /// afterwards, so calibrating an f32-serving DNN ahead of an int8
+    /// switch is safe.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`eml_nn::Network::calibrate`] errors (empty batch
+    /// set, shape mismatches).
+    pub fn calibrate<I>(&mut self, batches: I) -> Result<Vec<ActScaleReport>>
+    where
+        I: IntoIterator,
+        I::Item: std::borrow::Borrow<Tensor>,
+    {
+        Ok(self.net.calibrate(batches)?)
     }
 
     /// Immutable access to the wrapped network.
@@ -294,6 +318,50 @@ mod tests {
         );
         // …but is not a counted switch: the knob mode never changed.
         assert_eq!(d.precision_switch_count(), 1);
+    }
+
+    /// `set_level` under `Precision::Int8` must invalidate the cached
+    /// chain plan: per-prefix weight scales (and so every
+    /// requantisation multiplier) change with the active group set.
+    /// Pinned with twins: one DNN plans and runs the chain at full
+    /// width before switching down, the other only ever plans at the
+    /// narrow width — a stale plan would make them diverge.
+    #[test]
+    fn width_switch_replans_the_quant_chain() {
+        let mut a = dnn();
+        let mut b = dnn();
+        let mut rng = StdRng::seed_from_u64(31);
+        let cal = vec![Tensor::random(&[2, 3, 16, 16], &mut rng)];
+        for d in [&mut a, &mut b] {
+            d.set_precision(Precision::Int8);
+            let report = d.calibrate(&cal).expect("calibration runs");
+            assert_eq!(report.len(), 4, "all quantised layers report a scale");
+        }
+        let x = Tensor::random(&[1, 3, 16, 16], &mut rng);
+        // `a` engages (and caches) the chain plan at full width…
+        let wide = a.network_mut().forward(&x, false).expect("wide forward");
+        // …then both switch to half width; `b` never planned wide.
+        a.set_level(WidthLevel(1)).unwrap();
+        b.set_level(WidthLevel(1)).unwrap();
+        let ya = a
+            .network_mut()
+            .forward(&x, false)
+            .expect("a narrow forward");
+        let yb = b
+            .network_mut()
+            .forward(&x, false)
+            .expect("b narrow forward");
+        assert_eq!(
+            ya.data(),
+            yb.data(),
+            "stale chain plan after a width switch"
+        );
+        assert_ne!(wide.data(), ya.data(), "width actually changed the logits");
+        // And back up: the replanned full-width chain reproduces the
+        // original logits exactly (frozen scales, unchanged weights).
+        a.set_level(WidthLevel(3)).unwrap();
+        let wide2 = a.network_mut().forward(&x, false).expect("re-widened");
+        assert_eq!(wide.data(), wide2.data());
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub mod profile;
 pub mod switching;
 
 pub use dynamic::DynamicDnn;
-pub use eml_nn::Precision;
+pub use eml_nn::{ActScaleReport, Precision};
 pub use error::{DnnError, Result};
 pub use level::{FourLevel, WidthLevel};
 pub use profile::{DnnProfile, LevelSpec};

@@ -1,7 +1,8 @@
 //! Parameter-free layers: ReLU and Flatten.
 
 use crate::error::{NnError, Result};
-use crate::layer::{Layer, LayerCost};
+use crate::layer::{ChainSupport, Layer, LayerCost};
+use crate::quant::QAct;
 use crate::tensor::Tensor;
 
 /// Rectified linear unit, applied element-wise.
@@ -76,6 +77,40 @@ impl Layer for Relu {
             out_shape: in_shape.to_vec(),
         })
     }
+
+    fn chain_support(&self) -> ChainSupport {
+        // ReLU commutes exactly with the monotone round-and-clamp of
+        // requantisation (round(0) = 0), so on the int8 grid it is a
+        // plain `max(0)` — and when it directly follows a quantised
+        // layer the planner folds it into that layer's epilogue for
+        // free.
+        ChainSupport::TransparentRelu
+    }
+
+    /// Int8 fast path: `max(0)` on the grid values, in place — scale
+    /// is positive, so the clamp is order-preserving and exactly
+    /// equivalent to f32 ReLU before quantisation.
+    fn forward_chained(
+        &mut self,
+        input: QAct,
+        _out_scale: Option<f32>,
+        _fuse_relu: bool,
+    ) -> Result<QAct> {
+        match input {
+            QAct::I8(mut q) => {
+                for v in q.data_mut() {
+                    *v = (*v).max(0);
+                }
+                Ok(QAct::I8(q))
+            }
+            QAct::F32(_) => Err(NnError::InvalidConfig {
+                reason: format!(
+                    "relu `{}`: chained forward needs quantised input",
+                    self.name
+                ),
+            }),
+        }
+    }
 }
 
 /// Flattens `[N, C, H, W]` (or any rank ≥ 2) into `[N, F]`.
@@ -137,6 +172,42 @@ impl Layer for Flatten {
             params: 0,
             out_shape: vec![in_shape.iter().product()],
         })
+    }
+
+    fn chain_support(&self) -> ChainSupport {
+        // A pure metadata change: quantised values pass through
+        // untouched at their incoming scale.
+        ChainSupport::Transparent
+    }
+
+    fn forward_chained(
+        &mut self,
+        input: QAct,
+        _out_scale: Option<f32>,
+        _fuse_relu: bool,
+    ) -> Result<QAct> {
+        match input {
+            QAct::I8(mut q) => {
+                let shape = q.shape();
+                if shape.len() < 2 {
+                    return Err(NnError::ShapeMismatch {
+                        context: format!("flatten `{}` chained forward", self.name),
+                        expected: vec![0, 0],
+                        actual: shape.to_vec(),
+                    });
+                }
+                let n = shape[0];
+                let f: usize = shape[1..].iter().product();
+                q.reshape(&[n, f])?;
+                Ok(QAct::I8(q))
+            }
+            QAct::F32(_) => Err(NnError::InvalidConfig {
+                reason: format!(
+                    "flatten `{}`: chained forward needs quantised input",
+                    self.name
+                ),
+            }),
+        }
     }
 }
 

@@ -41,13 +41,16 @@ use std::ops::Range;
 use rand::Rng;
 
 use crate::error::{NnError, Result};
+use crate::gemm::int8::{gemm_i8_with, QWriteback};
 use crate::gemm::{
-    gemm_i8, gemm_with, packed_b8_len, packed_b_len, Backend, Epilogue, Lhs, MatRef, PackedA,
-    PackedA8, PackedARef, PackedB8Ref, PackedBRef, QEpilogue, Rhs,
+    gemm_with, packed_b8_len, packed_b_len, Backend, Epilogue, Lhs, MatRef, PackedA, PackedA8,
+    PackedARef, PackedB8Ref, PackedBRef, QEpilogue, QEpilogueI8, Rhs,
 };
 use crate::im2col::{col2im_add, im2col_packed, im2col_packed_i8, im2col_packed_lhs, ConvGeom};
-use crate::layer::{sgd_update_span, Layer, LayerCost};
-use crate::quant::{finite_max_abs, inv_or_zero, quantize_slice_i16, ActObserver, I8_LEVELS};
+use crate::layer::{sgd_update_span, ChainSupport, Layer, LayerCost};
+use crate::quant::{
+    finite_max_abs, inv_or_zero, quantize_slice_i16, ActObserver, QAct, QTensor, I8_LEVELS,
+};
 use crate::tensor::Tensor;
 use crate::workers;
 
@@ -170,9 +173,10 @@ pub struct Conv2d {
 struct Scratch {
     /// Packed im2col matrices (forward), one slot per worker band.
     col: Vec<f32>,
-    /// Int8-forward band buffers: a quantised copy of the sample
-    /// followed by the packed quantised im2col matrix, one slot per
-    /// worker band.
+    /// Int8-forward band buffers: the packed quantised im2col matrix,
+    /// preceded by a quantised copy of the sample when the input
+    /// arrives as `f32` (chained layers hand over already-quantised
+    /// activations and skip that slot); one slot per worker band.
     col8: Vec<i16>,
     /// Column matrices (backward: im2col then gradient columns), one
     /// slot per worker band.
@@ -180,17 +184,22 @@ struct Scratch {
     /// Transposed weight-gradient shards, one per worker band; reduced
     /// into the gradient buffer after the parallel scope.
     gw_shards: Vec<f32>,
+    /// Bias pre-divided by the chain-edge output scale (the
+    /// [`QEpilogueI8`] operand), rebuilt per chained forward without
+    /// reallocating.
+    qbias: Vec<f32>,
 }
 
 impl std::fmt::Debug for Scratch {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "Scratch(col: {}, col8: {}, dcol: {}, gw_shards: {})",
+            "Scratch(col: {}, col8: {}, dcol: {}, gw_shards: {}, qbias: {})",
             self.col.len(),
             self.col8.len(),
             self.dcol.len(),
-            self.gw_shards.len()
+            self.gw_shards.len(),
+            self.qbias.len()
         )
     }
 }
@@ -444,6 +453,30 @@ impl Conv2d {
         );
     }
 
+    /// Quantises + packs the active weight panels once per weight
+    /// version; the per-tensor scale spans every active weight.
+    fn ensure_packed_w8(&mut self, groups_exec: usize, opg: usize, kdim: usize) {
+        if self.packed_w8.is_none() {
+            let active_w = groups_exec * opg * kdim;
+            let w_scale = finite_max_abs(&self.w[..active_w]) / I8_LEVELS;
+            let inv_w = inv_or_zero(w_scale);
+            let weights = &self.w;
+            self.packed_w8 = Some((
+                w_scale,
+                (0..groups_exec)
+                    .map(|g| {
+                        PackedA8::pack_quantized(
+                            MatRef::new(&weights[g * opg * kdim..][..opg * kdim], kdim),
+                            opg,
+                            kdim,
+                            inv_w,
+                        )
+                    })
+                    .collect(),
+            ));
+        }
+    }
+
     /// Int8-backend forward: the same per-sample, per-group structure
     /// as [`Conv2d::forward_gemm`], but on the quantised kernel — the
     /// active weights are quantised per-tensor and packed into int8
@@ -465,81 +498,40 @@ impl Conv2d {
         let (groups_exec, opg) = self.exec_groups();
         let kdim = self.icg_count() * self.cfg.kernel * self.cfg.kernel;
         let ohw = oh * ow;
-        let col_slot = packed_b8_len(kdim, ohw);
         let sample_in = c_in * h * w;
         let sample_out = c_out * ohw;
         let per_sample_macs = groups_exec * opg * ohw * kdim;
         let batch_par = n > 1 && n * per_sample_macs >= crate::gemm::PAR_MIN_WORK;
-
-        // Quantise + pack the active weight panels once per weight
-        // version; the per-tensor scale spans every active weight.
-        if self.packed_w8.is_none() {
-            let active_w = groups_exec * opg * kdim;
-            let w_scale = finite_max_abs(&self.w[..active_w]) / I8_LEVELS;
-            let inv_w = inv_or_zero(w_scale);
-            let weights = &self.w;
-            self.packed_w8 = Some((
-                w_scale,
-                (0..groups_exec)
-                    .map(|g| {
-                        PackedA8::pack_quantized(
-                            MatRef::new(&weights[g * opg * kdim..][..opg * kdim], kdim),
-                            opg,
-                            kdim,
-                            inv_w,
-                        )
-                    })
-                    .collect(),
-            ));
-        }
+        self.ensure_packed_w8(groups_exec, opg, kdim);
 
         // Per-tensor activation scale: the batch's own range when the
         // observer is dynamic, the calibrated range when frozen.
         let (x_scale, inv_x) = self.act_obs.observe_scale(input.data(), train);
+        crate::quant::count_quantise_pass();
+        crate::quant::count_dequantise_pass();
         let (w_scale, packed_w8) = self.packed_w8.as_ref().expect("packed above");
         let q_scale = x_scale * w_scale;
-
-        // Band slot: quantised sample copy, then the packed panel.
-        let slot = sample_in + col_slot;
-        let bands = workers::band_count(n, batch_par);
-        self.scratch
-            .col8
-            .resize((bands * slot).max(self.scratch.col8.len()), 0);
         let geoms: Vec<ConvGeom> = (0..groups_exec)
             .map(|g| self.geom(g, h, w, oh, ow))
             .collect();
         let bias = &self.b;
-        let x = input.data();
-        workers::for_each_band(
+        quant_conv_pass(
+            QConvInput::F32 {
+                x: input.data(),
+                inv_scale: inv_x,
+            },
             out.data_mut(),
             n,
+            sample_in,
             sample_out,
-            &mut self.scratch.col8,
-            slot,
-            &mut [],
-            0,
+            &geoms,
+            packed_w8,
+            opg,
+            ohw,
+            kdim,
             batch_par,
-            |n0, out_band, buf, _| {
-                let (qx, col) = buf.split_at_mut(sample_in);
-                for (bi, out_s) in out_band.chunks_mut(sample_out).enumerate() {
-                    let x_s = &x[(n0 + bi) * sample_in..][..sample_in];
-                    quantize_slice_i16(x_s, inv_x, qx);
-                    for (g, geom) in geoms.iter().enumerate() {
-                        im2col_packed_i8(qx, geom, col);
-                        gemm_i8(
-                            opg,
-                            ohw,
-                            kdim,
-                            packed_w8[g].as_ref(),
-                            PackedB8Ref::new(&col[..col_slot], kdim, ohw),
-                            &mut out_s[g * opg * ohw..][..opg * ohw],
-                            ohw,
-                            !batch_par,
-                            QEpilogue::scaled(q_scale).with_bias_row(&bias[g * opg..][..opg]),
-                        );
-                    }
-                }
-            },
+            &mut self.scratch.col8,
+            |g| QEpilogue::scaled(q_scale).with_bias_row(&bias[g * opg..][..opg]),
         );
     }
 
@@ -707,6 +699,89 @@ impl Conv2d {
     }
 }
 
+/// The activation operand of one quantised conv pass: a raw `f32`
+/// sample batch to be quantised per band, or an already-quantised
+/// batch handed over by the previous layer of an int8 chain.
+#[derive(Clone, Copy)]
+enum QConvInput<'a> {
+    /// `f32` activations, quantised per sample with `inv_scale`.
+    F32 { x: &'a [f32], inv_scale: f32 },
+    /// Int8-grid activations (`i16` storage) — lowered as-is.
+    I8(&'a [i16]),
+}
+
+/// The shared band loop of every quantised conv forward, generic over
+/// the write-back: per sample, the (possibly pre-quantised) input is
+/// lowered by pure integer copies into packed int8 panels and each
+/// executed group runs one `i8×i8→i32` product whose epilogue either
+/// dequantises to `f32` ([`QEpilogue`]) or requantises onto the next
+/// layer's int8 grid ([`QEpilogueI8`]). `make_ep` builds the epilogue
+/// for executed group `g` (the bias slice differs per group).
+#[allow(clippy::too_many_arguments)]
+fn quant_conv_pass<E: QWriteback>(
+    input: QConvInput<'_>,
+    out: &mut [E::Out],
+    n: usize,
+    sample_in: usize,
+    sample_out: usize,
+    geoms: &[ConvGeom],
+    packed_w8: &[PackedA8],
+    opg: usize,
+    ohw: usize,
+    kdim: usize,
+    batch_par: bool,
+    scratch: &mut Vec<i16>,
+    make_ep: impl Fn(usize) -> E + Sync,
+) {
+    let col_slot = packed_b8_len(kdim, ohw);
+    // Band slot: the packed panel, preceded by a quantised sample copy
+    // only when the input still needs quantising.
+    let q_slot = match input {
+        QConvInput::F32 { .. } => sample_in,
+        QConvInput::I8(_) => 0,
+    };
+    let slot = q_slot + col_slot;
+    let bands = workers::band_count(n, batch_par);
+    scratch.resize((bands * slot).max(scratch.len()), 0);
+    workers::for_each_band(
+        out,
+        n,
+        sample_out,
+        scratch,
+        slot,
+        &mut [],
+        0,
+        batch_par,
+        |n0, out_band, buf, _| {
+            let (qx, col) = buf.split_at_mut(q_slot);
+            for (bi, out_s) in out_band.chunks_mut(sample_out).enumerate() {
+                let qx_s: &[i16] = match input {
+                    QConvInput::F32 { x, inv_scale } => {
+                        let x_s = &x[(n0 + bi) * sample_in..][..sample_in];
+                        quantize_slice_i16(x_s, inv_scale, qx);
+                        qx
+                    }
+                    QConvInput::I8(q) => &q[(n0 + bi) * sample_in..][..sample_in],
+                };
+                for (g, geom) in geoms.iter().enumerate() {
+                    im2col_packed_i8(qx_s, geom, col);
+                    gemm_i8_with(
+                        opg,
+                        ohw,
+                        kdim,
+                        packed_w8[g].as_ref(),
+                        PackedB8Ref::new(&col[..col_slot], kdim, ohw),
+                        &mut out_s[g * opg * ohw..][..opg * ohw],
+                        ohw,
+                        !batch_par,
+                        make_ep(g),
+                    );
+                }
+            }
+        },
+    );
+}
+
 impl Layer for Conv2d {
     fn name(&self) -> &str {
         &self.name
@@ -844,6 +919,148 @@ impl Layer for Conv2d {
 
     fn freeze_act_scale(&mut self, frozen: bool) {
         self.act_obs.freeze(frozen);
+    }
+
+    fn quant_observer(&self) -> Option<ActObserver> {
+        Some(self.act_obs)
+    }
+
+    fn chain_support(&self) -> ChainSupport {
+        if self.backend == Backend::QuantI8
+            && self.act_obs.is_frozen()
+            && self.act_obs.max_abs() > 0.0
+        {
+            ChainSupport::Quantised {
+                in_scale: self.act_obs.scale_for(0.0),
+            }
+        } else {
+            ChainSupport::Breaks
+        }
+    }
+
+    /// Chained int8 forward: the same lowering/GEMM structure as the
+    /// per-layer quantised path, but the input may arrive already on
+    /// this layer's frozen int8 grid (no quantisation pass, no `f32`
+    /// intermediate) and the output can leave on the *next* layer's
+    /// grid through the saturating [`QEpilogueI8`] write-back, with
+    /// ReLU fused as a free `max(0)`.
+    fn forward_chained(
+        &mut self,
+        input: QAct,
+        out_scale: Option<f32>,
+        fuse_relu: bool,
+    ) -> Result<QAct> {
+        let shape = input.shape().to_vec();
+        let expected_c = self.expected_in_channels();
+        if shape.len() != 4 || shape[1] != expected_c {
+            return Err(NnError::ShapeMismatch {
+                context: format!("conv `{}` chained forward", self.name),
+                expected: vec![0, expected_c, 0, 0],
+                actual: shape,
+            });
+        }
+        let (n, h, w) = (shape[0], shape[2], shape[3]);
+        let (oh, ow) = self.out_hw(h, w)?;
+        let c_out = self.active_out_channels();
+        let (groups_exec, opg) = self.exec_groups();
+        let kdim = self.icg_count() * self.cfg.kernel * self.cfg.kernel;
+        let ohw = oh * ow;
+        let sample_in = shape[1] * h * w;
+        let sample_out = c_out * ohw;
+        let per_sample_macs = groups_exec * opg * ohw * kdim;
+        let batch_par = n > 1 && n * per_sample_macs >= crate::gemm::PAR_MIN_WORK;
+        self.ensure_packed_w8(groups_exec, opg, kdim);
+        let (x_scale, qin) = match &input {
+            QAct::F32(t) => {
+                // Head of the chain: the one f32→i8 quantisation of the
+                // whole forward, at this layer's frozen scale.
+                let (scale, inv) = self.act_obs.observe_scale(t.data(), false);
+                crate::quant::count_quantise_pass();
+                (
+                    scale,
+                    QConvInput::F32 {
+                        x: t.data(),
+                        inv_scale: inv,
+                    },
+                )
+            }
+            // Mid-chain: the predecessor already requantised onto this
+            // layer's frozen grid.
+            QAct::I8(q) => (q.scale(), QConvInput::I8(q.data())),
+        };
+        let (w_scale, packed_w8) = self.packed_w8.as_ref().expect("packed above");
+        let q_scale = x_scale * w_scale;
+        let geoms: Vec<ConvGeom> = (0..groups_exec)
+            .map(|g| self.geom(g, h, w, oh, ow))
+            .collect();
+        match out_scale {
+            None => {
+                // Tail of the chain: dequantise to f32 logits.
+                crate::quant::count_dequantise_pass();
+                let mut out = Tensor::zeros(&[n, c_out, oh, ow]);
+                let bias = &self.b;
+                quant_conv_pass(
+                    qin,
+                    out.data_mut(),
+                    n,
+                    sample_in,
+                    sample_out,
+                    &geoms,
+                    packed_w8,
+                    opg,
+                    ohw,
+                    kdim,
+                    batch_par,
+                    &mut self.scratch.col8,
+                    |g| {
+                        let ep = QEpilogue::scaled(q_scale).with_bias_row(&bias[g * opg..][..opg]);
+                        if fuse_relu {
+                            ep.with_relu()
+                        } else {
+                            ep
+                        }
+                    },
+                );
+                Ok(QAct::F32(out))
+            }
+            Some(s_out) => {
+                // Chain edge: emit saturating i8 on the next quantised
+                // layer's frozen grid. The whole epilogue runs on that
+                // grid: multiplier s_x·s_w/s_out, bias pre-divided
+                // (into a reused scratch vector — no per-call alloc).
+                let inv_out = inv_or_zero(s_out);
+                let requant_scale = q_scale * inv_out;
+                let mut out = QTensor::zeros(&[n, c_out, oh, ow], s_out);
+                let Scratch { col8, qbias, .. } = &mut self.scratch;
+                qbias.clear();
+                qbias.extend(self.b.iter().map(|&b| b * inv_out));
+                let qbias: &[f32] = qbias;
+                quant_conv_pass(
+                    qin,
+                    out.data_mut(),
+                    n,
+                    sample_in,
+                    sample_out,
+                    &geoms,
+                    packed_w8,
+                    opg,
+                    ohw,
+                    kdim,
+                    batch_par,
+                    col8,
+                    |g| {
+                        let ep = QEpilogueI8::scaled(requant_scale)
+                            .with_bias_row(&qbias[g * opg..][..opg]);
+                        if fuse_relu {
+                            ep.with_relu()
+                        } else {
+                            ep
+                        }
+                    },
+                );
+                Ok(QAct::I8(out))
+            }
+        }
     }
 
     fn cost(&self, in_shape: &[usize]) -> Result<LayerCost> {
@@ -1354,6 +1571,66 @@ mod tests {
         // Weight-grid quantisation rewrites the masters in place.
         c.quantize_weights(6);
         check(&mut c, &x_half, "after quantisation");
+    }
+
+    /// The chained forward's batch-parallel band split must be
+    /// bit-identical to the serial pass for both input forms (f32 head
+    /// of a chain, pre-quantised mid-chain) and both output forms
+    /// (requantised i8 edge, dequantised f32 tail): bands are fully
+    /// independent row ranges over pre-packed operands.
+    #[test]
+    fn chained_band_split_matches_serial() {
+        use crate::quant::{QAct, QTensor};
+        // Big enough that `batch_par` passes the work threshold:
+        // 16·196·72 MACs/sample × batch 10 ≈ 2.3M ≥ 2^21.
+        let cfg = Conv2dConfig {
+            in_channels: 8,
+            out_channels: 16,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+            conv_groups: 1,
+            prune_groups: 2,
+        };
+        let mut c = Conv2d::new("c", cfg, &mut rng()).unwrap();
+        c.set_backend(Backend::QuantI8);
+        let xf = Tensor::random(&[10, 8, 14, 14], &mut rng());
+        let _ = c.forward(&xf, false).unwrap();
+        c.freeze_act_scale(true);
+        let mut qx = QTensor::zeros(xf.shape(), c.act_observer().scale_for(0.0));
+        let inv = 1.0 / qx.scale();
+        crate::quant::quantize_slice_i16(xf.data(), inv, qx.data_mut());
+        for (input, what) in [
+            (QAct::F32(xf.clone()), "f32 input"),
+            (QAct::I8(qx.clone()), "i8 input"),
+        ] {
+            for (out_scale, fuse) in [(None, false), (Some(0.05), true)] {
+                let serial = c
+                    .forward_chained(input.clone(), out_scale, fuse)
+                    .expect("serial chained forward");
+                crate::workers::FORCE_WORKERS.with(|f| f.set(Some(4)));
+                let banded = c
+                    .forward_chained(input.clone(), out_scale, fuse)
+                    .expect("banded chained forward");
+                crate::workers::FORCE_WORKERS.with(|f| f.set(None));
+                match (serial, banded) {
+                    (QAct::F32(a), QAct::F32(b)) => {
+                        assert!(
+                            a.data()
+                                .iter()
+                                .zip(b.data())
+                                .all(|(x, y)| x.to_bits() == y.to_bits()),
+                            "{what}, f32 out: banded differs from serial"
+                        );
+                    }
+                    (QAct::I8(a), QAct::I8(b)) => {
+                        assert_eq!(a.data(), b.data(), "{what}, i8 out");
+                        assert_eq!(a.scale(), b.scale());
+                    }
+                    _ => panic!("{what}: output form changed with banding"),
+                }
+            }
+        }
     }
 
     /// Re-selecting the current backend keeps the packed caches — an

@@ -29,10 +29,14 @@
 //! ```
 //!
 //! Blocking parameters: `MR×NR = 4×16` register tile (8 accumulator
-//! vectors of 8 `f32` on AVX2-class hardware, written as plain arrays so
-//! safe Rust auto-vectorises), `MC = 64` rows, `KC = 256` — an A block
-//! of 64 KiB and a B panel that stays resident in L1/L2 for the matrix
-//! sizes this crate meets. Panels are padded to multiples of `MR`/`NR`
+//! vectors of 8 `f32` on AVX2-class hardware), `MC = 64` rows,
+//! `KC = 256` — an A block of 64 KiB and a B panel that stays resident
+//! in L1/L2 for the matrix sizes this crate meets. The tile itself
+//! runs through [`eml_simd::madd_tile_f32`]: a runtime-dispatched AVX2
+//! kernel where the CPU has it (the baseline x86-64 target only
+//! auto-vectorises 4-wide), with the original safe scalar formulation
+//! as fallback and oracle — every tier issues the identical
+//! multiply/add sequence, so tier selection never changes results. Panels are padded to multiples of `MR`/`NR`
 //! with zeros so the micro-kernel has no edge cases; the write-back
 //! masks the padding.
 //!
@@ -67,8 +71,8 @@ use std::cell::RefCell;
 pub mod int8;
 
 pub use int8::{
-    gemm_i8, pack_a8_quantized, packed_a8_len, packed_b8_len, requantize_i8, PackedA8, PackedA8Ref,
-    PackedB8, PackedB8Ref, QEpilogue,
+    gemm_i8, gemm_i8_q, pack_a8_i16, pack_a8_quantized, packed_a8_len, packed_b8_len,
+    requantize_i8, PackedA8, PackedA8Ref, PackedB8, PackedB8Ref, QEpilogue, QEpilogueI8,
 };
 
 /// Which implementation a layer uses for its forward/backward math.
@@ -823,7 +827,7 @@ fn macro_tile(
         for cs in 0..col_strips {
             let pb_strip = &pb[cs * kc * NR..][..kc * NR];
             let cols = NR.min(n - cs * NR);
-            let mut acc = micro_kernel(pa_strip, pb_strip);
+            let mut acc = micro_kernel(pa_strip, pb_strip, kc);
             if rows == MR && cols == NR {
                 // Full-tile fast path: fixed-size rows, so the copies
                 // and adds compile to straight vector code instead of
@@ -862,43 +866,16 @@ fn macro_tile(
     }
 }
 
-/// The register-tiled core: one MR×NR tile of `A_strip · B_strip`.
-///
-/// Written over `chunks_exact` so the compiler sees fixed trip counts
-/// and vectorises the NR-wide FMA rows without bounds checks.
+/// The register-tiled core: one MR×NR tile of `A_strip · B_strip`,
+/// dispatched through [`eml_simd::madd_tile_f32`] — the runtime-picked
+/// AVX2 tier on CPUs that have it, otherwise the scalar form that is
+/// this kernel's original safe-Rust formulation (the baseline x86-64
+/// target auto-vectorises it 4-wide). Every tier issues the identical
+/// multiply/add sequence, so the tile is bit-identical across tiers.
 #[inline]
-fn micro_kernel(pa_strip: &[f32], pb_strip: &[f32]) -> [[f32; NR]; MR] {
+fn micro_kernel(pa_strip: &[f32], pb_strip: &[f32], kc: usize) -> [[f32; NR]; MR] {
     let mut acc = [[0.0f32; NR]; MR];
-    // Two k-steps per iteration: halves the loop overhead and gives
-    // the scheduler two independent FMA chains per accumulator row.
-    let mut ap2 = pa_strip.chunks_exact(2 * MR);
-    let mut bp2 = pb_strip.chunks_exact(2 * NR);
-    for (ap, bp) in (&mut ap2).zip(&mut bp2) {
-        for r in 0..MR {
-            let av = ap[r];
-            for (x, &bv) in acc[r].iter_mut().zip(&bp[..NR]) {
-                *x += av * bv;
-            }
-        }
-        for r in 0..MR {
-            let av = ap[MR + r];
-            for (x, &bv) in acc[r].iter_mut().zip(&bp[NR..]) {
-                *x += av * bv;
-            }
-        }
-    }
-    for (ap, bp) in ap2
-        .remainder()
-        .chunks_exact(MR)
-        .zip(bp2.remainder().chunks_exact(NR))
-    {
-        for r in 0..MR {
-            let av = ap[r];
-            for (x, &bv) in acc[r].iter_mut().zip(bp) {
-                *x += av * bv;
-            }
-        }
-    }
+    eml_simd::madd_tile_f32(pa_strip, pb_strip, kc, &mut acc);
     acc
 }
 

@@ -46,8 +46,12 @@
 //! dequantise-bias-activate sequence into the write-back:
 //! `out = relu(acc · scale + bias)` in `f32`, where `scale` is the
 //! product of the two operands' per-tensor scales. For quantised
-//! chaining, [`requantize_i8`] performs the same sequence with a
-//! saturating round to `[-127, 127]`.
+//! chaining ([`gemm_i8_q`]), [`QEpilogueI8`] performs the same
+//! sequence with a saturating round straight onto the **next** layer's
+//! int8 grid (`scale = in_scale·w_scale/out_scale`, bias pre-divided
+//! by the output scale, optional ReLU a free `max(0)` before the
+//! round), so chained layers never materialise an `f32` activation;
+//! [`requantize_i8`] is the scalar form of that write-back.
 //!
 //! # Overflow guard
 //!
@@ -159,6 +163,41 @@ pub fn pack_a8_quantized(a: MatRef<'_>, m: usize, k: usize, inv_scale: f32, buf:
     while pc < k {
         let kc = KC8.min(k - pc);
         pack_a8_w(a, 0, m, pc, kc, inv_scale, &mut buf[m_pad * pc..]);
+        pc += kc;
+    }
+}
+
+/// Packs an `m × k` row-major matrix of **already-quantised**
+/// int8-grid values (`i16` storage) straight into the packed int8 A
+/// layout inside `buf` (length ≥ [`packed_a8_len`]) — the chained-layer
+/// twin of [`pack_a8_quantized`]: the values were requantised by the
+/// previous layer's [`QEpilogueI8`] write-back, so this is pure integer
+/// copies with no quantisation pass and no `f32` intermediate. Wrap the
+/// result in [`PackedA8Ref::new`].
+pub fn pack_a8_i16(src: &[i16], m: usize, k: usize, buf: &mut [i16]) {
+    debug_assert!(src.len() >= m * k);
+    debug_assert!(buf.len() >= packed_a8_len(m, k));
+    let m_pad = m.div_ceil(MR) * MR;
+    let strips = m.div_ceil(MR);
+    let mut pc = 0;
+    while pc < k {
+        let kc = KC8.min(k - pc);
+        let kcp = k_pad(kc);
+        let pa = &mut buf[m_pad * pc..];
+        for strip in 0..strips {
+            let base = strip * kcp * MR;
+            for p in 0..kcp {
+                let dst = base + (p / 2) * 2 * MR + (p & 1);
+                for r in 0..MR {
+                    let i = strip * MR + r;
+                    pa[dst + r * 2] = if i < m && p < kc {
+                        src[i * k + pc + p]
+                    } else {
+                        0
+                    };
+                }
+            }
+        }
         pc += kc;
     }
 }
@@ -344,9 +383,30 @@ impl<'a> QEpilogue<'a> {
             None => 0.0,
         }
     }
+}
 
-    /// Requantises one full register-tile row; the fixed width lets the
-    /// compiler vectorise the convert-scale-add sequence.
+/// Write-back of the int8 GEMM kernel: turns one segment of `i32`
+/// accumulators into output elements, after the full `k` reduction.
+/// Two implementations exist — [`QEpilogue`] dequantises to `f32`
+/// (layer output leaves the quantised domain) and [`QEpilogueI8`]
+/// requantises straight onto the int8 grid (chained
+/// quantised-to-quantised layers, `eml_nn::quant` chaining docs).
+pub(crate) trait QWriteback: Copy + Send + Sync {
+    /// Output element type the kernel writes.
+    type Out: Copy + Send + Default;
+
+    /// Writes one full register-tile row; the fixed width lets the
+    /// compiler vectorise the convert-scale-store sequence.
+    fn apply_tile_row(&self, dst: &mut [Self::Out; NR], acc: &[i32; NR], row: usize, col0: usize);
+
+    /// Writes one row segment. `row` is the global row index, `col0`
+    /// the global column of `dst[0]`/`acc[0]`.
+    fn apply(&self, dst: &mut [Self::Out], acc: &[i32], row: usize, col0: usize);
+}
+
+impl QWriteback for QEpilogue<'_> {
+    type Out = f32;
+
     #[inline]
     fn apply_tile_row(&self, dst: &mut [f32; NR], acc: &[i32; NR], row: usize, col0: usize) {
         match self.bias {
@@ -375,8 +435,6 @@ impl<'a> QEpilogue<'a> {
         }
     }
 
-    /// Requantises one row segment. `row` is the global row index,
-    /// `col0` the global column of `dst[0]`/`acc[0]`.
     #[inline]
     fn apply(&self, dst: &mut [f32], acc: &[i32], row: usize, col0: usize) {
         for (j, (d, &a)) in dst.iter_mut().zip(acc).enumerate() {
@@ -389,17 +447,123 @@ impl<'a> QEpilogue<'a> {
     }
 }
 
+/// The saturating-int8 requantisation epilogue of a chained
+/// quantised-to-quantised layer, fused into [`gemm_i8_q`]'s
+/// write-back: `q = round(acc · scale + bias)` clamped to
+/// `[-127, 127]` (stored as `i16`, the packed panels' operand form),
+/// with the optional ReLU a free `max(0)` before the round.
+///
+/// `scale` is `in_scale · weight_scale / out_scale` and `bias` values
+/// must arrive **pre-divided by the output scale** — the epilogue
+/// operates entirely on the output grid (see the chained-scale algebra
+/// in [`crate::quant`]'s module docs).
+#[derive(Debug, Clone, Copy)]
+pub struct QEpilogueI8<'a> {
+    scale: f32,
+    bias: Option<Bias<'a>>,
+    relu: bool,
+}
+
+impl<'a> QEpilogueI8<'a> {
+    /// Requantise only: `q = round_sat(acc · scale)`.
+    pub fn scaled(scale: f32) -> Self {
+        Self {
+            scale,
+            bias: None,
+            relu: false,
+        }
+    }
+
+    /// Fuses a per-row bias add (values pre-divided by the output
+    /// scale) before the round.
+    pub fn with_bias_row(mut self, bias: &'a [f32]) -> Self {
+        self.bias = Some(Bias::Row(bias));
+        self
+    }
+
+    /// Fuses a per-column bias add (values pre-divided by the output
+    /// scale) before the round.
+    pub fn with_bias_col(mut self, bias: &'a [f32]) -> Self {
+        self.bias = Some(Bias::Col(bias));
+        self
+    }
+
+    /// Additionally clamps at zero (ReLU) after the bias add, before
+    /// the round — exactly [`requantize_i8`]'s order.
+    pub fn with_relu(mut self) -> Self {
+        self.relu = true;
+        self
+    }
+
+    #[inline]
+    fn bias_at(&self, row: usize, col: usize) -> f32 {
+        match self.bias {
+            Some(Bias::Row(b)) => b[row],
+            Some(Bias::Col(b)) => b[col],
+            None => 0.0,
+        }
+    }
+
+    #[inline]
+    fn requant(&self, acc: i32, bias: f32) -> i16 {
+        let mut v = acc as f32 * self.scale + bias;
+        if self.relu {
+            v = v.max(0.0);
+        }
+        crate::quant::round_clamp_i8w(v)
+    }
+}
+
+impl QWriteback for QEpilogueI8<'_> {
+    type Out = i16;
+
+    #[inline]
+    fn apply_tile_row(&self, dst: &mut [i16; NR], acc: &[i32; NR], row: usize, col0: usize) {
+        match self.bias {
+            Some(Bias::Row(b)) => {
+                let bv = b[row];
+                for (d, &a) in dst.iter_mut().zip(acc) {
+                    *d = self.requant(a, bv);
+                }
+            }
+            Some(Bias::Col(b)) => {
+                let b: &[f32; NR] = b[col0..col0 + NR].try_into().expect("NR columns");
+                for ((d, &a), &bv) in dst.iter_mut().zip(acc).zip(b) {
+                    *d = self.requant(a, bv);
+                }
+            }
+            None => {
+                for (d, &a) in dst.iter_mut().zip(acc) {
+                    *d = self.requant(a, 0.0);
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn apply(&self, dst: &mut [i16], acc: &[i32], row: usize, col0: usize) {
+        for (j, (d, &a)) in dst.iter_mut().zip(acc).enumerate() {
+            *d = self.requant(a, self.bias_at(row, col0 + j));
+        }
+    }
+}
+
 /// Saturating int8 requantisation of one `i32` accumulator:
 /// `round(acc · scale + bias)` (ReLU before the round when `relu`),
 /// clamped to the symmetric int8 grid `[-127, 127]`. This is the
-/// output half of a quantised-to-quantised layer chain; `scale` there
-/// is `in_scale · weight_scale / out_scale`.
+/// scalar form of the output half of a quantised-to-quantised layer
+/// chain ([`QEpilogueI8`] is the fused kernel form); `scale` there is
+/// `in_scale · weight_scale / out_scale`.
+///
+/// Rounds ties to even — the same branchless magic-bias core as the
+/// input quantisers and the fused epilogue, so no call site can
+/// diverge in rounding policy.
 pub fn requantize_i8(acc: i32, scale: f32, bias: f32, relu: bool) -> i8 {
     let mut v = acc as f32 * scale + bias;
     if relu {
         v = v.max(0.0);
     }
-    v.round().clamp(-127.0, 127.0) as i8
+    crate::quant::round_clamp_i8(v)
 }
 
 thread_local! {
@@ -436,6 +600,48 @@ pub fn gemm_i8(
     ldc: usize,
     parallel: bool,
     ep: QEpilogue<'_>,
+) {
+    gemm_i8_with(m, n, k, a, b, c, ldc, parallel, ep);
+}
+
+/// [`gemm_i8`] with a **saturating int8 output**: `C` holds int8-grid
+/// values in `i16` storage (the packed panels' operand form), written
+/// through the requantising [`QEpilogueI8`]. This is the kernel of a
+/// chained quantised-to-quantised layer: the output can be lowered
+/// straight into the next layer's packed int8 operand without ever
+/// materialising an `f32` intermediate.
+///
+/// # Panics
+///
+/// Same conditions as [`gemm_i8`].
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_i8_q(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: PackedA8Ref<'_>,
+    b: PackedB8Ref<'_>,
+    c: &mut [i16],
+    ldc: usize,
+    parallel: bool,
+    ep: QEpilogueI8<'_>,
+) {
+    gemm_i8_with(m, n, k, a, b, c, ldc, parallel, ep);
+}
+
+/// Shared driver behind [`gemm_i8`] and [`gemm_i8_q`], generic over
+/// the write-back (`f32` dequantise vs int8 requantise).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_i8_with<E: QWriteback>(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: PackedA8Ref<'_>,
+    b: PackedB8Ref<'_>,
+    c: &mut [E::Out],
+    ldc: usize,
+    parallel: bool,
+    ep: E,
 ) {
     assert!(
         k <= MAX_K_I8,
@@ -485,16 +691,16 @@ pub fn gemm_i8(
 /// The single-threaded int8 blocked GEMM over rows `i0..i0+m` of the
 /// logical product; `c` starts at row `i0`.
 #[allow(clippy::too_many_arguments)]
-fn gemm_i8_serial(
+fn gemm_i8_serial<E: QWriteback>(
     i0: usize,
     m: usize,
     n: usize,
     k: usize,
     a: PackedA8Ref<'_>,
     b: PackedB8Ref<'_>,
-    c: &mut [f32],
+    c: &mut [E::Out],
     ldc: usize,
-    ep: QEpilogue<'_>,
+    ep: E,
 ) {
     if k <= KC8 {
         // Single-slice fast path (every layer shape in this crate):
@@ -555,16 +761,16 @@ fn gemm_i8_serial(
 /// straight into `c` (single-slice path). `row0` is the global row
 /// index of `c[0]`.
 #[allow(clippy::too_many_arguments)]
-fn macro_tile_i8(
+fn macro_tile_i8<E: QWriteback>(
     pa: &[i16],
     pb: &[i16],
     mc: usize,
     n: usize,
     kc: usize,
-    c: &mut [f32],
+    c: &mut [E::Out],
     ldc: usize,
     row0: usize,
-    ep: QEpilogue<'_>,
+    ep: E,
 ) {
     let row_strips = mc.div_ceil(MR);
     let col_strips = n.div_ceil(NR);
@@ -581,7 +787,7 @@ fn macro_tile_i8(
                 // Full-tile fast path: fixed-size rows vectorise the
                 // convert-scale-store.
                 for (r, vals) in acc.iter().enumerate() {
-                    let dst: &mut [f32; NR] = (&mut c[(rs * MR + r) * ldc + cs * NR..][..NR])
+                    let dst: &mut [E::Out; NR] = (&mut c[(rs * MR + r) * ldc + cs * NR..][..NR])
                         .try_into()
                         .expect("NR-wide row");
                     ep.apply_tile_row(dst, vals, row0 + rs * MR + r, cs * NR);
@@ -879,9 +1085,89 @@ mod tests {
         // All-zero accumulator stays exactly zero whatever the scale.
         assert_eq!(requantize_i8(0, 12345.0, 0.0, false), 0);
         assert_eq!(requantize_i8(0, 0.0, 0.0, true), 0);
-        // Round-to-nearest on the dequantised value.
-        assert_eq!(requantize_i8(3, 0.5, 0.0, false), 2);
-        assert_eq!(requantize_i8(5, 0.5, 0.0, false), 3); // 2.5 rounds away from zero
+        // Round-to-nearest, ties to even — the same magic-bias core as
+        // the input quantisers, so chaining cannot mix rounding rules.
+        assert_eq!(requantize_i8(3, 0.5, 0.0, false), 2); // 1.5 ties to even 2
+        assert_eq!(requantize_i8(5, 0.5, 0.0, false), 2); // 2.5 ties to even 2
+        assert_eq!(requantize_i8(7, 0.5, 0.0, false), 4); // 3.5 ties to even 4
+        assert_eq!(requantize_i8(-5, 0.5, 0.0, false), -2);
+    }
+
+    /// The fused int8-output epilogue ([`gemm_i8_q`]) must agree with
+    /// the scalar [`requantize_i8`] primitive applied to the exact
+    /// integer accumulators, across bias orientations, ReLU, edge
+    /// tiles and the multi-slice accumulation path.
+    #[test]
+    fn gemm_i8_q_matches_requantize_primitive() {
+        for &(m, n, k) in &[
+            (1usize, 1usize, 1usize),
+            (3, 5, 7),
+            (4, 16, 8),
+            (5, 17, 9),
+            (13, 40, 144),
+            (9, 21, KC8 + 37),
+        ] {
+            let a = random_vec(m * k, 400 + m as u64);
+            let b = random_vec(k * n, 500 + n as u64);
+            let bias = random_vec(m.max(n), 600);
+            let (inv_a, inv_b) = (127.0 / 0.9, 127.0 / 0.8);
+            // Chained-layer multiplier: s_x·s_w / s_out with an
+            // arbitrary output scale.
+            let scale = (0.9 / 127.0) * (0.8 / 127.0) / 0.01;
+            let pa = PackedA8::pack_quantized(MatRef::new(&a, k), m, k, inv_a);
+            let pb = PackedB8::pack_quantized(MatRef::new(&b, n), k, n, inv_b);
+            // Exact integer accumulators from the quantised operands.
+            let qa: Vec<i64> = a.iter().map(|&x| quantize_i8(x, inv_a) as i64).collect();
+            let qb: Vec<i64> = b.iter().map(|&x| quantize_i8(x, inv_b) as i64).collect();
+            for bias_kind in 0..3usize {
+                for relu in [false, true] {
+                    let mut ep = QEpilogueI8::scaled(scale);
+                    match bias_kind {
+                        1 => ep = ep.with_bias_row(&bias[..m]),
+                        2 => ep = ep.with_bias_col(&bias[..n]),
+                        _ => {}
+                    }
+                    if relu {
+                        ep = ep.with_relu();
+                    }
+                    let mut c = vec![i16::MIN; m * n];
+                    gemm_i8_q(m, n, k, pa.as_ref(), pb.as_ref(), &mut c, n, false, ep);
+                    for i in 0..m {
+                        for j in 0..n {
+                            let acc: i64 = (0..k).map(|p| qa[i * k + p] * qb[p * n + j]).sum();
+                            let bv = match bias_kind {
+                                1 => bias[i],
+                                2 => bias[j],
+                                _ => 0.0,
+                            };
+                            let want = requantize_i8(acc as i32, scale, bv, relu);
+                            assert_eq!(
+                                c[i * n + j],
+                                i16::from(want),
+                                "({m}x{n}x{k} bias{bias_kind} relu{relu}) c[{i}][{j}]"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Packing pre-quantised `i16` values must produce the identical
+    /// panel bytes as quantise-during-pack of the values they came
+    /// from — the chained lowering introduces no re-quantisation.
+    #[test]
+    fn pack_a8_i16_matches_quantising_pack() {
+        for &(m, k) in &[(1usize, 1usize), (3, 7), (4, 16), (7, 33), (5, KC8 + 3)] {
+            let a = random_vec(m * k, 70 + k as u64);
+            let inv = 127.0 / 0.85;
+            let expect = PackedA8::pack_quantized(MatRef::new(&a, k), m, k, inv);
+            let mut qa = vec![0i16; m * k];
+            crate::quant::quantize_slice_i16(&a, inv, &mut qa);
+            let mut buf = vec![i16::MIN; packed_a8_len(m, k)];
+            pack_a8_i16(&qa, m, k, &mut buf);
+            assert_eq!(buf, expect.buf, "m={m} k={k}");
+        }
     }
 
     #[test]

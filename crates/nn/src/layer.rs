@@ -11,9 +11,35 @@
 use std::fmt;
 use std::ops::Range;
 
-use crate::error::Result;
+use crate::error::{NnError, Result};
 use crate::gemm::Backend;
+use crate::quant::{ActObserver, QAct};
 use crate::tensor::Tensor;
+
+/// How a layer can participate in a chained-int8 forward pass (see
+/// [`crate::network::Network::plan_quant_chain`] and the chaining
+/// section of [`crate::quant`]'s module docs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ChainSupport {
+    /// Cannot run on quantised activations: any chain ends before this
+    /// layer (its predecessor dequantises to `f32`). The default.
+    Breaks,
+    /// Order-preserving on the int8 grid (MaxPool, Flatten): passes a
+    /// quantised activation through at its incoming scale.
+    Transparent,
+    /// ReLU: order-preserving like [`ChainSupport::Transparent`], and
+    /// additionally **fusable** into the preceding quantised layer's
+    /// requantisation epilogue as a free `max(0)`.
+    TransparentRelu,
+    /// A quantised compute layer with a **frozen** input-activation
+    /// scale: consumes int8 input on that grid and can emit int8
+    /// output at any requested scale.
+    Quantised {
+        /// The layer's frozen input-activation quantisation scale —
+        /// the per-edge scale the planning pass resolves.
+        in_scale: f32,
+    },
+}
 
 /// Per-sample cost of a layer at its current active width.
 #[derive(Debug, Clone, PartialEq)]
@@ -105,6 +131,49 @@ pub trait Layer: fmt::Debug {
     /// [`crate::quant::ActObserver`]). No-op for layers without an
     /// int8 path.
     fn freeze_act_scale(&mut self, _frozen: bool) {}
+
+    /// The layer's int8 input-activation observer, if it has one
+    /// (`Conv2d`/`Linear`). Used by
+    /// [`crate::network::Network::calibrate`] to build the per-layer
+    /// scale report.
+    fn quant_observer(&self) -> Option<ActObserver> {
+        None
+    }
+
+    /// How this layer can participate in a chained-int8 forward pass
+    /// (see [`ChainSupport`]). The default — [`ChainSupport::Breaks`]
+    /// — keeps a layer out of every chain.
+    fn chain_support(&self) -> ChainSupport {
+        ChainSupport::Breaks
+    }
+
+    /// One chained-int8 forward step (inference only — never caches
+    /// for backward). Called by the network executor strictly per the
+    /// plan [`crate::network::Network::plan_quant_chain`] computed, so
+    /// implementations may assume the input form matches what their
+    /// [`Layer::chain_support`] advertised: quantised layers accept
+    /// either form (an `f32` input is quantised once at the frozen
+    /// scale — the head of a chain), transparent layers require
+    /// [`QAct::I8`]. When `out_scale` is `Some(s)`, a quantised layer
+    /// must emit int8 output on the grid `s` (the next quantised
+    /// layer's frozen input scale), with ReLU fused into the
+    /// requantisation when `fuse_relu` is set; with `None` it emits
+    /// `f32`.
+    ///
+    /// # Errors
+    ///
+    /// The default returns [`NnError::InvalidConfig`]: layers that
+    /// advertise [`ChainSupport::Breaks`] are never scheduled chained.
+    fn forward_chained(
+        &mut self,
+        _input: QAct,
+        _out_scale: Option<f32>,
+        _fuse_relu: bool,
+    ) -> Result<QAct> {
+        Err(NnError::InvalidConfig {
+            reason: format!("layer `{}` cannot run in a quantised chain", self.name()),
+        })
+    }
 
     /// Cost of this layer at its *current* active width for one sample of
     /// `in_shape` (no batch axis).

@@ -66,7 +66,9 @@ pub(crate) mod workers;
 
 pub use error::{NnError, Result};
 pub use gemm::Backend;
-pub use layer::{Layer, LayerCost};
-pub use network::{Network, NetworkCost};
-pub use quant::{ActObserver, Precision};
+pub use layer::{ChainSupport, Layer, LayerCost};
+pub use network::{Network, NetworkCost, QuantChainPlan};
+pub use quant::{
+    layer_io_events, reset_layer_io_events, ActObserver, ActScaleReport, Precision, QAct, QTensor,
+};
 pub use tensor::Tensor;

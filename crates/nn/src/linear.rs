@@ -26,11 +26,11 @@ use rand::Rng;
 
 use crate::error::{NnError, Result};
 use crate::gemm::{
-    gemm, gemm_i8, gemm_with, pack_a8_quantized, packed_a8_len, Backend, Epilogue, Lhs, MatRef,
-    PackedA8Ref, PackedB, PackedB8, QEpilogue, Rhs,
+    gemm, gemm_i8, gemm_i8_q, gemm_with, pack_a8_i16, pack_a8_quantized, packed_a8_len, Backend,
+    Epilogue, Lhs, MatRef, PackedA8Ref, PackedB, PackedB8, QEpilogue, QEpilogueI8, Rhs,
 };
-use crate::layer::{sgd_update_span, Layer, LayerCost};
-use crate::quant::{finite_max_abs, inv_or_zero, ActObserver, I8_LEVELS};
+use crate::layer::{sgd_update_span, ChainSupport, Layer, LayerCost};
+use crate::quant::{finite_max_abs, inv_or_zero, ActObserver, QAct, QTensor, I8_LEVELS};
 use crate::tensor::Tensor;
 
 /// A dense layer `y = W·x + b` with width-scalable input features.
@@ -62,6 +62,10 @@ pub struct Linear {
     /// Reusable buffer for the quantised, packed input batch of the
     /// int8 forward; grows once, then reused.
     qx_buf: Vec<i16>,
+    /// Bias pre-divided by the chain-edge output scale (the
+    /// [`QEpilogueI8`] operand), rebuilt per chained forward without
+    /// reallocating.
+    qbias_buf: Vec<f32>,
     /// Input-activation range observer for the int8 path (see
     /// [`ActObserver`]).
     act_obs: ActObserver,
@@ -119,6 +123,7 @@ impl Linear {
             packed_bwd: None,
             packed_fwd8: None,
             qx_buf: Vec::new(),
+            qbias_buf: Vec::new(),
             act_obs: ActObserver::default(),
         })
     }
@@ -166,6 +171,24 @@ impl Linear {
 
     fn per_group(&self) -> usize {
         self.in_features / self.prune_groups
+    }
+
+    /// Quantises + packs the active `Wᵀ` prefix once per weight
+    /// version; the per-tensor scale spans every active weight.
+    fn ensure_packed_fwd8(&mut self, f_active: usize) {
+        if self.packed_fwd8.is_none() {
+            let (w, in_features, out_features) = (&self.w, self.in_features, self.out_features);
+            let mut w_max = 0.0f32;
+            for of in 0..out_features {
+                w_max = w_max.max(finite_max_abs(&w[of * in_features..][..f_active]));
+            }
+            let w_scale = w_max / I8_LEVELS;
+            let inv_w = inv_or_zero(w_scale);
+            self.packed_fwd8 = Some((
+                w_scale,
+                PackedB8::pack_quantized(MatRef::t(w, in_features), f_active, out_features, inv_w),
+            ));
+        }
     }
 }
 
@@ -231,25 +254,11 @@ impl Layer for Linear {
                 // packed int8 layout per call (scale from the
                 // activation observer); requantisation + bias fused in
                 // the epilogue.
-                let (w, in_features, out_features) = (&self.w, self.in_features, self.out_features);
-                if self.packed_fwd8.is_none() {
-                    let mut w_max = 0.0f32;
-                    for of in 0..out_features {
-                        w_max = w_max.max(finite_max_abs(&w[of * in_features..][..f_active]));
-                    }
-                    let w_scale = w_max / I8_LEVELS;
-                    let inv_w = inv_or_zero(w_scale);
-                    self.packed_fwd8 = Some((
-                        w_scale,
-                        PackedB8::pack_quantized(
-                            MatRef::t(w, in_features),
-                            f_active,
-                            out_features,
-                            inv_w,
-                        ),
-                    ));
-                }
+                self.ensure_packed_fwd8(f_active);
+                let out_features = self.out_features;
                 let (x_scale, inv_x) = self.act_obs.observe_scale(x, train);
+                crate::quant::count_quantise_pass();
+                crate::quant::count_dequantise_pass();
                 let (w_scale, packed) = self.packed_fwd8.as_ref().expect("packed above");
                 let q_scale = x_scale * w_scale;
                 let qx_len = packed_a8_len(n, f_active);
@@ -427,6 +436,114 @@ impl Layer for Linear {
 
     fn freeze_act_scale(&mut self, frozen: bool) {
         self.act_obs.freeze(frozen);
+    }
+
+    fn quant_observer(&self) -> Option<ActObserver> {
+        Some(self.act_obs)
+    }
+
+    fn chain_support(&self) -> ChainSupport {
+        if self.backend == Backend::QuantI8
+            && self.act_obs.is_frozen()
+            && self.act_obs.max_abs() > 0.0
+        {
+            ChainSupport::Quantised {
+                in_scale: self.act_obs.scale_for(0.0),
+            }
+        } else {
+            ChainSupport::Breaks
+        }
+    }
+
+    /// Chained int8 forward: `Y = X · Wᵀ` on the int8 kernel, where a
+    /// pre-quantised batch is packed by pure integer copies
+    /// ([`pack_a8_i16`]) and the output either dequantises to `f32`
+    /// (logits — the usual role of the classifier at the chain's tail)
+    /// or requantises onto a successor's grid via [`QEpilogueI8`].
+    fn forward_chained(
+        &mut self,
+        input: QAct,
+        out_scale: Option<f32>,
+        fuse_relu: bool,
+    ) -> Result<QAct> {
+        let shape = input.shape().to_vec();
+        let f_active = self.active_in_features();
+        if shape.len() != 2 || shape[1] != f_active {
+            return Err(NnError::ShapeMismatch {
+                context: format!("linear `{}` chained forward", self.name),
+                expected: vec![0, f_active],
+                actual: shape,
+            });
+        }
+        let n = shape[0];
+        let out_features = self.out_features;
+        self.ensure_packed_fwd8(f_active);
+        let qx_len = packed_a8_len(n, f_active);
+        self.qx_buf.resize(qx_len.max(self.qx_buf.len()), 0);
+        let x_scale = match &input {
+            QAct::F32(t) => {
+                // Head of the chain: the one f32→i8 quantisation.
+                let (scale, inv) = self.act_obs.observe_scale(t.data(), false);
+                crate::quant::count_quantise_pass();
+                pack_a8_quantized(
+                    MatRef::new(t.data(), f_active),
+                    n,
+                    f_active,
+                    inv,
+                    &mut self.qx_buf,
+                );
+                scale
+            }
+            QAct::I8(q) => {
+                // Mid-chain: already on this layer's frozen grid —
+                // packing is pure integer copies.
+                pack_a8_i16(q.data(), n, f_active, &mut self.qx_buf);
+                q.scale()
+            }
+        };
+        let (w_scale, packed) = self.packed_fwd8.as_ref().expect("packed above");
+        let q_scale = x_scale * w_scale;
+        let qx = PackedA8Ref::new(&self.qx_buf[..qx_len], n, f_active);
+        match out_scale {
+            None => {
+                crate::quant::count_dequantise_pass();
+                let mut out = Tensor::zeros(&[n, out_features]);
+                let ep = QEpilogue::scaled(q_scale).with_bias_col(&self.b);
+                let ep = if fuse_relu { ep.with_relu() } else { ep };
+                gemm_i8(
+                    n,
+                    out_features,
+                    f_active,
+                    qx,
+                    packed.as_ref(),
+                    out.data_mut(),
+                    out_features,
+                    true,
+                    ep,
+                );
+                Ok(QAct::F32(out))
+            }
+            Some(s_out) => {
+                let inv_out = inv_or_zero(s_out);
+                self.qbias_buf.clear();
+                self.qbias_buf.extend(self.b.iter().map(|&b| b * inv_out));
+                let mut out = QTensor::zeros(&[n, out_features], s_out);
+                let ep = QEpilogueI8::scaled(q_scale * inv_out).with_bias_col(&self.qbias_buf);
+                let ep = if fuse_relu { ep.with_relu() } else { ep };
+                gemm_i8_q(
+                    n,
+                    out_features,
+                    f_active,
+                    qx,
+                    packed.as_ref(),
+                    out.data_mut(),
+                    out_features,
+                    true,
+                    ep,
+                );
+                Ok(QAct::I8(out))
+            }
+        }
     }
 
     fn cost(&self, in_shape: &[usize]) -> Result<LayerCost> {

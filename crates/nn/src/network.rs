@@ -9,8 +9,10 @@ use std::fmt;
 use std::ops::Range;
 
 use crate::error::{NnError, Result};
-use crate::layer::{Layer, LayerCost};
+use crate::gemm::Backend;
+use crate::layer::{ChainSupport, Layer, LayerCost};
 use crate::loss::{cross_entropy, LossOutput};
+use crate::quant::{ActScaleReport, QAct};
 use crate::tensor::Tensor;
 
 /// Aggregate cost of a forward pass at some width.
@@ -27,12 +29,75 @@ pub struct NetworkCost {
     pub per_layer: Vec<(String, LayerCost)>,
 }
 
+/// How one layer executes inside a chained-int8 forward pass (the
+/// resolved form of [`ChainSupport`], computed by
+/// [`Network::plan_quant_chain`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ChainMode {
+    /// Run the ordinary [`Layer::forward`] on an `f32` activation
+    /// (outside any chain segment, or a quantised layer falling back
+    /// to its per-layer round-trip path).
+    F32,
+    /// A quantised layer inside a chain: emit int8 at `out_scale`
+    /// (the next quantised layer's frozen input scale) or `f32` when
+    /// `None` (tail of the chain); ReLU fused when `fuse_relu`.
+    Quant {
+        out_scale: Option<f32>,
+        fuse_relu: bool,
+    },
+    /// An order-preserving layer passing a quantised activation
+    /// through on its int8 fast path.
+    PassI8,
+    /// A ReLU folded into the preceding quantised layer's epilogue:
+    /// skipped entirely.
+    FusedRelu,
+}
+
+/// The resolved chained-int8 execution plan of a network (see
+/// [`Network::plan_quant_chain`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantChainPlan {
+    modes: Vec<ChainMode>,
+    edges: usize,
+}
+
+impl QuantChainPlan {
+    /// Whether any chain segment engaged — if not, forwards take the
+    /// ordinary per-layer path.
+    pub fn engaged(&self) -> bool {
+        self.edges > 0
+    }
+
+    /// Number of quantised-to-quantised edges the plan resolved (each
+    /// one is a dequantise/requantise round trip eliminated).
+    pub fn edges(&self) -> usize {
+        self.edges
+    }
+
+    /// Number of ReLU layers folded into a predecessor's epilogue.
+    pub fn fused_relus(&self) -> usize {
+        self.modes
+            .iter()
+            .filter(|m| matches!(m, ChainMode::FusedRelu))
+            .count()
+    }
+}
+
 /// A feed-forward stack of layers ending in logits.
 pub struct Network {
     layers: Vec<Box<dyn Layer>>,
     groups: usize,
     active: usize,
     input_shape: Vec<usize>,
+    /// The backend last pushed via [`Network::set_backend`] (layers
+    /// start on [`Backend::Gemm`], the layer default).
+    backend: Backend,
+    /// Cached chained-int8 plan; `None` until planned and after every
+    /// invalidation (see [`Network::invalidate_chain_plan`]).
+    chain_plan: Option<QuantChainPlan>,
+    /// Measurement/debug escape: `false` forces the per-layer
+    /// round-trip path even when a chain could engage.
+    chain_enabled: bool,
 }
 
 impl fmt::Debug for Network {
@@ -79,6 +144,9 @@ impl Network {
             groups,
             active: groups,
             input_shape,
+            backend: Backend::default(),
+            chain_plan: None,
+            chain_enabled: true,
         })
     }
 
@@ -121,6 +189,10 @@ impl Network {
             layer.set_active_groups(active)?;
         }
         self.active = active;
+        // Per-prefix weight scales (and therefore every requantisation
+        // multiplier) change with the active group set — the cached
+        // chain plan must be re-resolved.
+        self.invalidate_chain_plan();
         Ok(())
     }
 
@@ -143,6 +215,14 @@ impl Network {
         for layer in &mut self.layers {
             layer.set_backend(backend);
         }
+        self.backend = backend;
+        self.invalidate_chain_plan();
+    }
+
+    /// The backend last set via [`Network::set_backend`] (layers start
+    /// on [`Backend::Gemm`]).
+    pub fn backend(&self) -> Backend {
+        self.backend
     }
 
     /// Sets the data-precision knob (the second application knob of the
@@ -171,21 +251,253 @@ impl Network {
         for layer in &mut self.layers {
             layer.freeze_act_scale(frozen);
         }
+        // Freezing is when per-edge scales become resolvable (and
+        // unfreezing is when they stop being): re-plan either way.
+        self.invalidate_chain_plan();
+    }
+
+    /// Drops the cached chained-int8 plan; the next inference forward
+    /// re-plans lazily. Called on every mutation that can change chain
+    /// structure or per-edge scales: backend/precision switches, width
+    /// switches (per-prefix weight scales), observer freezes and
+    /// direct layer access.
+    fn invalidate_chain_plan(&mut self) {
+        self.chain_plan = None;
+    }
+
+    /// Enables or disables chained-int8 execution (enabled by
+    /// default). With chaining disabled, a frozen `QuantI8` network
+    /// runs the per-layer round-trip path — each layer dequantises to
+    /// `f32` and the next re-quantises — which is the measurement
+    /// baseline the chained path is benchmarked against, and the
+    /// reference the chain equivalence tests pin against.
+    pub fn set_quant_chain(&mut self, enabled: bool) {
+        self.chain_enabled = enabled;
+        self.invalidate_chain_plan();
+    }
+
+    /// Resolves the chained-int8 execution plan from the layers'
+    /// current [`ChainSupport`] — the planning pass of the quantised
+    /// pipeline (see the chaining section of [`crate::quant`]'s module
+    /// docs).
+    ///
+    /// For every maximal run `Q₀ T… Q₁ T… Q₂ …` of frozen quantised
+    /// layers `Qᵢ` separated only by order-preserving transparent
+    /// layers `T`, each `Qᵢ` (except the last) is scheduled to emit
+    /// int8 directly on `Qᵢ₊₁`'s frozen input grid, a ReLU immediately
+    /// following a `Qᵢ` is folded into its epilogue, the remaining
+    /// transparent layers take their int8 fast paths, and the last
+    /// quantised layer of the run dequantises to `f32`. Layers outside
+    /// any run — including quantised layers with dynamic (unfrozen)
+    /// scales — keep the ordinary per-layer path, so a single unfrozen
+    /// mid-network layer splits the chain around itself without
+    /// changing its own dynamic-scale semantics.
+    ///
+    /// The plan is cached; inference forwards re-plan lazily after any
+    /// invalidating mutation (see [`Network::set_active_groups`] et
+    /// al.). Chaining never engages for training forwards.
+    pub fn plan_quant_chain(&mut self) -> &QuantChainPlan {
+        let caps: Vec<ChainSupport> = if self.chain_enabled {
+            self.layers.iter().map(|l| l.chain_support()).collect()
+        } else {
+            vec![ChainSupport::Breaks; self.layers.len()]
+        };
+        let n = caps.len();
+        let mut modes = vec![ChainMode::F32; n];
+        let mut edges = 0;
+        let mut receives_i8 = false;
+        let mut i = 0;
+        while i < n {
+            let ChainSupport::Quantised { .. } = caps[i] else {
+                receives_i8 = false;
+                i += 1;
+                continue;
+            };
+            // Scan ahead through order-preserving layers for the next
+            // frozen quantised layer — the edge target whose input
+            // scale this layer would emit on.
+            let mut j = i + 1;
+            while j < n
+                && matches!(
+                    caps[j],
+                    ChainSupport::Transparent | ChainSupport::TransparentRelu
+                )
+            {
+                j += 1;
+            }
+            let next_scale = match caps.get(j) {
+                Some(&ChainSupport::Quantised { in_scale }) => Some(in_scale),
+                _ => None,
+            };
+            if next_scale.is_some() || receives_i8 {
+                // A directly-following ReLU folds into this layer's
+                // epilogue either way: `max(0)` before the saturating
+                // round on an i8 edge, before the store on the f32
+                // tail (bit-identical to the separate pass).
+                let fuse_relu = matches!(caps.get(i + 1), Some(ChainSupport::TransparentRelu));
+                modes[i] = ChainMode::Quant {
+                    out_scale: next_scale,
+                    fuse_relu,
+                };
+                if fuse_relu {
+                    modes[i + 1] = ChainMode::FusedRelu;
+                }
+                if next_scale.is_some() {
+                    edges += 1;
+                    for mode in &mut modes[(i + 1 + usize::from(fuse_relu))..j] {
+                        *mode = ChainMode::PassI8;
+                    }
+                }
+            }
+            receives_i8 = next_scale.is_some();
+            i = j;
+        }
+        self.chain_plan = Some(QuantChainPlan { modes, edges });
+        self.chain_plan.as_ref().expect("just planned")
     }
 
     /// Runs the network forward. `input` is `[N, …input_shape]` except that
     /// channel-partitioned inputs are *not* width-scaled (the image always
     /// has 3 channels); width applies to internal layers.
     ///
+    /// Inference forwards (`train = false`) execute the chained-int8
+    /// plan when one engages — see [`Network::plan_quant_chain`];
+    /// training forwards always take the per-layer path (backward
+    /// needs the `f32` caches).
+    ///
     /// # Errors
     ///
     /// Propagates layer shape errors.
     pub fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
+        if !train {
+            if self.chain_plan.is_none() {
+                self.plan_quant_chain();
+            }
+            let engaged = self.chain_plan.as_ref().is_some_and(|p| p.engaged());
+            if engaged {
+                return self.forward_chained(input);
+            }
+        }
         let mut x = input.clone();
         for layer in &mut self.layers {
             x = layer.forward(&x, train)?;
         }
         Ok(x)
+    }
+
+    /// The chained-int8 executor: walks the layers under the resolved
+    /// plan, handing each one either an `f32` tensor or a quantised
+    /// activation per its [`ChainMode`]. The plan is taken out of the
+    /// cache for the walk (no per-forward clone) and restored after.
+    fn forward_chained(&mut self, input: &Tensor) -> Result<Tensor> {
+        let plan = self.chain_plan.take().expect("planned by forward");
+        let result = self.run_chained(input, &plan);
+        self.chain_plan = Some(plan);
+        result
+    }
+
+    fn run_chained(&mut self, input: &Tensor, plan: &QuantChainPlan) -> Result<Tensor> {
+        let mut val = QAct::F32(input.clone());
+        for (layer, mode) in self.layers.iter_mut().zip(&plan.modes) {
+            val = match *mode {
+                ChainMode::F32 => match val {
+                    QAct::F32(t) => QAct::F32(layer.forward(&t, false)?),
+                    QAct::I8(_) => {
+                        return Err(NnError::InvalidConfig {
+                            reason: format!(
+                                "chain plan handed layer `{}` a quantised activation \
+                                 outside a chain segment (planner bug)",
+                                layer.name()
+                            ),
+                        })
+                    }
+                },
+                ChainMode::FusedRelu => val,
+                ChainMode::Quant {
+                    out_scale,
+                    fuse_relu,
+                } => layer.forward_chained(val, out_scale, fuse_relu)?,
+                ChainMode::PassI8 => layer.forward_chained(val, None, false)?,
+            };
+        }
+        match val {
+            QAct::F32(t) => Ok(t),
+            // A well-formed plan always dequantises at the last
+            // quantised layer; cover a chain that runs off the end of
+            // the network anyway.
+            QAct::I8(q) => Ok(q.dequantize()),
+        }
+    }
+
+    /// Static calibration workflow for int8 serving: runs every batch
+    /// through a `QuantI8` forward with the activation observers
+    /// recording (unfrozen), then freezes the observed ranges as
+    /// static scales — after which chained execution can engage — and
+    /// returns the per-layer scale report. The network's backend is
+    /// restored afterwards, so calling this on an `f32`-serving
+    /// network only spends the calibration passes.
+    ///
+    /// Ranges accumulate across calls: calibrating twice widens scales
+    /// to cover both datasets. Unfreeze via
+    /// [`Network::freeze_act_scales`]`(false)` to resume dynamic
+    /// scaling.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] when `batches` is empty and
+    /// propagates forward errors; on any error the observers are left
+    /// **unfrozen** (dynamic) — freezing an unobserved or
+    /// partially-observed range would silently collapse activations to
+    /// zero on the next quantised forward.
+    pub fn calibrate<I>(&mut self, batches: I) -> Result<Vec<ActScaleReport>>
+    where
+        I: IntoIterator,
+        I::Item: std::borrow::Borrow<Tensor>,
+    {
+        let prev = self.backend;
+        self.set_backend(Backend::QuantI8);
+        self.freeze_act_scales(false);
+        let mut count = 0usize;
+        let run = || -> Result<()> {
+            for batch in batches {
+                self.forward(std::borrow::Borrow::borrow(&batch), false)?;
+                count += 1;
+            }
+            Ok(())
+        };
+        let result = run();
+        // Freeze only a successful calibration; a failed or empty one
+        // leaves the observers dynamic rather than frozen at a range
+        // they never (fully) observed.
+        self.freeze_act_scales(result.is_ok() && count > 0);
+        self.set_backend(prev);
+        result?;
+        if count == 0 {
+            return Err(NnError::InvalidConfig {
+                reason: "calibration needs at least one batch".into(),
+            });
+        }
+        Ok(self
+            .layers
+            .iter()
+            .filter_map(|layer| {
+                layer.quant_observer().map(|obs| ActScaleReport {
+                    layer: layer.name().to_string(),
+                    max_abs: obs.max_abs(),
+                    scale: obs.scale_for(0.0),
+                })
+            })
+            .collect())
+    }
+
+    /// Direct mutable access to layer `index` (testing and advanced
+    /// surgery). Conservatively drops the cached chain plan — the
+    /// caller can mutate anything the plan depends on.
+    pub fn layer_mut(&mut self, index: usize) -> Option<&mut (dyn Layer + '_)> {
+        self.invalidate_chain_plan();
+        self.layers
+            .get_mut(index)
+            .map(|b| &mut **b as &mut (dyn Layer + '_))
     }
 
     /// Forward + loss + full backward pass; returns the loss output.

@@ -1,7 +1,8 @@
 //! Spatial pooling layers.
 
 use crate::error::{NnError, Result};
-use crate::layer::{Layer, LayerCost};
+use crate::layer::{ChainSupport, Layer, LayerCost};
+use crate::quant::{QAct, QTensor};
 use crate::tensor::Tensor;
 
 /// 2-D max pooling with square window and stride equal to the window size.
@@ -222,6 +223,90 @@ impl Layer for MaxPool2d {
             params: 0,
             out_shape: vec![in_shape[0], oh, ow],
         })
+    }
+
+    fn chain_support(&self) -> ChainSupport {
+        // max commutes exactly with the monotone round-and-clamp of
+        // requantisation, so pooling on the int8 grid equals pooling
+        // in f32 and quantising after — order-preserving.
+        ChainSupport::Transparent
+    }
+
+    /// Int8 fast path: the same window maximum over grid values
+    /// (integer compares, no argmax bookkeeping — chains run inference
+    /// only), passing the incoming scale through unchanged.
+    fn forward_chained(
+        &mut self,
+        input: QAct,
+        _out_scale: Option<f32>,
+        _fuse_relu: bool,
+    ) -> Result<QAct> {
+        let QAct::I8(q) = input else {
+            return Err(NnError::InvalidConfig {
+                reason: format!(
+                    "maxpool `{}`: chained forward needs quantised input",
+                    self.name
+                ),
+            });
+        };
+        let shape = q.shape();
+        if shape.len() != 4 {
+            return Err(NnError::ShapeMismatch {
+                context: format!("maxpool `{}` chained forward", self.name),
+                expected: vec![0, 0, 0, 0],
+                actual: shape.to_vec(),
+            });
+        }
+        let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        if h < self.window || w < self.window {
+            return Err(NnError::ShapeMismatch {
+                context: format!(
+                    "maxpool `{}`: input {h}x{w} smaller than window {}",
+                    self.name, self.window
+                ),
+                expected: vec![self.window, self.window],
+                actual: vec![h, w],
+            });
+        }
+        let (oh, ow) = self.out_hw(h, w);
+        let win = self.window;
+        let mut out = QTensor::zeros(&[n, c, oh, ow], q.scale());
+        let x = q.data();
+        let o = out.data_mut();
+        for plane_idx in 0..n * c {
+            let plane = plane_idx * h * w;
+            let oi0 = plane_idx * oh * ow;
+            if win == 2 {
+                // 2×2 fast path, mirroring the f32 form: two row
+                // slices per output row instead of indexed lookups.
+                for ohy in 0..oh {
+                    let row0 = plane + (2 * ohy) * w;
+                    let r0 = &x[row0..][..w];
+                    let r1 = &x[row0 + w..][..w];
+                    let orow = &mut o[oi0 + ohy * ow..][..ow];
+                    for (owx, out_v) in orow.iter_mut().enumerate() {
+                        let i = 2 * owx;
+                        *out_v = r0[i].max(r0[i + 1]).max(r1[i]).max(r1[i + 1]);
+                    }
+                }
+                continue;
+            }
+            for ohy in 0..oh {
+                for owx in 0..ow {
+                    let mut best = i16::MIN;
+                    for ky in 0..win {
+                        let row = plane + (ohy * win + ky) * w + owx * win;
+                        for &v in &x[row..row + win] {
+                            if v > best {
+                                best = v;
+                            }
+                        }
+                    }
+                    o[oi0 + ohy * ow + owx] = best;
+                }
+            }
+        }
+        Ok(QAct::I8(out))
     }
 }
 

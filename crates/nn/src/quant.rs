@@ -20,10 +20,45 @@
 //!
 //! Combined with [`crate::metrics::evaluate`], either path yields the
 //! accuracy-vs-precision trade-off curve the RTM exploits.
+//!
+//! # Chained int8 execution
+//!
+//! With **frozen** activation scales (static quantisation, see
+//! [`ActObserver::freeze`]), the executed path goes one step further:
+//! [`crate::network::Network::plan_quant_chain`] resolves, per edge
+//! between quantised layers, the requantisation multiplier that lets
+//! each layer emit **saturating int8 activations straight from the
+//! GEMM write-back** ([`crate::gemm::QEpilogueI8`]) instead of
+//! dequantising to `f32` and re-quantising at the next layer.
+//!
+//! The chained-scale algebra: a quantised layer sees input on the int8
+//! grid at scale `s_x` and weights at scale `s_w`, so its exact `i32`
+//! accumulator carries real value `acc · s_x·s_w` — the **accumulator
+//! scale is `s_x · s_w`**. To hand the next quantised layer input on
+//! *its* frozen grid `s_out`, the epilogue applies one multiplier:
+//!
+//! ```text
+//! q_out = round_sat(acc · (s_x·s_w / s_out) + b/s_out)     [± ReLU]
+//! ```
+//!
+//! ReLU rides along as a free `max(0)` before the round, and MaxPool
+//! commutes exactly with the (monotone) round-and-clamp, so the
+//! ReLU/pool layers between two convolutions run order-preserving
+//! integer fast paths on the [`QTensor`] — the whole forward performs
+//! exactly **one** `f32`→int8 quantisation (the network input) and
+//! **one** int8→`f32` dequantisation (the logits), regardless of
+//! depth. Chaining only engages where scales are frozen: any layer
+//! with a dynamic (unfrozen) observer falls back to the per-layer
+//! `f32` round-trip path for itself, splitting the chain around it and
+//! keeping the dynamic-scale semantics intact. The [`layer_io_events`]
+//! counters instrument exactly this invariant.
+
+use std::cell::Cell;
 
 use crate::error::{NnError, Result};
 use crate::gemm::Backend;
 use crate::network::Network;
+use crate::tensor::Tensor;
 
 /// Number of positive levels of the symmetric int8 grid.
 pub(crate) const I8_LEVELS: f32 = 127.0;
@@ -87,6 +122,24 @@ pub(crate) fn quantize_i8(x: f32, inv_scale: f32) -> i8 {
 #[inline]
 pub(crate) fn quantize_i8w(x: f32, inv_scale: f32) -> i16 {
     quantize_grid(x, inv_scale) as i16
+}
+
+/// Rounds an already-scaled value onto the int8 grid in `i16` storage:
+/// `round(v)` (ties to even) clamped to `[-127, 127]`. The
+/// requantisation epilogues of [`crate::gemm::int8`] use this on the
+/// hot write-back path — same branchless magic-bias core as the input
+/// quantisers, so chained-layer rounding policy cannot diverge from
+/// input-quantisation policy.
+#[inline]
+pub(crate) fn round_clamp_i8w(v: f32) -> i16 {
+    quantize_grid(v, 1.0) as i16
+}
+
+/// [`round_clamp_i8w`] in `i8` storage, for the scalar requantisation
+/// primitive [`crate::gemm::int8::requantize_i8`].
+#[inline]
+pub(crate) fn round_clamp_i8(v: f32) -> i8 {
+    quantize_grid(v, 1.0) as i8
 }
 
 /// Shared core of the int8-grid quantisers: after the magic bias the
@@ -316,6 +369,163 @@ impl ActObserver {
         let scale = self.scale_for(batch_max_abs);
         (scale, inv_or_zero(scale))
     }
+}
+
+/// A quantised activation tensor: int8-grid values (`[-127, 127]`) in
+/// `i16` storage — the operand form of the packed int8 kernels, so
+/// chained layers lower it straight into packed panels — plus the
+/// per-tensor dequantisation scale (`real ≈ value · scale`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QTensor {
+    shape: Vec<usize>,
+    data: Vec<i16>,
+    scale: f32,
+}
+
+impl QTensor {
+    /// An all-zero quantised tensor of the given shape and scale.
+    pub fn zeros(shape: &[usize], scale: f32) -> Self {
+        Self {
+            data: vec![0; shape.iter().product()],
+            shape: shape.to_vec(),
+            scale,
+        }
+    }
+
+    /// The tensor shape (batch axis first, like [`Tensor`]).
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The int8-grid values (`i16` storage).
+    pub fn data(&self) -> &[i16] {
+        &self.data
+    }
+
+    /// Mutable access to the values.
+    pub fn data_mut(&mut self) -> &mut [i16] {
+        &mut self.data
+    }
+
+    /// The dequantisation scale.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Reinterprets the tensor with a new shape of the same element
+    /// count (the chained Flatten path — a metadata change, no copy).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if the element counts differ.
+    pub fn reshape(&mut self, shape: &[usize]) -> Result<()> {
+        if shape.iter().product::<usize>() != self.data.len() {
+            return Err(NnError::ShapeMismatch {
+                context: "qtensor reshape".into(),
+                expected: self.shape.clone(),
+                actual: shape.to_vec(),
+            });
+        }
+        self.shape = shape.to_vec();
+        Ok(())
+    }
+
+    /// Dequantises to an `f32` [`Tensor`] (`value · scale`).
+    pub fn dequantize(&self) -> Tensor {
+        let data = self
+            .data
+            .iter()
+            .map(|&v| f32::from(v) * self.scale)
+            .collect();
+        Tensor::from_vec(&self.shape, data).expect("shape matches data by construction")
+    }
+}
+
+/// An activation flowing through a chained-int8 forward pass: either a
+/// plain `f32` [`Tensor`] (outside any chain segment) or a quantised
+/// [`QTensor`] (inside one). See
+/// [`crate::network::Network::plan_quant_chain`].
+#[derive(Debug, Clone)]
+pub enum QAct {
+    /// Full-precision activation.
+    F32(Tensor),
+    /// Int8-grid activation with its dequantisation scale.
+    I8(QTensor),
+}
+
+impl QAct {
+    /// The activation's shape, whichever form it is in.
+    pub fn shape(&self) -> &[usize] {
+        match self {
+            Self::F32(t) => t.shape(),
+            Self::I8(q) => q.shape(),
+        }
+    }
+}
+
+/// One layer's entry in the calibration report of
+/// [`crate::network::Network::calibrate`]: the activation range the
+/// calibration pass observed and the static int8 scale frozen from it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActScaleReport {
+    /// The layer's name.
+    pub layer: String,
+    /// Largest input-activation magnitude observed during calibration.
+    pub max_abs: f32,
+    /// The frozen quantisation scale (`max_abs / 127`).
+    pub scale: f32,
+}
+
+thread_local! {
+    /// Layer-IO instrumentation: (f32→i8 quantisation passes, i32/i8→f32
+    /// dequantisation passes), counted once per layer forward on the
+    /// calling thread. See [`layer_io_events`].
+    static LAYER_IO_EVENTS: Cell<(u32, u32)> = const { Cell::new((0, 0)) };
+}
+
+/// Resets the [`layer_io_events`] counters to zero.
+pub fn reset_layer_io_events() {
+    LAYER_IO_EVENTS.with(|c| c.set((0, 0)));
+}
+
+/// Layer-IO instrumentation for the quantised forward path:
+/// `(quantise_passes, dequantise_passes)` since the last
+/// [`reset_layer_io_events`], counted **per layer forward** on the
+/// calling thread — a layer that quantises its `f32` input counts one
+/// quantise pass (however many samples the batch holds), a layer that
+/// dequantises its accumulators to `f32` output counts one dequantise
+/// pass. A fully chained forward therefore reports exactly `(1, 1)`
+/// regardless of network depth, while the per-layer round-trip path
+/// reports one of each per quantised layer. Cost: two thread-local
+/// increments per layer forward — cheap enough to stay compiled in.
+pub fn layer_io_events() -> (u32, u32) {
+    LAYER_IO_EVENTS.with(Cell::get)
+}
+
+/// Records one layer-forward f32→i8 input-quantisation pass.
+pub(crate) fn count_quantise_pass() {
+    LAYER_IO_EVENTS.with(|c| {
+        let (q, d) = c.get();
+        c.set((q + 1, d));
+    });
+}
+
+/// Records one layer-forward i32/i8→f32 output-dequantisation pass.
+pub(crate) fn count_dequantise_pass() {
+    LAYER_IO_EVENTS.with(|c| {
+        let (q, d) = c.get();
+        c.set((q, d + 1));
+    });
 }
 
 /// Number of positive quantization levels of a `bits`-bit symmetric grid

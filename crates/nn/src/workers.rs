@@ -60,12 +60,13 @@ pub(crate) fn band_count(items: usize, parallel: bool) -> usize {
 /// `aux_per_band`-element slice of `aux` to reuse across its items
 /// (each buffer must hold at least `band_count(items, parallel)` times
 /// its per-band length; pass an empty `aux` with `aux_per_band == 0`
-/// when unused). The scratch element type is generic so the quantised
-/// forward path can hand out per-band `i16` column buffers through the
-/// same mechanism as the `f32` paths.
+/// when unused). The data and scratch element types are generic so the
+/// quantised forward paths can split `i16` outputs and hand out
+/// per-band `i16` column buffers through the same mechanism as the
+/// `f32` paths.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn for_each_band<S, F>(
-    data: &mut [f32],
+pub(crate) fn for_each_band<T, S, F>(
+    data: &mut [T],
     items: usize,
     item_len: usize,
     scratch: &mut [S],
@@ -75,8 +76,9 @@ pub(crate) fn for_each_band<S, F>(
     parallel: bool,
     f: F,
 ) where
+    T: Send,
     S: Send,
-    F: Fn(usize, &mut [f32], &mut [S], &mut [f32]) + Sync,
+    F: Fn(usize, &mut [T], &mut [S], &mut [f32]) + Sync,
 {
     let bands = band_count(items, parallel);
     debug_assert!(data.len() >= items * item_len);

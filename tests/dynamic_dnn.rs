@@ -91,6 +91,41 @@ fn int8_precision_trades_little_accuracy_for_measured_latency() {
 }
 
 #[test]
+fn calibrated_chained_int8_serves_at_full_accuracy() {
+    // The static-calibration serving workflow: calibrate on a few
+    // training batches, freeze the scales, and serve int8 on the
+    // *chained* pipeline (activations stay quantised across the whole
+    // forward). Accuracy must hold at every width, and the frozen
+    // scales must make inference reproducible across batch splits.
+    let (mut dnn, data) = trained();
+    let calibration: Vec<_> = (0..4)
+        .map(|i| make_batch(data.train(), &((i * 16)..(i * 16 + 16)).collect::<Vec<_>>()).0)
+        .collect();
+    dnn.set_precision(Precision::Int8);
+    let report = dnn.calibrate(&calibration).unwrap();
+    assert_eq!(report.len(), 4, "conv1-3 + fc report frozen scales");
+    assert!(report.iter().all(|r| r.scale > 0.0));
+    for level in 0..4 {
+        dnn.set_level(WidthLevel(level)).unwrap();
+        dnn.set_precision(Precision::F32);
+        let f32_top1 = evaluate(dnn.network_mut(), data.test(), 16).unwrap().top1;
+        dnn.set_precision(Precision::Int8);
+        let chained_top1 = evaluate(dnn.network_mut(), data.test(), 16).unwrap().top1;
+        assert!(
+            chained_top1 > f32_top1 - 0.05,
+            "width {level}: chained int8 top-1 {chained_top1:.3} collapsed vs f32 {f32_top1:.3}"
+        );
+    }
+    // Frozen scales: the same sample predicts identically alone and
+    // inside a batch (dynamic scales cannot promise this).
+    let (batch, _) = make_batch(data.test(), &(0..8).collect::<Vec<_>>());
+    let batched = dnn.infer(&batch).unwrap();
+    let (single, _) = make_batch(data.test(), &[0]);
+    let alone = dnn.infer(&single).unwrap();
+    assert_eq!(alone[0], batched[0], "frozen scales are batch-invariant");
+}
+
+#[test]
 fn wider_is_never_much_worse_and_full_is_best_or_close() {
     let (mut dnn, data) = trained();
     let mut accs = Vec::new();
