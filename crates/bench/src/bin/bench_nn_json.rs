@@ -1,8 +1,10 @@
 //! Emits `BENCH_nn.json`: the machine-readable perf baseline of the
 //! hot paths — median forward-pass latency per width (batch 1, on the
 //! reference, f32 GEMM, dynamic-scale int8 and calibrated *chained*
-//! int8 backends), median training-step latency per width (batches 8
-//! and 32, GEMM backend) and the RTM's `allocate` decision latency.
+//! int8 backends; batch 32 on the chained int8 backend, the serving
+//! executor's micro-batched path), median training-step latency per
+//! width (batches 8 and 32, GEMM backend) and the RTM's `allocate`
+//! decision latency.
 //! Later PRs compare against this baseline to track the perf
 //! trajectory. `chained_quant_gemm_ns` measures the frozen-scale
 //! pipeline (`Network::calibrate` + chained plan); `quant_gemm_ns`
@@ -191,6 +193,10 @@ struct WidthRow {
     gemm_ns: f64,
     quant_gemm_ns: f64,
     chained_quant_gemm_ns: f64,
+    /// Whole-batch latency of a batch-32 chained int8 forward — the
+    /// serving executor's micro-batched inference unit. Batching wins
+    /// when this beats `32 × chained_quant_gemm_ns`.
+    quant_fwd32_ns: f64,
     train_step_ns: f64,
     train_step32_ns: f64,
 }
@@ -210,6 +216,7 @@ fn check_regressions(rows: &[WidthRow], baseline: &str) -> Vec<String> {
     let base_gemm = extract_all(baseline, "gemm_ns");
     let base_quant = extract_all(baseline, "quant_gemm_ns");
     let base_chained = extract_all(baseline, "chained_quant_gemm_ns");
+    let base_fwd32 = extract_all(baseline, "quant_fwd32_ns");
     let base_train = extract_all(baseline, "train_step_ns");
     let base_train32 = extract_all(baseline, "train_step32_ns");
     assert!(
@@ -247,6 +254,9 @@ fn check_regressions(rows: &[WidthRow], baseline: &str) -> Vec<String> {
                 row.chained_quant_gemm_ns,
                 MAX_REGRESSION,
             ));
+        }
+        if let Some(&bf) = base_fwd32.get(i) {
+            metrics.push(("quant_fwd32_ns", bf, row.quant_fwd32_ns, MAX_REGRESSION));
         }
         if let Some(&bt) = base_train.get(i) {
             metrics.push(("train_step_ns", bt, row.train_step_ns, MAX_TRAIN_REGRESSION));
@@ -295,7 +305,7 @@ fn main() {
         TRAIN_BATCH, TRAIN_BATCH_32
     );
     println!(
-        "{:>8} {:>16} {:>16} {:>9} {:>16} {:>9} {:>16} {:>9} {:>14} {:>14}",
+        "{:>8} {:>16} {:>16} {:>9} {:>16} {:>9} {:>16} {:>9} {:>14} {:>7} {:>14} {:>14}",
         "width",
         "reference",
         "gemm",
@@ -304,6 +314,8 @@ fn main() {
         "vs gemm",
         "chained_i8",
         "vs gemm",
+        "qfwd32",
+        "gain",
         "train8",
         "train32"
     );
@@ -329,6 +341,13 @@ fn main() {
             "frozen QuantI8 network must chain"
         );
         let chained_quant_gemm_ns = forward_ns(&opts, &mut net, &x1);
+        // Batch-32 on the same calibrated chained pipeline: the unit of
+        // work the serving executor's micro-batcher issues. Throughput
+        // (samples/s) should beat 32 independent batch-1 forwards —
+        // per-forward fixed costs (plan lookup, scratch setup, output
+        // allocation) amortise over the batch.
+        let x32b = Tensor::full(&[32, c, h, w], 0.1);
+        let quant_fwd32_ns = forward_ns(&opts, &mut net, &x32b);
         net.freeze_act_scales(false);
         // A fresh net for training so the timed steps don't inherit the
         // forward-bench weights; full trainable range, width g.
@@ -343,9 +362,10 @@ fn main() {
         let speedup = reference_ns / gemm_ns;
         let qspeedup = gemm_ns / quant_gemm_ns;
         let cspeedup = gemm_ns / chained_quant_gemm_ns;
+        let batch_gain = 32.0 * chained_quant_gemm_ns / quant_fwd32_ns;
         println!(
             "{:>7}% {:>13.0} ns {:>13.0} ns {:>8.2}x {:>13.0} ns {:>8.2}x {:>13.0} ns {:>8.2}x \
-             {:>11.0} ns {:>11.0} ns",
+             {:>11.0} ns {:>6.2}x {:>11.0} ns {:>11.0} ns",
             pct,
             reference_ns,
             gemm_ns,
@@ -354,6 +374,8 @@ fn main() {
             qspeedup,
             chained_quant_gemm_ns,
             cspeedup,
+            quant_fwd32_ns,
+            batch_gain,
             step_ns,
             step32_ns
         );
@@ -364,6 +386,7 @@ fn main() {
             gemm_ns,
             quant_gemm_ns,
             chained_quant_gemm_ns,
+            quant_fwd32_ns,
             train_step_ns: step_ns,
             train_step32_ns: step32_ns,
         });
@@ -381,7 +404,8 @@ fn main() {
                     "\"reference_ns\": {:.0}, \"gemm_ns\": {:.0}, ",
                     "\"speedup\": {:.3}, \"quant_gemm_ns\": {:.0}, ",
                     "\"quant_speedup\": {:.3}, \"chained_quant_gemm_ns\": {:.0}, ",
-                    "\"chained_quant_speedup\": {:.3}, \"train_step_ns\": {:.0}, ",
+                    "\"chained_quant_speedup\": {:.3}, \"quant_fwd32_ns\": {:.0}, ",
+                    "\"quant_fwd32_batch_gain\": {:.3}, \"train_step_ns\": {:.0}, ",
                     "\"train_step32_ns\": {:.0}}}"
                 ),
                 r.active_groups,
@@ -393,6 +417,8 @@ fn main() {
                 r.gemm_ns / r.quant_gemm_ns,
                 r.chained_quant_gemm_ns,
                 r.gemm_ns / r.chained_quant_gemm_ns,
+                r.quant_fwd32_ns,
+                32.0 * r.chained_quant_gemm_ns / r.quant_fwd32_ns,
                 r.train_step_ns,
                 r.train_step32_ns
             )

@@ -97,6 +97,87 @@ impl LatencyFeedback {
     }
 }
 
+/// Sustained deadline-miss detection over a sliding window of request
+/// outcomes — the trigger side of the serving feedback loop.
+///
+/// A single missed deadline is noise (a cold cache, a scheduler blip);
+/// re-allocating on every miss would thrash the knobs. The tracker
+/// records per-request met/missed outcomes and reports a *sustained*
+/// miss only once the window is full and the miss rate crosses the
+/// threshold — at which point the caller re-invokes the RTM (typically
+/// via [`crate::rtm::Rtm::allocate_with_feedback`]) and
+/// [resets](MissTracker::reset) the tracker so the new operating point
+/// gets a fresh window.
+#[derive(Debug, Clone)]
+pub struct MissTracker {
+    window: usize,
+    threshold: f64,
+    recent: std::collections::VecDeque<bool>,
+    misses: usize,
+}
+
+impl MissTracker {
+    /// Creates a tracker that reports a sustained miss when at least
+    /// `threshold` (fraction in `(0, 1]`) of the last `window`
+    /// outcomes missed their deadline.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `window == 0` or a threshold outside `(0, 1]` — both
+    /// configuration bugs.
+    pub fn new(window: usize, threshold: f64) -> Self {
+        assert!(window > 0, "miss window must be positive");
+        assert!(
+            threshold > 0.0 && threshold <= 1.0,
+            "miss threshold must be in (0, 1], got {threshold}"
+        );
+        Self {
+            window,
+            threshold,
+            recent: std::collections::VecDeque::with_capacity(window),
+            misses: 0,
+        }
+    }
+
+    /// Records one request outcome (`met = true` when the deadline held).
+    pub fn record(&mut self, met: bool) {
+        if self.recent.len() == self.window && self.recent.pop_front() == Some(false) {
+            self.misses -= 1;
+        }
+        self.recent.push_back(met);
+        if !met {
+            self.misses += 1;
+        }
+    }
+
+    /// Miss fraction over the current window contents (0.0 when empty).
+    pub fn miss_rate(&self) -> f64 {
+        if self.recent.is_empty() {
+            0.0
+        } else {
+            self.misses as f64 / self.recent.len() as f64
+        }
+    }
+
+    /// Number of outcomes currently in the window.
+    pub fn observed(&self) -> usize {
+        self.recent.len()
+    }
+
+    /// Whether the window is full and the miss rate is at/above the
+    /// threshold — the re-allocation trigger.
+    pub fn sustained_miss(&self) -> bool {
+        self.recent.len() == self.window && self.miss_rate() >= self.threshold
+    }
+
+    /// Clears the window (call after acting on a sustained miss, so the
+    /// new operating point is judged on its own outcomes).
+    pub fn reset(&mut self) {
+        self.recent.clear();
+        self.misses = 0;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,6 +234,84 @@ mod tests {
     #[should_panic(expected = "EWMA rate")]
     fn invalid_alpha_panics() {
         let _ = LatencyFeedback::new(0.0);
+    }
+
+    #[test]
+    fn miss_tracker_fires_only_on_sustained_misses() {
+        let mut t = MissTracker::new(4, 0.5);
+        assert!(!t.sustained_miss(), "empty window never fires");
+        t.record(false);
+        t.record(false);
+        t.record(false);
+        assert!(
+            !t.sustained_miss(),
+            "a part-filled window never fires, whatever its rate"
+        );
+        t.record(true);
+        assert!((t.miss_rate() - 0.75).abs() < 1e-12);
+        assert!(t.sustained_miss(), "3/4 misses over a full window fires");
+        // The window slides: two more mets leave one miss in view.
+        t.record(true);
+        t.record(true);
+        assert!((t.miss_rate() - 0.25).abs() < 1e-12);
+        assert!(!t.sustained_miss());
+        t.reset();
+        assert_eq!(t.observed(), 0);
+        assert!(!t.sustained_miss());
+    }
+
+    #[test]
+    #[should_panic(expected = "miss threshold")]
+    fn miss_tracker_rejects_bad_threshold() {
+        let _ = MissTracker::new(4, 0.0);
+    }
+
+    #[test]
+    fn allocate_with_feedback_degrades_the_placed_point() {
+        use crate::rtm::{AppSpec, DnnAppSpec, Rtm, RtmConfig};
+        // A correction that makes every cluster 40% slower must push the
+        // allocator to a lower width (or different point) than the
+        // uncorrected model picks, for a budget near the feasibility
+        // boundary of the uncorrected model.
+        let soc = presets::odroid_xu3();
+        let app = |req: Requirements| {
+            AppSpec::Dnn(DnnAppSpec {
+                name: "dnn".into(),
+                profile: DnnProfile::reference("dnn"),
+                requirements: req,
+                priority: 1,
+                objective: None,
+            })
+        };
+        let rtm = Rtm::new(RtmConfig::default());
+        let req = Requirements::new().with_max_latency(ms(70.0));
+        let plain = rtm.allocate(&soc, &[app(req.clone())]).unwrap();
+        let d_plain = plain.dnn("dnn").unwrap();
+        assert!(d_plain.violations.is_empty(), "{plain}");
+
+        let mut fb = LatencyFeedback::new(1.0);
+        for id in soc.cluster_ids() {
+            fb.observe(id, ms(100.0), ms(140.0));
+        }
+        let corrected = rtm
+            .allocate_with_feedback(&soc, &[app(req)], Some(&fb))
+            .unwrap();
+        let d_corr = corrected.dnn("dnn").unwrap();
+        // Corrected latency prediction reflects the 1.4x slowdown…
+        assert!(
+            d_corr.point.latency > d_plain.point.latency * 1.0001
+                || d_corr.point.op != d_plain.point.op,
+            "correction must be visible in the decision:\n{plain}\nvs\n{corrected}"
+        );
+        // …and an empty feedback reduces to the uncorrected allocation.
+        let neutral = rtm
+            .allocate_with_feedback(
+                &soc,
+                &[app(Requirements::new().with_max_latency(ms(70.0)))],
+                Some(&LatencyFeedback::new(1.0)),
+            )
+            .unwrap();
+        assert_eq!(neutral.dnn("dnn").unwrap().point.op, d_plain.point.op);
     }
 
     /// The Fig 5 loop end-to-end: a cluster that runs 40 % slower than

@@ -25,6 +25,7 @@ use eml_platform::soc::{ClusterId, CoreKind, Soc};
 use eml_platform::units::{Freq, Power};
 
 use crate::error::{Result, RtmError};
+use crate::feedback::LatencyFeedback;
 use crate::objective::Objective;
 use crate::opspace::{EvaluatedPoint, OpSpace, OpSpaceConfig, OperatingPoint};
 use crate::requirements::{Requirements, Violation};
@@ -304,6 +305,29 @@ impl Rtm {
     /// Returns [`RtmError`] only for structural problems (invalid profile
     /// levels, foreign cluster ids) — never for mere infeasibility.
     pub fn allocate(&self, soc: &Soc, apps: &[AppSpec]) -> Result<Allocation> {
+        self.allocate_with_feedback(soc, apps, None)
+    }
+
+    /// [`Rtm::allocate`] with monitor-learned latency corrections in the
+    /// loop: every candidate operating point is evaluated with the
+    /// per-cluster multiplicative corrections a [`LatencyFeedback`] has
+    /// accumulated from observed-vs-predicted inference latencies, so the
+    /// decision reasons about what the clusters *actually* deliver — the
+    /// paper's Fig 5 "runtime resource allocation **and adaptation**"
+    /// closed at the allocator, not just per decision.
+    ///
+    /// `feedback = None` (or a feedback with no observations) reduces to
+    /// the uncorrected analytic model.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Rtm::allocate`].
+    pub fn allocate_with_feedback(
+        &self,
+        soc: &Soc,
+        apps: &[AppSpec],
+        feedback: Option<&LatencyFeedback>,
+    ) -> Result<Allocation> {
         let cap = self
             .cfg
             .power_cap
@@ -331,7 +355,15 @@ impl Rtm {
                     None => unplaced.push(spec.name.clone()),
                 },
                 AppSpec::Dnn(spec) => {
-                    match self.place_dnn(soc, &mut ledger, spec, cap, &dnn_allocs, &req_of)? {
+                    match self.place_dnn(
+                        soc,
+                        &mut ledger,
+                        spec,
+                        cap,
+                        &dnn_allocs,
+                        &req_of,
+                        feedback,
+                    )? {
                         Some(alloc) => dnn_allocs.push(alloc),
                         None => unplaced.push(spec.name.clone()),
                     }
@@ -438,7 +470,7 @@ impl Rtm {
         Ok(None)
     }
 
-    #[allow(clippy::too_many_lines)]
+    #[allow(clippy::too_many_lines, clippy::too_many_arguments)]
     fn place_dnn<'r>(
         &self,
         soc: &Soc,
@@ -447,6 +479,7 @@ impl Rtm {
         cap: Power,
         existing: &[DnnAllocation],
         req_of: &dyn Fn(&str) -> Option<&'r Requirements>,
+        feedback: Option<&LatencyFeedback>,
     ) -> Result<Option<DnnAllocation>> {
         let objective = spec.objective.unwrap_or(self.cfg.objective);
         let mut best: Option<(CandidateScore, EvaluatedPoint, usize)> = None;
@@ -474,6 +507,11 @@ impl Rtm {
                 }
             } else if self.cfg.partial_cores {
                 cfg = cfg.with_partial_cores();
+            }
+            if let Some(fb) = feedback {
+                // Monitor-learned corrections compose multiplicatively
+                // with the sharing penalty already in the config.
+                cfg = fb.apply(cfg);
             }
             let space = match OpSpace::new(soc, &spec.profile, cfg) {
                 Ok(s) => s,

@@ -501,7 +501,7 @@ impl Conv2d {
         let sample_in = c_in * h * w;
         let sample_out = c_out * ohw;
         let per_sample_macs = groups_exec * opg * ohw * kdim;
-        let batch_par = n > 1 && n * per_sample_macs >= crate::gemm::PAR_MIN_WORK;
+        let batch_par = n > 1 && n * per_sample_macs >= crate::gemm::PAR_MIN_WORK_I8;
         self.ensure_packed_w8(groups_exec, opg, kdim);
 
         // Per-tensor activation scale: the batch's own range when the
@@ -968,7 +968,7 @@ impl Layer for Conv2d {
         let sample_in = shape[1] * h * w;
         let sample_out = c_out * ohw;
         let per_sample_macs = groups_exec * opg * ohw * kdim;
-        let batch_par = n > 1 && n * per_sample_macs >= crate::gemm::PAR_MIN_WORK;
+        let batch_par = n > 1 && n * per_sample_macs >= crate::gemm::PAR_MIN_WORK_I8;
         self.ensure_packed_w8(groups_exec, opg, kdim);
         let (x_scale, qin) = match &input {
             QAct::F32(t) => {

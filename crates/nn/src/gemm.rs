@@ -107,6 +107,14 @@ pub const KC: usize = 256;
 /// across workers; also used by the layers to gate batch parallelism.
 pub(crate) const PAR_MIN_WORK: usize = 1 << 21;
 
+/// Int8 counterpart of [`PAR_MIN_WORK`]: the `pmaddwd` tiles retire
+/// MACs ~1.6× faster than the f32 kernel, so a band must carry
+/// proportionally more of them before the fixed dispatch cost (queue
+/// push + wakeup per band) amortises. Batched int8 serving sits right
+/// at this boundary — micro-batches of a small model are exactly the
+/// workloads the f32 threshold over-eagerly splits.
+pub(crate) const PAR_MIN_WORK_I8: usize = PAR_MIN_WORK * 2;
+
 /// Whether a matrix operand is read as stored or transposed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Trans {

@@ -666,7 +666,7 @@ pub(crate) fn gemm_i8_with<E: QWriteback>(
         return;
     }
     let workers = crate::workers::worker_count();
-    if parallel && workers > 1 && m * n * k >= crate::gemm::PAR_MIN_WORK && m >= 2 * MR {
+    if parallel && workers > 1 && m * n * k >= crate::gemm::PAR_MIN_WORK_I8 && m >= 2 * MR {
         // Band height: even split over workers, rounded up to MR. With
         // both operands pre-packed the bands are fully independent —
         // each runs the whole serial algorithm on its row range.

@@ -58,7 +58,11 @@ pub struct LayerCost {
 /// whatever `backward` needs; `backward(grad_out)` accumulates parameter
 /// gradients and returns the gradient with respect to the layer input.
 /// Batch dimension is always axis 0.
-pub trait Layer: fmt::Debug {
+///
+/// `Send` is a supertrait so a whole [`crate::Network`] can move onto a
+/// serving thread; layers are owned data (weights, scratch, observers)
+/// with no thread affinity.
+pub trait Layer: fmt::Debug + Send {
     /// A short human-readable name (e.g. `"conv1"`).
     fn name(&self) -> &str;
 

@@ -62,7 +62,7 @@ pub mod pool;
 pub mod quant;
 pub mod tensor;
 pub mod train;
-pub(crate) mod workers;
+pub mod workers;
 
 pub use error::{NnError, Result};
 pub use gemm::Backend;

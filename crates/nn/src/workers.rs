@@ -19,6 +19,12 @@
 //! parallelises without any shared mutable state. Both are sized per
 //! band, so peak scratch is bounded by the worker count, not the batch
 //! size.
+//!
+//! A multi-tenant serving layer can restrict how much of the pool one
+//! inference may claim with [`with_band_cap`]: the cap bounds the band
+//! count every parallel region planned inside the closure targets, so a
+//! model allocated `c` cores by the resource manager occupies at most
+//! `c` workers per forward even though the pool itself is shared.
 
 #[cfg(test)]
 thread_local! {
@@ -30,15 +36,54 @@ thread_local! {
         const { std::cell::Cell::new(None) };
 }
 
+thread_local! {
+    /// Per-thread parallelism budget: `0` = uncapped, `n` = plan at
+    /// most `n` bands per region. Set scoped via [`with_band_cap`];
+    /// read on the thread that *plans* a parallel region (band
+    /// closures running on pool workers never re-split).
+    static BAND_CAP: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// Runs `f` with this thread's parallel regions capped at `cap` bands
+/// (`0` removes the cap). The previous cap is restored on exit, even
+/// on panic, so nested scopes compose.
+///
+/// This is the core-allocation knob of a multi-tenant executor: the
+/// runtime manager grants an application `c` cores, the serving thread
+/// wraps every forward pass in `with_band_cap(c, ..)`, and the layers'
+/// band math ([`band_count`]) plans at most `c` parallel work units —
+/// the app cannot flood the shared worker pool past its allocation.
+/// The cap only bounds *this* thread's fan-out; band outputs are
+/// bit-identical across cap values (bands partition whole items and
+/// per-item arithmetic order never depends on the split).
+pub fn with_band_cap<R>(cap: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            BAND_CAP.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(BAND_CAP.with(|c| c.replace(cap)));
+    f()
+}
+
 /// Number of workers parallel regions should target — taken from the
 /// executor itself so band math stays correct if a configured rayon
-/// pool (smaller or larger than the machine) is swapped in.
+/// pool (smaller or larger than the machine) is swapped in, clamped
+/// by this thread's [`with_band_cap`] budget.
 pub(crate) fn worker_count() -> usize {
     #[cfg(test)]
     if let Some(n) = FORCE_WORKERS.with(std::cell::Cell::get) {
-        return n;
+        return apply_cap(n);
     }
-    rayon::current_num_threads().max(1)
+    apply_cap(rayon::current_num_threads().max(1))
+}
+
+fn apply_cap(n: usize) -> usize {
+    match BAND_CAP.with(std::cell::Cell::get) {
+        0 => n,
+        cap => n.min(cap).max(1),
+    }
 }
 
 /// Number of bands [`for_each_band`] will split `items` into — callers
@@ -93,14 +138,22 @@ pub(crate) fn for_each_band<T, S, F>(
         );
         return;
     }
-    let per_band = items.div_ceil(bands);
+    // Balanced split: the first `items % bands` bands carry one extra
+    // item. The old `ceil(items / bands)`-sized bands could leave the
+    // tail band with a fraction of the work (e.g. 32 items on 5 workers
+    // → 7,7,7,7,4), idling its worker for up to a band's worth of time
+    // per region; the balanced split (7,7,6,6,6) bounds the spread to
+    // one item. Matters most for batched int8 serving, where a
+    // micro-batch rarely divides the allocated core count.
+    let base = items / bands;
+    let extra = items % bands;
     rayon::scope(|s| {
         let mut rest = &mut data[..items * item_len];
         let mut rest_scratch = &mut scratch[..];
         let mut rest_aux = &mut aux[..];
         let mut item0 = 0;
-        while item0 < items {
-            let band_items = per_band.min(items - item0);
+        for band_idx in 0..bands {
+            let band_items = base + usize::from(band_idx < extra);
             let (band, tail) = rest.split_at_mut(band_items * item_len);
             let (band_scratch, tail_scratch) = rest_scratch.split_at_mut(scratch_per_band);
             let (band_aux, tail_aux) = rest_aux.split_at_mut(aux_per_band);
@@ -178,6 +231,67 @@ mod tests {
             },
         );
         assert_eq!(bands_seen, 1);
+    }
+
+    #[test]
+    fn band_cap_limits_planned_bands_and_restores() {
+        FORCE_WORKERS.with(|w| w.set(Some(8)));
+        assert_eq!(band_count(32, true), 8);
+        with_band_cap(3, || {
+            assert_eq!(band_count(32, true), 3, "cap bounds the plan");
+            with_band_cap(0, || {
+                assert_eq!(band_count(32, true), 8, "0 lifts the cap");
+            });
+            assert_eq!(band_count(32, true), 3, "inner scope restored");
+        });
+        assert_eq!(band_count(32, true), 8, "outer scope restored");
+        // The cap survives a panic inside the closure.
+        let _ = std::panic::catch_unwind(|| with_band_cap(2, || panic!("boom")));
+        assert_eq!(band_count(32, true), 8);
+        FORCE_WORKERS.with(|w| w.set(None));
+    }
+
+    #[test]
+    fn bands_are_balanced_to_within_one_item() {
+        // 32 items on 5 workers must split 7,7,6,6,6 — not 7,7,7,7,4.
+        FORCE_WORKERS.with(|w| w.set(Some(5)));
+        let items = 32;
+        let mut data = vec![0u32; items];
+        let bands = band_count(items, true);
+        assert_eq!(bands, 5);
+        let mut scratch = vec![0.0f32; bands];
+        let sizes = std::sync::Mutex::new(Vec::new());
+        for_each_band(
+            &mut data,
+            items,
+            1,
+            &mut scratch,
+            1,
+            &mut [],
+            0,
+            true,
+            |item0, band, _, _| {
+                band.fill(1);
+                sizes
+                    .lock()
+                    .expect("no poisoning")
+                    .push((item0, band.len()));
+            },
+        );
+        FORCE_WORKERS.with(|w| w.set(None));
+        assert!(data.iter().all(|&v| v == 1), "every item covered once");
+        let mut sizes = sizes.into_inner().expect("no poisoning");
+        sizes.sort_unstable();
+        let lens: Vec<usize> = sizes.iter().map(|&(_, l)| l).collect();
+        assert_eq!(lens.iter().sum::<usize>(), items);
+        let (min, max) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
+        assert!(max - min <= 1, "unbalanced bands: {lens:?}");
+        // Bands tile the items contiguously in order.
+        let mut next = 0;
+        for &(item0, len) in &sizes {
+            assert_eq!(item0, next);
+            next += len;
+        }
     }
 
     #[test]

@@ -89,6 +89,40 @@ fn plan_resolves_every_edge_and_fuses_relus() {
     assert!(!net.plan_quant_chain().engaged());
 }
 
+/// The chained path executes wide batches in cache-sized sample blocks
+/// (`QuantChainPlan::block`); with frozen scales the split must be
+/// bit-invisible — batch-N logits identical to N batch-1 forwards,
+/// whatever the block boundaries.
+#[test]
+fn blocked_chained_batches_are_bit_identical_to_batch1() {
+    let mut net = calibrated_cnn(77);
+    let block = net.plan_quant_chain().block();
+    assert!(
+        (1..16).contains(&block),
+        "default CNN must engage real blocking for a batch of 19 (block {block})"
+    );
+    let n = 19; // deliberately not a multiple of the block size
+    let x = Tensor::random(&[n, 3, 16, 16], &mut StdRng::seed_from_u64(99));
+    // Cap the planning-thread parallelism so `max(block, workers)`
+    // cannot disable blocking on many-core machines.
+    let y = eml_nn::workers::with_band_cap(1, || net.forward(&x, false)).expect("batched");
+    let classes = y.shape()[1];
+    let sample: usize = 3 * 16 * 16;
+    for i in 0..n {
+        let xi = Tensor::from_vec(
+            &[1, 3, 16, 16],
+            x.data()[i * sample..(i + 1) * sample].to_vec(),
+        )
+        .unwrap();
+        let yi = net.forward(&xi, false).expect("batch-1");
+        assert_eq!(
+            &y.data()[i * classes..(i + 1) * classes],
+            yi.data(),
+            "sample {i} diverged across block boundaries"
+        );
+    }
+}
+
 /// Training forwards never chain: the backward pass needs the f32
 /// activation caches, so `train = true` must take the per-layer path
 /// even with a fully frozen int8 network.

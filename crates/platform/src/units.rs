@@ -336,6 +336,13 @@ impl TimeSpan {
         Self::from_base(ms / 1.0e3)
     }
 
+    /// Creates a time span from microseconds (the scale measured
+    /// serving latencies of small embedded models live on).
+    #[inline]
+    pub fn from_micros(us: f64) -> Self {
+        Self::from_base(us / 1.0e6)
+    }
+
     /// Returns the time span in seconds.
     #[inline]
     pub fn as_secs(self) -> f64 {
@@ -346,6 +353,12 @@ impl TimeSpan {
     #[inline]
     pub fn as_millis(self) -> f64 {
         self.as_base() * 1.0e3
+    }
+
+    /// Returns the time span in microseconds.
+    #[inline]
+    pub fn as_micros(self) -> f64 {
+        self.as_base() * 1.0e6
     }
 }
 

@@ -1,0 +1,193 @@
+//! The serving control loop: measured latency → feedback → re-allocation.
+//!
+//! [`ServeController`] is the piece that turns the planner + executor
+//! pair into the paper's closed Fig 5 loop. Each *control epoch* it
+//! reads every app's measured latency statistics from the
+//! [`crate::Executor`], feeds observed-vs-predicted ratios into an
+//! [`eml_core::feedback::LatencyFeedback`] (the per-cluster EWMA model
+//! correction), tracks per-app deadline outcomes in
+//! [`eml_core::feedback::MissTracker`]s, and — on a *sustained* miss —
+//! re-invokes [`eml_core::rtm::Rtm::allocate_with_feedback`] so the new
+//! decision reasons about corrected latencies, then actuates it through
+//! [`crate::Executor::apply_allocation`]. One epoch is one turn of the
+//! loop; the caller picks the cadence (a timer thread in a server, an
+//! explicit call in tests).
+
+use std::collections::HashMap;
+
+use eml_core::feedback::{LatencyFeedback, MissTracker};
+use eml_core::rtm::{Allocation, AppSpec, Rtm};
+use eml_platform::Soc;
+
+use crate::error::Result;
+use crate::executor::Executor;
+
+/// Control-loop tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct ControllerConfig {
+    /// EWMA rate of the latency feedback (1.0 = trust the newest
+    /// observation completely). Serving favours fast adaptation: the
+    /// observation is already a windowed median, so heavy smoothing on
+    /// top mostly delays convergence.
+    pub feedback_alpha: f64,
+    /// Outcomes per app before a sustained miss can fire.
+    pub miss_window: usize,
+    /// Miss fraction at/above which the tracker fires.
+    pub miss_threshold: f64,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        Self {
+            feedback_alpha: 0.7,
+            miss_window: 16,
+            miss_threshold: 0.5,
+        }
+    }
+}
+
+/// What one control epoch did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochOutcome {
+    /// Whether a sustained miss triggered a re-allocation.
+    pub reallocated: bool,
+    /// Apps whose statistics produced a feedback observation.
+    pub observed: usize,
+}
+
+/// The serving-side RTM driver. See the module docs.
+#[derive(Debug)]
+pub struct ServeController {
+    rtm: Rtm,
+    soc: Soc,
+    apps: Vec<AppSpec>,
+    cfg: ControllerConfig,
+    feedback: LatencyFeedback,
+    trackers: HashMap<String, MissTracker>,
+    /// Per-app (completed, missed) counters at the last epoch, for
+    /// delta extraction from the cumulative stats.
+    seen: HashMap<String, (u64, u64)>,
+    /// Per placed app: its cluster and the *uncorrected* model
+    /// prediction at the chosen point. The allocation's own latency
+    /// already includes the feedback correction; observing against it
+    /// would square-root the learned ratio (the EWMA would chase
+    /// `obs / (corr · analytic)` instead of `obs / analytic`), so the
+    /// correction in force at decision time is divided back out here.
+    raw_predictions: HashMap<String, (eml_platform::soc::ClusterId, eml_platform::units::TimeSpan)>,
+    allocation: Option<Allocation>,
+}
+
+impl ServeController {
+    /// Creates a controller over `rtm`/`soc` managing `apps`.
+    pub fn new(rtm: Rtm, soc: Soc, apps: Vec<AppSpec>, cfg: ControllerConfig) -> Self {
+        Self {
+            rtm,
+            soc,
+            apps,
+            feedback: LatencyFeedback::new(cfg.feedback_alpha),
+            cfg,
+            trackers: HashMap::new(),
+            seen: HashMap::new(),
+            raw_predictions: HashMap::new(),
+            allocation: None,
+        }
+    }
+
+    /// The current allocation, once one has been made.
+    pub fn allocation(&self) -> Option<&Allocation> {
+        self.allocation.as_ref()
+    }
+
+    /// The accumulated latency-model corrections.
+    pub fn feedback(&self) -> &LatencyFeedback {
+        &self.feedback
+    }
+
+    /// The managed application specs (mutable: arrivals/departures/
+    /// requirement changes between epochs edit this list; the next
+    /// allocation picks them up).
+    pub fn apps_mut(&mut self) -> &mut Vec<AppSpec> {
+        &mut self.apps
+    }
+
+    /// Allocates with the current feedback state and actuates the
+    /// result on the executor. The initial call bootstraps serving;
+    /// later calls force a re-decision (e.g. after editing the app
+    /// list).
+    ///
+    /// # Errors
+    ///
+    /// Propagates structural RTM errors.
+    pub fn allocate_and_apply(&mut self, exec: &Executor) -> Result<&Allocation> {
+        let alloc = self
+            .rtm
+            .allocate_with_feedback(&self.soc, &self.apps, Some(&self.feedback))?;
+        exec.apply_allocation(&alloc);
+        self.raw_predictions.clear();
+        for d in &alloc.dnns {
+            let cluster = d.point.op.cluster;
+            let corr = self.feedback.correction(cluster);
+            self.raw_predictions
+                .insert(d.app.clone(), (cluster, d.point.latency * (1.0 / corr)));
+        }
+        for t in self.trackers.values_mut() {
+            t.reset();
+        }
+        self.allocation = Some(alloc);
+        Ok(self.allocation.as_ref().expect("just set"))
+    }
+
+    /// One turn of the closed loop: harvest stats, learn corrections,
+    /// re-allocate on sustained misses.
+    ///
+    /// # Errors
+    ///
+    /// Propagates structural RTM errors from a triggered re-allocation.
+    pub fn control_epoch(&mut self, exec: &Executor) -> Result<EpochOutcome> {
+        let mut observed = 0usize;
+        let mut triggered = false;
+        for spec in &self.apps {
+            let AppSpec::Dnn(d) = spec else { continue };
+            let Ok(snap) = exec.stats(&d.name) else {
+                continue; // not registered with this executor
+            };
+            let (last_completed, last_missed) = self.seen.get(&d.name).copied().unwrap_or((0, 0));
+            let delta_completed = snap.completed.saturating_sub(last_completed);
+            if delta_completed == 0 {
+                continue;
+            }
+            let delta_missed = snap.missed.saturating_sub(last_missed);
+            self.seen
+                .insert(d.name.clone(), (snap.completed, snap.missed));
+
+            // Model correction: the windowed median of *measured*
+            // request latency against the uncorrected model prediction
+            // for the cluster the app runs on.
+            if let (Some(&(cluster, raw)), Some(p50)) =
+                (self.raw_predictions.get(&d.name), snap.p50)
+            {
+                self.feedback.observe(cluster, raw, p50);
+                observed += 1;
+            }
+
+            if d.requirements.max_latency().is_some() {
+                let tracker = self.trackers.entry(d.name.clone()).or_insert_with(|| {
+                    MissTracker::new(self.cfg.miss_window, self.cfg.miss_threshold)
+                });
+                for i in 0..delta_completed {
+                    tracker.record(i >= delta_missed);
+                }
+                if tracker.sustained_miss() {
+                    triggered = true;
+                }
+            }
+        }
+        if triggered {
+            self.allocate_and_apply(exec)?;
+        }
+        Ok(EpochOutcome {
+            reallocated: triggered,
+            observed,
+        })
+    }
+}

@@ -1,0 +1,142 @@
+//! Error types of the serving executor.
+
+use std::error::Error;
+use std::fmt;
+
+use eml_core::RtmError;
+
+/// Errors returned by the serving layer.
+///
+/// Admission failures are *typed*, not silent: a request that cannot be
+/// queued is rejected at [`crate::Executor::submit`] with the exact
+/// reason ([`ServeError::QueueFull`], [`ServeError::NotAdmitted`], …),
+/// so callers can shed load deliberately instead of blocking or
+/// losing work.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// The application's bounded request queue is at capacity; the
+    /// request was rejected, not enqueued.
+    QueueFull {
+        /// Application name.
+        app: String,
+        /// The configured queue capacity.
+        capacity: usize,
+    },
+    /// No application with this name is registered.
+    UnknownApp {
+        /// The name that failed to resolve.
+        app: String,
+    },
+    /// An application with this name is already registered.
+    DuplicateApp {
+        /// The conflicting name.
+        app: String,
+    },
+    /// The last applied allocation left this application unplaced; new
+    /// requests are refused until a later allocation admits it again.
+    NotAdmitted {
+        /// Application name.
+        app: String,
+    },
+    /// The application's serving thread has been stopped (executor
+    /// shut down before or during this request).
+    AppStopped {
+        /// Application name.
+        app: String,
+    },
+    /// The submitted sample does not match the model's input shape.
+    ShapeMismatch {
+        /// Application name.
+        app: String,
+        /// Expected per-sample element count.
+        expected: usize,
+        /// Submitted element count.
+        actual: usize,
+    },
+    /// The model failed during a batched forward pass; every request of
+    /// the batch receives this error through its ticket.
+    Inference {
+        /// Application name.
+        app: String,
+        /// The underlying failure.
+        reason: String,
+    },
+    /// An underlying RTM error (allocation, knob execution).
+    Rtm(RtmError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::QueueFull { app, capacity } => {
+                write!(f, "`{app}` request queue full (capacity {capacity})")
+            }
+            Self::UnknownApp { app } => write!(f, "unknown application `{app}`"),
+            Self::DuplicateApp { app } => write!(f, "application `{app}` already registered"),
+            Self::NotAdmitted { app } => {
+                write!(f, "`{app}` is not admitted by the current allocation")
+            }
+            Self::AppStopped { app } => write!(f, "`{app}` serving thread has stopped"),
+            Self::ShapeMismatch {
+                app,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "`{app}` sample has {actual} elements, model expects {expected}"
+            ),
+            Self::Inference { app, reason } => write!(f, "`{app}` inference failed: {reason}"),
+            Self::Rtm(e) => write!(f, "rtm error: {e}"),
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Rtm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RtmError> for ServeError {
+    fn from(e: RtmError) -> Self {
+        Self::Rtm(e)
+    }
+}
+
+impl From<eml_dnn::DnnError> for ServeError {
+    fn from(e: eml_dnn::DnnError) -> Self {
+        Self::Rtm(RtmError::Dnn(e))
+    }
+}
+
+/// Convenience alias for serving results.
+pub type Result<T> = std::result::Result<T, ServeError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_app_and_reason() {
+        let e = ServeError::QueueFull {
+            app: "cam".into(),
+            capacity: 8,
+        };
+        assert!(e.to_string().contains("cam") && e.to_string().contains('8'));
+        let e = ServeError::ShapeMismatch {
+            app: "cam".into(),
+            expected: 12,
+            actual: 3,
+        };
+        assert!(e.to_string().contains("12") && e.to_string().contains('3'));
+        let e: ServeError = RtmError::EmptySpace {
+            reason: "none".into(),
+        }
+        .into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,962 @@
+//! The multi-tenant serving executor.
+//!
+//! [`Executor`] owns one serving thread per registered dynamic-DNN
+//! application. Each thread drains its app's *bounded* request queue,
+//! coalesces queued requests into deadline-aware micro-batches (up to
+//! [`ExecutorConfig::batch_cap`], shrunk when the estimated batch
+//! service time would blow the oldest request's deadline), and runs
+//! them through the real [`eml_dnn::DynamicDnn`] kernels — the batch>1
+//! forward path of `eml_nn`, under a per-app
+//! [`eml_nn::workers::with_band_cap`] budget derived from the cores the
+//! RTM allocated. An [`eml_core::rtm::Allocation`] is *actuated*, not
+//! interpreted: [`Executor::apply_allocation`] translates it through
+//! [`eml_core::knobs::commands_for`] and the serving thread executes
+//! the application-layer commands with
+//! [`eml_core::knobs::apply_app_command`] (width switches re-plan the
+//! int8 chain automatically; precision switches re-select the backend).
+//!
+//! Requests complete through per-request tickets; queue overflow is a
+//! typed [`crate::ServeError::QueueFull`] at submission, never a block
+//! and never a silent drop. Every admitted request produces exactly one
+//! completion (success or a typed inference error) in FIFO order per
+//! app, a property the stress and property suites pin.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use eml_core::knobs::{apply_app_command, commands_for, KnobCommand};
+use eml_core::requirements::Requirements;
+use eml_core::rtm::Allocation;
+use eml_dnn::DynamicDnn;
+use eml_nn::tensor::Tensor;
+use eml_platform::soc::ClusterId;
+use eml_platform::units::TimeSpan;
+
+use crate::error::{Result, ServeError};
+use crate::stats::{AppStats, AppStatsSnapshot};
+
+/// Executor configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecutorConfig {
+    /// Bounded per-app queue capacity; submissions beyond it are
+    /// rejected with [`ServeError::QueueFull`].
+    pub queue_capacity: usize,
+    /// Maximum requests coalesced into one batched forward pass.
+    pub batch_cap: usize,
+    /// Sliding-window length of the per-app latency statistics.
+    pub stats_window: usize,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 64,
+            batch_cap: 8,
+            stats_window: 256,
+        }
+    }
+}
+
+/// One completed request.
+#[derive(Debug, Clone)]
+pub struct Completion {
+    /// The request's per-app FIFO sequence number.
+    pub seq: u64,
+    /// The sample's logits row.
+    pub logits: Vec<f32>,
+    /// Argmax class of the logits.
+    pub pred: usize,
+    /// End-to-end latency: submission to completion (queueing +
+    /// batched inference).
+    pub latency: TimeSpan,
+    /// Duration of the batched forward pass this request rode.
+    pub service: TimeSpan,
+    /// Number of requests coalesced into that pass.
+    pub batch_size: usize,
+    /// Whether `latency` met the app's deadline (`None` when the app
+    /// has no latency requirement).
+    pub deadline_met: Option<bool>,
+}
+
+/// A handle to one submitted request.
+#[derive(Debug)]
+pub struct Ticket {
+    app: String,
+    seq: u64,
+    rx: mpsc::Receiver<Result<Completion>>,
+}
+
+impl Ticket {
+    /// The application this request was submitted to.
+    pub fn app(&self) -> &str {
+        &self.app
+    }
+
+    /// The request's per-app FIFO sequence number.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Blocks until the request completes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the batch's [`ServeError::Inference`] error if the
+    /// forward pass failed, or [`ServeError::AppStopped`] if the
+    /// serving thread went away (shutdown or panic) before completing
+    /// this request.
+    pub fn wait(&self) -> Result<Completion> {
+        self.rx.recv().map_err(|_| ServeError::AppStopped {
+            app: self.app.clone(),
+        })?
+    }
+
+    /// [`Ticket::wait`] with an upper bound; times out to
+    /// [`ServeError::AppStopped`] so harnesses fail loud instead of
+    /// hanging on a lost completion.
+    ///
+    /// # Errors
+    ///
+    /// As [`Ticket::wait`], plus the timeout case.
+    pub fn wait_timeout(&self, timeout: std::time::Duration) -> Result<Completion> {
+        self.rx
+            .recv_timeout(timeout)
+            .map_err(|_| ServeError::AppStopped {
+                app: self.app.clone(),
+            })?
+    }
+}
+
+struct PendingRequest {
+    seq: u64,
+    input: Box<[f32]>,
+    submitted: Instant,
+    tx: mpsc::Sender<Result<Completion>>,
+}
+
+/// Queue state shared between submitters, the serving thread and the
+/// control plane. Never held across an inference.
+struct QueueState {
+    pending: VecDeque<PendingRequest>,
+    /// Application-layer knob commands awaiting execution on the
+    /// serving thread (where the model lives).
+    knobs: Vec<KnobCommand>,
+    next_seq: u64,
+    rejected: u64,
+    errors: u64,
+    max_depth: usize,
+    in_flight: usize,
+    band_cap: usize,
+    predicted: Option<TimeSpan>,
+    cluster: Option<ClusterId>,
+    admitted: bool,
+    paused: bool,
+    stopping: bool,
+}
+
+struct AppShared {
+    state: Mutex<QueueState>,
+    /// Signalled on submit / knob push / resume / stop.
+    work: Condvar,
+    /// Signalled when the queue empties and nothing is in flight.
+    idle: Condvar,
+}
+
+fn lock_state(shared: &AppShared) -> MutexGuard<'_, QueueState> {
+    // Poisoning is survivable here: the state is only mutated by
+    // short, panic-free critical sections; a poisoned lock means a
+    // serving thread died mid-batch, which tickets surface as
+    // `AppStopped`.
+    shared.state.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+struct DnnApp {
+    shared: Arc<AppShared>,
+    stats: Arc<Mutex<AppStats>>,
+    thread: Option<JoinHandle<()>>,
+    sample_len: usize,
+    deadline: Option<TimeSpan>,
+}
+
+enum AppEntry {
+    Dnn(Box<DnnApp>),
+    /// Rigid apps run outside the executor (a GPU renderer, a codec);
+    /// registration only makes allocation bookkeeping visible.
+    Rigid,
+}
+
+/// The multi-tenant serving executor. See the module docs.
+pub struct Executor {
+    cfg: ExecutorConfig,
+    apps: HashMap<String, AppEntry>,
+}
+
+impl std::fmt::Debug for Executor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Executor({} apps, queue {}, batch cap {})",
+            self.apps.len(),
+            self.cfg.queue_capacity,
+            self.cfg.batch_cap
+        )
+    }
+}
+
+impl Executor {
+    /// Creates an executor with the given configuration.
+    pub fn new(cfg: ExecutorConfig) -> Self {
+        Self {
+            cfg,
+            apps: HashMap::new(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ExecutorConfig {
+        &self.cfg
+    }
+
+    /// Registered application names (DNN and rigid), sorted.
+    pub fn app_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.apps.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Registers a dynamic-DNN application and starts its serving
+    /// thread. The deadline, when `requirements` carries a latency
+    /// budget, drives per-request `deadline_met` accounting and the
+    /// micro-batcher's coalescing bound.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::DuplicateApp`] if the name is taken.
+    pub fn register_dnn(
+        &mut self,
+        name: impl Into<String>,
+        dnn: DynamicDnn,
+        requirements: &Requirements,
+    ) -> Result<()> {
+        let name = name.into();
+        if self.apps.contains_key(&name) {
+            return Err(ServeError::DuplicateApp { app: name });
+        }
+        let sample_len = dnn.network().input_shape().iter().product();
+        let deadline = requirements.max_latency();
+        let shared = Arc::new(AppShared {
+            state: Mutex::new(QueueState {
+                pending: VecDeque::new(),
+                knobs: Vec::new(),
+                next_seq: 0,
+                rejected: 0,
+                errors: 0,
+                max_depth: 0,
+                in_flight: 0,
+                band_cap: 0,
+                predicted: None,
+                cluster: None,
+                admitted: true,
+                paused: false,
+                stopping: false,
+            }),
+            work: Condvar::new(),
+            idle: Condvar::new(),
+        });
+        let stats = Arc::new(Mutex::new(AppStats::new(
+            self.cfg.stats_window,
+            dnn.level().index(),
+            dnn.precision(),
+        )));
+        let thread = {
+            let shared = Arc::clone(&shared);
+            let stats = Arc::clone(&stats);
+            let name = name.clone();
+            let batch_cap = self.cfg.batch_cap.max(1);
+            std::thread::Builder::new()
+                .name(format!("eml-serve-{name}"))
+                .spawn(move || serve_loop(&name, dnn, &shared, &stats, batch_cap, deadline))
+                .expect("spawn serving thread")
+        };
+        self.apps.insert(
+            name,
+            AppEntry::Dnn(Box::new(DnnApp {
+                shared,
+                stats,
+                thread: Some(thread),
+                sample_len,
+                deadline,
+            })),
+        );
+        Ok(())
+    }
+
+    /// Registers a rigid (non-DNN) application for allocation
+    /// bookkeeping.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::DuplicateApp`] if the name is taken.
+    pub fn register_rigid(&mut self, name: impl Into<String>) -> Result<()> {
+        let name = name.into();
+        if self.apps.contains_key(&name) {
+            return Err(ServeError::DuplicateApp { app: name });
+        }
+        self.apps.insert(name, AppEntry::Rigid);
+        Ok(())
+    }
+
+    fn dnn_app(&self, app: &str) -> Result<&DnnApp> {
+        match self.apps.get(app) {
+            Some(AppEntry::Dnn(d)) => Ok(d),
+            _ => Err(ServeError::UnknownApp { app: app.into() }),
+        }
+    }
+
+    /// Submits one sample (the model's per-sample input, flattened) for
+    /// inference. Non-blocking: the request is queued and served by the
+    /// app's thread; the returned [`Ticket`] yields the completion.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::QueueFull`] when the bounded queue is at capacity,
+    /// [`ServeError::NotAdmitted`] when the current allocation left the
+    /// app unplaced, [`ServeError::ShapeMismatch`] /
+    /// [`ServeError::UnknownApp`] / [`ServeError::AppStopped`] as named.
+    pub fn submit(&self, app: &str, sample: &[f32]) -> Result<Ticket> {
+        let entry = self.dnn_app(app)?;
+        if sample.len() != entry.sample_len {
+            return Err(ServeError::ShapeMismatch {
+                app: app.into(),
+                expected: entry.sample_len,
+                actual: sample.len(),
+            });
+        }
+        let mut st = lock_state(&entry.shared);
+        if st.stopping {
+            return Err(ServeError::AppStopped { app: app.into() });
+        }
+        if !st.admitted {
+            st.rejected += 1;
+            return Err(ServeError::NotAdmitted { app: app.into() });
+        }
+        if st.pending.len() >= self.cfg.queue_capacity {
+            st.rejected += 1;
+            return Err(ServeError::QueueFull {
+                app: app.into(),
+                capacity: self.cfg.queue_capacity,
+            });
+        }
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        let (tx, rx) = mpsc::channel();
+        st.pending.push_back(PendingRequest {
+            seq,
+            input: sample.into(),
+            submitted: Instant::now(),
+            tx,
+        });
+        st.max_depth = st.max_depth.max(st.pending.len());
+        drop(st);
+        entry.shared.work.notify_one();
+        Ok(Ticket {
+            app: app.into(),
+            seq,
+            rx,
+        })
+    }
+
+    /// Actuates an RTM allocation on the registered applications:
+    /// application-layer knob commands ([`commands_for`]) are queued to
+    /// each addressed serving thread, each placed app's band cap is set
+    /// to its allocated core count and its predicted latency/cluster
+    /// recorded for the feedback loop, and apps the allocation left
+    /// unplaced stop admitting new requests until a later allocation
+    /// re-admits them. Registered apps absent from the allocation
+    /// entirely (not placed, not unplaced) are untouched.
+    ///
+    /// Knob execution is asynchronous — the serving thread applies the
+    /// commands before its next batch, so an in-flight batch finishes
+    /// on the old operating point. Failures surface in
+    /// [`AppStatsSnapshot::knob_errors`].
+    pub fn apply_allocation(&self, alloc: &Allocation) {
+        let cmds = commands_for(alloc);
+        for (name, entry) in &self.apps {
+            let AppEntry::Dnn(app) = entry else { continue };
+            let placed = alloc.dnn(name);
+            let unplaced = alloc.unplaced.iter().any(|u| u == name);
+            if placed.is_none() && !unplaced {
+                continue;
+            }
+            let mut st = lock_state(&app.shared);
+            if let Some(d) = placed {
+                st.band_cap = d.point.op.cores as usize;
+                st.predicted = Some(d.point.latency);
+                st.cluster = Some(d.point.op.cluster);
+                st.admitted = true;
+                st.knobs.extend(
+                    cmds.iter()
+                        .filter(|c| {
+                            matches!(c,
+                        KnobCommand::SetWidth { app, .. }
+                        | KnobCommand::SetPrecision { app, .. } if app == name)
+                        })
+                        .cloned(),
+                );
+            } else {
+                st.admitted = false;
+            }
+            drop(st);
+            app.shared.work.notify_one();
+        }
+    }
+
+    /// Routes one knob command to the addressed application's serving
+    /// thread (the direct actuation path an RTM policy uses for knobs
+    /// the allocator does not place, e.g.
+    /// [`KnobCommand::SetPrecision`]). Returns `true` when a registered
+    /// DNN app was addressed; device knobs and unknown apps return
+    /// `false` untouched.
+    pub fn apply_command(&self, cmd: &KnobCommand) -> bool {
+        let name = match cmd {
+            KnobCommand::SetWidth { app, .. } | KnobCommand::SetPrecision { app, .. } => app,
+            _ => return false,
+        };
+        let Ok(entry) = self.dnn_app(name) else {
+            return false;
+        };
+        let mut st = lock_state(&entry.shared);
+        st.knobs.push(cmd.clone());
+        drop(st);
+        entry.shared.work.notify_one();
+        true
+    }
+
+    /// Pauses an app's serving thread after its current batch (queued
+    /// requests stay queued; submissions still admit up to capacity).
+    /// Deterministic test hook and maintenance valve.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownApp`] for unregistered or rigid names.
+    pub fn pause(&self, app: &str) -> Result<()> {
+        let entry = self.dnn_app(app)?;
+        lock_state(&entry.shared).paused = true;
+        Ok(())
+    }
+
+    /// Resumes a paused app.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownApp`] for unregistered or rigid names.
+    pub fn resume(&self, app: &str) -> Result<()> {
+        let entry = self.dnn_app(app)?;
+        lock_state(&entry.shared).paused = false;
+        entry.shared.work.notify_one();
+        Ok(())
+    }
+
+    /// The app's deadline (from its registration requirements).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownApp`] for unregistered or rigid names.
+    pub fn deadline(&self, app: &str) -> Result<Option<TimeSpan>> {
+        Ok(self.dnn_app(app)?.deadline)
+    }
+
+    /// A consistent statistics snapshot for one app.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownApp`] for unregistered or rigid names.
+    pub fn stats(&self, app: &str) -> Result<AppStatsSnapshot> {
+        let entry = self.dnn_app(app)?;
+        let (rejected, errors, depth, max_depth, in_flight, band_cap, predicted, cluster, admitted) = {
+            let st = lock_state(&entry.shared);
+            (
+                st.rejected,
+                st.errors,
+                st.pending.len(),
+                st.max_depth,
+                st.in_flight,
+                st.band_cap,
+                st.predicted,
+                st.cluster,
+                st.admitted,
+            )
+        };
+        let stats = entry.stats.lock().unwrap_or_else(PoisonError::into_inner);
+        let win = stats.snapshot();
+        Ok(AppStatsSnapshot {
+            completed: stats.completed,
+            rejected,
+            errors,
+            missed: stats.missed,
+            queue_depth: depth,
+            max_queue_depth: max_depth,
+            in_flight,
+            batches: stats.batches,
+            batched_samples: stats.batched_samples,
+            p50: win.p50,
+            p99: win.p99,
+            window_len: win.window_len,
+            knob_errors: stats.knob_errors,
+            last_knob_error: stats.last_knob_error.clone(),
+            out_of_order: stats.out_of_order,
+            level: stats.level,
+            precision: stats.precision,
+            predicted,
+            cluster,
+            band_cap,
+            admitted,
+        })
+    }
+
+    /// Blocks until `app`'s queue is empty and nothing is in flight.
+    /// A paused app with queued work never drains — resume it first.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownApp`] for unregistered or rigid names.
+    pub fn drain_app(&self, app: &str) -> Result<()> {
+        let entry = self.dnn_app(app)?;
+        let mut st = lock_state(&entry.shared);
+        while !(st.pending.is_empty() && st.in_flight == 0) {
+            st = entry
+                .shared
+                .idle
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        Ok(())
+    }
+
+    /// [`Executor::drain_app`] over every registered DNN app.
+    pub fn drain(&self) {
+        for (name, entry) in &self.apps {
+            if matches!(entry, AppEntry::Dnn(_)) {
+                let _ = self.drain_app(name);
+            }
+        }
+    }
+
+    /// Stops every serving thread after it drains its queue, and joins
+    /// them. Called by `Drop`; explicit calls make shutdown ordering
+    /// visible in tests.
+    pub fn shutdown(&mut self) {
+        for entry in self.apps.values() {
+            if let AppEntry::Dnn(app) = entry {
+                lock_state(&app.shared).stopping = true;
+                app.shared.work.notify_one();
+            }
+        }
+        for entry in self.apps.values_mut() {
+            if let AppEntry::Dnn(app) = entry {
+                if let Some(t) = app.thread.take() {
+                    let _ = t.join();
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Applies queued knob commands on the serving thread (where the model
+/// lives) via the core knob executor, recording the resulting
+/// level/precision — and any failure — in the app's stats.
+fn apply_knobs(name: &str, dnn: &mut DynamicDnn, knobs: &[KnobCommand], stats: &Mutex<AppStats>) {
+    for cmd in knobs {
+        let applied = apply_app_command(cmd, name, dnn);
+        let mut s = stats.lock().unwrap_or_else(PoisonError::into_inner);
+        match applied {
+            Ok(_) => {
+                let (level, precision) = (dnn.level().index(), dnn.precision());
+                if level != s.level || precision != s.precision {
+                    // A new operating point: the latency window now
+                    // describes stale behaviour.
+                    s.reset_window();
+                }
+                s.level = level;
+                s.precision = precision;
+            }
+            Err(e) => {
+                s.knob_errors += 1;
+                s.last_knob_error = Some(e.to_string());
+            }
+        }
+    }
+}
+
+/// The per-app serving loop. See the module docs for the lifecycle.
+fn serve_loop(
+    name: &str,
+    mut dnn: DynamicDnn,
+    shared: &AppShared,
+    stats: &Mutex<AppStats>,
+    batch_cap: usize,
+    deadline: Option<TimeSpan>,
+) {
+    let sample_shape = dnn.network().input_shape().to_vec();
+    let sample_len: usize = sample_shape.iter().product();
+    // EWMA of per-sample service time (seconds), for deadline-aware
+    // batch sizing. Seeded by the first batch.
+    let mut per_sample_ewma: Option<f64> = None;
+    loop {
+        let (batch, band_cap, knobs) = {
+            let mut st = lock_state(shared);
+            loop {
+                let pausing = st.paused && !st.stopping;
+                let has_work =
+                    !st.knobs.is_empty() || (!pausing && !st.pending.is_empty()) || st.stopping;
+                if has_work {
+                    break;
+                }
+                st = shared.work.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+            let knobs: Vec<KnobCommand> = st.knobs.drain(..).collect();
+            if st.stopping && st.pending.is_empty() {
+                drop(st);
+                shared.idle.notify_all();
+                return;
+            }
+            if (st.paused && !st.stopping) || st.pending.is_empty() {
+                (Vec::new(), 0, knobs)
+            } else {
+                // Deadline-aware coalescing: take up to `batch_cap`
+                // requests, but no more than the oldest request's
+                // remaining budget is estimated to cover — batching
+                // amortises per-pass overhead only while it does not
+                // itself cause the miss.
+                let mut k = st.pending.len().min(batch_cap);
+                if let (Some(d), Some(s)) = (deadline, per_sample_ewma) {
+                    let oldest = st
+                        .pending
+                        .front()
+                        .expect("pending checked non-empty")
+                        .submitted
+                        .elapsed()
+                        .as_secs_f64();
+                    while k > 1 && oldest + s * k as f64 > d.as_secs() {
+                        k -= 1;
+                    }
+                }
+                st.in_flight += k;
+                let batch: Vec<PendingRequest> = st.pending.drain(..k).collect();
+                (batch, st.band_cap, knobs)
+            }
+        };
+        if !knobs.is_empty() {
+            apply_knobs(name, &mut dnn, &knobs, stats);
+        }
+        if batch.is_empty() {
+            continue;
+        }
+
+        let k = batch.len();
+        let mut shape = Vec::with_capacity(1 + sample_shape.len());
+        shape.push(k);
+        shape.extend_from_slice(&sample_shape);
+        let mut data = Vec::with_capacity(k * sample_len);
+        for r in &batch {
+            data.extend_from_slice(&r.input);
+        }
+        let t0 = Instant::now();
+        // A panicking model (poisoned weights, a debug assertion in a
+        // kernel) must not wedge the tenant: contain the unwind, turn
+        // it into a typed error for every rider, and keep serving.
+        // The model's internal scratch is resize-then-overwrite, so a
+        // mid-forward unwind leaves no state a later forward reads.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Tensor::from_vec(&shape, data).and_then(|input| {
+                eml_nn::workers::with_band_cap(band_cap, || {
+                    dnn.network_mut().forward(&input, false)
+                })
+            })
+        }))
+        .unwrap_or_else(|panic| {
+            let reason = panic
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "<non-string panic payload>".into());
+            Err(eml_nn::NnError::InvalidConfig {
+                reason: format!("forward pass panicked: {reason}"),
+            })
+        });
+        let service = t0.elapsed();
+        let service_span = TimeSpan::from_secs(service.as_secs_f64());
+
+        match result {
+            Ok(logits) => {
+                let classes = logits.shape()[1];
+                let rows = logits.data();
+                {
+                    let mut s = stats.lock().unwrap_or_else(PoisonError::into_inner);
+                    s.batches += 1;
+                    s.batched_samples += k as u64;
+                }
+                for (i, req) in batch.into_iter().enumerate() {
+                    let row = rows[i * classes..(i + 1) * classes].to_vec();
+                    // Total order: a NaN logit (a client-submitted NaN
+                    // sample propagates on the f32 path) must yield
+                    // *a* prediction, not a panic — the NaN is visible
+                    // to the caller in the logits row.
+                    let pred = row
+                        .iter()
+                        .enumerate()
+                        .max_by(|a, b| a.1.total_cmp(b.1))
+                        .map(|(c, _)| c)
+                        .expect("non-empty logits row");
+                    let latency_s = req.submitted.elapsed().as_secs_f64();
+                    let met = deadline.map(|d| latency_s <= d.as_secs());
+                    stats
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .record(req.seq, latency_s, met);
+                    let _ = req.tx.send(Ok(Completion {
+                        seq: req.seq,
+                        logits: row,
+                        pred,
+                        latency: TimeSpan::from_secs(latency_s),
+                        service: service_span,
+                        batch_size: k,
+                        deadline_met: met,
+                    }));
+                }
+                let per_sample = service.as_secs_f64() / k as f64;
+                per_sample_ewma = Some(match per_sample_ewma {
+                    None => per_sample,
+                    Some(prev) => 0.7 * prev + 0.3 * per_sample,
+                });
+            }
+            Err(e) => {
+                // Loud failure: every rider gets the typed error, and
+                // the error counter keeps `submitted = completed +
+                // errors + rejected` balanced.
+                lock_state(shared).errors += k as u64;
+                for req in batch {
+                    let _ = req.tx.send(Err(ServeError::Inference {
+                        app: name.to_string(),
+                        reason: e.to_string(),
+                    }));
+                }
+            }
+        }
+
+        let mut st = lock_state(shared);
+        st.in_flight -= k;
+        if st.pending.is_empty() && st.in_flight == 0 {
+            shared.idle.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testbed;
+    use eml_dnn::{Precision, WidthLevel};
+    use std::time::Duration;
+
+    const TIMEOUT: Duration = Duration::from_secs(20);
+
+    fn tiny_executor(cfg: ExecutorConfig) -> Executor {
+        let mut exec = Executor::new(cfg);
+        exec.register_dnn(
+            "cam",
+            testbed::tiny_dnn(1),
+            &Requirements::new().with_max_latency(TimeSpan::from_millis(50.0)),
+        )
+        .unwrap();
+        exec
+    }
+
+    fn sample(v: f32) -> Vec<f32> {
+        vec![v; 3 * 8 * 8]
+    }
+
+    #[test]
+    fn submit_completes_with_logits_and_stats() {
+        let exec = tiny_executor(ExecutorConfig::default());
+        let t = exec.submit("cam", &sample(0.2)).unwrap();
+        let done = t.wait_timeout(TIMEOUT).unwrap();
+        assert_eq!(done.logits.len(), 4);
+        assert!(done.pred < 4);
+        assert!(done.latency.as_secs() > 0.0);
+        exec.drain();
+        let s = exec.stats("cam").unwrap();
+        assert_eq!(s.completed, 1);
+        assert_eq!(s.rejected + s.errors + s.out_of_order, 0);
+        assert_eq!(s.window_len, 1);
+        assert!(s.admitted);
+    }
+
+    #[test]
+    fn unknown_app_and_bad_shape_are_typed() {
+        let exec = tiny_executor(ExecutorConfig::default());
+        assert!(matches!(
+            exec.submit("ghost", &sample(0.0)),
+            Err(ServeError::UnknownApp { .. })
+        ));
+        assert!(matches!(
+            exec.submit("cam", &[1.0, 2.0]),
+            Err(ServeError::ShapeMismatch {
+                expected,
+                actual: 2,
+                ..
+            }) if expected == 3 * 8 * 8
+        ));
+    }
+
+    #[test]
+    fn overflow_rejects_with_queue_full_and_recovers() {
+        let exec = tiny_executor(ExecutorConfig {
+            queue_capacity: 3,
+            batch_cap: 2,
+            ..ExecutorConfig::default()
+        });
+        exec.pause("cam").unwrap();
+        // The paused worker takes nothing: exactly `capacity` fit.
+        let tickets: Vec<Ticket> = (0..3)
+            .map(|i| exec.submit("cam", &sample(i as f32 * 0.1)).unwrap())
+            .collect();
+        let err = exec.submit("cam", &sample(0.9)).unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::QueueFull {
+                app: "cam".into(),
+                capacity: 3
+            }
+        );
+        exec.resume("cam").unwrap();
+        for t in &tickets {
+            t.wait_timeout(TIMEOUT).unwrap();
+        }
+        exec.drain();
+        let s = exec.stats("cam").unwrap();
+        assert_eq!(s.completed, 3);
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.max_queue_depth, 3);
+        assert!(s.max_queue_depth <= exec.config().queue_capacity);
+        // The resumed worker coalesced: fewer batches than requests.
+        assert!(s.batches <= 2, "batch cap 2 over 3 queued: {s:?}");
+    }
+
+    #[test]
+    fn knob_commands_actuate_on_the_serving_thread() {
+        let exec = tiny_executor(ExecutorConfig::default());
+        assert!(exec.apply_command(&KnobCommand::SetWidth {
+            app: "cam".into(),
+            level: WidthLevel(1),
+        }));
+        assert!(exec.apply_command(&KnobCommand::SetPrecision {
+            app: "cam".into(),
+            precision: Precision::Int8,
+        }));
+        // Device knobs and unknown apps are not ours.
+        assert!(!exec.apply_command(&KnobCommand::SetOpp {
+            cluster: ClusterId::from_index(0),
+            opp_index: 0,
+        }));
+        assert!(!exec.apply_command(&KnobCommand::SetWidth {
+            app: "ghost".into(),
+            level: WidthLevel(0),
+        }));
+        // A request forces the knob queue to drain before it runs.
+        exec.submit("cam", &sample(0.3))
+            .unwrap()
+            .wait_timeout(TIMEOUT)
+            .unwrap();
+        exec.drain();
+        let s = exec.stats("cam").unwrap();
+        assert_eq!(s.level, 1);
+        assert_eq!(s.precision, Precision::Int8);
+        assert_eq!(s.knob_errors, 0);
+        // An out-of-range width fails loud in the stats, not silently.
+        exec.apply_command(&KnobCommand::SetWidth {
+            app: "cam".into(),
+            level: WidthLevel(9),
+        });
+        exec.submit("cam", &sample(0.3))
+            .unwrap()
+            .wait_timeout(TIMEOUT)
+            .unwrap();
+        exec.drain();
+        let s = exec.stats("cam").unwrap();
+        assert_eq!(s.knob_errors, 1);
+        assert!(s.last_knob_error.is_some());
+        assert_eq!(s.level, 1, "failed switch leaves the level alone");
+    }
+
+    /// A hostile sample (NaN) must not wedge the tenant: the request
+    /// completes (NaN visible in the logits on the f32 path, or a
+    /// typed inference error if a kernel guard trips), and the serving
+    /// thread keeps serving clean requests afterwards.
+    #[test]
+    fn nan_sample_does_not_wedge_the_serving_thread() {
+        let exec = tiny_executor(ExecutorConfig::default());
+        let poisoned = vec![f32::NAN; 3 * 8 * 8];
+        let t = exec.submit("cam", &poisoned).unwrap();
+        match t.wait_timeout(TIMEOUT) {
+            Ok(done) => assert_eq!(done.logits.len(), 4, "a prediction, not a panic"),
+            Err(ServeError::Inference { .. }) => {} // kernel guard: typed, loud
+            Err(e) => panic!("unexpected: {e}"),
+        }
+        // The thread is alive and the queue drains.
+        let done = exec
+            .submit("cam", &sample(0.5))
+            .unwrap()
+            .wait_timeout(TIMEOUT)
+            .expect("serving continues after a poisoned request");
+        assert!(done.logits.iter().all(|l| l.is_finite()));
+        exec.drain();
+        let s = exec.stats("cam").unwrap();
+        assert_eq!(s.completed + s.errors, 2, "{s:?}");
+    }
+
+    #[test]
+    fn shutdown_drains_then_rejects() {
+        let mut exec = tiny_executor(ExecutorConfig::default());
+        let tickets: Vec<Ticket> = (0..5)
+            .map(|_| exec.submit("cam", &sample(0.4)).unwrap())
+            .collect();
+        exec.shutdown();
+        for t in &tickets {
+            t.wait_timeout(TIMEOUT)
+                .expect("queued requests complete before the thread exits");
+        }
+        assert!(matches!(
+            exec.submit("cam", &sample(0.1)),
+            Err(ServeError::AppStopped { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_registration_rejected() {
+        let mut exec = tiny_executor(ExecutorConfig::default());
+        assert!(matches!(
+            exec.register_rigid("cam"),
+            Err(ServeError::DuplicateApp { .. })
+        ));
+        exec.register_rigid("vr").unwrap();
+        assert!(matches!(
+            exec.register_dnn("vr", testbed::tiny_dnn(2), &Requirements::new()),
+            Err(ServeError::DuplicateApp { .. })
+        ));
+        assert_eq!(exec.app_names(), vec!["cam".to_string(), "vr".to_string()]);
+        // Rigid apps have no serving surface.
+        assert!(matches!(
+            exec.stats("vr"),
+            Err(ServeError::UnknownApp { .. })
+        ));
+    }
+}

@@ -1,0 +1,53 @@
+//! # eml-serve — the multi-tenant serving executor
+//!
+//! `eml-core`'s RTM and `eml-sim`'s simulator are *planners*: they
+//! decide knob settings (width, precision, cores, DVFS) from an
+//! analytic latency model. This crate **executes** those decisions
+//! against the real `eml_nn` kernels and closes the loop with measured
+//! latency:
+//!
+//! - [`Executor`] — one serving thread per registered
+//!   [`eml_dnn::DynamicDnn`]; per-app *bounded* request queues (typed
+//!   [`ServeError::QueueFull`] rejection, never a block, never a silent
+//!   drop); deadline-aware micro-batching onto the batch>1 forward
+//!   path; worker-band budgets ([`eml_nn::workers::with_band_cap`])
+//!   derived from each app's allocated cores; allocations actuated
+//!   through the core knob surfaces
+//!   ([`eml_core::knobs::apply_app_command`]).
+//! - [`ServeController`] — the control loop: measured p50 vs predicted
+//!   latency feeds [`eml_core::feedback::LatencyFeedback`]; sustained
+//!   deadline misses ([`eml_core::feedback::MissTracker`]) trigger
+//!   [`eml_core::rtm::Rtm::allocate_with_feedback`] re-allocation on
+//!   the corrected model.
+//! - [`ExecutedReplay`] — plugs the executor into
+//!   [`eml_sim::Simulator::run_executed`], so scenario traces report
+//!   measured rather than analytic latencies.
+//! - [`testbed`] — deterministic fixtures (an optimistic single-cluster
+//!   SoC, seeded real models) for closed-loop tests and examples.
+//!
+//! ## Shape of the loop
+//!
+//! ```text
+//!  requests ──► Executor (queues → micro-batches → real kernels)
+//!                  │ measured latency, deadline outcomes
+//!                  ▼
+//!          ServeController ──feedback──► Rtm::allocate_with_feedback
+//!                  ▲                             │ knob commands
+//!                  └────── apply_allocation ◄────┘
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod control;
+pub mod error;
+pub mod executor;
+pub mod replay;
+pub mod stats;
+pub mod testbed;
+
+pub use control::{ControllerConfig, EpochOutcome, ServeController};
+pub use error::{Result, ServeError};
+pub use executor::{Completion, Executor, ExecutorConfig, Ticket};
+pub use replay::ExecutedReplay;
+pub use stats::AppStatsSnapshot;

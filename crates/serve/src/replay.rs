@@ -1,0 +1,69 @@
+//! Executed-mode scenario replay: the adapter that plugs the real
+//! executor into [`eml_sim::Simulator::run_executed`].
+//!
+//! The simulator stays the clock and the policy engine (arrivals,
+//! thermal governor, RTM decisions); [`ExecutedReplay`] actuates every
+//! decision on a live [`Executor`] and answers latency samples by
+//! timing a real inference request — so a scenario trace reports what
+//! the kernels measurably delivered at each decided operating point,
+//! not what the analytic model predicted.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use eml_core::rtm::Allocation;
+use eml_platform::units::TimeSpan;
+use eml_sim::ExecutionBackend;
+
+use crate::executor::Executor;
+
+/// Replays allocation decisions and latency samples through a live
+/// executor. Apps without a registered probe input sample analytically
+/// (the backend returns `None` for them).
+#[derive(Debug)]
+pub struct ExecutedReplay<'a> {
+    exec: &'a Executor,
+    probes: HashMap<String, Vec<f32>>,
+    timeout: Duration,
+}
+
+impl<'a> ExecutedReplay<'a> {
+    /// Creates a replay backend over `exec` with a 30 s per-measurement
+    /// safety timeout (a hung measurement falls back to analytic
+    /// sampling instead of wedging the scenario).
+    pub fn new(exec: &'a Executor) -> Self {
+        Self {
+            exec,
+            probes: HashMap::new(),
+            timeout: Duration::from_secs(30),
+        }
+    }
+
+    /// Registers the probe input (one flattened sample) measured for
+    /// `app` at every trace sample point.
+    #[must_use]
+    pub fn with_probe(mut self, app: impl Into<String>, sample: Vec<f32>) -> Self {
+        self.probes.insert(app.into(), sample);
+        self
+    }
+
+    /// Overrides the per-measurement timeout.
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+}
+
+impl ExecutionBackend for ExecutedReplay<'_> {
+    fn on_allocation(&mut self, _at_secs: f64, allocation: &Allocation) {
+        self.exec.apply_allocation(allocation);
+    }
+
+    fn measure(&mut self, app: &str, _predicted: TimeSpan) -> Option<TimeSpan> {
+        let probe = self.probes.get(app)?;
+        let ticket = self.exec.submit(app, probe).ok()?;
+        let done = ticket.wait_timeout(self.timeout).ok()?;
+        Some(done.latency)
+    }
+}

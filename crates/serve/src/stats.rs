@@ -1,0 +1,209 @@
+//! Per-application serving statistics: the executor's monitor surface.
+//!
+//! The serving thread records every completed request here; the control
+//! loop ([`crate::ServeController`]) and tests read consistent
+//! snapshots. Latency percentiles are computed over a bounded sliding
+//! window so long-running servers report *current* behaviour, while the
+//! cumulative counters (completed / errors / missed / rejected) never
+//! reset — they are the invariant surface the stress and property
+//! suites pin ("no request is ever silently dropped" is
+//! `submitted == completed + errors + rejected` in these counters).
+
+use std::collections::VecDeque;
+
+use eml_nn::Precision;
+use eml_platform::soc::ClusterId;
+use eml_platform::units::TimeSpan;
+
+/// Mutable per-app statistics, updated by the serving thread.
+#[derive(Debug)]
+pub(crate) struct AppStats {
+    window: usize,
+    /// Most recent request latencies (seconds), newest at the back.
+    latencies: VecDeque<f64>,
+    pub(crate) completed: u64,
+    pub(crate) missed: u64,
+    pub(crate) batches: u64,
+    pub(crate) batched_samples: u64,
+    pub(crate) knob_errors: u64,
+    pub(crate) last_knob_error: Option<String>,
+    pub(crate) out_of_order: u64,
+    pub(crate) last_seq: Option<u64>,
+    pub(crate) level: usize,
+    pub(crate) precision: Precision,
+}
+
+impl AppStats {
+    pub(crate) fn new(window: usize, level: usize, precision: Precision) -> Self {
+        Self {
+            window: window.max(1),
+            latencies: VecDeque::new(),
+            completed: 0,
+            missed: 0,
+            batches: 0,
+            batched_samples: 0,
+            knob_errors: 0,
+            last_knob_error: None,
+            out_of_order: 0,
+            last_seq: None,
+            level,
+            precision,
+        }
+    }
+
+    /// Clears the sliding latency window (the cumulative counters
+    /// stay). Called when a knob switch changes the operating point, so
+    /// percentiles always describe the *current* configuration instead
+    /// of blending the old point's latencies into the new one's.
+    pub(crate) fn reset_window(&mut self) {
+        self.latencies.clear();
+    }
+
+    /// Records one completed request.
+    pub(crate) fn record(&mut self, seq: u64, latency_s: f64, met: Option<bool>) {
+        if self.latencies.len() == self.window {
+            self.latencies.pop_front();
+        }
+        self.latencies.push_back(latency_s);
+        self.completed += 1;
+        if met == Some(false) {
+            self.missed += 1;
+        }
+        if let Some(last) = self.last_seq {
+            if seq <= last {
+                self.out_of_order += 1;
+            }
+        }
+        self.last_seq = Some(seq);
+    }
+
+    fn percentile(&self, q: f64) -> Option<TimeSpan> {
+        if self.latencies.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = self.latencies.iter().copied().collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+        Some(TimeSpan::from_secs(sorted[idx]))
+    }
+
+    pub(crate) fn snapshot(&self) -> WindowSnapshot {
+        WindowSnapshot {
+            p50: self.percentile(0.50),
+            p99: self.percentile(0.99),
+            window_len: self.latencies.len(),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct WindowSnapshot {
+    pub(crate) p50: Option<TimeSpan>,
+    pub(crate) p99: Option<TimeSpan>,
+    pub(crate) window_len: usize,
+}
+
+/// A consistent view of one application's serving state.
+#[derive(Debug, Clone)]
+pub struct AppStatsSnapshot {
+    /// Requests completed successfully (a logits-bearing completion
+    /// was delivered to the ticket). Requests whose batch failed count
+    /// under [`AppStatsSnapshot::errors`] instead, so
+    /// `submitted == completed + errors + rejected`.
+    pub completed: u64,
+    /// Requests rejected at submission (queue full / not admitted).
+    pub rejected: u64,
+    /// Requests whose batch failed in inference; their tickets received
+    /// a typed [`crate::ServeError::Inference`] error.
+    pub errors: u64,
+    /// Completed requests that missed the app's deadline.
+    pub missed: u64,
+    /// Requests currently queued.
+    pub queue_depth: usize,
+    /// High-water mark of the queue depth.
+    pub max_queue_depth: usize,
+    /// Requests taken from the queue but not yet completed.
+    pub in_flight: usize,
+    /// Batched forward passes executed.
+    pub batches: u64,
+    /// Samples carried by those batches (`/ batches` = mean batch).
+    pub batched_samples: u64,
+    /// Median request latency over the sliding window.
+    pub p50: Option<TimeSpan>,
+    /// 99th-percentile request latency over the sliding window.
+    pub p99: Option<TimeSpan>,
+    /// Requests currently in the latency window.
+    pub window_len: usize,
+    /// Knob commands that failed to apply on the serving thread.
+    pub knob_errors: u64,
+    /// The most recent knob failure, for diagnostics.
+    pub last_knob_error: Option<String>,
+    /// Completions observed out of submission order (always 0: the
+    /// per-app queue is FIFO and served by one thread; the counter is
+    /// the invariant surface the stress suite pins).
+    pub out_of_order: u64,
+    /// The model's current width level index.
+    pub level: usize,
+    /// The model's current precision mode.
+    pub precision: Precision,
+    /// Predicted latency of the app's current operating point, when an
+    /// allocation has been applied.
+    pub predicted: Option<TimeSpan>,
+    /// Cluster of the current operating point.
+    pub cluster: Option<ClusterId>,
+    /// Band cap (allocated cores) the forwards run under (0 = uncapped).
+    pub band_cap: usize,
+    /// Whether the current allocation admits the app.
+    pub admitted: bool,
+}
+
+impl AppStatsSnapshot {
+    /// Mean samples per executed batch (0.0 before the first batch).
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_samples as f64 / self.batches as f64
+        }
+    }
+
+    /// Deadline miss fraction over all completions (0.0 before any).
+    pub fn miss_fraction(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.missed as f64 / self.completed as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_slides_and_percentiles_sort() {
+        let mut s = AppStats::new(4, 3, Precision::F32);
+        for (i, ms) in [5.0, 1.0, 9.0, 3.0, 7.0].iter().enumerate() {
+            // A 6 ms deadline: 9 and 7 miss, the rest meet it.
+            s.record(i as u64, ms * 1e-3, Some(*ms <= 6.0));
+        }
+        // Window holds the last 4: [1, 9, 3, 7] → p50 ≈ 3ms or 7ms edge.
+        let snap = s.snapshot();
+        assert_eq!(snap.window_len, 4);
+        let p50 = snap.p50.unwrap().as_millis();
+        assert!((3.0..=7.0).contains(&p50), "p50 {p50}");
+        assert_eq!(snap.p99.unwrap().as_millis().round() as i64, 9);
+        assert_eq!(s.completed, 5);
+        assert_eq!(s.missed, 2);
+        assert_eq!(s.out_of_order, 0);
+    }
+
+    #[test]
+    fn out_of_order_completions_are_counted() {
+        let mut s = AppStats::new(8, 0, Precision::F32);
+        s.record(3, 1e-3, None);
+        s.record(2, 1e-3, None);
+        assert_eq!(s.out_of_order, 1);
+    }
+}

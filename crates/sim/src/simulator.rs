@@ -93,6 +93,24 @@ impl Default for SimConfig {
     }
 }
 
+/// Executes allocation decisions against something real during a
+/// simulation run — the bridge from the analytic latency model to
+/// measured behaviour ("executed mode", [`Simulator::run_executed`]).
+///
+/// The simulator stays the clock and the policy engine; the backend
+/// supplies *measured* per-app latencies. A serving layer implements
+/// this by actuating each allocation on a live executor and timing
+/// real inference requests (see `eml-serve`'s `ExecutedReplay`).
+pub trait ExecutionBackend {
+    /// A new allocation was decided at `at_secs`; actuate it.
+    fn on_allocation(&mut self, at_secs: f64, allocation: &Allocation);
+
+    /// Measures one inference of `app` at its current operating point,
+    /// or `None` to keep the analytic prediction for this sample
+    /// (unknown app, measurement unavailable).
+    fn measure(&mut self, app: &str, predicted: TimeSpan) -> Option<TimeSpan>;
+}
+
 /// The simulator.
 #[derive(Debug)]
 pub struct Simulator {
@@ -162,6 +180,28 @@ impl Simulator {
     /// Propagates RTM errors (structural only; infeasibility is recorded in
     /// the trace, not raised).
     pub fn run(&self) -> Result<Trace> {
+        self.run_impl(None)
+    }
+
+    /// Runs the scenario in *executed mode*: every allocation decision
+    /// is actuated on `backend` and every sampled per-app latency is
+    /// the backend's **measured** value (falling back to the analytic
+    /// prediction only where the backend returns `None`). The
+    /// requirement check of each sample (`met`) is re-evaluated against
+    /// the measured latency, so a trace from this mode reports what the
+    /// real kernels delivered, not what the model promised.
+    ///
+    /// Power/thermal stay analytic — the backend measures time, not
+    /// watts.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulator::run`].
+    pub fn run_executed(&self, backend: &mut dyn ExecutionBackend) -> Result<Trace> {
+        self.run_impl(Some(backend))
+    }
+
+    fn run_impl(&self, mut backend: Option<&mut dyn ExecutionBackend>) -> Result<Trace> {
         let mut trace = Trace::default();
         let mut apps: Vec<AppSpec> = Vec::new();
         let mut allocation: Option<Allocation> = None;
@@ -248,6 +288,9 @@ impl Simulator {
                         commands: commands_for(&alloc),
                     });
                 }
+                if let Some(backend) = backend.as_deref_mut() {
+                    backend.on_allocation(time, &alloc);
+                }
                 allocation = Some(alloc);
                 had_decision = true;
             }
@@ -267,12 +310,17 @@ impl Simulator {
             }
             if since_sample + 1e-9 >= self.cfg.sample_every.as_secs() {
                 since_sample = 0.0;
+                let mut app_rows = allocation.as_ref().map(app_samples).unwrap_or_default();
+                if let (Some(backend), Some(alloc)) = (backend.as_deref_mut(), allocation.as_ref())
+                {
+                    apply_measured(backend, alloc, &apps, &mut app_rows);
+                }
                 trace.samples.push(Sample {
                     at_secs: time,
                     power,
                     temp: thermal.die_temp(),
                     throttled,
-                    apps: allocation.as_ref().map(app_samples).unwrap_or_default(),
+                    apps: app_rows,
                 });
             }
 
@@ -319,6 +367,35 @@ fn effective_power(soc: &Soc, alloc: &Allocation, apps: &[AppSpec]) -> Power {
         total += busy_over_idle * duty;
     }
     total
+}
+
+/// Executed mode: replaces each placed DNN's sampled latency with the
+/// backend's measured value and re-checks its requirements against the
+/// measurement.
+fn apply_measured(
+    backend: &mut dyn ExecutionBackend,
+    alloc: &Allocation,
+    apps: &[AppSpec],
+    rows: &mut [AppSample],
+) {
+    for d in &alloc.dnns {
+        let Some(measured) = backend.measure(&d.app, d.point.latency) else {
+            continue;
+        };
+        let Some(row) = rows.iter_mut().find(|r| r.app == d.app) else {
+            continue;
+        };
+        row.latency_ms = measured.as_millis();
+        let spec = apps.iter().find_map(|a| match a {
+            AppSpec::Dnn(s) if s.name == d.app => Some(s),
+            _ => None,
+        });
+        if let Some(spec) = spec {
+            let mut hyp = d.point;
+            hyp.latency = measured;
+            row.met = spec.requirements.violations(&hyp).is_empty();
+        }
+    }
 }
 
 fn app_samples(alloc: &Allocation) -> Vec<AppSample> {
@@ -496,6 +573,59 @@ mod tests {
         let trace = sim.run().unwrap();
         // 0.0, 0.5, 1.0, 1.5, 2.0 → 5 samples.
         assert_eq!(trace.samples.len(), 5);
+    }
+
+    /// Executed mode with a canned backend: allocations are actuated,
+    /// sampled latencies are the *measured* values, and `met` is
+    /// re-judged against the measurement — an analytically feasible
+    /// point whose measured latency blows the budget must sample as a
+    /// miss.
+    #[test]
+    fn executed_mode_reports_measured_latency_and_rejudges_met() {
+        struct Canned {
+            allocations: usize,
+            measured_ms: f64,
+        }
+        impl ExecutionBackend for Canned {
+            fn on_allocation(&mut self, _at: f64, allocation: &Allocation) {
+                assert!(!allocation.dnns.is_empty() || !allocation.rigid.is_empty());
+                self.allocations += 1;
+            }
+            fn measure(&mut self, app: &str, _predicted: TimeSpan) -> Option<TimeSpan> {
+                assert_eq!(app, "dnn1");
+                Some(TimeSpan::from_millis(self.measured_ms))
+            }
+        }
+        let events = || {
+            vec![ScenarioEvent {
+                at_secs: 0.0,
+                action: Action::Arrive(dnn_app("dnn1", 11.0)),
+            }]
+        };
+        let soc = presets::flagship();
+        let sim = Simulator::new(soc, events(), quick_cfg(2.0)).unwrap();
+
+        // Fast reality: measured 5 ms under an 11 ms budget → met.
+        let mut fast = Canned {
+            allocations: 0,
+            measured_ms: 5.0,
+        };
+        let trace = sim.run_executed(&mut fast).unwrap();
+        assert_eq!(fast.allocations, 1, "one arrival, one actuation");
+        let app = trace.app_at(1.0, "dnn1").unwrap();
+        assert!((app.latency_ms - 5.0).abs() < 1e-9, "{app:?}");
+        assert!(app.met);
+
+        // Slow reality: the same analytic decision measures 50 ms → the
+        // sample reports the miss the model would have hidden.
+        let mut slow = Canned {
+            allocations: 0,
+            measured_ms: 50.0,
+        };
+        let trace = sim.run_executed(&mut slow).unwrap();
+        let app = trace.app_at(1.0, "dnn1").unwrap();
+        assert!((app.latency_ms - 50.0).abs() < 1e-9, "{app:?}");
+        assert!(!app.met, "measured miss must override the analytic met");
     }
 
     #[test]

@@ -1,0 +1,171 @@
+//! Property suite for the serving executor: randomized app mixes
+//! (widths × precisions × arrival orders) must never deadlock, never
+//! drop a request silently, and every app's outputs must be
+//! independent of co-tenant load — bit-identical logits whether the app
+//! serves alone or beside N concurrent tenants.
+
+use std::time::Duration;
+
+use emlrt::dnn::{Precision, WidthLevel};
+use emlrt::nn::tensor::Tensor;
+use emlrt::prelude::*;
+use emlrt::rtm::knobs::KnobCommand;
+use emlrt::serve::testbed;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const TIMEOUT: Duration = Duration::from_secs(30);
+const SAMPLE_LEN: usize = 3 * 8 * 8;
+
+#[derive(Debug, Clone)]
+struct AppPlan {
+    name: String,
+    dnn_seed: u64,
+    level: usize,
+    int8: bool,
+    requests: usize,
+}
+
+/// Builds the app's model exactly as both the solo and concurrent runs
+/// must see it: seeded weights, optional calibrated int8 (frozen scales
+/// make chained int8 batch-composition independent), width knob.
+fn build_dnn(plan: &AppPlan) -> emlrt::dnn::DynamicDnn {
+    let mut dnn = testbed::tiny_dnn(plan.dnn_seed);
+    if plan.int8 {
+        let mut rng = StdRng::seed_from_u64(plan.dnn_seed ^ 0xCA11);
+        let cal = vec![Tensor::random(&[4, 3, 8, 8], &mut rng)];
+        dnn.set_precision(Precision::Int8);
+        dnn.calibrate(&cal).expect("calibration runs");
+    }
+    dnn
+}
+
+fn inputs_for(plan: &AppPlan) -> Vec<Vec<f32>> {
+    let mut rng = StdRng::seed_from_u64(plan.dnn_seed ^ 0x5EED);
+    (0..plan.requests)
+        .map(|_| {
+            (0..SAMPLE_LEN)
+                .map(|_| rng.gen_range(-1.0f32..1.0))
+                .collect()
+        })
+        .collect()
+}
+
+/// Runs `plans` on one executor (all apps co-tenant), with the given
+/// interleaved arrival order, and returns per-app per-request logits in
+/// submission order. Asserts the liveness/accounting invariants.
+// The round-robin interleave below is inherently index-driven (`round`
+// walks several per-app streams in lockstep).
+#[allow(clippy::needless_range_loop)]
+fn run_mix(plans: &[AppPlan], batch_cap: usize, arrival_rotation: usize) -> Vec<Vec<Vec<f32>>> {
+    let mut exec = Executor::new(ExecutorConfig {
+        batch_cap,
+        queue_capacity: 64,
+        ..Default::default()
+    });
+    for plan in plans {
+        exec.register_dnn(&plan.name, build_dnn(plan), &Requirements::new())
+            .expect("unique names");
+        // Width knob through the command surface, like an RTM would.
+        exec.apply_command(&KnobCommand::SetWidth {
+            app: plan.name.clone(),
+            level: WidthLevel(plan.level),
+        });
+        exec.pause(&plan.name).expect("registered");
+    }
+    let inputs: Vec<Vec<Vec<f32>>> = plans.iter().map(inputs_for).collect();
+
+    // Interleaved arrival: round-robin over the apps, starting from a
+    // seed-dependent rotation, each app submitting its own stream in
+    // order. Queues are paused, so every request of the mix is queued
+    // before any serving starts — the coalescing pattern is then a
+    // deterministic function of (counts, batch_cap).
+    let mut tickets: Vec<Vec<emlrt::serve::Ticket>> = plans
+        .iter()
+        .map(|p| Vec::with_capacity(p.requests))
+        .collect();
+    let max_requests = plans.iter().map(|p| p.requests).max().unwrap_or(0);
+    let submitted_total: usize = plans.iter().map(|p| p.requests).sum();
+    for round in 0..max_requests {
+        for k in 0..plans.len() {
+            let i = (k + arrival_rotation) % plans.len();
+            if round < plans[i].requests {
+                let t = exec
+                    .submit(&plans[i].name, &inputs[i][round])
+                    .expect("capacity 64 covers every mix");
+                assert_eq!(t.seq(), round as u64, "FIFO seq per app");
+                tickets[i].push(t);
+            }
+        }
+    }
+    for plan in plans {
+        exec.resume(&plan.name).expect("registered");
+    }
+
+    // Liveness: every ticket resolves (bounded wait = loud deadlock).
+    let logits: Vec<Vec<Vec<f32>>> = tickets
+        .iter()
+        .map(|app_tickets| {
+            app_tickets
+                .iter()
+                .map(|t| t.wait_timeout(TIMEOUT).expect("no lost completions").logits)
+                .collect()
+        })
+        .collect();
+    exec.drain();
+
+    // Accounting: nothing dropped, nothing rejected, FIFO preserved,
+    // queue depth bounded by capacity.
+    let mut completed_total = 0;
+    for plan in plans {
+        let s = exec.stats(&plan.name).expect("registered");
+        assert_eq!(s.completed, plan.requests as u64, "{}: {s:?}", plan.name);
+        assert_eq!(s.rejected + s.errors, 0, "{}: {s:?}", plan.name);
+        assert_eq!(s.out_of_order, 0, "{}: {s:?}", plan.name);
+        assert_eq!(s.level, plan.level, "width knob actuated: {}", plan.name);
+        assert!(s.max_queue_depth <= 64, "{}: {s:?}", plan.name);
+        completed_total += s.completed as usize;
+    }
+    assert_eq!(completed_total, submitted_total);
+    logits
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Random mixes: liveness + accounting under co-tenancy, and
+    /// per-app outputs bit-identical to the same app serving alone.
+    #[test]
+    fn random_mixes_never_drop_and_tenants_are_isolated(
+        n_apps in 1usize..=3,
+        batch_cap in 1usize..=4,
+        rotation in 0usize..3,
+        levels in proptest::collection::vec(0usize..4, 3..4),
+        int8s in proptest::collection::vec(0usize..2, 3..4),
+        counts in proptest::collection::vec(3usize..10, 3..4),
+    ) {
+        let plans: Vec<AppPlan> = (0..n_apps)
+            .map(|i| AppPlan {
+                name: format!("app{i}"),
+                dnn_seed: 100 + i as u64,
+                level: levels[i],
+                int8: int8s[i] == 1,
+                requests: counts[i],
+            })
+            .collect();
+
+        // Concurrent run: all apps co-tenant.
+        let mixed = run_mix(&plans, batch_cap, rotation);
+
+        // Solo runs: each app alone on a fresh executor, same inputs,
+        // same batching config. Logits must match bit-for-bit — f32 is
+        // deterministic and calibrated int8 has frozen scales, so no
+        // co-tenant (or batch-split) effect may leak into outputs.
+        for (i, plan) in plans.iter().enumerate() {
+            let solo = run_mix(std::slice::from_ref(plan), batch_cap, 0);
+            prop_assert_eq!(&mixed[i], &solo[0],
+                "app {} outputs depend on co-tenant load", plan.name);
+        }
+    }
+}

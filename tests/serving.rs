@@ -1,0 +1,387 @@
+//! Integration suite for the multi-tenant serving executor: admission,
+//! allocation actuation, batching exactness, queue overflow, executed
+//! scenario replay, and the end-to-end closed loop — a deadline-missing
+//! app triggers feedback-corrected re-allocation and its *measured*
+//! latency then meets the requirement at the new knob point.
+
+use std::time::Duration;
+
+use emlrt::dnn::{DynamicDnn, Precision, WidthLevel};
+use emlrt::nn::tensor::Tensor;
+use emlrt::prelude::*;
+use emlrt::serve::testbed;
+use emlrt::serve::{ExecutedReplay, Ticket};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const TIMEOUT: Duration = Duration::from_secs(30);
+
+fn dnn_spec(name: &str, dnn: &DynamicDnn, req: Requirements, priority: u8) -> AppSpec {
+    AppSpec::Dnn(DnnAppSpec {
+        name: name.into(),
+        profile: dnn.profile().clone(),
+        requirements: req,
+        priority,
+        objective: None,
+    })
+}
+
+fn random_samples(len: usize, count: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| (0..len).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+        .collect()
+}
+
+/// Median measured batch-1 forward latency (seconds) at the model's
+/// current width.
+fn measured_latency(dnn: &mut DynamicDnn, sample: &[f32], shape: &[usize], reps: usize) -> f64 {
+    let x = Tensor::from_vec(shape, sample.to_vec()).unwrap();
+    // Warm up scratch arenas and packed-panel caches.
+    for _ in 0..3 {
+        dnn.network_mut().forward(&x, false).unwrap();
+    }
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = std::time::Instant::now();
+            dnn.network_mut().forward(&x, false).unwrap();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+/// Multi-app admission: two DNNs and a rigid app allocate on the
+/// flagship SoC, the allocation actuates on the executor (width knobs,
+/// band caps, admission), and both DNNs serve real requests.
+#[test]
+fn multi_app_admission_actuates_the_allocation() {
+    let exec_cfg = emlrt::serve::ExecutorConfig::default();
+    let mut exec = Executor::new(exec_cfg);
+    let cam = testbed::tiny_dnn(11);
+    let det = testbed::tiny_dnn(22);
+    let cam_req = Requirements::new().with_max_latency(TimeSpan::from_millis(11.0));
+    let det_req = Requirements::new().with_target_fps(60.0);
+    exec.register_dnn("cam", cam, &cam_req).unwrap();
+    exec.register_dnn("det", det, &det_req).unwrap();
+    exec.register_rigid("vr").unwrap();
+
+    let soc = emlrt::platform::presets::flagship();
+    let apps = vec![
+        dnn_spec("cam", &testbed::tiny_dnn(11), cam_req, 1),
+        dnn_spec("det", &testbed::tiny_dnn(22), det_req, 2),
+        AppSpec::Rigid(RigidAppSpec {
+            name: "vr".into(),
+            preferred: vec![CoreKind::Gpu],
+            utilization: 0.9,
+            priority: 3,
+        }),
+    ];
+    let mut ctl = ServeController::new(
+        Rtm::new(RtmConfig::default()),
+        soc,
+        apps,
+        ControllerConfig::default(),
+    );
+    let alloc = ctl.allocate_and_apply(&exec).unwrap().clone();
+    assert!(alloc.rigid_app("vr").is_some(), "{alloc}");
+    assert_eq!(alloc.dnns.len(), 2, "{alloc}");
+
+    // Serve a burst on both apps; every request completes.
+    let samples = random_samples(3 * 8 * 8, 8, 5);
+    let tickets: Vec<Ticket> = samples
+        .iter()
+        .flat_map(|s| ["cam", "det"].map(|app| exec.submit(app, s).unwrap()))
+        .collect();
+    for t in &tickets {
+        t.wait_timeout(TIMEOUT).unwrap();
+    }
+    exec.drain();
+    for app in ["cam", "det"] {
+        let s = exec.stats(app).unwrap();
+        let placed = alloc.dnn(app).unwrap();
+        assert_eq!(s.completed, 8, "{app}: {s:?}");
+        assert_eq!(s.level, placed.point.op.level.index(), "{app}");
+        assert_eq!(s.band_cap, placed.point.op.cores as usize, "{app}");
+        assert!(s.admitted);
+        assert_eq!(s.out_of_order, 0);
+    }
+}
+
+/// Batching exactness on the f32 path: per-sample logits from batched
+/// executor inference are bit-identical to a twin model's batch-1
+/// forwards.
+#[test]
+fn f32_batching_preserves_per_sample_logits_bit_exactly() {
+    let mut exec = Executor::new(emlrt::serve::ExecutorConfig {
+        batch_cap: 8,
+        queue_capacity: 64,
+        ..Default::default()
+    });
+    exec.register_dnn("app", testbed::tiny_dnn(7), &Requirements::new())
+        .unwrap();
+    let mut twin = testbed::tiny_dnn(7);
+
+    let samples = random_samples(3 * 8 * 8, 32, 9);
+    exec.pause("app").unwrap();
+    let tickets: Vec<Ticket> = samples
+        .iter()
+        .map(|s| exec.submit("app", s).unwrap())
+        .collect();
+    exec.resume("app").unwrap();
+
+    for (ticket, sample) in tickets.iter().zip(&samples) {
+        let done = ticket.wait_timeout(TIMEOUT).unwrap();
+        assert!(done.batch_size > 1, "queued burst must coalesce");
+        let x = Tensor::from_vec(&[1, 3, 8, 8], sample.clone()).unwrap();
+        let solo = twin.network_mut().forward(&x, false).unwrap();
+        assert_eq!(
+            done.logits,
+            solo.data(),
+            "batched logits must be bit-identical to batch-1"
+        );
+    }
+    exec.drain();
+    let s = exec.stats("app").unwrap();
+    assert_eq!(s.completed, 32);
+    assert!(s.mean_batch() > 1.0, "{s:?}");
+}
+
+/// Batching on the calibrated *chained int8* path: per-sample logits
+/// from batched inference match batch-1 within the quantisation
+/// pipeline's analytic tolerance (with frozen scales the per-sample
+/// computation is batch-independent, so the observed difference is
+/// expected to be zero; the tolerance guards rounding-mode drift).
+#[test]
+fn chained_int8_batching_matches_batch1_within_tolerance() {
+    let mut dnn = testbed::tiny_dnn(13);
+    let mut twin = testbed::tiny_dnn(13);
+    let mut rng = StdRng::seed_from_u64(31);
+    let cal = vec![Tensor::random(&[4, 3, 8, 8], &mut rng)];
+    for d in [&mut dnn, &mut twin] {
+        d.set_precision(Precision::Int8);
+        d.calibrate(&cal).unwrap();
+        assert!(
+            d.network_mut().plan_quant_chain().engaged(),
+            "calibrated int8 model must chain"
+        );
+    }
+
+    let mut exec = Executor::new(emlrt::serve::ExecutorConfig {
+        batch_cap: 8,
+        queue_capacity: 64,
+        ..Default::default()
+    });
+    exec.register_dnn("q", dnn, &Requirements::new()).unwrap();
+
+    let samples = random_samples(3 * 8 * 8, 24, 17);
+    exec.pause("q").unwrap();
+    let tickets: Vec<Ticket> = samples
+        .iter()
+        .map(|s| exec.submit("q", s).unwrap())
+        .collect();
+    exec.resume("q").unwrap();
+
+    for (ticket, sample) in tickets.iter().zip(&samples) {
+        let done = ticket.wait_timeout(TIMEOUT).unwrap();
+        let x = Tensor::from_vec(&[1, 3, 8, 8], sample.clone()).unwrap();
+        let solo = twin.network_mut().forward(&x, false).unwrap();
+        for (a, b) in done.logits.iter().zip(solo.data()) {
+            assert!(
+                (a - b).abs() <= 1e-4 + 1e-3 * b.abs(),
+                "chained int8 batched {a} vs batch-1 {b}"
+            );
+        }
+    }
+}
+
+/// Queue overflow is a typed error, not a block and not a silent drop.
+#[test]
+fn queue_overflow_is_a_typed_error() {
+    let mut exec = Executor::new(emlrt::serve::ExecutorConfig {
+        queue_capacity: 2,
+        batch_cap: 1,
+        ..Default::default()
+    });
+    exec.register_dnn("app", testbed::tiny_dnn(3), &Requirements::new())
+        .unwrap();
+    exec.pause("app").unwrap();
+    let t1 = exec.submit("app", &vec![0.1; 3 * 8 * 8]).unwrap();
+    let t2 = exec.submit("app", &vec![0.2; 3 * 8 * 8]).unwrap();
+    match exec.submit("app", &vec![0.3; 3 * 8 * 8]) {
+        Err(ServeError::QueueFull { app, capacity }) => {
+            assert_eq!(app, "app");
+            assert_eq!(capacity, 2);
+        }
+        other => panic!("expected QueueFull, got {other:?}"),
+    }
+    exec.resume("app").unwrap();
+    t1.wait_timeout(TIMEOUT).unwrap();
+    t2.wait_timeout(TIMEOUT).unwrap();
+    let s = exec.stats("app").unwrap();
+    assert_eq!((s.completed, s.rejected), (2, 1));
+}
+
+/// **The closed loop.** On the optimistic testbed SoC the first
+/// allocation believes full width meets the deadline; real measured
+/// latency misses it. Sustained misses feed the latency-feedback
+/// correction and trigger `allocate_with_feedback`; the corrected
+/// re-decision compresses the model (width knob actuated through the
+/// executor), and the measured latency at the new knob point meets the
+/// requirement.
+#[test]
+fn deadline_misses_trigger_reallocation_until_measured_latency_meets_requirement() {
+    let mut dnn = testbed::default_dnn(1);
+    let shape = [1usize, 3, 16, 16];
+    let sample_len: usize = 3 * 16 * 16;
+    let probe = random_samples(sample_len, 1, 2).remove(0);
+
+    // Measure reality at the width extremes to pick a deadline the
+    // full-width model misses and a narrower width clearly meets.
+    let full_s = measured_latency(&mut dnn, &probe, &shape, 9);
+    dnn.set_level(WidthLevel(0)).unwrap();
+    let narrow_s = measured_latency(&mut dnn, &probe, &shape, 9);
+    dnn.set_level(WidthLevel(3)).unwrap();
+    assert!(
+        full_s > narrow_s * 1.5,
+        "width must separate in measured latency: full {full_s:.2e}s vs narrow {narrow_s:.2e}s"
+    );
+    let deadline_s = (full_s * narrow_s).sqrt();
+    let req = Requirements::new().with_max_latency(TimeSpan::from_secs(deadline_s));
+
+    let mut exec = Executor::new(emlrt::serve::ExecutorConfig {
+        batch_cap: 1, // per-request latencies, no batching noise
+        queue_capacity: 64,
+        ..Default::default()
+    });
+    let spec = dnn_spec("cam", &dnn, req.clone(), 1);
+    exec.register_dnn("cam", dnn, &req).unwrap();
+
+    let mut ctl = ServeController::new(
+        Rtm::new(RtmConfig::default()),
+        testbed::quad_core_soc(),
+        vec![spec],
+        ControllerConfig {
+            miss_window: 12,
+            miss_threshold: 0.5,
+            ..Default::default()
+        },
+    );
+
+    // 1. The optimistic model places full width.
+    let first = ctl.allocate_and_apply(&exec).unwrap();
+    let first_level = first.dnn("cam").unwrap().point.op.level.index();
+    assert_eq!(
+        first_level, 3,
+        "optimistic model must pick full width: {first}"
+    );
+
+    // 2. Drive load; epochs harvest stats and re-allocate on sustained
+    // misses. Convergence: an epoch with no re-allocation whose
+    // windowed p50 meets the deadline.
+    let mut reallocations = 0;
+    let mut converged = false;
+    for _epoch in 0..8 {
+        for _ in 0..16 {
+            exec.submit("cam", &probe)
+                .unwrap()
+                .wait_timeout(TIMEOUT)
+                .unwrap();
+        }
+        let outcome = ctl.control_epoch(&exec).unwrap();
+        if outcome.reallocated {
+            reallocations += 1;
+            continue;
+        }
+        let s = exec.stats("cam").unwrap();
+        if let Some(p50) = s.p50 {
+            if s.window_len >= 8 && p50.as_secs() <= deadline_s {
+                converged = true;
+                break;
+            }
+        }
+    }
+    assert!(
+        reallocations >= 1,
+        "sustained misses must have triggered re-allocation"
+    );
+    assert!(converged, "measured latency never met the deadline");
+
+    // 3. The new knob point is a real compression, actuated on the live
+    // model, and the corrected allocator deems it feasible.
+    let final_alloc = ctl.allocation().unwrap();
+    let placed = final_alloc.dnn("cam").unwrap();
+    assert!(
+        placed.point.op.level.index() < first_level,
+        "the app must have compressed: {final_alloc}"
+    );
+    assert!(
+        placed.violations.is_empty(),
+        "corrected model must deem the final point feasible: {final_alloc}"
+    );
+    let s = exec.stats("cam").unwrap();
+    assert_eq!(s.level, placed.point.op.level.index());
+    assert!(
+        ctl.feedback().observed_clusters() >= 1,
+        "the loop must have learned a correction"
+    );
+    // The learned correction is large: reality is far slower than the
+    // deliberately optimistic analytic model.
+    let cluster = placed.point.op.cluster;
+    assert!(
+        ctl.feedback().correction(cluster) > 1.5,
+        "correction {:.2} should reflect the optimistic model",
+        ctl.feedback().correction(cluster)
+    );
+}
+
+/// Executed-mode scenario replay: the trace's per-app latencies are
+/// measured through the live executor (microseconds for the tiny
+/// model), not the analytic milliseconds of the profile's reference
+/// workload.
+#[test]
+fn executed_replay_reports_measured_latencies() {
+    let dnn = testbed::tiny_dnn(19);
+    let req = Requirements::new().with_max_latency(TimeSpan::from_millis(11.0));
+    let spec = dnn_spec("dnn1", &dnn, req.clone(), 1);
+
+    let mut exec = Executor::new(emlrt::serve::ExecutorConfig::default());
+    exec.register_dnn("dnn1", dnn, &req).unwrap();
+
+    let soc = emlrt::platform::presets::flagship();
+    let events = vec![emlrt::sim::simulator::ScenarioEvent {
+        at_secs: 0.0,
+        action: emlrt::sim::simulator::Action::Arrive(spec),
+    }];
+    let sim = Simulator::new(
+        soc,
+        events,
+        SimConfig {
+            duration: TimeSpan::from_secs(2.0),
+            ..SimConfig::default()
+        },
+    )
+    .unwrap();
+
+    // Analytic run: the reference-workload profile predicts ms-scale.
+    let analytic = sim.run().unwrap();
+    let analytic_lat = analytic.app_at(1.0, "dnn1").unwrap().latency_ms;
+    assert!(analytic_lat > 0.5, "analytic prediction is ms-scale");
+
+    // Executed run: measured through the real kernels.
+    let probe = random_samples(3 * 8 * 8, 1, 23).remove(0);
+    let mut replay = ExecutedReplay::new(&exec).with_probe("dnn1", probe);
+    let executed = sim.run_executed(&mut replay).unwrap();
+    let measured = executed.app_at(1.0, "dnn1").unwrap();
+    assert!(
+        measured.latency_ms < analytic_lat / 2.0,
+        "measured {} ms must be the real kernels, not the analytic {} ms",
+        measured.latency_ms,
+        analytic_lat
+    );
+    assert!(measured.met, "the tiny model meets an 11 ms budget easily");
+    exec.drain();
+    let s = exec.stats("dnn1").unwrap();
+    assert!(s.completed >= 1, "the replay actually served requests");
+}

@@ -1,5 +1,7 @@
 //! Stress and failure-injection tests: randomized multi-application churn
-//! through the full simulator, asserting global invariants on every run.
+//! through the full simulator, asserting global invariants on every run —
+//! plus a sustained-load serving soak that hammers the live executor
+//! through thousands of requests and mid-stream knob switches.
 
 use emlrt::prelude::*;
 use emlrt::sim::scenario::scaled_reference_profile;
@@ -169,6 +171,134 @@ fn pathological_scenarios_fail_loud_not_weird() {
     let trace = sim.run().unwrap();
     let app = trace.app_at(1.0, "impossible").expect("still tracked");
     assert!(!app.met, "infeasible app is reported, not silently dropped");
+}
+
+/// Sustained-load serving soak: thousands of requests through the live
+/// executor while the width and precision knobs churn mid-stream.
+/// Invariants: no panic, monotone FIFO completion, bounded queue depth,
+/// and perfect accounting — every submission either completes or was
+/// rejected with a typed error; nothing is ever silently dropped.
+#[test]
+fn serving_soak_survives_knob_churn_under_sustained_load() {
+    use emlrt::dnn::{Precision, WidthLevel};
+    use emlrt::rtm::knobs::KnobCommand;
+    use emlrt::serve::{testbed, Executor, ExecutorConfig, ServeError, Ticket};
+    use std::time::Duration;
+
+    const TOTAL: usize = 2500;
+    const CAPACITY: usize = 32;
+    const TIMEOUT: Duration = Duration::from_secs(60);
+
+    let mut exec = Executor::new(ExecutorConfig {
+        queue_capacity: CAPACITY,
+        batch_cap: 8,
+        stats_window: 128,
+    });
+    exec.register_dnn(
+        "soak",
+        testbed::tiny_dnn(42),
+        &Requirements::new().with_max_latency(TimeSpan::from_millis(100.0)),
+    )
+    .unwrap();
+
+    let mut rng = StdRng::seed_from_u64(4242);
+    let sample: Vec<f32> = (0..3 * 8 * 8)
+        .map(|_| rng.gen_range(-1.0f32..1.0))
+        .collect();
+    let mut outstanding: std::collections::VecDeque<Ticket> = std::collections::VecDeque::new();
+    let mut submitted = 0u64;
+    let mut rejected = 0u64;
+    let mut completions = 0u64;
+    let mut last_seq: Option<u64> = None;
+
+    for i in 0..TOTAL {
+        // Mid-stream knob churn: width walks, precision toggles —
+        // every switch invalidates packed panels / chain plans while
+        // requests are in flight.
+        if i % 97 == 0 {
+            exec.apply_command(&KnobCommand::SetWidth {
+                app: "soak".into(),
+                level: WidthLevel(rng.gen_range(0..4)),
+            });
+        }
+        if i % 131 == 0 {
+            exec.apply_command(&KnobCommand::SetPrecision {
+                app: "soak".into(),
+                precision: if rng.gen_range(0..2) == 0 {
+                    Precision::Int8
+                } else {
+                    Precision::F32
+                },
+            });
+        }
+        match exec.submit("soak", &sample) {
+            Ok(t) => {
+                submitted += 1;
+                outstanding.push_back(t);
+            }
+            Err(ServeError::QueueFull { .. }) => {
+                // Back-pressure: reap outstanding completions until the
+                // rejected sample is admitted. Each reap blocks on the
+                // oldest ticket, i.e. on worker progress, so a bounded
+                // number of reaps must open a queue slot — if it never
+                // does, the executor has wedged and the test fails
+                // loud.
+                rejected += 1;
+                let mut admitted = false;
+                for _ in 0..CAPACITY + 1 {
+                    let t = outstanding.pop_front().expect("queue full implies work");
+                    let done = t.wait_timeout(TIMEOUT).expect("completion");
+                    assert!(last_seq.is_none_or(|s| done.seq > s), "monotone completion");
+                    last_seq = Some(done.seq);
+                    completions += 1;
+                    match exec.submit("soak", &sample) {
+                        Ok(t) => {
+                            submitted += 1;
+                            outstanding.push_back(t);
+                            admitted = true;
+                            break;
+                        }
+                        Err(ServeError::QueueFull { .. }) => rejected += 1,
+                        Err(e) => panic!("unexpected submit error: {e}"),
+                    }
+                }
+                assert!(admitted, "retry under back-pressure never admitted");
+            }
+            Err(e) => panic!("unexpected submit error: {e}"),
+        }
+        // Keep some concurrency but bound memory.
+        while outstanding.len() > CAPACITY {
+            let t = outstanding.pop_front().expect("non-empty");
+            let done = t.wait_timeout(TIMEOUT).expect("completion");
+            assert!(last_seq.is_none_or(|s| done.seq > s), "monotone completion");
+            last_seq = Some(done.seq);
+            completions += 1;
+        }
+    }
+    for t in outstanding {
+        let done = t.wait_timeout(TIMEOUT).expect("completion");
+        assert!(last_seq.is_none_or(|s| done.seq > s), "monotone completion");
+        last_seq = Some(done.seq);
+        completions += 1;
+    }
+    exec.drain();
+
+    let s = exec.stats("soak").unwrap();
+    assert_eq!(completions, submitted, "every admitted request completed");
+    assert_eq!(s.completed, submitted, "{s:?}");
+    assert_eq!(s.rejected, rejected, "{s:?}");
+    assert_eq!(s.errors, 0, "no inference failures: {s:?}");
+    assert_eq!(s.out_of_order, 0, "FIFO completion: {s:?}");
+    assert_eq!(s.knob_errors, 0, "every knob switch applied: {s:?}");
+    assert!(s.max_queue_depth <= CAPACITY, "queue depth bounded: {s:?}");
+    assert!(
+        s.batches < submitted,
+        "sustained load must have coalesced batches: {s:?}"
+    );
+    // Every iteration's request was eventually admitted (retry under
+    // back-pressure), so the typed rejections are pure flow control on
+    // top of a complete stream.
+    assert_eq!(submitted, TOTAL as u64, "perfect accounting");
 }
 
 #[test]
