@@ -170,6 +170,14 @@ impl MissTracker {
         self.recent.len() == self.window && self.miss_rate() >= self.threshold
     }
 
+    /// Whether the window is full and *every* outcome in it met its
+    /// deadline — the hysteresis gate a recovery path uses before
+    /// undoing a degradation step (a full clean window, not merely a
+    /// below-threshold rate, so knobs don't flap).
+    pub fn all_met(&self) -> bool {
+        self.recent.len() == self.window && self.misses == 0
+    }
+
     /// Clears the window (call after acting on a sustained miss, so the
     /// new operating point is judged on its own outcomes).
     pub fn reset(&mut self) {
@@ -264,6 +272,24 @@ mod tests {
     #[should_panic(expected = "miss threshold")]
     fn miss_tracker_rejects_bad_threshold() {
         let _ = MissTracker::new(4, 0.0);
+    }
+
+    #[test]
+    fn all_met_needs_a_full_clean_window() {
+        let mut t = MissTracker::new(3, 0.5);
+        t.record(true);
+        t.record(true);
+        assert!(!t.all_met(), "a part-filled window is not proof of health");
+        t.record(true);
+        assert!(t.all_met());
+        t.record(false);
+        assert!(!t.all_met(), "one miss in view blocks recovery");
+        // The miss must slide fully out of the window again.
+        t.record(true);
+        t.record(true);
+        assert!(!t.all_met());
+        t.record(true);
+        assert!(t.all_met());
     }
 
     #[test]

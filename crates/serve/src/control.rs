@@ -12,11 +12,28 @@
 //! [`crate::Executor::apply_allocation`]. One epoch is one turn of the
 //! loop; the caller picks the cadence (a timer thread in a server, an
 //! explicit call in tests).
+//!
+//! Between allocation epochs, an optional [`PressurePolicy`] acts as
+//! the *graceful-degradation ladder*: when an app shows acute pressure
+//! (queue depth near capacity, a high windowed miss rate, or fresh
+//! deadline sheds), the policy steps the paper's knobs **down** — f32 →
+//! int8 first (cheap accuracy for a large latency cut), then width one
+//! level at a time — through the executor's typed
+//! [`crate::Executor::route_command`] path. Recovery is hysteretic: a
+//! rung is undone only after a full window of consecutive calm ticks
+//! ([`eml_core::feedback::MissTracker::all_met`]), so knobs don't flap
+//! at the pressure boundary. A re-allocation overwrites the knob
+//! surface wholesale, so it clears the ladder
+//! ([`PressurePolicy::forget_ladders`]) rather than "restoring" onto a
+//! configuration that no longer exists.
 
 use std::collections::HashMap;
 
 use eml_core::feedback::{LatencyFeedback, MissTracker};
+use eml_core::knobs::KnobCommand;
 use eml_core::rtm::{Allocation, AppSpec, Rtm};
+use eml_dnn::WidthLevel;
+use eml_nn::Precision;
 use eml_platform::Soc;
 
 use crate::error::Result;
@@ -53,6 +70,233 @@ pub struct EpochOutcome {
     pub reallocated: bool,
     /// Apps whose statistics produced a feedback observation.
     pub observed: usize,
+    /// Degradation-ladder rungs stepped down this epoch (0 without an
+    /// attached [`PressurePolicy`]).
+    pub degraded: usize,
+    /// Degradation-ladder rungs restored this epoch.
+    pub restored: usize,
+}
+
+/// Tuning of the graceful-degradation ladder. See the module docs.
+#[derive(Debug, Clone, Copy)]
+pub struct PressureConfig {
+    /// Queue-depth fraction of capacity at/above which an app counts as
+    /// pressured.
+    pub queue_frac: f64,
+    /// Windowed miss rate at/above which an app counts as pressured
+    /// (gated by `min_outcomes`).
+    pub miss_rate: f64,
+    /// Minimum deadline outcomes in the sliding window before the miss
+    /// rate is trusted — and before a tick counts as *evidence of
+    /// health* on the recovery side.
+    pub min_outcomes: usize,
+    /// Consecutive calm ticks (a full, clean [`MissTracker`] window)
+    /// before one rung is restored — the hysteresis.
+    pub recover_ticks: usize,
+    /// The ladder never narrows an app below this width level.
+    pub width_floor: usize,
+}
+
+impl Default for PressureConfig {
+    fn default() -> Self {
+        Self {
+            queue_frac: 0.75,
+            miss_rate: 0.5,
+            min_outcomes: 8,
+            recover_ticks: 3,
+            width_floor: 0,
+        }
+    }
+}
+
+/// One rung the ladder stepped down, remembered for restoration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LadderStep {
+    /// Precision was stepped down; `from` is what to restore.
+    Precision {
+        /// The precision before the step (restored on recovery).
+        from: Precision,
+    },
+    /// Width was stepped down one level; `from` is what to restore.
+    Width {
+        /// The width level index before the step.
+        from: usize,
+    },
+}
+
+/// One knob movement the ladder performed during a tick.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PressureAction {
+    /// A rung was stepped down under pressure.
+    Degraded {
+        /// The pressured application.
+        app: String,
+        /// The rung (what was given up).
+        step: LadderStep,
+    },
+    /// A rung was restored after sustained calm.
+    Restored {
+        /// The recovered application.
+        app: String,
+        /// The rung (what was given back).
+        step: LadderStep,
+    },
+}
+
+/// Cumulative ladder counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PressureStats {
+    /// Rungs stepped down over the policy's lifetime.
+    pub degrade_steps: u64,
+    /// Rungs restored.
+    pub restore_steps: u64,
+}
+
+/// Per-app ladder state.
+#[derive(Debug)]
+struct AppLadder {
+    /// Rungs currently stepped down, most recent last (restored LIFO).
+    steps: Vec<LadderStep>,
+    /// Consecutive-calm-ticks tracker (threshold 1.0: only a *full
+    /// clean window* restores — see [`MissTracker::all_met`]).
+    calm: MissTracker,
+    /// `shed` counter at the last tick, for fresh-shed detection.
+    last_shed: u64,
+}
+
+/// The graceful-degradation ladder. See the module docs.
+#[derive(Debug)]
+pub struct PressurePolicy {
+    cfg: PressureConfig,
+    ladders: HashMap<String, AppLadder>,
+    stats: PressureStats,
+}
+
+impl PressurePolicy {
+    /// Creates a ladder with the given tuning.
+    pub fn new(cfg: PressureConfig) -> Self {
+        Self {
+            cfg,
+            ladders: HashMap::new(),
+            stats: PressureStats::default(),
+        }
+    }
+
+    /// Cumulative degrade/restore counters.
+    pub fn stats(&self) -> PressureStats {
+        self.stats
+    }
+
+    /// Rungs currently stepped down for `app` (0 = at its allocated
+    /// operating point).
+    pub fn depth(&self, app: &str) -> usize {
+        self.ladders.get(app).map_or(0, |l| l.steps.len())
+    }
+
+    /// Drops all ladder state *without* restoring knobs — called after
+    /// a re-allocation, which rewrote the knob surface wholesale; the
+    /// remembered rungs describe a configuration that no longer exists.
+    pub fn forget_ladders(&mut self) {
+        self.ladders.clear();
+    }
+
+    /// One pressure evaluation for one app: steps a rung down under
+    /// pressure, records calm otherwise, and restores a rung after a
+    /// full clean calm window. Returns what (if anything) moved.
+    ///
+    /// Knob movement goes through [`Executor::route_command`]; an
+    /// unknown app (not registered, or deregistered since) drops its
+    /// ladder state. Actuation is asynchronous — the serving thread
+    /// applies the command before its next batch — so ticks should run
+    /// at batch granularity or coarser.
+    pub fn tick(&mut self, exec: &Executor, app: &str) -> Option<PressureAction> {
+        let Ok(snap) = exec.stats(app) else {
+            self.ladders.remove(app);
+            return None;
+        };
+        let cfg = self.cfg;
+        let ladder = self
+            .ladders
+            .entry(app.to_string())
+            .or_insert_with(|| AppLadder {
+                steps: Vec::new(),
+                calm: MissTracker::new(cfg.recover_ticks.max(1), 1.0),
+                last_shed: snap.shed,
+            });
+        let fresh_shed = snap.shed.saturating_sub(ladder.last_shed) > 0;
+        ladder.last_shed = snap.shed;
+        let capacity = exec.config().queue_capacity;
+        let depth_pressure =
+            capacity > 0 && (snap.queue_depth as f64) >= cfg.queue_frac * capacity as f64;
+        let miss_pressure =
+            snap.window_outcomes >= cfg.min_outcomes && snap.window_miss_rate >= cfg.miss_rate;
+        if depth_pressure || miss_pressure || fresh_shed {
+            // Pressure: any recovery evidence is stale now.
+            ladder.calm.reset();
+            let (cmd, step) = if snap.precision == Precision::F32 {
+                (
+                    KnobCommand::SetPrecision {
+                        app: app.to_string(),
+                        precision: Precision::Int8,
+                    },
+                    LadderStep::Precision {
+                        from: Precision::F32,
+                    },
+                )
+            } else if snap.level > cfg.width_floor {
+                (
+                    KnobCommand::SetWidth {
+                        app: app.to_string(),
+                        level: WidthLevel(snap.level - 1),
+                    },
+                    LadderStep::Width { from: snap.level },
+                )
+            } else {
+                return None; // bottom of the ladder: nothing left to give
+            };
+            if exec.route_command(&cmd).is_err() {
+                self.ladders.remove(app);
+                return None;
+            }
+            ladder.steps.push(step);
+            self.stats.degrade_steps += 1;
+            return Some(PressureAction::Degraded {
+                app: app.to_string(),
+                step,
+            });
+        }
+        // Calm — but only count it as evidence when the app actually
+        // served enough outcomes at the current (degraded) point.
+        if snap.window_outcomes >= cfg.min_outcomes {
+            ladder.calm.record(true);
+        }
+        if ladder.calm.all_met() {
+            if let Some(step) = ladder.steps.pop() {
+                let cmd = match step {
+                    LadderStep::Precision { from } => KnobCommand::SetPrecision {
+                        app: app.to_string(),
+                        precision: from,
+                    },
+                    LadderStep::Width { from } => KnobCommand::SetWidth {
+                        app: app.to_string(),
+                        level: WidthLevel(from),
+                    },
+                };
+                if exec.route_command(&cmd).is_err() {
+                    self.ladders.remove(app);
+                    return None;
+                }
+                // The next rung needs its own full clean window.
+                ladder.calm.reset();
+                self.stats.restore_steps += 1;
+                return Some(PressureAction::Restored {
+                    app: app.to_string(),
+                    step,
+                });
+            }
+        }
+        None
+    }
 }
 
 /// The serving-side RTM driver. See the module docs.
@@ -75,6 +319,8 @@ pub struct ServeController {
     /// correction in force at decision time is divided back out here.
     raw_predictions: HashMap<String, (eml_platform::soc::ClusterId, eml_platform::units::TimeSpan)>,
     allocation: Option<Allocation>,
+    /// The graceful-degradation ladder, when attached.
+    pressure: Option<PressurePolicy>,
 }
 
 impl ServeController {
@@ -90,7 +336,22 @@ impl ServeController {
             seen: HashMap::new(),
             raw_predictions: HashMap::new(),
             allocation: None,
+            pressure: None,
         }
+    }
+
+    /// Attaches a graceful-degradation ladder: between re-allocations,
+    /// [`ServeController::control_epoch`] ticks it for every managed
+    /// DNN app.
+    #[must_use]
+    pub fn with_pressure(mut self, policy: PressurePolicy) -> Self {
+        self.pressure = Some(policy);
+        self
+    }
+
+    /// The attached degradation ladder, if any.
+    pub fn pressure(&self) -> Option<&PressurePolicy> {
+        self.pressure.as_ref()
     }
 
     /// The current allocation, once one has been made.
@@ -132,6 +393,11 @@ impl ServeController {
         }
         for t in self.trackers.values_mut() {
             t.reset();
+        }
+        // The allocation rewrote the knob surface; ladder rungs now
+        // describe operating points that no longer exist.
+        if let Some(p) = &mut self.pressure {
+            p.forget_ladders();
         }
         self.allocation = Some(alloc);
         Ok(self.allocation.as_ref().expect("just set"))
@@ -182,12 +448,226 @@ impl ServeController {
                 }
             }
         }
+        let mut degraded = 0usize;
+        let mut restored = 0usize;
         if triggered {
+            // A re-allocation is the stronger response; it also clears
+            // the ladder (see `allocate_and_apply`).
             self.allocate_and_apply(exec)?;
+        } else if let Some(mut policy) = self.pressure.take() {
+            for spec in &self.apps {
+                let AppSpec::Dnn(d) = spec else { continue };
+                match policy.tick(exec, &d.name) {
+                    Some(PressureAction::Degraded { .. }) => degraded += 1,
+                    Some(PressureAction::Restored { .. }) => restored += 1,
+                    None => {}
+                }
+            }
+            self.pressure = Some(policy);
         }
         Ok(EpochOutcome {
             reallocated: triggered,
             observed,
+            degraded,
+            restored,
         })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::ExecutorConfig;
+    use crate::testbed;
+    use eml_core::requirements::Requirements;
+    use eml_platform::units::TimeSpan;
+    use std::time::{Duration, Instant};
+
+    const TIMEOUT: Duration = Duration::from_secs(20);
+
+    fn ladder_exec(deadline_ms: f64) -> Executor {
+        let mut exec = Executor::new(ExecutorConfig {
+            queue_capacity: 8,
+            batch_cap: 4,
+            ..ExecutorConfig::default()
+        });
+        exec.register_dnn(
+            "cam",
+            testbed::tiny_dnn(1),
+            &Requirements::new().with_max_latency(TimeSpan::from_millis(deadline_ms)),
+        )
+        .unwrap();
+        exec
+    }
+
+    fn sample() -> Vec<f32> {
+        vec![0.2; 3 * 8 * 8]
+    }
+
+    /// Knob actuation is asynchronous (the serving thread applies it
+    /// before its next batch); ticks must observe the settled point.
+    fn settle(exec: &Executor, f: impl Fn(&crate::AppStatsSnapshot) -> bool) {
+        let t0 = Instant::now();
+        loop {
+            if f(&exec.stats("cam").unwrap()) {
+                return;
+            }
+            assert!(t0.elapsed() < TIMEOUT, "knob never settled");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    fn pump(exec: &Executor, n: usize) {
+        for _ in 0..n {
+            exec.submit("cam", &sample())
+                .unwrap()
+                .wait_timeout(TIMEOUT)
+                .unwrap();
+        }
+        exec.drain_app("cam").unwrap();
+    }
+
+    #[test]
+    fn ladder_degrades_under_queue_pressure_and_restores_with_hysteresis() {
+        let exec = ladder_exec(500.0); // generous: completions all meet
+        let mut policy = PressurePolicy::new(PressureConfig {
+            queue_frac: 0.5,
+            miss_rate: 0.5,
+            min_outcomes: 2,
+            recover_ticks: 2,
+            width_floor: 0,
+        });
+        let s0 = exec.stats("cam").unwrap();
+        assert_eq!((s0.level, s0.precision), (3, Precision::F32));
+
+        // 4 held requests against capacity 8 ≥ queue_frac: pressured.
+        exec.pause("cam").unwrap();
+        let held: Vec<crate::Ticket> = (0..4)
+            .map(|_| exec.submit("cam", &sample()).unwrap())
+            .collect();
+        let a1 = policy.tick(&exec, "cam");
+        assert!(
+            matches!(
+                a1,
+                Some(PressureAction::Degraded {
+                    step: LadderStep::Precision { .. },
+                    ..
+                })
+            ),
+            "rung 1 is precision: {a1:?}"
+        );
+        // Knobs apply even while paused (knob-only dispatch); wait for
+        // the settled point so the next tick sees int8.
+        settle(&exec, |s| s.precision == Precision::Int8);
+        let a2 = policy.tick(&exec, "cam");
+        assert!(
+            matches!(
+                a2,
+                Some(PressureAction::Degraded {
+                    step: LadderStep::Width { from: 3 },
+                    ..
+                })
+            ),
+            "rung 2 is width: {a2:?}"
+        );
+        settle(&exec, |s| s.level == 2);
+        assert_eq!(policy.depth("cam"), 2);
+
+        // Pressure clears; the held batch serves at the degraded point.
+        exec.resume("cam").unwrap();
+        for t in &held {
+            t.wait_timeout(TIMEOUT).unwrap();
+        }
+        exec.drain_app("cam").unwrap();
+        let s = exec.stats("cam").unwrap();
+        assert_eq!((s.level, s.precision), (2, Precision::Int8));
+        assert!(s.window_outcomes >= 2, "{s:?}");
+
+        // Hysteresis: one calm tick is not enough…
+        assert!(policy.tick(&exec, "cam").is_none());
+        // …the second restores the most recent rung (width) only.
+        let r1 = policy.tick(&exec, "cam");
+        assert!(
+            matches!(
+                r1,
+                Some(PressureAction::Restored {
+                    step: LadderStep::Width { from: 3 },
+                    ..
+                })
+            ),
+            "{r1:?}"
+        );
+        settle(&exec, |s| s.level == 3);
+        // Fresh evidence at the restored point, then two calm ticks.
+        pump(&exec, 2);
+        assert!(policy.tick(&exec, "cam").is_none());
+        let r2 = policy.tick(&exec, "cam");
+        assert!(
+            matches!(
+                r2,
+                Some(PressureAction::Restored {
+                    step: LadderStep::Precision { .. },
+                    ..
+                })
+            ),
+            "{r2:?}"
+        );
+        settle(&exec, |s| s.precision == Precision::F32);
+        assert_eq!(policy.depth("cam"), 0);
+        assert_eq!(
+            policy.stats(),
+            PressureStats {
+                degrade_steps: 2,
+                restore_steps: 2,
+            }
+        );
+        let s = exec.stats("cam").unwrap();
+        assert_eq!((s.level, s.precision), (3, Precision::F32));
+    }
+
+    #[test]
+    fn fresh_sheds_pressure_the_ladder_and_forget_drops_state() {
+        let exec = ladder_exec(10.0);
+        let mut policy = PressurePolicy::new(PressureConfig {
+            min_outcomes: 2,
+            recover_ticks: 1,
+            ..PressureConfig::default()
+        });
+        // Baseline tick first: a ladder attached to a long-running app
+        // seeds its shed watermark at attach time, so only *new* sheds
+        // count as pressure.
+        assert!(policy.tick(&exec, "cam").is_none());
+        // Trap requests past their 10 ms deadline: they shed at dequeue.
+        exec.pause("cam").unwrap();
+        let doomed: Vec<crate::Ticket> = (0..2)
+            .map(|_| exec.submit("cam", &sample()).unwrap())
+            .collect();
+        std::thread::sleep(Duration::from_millis(40));
+        exec.resume("cam").unwrap();
+        for t in &doomed {
+            assert!(t.wait_timeout(TIMEOUT).is_err());
+        }
+        exec.drain_app("cam").unwrap();
+        assert!(exec.stats("cam").unwrap().shed >= 2);
+        // The shed delta alone (queue now empty, no misses) degrades.
+        let a = policy.tick(&exec, "cam");
+        assert!(
+            matches!(a, Some(PressureAction::Degraded { .. })),
+            "fresh sheds are pressure: {a:?}"
+        );
+        assert_eq!(policy.depth("cam"), 1);
+        // A re-allocation overwrote the knobs: the ladder forgets
+        // without restoring.
+        policy.forget_ladders();
+        assert_eq!(policy.depth("cam"), 0);
+        assert_eq!(
+            policy.stats(),
+            PressureStats {
+                degrade_steps: 1,
+                restore_steps: 0,
+            }
+        );
+        // Unknown apps never panic the ladder.
+        assert!(policy.tick(&exec, "ghost").is_none());
     }
 }

@@ -54,6 +54,25 @@ pub enum ServeError {
         /// Submitted element count.
         actual: usize,
     },
+    /// The request sat in the queue past the application's deadline and
+    /// was shed at dequeue time, without burning a forward pass on it.
+    /// Shed requests are counted in
+    /// [`crate::AppStatsSnapshot::shed`], keeping the extended
+    /// accounting invariant exact.
+    DeadlineExpired {
+        /// Application name.
+        app: String,
+        /// The shed request's per-app sequence number.
+        seq: u64,
+    },
+    /// A [`crate::Ticket::wait_timeout`] expired before the request
+    /// completed. The request itself is **still in flight** — it may
+    /// yet complete (and will land in the app's statistics); only this
+    /// wait gave up.
+    WaitTimeout {
+        /// Application name.
+        app: String,
+    },
     /// The model failed during a batched forward pass; every request of
     /// the batch receives this error through its ticket.
     Inference {
@@ -78,6 +97,12 @@ impl fmt::Display for ServeError {
                 write!(f, "`{app}` is not admitted by the current allocation")
             }
             Self::AppStopped { app } => write!(f, "`{app}` serving thread has stopped"),
+            Self::DeadlineExpired { app, seq } => {
+                write!(f, "`{app}` request #{seq} shed: deadline expired in queue")
+            }
+            Self::WaitTimeout { app } => {
+                write!(f, "`{app}` wait timed out; the request is still in flight")
+            }
             Self::ShapeMismatch {
                 app,
                 expected,

@@ -18,13 +18,45 @@
 //! Requests complete through per-request tickets; queue overflow is a
 //! typed [`crate::ServeError::QueueFull`] at submission, never a block
 //! and never a silent drop. Every admitted request produces exactly one
-//! completion (success or a typed inference error) in FIFO order per
-//! app, a property the stress and property suites pin.
+//! completion (success or a typed error) in FIFO order per app, a
+//! property the stress and property suites pin.
+//!
+//! ## Fault tolerance
+//!
+//! Serving threads are *supervised*: each thread stores a heartbeat
+//! beacon before every wait and every forward pass, and a watchdog
+//! thread (one per executor, ticking every
+//! [`ExecutorConfig::watchdog_interval`]) checks all apps. A thread
+//! that died (a panic escaping the forward's containment) has its
+//! in-flight batch failed with a typed
+//! [`crate::ServeError::Inference`] error and is restarted with
+//! bounded exponential backoff
+//! ([`ExecutorConfig::restart_backoff`] .. `restart_backoff_max`,
+//! doubling per consecutive crash); restarts surface in
+//! [`AppStatsSnapshot::restarts`]. A thread that *wedged* — heartbeat
+//! stale past [`ExecutorConfig::stall_timeout`] with work in flight —
+//! has its batch confiscated and failed the same way
+//! ([`AppStatsSnapshot::stalls`]); if the forward later recovers, its
+//! results are discarded (the riders were already answered).
+//!
+//! At dequeue time, requests whose deadline already expired in the
+//! queue are **shed** with a typed
+//! [`crate::ServeError::DeadlineExpired`] instead of burning a forward
+//! pass on a doomed request — the biggest overload amplifier in a
+//! deadline-driven server. Shed counts keep the extended accounting
+//! invariant exact:
+//! `submitted + storm_injected == completed + errors + rejected + shed`.
+//!
+//! Deterministic hostile schedules come from a seeded
+//! [`crate::FaultPlan`] ([`ExecutorConfig::fault_plan`], off by
+//! default and free when absent) or one-shot
+//! [`Executor::inject_fault`] calls (the simulator's chaos hooks).
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use eml_core::knobs::{apply_app_command, commands_for, KnobCommand};
 use eml_core::requirements::Requirements;
@@ -35,10 +67,11 @@ use eml_platform::soc::ClusterId;
 use eml_platform::units::TimeSpan;
 
 use crate::error::{Result, ServeError};
+use crate::fault::{Fault, FaultKind, FaultPlan};
 use crate::stats::{AppStats, AppStatsSnapshot};
 
 /// Executor configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ExecutorConfig {
     /// Bounded per-app queue capacity; submissions beyond it are
     /// rejected with [`ServeError::QueueFull`].
@@ -47,6 +80,20 @@ pub struct ExecutorConfig {
     pub batch_cap: usize,
     /// Sliding-window length of the per-app latency statistics.
     pub stats_window: usize,
+    /// Cadence of the supervisor watchdog tick (dead/wedged-thread
+    /// detection and restart scheduling).
+    pub watchdog_interval: Duration,
+    /// An in-flight batch whose thread heartbeat is older than this is
+    /// declared wedged: the watchdog fails it with a typed error.
+    pub stall_timeout: Duration,
+    /// Base delay before restarting a dead serving thread; doubles per
+    /// consecutive crash (without an intervening completed batch).
+    pub restart_backoff: Duration,
+    /// Upper bound of the exponential restart backoff.
+    pub restart_backoff_max: Duration,
+    /// Deterministic fault schedule (`None` — the default — injects
+    /// nothing and costs nothing on the hot path).
+    pub fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ExecutorConfig {
@@ -55,8 +102,25 @@ impl Default for ExecutorConfig {
             queue_capacity: 64,
             batch_cap: 8,
             stats_window: 256,
+            watchdog_interval: Duration::from_millis(5),
+            stall_timeout: Duration::from_secs(5),
+            restart_backoff: Duration::from_millis(10),
+            restart_backoff_max: Duration::from_secs(2),
+            fault_plan: None,
         }
     }
+}
+
+/// Where [`Executor::route_command`] sent a knob command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KnobRoute {
+    /// Queued to the addressed app's serving thread; actuation result
+    /// lands in the app's stats
+    /// ([`AppStatsSnapshot::knob_rejected`] on a model refusal).
+    Queued,
+    /// A device-layer knob (DVFS, core gating, placement) the executor
+    /// does not own; untouched.
+    DeviceKnob,
 }
 
 /// One completed request.
@@ -104,28 +168,39 @@ impl Ticket {
     /// # Errors
     ///
     /// Returns the batch's [`ServeError::Inference`] error if the
-    /// forward pass failed, or [`ServeError::AppStopped`] if the
-    /// serving thread went away (shutdown or panic) before completing
-    /// this request.
+    /// forward pass failed (or the supervisor failed a dead/wedged
+    /// thread's batch), [`ServeError::DeadlineExpired`] if the request
+    /// was shed past its deadline, or [`ServeError::AppStopped`] if
+    /// the executor shut down before completing this request.
     pub fn wait(&self) -> Result<Completion> {
         self.rx.recv().map_err(|_| ServeError::AppStopped {
             app: self.app.clone(),
         })?
     }
 
-    /// [`Ticket::wait`] with an upper bound; times out to
-    /// [`ServeError::AppStopped`] so harnesses fail loud instead of
-    /// hanging on a lost completion.
+    /// [`Ticket::wait`] with an upper bound on *this wait*, not on the
+    /// request: a timeout returns a typed
+    /// [`ServeError::WaitTimeout`] and leaves the request **in
+    /// flight** — it may still complete later (landing in the app's
+    /// statistics like any other completion) and a subsequent
+    /// `wait`/`wait_timeout` on the same ticket can still receive it.
+    /// There is no lost-ticket accounting hole: timing out a wait
+    /// never removes the request from the queue or the batch.
     ///
     /// # Errors
     ///
-    /// As [`Ticket::wait`], plus the timeout case.
+    /// As [`Ticket::wait`], plus [`ServeError::WaitTimeout`] when the
+    /// bound elapses first.
     pub fn wait_timeout(&self, timeout: std::time::Duration) -> Result<Completion> {
-        self.rx
-            .recv_timeout(timeout)
-            .map_err(|_| ServeError::AppStopped {
+        match self.rx.recv_timeout(timeout) {
+            Ok(done) => done,
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(ServeError::WaitTimeout {
                 app: self.app.clone(),
-            })?
+            }),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(ServeError::AppStopped {
+                app: self.app.clone(),
+            }),
+        }
     }
 }
 
@@ -136,23 +211,42 @@ struct PendingRequest {
     tx: mpsc::Sender<Result<Completion>>,
 }
 
-/// Queue state shared between submitters, the serving thread and the
-/// control plane. Never held across an inference.
+/// Queue state shared between submitters, the serving thread, the
+/// watchdog and the control plane. Never held across an inference.
 struct QueueState {
     pending: VecDeque<PendingRequest>,
+    /// The batch currently being served. It stays *here* (not on the
+    /// serving thread's stack) so the supervisor can fail it with a
+    /// typed error when the thread dies or wedges; the serving thread
+    /// takes it back after the forward and discards its results if the
+    /// supervisor got there first.
+    inflight: Vec<PendingRequest>,
     /// Application-layer knob commands awaiting execution on the
     /// serving thread (where the model lives).
     knobs: Vec<KnobCommand>,
+    /// Runtime-armed one-shot faults ([`Executor::inject_fault`]),
+    /// consumed by the next dispatched batch.
+    armed: Vec<FaultKind>,
+    /// Fired flags of the app's [`FaultPlan`] slice (index-aligned).
+    /// Shared state, not thread-local: a plan fault must not re-fire
+    /// after a supervised restart.
+    fired: Vec<bool>,
+    /// Injected knob-actuation failures not yet consumed by a command.
+    knob_fault_budget: u32,
     next_seq: u64,
     rejected: u64,
     errors: u64,
+    shed: u64,
+    storm_injected: u64,
     max_depth: usize,
-    in_flight: usize,
     band_cap: usize,
     predicted: Option<TimeSpan>,
     cluster: Option<ClusterId>,
     admitted: bool,
     paused: bool,
+    /// Active `drain_app` calls; submissions are refused while the
+    /// queue is being drained so the drain terminates.
+    draining: u32,
     stopping: bool,
 }
 
@@ -167,17 +261,78 @@ struct AppShared {
 fn lock_state(shared: &AppShared) -> MutexGuard<'_, QueueState> {
     // Poisoning is survivable here: the state is only mutated by
     // short, panic-free critical sections; a poisoned lock means a
-    // serving thread died mid-batch, which tickets surface as
-    // `AppStopped`.
+    // serving thread died mid-batch, which the watchdog turns into
+    // typed errors and a supervised restart.
     shared.state.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
-struct DnnApp {
-    shared: Arc<AppShared>,
-    stats: Arc<Mutex<AppStats>>,
-    thread: Option<JoinHandle<()>>,
-    sample_len: usize,
+/// Restart bookkeeping, owned by the watchdog and reset by the serving
+/// thread on every completed batch.
+#[derive(Default)]
+struct Supervision {
+    /// Consecutive restarts without an intervening completed batch —
+    /// the exponent of the restart backoff.
+    streak: u32,
+    /// When the next restart may happen (set at death detection).
+    restart_at: Option<Instant>,
+}
+
+/// Everything a serving thread, the watchdog and the control plane
+/// share about one app. The model lives *here* (not on the thread's
+/// stack) so a supervised restart hands the same model to a fresh
+/// thread.
+struct AppRuntime {
+    name: String,
+    shared: AppShared,
+    stats: Mutex<AppStats>,
+    model: Mutex<DynamicDnn>,
+    thread: Mutex<Option<JoinHandle<()>>>,
+    supervision: Mutex<Supervision>,
+    /// Liveness beacon: nanoseconds since `epoch`, stored by the
+    /// serving thread before every wait and every forward.
+    heartbeat: AtomicU64,
+    epoch: Instant,
+    batch_cap: usize,
     deadline: Option<TimeSpan>,
+    queue_capacity: usize,
+    /// This app's slice of the executor's fault plan (empty ⇒ the
+    /// dispatch path never looks at faults).
+    plan: Vec<Fault>,
+}
+
+impl AppRuntime {
+    fn beat(&self) {
+        self.heartbeat
+            .store(self.epoch.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    fn heartbeat_age(&self) -> Duration {
+        let last = Duration::from_nanos(self.heartbeat.load(Ordering::Relaxed));
+        self.epoch.elapsed().saturating_sub(last)
+    }
+
+    fn lock_stats(&self) -> MutexGuard<'_, AppStats> {
+        self.stats.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn lock_model(&self) -> MutexGuard<'_, DynamicDnn> {
+        // A panic mid-forward (injected or organic) poisons this lock;
+        // recovery is safe because the model's scratch is
+        // resize-then-overwrite — no torn state survives into the next
+        // forward.
+        self.model.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn lock_supervision(&self) -> MutexGuard<'_, Supervision> {
+        self.supervision
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+struct DnnApp {
+    rt: Arc<AppRuntime>,
+    sample_len: usize,
 }
 
 enum AppEntry {
@@ -187,10 +342,29 @@ enum AppEntry {
     Rigid,
 }
 
+/// Watchdog timing knobs, copied out of [`ExecutorConfig`] at spawn.
+#[derive(Clone, Copy)]
+struct WatchdogCfg {
+    interval: Duration,
+    stall: Duration,
+    backoff: Duration,
+    backoff_max: Duration,
+}
+
+/// The supervisor's shared registry: every DNN app's runtime, plus the
+/// stop signal of the watchdog thread itself.
+struct Watchdog {
+    apps: Mutex<Vec<Arc<AppRuntime>>>,
+    stop: Mutex<bool>,
+    bell: Condvar,
+}
+
 /// The multi-tenant serving executor. See the module docs.
 pub struct Executor {
     cfg: ExecutorConfig,
     apps: HashMap<String, AppEntry>,
+    watchdog: Arc<Watchdog>,
+    watchdog_thread: Option<JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for Executor {
@@ -206,11 +380,32 @@ impl std::fmt::Debug for Executor {
 }
 
 impl Executor {
-    /// Creates an executor with the given configuration.
+    /// Creates an executor with the given configuration and starts its
+    /// supervisor watchdog.
     pub fn new(cfg: ExecutorConfig) -> Self {
+        let watchdog = Arc::new(Watchdog {
+            apps: Mutex::new(Vec::new()),
+            stop: Mutex::new(false),
+            bell: Condvar::new(),
+        });
+        let wd_cfg = WatchdogCfg {
+            interval: cfg.watchdog_interval.max(Duration::from_millis(1)),
+            stall: cfg.stall_timeout.max(Duration::from_millis(1)),
+            backoff: cfg.restart_backoff,
+            backoff_max: cfg.restart_backoff_max.max(cfg.restart_backoff),
+        };
+        let watchdog_thread = {
+            let wd = Arc::clone(&watchdog);
+            std::thread::Builder::new()
+                .name("eml-serve-watchdog".into())
+                .spawn(move || watchdog_loop(&wd, wd_cfg))
+                .expect("spawn watchdog thread")
+        };
         Self {
             cfg,
             apps: HashMap::new(),
+            watchdog,
+            watchdog_thread: Some(watchdog_thread),
         }
     }
 
@@ -227,9 +422,10 @@ impl Executor {
     }
 
     /// Registers a dynamic-DNN application and starts its serving
-    /// thread. The deadline, when `requirements` carries a latency
-    /// budget, drives per-request `deadline_met` accounting and the
-    /// micro-batcher's coalescing bound.
+    /// thread (supervised by the executor's watchdog). The deadline,
+    /// when `requirements` carries a latency budget, drives
+    /// per-request `deadline_met` accounting, the micro-batcher's
+    /// coalescing bound, and deadline-expiry shedding at dequeue.
     ///
     /// # Errors
     ///
@@ -246,50 +442,59 @@ impl Executor {
         }
         let sample_len = dnn.network().input_shape().iter().product();
         let deadline = requirements.max_latency();
-        let shared = Arc::new(AppShared {
-            state: Mutex::new(QueueState {
-                pending: VecDeque::new(),
-                knobs: Vec::new(),
-                next_seq: 0,
-                rejected: 0,
-                errors: 0,
-                max_depth: 0,
-                in_flight: 0,
-                band_cap: 0,
-                predicted: None,
-                cluster: None,
-                admitted: true,
-                paused: false,
-                stopping: false,
-            }),
-            work: Condvar::new(),
-            idle: Condvar::new(),
+        let plan = self
+            .cfg
+            .fault_plan
+            .as_ref()
+            .map(|p| p.for_app(&name))
+            .unwrap_or_default();
+        let stats = AppStats::new(self.cfg.stats_window, dnn.level().index(), dnn.precision());
+        let rt = Arc::new(AppRuntime {
+            name: name.clone(),
+            shared: AppShared {
+                state: Mutex::new(QueueState {
+                    pending: VecDeque::new(),
+                    inflight: Vec::new(),
+                    knobs: Vec::new(),
+                    armed: Vec::new(),
+                    fired: vec![false; plan.len()],
+                    knob_fault_budget: 0,
+                    next_seq: 0,
+                    rejected: 0,
+                    errors: 0,
+                    shed: 0,
+                    storm_injected: 0,
+                    max_depth: 0,
+                    band_cap: 0,
+                    predicted: None,
+                    cluster: None,
+                    admitted: true,
+                    paused: false,
+                    draining: 0,
+                    stopping: false,
+                }),
+                work: Condvar::new(),
+                idle: Condvar::new(),
+            },
+            stats: Mutex::new(stats),
+            model: Mutex::new(dnn),
+            thread: Mutex::new(None),
+            supervision: Mutex::new(Supervision::default()),
+            heartbeat: AtomicU64::new(0),
+            epoch: Instant::now(),
+            batch_cap: self.cfg.batch_cap.max(1),
+            deadline,
+            queue_capacity: self.cfg.queue_capacity,
+            plan,
         });
-        let stats = Arc::new(Mutex::new(AppStats::new(
-            self.cfg.stats_window,
-            dnn.level().index(),
-            dnn.precision(),
-        )));
-        let thread = {
-            let shared = Arc::clone(&shared);
-            let stats = Arc::clone(&stats);
-            let name = name.clone();
-            let batch_cap = self.cfg.batch_cap.max(1);
-            std::thread::Builder::new()
-                .name(format!("eml-serve-{name}"))
-                .spawn(move || serve_loop(&name, dnn, &shared, &stats, batch_cap, deadline))
-                .expect("spawn serving thread")
-        };
-        self.apps.insert(
-            name,
-            AppEntry::Dnn(Box::new(DnnApp {
-                shared,
-                stats,
-                thread: Some(thread),
-                sample_len,
-                deadline,
-            })),
-        );
+        *rt.thread.lock().unwrap_or_else(PoisonError::into_inner) = Some(spawn_serve_thread(&rt));
+        self.watchdog
+            .apps
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(Arc::clone(&rt));
+        self.apps
+            .insert(name, AppEntry::Dnn(Box::new(DnnApp { rt, sample_len })));
         Ok(())
     }
 
@@ -323,8 +528,10 @@ impl Executor {
     ///
     /// [`ServeError::QueueFull`] when the bounded queue is at capacity,
     /// [`ServeError::NotAdmitted`] when the current allocation left the
-    /// app unplaced, [`ServeError::ShapeMismatch`] /
-    /// [`ServeError::UnknownApp`] / [`ServeError::AppStopped`] as named.
+    /// app unplaced, [`ServeError::AppStopped`] after `shutdown()` or
+    /// while a [`Executor::drain_app`] is in progress,
+    /// [`ServeError::ShapeMismatch`] / [`ServeError::UnknownApp`] as
+    /// named.
     pub fn submit(&self, app: &str, sample: &[f32]) -> Result<Ticket> {
         let entry = self.dnn_app(app)?;
         if sample.len() != entry.sample_len {
@@ -334,8 +541,9 @@ impl Executor {
                 actual: sample.len(),
             });
         }
-        let mut st = lock_state(&entry.shared);
-        if st.stopping {
+        let shared = &entry.rt.shared;
+        let mut st = lock_state(shared);
+        if st.stopping || st.draining > 0 {
             return Err(ServeError::AppStopped { app: app.into() });
         }
         if !st.admitted {
@@ -360,7 +568,7 @@ impl Executor {
         });
         st.max_depth = st.max_depth.max(st.pending.len());
         drop(st);
-        entry.shared.work.notify_one();
+        shared.work.notify_one();
         Ok(Ticket {
             app: app.into(),
             seq,
@@ -390,7 +598,7 @@ impl Executor {
             if placed.is_none() && !unplaced {
                 continue;
             }
-            let mut st = lock_state(&app.shared);
+            let mut st = lock_state(&app.rt.shared);
             if let Some(d) = placed {
                 st.band_cap = d.point.op.cores as usize;
                 st.predicted = Some(d.point.latency);
@@ -409,29 +617,58 @@ impl Executor {
                 st.admitted = false;
             }
             drop(st);
-            app.shared.work.notify_one();
+            app.rt.shared.work.notify_one();
         }
     }
 
     /// Routes one knob command to the addressed application's serving
-    /// thread (the direct actuation path an RTM policy uses for knobs
-    /// the allocator does not place, e.g.
-    /// [`KnobCommand::SetPrecision`]). Returns `true` when a registered
-    /// DNN app was addressed; device knobs and unknown apps return
-    /// `false` untouched.
-    pub fn apply_command(&self, cmd: &KnobCommand) -> bool {
+    /// thread (the direct actuation path an RTM policy — or the
+    /// degradation ladder — uses for knobs the allocator does not
+    /// place, e.g. [`KnobCommand::SetPrecision`]). The typed result
+    /// distinguishes "this command is not the executor's to apply"
+    /// ([`KnobRoute::DeviceKnob`]) from "the addressed app does not
+    /// exist" ([`ServeError::UnknownApp`]); actual actuation happens
+    /// asynchronously on the serving thread, with failures counted per
+    /// cause in [`AppStatsSnapshot::knob_rejected`] /
+    /// [`AppStatsSnapshot::knob_faulted`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownApp`] when an app-layer command addresses
+    /// an unregistered (or rigid) name.
+    pub fn route_command(&self, cmd: &KnobCommand) -> Result<KnobRoute> {
         let name = match cmd {
             KnobCommand::SetWidth { app, .. } | KnobCommand::SetPrecision { app, .. } => app,
-            _ => return false,
+            _ => return Ok(KnobRoute::DeviceKnob),
         };
-        let Ok(entry) = self.dnn_app(name) else {
-            return false;
-        };
-        let mut st = lock_state(&entry.shared);
+        let entry = self.dnn_app(name)?;
+        let mut st = lock_state(&entry.rt.shared);
         st.knobs.push(cmd.clone());
         drop(st);
-        entry.shared.work.notify_one();
-        true
+        entry.rt.shared.work.notify_one();
+        Ok(KnobRoute::Queued)
+    }
+
+    /// Boolean shim over [`Executor::route_command`]: `true` iff a
+    /// registered DNN app was addressed and the command was queued.
+    pub fn apply_command(&self, cmd: &KnobCommand) -> bool {
+        matches!(self.route_command(cmd), Ok(KnobRoute::Queued))
+    }
+
+    /// Arms a one-shot fault against `app`, consumed by its next
+    /// dispatched batch (the runtime twin of a scheduled
+    /// [`FaultPlan`] entry; the simulator's chaos hooks land here).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownApp`] for unregistered or rigid names.
+    pub fn inject_fault(&self, app: &str, fault: FaultKind) -> Result<()> {
+        let entry = self.dnn_app(app)?;
+        let mut st = lock_state(&entry.rt.shared);
+        st.armed.push(fault);
+        drop(st);
+        entry.rt.shared.work.notify_one();
+        Ok(())
     }
 
     /// Pauses an app's serving thread after its current batch (queued
@@ -443,7 +680,7 @@ impl Executor {
     /// [`ServeError::UnknownApp`] for unregistered or rigid names.
     pub fn pause(&self, app: &str) -> Result<()> {
         let entry = self.dnn_app(app)?;
-        lock_state(&entry.shared).paused = true;
+        lock_state(&entry.rt.shared).paused = true;
         Ok(())
     }
 
@@ -454,8 +691,8 @@ impl Executor {
     /// [`ServeError::UnknownApp`] for unregistered or rigid names.
     pub fn resume(&self, app: &str) -> Result<()> {
         let entry = self.dnn_app(app)?;
-        lock_state(&entry.shared).paused = false;
-        entry.shared.work.notify_one();
+        lock_state(&entry.rt.shared).paused = false;
+        entry.rt.shared.work.notify_one();
         Ok(())
     }
 
@@ -465,7 +702,7 @@ impl Executor {
     ///
     /// [`ServeError::UnknownApp`] for unregistered or rigid names.
     pub fn deadline(&self, app: &str) -> Result<Option<TimeSpan>> {
-        Ok(self.dnn_app(app)?.deadline)
+        Ok(self.dnn_app(app)?.rt.deadline)
     }
 
     /// A consistent statistics snapshot for one app.
@@ -475,63 +712,93 @@ impl Executor {
     /// [`ServeError::UnknownApp`] for unregistered or rigid names.
     pub fn stats(&self, app: &str) -> Result<AppStatsSnapshot> {
         let entry = self.dnn_app(app)?;
-        let (rejected, errors, depth, max_depth, in_flight, band_cap, predicted, cluster, admitted) = {
-            let st = lock_state(&entry.shared);
-            (
-                st.rejected,
-                st.errors,
-                st.pending.len(),
-                st.max_depth,
-                st.in_flight,
-                st.band_cap,
-                st.predicted,
-                st.cluster,
-                st.admitted,
-            )
+        // Lock order everywhere: queue state before stats (the serve
+        // loop's completion path nests them in that order).
+        struct QueueView {
+            rejected: u64,
+            errors: u64,
+            shed: u64,
+            storm_injected: u64,
+            depth: usize,
+            max_depth: usize,
+            in_flight: usize,
+            band_cap: usize,
+            predicted: Option<TimeSpan>,
+            cluster: Option<ClusterId>,
+            admitted: bool,
+        }
+        let q = {
+            let st = lock_state(&entry.rt.shared);
+            QueueView {
+                rejected: st.rejected,
+                errors: st.errors,
+                shed: st.shed,
+                storm_injected: st.storm_injected,
+                depth: st.pending.len(),
+                max_depth: st.max_depth,
+                in_flight: st.inflight.len(),
+                band_cap: st.band_cap,
+                predicted: st.predicted,
+                cluster: st.cluster,
+                admitted: st.admitted,
+            }
         };
-        let stats = entry.stats.lock().unwrap_or_else(PoisonError::into_inner);
+        let stats = entry.rt.lock_stats();
         let win = stats.snapshot();
         Ok(AppStatsSnapshot {
             completed: stats.completed,
-            rejected,
-            errors,
+            rejected: q.rejected,
+            errors: q.errors,
+            shed: q.shed,
+            storm_injected: q.storm_injected,
             missed: stats.missed,
-            queue_depth: depth,
-            max_queue_depth: max_depth,
-            in_flight,
+            queue_depth: q.depth,
+            max_queue_depth: q.max_depth,
+            in_flight: q.in_flight,
             batches: stats.batches,
             batched_samples: stats.batched_samples,
             p50: win.p50,
             p99: win.p99,
             window_len: win.window_len,
+            window_outcomes: win.window_outcomes,
+            window_miss_rate: win.window_miss_rate,
             knob_errors: stats.knob_errors,
+            knob_rejected: stats.knob_rejected,
+            knob_faulted: stats.knob_faulted,
             last_knob_error: stats.last_knob_error.clone(),
             out_of_order: stats.out_of_order,
+            restarts: stats.restarts,
+            stalls: stats.stalls,
             level: stats.level,
             precision: stats.precision,
-            predicted,
-            cluster,
-            band_cap,
-            admitted,
+            predicted: q.predicted,
+            cluster: q.cluster,
+            band_cap: q.band_cap,
+            admitted: q.admitted,
         })
     }
 
     /// Blocks until `app`'s queue is empty and nothing is in flight.
-    /// A paused app with queued work never drains — resume it first.
+    /// Submissions arriving *during* the drain are refused with a typed
+    /// [`ServeError::AppStopped`] so the drain terminates. A paused app
+    /// with queued work never drains — resume it first.
     ///
     /// # Errors
     ///
     /// [`ServeError::UnknownApp`] for unregistered or rigid names.
     pub fn drain_app(&self, app: &str) -> Result<()> {
         let entry = self.dnn_app(app)?;
-        let mut st = lock_state(&entry.shared);
-        while !(st.pending.is_empty() && st.in_flight == 0) {
+        let mut st = lock_state(&entry.rt.shared);
+        st.draining += 1;
+        while !(st.pending.is_empty() && st.inflight.is_empty()) {
             st = entry
+                .rt
                 .shared
                 .idle
                 .wait(st)
                 .unwrap_or_else(PoisonError::into_inner);
         }
+        st.draining -= 1;
         Ok(())
     }
 
@@ -544,22 +811,53 @@ impl Executor {
         }
     }
 
-    /// Stops every serving thread after it drains its queue, and joins
-    /// them. Called by `Drop`; explicit calls make shutdown ordering
-    /// visible in tests.
+    /// Stops the watchdog and every serving thread (each after
+    /// draining its queue), and joins them all. Requests stranded by a
+    /// dead thread (no supervisor left to restart it) are failed with
+    /// a typed [`ServeError::AppStopped`]. Called by `Drop`; explicit
+    /// calls make shutdown ordering visible in tests.
     pub fn shutdown(&mut self) {
+        // Watchdog first: no restarts may race the thread joins below.
+        *self
+            .watchdog
+            .stop
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = true;
+        self.watchdog.bell.notify_all();
+        if let Some(t) = self.watchdog_thread.take() {
+            let _ = t.join();
+        }
         for entry in self.apps.values() {
             if let AppEntry::Dnn(app) = entry {
-                lock_state(&app.shared).stopping = true;
-                app.shared.work.notify_one();
+                lock_state(&app.rt.shared).stopping = true;
+                app.rt.shared.work.notify_one();
             }
         }
-        for entry in self.apps.values_mut() {
-            if let AppEntry::Dnn(app) = entry {
-                if let Some(t) = app.thread.take() {
-                    let _ = t.join();
-                }
+        for entry in self.apps.values() {
+            let AppEntry::Dnn(app) = entry else { continue };
+            let handle = app
+                .rt
+                .thread
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .take();
+            if let Some(t) = handle {
+                let _ = t.join();
             }
+            // A live thread drained the queue before exiting; anything
+            // left belonged to a dead thread. Fail it loud and keep the
+            // accounting exact.
+            let mut st = lock_state(&app.rt.shared);
+            let mut stranded: Vec<PendingRequest> = st.inflight.drain(..).collect();
+            stranded.extend(st.pending.drain(..));
+            st.errors += stranded.len() as u64;
+            drop(st);
+            for req in stranded {
+                let _ = req.tx.send(Err(ServeError::AppStopped {
+                    app: app.rt.name.clone(),
+                }));
+            }
+            app.rt.shared.idle.notify_all();
         }
     }
 }
@@ -570,11 +868,150 @@ impl Drop for Executor {
     }
 }
 
+fn spawn_serve_thread(rt: &Arc<AppRuntime>) -> JoinHandle<()> {
+    let rt = Arc::clone(rt);
+    rt.beat(); // fresh beacon: a just-spawned thread is never "stale"
+    std::thread::Builder::new()
+        .name(format!("eml-serve-{}", rt.name))
+        .spawn(move || serve_loop(&rt))
+        .expect("spawn serving thread")
+}
+
+/// The supervisor tick loop: scan every app for dead or wedged serving
+/// threads until told to stop.
+fn watchdog_loop(wd: &Watchdog, cfg: WatchdogCfg) {
+    loop {
+        {
+            let stop = wd.stop.lock().unwrap_or_else(PoisonError::into_inner);
+            if *stop {
+                return;
+            }
+            let (stop, _timed_out) = wd
+                .bell
+                .wait_timeout(stop, cfg.interval)
+                .unwrap_or_else(PoisonError::into_inner);
+            if *stop {
+                return;
+            }
+        }
+        let apps: Vec<Arc<AppRuntime>> = wd
+            .apps
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        for rt in &apps {
+            supervise(rt, &cfg);
+        }
+    }
+}
+
+/// One supervision pass over one app: join+restart a dead thread,
+/// confiscate a wedged thread's batch, or respawn after backoff.
+fn supervise(rt: &Arc<AppRuntime>, cfg: &WatchdogCfg) {
+    if lock_state(&rt.shared).stopping {
+        return; // shutdown owns the threads now
+    }
+    let mut th = rt.thread.lock().unwrap_or_else(PoisonError::into_inner);
+    match th.as_ref() {
+        Some(handle) if handle.is_finished() => {
+            // The thread died (a panic escaped the forward's
+            // containment). Collect it, fail its in-flight batch with
+            // a typed error, and schedule a bounded-backoff restart.
+            let _ = th.take().expect("checked some").join();
+            drop(th);
+            fail_inflight(
+                rt,
+                "serving thread died mid-batch; supervised restart pending",
+            );
+            let mut sup = rt.lock_supervision();
+            let delay = cfg
+                .backoff
+                .saturating_mul(2u32.saturating_pow(sup.streak.min(16)))
+                .min(cfg.backoff_max);
+            sup.restart_at = Some(Instant::now() + delay);
+            sup.streak = sup.streak.saturating_add(1);
+        }
+        None => {
+            // Dead and waiting out the backoff: respawn when due.
+            let due = {
+                let mut sup = rt.lock_supervision();
+                if sup.restart_at.is_some_and(|at| Instant::now() >= at) {
+                    sup.restart_at = None;
+                    true
+                } else {
+                    false
+                }
+            };
+            if due {
+                *th = Some(spawn_serve_thread(rt));
+                drop(th);
+                rt.lock_stats().restarts += 1;
+                rt.shared.work.notify_one();
+            }
+        }
+        Some(_) => {
+            drop(th);
+            // Alive but possibly wedged: work in flight with a stale
+            // heartbeat means the forward has been stuck past the
+            // stall budget. Confiscate the batch; if the forward later
+            // recovers, the thread finds the in-flight set empty and
+            // discards its results.
+            if rt.heartbeat_age() > cfg.stall {
+                let confiscated = {
+                    let st = lock_state(&rt.shared);
+                    !st.inflight.is_empty()
+                };
+                if confiscated {
+                    fail_inflight(rt, "forward pass stalled past the stall timeout");
+                    rt.lock_stats().stalls += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Fails the app's in-flight batch with a typed inference error (the
+/// supervisor's path for dead and wedged threads).
+fn fail_inflight(rt: &AppRuntime, reason: &str) {
+    let batch = {
+        let mut st = lock_state(&rt.shared);
+        let batch = std::mem::take(&mut st.inflight);
+        st.errors += batch.len() as u64;
+        batch
+    };
+    for req in batch {
+        let _ = req.tx.send(Err(ServeError::Inference {
+            app: rt.name.clone(),
+            reason: reason.into(),
+        }));
+    }
+    let st = lock_state(&rt.shared);
+    if st.pending.is_empty() && st.inflight.is_empty() {
+        rt.shared.idle.notify_all();
+    }
+}
+
 /// Applies queued knob commands on the serving thread (where the model
 /// lives) via the core knob executor, recording the resulting
-/// level/precision — and any failure — in the app's stats.
-fn apply_knobs(name: &str, dnn: &mut DynamicDnn, knobs: &[KnobCommand], stats: &Mutex<AppStats>) {
+/// level/precision — and any failure, counted per cause — in the app's
+/// stats. `faulted` is the number of leading commands an injected
+/// actuation fault drops.
+fn apply_knobs(
+    name: &str,
+    dnn: &mut DynamicDnn,
+    knobs: &[KnobCommand],
+    stats: &Mutex<AppStats>,
+    mut faulted: u32,
+) {
     for cmd in knobs {
+        if faulted > 0 {
+            faulted -= 1;
+            let mut s = stats.lock().unwrap_or_else(PoisonError::into_inner);
+            s.knob_errors += 1;
+            s.knob_faulted += 1;
+            s.last_knob_error = Some("injected knob-actuation fault".into());
+            continue;
+        }
         let applied = apply_app_command(cmd, name, dnn);
         let mut s = stats.lock().unwrap_or_else(PoisonError::into_inner);
         match applied {
@@ -590,85 +1027,234 @@ fn apply_knobs(name: &str, dnn: &mut DynamicDnn, knobs: &[KnobCommand], stats: &
             }
             Err(e) => {
                 s.knob_errors += 1;
+                s.knob_rejected += 1;
                 s.last_knob_error = Some(e.to_string());
             }
         }
     }
 }
 
+/// Sheds the expired prefix of the queue: FIFO order means the oldest
+/// request is at the front, so once the front is within deadline the
+/// whole remainder is too. Each shed request completes immediately
+/// with a typed error — no forward pass is spent on it.
+fn shed_expired(st: &mut QueueState, deadline: TimeSpan, app: &str) {
+    while let Some(front) = st.pending.front() {
+        if front.submitted.elapsed().as_secs_f64() <= deadline.as_secs() {
+            break;
+        }
+        let req = st.pending.pop_front().expect("front checked");
+        st.shed += 1;
+        let _ = req.tx.send(Err(ServeError::DeadlineExpired {
+            app: app.into(),
+            seq: req.seq,
+        }));
+    }
+}
+
+/// Enqueues `n` synthetic copies of the queue's front sample (the
+/// triggering batch's first request) behind it, stopping at capacity.
+/// Synthetic requests have no ticket; their completions land in the
+/// stats like any other request.
+fn inject_storm(st: &mut QueueState, n: usize, capacity: usize) {
+    let Some(template) = st.pending.front().map(|r| r.input.clone()) else {
+        return;
+    };
+    for _ in 0..n {
+        if st.pending.len() >= capacity {
+            break;
+        }
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        let (tx, _rx) = mpsc::channel();
+        st.pending.push_back(PendingRequest {
+            seq,
+            input: template.clone(),
+            submitted: Instant::now(),
+            tx,
+        });
+        st.storm_injected += 1;
+    }
+    st.max_depth = st.max_depth.max(st.pending.len());
+}
+
+/// One unit of serving work handed from the locked dispatch section to
+/// the (unlocked) execution section of the serve loop. The batch
+/// itself stays in `QueueState::inflight`; only the flattened input
+/// data travels.
+struct Dispatch {
+    k: usize,
+    data: Vec<f32>,
+    band_cap: usize,
+    knobs: Vec<KnobCommand>,
+    knob_faults: u32,
+    delay: Duration,
+    panic_forward: bool,
+    crash: bool,
+}
+
+/// The locked half of one serve-loop iteration: wait for work, shed
+/// expired requests, evaluate fault triggers, and move a batch into
+/// the in-flight slot. Returns `None` when the thread should exit.
+fn next_dispatch(
+    rt: &AppRuntime,
+    per_sample_ewma: Option<f64>,
+    sample_len: usize,
+) -> Option<Dispatch> {
+    let mut st = lock_state(&rt.shared);
+    loop {
+        let pausing = st.paused && !st.stopping;
+        let has_work = !st.knobs.is_empty() || (!pausing && !st.pending.is_empty()) || st.stopping;
+        if has_work {
+            break;
+        }
+        st = rt
+            .shared
+            .work
+            .wait(st)
+            .unwrap_or_else(PoisonError::into_inner);
+    }
+    let pausing = st.paused && !st.stopping;
+    if !pausing {
+        if let Some(d) = rt.deadline {
+            shed_expired(&mut st, d, &rt.name);
+            if st.pending.is_empty() && st.inflight.is_empty() {
+                rt.shared.idle.notify_all();
+            }
+        }
+    }
+    let knobs: Vec<KnobCommand> = st.knobs.drain(..).collect();
+    if st.stopping && st.pending.is_empty() {
+        drop(st);
+        rt.shared.idle.notify_all();
+        return None;
+    }
+    if pausing || st.pending.is_empty() {
+        // Knob-only wakeup (or everything shed): no batch dispatched.
+        let knob_faults = st.knob_fault_budget.min(knobs.len() as u32);
+        st.knob_fault_budget -= knob_faults;
+        return Some(Dispatch {
+            k: 0,
+            data: Vec::new(),
+            band_cap: 0,
+            knobs,
+            knob_faults,
+            delay: Duration::ZERO,
+            panic_forward: false,
+            crash: false,
+        });
+    }
+    // Deadline-aware coalescing: take up to `batch_cap` requests, but
+    // no more than the oldest request's remaining budget is estimated
+    // to cover — batching amortises per-pass overhead only while it
+    // does not itself cause the miss.
+    let mut k = st.pending.len().min(rt.batch_cap);
+    if let (Some(d), Some(s)) = (rt.deadline, per_sample_ewma) {
+        let oldest = st
+            .pending
+            .front()
+            .expect("pending checked non-empty")
+            .submitted
+            .elapsed()
+            .as_secs_f64();
+        while k > 1 && oldest + s * k as f64 > d.as_secs() {
+            k -= 1;
+        }
+    }
+    // Fault triggers for this batch: scheduled plan entries whose
+    // sequence threshold the batch reaches (each fires once, flag kept
+    // in shared state so restarts do not re-fire), plus any
+    // runtime-armed one-shots.
+    let mut triggered: Vec<FaultKind> = Vec::new();
+    if !rt.plan.is_empty() {
+        let max_seq = st.pending[k - 1].seq;
+        for (i, f) in rt.plan.iter().enumerate() {
+            if !st.fired[i] && f.at_seq <= max_seq {
+                st.fired[i] = true;
+                triggered.push(f.kind.clone());
+            }
+        }
+    }
+    triggered.append(&mut st.armed);
+    let mut delay = Duration::ZERO;
+    let mut panic_forward = false;
+    let mut crash = false;
+    for kind in triggered {
+        match kind {
+            FaultKind::PanicForward => panic_forward = true,
+            FaultKind::CrashThread => crash = true,
+            FaultKind::LatencySpike(t) => {
+                delay += Duration::from_secs_f64(t.as_secs().max(0.0));
+            }
+            FaultKind::KnobFailure => st.knob_fault_budget += 1,
+            FaultKind::QueueStorm(n) => inject_storm(&mut st, n, rt.queue_capacity),
+        }
+    }
+    let knob_faults = st.knob_fault_budget.min(knobs.len() as u32);
+    st.knob_fault_budget -= knob_faults;
+    // Move the batch into the supervised in-flight slot, copying its
+    // inputs into one contiguous buffer for the batched forward.
+    let batch: Vec<PendingRequest> = st.pending.drain(..k).collect();
+    let mut data = Vec::with_capacity(k * sample_len);
+    for r in &batch {
+        data.extend_from_slice(&r.input);
+    }
+    st.inflight = batch;
+    Some(Dispatch {
+        k,
+        data,
+        band_cap: st.band_cap,
+        knobs,
+        knob_faults,
+        delay,
+        panic_forward,
+        crash,
+    })
+}
+
+/// Burns CPU for `d` — an injected interference spike. A sleep would
+/// free the core and understate the interference; the spin models a
+/// co-tenant actually occupying it.
+fn spin_for(d: Duration) {
+    let t0 = Instant::now();
+    while t0.elapsed() < d {
+        std::hint::spin_loop();
+    }
+}
+
 /// The per-app serving loop. See the module docs for the lifecycle.
-fn serve_loop(
-    name: &str,
-    mut dnn: DynamicDnn,
-    shared: &AppShared,
-    stats: &Mutex<AppStats>,
-    batch_cap: usize,
-    deadline: Option<TimeSpan>,
-) {
-    let sample_shape = dnn.network().input_shape().to_vec();
+fn serve_loop(rt: &AppRuntime) {
+    let sample_shape = rt.lock_model().network().input_shape().to_vec();
     let sample_len: usize = sample_shape.iter().product();
     // EWMA of per-sample service time (seconds), for deadline-aware
-    // batch sizing. Seeded by the first batch.
+    // batch sizing. Seeded by the first batch; injected spike delays
+    // are excluded so coalescing stays deterministic across a fault.
     let mut per_sample_ewma: Option<f64> = None;
     loop {
-        let (batch, band_cap, knobs) = {
-            let mut st = lock_state(shared);
-            loop {
-                let pausing = st.paused && !st.stopping;
-                let has_work =
-                    !st.knobs.is_empty() || (!pausing && !st.pending.is_empty()) || st.stopping;
-                if has_work {
-                    break;
-                }
-                st = shared.work.wait(st).unwrap_or_else(PoisonError::into_inner);
-            }
-            let knobs: Vec<KnobCommand> = st.knobs.drain(..).collect();
-            if st.stopping && st.pending.is_empty() {
-                drop(st);
-                shared.idle.notify_all();
-                return;
-            }
-            if (st.paused && !st.stopping) || st.pending.is_empty() {
-                (Vec::new(), 0, knobs)
-            } else {
-                // Deadline-aware coalescing: take up to `batch_cap`
-                // requests, but no more than the oldest request's
-                // remaining budget is estimated to cover — batching
-                // amortises per-pass overhead only while it does not
-                // itself cause the miss.
-                let mut k = st.pending.len().min(batch_cap);
-                if let (Some(d), Some(s)) = (deadline, per_sample_ewma) {
-                    let oldest = st
-                        .pending
-                        .front()
-                        .expect("pending checked non-empty")
-                        .submitted
-                        .elapsed()
-                        .as_secs_f64();
-                    while k > 1 && oldest + s * k as f64 > d.as_secs() {
-                        k -= 1;
-                    }
-                }
-                st.in_flight += k;
-                let batch: Vec<PendingRequest> = st.pending.drain(..k).collect();
-                (batch, st.band_cap, knobs)
-            }
+        rt.beat();
+        let Some(d) = next_dispatch(rt, per_sample_ewma, sample_len) else {
+            return;
         };
-        if !knobs.is_empty() {
-            apply_knobs(name, &mut dnn, &knobs, stats);
+        if !d.knobs.is_empty() {
+            let mut model = rt.lock_model();
+            apply_knobs(&rt.name, &mut model, &d.knobs, &rt.stats, d.knob_faults);
         }
-        if batch.is_empty() {
+        if d.k == 0 {
             continue;
         }
+        if d.crash {
+            // Deliberately *outside* the forward's containment: this
+            // kills the serving thread mid-batch, which is exactly the
+            // failure the watchdog supervises.
+            panic!("injected fault: serving thread crash (`{}`)", rt.name);
+        }
 
-        let k = batch.len();
+        let k = d.k;
         let mut shape = Vec::with_capacity(1 + sample_shape.len());
         shape.push(k);
         shape.extend_from_slice(&sample_shape);
-        let mut data = Vec::with_capacity(k * sample_len);
-        for r in &batch {
-            data.extend_from_slice(&r.input);
-        }
+        let data = d.data;
+        rt.beat();
         let t0 = Instant::now();
         // A panicking model (poisoned weights, a debug assertion in a
         // kernel) must not wedge the tenant: contain the unwind, turn
@@ -676,9 +1262,15 @@ fn serve_loop(
         // The model's internal scratch is resize-then-overwrite, so a
         // mid-forward unwind leaves no state a later forward reads.
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if !d.delay.is_zero() {
+                spin_for(d.delay);
+            }
+            if d.panic_forward {
+                panic!("injected fault: forward panic");
+            }
             Tensor::from_vec(&shape, data).and_then(|input| {
-                eml_nn::workers::with_band_cap(band_cap, || {
-                    dnn.network_mut().forward(&input, false)
+                eml_nn::workers::with_band_cap(d.band_cap, || {
+                    rt.lock_model().network_mut().forward(&input, false)
                 })
             })
         }))
@@ -692,47 +1284,74 @@ fn serve_loop(
                 reason: format!("forward pass panicked: {reason}"),
             })
         });
+        rt.beat();
         let service = t0.elapsed();
         let service_span = TimeSpan::from_secs(service.as_secs_f64());
+
+        // Take the batch back from the supervised slot and settle its
+        // accounting inside the same critical section. To a concurrent
+        // observer (`drain_app` watching for idle, `stats()` reading a
+        // snapshot) every request is either still in flight or already
+        // counted — there is no instant where the queue looks empty
+        // while the batch's outcomes are still unrecorded. An empty
+        // slot means the watchdog declared this pass wedged and
+        // already answered the riders — discard the (stale) results
+        // and keep serving.
+        let mut st = lock_state(&rt.shared);
+        let batch = std::mem::take(&mut st.inflight);
+        if batch.is_empty() {
+            drop(st);
+            continue;
+        }
+        let k = batch.len();
 
         match result {
             Ok(logits) => {
                 let classes = logits.shape()[1];
                 let rows = logits.data();
+                // `st` (queue) then `stats` is the crate's lock order.
+                let mut sends = Vec::with_capacity(k);
                 {
-                    let mut s = stats.lock().unwrap_or_else(PoisonError::into_inner);
+                    let mut s = rt.lock_stats();
                     s.batches += 1;
                     s.batched_samples += k as u64;
+                    for (i, req) in batch.into_iter().enumerate() {
+                        let row = rows[i * classes..(i + 1) * classes].to_vec();
+                        // Total order: a NaN logit (a client-submitted
+                        // NaN sample propagates on the f32 path) must
+                        // yield *a* prediction, not a panic — the NaN
+                        // is visible to the caller in the logits row.
+                        let pred = row
+                            .iter()
+                            .enumerate()
+                            .max_by(|a, b| a.1.total_cmp(b.1))
+                            .map(|(c, _)| c)
+                            .expect("non-empty logits row");
+                        let latency_s = req.submitted.elapsed().as_secs_f64();
+                        let met = rt.deadline.map(|dl| latency_s <= dl.as_secs());
+                        s.record(req.seq, latency_s, met);
+                        sends.push((
+                            req.tx,
+                            Completion {
+                                seq: req.seq,
+                                logits: row,
+                                pred,
+                                latency: TimeSpan::from_secs(latency_s),
+                                service: service_span,
+                                batch_size: k,
+                                deadline_met: met,
+                            },
+                        ));
+                    }
                 }
-                for (i, req) in batch.into_iter().enumerate() {
-                    let row = rows[i * classes..(i + 1) * classes].to_vec();
-                    // Total order: a NaN logit (a client-submitted NaN
-                    // sample propagates on the f32 path) must yield
-                    // *a* prediction, not a panic — the NaN is visible
-                    // to the caller in the logits row.
-                    let pred = row
-                        .iter()
-                        .enumerate()
-                        .max_by(|a, b| a.1.total_cmp(b.1))
-                        .map(|(c, _)| c)
-                        .expect("non-empty logits row");
-                    let latency_s = req.submitted.elapsed().as_secs_f64();
-                    let met = deadline.map(|d| latency_s <= d.as_secs());
-                    stats
-                        .lock()
-                        .unwrap_or_else(PoisonError::into_inner)
-                        .record(req.seq, latency_s, met);
-                    let _ = req.tx.send(Ok(Completion {
-                        seq: req.seq,
-                        logits: row,
-                        pred,
-                        latency: TimeSpan::from_secs(latency_s),
-                        service: service_span,
-                        batch_size: k,
-                        deadline_met: met,
-                    }));
+                drop(st);
+                for (tx, completion) in sends {
+                    let _ = tx.send(Ok(completion));
                 }
-                let per_sample = service.as_secs_f64() / k as f64;
+                // The operating point's cost, not the fault's: exclude
+                // injected spike time from the coalescing estimate.
+                let modelled = service.saturating_sub(d.delay);
+                let per_sample = modelled.as_secs_f64() / k as f64;
                 per_sample_ewma = Some(match per_sample_ewma {
                     None => per_sample,
                     Some(prev) => 0.7 * prev + 0.3 * per_sample,
@@ -740,22 +1359,25 @@ fn serve_loop(
             }
             Err(e) => {
                 // Loud failure: every rider gets the typed error, and
-                // the error counter keeps `submitted = completed +
-                // errors + rejected` balanced.
-                lock_state(shared).errors += k as u64;
+                // the error counter keeps the extended accounting
+                // invariant balanced.
+                st.errors += k as u64;
+                drop(st);
                 for req in batch {
                     let _ = req.tx.send(Err(ServeError::Inference {
-                        app: name.to_string(),
+                        app: rt.name.clone(),
                         reason: e.to_string(),
                     }));
                 }
             }
         }
+        // A completed pass (even a typed failure) proves the thread
+        // healthy: reset the restart-backoff streak.
+        rt.lock_supervision().streak = 0;
 
-        let mut st = lock_state(shared);
-        st.in_flight -= k;
-        if st.pending.is_empty() && st.in_flight == 0 {
-            shared.idle.notify_all();
+        let st = lock_state(&rt.shared);
+        if st.pending.is_empty() && st.inflight.is_empty() {
+            rt.shared.idle.notify_all();
         }
     }
 }
@@ -784,6 +1406,16 @@ mod tests {
         vec![v; 3 * 8 * 8]
     }
 
+    /// The extended accounting invariant, asserted from a snapshot and
+    /// the caller-side submit-attempt count.
+    fn assert_accounting(s: &AppStatsSnapshot, attempts: u64) {
+        assert_eq!(
+            attempts + s.storm_injected,
+            s.completed + s.errors + s.rejected + s.shed,
+            "extended accounting: {s:?}"
+        );
+    }
+
     #[test]
     fn submit_completes_with_logits_and_stats() {
         let exec = tiny_executor(ExecutorConfig::default());
@@ -795,9 +1427,11 @@ mod tests {
         exec.drain();
         let s = exec.stats("cam").unwrap();
         assert_eq!(s.completed, 1);
-        assert_eq!(s.rejected + s.errors + s.out_of_order, 0);
+        assert_eq!(s.rejected + s.errors + s.shed + s.out_of_order, 0);
         assert_eq!(s.window_len, 1);
         assert!(s.admitted);
+        assert_eq!(s.restarts + s.stalls, 0);
+        assert_accounting(&s, 1);
     }
 
     #[test]
@@ -849,6 +1483,7 @@ mod tests {
         assert!(s.max_queue_depth <= exec.config().queue_capacity);
         // The resumed worker coalesced: fewer batches than requests.
         assert!(s.batches <= 2, "batch cap 2 over 3 queued: {s:?}");
+        assert_accounting(&s, 4);
     }
 
     #[test]
@@ -881,7 +1516,8 @@ mod tests {
         assert_eq!(s.level, 1);
         assert_eq!(s.precision, Precision::Int8);
         assert_eq!(s.knob_errors, 0);
-        // An out-of-range width fails loud in the stats, not silently.
+        // An out-of-range width fails loud in the stats, not silently —
+        // and counts as a model *rejection*, not an injected fault.
         exec.apply_command(&KnobCommand::SetWidth {
             app: "cam".into(),
             level: WidthLevel(9),
@@ -893,8 +1529,35 @@ mod tests {
         exec.drain();
         let s = exec.stats("cam").unwrap();
         assert_eq!(s.knob_errors, 1);
+        assert_eq!((s.knob_rejected, s.knob_faulted), (1, 0));
         assert!(s.last_knob_error.is_some());
         assert_eq!(s.level, 1, "failed switch leaves the level alone");
+    }
+
+    #[test]
+    fn route_command_distinguishes_unknown_app_from_device_knob() {
+        let exec = tiny_executor(ExecutorConfig::default());
+        assert_eq!(
+            exec.route_command(&KnobCommand::SetWidth {
+                app: "cam".into(),
+                level: WidthLevel(2),
+            }),
+            Ok(KnobRoute::Queued)
+        );
+        assert_eq!(
+            exec.route_command(&KnobCommand::SetOpp {
+                cluster: ClusterId::from_index(0),
+                opp_index: 0,
+            }),
+            Ok(KnobRoute::DeviceKnob)
+        );
+        assert!(matches!(
+            exec.route_command(&KnobCommand::SetWidth {
+                app: "ghost".into(),
+                level: WidthLevel(0),
+            }),
+            Err(ServeError::UnknownApp { .. })
+        ));
     }
 
     /// A hostile sample (NaN) must not wedge the tenant: the request
@@ -958,5 +1621,275 @@ mod tests {
             exec.stats("vr"),
             Err(ServeError::UnknownApp { .. })
         ));
+    }
+
+    #[test]
+    fn expired_requests_are_shed_at_dequeue_with_typed_errors() {
+        // 20 ms deadline; requests sit paused well past it.
+        let mut exec = Executor::new(ExecutorConfig::default());
+        exec.register_dnn(
+            "cam",
+            testbed::tiny_dnn(1),
+            &Requirements::new().with_max_latency(TimeSpan::from_millis(20.0)),
+        )
+        .unwrap();
+        exec.pause("cam").unwrap();
+        let doomed: Vec<Ticket> = (0..3)
+            .map(|_| exec.submit("cam", &sample(0.2)).unwrap())
+            .collect();
+        std::thread::sleep(Duration::from_millis(60));
+        exec.resume("cam").unwrap();
+        for t in &doomed {
+            assert!(matches!(
+                t.wait_timeout(TIMEOUT),
+                Err(ServeError::DeadlineExpired { seq, .. }) if seq == t.seq()
+            ));
+        }
+        exec.drain_app("cam").unwrap();
+        let s = exec.stats("cam").unwrap();
+        assert_eq!(s.shed, 3, "{s:?}");
+        assert_eq!(s.completed, 0);
+        assert_eq!(s.batches, 0, "no forward pass was burnt on doomed work");
+        // Fresh work still serves.
+        exec.submit("cam", &sample(0.1))
+            .unwrap()
+            .wait_timeout(TIMEOUT)
+            .unwrap();
+        exec.drain();
+        let s = exec.stats("cam").unwrap();
+        assert_eq!((s.completed, s.shed), (1, 3));
+        assert_accounting(&s, 4);
+    }
+
+    #[test]
+    fn forward_panic_fault_is_contained_and_one_shot() {
+        let plan = FaultPlan::new().with_fault("cam", 0, FaultKind::PanicForward);
+        let exec = tiny_executor(ExecutorConfig {
+            fault_plan: Some(Arc::new(plan)),
+            ..ExecutorConfig::default()
+        });
+        let t = exec.submit("cam", &sample(0.3)).unwrap();
+        match t.wait_timeout(TIMEOUT) {
+            Err(ServeError::Inference { reason, .. }) => {
+                assert!(reason.contains("injected"), "{reason}");
+            }
+            other => panic!("expected a typed inference error, got {other:?}"),
+        }
+        // One-shot: the next request serves normally, no restart needed.
+        exec.submit("cam", &sample(0.3))
+            .unwrap()
+            .wait_timeout(TIMEOUT)
+            .unwrap();
+        exec.drain();
+        let s = exec.stats("cam").unwrap();
+        assert_eq!((s.errors, s.completed, s.restarts), (1, 1, 0), "{s:?}");
+        assert_accounting(&s, 2);
+    }
+
+    #[test]
+    fn crash_fault_triggers_supervised_restart_with_typed_errors() {
+        let plan = FaultPlan::new().with_fault("cam", 0, FaultKind::CrashThread);
+        let exec = tiny_executor(ExecutorConfig {
+            fault_plan: Some(Arc::new(plan)),
+            watchdog_interval: Duration::from_millis(2),
+            restart_backoff: Duration::from_millis(2),
+            ..ExecutorConfig::default()
+        });
+        let t = exec.submit("cam", &sample(0.3)).unwrap();
+        // The watchdog fails the dead thread's in-flight batch…
+        assert!(matches!(
+            t.wait_timeout(TIMEOUT),
+            Err(ServeError::Inference { .. })
+        ));
+        // …and the restarted thread serves the next request.
+        exec.submit("cam", &sample(0.4))
+            .unwrap()
+            .wait_timeout(TIMEOUT)
+            .expect("restarted thread serves");
+        exec.drain();
+        let s = exec.stats("cam").unwrap();
+        assert_eq!(s.restarts, 1, "{s:?}");
+        assert_eq!((s.errors, s.completed), (1, 1));
+        assert_accounting(&s, 2);
+    }
+
+    #[test]
+    fn latency_spike_fault_delays_but_completes() {
+        let plan = FaultPlan::new().with_fault(
+            "cam",
+            0,
+            FaultKind::LatencySpike(TimeSpan::from_millis(80.0)),
+        );
+        // 50 ms deadline < 80 ms spike: the rider completes but misses.
+        let exec = tiny_executor(ExecutorConfig {
+            fault_plan: Some(Arc::new(plan)),
+            ..ExecutorConfig::default()
+        });
+        let done = exec
+            .submit("cam", &sample(0.3))
+            .unwrap()
+            .wait_timeout(TIMEOUT)
+            .unwrap();
+        assert!(done.latency.as_millis() >= 80.0, "{}", done.latency);
+        assert_eq!(done.deadline_met, Some(false));
+        exec.drain();
+        let s = exec.stats("cam").unwrap();
+        assert_eq!((s.completed, s.missed), (1, 1), "{s:?}");
+        assert_eq!(
+            s.stalls, 0,
+            "a spike within the stall budget is not a stall"
+        );
+    }
+
+    #[test]
+    fn queue_storm_fault_floods_within_capacity_and_accounting_holds() {
+        let plan = FaultPlan::new().with_fault("cam", 0, FaultKind::QueueStorm(5));
+        let exec = tiny_executor(ExecutorConfig {
+            fault_plan: Some(Arc::new(plan)),
+            ..ExecutorConfig::default()
+        });
+        exec.submit("cam", &sample(0.3))
+            .unwrap()
+            .wait_timeout(TIMEOUT)
+            .unwrap();
+        exec.drain();
+        let s = exec.stats("cam").unwrap();
+        assert_eq!(s.storm_injected, 5, "{s:?}");
+        // Synthetic riders complete into the stats like real ones
+        // (some may shed if the storm outruns the 50 ms deadline).
+        assert_eq!(s.completed + s.shed, 6);
+        assert_accounting(&s, 1);
+    }
+
+    #[test]
+    fn knob_failure_fault_counts_per_cause_and_leaves_the_point() {
+        let plan = FaultPlan::new().with_fault("cam", 0, FaultKind::KnobFailure);
+        let exec = tiny_executor(ExecutorConfig {
+            fault_plan: Some(Arc::new(plan)),
+            ..ExecutorConfig::default()
+        });
+        let before = exec.stats("cam").unwrap().level;
+        // Arm the fault (first batch), then route a knob into it.
+        exec.submit("cam", &sample(0.3))
+            .unwrap()
+            .wait_timeout(TIMEOUT)
+            .unwrap();
+        exec.apply_command(&KnobCommand::SetWidth {
+            app: "cam".into(),
+            level: WidthLevel(1),
+        });
+        exec.submit("cam", &sample(0.3))
+            .unwrap()
+            .wait_timeout(TIMEOUT)
+            .unwrap();
+        exec.drain();
+        let s = exec.stats("cam").unwrap();
+        assert_eq!((s.knob_faulted, s.knob_rejected), (1, 0), "{s:?}");
+        assert_eq!(s.knob_errors, 1);
+        assert_eq!(s.level, before, "the faulted knob never actuated");
+    }
+
+    #[test]
+    fn stalled_forward_is_confiscated_and_serving_recovers() {
+        // A 300 ms spike against a 40 ms stall budget: the watchdog
+        // declares the pass wedged, answers the rider with a typed
+        // error, and the recovered thread's stale results are dropped.
+        let plan = FaultPlan::new().with_fault(
+            "cam",
+            0,
+            FaultKind::LatencySpike(TimeSpan::from_millis(300.0)),
+        );
+        // A deadline far above the spike: the follow-up request queued
+        // behind the wedged pass must complete, not shed.
+        let mut exec = Executor::new(ExecutorConfig {
+            fault_plan: Some(Arc::new(plan)),
+            watchdog_interval: Duration::from_millis(5),
+            stall_timeout: Duration::from_millis(40),
+            ..ExecutorConfig::default()
+        });
+        exec.register_dnn(
+            "cam",
+            testbed::tiny_dnn(1),
+            &Requirements::new().with_max_latency(TimeSpan::from_secs(10.0)),
+        )
+        .unwrap();
+        let t0 = Instant::now();
+        let t = exec.submit("cam", &sample(0.3)).unwrap();
+        assert!(matches!(
+            t.wait_timeout(TIMEOUT),
+            Err(ServeError::Inference { .. })
+        ));
+        assert!(
+            t0.elapsed() < Duration::from_millis(290),
+            "the rider was answered before the wedged pass finished"
+        );
+        // The thread recovered; fresh work serves.
+        exec.submit("cam", &sample(0.2))
+            .unwrap()
+            .wait_timeout(TIMEOUT)
+            .unwrap();
+        exec.drain();
+        let s = exec.stats("cam").unwrap();
+        assert_eq!(s.stalls, 1, "{s:?}");
+        assert_eq!(s.restarts, 0, "a wedge is not a death");
+        assert_eq!((s.errors, s.completed), (1, 1));
+        assert_accounting(&s, 2);
+    }
+
+    #[test]
+    fn wait_timeout_is_typed_and_leaves_the_request_in_flight() {
+        let exec = tiny_executor(ExecutorConfig::default());
+        exec.pause("cam").unwrap();
+        let t = exec.submit("cam", &sample(0.3)).unwrap();
+        assert!(matches!(
+            t.wait_timeout(Duration::from_millis(20)),
+            Err(ServeError::WaitTimeout { .. })
+        ));
+        exec.resume("cam").unwrap();
+        // The same ticket still receives the late completion.
+        let done = t
+            .wait_timeout(TIMEOUT)
+            .expect("request was still in flight");
+        assert_eq!(done.seq, t.seq());
+        exec.drain();
+        assert_eq!(exec.stats("cam").unwrap().completed, 1);
+    }
+
+    #[test]
+    fn submissions_during_drain_are_refused_typed() {
+        // A generous deadline: the held requests must survive the pause,
+        // not shed out of it.
+        let mut exec = Executor::new(ExecutorConfig::default());
+        exec.register_dnn(
+            "cam",
+            testbed::tiny_dnn(1),
+            &Requirements::new().with_max_latency(TimeSpan::from_secs(10.0)),
+        )
+        .unwrap();
+        exec.pause("cam").unwrap();
+        let held: Vec<Ticket> = (0..3)
+            .map(|_| exec.submit("cam", &sample(0.1)).unwrap())
+            .collect();
+        std::thread::scope(|scope| {
+            let drainer = scope.spawn(|| exec.drain_app("cam").unwrap());
+            // Give the drain time to register, then submit into it.
+            std::thread::sleep(Duration::from_millis(50));
+            assert!(matches!(
+                exec.submit("cam", &sample(0.2)),
+                Err(ServeError::AppStopped { .. })
+            ));
+            exec.resume("cam").unwrap();
+            drainer.join().unwrap();
+        });
+        for t in &held {
+            t.wait_timeout(TIMEOUT).unwrap();
+        }
+        // After the drain, submissions are admitted again.
+        exec.submit("cam", &sample(0.3))
+            .unwrap()
+            .wait_timeout(TIMEOUT)
+            .unwrap();
+        exec.drain();
+        assert_eq!(exec.stats("cam").unwrap().completed, 4);
     }
 }

@@ -1,0 +1,175 @@
+//! Deterministic fault injection for the serving executor.
+//!
+//! A [`FaultPlan`] is a seeded, fully explicit schedule of hostile
+//! events — forward panics, serving-thread crashes, latency spikes,
+//! knob-actuation failures, queue storms — keyed to per-app request
+//! *sequence numbers* rather than wall-clock time, so the same plan
+//! replayed against the same request schedule produces bit-identical
+//! counter trajectories. Plans are injected through
+//! [`crate::ExecutorConfig::fault_plan`]; the default (`None`) costs
+//! nothing on the hot path — the serving loop consults the plan only
+//! when the per-app slice captured at registration is non-empty.
+//!
+//! Each scheduled fault fires exactly once: on the first dispatched
+//! batch whose highest sequence number reaches the fault's `at_seq`
+//! (fired state lives in the shared queue state, so a fault does not
+//! re-fire after a supervised thread restart). Runtime one-shot
+//! injection — the path the simulator's chaos hooks use — goes through
+//! [`crate::Executor::inject_fault`].
+
+use eml_platform::units::TimeSpan;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One kind of injected fault.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FaultKind {
+    /// Panic inside the batched forward pass, within the executor's
+    /// containment: every rider of the batch receives a typed
+    /// [`crate::ServeError::Inference`] error and the thread keeps
+    /// serving.
+    PanicForward,
+    /// Panic *outside* the forward's containment — kills the serving
+    /// thread mid-batch, exercising the watchdog's supervised restart
+    /// (the in-flight batch is failed with a typed error and the
+    /// restart is counted in [`crate::AppStatsSnapshot::restarts`]).
+    CrashThread,
+    /// Spin-delays the batched forward by the given span (a synthetic
+    /// interference burst). The injected delay is excluded from the
+    /// micro-batcher's service-time estimate so batch coalescing stays
+    /// deterministic across a spike.
+    LatencySpike(TimeSpan),
+    /// Fails the app's next knob actuation (counted in
+    /// [`crate::AppStatsSnapshot::knob_faulted`]; the knob is dropped,
+    /// the model's operating point is left untouched).
+    KnobFailure,
+    /// Enqueues this many synthetic copies of the triggering batch's
+    /// first sample behind it (an overload burst). Injection stops at
+    /// queue capacity; injected requests are counted in
+    /// [`crate::AppStatsSnapshot::storm_injected`].
+    QueueStorm(usize),
+}
+
+/// One scheduled fault: fires once, on the first dispatched batch of
+/// `app` whose highest sequence number is at least `at_seq`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fault {
+    /// The targeted application.
+    pub app: String,
+    /// The per-app request sequence number that triggers the fault.
+    pub at_seq: u64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A deterministic schedule of faults. See the module docs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (add faults with [`FaultPlan::with_fault`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one scheduled fault.
+    #[must_use]
+    pub fn with_fault(mut self, app: impl Into<String>, at_seq: u64, kind: FaultKind) -> Self {
+        self.faults.push(Fault {
+            app: app.into(),
+            at_seq,
+            kind,
+        });
+        self
+    }
+
+    /// Generates `count` faults over `apps`, kinds and trigger
+    /// sequences drawn from a seeded generator — the property suite's
+    /// "arbitrary hostile schedule". The same `(seed, apps, count,
+    /// seqs)` always yields the same plan.
+    pub fn seeded(seed: u64, apps: &[&str], count: usize, seqs: std::ops::Range<u64>) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut plan = Self::new();
+        if apps.is_empty() {
+            return plan;
+        }
+        for _ in 0..count {
+            let app = apps[rng.gen_range(0..apps.len())];
+            let at_seq = if seqs.is_empty() {
+                seqs.start
+            } else {
+                rng.gen_range(seqs.clone())
+            };
+            let kind = match rng.gen_range(0u32..5) {
+                0 => FaultKind::PanicForward,
+                1 => FaultKind::CrashThread,
+                2 => FaultKind::LatencySpike(TimeSpan::from_micros(rng.gen_range(50.0..500.0))),
+                3 => FaultKind::KnobFailure,
+                _ => FaultKind::QueueStorm(rng.gen_range(1usize..8)),
+            };
+            plan = plan.with_fault(app, at_seq, kind);
+        }
+        plan
+    }
+
+    /// The scheduled faults, in insertion order.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Whether the plan schedules anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The subset of faults targeting `app` (captured once at
+    /// registration, so the hot path never scans foreign apps' faults).
+    pub(crate) fn for_app(&self, app: &str) -> Vec<Fault> {
+        self.faults
+            .iter()
+            .filter(|f| f.app == app)
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plans_are_reproducible_and_bounded() {
+        let a = FaultPlan::seeded(42, &["cam", "det"], 10, 0..100);
+        let b = FaultPlan::seeded(42, &["cam", "det"], 10, 0..100);
+        assert_eq!(a, b, "same seed, same plan");
+        assert_eq!(a.faults().len(), 10);
+        for f in a.faults() {
+            assert!(f.at_seq < 100);
+            assert!(f.app == "cam" || f.app == "det");
+        }
+        let c = FaultPlan::seeded(43, &["cam", "det"], 10, 0..100);
+        assert_ne!(a, c, "different seed, different plan");
+    }
+
+    #[test]
+    fn empty_inputs_degrade_gracefully() {
+        assert!(FaultPlan::seeded(1, &[], 5, 0..10).is_empty());
+        let p = FaultPlan::seeded(1, &["a"], 3, 7..7);
+        assert!(p.faults().iter().all(|f| f.at_seq == 7));
+        assert!(FaultPlan::new().is_empty());
+    }
+
+    #[test]
+    fn per_app_slices_partition_the_plan() {
+        let p = FaultPlan::new()
+            .with_fault("cam", 0, FaultKind::PanicForward)
+            .with_fault("det", 1, FaultKind::KnobFailure)
+            .with_fault("cam", 2, FaultKind::QueueStorm(3));
+        assert_eq!(p.for_app("cam").len(), 2);
+        assert_eq!(p.for_app("det").len(), 1);
+        assert!(p.for_app("ghost").is_empty());
+    }
+}

@@ -19,6 +19,17 @@
 //!   deadline misses ([`eml_core::feedback::MissTracker`]) trigger
 //!   [`eml_core::rtm::Rtm::allocate_with_feedback`] re-allocation on
 //!   the corrected model.
+//! - [`PressurePolicy`] — the graceful-degradation ladder: between
+//!   allocation epochs, per-app pressure (queue depth, windowed miss
+//!   rate, fresh sheds) steps the paper's knobs *down* (f32→int8, then
+//!   width one level at a time) as a safety valve, and hysteresis
+//!   restores them once the app stays healthy.
+//! - [`FaultPlan`] — deterministic, seeded fault injection (forward
+//!   panics, thread crashes, latency spikes, knob failures, queue
+//!   storms) keyed to request sequence numbers; serving threads are
+//!   supervised by a watchdog (heartbeats, typed batch failure,
+//!   bounded-backoff restart) and expired requests are shed at dequeue
+//!   with a typed [`ServeError::DeadlineExpired`].
 //! - [`ExecutedReplay`] — plugs the executor into
 //!   [`eml_sim::Simulator::run_executed`], so scenario traces report
 //!   measured rather than analytic latencies.
@@ -42,12 +53,17 @@
 pub mod control;
 pub mod error;
 pub mod executor;
+pub mod fault;
 pub mod replay;
 pub mod stats;
 pub mod testbed;
 
-pub use control::{ControllerConfig, EpochOutcome, ServeController};
+pub use control::{
+    ControllerConfig, EpochOutcome, LadderStep, PressureAction, PressureConfig, PressurePolicy,
+    PressureStats, ServeController,
+};
 pub use error::{Result, ServeError};
-pub use executor::{Completion, Executor, ExecutorConfig, Ticket};
+pub use executor::{Completion, Executor, ExecutorConfig, KnobRoute, Ticket};
+pub use fault::{Fault, FaultKind, FaultPlan};
 pub use replay::ExecutedReplay;
 pub use stats::AppStatsSnapshot;

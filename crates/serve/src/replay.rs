@@ -13,9 +13,10 @@ use std::time::Duration;
 
 use eml_core::rtm::Allocation;
 use eml_platform::units::TimeSpan;
-use eml_sim::ExecutionBackend;
+use eml_sim::{ChaosFault, ExecutionBackend};
 
 use crate::executor::Executor;
+use crate::fault::FaultKind;
 
 /// Replays allocation decisions and latency samples through a live
 /// executor. Apps without a registered probe input sample analytically
@@ -65,5 +66,21 @@ impl ExecutionBackend for ExecutedReplay<'_> {
         let ticket = self.exec.submit(app, probe).ok()?;
         let done = ticket.wait_timeout(self.timeout).ok()?;
         Some(done.latency)
+    }
+
+    fn on_chaos(&mut self, _at_secs: f64, app: &str, fault: &ChaosFault) {
+        // Scenario chaos → a one-shot armed fault on the live executor
+        // (consumed by the app's next dispatched batch). Unknown apps
+        // and chaos kinds this serving layer has no surface for are
+        // ignored, like unknown apps in `measure`.
+        let kind = match fault {
+            ChaosFault::PanicForward => FaultKind::PanicForward,
+            ChaosFault::CrashThread => FaultKind::CrashThread,
+            ChaosFault::LatencySpike(t) => FaultKind::LatencySpike(*t),
+            ChaosFault::KnobFailure => FaultKind::KnobFailure,
+            ChaosFault::QueueStorm(n) => FaultKind::QueueStorm(*n),
+            _ => return,
+        };
+        let _ = self.exec.inject_fault(app, kind);
     }
 }

@@ -4,10 +4,13 @@
 //! loop ([`crate::ServeController`]) and tests read consistent
 //! snapshots. Latency percentiles are computed over a bounded sliding
 //! window so long-running servers report *current* behaviour, while the
-//! cumulative counters (completed / errors / missed / rejected) never
-//! reset — they are the invariant surface the stress and property
+//! cumulative counters (completed / errors / missed / rejected / shed)
+//! never reset — they are the invariant surface the stress and property
 //! suites pin ("no request is ever silently dropped" is
-//! `submitted == completed + errors + rejected` in these counters).
+//! `submitted + storm_injected == completed + errors + rejected + shed`
+//! in these counters, where `submitted` counts submission *attempts*
+//! and `storm_injected` the synthetic requests a fault-injection queue
+//! storm enqueued directly).
 
 use std::collections::VecDeque;
 
@@ -21,14 +24,28 @@ pub(crate) struct AppStats {
     window: usize,
     /// Most recent request latencies (seconds), newest at the back.
     latencies: VecDeque<f64>,
+    /// Deadline outcomes of the same window (only requests with a
+    /// deadline verdict enter), for the degradation ladder's windowed
+    /// miss-rate signal.
+    recent_met: VecDeque<bool>,
+    /// Misses currently inside `recent_met`.
+    recent_missed: usize,
     pub(crate) completed: u64,
     pub(crate) missed: u64,
     pub(crate) batches: u64,
     pub(crate) batched_samples: u64,
     pub(crate) knob_errors: u64,
+    /// Knob commands the model itself refused (e.g. width out of range).
+    pub(crate) knob_rejected: u64,
+    /// Knob commands dropped by an injected actuation fault.
+    pub(crate) knob_faulted: u64,
     pub(crate) last_knob_error: Option<String>,
     pub(crate) out_of_order: u64,
     pub(crate) last_seq: Option<u64>,
+    /// Supervised serving-thread restarts (thread died and was respawned).
+    pub(crate) restarts: u64,
+    /// Wedged-batch confiscations (heartbeat stale past the stall timeout).
+    pub(crate) stalls: u64,
     pub(crate) level: usize,
     pub(crate) precision: Precision,
 }
@@ -38,25 +55,34 @@ impl AppStats {
         Self {
             window: window.max(1),
             latencies: VecDeque::new(),
+            recent_met: VecDeque::new(),
+            recent_missed: 0,
             completed: 0,
             missed: 0,
             batches: 0,
             batched_samples: 0,
             knob_errors: 0,
+            knob_rejected: 0,
+            knob_faulted: 0,
             last_knob_error: None,
             out_of_order: 0,
             last_seq: None,
+            restarts: 0,
+            stalls: 0,
             level,
             precision,
         }
     }
 
-    /// Clears the sliding latency window (the cumulative counters
-    /// stay). Called when a knob switch changes the operating point, so
-    /// percentiles always describe the *current* configuration instead
-    /// of blending the old point's latencies into the new one's.
+    /// Clears the sliding latency/outcome windows (the cumulative
+    /// counters stay). Called when a knob switch changes the operating
+    /// point, so percentiles and the windowed miss rate always describe
+    /// the *current* configuration instead of blending the old point's
+    /// behaviour into the new one's.
     pub(crate) fn reset_window(&mut self) {
         self.latencies.clear();
+        self.recent_met.clear();
+        self.recent_missed = 0;
     }
 
     /// Records one completed request.
@@ -66,6 +92,15 @@ impl AppStats {
         }
         self.latencies.push_back(latency_s);
         self.completed += 1;
+        if let Some(m) = met {
+            if self.recent_met.len() == self.window && self.recent_met.pop_front() == Some(false) {
+                self.recent_missed -= 1;
+            }
+            self.recent_met.push_back(m);
+            if !m {
+                self.recent_missed += 1;
+            }
+        }
         if met == Some(false) {
             self.missed += 1;
         }
@@ -92,6 +127,12 @@ impl AppStats {
             p50: self.percentile(0.50),
             p99: self.percentile(0.99),
             window_len: self.latencies.len(),
+            window_outcomes: self.recent_met.len(),
+            window_miss_rate: if self.recent_met.is_empty() {
+                0.0
+            } else {
+                self.recent_missed as f64 / self.recent_met.len() as f64
+            },
         }
     }
 }
@@ -101,6 +142,8 @@ pub(crate) struct WindowSnapshot {
     pub(crate) p50: Option<TimeSpan>,
     pub(crate) p99: Option<TimeSpan>,
     pub(crate) window_len: usize,
+    pub(crate) window_outcomes: usize,
+    pub(crate) window_miss_rate: f64,
 }
 
 /// A consistent view of one application's serving state.
@@ -108,14 +151,27 @@ pub(crate) struct WindowSnapshot {
 pub struct AppStatsSnapshot {
     /// Requests completed successfully (a logits-bearing completion
     /// was delivered to the ticket). Requests whose batch failed count
-    /// under [`AppStatsSnapshot::errors`] instead, so
-    /// `submitted == completed + errors + rejected`.
+    /// under [`AppStatsSnapshot::errors`], requests shed past their
+    /// deadline under [`AppStatsSnapshot::shed`], so
+    /// `submitted + storm_injected == completed + errors + rejected + shed`
+    /// (with `submitted` counting submission attempts).
     pub completed: u64,
     /// Requests rejected at submission (queue full / not admitted).
     pub rejected: u64,
-    /// Requests whose batch failed in inference; their tickets received
-    /// a typed [`crate::ServeError::Inference`] error.
+    /// Requests whose batch failed in inference (including batches
+    /// failed by the supervisor when a serving thread died or wedged);
+    /// their tickets received a typed
+    /// [`crate::ServeError::Inference`] error.
     pub errors: u64,
+    /// Requests shed at dequeue because their deadline had already
+    /// expired in the queue; their tickets received a typed
+    /// [`crate::ServeError::DeadlineExpired`] error and no forward pass
+    /// was spent on them.
+    pub shed: u64,
+    /// Synthetic requests enqueued by an injected queue storm (never
+    /// submitted by a caller; they complete into these statistics like
+    /// any other request).
+    pub storm_injected: u64,
     /// Completed requests that missed the app's deadline.
     pub missed: u64,
     /// Requests currently queued.
@@ -134,10 +190,30 @@ pub struct AppStatsSnapshot {
     pub p99: Option<TimeSpan>,
     /// Requests currently in the latency window.
     pub window_len: usize,
-    /// Knob commands that failed to apply on the serving thread.
+    /// Deadline outcomes currently in the sliding window (only
+    /// requests with a deadline verdict enter it).
+    pub window_outcomes: usize,
+    /// Miss fraction over the sliding outcome window (0.0 when empty)
+    /// — the degradation ladder's pressure signal, as opposed to the
+    /// cumulative [`AppStatsSnapshot::miss_fraction`].
+    pub window_miss_rate: f64,
+    /// Knob commands that failed to apply on the serving thread
+    /// (`knob_rejected + knob_faulted`).
     pub knob_errors: u64,
+    /// Knob commands the model itself refused (e.g. width out of range).
+    pub knob_rejected: u64,
+    /// Knob commands dropped by an injected actuation fault.
+    pub knob_faulted: u64,
     /// The most recent knob failure, for diagnostics.
     pub last_knob_error: Option<String>,
+    /// Supervised restarts of the app's serving thread (the watchdog
+    /// found the thread dead, failed its in-flight batch with a typed
+    /// error, and respawned it after a bounded exponential backoff).
+    pub restarts: u64,
+    /// Wedged batches confiscated by the watchdog (the thread's
+    /// heartbeat went stale past the stall timeout with work in
+    /// flight; the batch was failed with a typed error).
+    pub stalls: u64,
     /// Completions observed out of submission order (always 0: the
     /// per-app queue is FIFO and served by one thread; the counter is
     /// the invariant surface the stress suite pins).
@@ -197,6 +273,29 @@ mod tests {
         assert_eq!(s.completed, 5);
         assert_eq!(s.missed, 2);
         assert_eq!(s.out_of_order, 0);
+    }
+
+    #[test]
+    fn windowed_miss_rate_tracks_only_deadline_outcomes() {
+        let mut s = AppStats::new(4, 0, Precision::F32);
+        s.record(0, 1e-3, None); // no deadline verdict: latency only
+        s.record(1, 1e-3, Some(true));
+        s.record(2, 9e-3, Some(false));
+        let snap = s.snapshot();
+        assert_eq!(snap.window_len, 3);
+        assert_eq!(snap.window_outcomes, 2);
+        assert!((snap.window_miss_rate - 0.5).abs() < 1e-12);
+        // The outcome window slides with the same bound as latencies.
+        for i in 0..4 {
+            s.record(3 + i, 1e-3, Some(true));
+        }
+        let snap = s.snapshot();
+        assert_eq!(snap.window_outcomes, 4);
+        assert_eq!(snap.window_miss_rate, 0.0);
+        s.reset_window();
+        let snap = s.snapshot();
+        assert_eq!((snap.window_outcomes, snap.window_len), (0, 0));
+        assert_eq!(snap.window_miss_rate, 0.0);
     }
 
     #[test]

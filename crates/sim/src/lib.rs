@@ -35,5 +35,7 @@ pub mod simulator;
 pub mod trace;
 
 pub use error::{Result, SimError};
-pub use simulator::{Action, ExecutionBackend, ScenarioEvent, SimConfig, Simulator, ThermalPolicy};
+pub use simulator::{
+    Action, ChaosFault, ExecutionBackend, ScenarioEvent, SimConfig, Simulator, ThermalPolicy,
+};
 pub use trace::{Decision, DecisionReason, Sample, Trace, TraceSummary};

@@ -44,6 +44,41 @@ pub enum Action {
     Depart(String),
     /// Replace an application's spec (requirement/objective change).
     Update(AppSpec),
+    /// Inject a hostile event into the serving layer
+    /// ([`ExecutionBackend::on_chaos`]). Chaos is *not* a decision
+    /// trigger — the RTM is not re-invoked; the point is to watch the
+    /// serving layer absorb the fault between allocation epochs.
+    /// Analytic runs (no backend) ignore chaos events.
+    Chaos {
+        /// The targeted application.
+        app: String,
+        /// What happens.
+        fault: ChaosFault,
+    },
+}
+
+/// A hostile serving-layer event scheduled in a scenario — the
+/// simulator-side vocabulary for fault injection, kept free of any
+/// serving-crate dependency so scenarios stay self-contained. A
+/// backend maps these onto its own fault surface (e.g. `eml-serve`'s
+/// `FaultKind`), making hostile schedules replay bit-reproducibly
+/// alongside arrivals and departures.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ChaosFault {
+    /// Panic inside the app's next batched forward pass (contained by
+    /// the executor; every rider gets a typed error).
+    PanicForward,
+    /// Kill the app's serving thread mid-batch (exercises supervised
+    /// restart).
+    CrashThread,
+    /// Spin-delay the app's next batched forward by this span.
+    LatencySpike(TimeSpan),
+    /// Fail the app's next knob actuation.
+    KnobFailure,
+    /// Enqueue this many synthetic duplicate requests behind the app's
+    /// next batch.
+    QueueStorm(usize),
 }
 
 /// Thermal-management policy of the in-loop governor.
@@ -109,6 +144,11 @@ pub trait ExecutionBackend {
     /// or `None` to keep the analytic prediction for this sample
     /// (unknown app, measurement unavailable).
     fn measure(&mut self, app: &str, predicted: TimeSpan) -> Option<TimeSpan>;
+
+    /// A scenario [`Action::Chaos`] event fired at `at_secs`: inject
+    /// the fault into the serving layer. Default: ignore (backends
+    /// without a fault surface need not care).
+    fn on_chaos(&mut self, _at_secs: f64, _app: &str, _fault: &ChaosFault) {}
 }
 
 /// The simulator.
@@ -231,6 +271,14 @@ impl Simulator {
                         apps.retain(|a| a.name() != spec.name());
                         apps.push(spec.clone());
                         reasons.push(DecisionReason::RequirementChange(spec.name().to_string()));
+                    }
+                    Action::Chaos { app, fault } => {
+                        // Deliberately reason-free: chaos must not
+                        // trigger a re-allocation (the serving layer
+                        // absorbs it between epochs).
+                        if let Some(backend) = backend.as_deref_mut() {
+                            backend.on_chaos(time, app, fault);
+                        }
                     }
                 }
                 next_event += 1;
@@ -626,6 +674,65 @@ mod tests {
         let app = trace.app_at(1.0, "dnn1").unwrap();
         assert!((app.latency_ms - 50.0).abs() < 1e-9, "{app:?}");
         assert!(!app.met, "measured miss must override the analytic met");
+    }
+
+    /// Chaos events reach the backend with their scheduled time and
+    /// payload, never trigger a re-allocation, and are ignored by
+    /// analytic runs (no backend).
+    #[test]
+    fn chaos_events_reach_the_backend_without_reallocating() {
+        #[derive(Default)]
+        struct Recorder {
+            allocations: usize,
+            chaos: Vec<(f64, String, ChaosFault)>,
+        }
+        impl ExecutionBackend for Recorder {
+            fn on_allocation(&mut self, _at: f64, _allocation: &Allocation) {
+                self.allocations += 1;
+            }
+            fn measure(&mut self, _app: &str, _predicted: TimeSpan) -> Option<TimeSpan> {
+                None
+            }
+            fn on_chaos(&mut self, at_secs: f64, app: &str, fault: &ChaosFault) {
+                self.chaos.push((at_secs, app.to_string(), fault.clone()));
+            }
+        }
+        let events = vec![
+            ScenarioEvent {
+                at_secs: 0.0,
+                action: Action::Arrive(dnn_app("dnn1", 11.0)),
+            },
+            ScenarioEvent {
+                at_secs: 1.0,
+                action: Action::Chaos {
+                    app: "dnn1".into(),
+                    fault: ChaosFault::PanicForward,
+                },
+            },
+            ScenarioEvent {
+                at_secs: 1.5,
+                action: Action::Chaos {
+                    app: "dnn1".into(),
+                    fault: ChaosFault::QueueStorm(4),
+                },
+            },
+        ];
+        let soc = presets::flagship();
+        let sim = Simulator::new(soc, events.clone(), quick_cfg(2.0)).unwrap();
+        let mut rec = Recorder::default();
+        let trace = sim.run_executed(&mut rec).unwrap();
+        assert_eq!(rec.allocations, 1, "chaos is not a decision trigger");
+        assert_eq!(trace.decisions.len(), 1);
+        assert_eq!(rec.chaos.len(), 2);
+        assert_eq!(rec.chaos[0].1, "dnn1");
+        assert_eq!(rec.chaos[0].2, ChaosFault::PanicForward);
+        assert!((rec.chaos[0].0 - 1.0).abs() < 0.05 + 1e-9);
+        assert_eq!(rec.chaos[1].2, ChaosFault::QueueStorm(4));
+        // An analytic run of the same scenario simply skips the chaos.
+        let soc = presets::flagship();
+        let sim = Simulator::new(soc, events, quick_cfg(2.0)).unwrap();
+        let trace = sim.run().unwrap();
+        assert_eq!(trace.decisions.len(), 1);
     }
 
     #[test]

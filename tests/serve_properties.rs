@@ -168,4 +168,112 @@ proptest! {
                 "app {} outputs depend on co-tenant load", plan.name);
         }
     }
+
+    /// Arbitrary seeded [`FaultPlan`]s — panics × crashes × latency
+    /// spikes × knob failures × queue storms, landing at arbitrary
+    /// sequence numbers, under concurrent knob churn — must never
+    /// deadlock, never drop a ticket (every wait resolves to a typed
+    /// outcome within the bound), and must keep the extended accounting
+    /// invariant *exact*:
+    /// `attempts + storm_injected == completed + errors + rejected + shed`.
+    #[test]
+    fn seeded_fault_plans_never_deadlock_or_lose_tickets(
+        seed in 0u64..1_000_000,
+        n_faults in 0usize..6,
+        requests in 8usize..40,
+        batch_cap in 1usize..=4,
+        churn_every in 2usize..8,
+    ) {
+        use emlrt::serve::{FaultPlan, Ticket};
+        use std::collections::VecDeque;
+
+        let plan = FaultPlan::seeded(seed, &["app"], n_faults, 0..requests as u64);
+        let mut exec = Executor::new(ExecutorConfig {
+            batch_cap,
+            // Small on purpose: storms + crash backoffs make QueueFull
+            // reachable, so the rejected leg of the invariant is live.
+            queue_capacity: 16,
+            watchdog_interval: Duration::from_millis(2),
+            restart_backoff: Duration::from_millis(2),
+            fault_plan: Some(std::sync::Arc::new(plan)),
+            ..Default::default()
+        });
+        exec.register_dnn(
+            "app",
+            testbed::tiny_dnn(seed),
+            // Generous deadline: spikes rarely shed, but crash-restart
+            // pile-ups legitimately can — DeadlineExpired stays a legal
+            // outcome rather than a guaranteed one.
+            &Requirements::new().with_max_latency(TimeSpan::from_millis(250.0)),
+        ).expect("fresh executor");
+
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xFA17);
+        let sample: Vec<f32> = (0..SAMPLE_LEN)
+            .map(|_| rng.gen_range(-1.0f32..1.0))
+            .collect();
+
+        // A ticket may resolve three ways under faults; anything else
+        // (WaitTimeout = deadlock, AppStopped = lost queue) is a bug.
+        let resolve = |t: &Ticket| match t.wait_timeout(TIMEOUT) {
+            Ok(_)
+            | Err(ServeError::Inference { .. })
+            | Err(ServeError::DeadlineExpired { .. }) => {}
+            Err(e) => panic!("ticket #{} lost: {e}", t.seq()),
+        };
+
+        let mut attempts = 0u64;
+        let mut outstanding: VecDeque<Ticket> = VecDeque::new();
+        for i in 0..requests {
+            if i % churn_every == 0 {
+                // Mid-stream knob churn races the faults.
+                if rng.gen_range(0..2) == 0 {
+                    exec.apply_command(&KnobCommand::SetWidth {
+                        app: "app".into(),
+                        level: WidthLevel(rng.gen_range(0..4)),
+                    });
+                } else {
+                    let precision = if rng.gen_range(0..2) == 0 {
+                        Precision::Int8
+                    } else {
+                        Precision::F32
+                    };
+                    exec.apply_command(&KnobCommand::SetPrecision {
+                        app: "app".into(),
+                        precision,
+                    });
+                }
+            }
+            let mut spins = 0u32;
+            loop {
+                attempts += 1;
+                match exec.submit("app", &sample) {
+                    Ok(t) => { outstanding.push_back(t); break; }
+                    Err(ServeError::QueueFull { .. }) => {
+                        // Back-pressure: reap the oldest in-flight ticket
+                        // (or, if the queue is full of synthetic storm
+                        // riders, give the serving thread a beat).
+                        match outstanding.pop_front() {
+                            Some(t) => resolve(&t),
+                            None => std::thread::sleep(Duration::from_millis(1)),
+                        }
+                        spins += 1;
+                        prop_assert!(spins < 20_000, "submit livelock at request {i}");
+                    }
+                    Err(e) => panic!("unexpected submit outcome: {e}"),
+                }
+            }
+        }
+        for t in &outstanding {
+            resolve(t);
+        }
+        exec.drain();
+
+        let s = exec.stats("app").expect("registered");
+        prop_assert_eq!(s.out_of_order, 0, "FIFO broke: {:?}", s);
+        prop_assert_eq!(
+            attempts + s.storm_injected,
+            s.completed + s.errors + s.rejected + s.shed,
+            "extended accounting drifted: attempts={} {:?}", attempts, s
+        );
+    }
 }

@@ -385,3 +385,152 @@ fn executed_replay_reports_measured_latencies() {
     let s = exec.stats("dnn1").unwrap();
     assert!(s.completed >= 1, "the replay actually served requests");
 }
+
+/// Submitting to a shut-down executor is a typed `AppStopped`, never a
+/// panic or a hang — and requests queued before the shutdown still
+/// complete (drain-then-stop).
+#[test]
+fn submit_after_shutdown_returns_typed_app_stopped() {
+    let mut exec = Executor::new(emlrt::serve::ExecutorConfig::default());
+    exec.register_dnn("app", testbed::tiny_dnn(3), &Requirements::new())
+        .unwrap();
+    let queued: Vec<Ticket> = (0..4)
+        .map(|_| exec.submit("app", &vec![0.1; 3 * 8 * 8]).unwrap())
+        .collect();
+    exec.shutdown();
+    for t in &queued {
+        t.wait_timeout(TIMEOUT)
+            .expect("pre-shutdown requests drain before the thread exits");
+    }
+    for _ in 0..3 {
+        match exec.submit("app", &vec![0.2; 3 * 8 * 8]) {
+            Err(ServeError::AppStopped { app }) => assert_eq!(app, "app"),
+            other => panic!("expected AppStopped, got {other:?}"),
+        }
+    }
+    // Stats stay readable after shutdown and account the drain.
+    let s = exec.stats("app").unwrap();
+    assert_eq!(s.completed, 4, "{s:?}");
+}
+
+/// Submitting while a `drain_app` is in progress is a typed
+/// `AppStopped` (the drain must terminate); once drained, submissions
+/// are admitted again.
+#[test]
+fn submit_during_drain_returns_typed_app_stopped() {
+    let req = Requirements::new().with_max_latency(TimeSpan::from_secs(10.0));
+    let mut exec = Executor::new(emlrt::serve::ExecutorConfig::default());
+    exec.register_dnn("app", testbed::tiny_dnn(5), &req)
+        .unwrap();
+    exec.pause("app").unwrap();
+    let held: Vec<Ticket> = (0..3)
+        .map(|_| exec.submit("app", &vec![0.3; 3 * 8 * 8]).unwrap())
+        .collect();
+    std::thread::scope(|scope| {
+        let drainer = scope.spawn(|| exec.drain_app("app").unwrap());
+        std::thread::sleep(Duration::from_millis(50));
+        match exec.submit("app", &vec![0.4; 3 * 8 * 8]) {
+            Err(ServeError::AppStopped { app }) => assert_eq!(app, "app"),
+            other => panic!("expected AppStopped during drain, got {other:?}"),
+        }
+        exec.resume("app").unwrap();
+        drainer.join().unwrap();
+    });
+    for t in &held {
+        t.wait_timeout(TIMEOUT).unwrap();
+    }
+    exec.submit("app", &vec![0.5; 3 * 8 * 8])
+        .unwrap()
+        .wait_timeout(TIMEOUT)
+        .expect("submissions admitted again after the drain");
+    exec.drain();
+    let s = exec.stats("app").unwrap();
+    assert_eq!(s.completed, 4, "{s:?}");
+}
+
+/// A timed-out `wait_timeout` is a typed `WaitTimeout` that leaves the
+/// request in flight: the late completion still reaches the same
+/// ticket and still lands in the stats — no lost-ticket accounting
+/// hole.
+#[test]
+fn timed_out_wait_leaves_the_request_in_flight_and_accounted() {
+    let req = Requirements::new().with_max_latency(TimeSpan::from_secs(10.0));
+    let mut exec = Executor::new(emlrt::serve::ExecutorConfig::default());
+    exec.register_dnn("app", testbed::tiny_dnn(9), &req)
+        .unwrap();
+    exec.pause("app").unwrap();
+    let t = exec.submit("app", &vec![0.2; 3 * 8 * 8]).unwrap();
+    match t.wait_timeout(Duration::from_millis(20)) {
+        Err(ServeError::WaitTimeout { app }) => assert_eq!(app, "app"),
+        other => panic!("expected WaitTimeout, got {other:?}"),
+    }
+    // The request is still in flight: nothing was dropped or errored.
+    let s = exec.stats("app").unwrap();
+    assert_eq!((s.completed, s.errors, s.shed), (0, 0, 0), "{s:?}");
+    assert_eq!(s.queue_depth, 1, "{s:?}");
+    exec.resume("app").unwrap();
+    // The same ticket receives the late completion…
+    let done = t.wait_timeout(TIMEOUT).expect("late completion arrives");
+    assert_eq!(done.seq, t.seq());
+    exec.drain();
+    // …and the stats account it exactly once.
+    let s = exec.stats("app").unwrap();
+    assert_eq!((s.completed, s.errors, s.shed, s.rejected), (1, 0, 0, 0));
+}
+
+/// Scenario chaos events flow through `ExecutedReplay` into live
+/// executor faults: a forward panic errors one probe, a queue storm
+/// floods synthetic requests — and the extended accounting holds.
+#[test]
+fn chaos_scenario_events_inject_faults_through_executed_replay() {
+    use emlrt::sim::simulator::{Action, ChaosFault, ScenarioEvent};
+
+    let dnn = testbed::tiny_dnn(19);
+    let req = Requirements::new().with_max_latency(TimeSpan::from_millis(50.0));
+    let spec = dnn_spec("dnn1", &dnn, req.clone(), 1);
+    let mut exec = Executor::new(emlrt::serve::ExecutorConfig::default());
+    exec.register_dnn("dnn1", dnn, &req).unwrap();
+
+    let events = vec![
+        ScenarioEvent {
+            at_secs: 0.0,
+            action: Action::Arrive(spec),
+        },
+        ScenarioEvent {
+            at_secs: 0.5,
+            action: Action::Chaos {
+                app: "dnn1".into(),
+                fault: ChaosFault::PanicForward,
+            },
+        },
+        ScenarioEvent {
+            at_secs: 1.0,
+            action: Action::Chaos {
+                app: "dnn1".into(),
+                fault: ChaosFault::QueueStorm(3),
+            },
+        },
+    ];
+    let soc = emlrt::platform::presets::flagship();
+    let sim = Simulator::new(
+        soc,
+        events,
+        SimConfig {
+            duration: TimeSpan::from_secs(2.0),
+            ..SimConfig::default()
+        },
+    )
+    .unwrap();
+    let probe = random_samples(3 * 8 * 8, 1, 23).remove(0);
+    let mut replay = ExecutedReplay::new(&exec).with_probe("dnn1", probe);
+    sim.run_executed(&mut replay).unwrap();
+    exec.drain();
+    let s = exec.stats("dnn1").unwrap();
+    assert!(
+        s.errors >= 1,
+        "the injected forward panic errored a probe: {s:?}"
+    );
+    assert_eq!(s.storm_injected, 3, "{s:?}");
+    assert!(s.completed >= 3, "probes and storm riders completed: {s:?}");
+    assert_eq!(s.out_of_order, 0);
+}

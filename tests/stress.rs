@@ -193,6 +193,7 @@ fn serving_soak_survives_knob_churn_under_sustained_load() {
         queue_capacity: CAPACITY,
         batch_cap: 8,
         stats_window: 128,
+        ..ExecutorConfig::default()
     });
     exec.register_dnn(
         "soak",
@@ -299,6 +300,241 @@ fn serving_soak_survives_knob_churn_under_sustained_load() {
     // back-pressure), so the typed rejections are pure flow control on
     // top of a complete stream.
     assert_eq!(submitted, TOTAL as u64, "perfect accounting");
+}
+
+/// **The chaos soak.** A deterministic fault schedule — three forward
+/// panics, a thread crash, two 300 ms latency spikes, a queue storm
+/// and a knob-actuation failure — drives the executor through every
+/// fault-tolerance path while a degradation ladder watches the
+/// pressure: zero lost tickets, exact extended accounting
+/// (`attempts + storm_injected == completed + errors + rejected +
+/// shed`), a supervised restart, two ladder rungs down under pressure
+/// and both restored (hysteresis) once it clears. The entire outcome
+/// digest — per-request outcome + prediction, every counter — is
+/// asserted bit-identical across two runs of the same seed.
+#[test]
+fn chaos_soak_is_fault_tolerant_and_bit_reproducible() {
+    use emlrt::dnn::{Precision, WidthLevel};
+    use emlrt::rtm::knobs::KnobCommand;
+    use emlrt::serve::{
+        testbed, AppStatsSnapshot, Executor, ExecutorConfig, FaultKind, FaultPlan, PressureAction,
+        PressureConfig, PressurePolicy, ServeError, Ticket,
+    };
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    const APP: &str = "chaos";
+    const TIMEOUT: Duration = Duration::from_secs(60);
+    const SAMPLE_LEN: usize = 3 * 8 * 8;
+
+    /// Everything observable about one run, for the bit-reproducibility
+    /// check. Wall-clock quantities (latencies, percentiles) are
+    /// deliberately excluded; outcomes, predictions and counters are
+    /// not allowed to vary.
+    #[derive(Debug, PartialEq, Eq)]
+    struct RunDigest {
+        /// (seq, outcome, argmax) per ticketed request, in submission
+        /// order: 'c' completed, 'e' inference error, 's' shed.
+        outcomes: Vec<(u64, char, usize)>,
+        completed: u64,
+        errors: u64,
+        shed: u64,
+        rejected: u64,
+        storm_injected: u64,
+        restarts: u64,
+        stalls: u64,
+        knob_faulted: u64,
+        knob_rejected: u64,
+        out_of_order: u64,
+        degrade_steps: u64,
+        restore_steps: u64,
+        final_level: usize,
+        final_precision_int8: bool,
+        ladder: Vec<char>, // 'd' degrade / 'r' restore, in tick order
+    }
+
+    fn run_once(seed: u64) -> (RunDigest, AppStatsSnapshot, u64) {
+        // The schedule: keyed to request sequence numbers, so the same
+        // submission pattern replays the same hostile trajectory.
+        let plan = FaultPlan::new()
+            .with_fault(APP, 8, FaultKind::PanicForward)
+            .with_fault(APP, 12, FaultKind::PanicForward)
+            .with_fault(APP, 16, FaultKind::PanicForward)
+            .with_fault(APP, 20, FaultKind::CrashThread)
+            .with_fault(
+                APP,
+                24,
+                FaultKind::LatencySpike(TimeSpan::from_millis(300.0)),
+            )
+            .with_fault(
+                APP,
+                32,
+                FaultKind::LatencySpike(TimeSpan::from_millis(300.0)),
+            )
+            .with_fault(APP, 40, FaultKind::QueueStorm(6))
+            .with_fault(APP, 50, FaultKind::KnobFailure);
+        let mut exec = Executor::new(ExecutorConfig {
+            queue_capacity: 64,
+            batch_cap: 4,
+            watchdog_interval: Duration::from_millis(2),
+            restart_backoff: Duration::from_millis(5),
+            fault_plan: Some(Arc::new(plan)),
+            ..ExecutorConfig::default()
+        });
+        exec.register_dnn(
+            APP,
+            testbed::tiny_dnn(seed),
+            // 80 ms: normal (µs) forwards meet it easily; anything
+            // queued behind a 300 ms spike is doomed and must shed.
+            &Requirements::new().with_max_latency(TimeSpan::from_millis(80.0)),
+        )
+        .unwrap();
+        // The ladder watches miss rate + fresh sheds only (the soak
+        // parks deep queues on purpose, so depth is not a signal here).
+        let mut policy = PressurePolicy::new(PressureConfig {
+            queue_frac: 2.0,
+            miss_rate: 0.5,
+            min_outcomes: 4,
+            recover_ticks: 2,
+            width_floor: 0,
+        });
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC4A0);
+        let sample: Vec<f32> = (0..SAMPLE_LEN)
+            .map(|_| rng.gen_range(-1.0f32..1.0))
+            .collect();
+
+        let mut outcomes: Vec<(u64, char, usize)> = Vec::new();
+        let mut ladder: Vec<char> = Vec::new();
+        let mut attempts = 0u64;
+
+        // One choreography step: queue `n` requests while paused, serve
+        // them, record every outcome. Pausing first makes the batch
+        // composition a pure function of (n, batch_cap).
+        let mut phase = |exec: &Executor, n: usize| {
+            exec.pause(APP).unwrap();
+            let tickets: Vec<Ticket> = (0..n).map(|_| exec.submit(APP, &sample).unwrap()).collect();
+            attempts += n as u64;
+            exec.resume(APP).unwrap();
+            for t in &tickets {
+                match t.wait_timeout(TIMEOUT) {
+                    Ok(done) => outcomes.push((done.seq, 'c', done.pred)),
+                    Err(ServeError::Inference { .. }) => outcomes.push((t.seq(), 'e', usize::MAX)),
+                    Err(ServeError::DeadlineExpired { .. }) => {
+                        outcomes.push((t.seq(), 's', usize::MAX));
+                    }
+                    Err(e) => panic!("lost ticket #{}: {e}", t.seq()),
+                }
+            }
+            exec.drain_app(APP).unwrap();
+        };
+        let mut tick = |exec: &Executor, policy: &mut PressurePolicy| match policy.tick(exec, APP) {
+            Some(PressureAction::Degraded { .. }) => ladder.push('d'),
+            Some(PressureAction::Restored { .. }) => ladder.push('r'),
+            None => {}
+        };
+        // Knob actuation is asynchronous; ladder ticks must observe the
+        // settled operating point.
+        let settle = |exec: &Executor, f: &dyn Fn(&AppStatsSnapshot) -> bool| {
+            let t0 = Instant::now();
+            while !f(&exec.stats(APP).unwrap()) {
+                assert!(t0.elapsed() < TIMEOUT, "knob never settled");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        };
+
+        tick(&exec, &mut policy); // baseline: healthy, no movement
+        phase(&exec, 8); // A: seqs 0–7 warm up — 8 clean completions
+        tick(&exec, &mut policy); // still calm
+        phase(&exec, 4); // B1: panic @8 fails the whole batch, typed
+        phase(&exec, 4); // B2: panic @12
+        phase(&exec, 4); // B3: panic @16
+        phase(&exec, 4); // C: crash @20 — watchdog restart, 4 typed errors
+        phase(&exec, 8); // D: spike @24 — {24–27} ride it and miss, {28–31} shed
+        tick(&exec, &mut policy); // fresh sheds → rung 1: f32 → int8
+        settle(&exec, &|s| s.precision == Precision::Int8);
+        phase(&exec, 8); // D2: spike @32 at the degraded point — 4 miss, 4 shed
+        tick(&exec, &mut policy); // fresh sheds → rung 2: width down
+        settle(&exec, &|s| s.level == 2);
+        phase(&exec, 4); // E: storm @40 — 6 synthetic riders behind {40–43}
+        phase(&exec, 1); // F1: seq 50 arms the knob fault
+        exec.apply_command(&KnobCommand::SetWidth {
+            app: APP.into(),
+            level: WidthLevel(1),
+        });
+        phase(&exec, 1); // F2: the armed fault eats the width switch
+        settle(&exec, &|s| s.knob_faulted == 1);
+
+        // Pressure has cleared: pump health evidence, restore with
+        // hysteresis — two calm ticks per rung, most recent rung first.
+        phase(&exec, 4);
+        tick(&exec, &mut policy); // calm #1: not yet
+        phase(&exec, 4);
+        tick(&exec, &mut policy); // calm #2: width restored
+        settle(&exec, &|s| s.level == 3);
+        phase(&exec, 4);
+        tick(&exec, &mut policy);
+        phase(&exec, 4);
+        tick(&exec, &mut policy); // precision restored
+        settle(&exec, &|s| s.precision == Precision::F32);
+
+        let s = exec.stats(APP).unwrap();
+        let p = policy.stats();
+        let digest = RunDigest {
+            outcomes,
+            completed: s.completed,
+            errors: s.errors,
+            shed: s.shed,
+            rejected: s.rejected,
+            storm_injected: s.storm_injected,
+            restarts: s.restarts,
+            stalls: s.stalls,
+            knob_faulted: s.knob_faulted,
+            knob_rejected: s.knob_rejected,
+            out_of_order: s.out_of_order,
+            degrade_steps: p.degrade_steps,
+            restore_steps: p.restore_steps,
+            final_level: s.level,
+            final_precision_int8: s.precision == Precision::Int8,
+            ladder,
+        };
+        (digest, s, attempts)
+    }
+
+    let (digest, s, attempts) = run_once(4242);
+
+    // Zero lost tickets and exact extended accounting.
+    assert_eq!(attempts, 62);
+    assert_eq!(
+        attempts + s.storm_injected,
+        s.completed + s.errors + s.rejected + s.shed,
+        "extended accounting: {s:?}"
+    );
+    assert_eq!(s.completed, 44, "{s:?}");
+    assert_eq!(s.errors, 16, "3 panicked batches + 1 crashed batch: {s:?}");
+    assert_eq!(s.shed, 8, "both spike shadows shed: {s:?}");
+    assert_eq!(s.storm_injected, 6, "{s:?}");
+    assert_eq!(s.rejected, 0, "{s:?}");
+    assert_eq!(s.out_of_order, 0, "{s:?}");
+    // Supervision: the crash was detected, the batch failed typed, the
+    // thread restarted; the spikes were *not* stalls.
+    assert_eq!(s.restarts, 1, "{s:?}");
+    assert_eq!(s.stalls, 0, "{s:?}");
+    // The spikes' riders missed their deadline (and nothing else did).
+    assert!(s.missed >= 8, "{s:?}");
+    // Knob-failure fault: counted per cause, point left alone.
+    assert_eq!((s.knob_faulted, s.knob_rejected), (1, 0), "{s:?}");
+    // The ladder stepped down twice under pressure and fully recovered
+    // once it cleared.
+    assert_eq!(digest.ladder, vec!['d', 'd', 'r', 'r']);
+    assert_eq!((digest.degrade_steps, digest.restore_steps), (2, 2));
+    assert_eq!(digest.final_level, 3, "width restored");
+    assert!(!digest.final_precision_int8, "precision restored");
+
+    // Bit-reproducibility: the same seed replays the same digest —
+    // outcome chars, argmax predictions, every counter, the ladder.
+    let (digest2, _, attempts2) = run_once(4242);
+    assert_eq!(attempts, attempts2);
+    assert_eq!(digest, digest2, "chaos soak must be bit-reproducible");
 }
 
 #[test]
