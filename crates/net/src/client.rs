@@ -1,0 +1,282 @@
+//! A small blocking client for the serving wire protocol.
+//!
+//! [`NetClient`] exists for integration tests, examples and tooling —
+//! it speaks exactly the frame format of [`crate::frame`] and decodes
+//! reply statuses into [`ClientError::Status`], so a test can assert
+//! on the *typed* rejection a hostile request earned. It also exposes
+//! [`NetClient::send_raw`] deliberately: hostile-client tests need to
+//! put garbage, half-frames and oversize headers on the wire.
+
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::frame::{self, Frame, FrameError};
+use crate::status::WireStatus;
+
+/// One completed remote inference, decoded from an `Ok` submit reply.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RemoteCompletion {
+    /// The server-side per-app sequence number.
+    pub seq: u64,
+    /// Predicted class index.
+    pub pred: u32,
+    /// The full logit vector.
+    pub logits: Vec<f32>,
+}
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// A socket error (includes read timeouts).
+    Io(std::io::Error),
+    /// The server closed the connection (EOF mid-reply or between
+    /// frames; after a ban or an unrecoverable violation this is the
+    /// expected end of the conversation).
+    Closed,
+    /// A reply frame failed to decode.
+    Frame(FrameError),
+    /// The server answered with a non-`Ok` status; the message is the
+    /// server's human-readable explanation.
+    Status {
+        /// The typed status code.
+        status: WireStatus,
+        /// The server's explanation (UTF-8, lossy-decoded).
+        message: String,
+    },
+    /// The server answered with a status code this build does not know
+    /// (a newer server).
+    UnknownStatus {
+        /// The raw code byte.
+        code: u8,
+        /// The reply payload, lossy-decoded.
+        message: String,
+    },
+    /// An `Ok` reply whose payload does not parse as promised.
+    BadReply(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "socket error: {e}"),
+            Self::Closed => write!(f, "server closed the connection"),
+            Self::Frame(e) => write!(f, "reply frame error: {e}"),
+            Self::Status { status, message } => {
+                write!(f, "server status {status:?}: {message}")
+            }
+            Self::UnknownStatus { code, message } => {
+                write!(f, "unknown server status {code}: {message}")
+            }
+            Self::BadReply(why) => write!(f, "malformed Ok reply: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            Self::Frame(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Encodes a submit-request payload: `[u16 LE name length][name][f32…]`.
+#[must_use]
+pub fn encode_submit_payload(app: &str, sample: &[f32]) -> Vec<u8> {
+    let mut p = Vec::with_capacity(2 + app.len() + 4 * sample.len());
+    p.extend_from_slice(
+        &u16::try_from(app.len())
+            .expect("app name fits a u16 length prefix")
+            .to_le_bytes(),
+    );
+    p.extend_from_slice(app.as_bytes());
+    for v in sample {
+        p.extend_from_slice(&v.to_le_bytes());
+    }
+    p
+}
+
+/// A blocking protocol client. See the module docs.
+#[derive(Debug)]
+pub struct NetClient {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    max_payload: usize,
+}
+
+impl NetClient {
+    /// Connects and arms a read timeout (a dead or shunning server
+    /// surfaces as [`ClientError::Io`] instead of a hang).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/configure failures.
+    pub fn connect<A: ToSocketAddrs>(addr: A, read_timeout: Duration) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(read_timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            stream,
+            buf: Vec::new(),
+            max_payload: frame::DEFAULT_MAX_PAYLOAD,
+        })
+    }
+
+    /// Writes raw bytes to the wire — no framing, no validation. This
+    /// is the hostile-client hatch: tests use it for garbage, stalled
+    /// half-frames and forged oversize headers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the write failure.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.stream.write_all(bytes)
+    }
+
+    /// Reads the next reply frame and splits it into its typed status
+    /// and payload.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Closed`] on EOF, [`ClientError::Io`] on timeout,
+    /// [`ClientError::UnknownStatus`] for codes this build lacks.
+    pub fn read_status(&mut self) -> Result<(WireStatus, Vec<u8>), ClientError> {
+        let f = self.read_frame()?;
+        match WireStatus::from_code(f.tag) {
+            Some(status) => Ok((status, f.payload)),
+            None => Err(ClientError::UnknownStatus {
+                code: f.tag,
+                message: String::from_utf8_lossy(&f.payload).into_owned(),
+            }),
+        }
+    }
+
+    /// Binds this connection's admission identity. Bans attach to the
+    /// identity, so a banned client stays banned across reconnects.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Status`] with the typed refusal (e.g.
+    /// [`WireStatus::Banned`]) if the server shuns the identity.
+    pub fn hello(&mut self, id: &str) -> Result<(), ClientError> {
+        self.send_raw(&frame::encode(crate::server::TAG_HELLO, id.as_bytes()))?;
+        self.expect_ok().map(|_| ())
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Status`] on any typed refusal.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.send_raw(&frame::encode(crate::server::TAG_PING, &[]))?;
+        self.expect_ok().map(|_| ())
+    }
+
+    /// Submits one inference request and blocks for its reply.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Status`] carries every typed server-side refusal
+    /// — back-pressure (`QueueFull`), admission (`RateLimited`,
+    /// `Banned`), serving failures — exactly as the wire reported it.
+    pub fn submit(&mut self, app: &str, sample: &[f32]) -> Result<RemoteCompletion, ClientError> {
+        let payload = encode_submit_payload(app, sample);
+        self.send_raw(&frame::encode(crate::server::TAG_SUBMIT, &payload))?;
+        let body = self.expect_ok()?;
+        decode_completion(&body)
+    }
+
+    fn expect_ok(&mut self) -> Result<Vec<u8>, ClientError> {
+        let (status, payload) = self.read_status()?;
+        if status == WireStatus::Ok {
+            Ok(payload)
+        } else {
+            Err(ClientError::Status {
+                status,
+                message: String::from_utf8_lossy(&payload).into_owned(),
+            })
+        }
+    }
+
+    fn read_frame(&mut self) -> Result<Frame, ClientError> {
+        let mut chunk = [0u8; 4096];
+        loop {
+            match frame::decode(&self.buf, self.max_payload) {
+                Ok((f, used)) => {
+                    self.buf.drain(..used);
+                    return Ok(f);
+                }
+                Err(FrameError::Truncated { .. }) => match self.stream.read(&mut chunk) {
+                    Ok(0) => return Err(ClientError::Closed),
+                    Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                    Err(e) => return Err(ClientError::Io(e)),
+                },
+                Err(e @ FrameError::Oversize { .. }) => return Err(ClientError::Frame(e)),
+            }
+        }
+    }
+}
+
+fn decode_completion(body: &[u8]) -> Result<RemoteCompletion, ClientError> {
+    if body.len() < 16 {
+        return Err(ClientError::BadReply(format!(
+            "completion header needs 16 bytes, got {}",
+            body.len()
+        )));
+    }
+    let seq = u64::from_le_bytes(body[0..8].try_into().expect("8 bytes"));
+    let pred = u32::from_le_bytes(body[8..12].try_into().expect("4 bytes"));
+    let n = u32::from_le_bytes(body[12..16].try_into().expect("4 bytes")) as usize;
+    let logit_bytes = &body[16..];
+    if logit_bytes.len() != 4 * n {
+        return Err(ClientError::BadReply(format!(
+            "completion declares {n} logits but carries {} bytes",
+            logit_bytes.len()
+        )));
+    }
+    let logits = logit_bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect();
+    Ok(RemoteCompletion { seq, pred, logits })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_payload_and_completion_codecs_are_inverse_of_the_server() {
+        let p = encode_submit_payload("cam", &[0.5, -1.0]);
+        assert_eq!(&p[..2], &3u16.to_le_bytes());
+        assert_eq!(&p[2..5], b"cam");
+        assert_eq!(p.len(), 2 + 3 + 8);
+
+        // A hand-built completion body decodes faithfully.
+        let mut body = Vec::new();
+        body.extend_from_slice(&42u64.to_le_bytes());
+        body.extend_from_slice(&2u32.to_le_bytes());
+        body.extend_from_slice(&3u32.to_le_bytes());
+        for l in [0.1f32, 0.2, 0.7] {
+            body.extend_from_slice(&l.to_le_bytes());
+        }
+        let c = decode_completion(&body).unwrap();
+        assert_eq!((c.seq, c.pred), (42, 2));
+        assert_eq!(c.logits.len(), 3);
+
+        // Truncated and inconsistent bodies fail typed.
+        assert!(decode_completion(&body[..10]).is_err());
+        body.pop();
+        assert!(decode_completion(&body).is_err());
+    }
+}

@@ -1,0 +1,768 @@
+//! The threaded TCP serving front end.
+//!
+//! [`NetServer`] owns a [`eml_serve::Executor`] and exposes it over the
+//! length-prefixed wire protocol of [`crate::frame`]: one accept loop,
+//! one thread per connection, every inbound request gated by the
+//! [`crate::Admission`] registry before it can touch the executor.
+//!
+//! ## Request vocabulary
+//!
+//! | Tag | Request | Payload |
+//! |-----|---------|---------|
+//! | [`TAG_HELLO`] | bind a client identity | UTF-8 id, 1–64 bytes |
+//! | [`TAG_PING`] | liveness probe | empty |
+//! | [`TAG_SUBMIT`] | one inference request | `u16 LE` app-name length, app name, little-endian `f32` sample |
+//!
+//! Responses reuse the frame format with the tag byte carrying a
+//! [`WireStatus`] code; an `Ok` submit response's payload is
+//! `[u64 seq][u32 pred][u32 n][n × f32 logits]`, all little-endian,
+//! and every error status carries a human-readable UTF-8 message.
+//!
+//! ## Connection lifecycle and supervision
+//!
+//! Each connection thread runs its handler inside
+//! `catch_unwind` — a panicking handler (a bug, not a protocol event)
+//! is counted in [`NetStatsSnapshot::conn_panics`] and closes only
+//! that connection, mirroring the serve executor's watchdog stance
+//! that one tenant's failure must never be fatal to the process.
+//! Finished handles are reaped on every accept, so the handle list
+//! stays bounded.
+//!
+//! Reads are ticked ([`NetConfig::read_tick`]) so a connection thread
+//! is never parked forever: a started frame that does not complete
+//! within [`NetConfig::frame_deadline`] is a scored slowloris
+//! violation ([`WireStatus::Stalled`]), and a silent connection is
+//! closed after [`NetConfig::idle_timeout`].
+//!
+//! ## Shutdown
+//!
+//! [`NetServer::shutdown`] stops the accept loop, joins every
+//! connection thread (each finishes its in-flight request — tickets
+//! resolve because the executor is still alive), then drains the
+//! executor ([`eml_serve::Executor::drain`]); requests arriving during
+//! the drain get the typed `AppStopped` semantics of the serving
+//! layer, mapped to [`WireStatus::AppStopped`] on the wire. Nothing
+//! completes silently.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use eml_serve::{Executor, ServeError};
+
+use crate::admission::{Admission, AdmissionConfig, Gate, Violation};
+use crate::frame::{self, FrameError};
+use crate::status::WireStatus;
+
+/// Request tag: bind a client identity for admission scoring.
+pub const TAG_HELLO: u8 = 1;
+/// Request tag: liveness probe.
+pub const TAG_PING: u8 = 2;
+/// Request tag: one inference request.
+pub const TAG_SUBMIT: u8 = 3;
+
+/// Front-end configuration.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Bind address (`"127.0.0.1:0"` picks an ephemeral port).
+    pub addr: String,
+    /// Hard cap on a frame's payload, enforced before allocation.
+    pub max_payload: usize,
+    /// Granularity of the ticked socket reads (the poll interval at
+    /// which stop/stall/idle conditions are noticed).
+    pub read_tick: Duration,
+    /// A frame whose first byte has arrived must complete within this
+    /// wall-clock budget, or the client is scored for a slowloris
+    /// stall and disconnected.
+    pub frame_deadline: Duration,
+    /// Connections with no traffic at a frame boundary for this long
+    /// are closed (quietly — idling is not a violation).
+    pub idle_timeout: Duration,
+    /// Upper bound on the server-side wait for one request's
+    /// completion ticket; expiry maps to [`WireStatus::WaitTimeout`].
+    pub reply_wait: Duration,
+    /// Socket write timeout (a client that stops reading its replies
+    /// cannot pin a connection thread).
+    pub write_timeout: Duration,
+    /// Maximum concurrently served connections; excess accepts are
+    /// turned away with [`WireStatus::RateLimited`].
+    pub max_connections: usize,
+    /// Per-client admission tuning.
+    pub admission: AdmissionConfig,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            max_payload: frame::DEFAULT_MAX_PAYLOAD,
+            read_tick: Duration::from_millis(20),
+            frame_deadline: Duration::from_secs(2),
+            idle_timeout: Duration::from_secs(30),
+            reply_wait: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(5),
+            max_connections: 256,
+            admission: AdmissionConfig::default(),
+        }
+    }
+}
+
+/// Front-end counters (all monotonic except `active`).
+#[derive(Default)]
+struct NetStats {
+    accepted: AtomicU64,
+    active: AtomicU64,
+    frames: AtomicU64,
+    exec_submitted: AtomicU64,
+    exec_rejected: AtomicU64,
+    exec_refused: AtomicU64,
+    completions: AtomicU64,
+    ticket_errors: AtomicU64,
+    rate_limited: AtomicU64,
+    banned_replies: AtomicU64,
+    over_capacity: AtomicU64,
+    conn_panics: AtomicU64,
+    shutdown_replies: AtomicU64,
+}
+
+/// A consistent-enough snapshot of the front end's counters (each
+/// field is individually atomic; the snapshot is taken field by
+/// field).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetStatsSnapshot {
+    /// Connections accepted.
+    pub accepted: u64,
+    /// Connections currently being served.
+    pub active: u64,
+    /// Complete frames decoded (all tags, before any gating).
+    pub frames: u64,
+    /// `Executor::submit` calls that were admitted (returned a ticket).
+    pub exec_submitted: u64,
+    /// Submits the executor rejected with back-pressure
+    /// (`QueueFull`/`NotAdmitted`) — these increment the executor's
+    /// `rejected` counter, so they belong on the left side of the
+    /// accounting invariant.
+    pub exec_rejected: u64,
+    /// Submits refused before queueing for other typed reasons
+    /// (`UnknownApp`, `ShapeMismatch`, `AppStopped`, …) — the executor
+    /// never saw these as queue entries.
+    pub exec_refused: u64,
+    /// Tickets that resolved to a completion.
+    pub completions: u64,
+    /// Tickets that resolved to a typed serving error (shed, inference
+    /// failure, wait timeout, stop).
+    pub ticket_errors: u64,
+    /// Requests turned away by the token bucket.
+    pub rate_limited: u64,
+    /// Replies sent to banned clients.
+    pub banned_replies: u64,
+    /// Connections or registrations turned away because a capacity
+    /// bound (connection cap, admission registry) was reached.
+    pub over_capacity: u64,
+    /// Connection-handler panics contained and counted (never fatal).
+    pub conn_panics: u64,
+    /// Frames answered with [`WireStatus::ShuttingDown`].
+    pub shutdown_replies: u64,
+}
+
+impl NetStats {
+    fn snapshot(&self) -> NetStatsSnapshot {
+        NetStatsSnapshot {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            active: self.active.load(Ordering::Relaxed),
+            frames: self.frames.load(Ordering::Relaxed),
+            exec_submitted: self.exec_submitted.load(Ordering::Relaxed),
+            exec_rejected: self.exec_rejected.load(Ordering::Relaxed),
+            exec_refused: self.exec_refused.load(Ordering::Relaxed),
+            completions: self.completions.load(Ordering::Relaxed),
+            ticket_errors: self.ticket_errors.load(Ordering::Relaxed),
+            rate_limited: self.rate_limited.load(Ordering::Relaxed),
+            banned_replies: self.banned_replies.load(Ordering::Relaxed),
+            over_capacity: self.over_capacity.load(Ordering::Relaxed),
+            conn_panics: self.conn_panics.load(Ordering::Relaxed),
+            shutdown_replies: self.shutdown_replies.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Everything the accept loop and every connection thread share.
+struct Shared {
+    cfg: NetConfig,
+    executor: Arc<Executor>,
+    admission: Admission,
+    stats: NetStats,
+    stop: AtomicBool,
+}
+
+/// The networked serving front end. See the module docs.
+pub struct NetServer {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl std::fmt::Debug for NetServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "NetServer({})", self.local_addr)
+    }
+}
+
+impl NetServer {
+    /// Binds the listener and starts the accept loop over `executor`.
+    /// Applications must be registered on the executor before it is
+    /// handed over; the server takes ownership (shared — see
+    /// [`NetServer::executor`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(cfg: NetConfig, executor: Executor) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local_addr = listener.local_addr()?;
+        let admission = Admission::new(cfg.admission.clone());
+        let shared = Arc::new(Shared {
+            cfg,
+            executor: Arc::new(executor),
+            admission,
+            stats: NetStats::default(),
+            stop: AtomicBool::new(false),
+        });
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept_thread = {
+            let shared = Arc::clone(&shared);
+            let conns = Arc::clone(&conns);
+            std::thread::Builder::new()
+                .name("eml-net-accept".into())
+                .spawn(move || accept_loop(&listener, &shared, &conns))
+                .expect("spawn accept thread")
+        };
+        Ok(Self {
+            shared,
+            local_addr,
+            accept_thread: Some(accept_thread),
+            conns,
+        })
+    }
+
+    /// The bound address (with the resolved ephemeral port).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The executor behind the front end (for stats, allocation
+    /// actuation and the control loop).
+    #[must_use]
+    pub fn executor(&self) -> &Arc<Executor> {
+        &self.shared.executor
+    }
+
+    /// The admission registry (scores, bans, counters).
+    #[must_use]
+    pub fn admission(&self) -> &Admission {
+        &self.shared.admission
+    }
+
+    /// A snapshot of the front-end counters.
+    #[must_use]
+    pub fn stats(&self) -> NetStatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Graceful shutdown: stop accepting, join every connection thread
+    /// (each finishes its in-flight request), then drain the executor
+    /// so every queued request completes or fails typed. Idempotent;
+    /// also invoked by `Drop`.
+    pub fn shutdown(&mut self) {
+        if self.shared.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the blocking accept with a throwaway self-connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        let handles: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.conns.lock().unwrap_or_else(PoisonError::into_inner));
+        for h in handles {
+            let _ = h.join();
+        }
+        // PR 6 semantics: in-flight work completes or fails typed
+        // before the executor goes away — never silently.
+        self.shared.executor.drain();
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn lock_conns(
+    conns: &Mutex<Vec<JoinHandle<()>>>,
+) -> std::sync::MutexGuard<'_, Vec<JoinHandle<()>>> {
+    conns.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Joins finished connection threads (bounding the handle list). Every
+/// handler runs inside `catch_unwind`, so joins here never carry a
+/// panic payload; panic counting happens at the catch site.
+fn reap_finished(conns: &Mutex<Vec<JoinHandle<()>>>) {
+    let mut held = lock_conns(conns);
+    let mut live = Vec::with_capacity(held.len());
+    for h in held.drain(..) {
+        if h.is_finished() {
+            let _ = h.join();
+        } else {
+            live.push(h);
+        }
+    }
+    *held = live;
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    conns: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    let mut conn_id: u64 = 0;
+    loop {
+        let (stream, peer) = match listener.accept() {
+            Ok(pair) => pair,
+            Err(_) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.stop.load(Ordering::SeqCst) {
+            // The shutdown wake-up (or a client racing it): refuse typed.
+            let _ = send_status(&stream, WireStatus::ShuttingDown, b"server shutting down");
+            return;
+        }
+        reap_finished(conns);
+        let active = shared.stats.active.load(Ordering::Relaxed);
+        if active as usize >= shared.cfg.max_connections {
+            shared.stats.over_capacity.fetch_add(1, Ordering::Relaxed);
+            let _ = send_status(
+                &stream,
+                WireStatus::RateLimited,
+                b"connection limit reached",
+            );
+            continue;
+        }
+        shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+        shared.stats.active.fetch_add(1, Ordering::Relaxed);
+        conn_id += 1;
+        let shared2 = Arc::clone(shared);
+        let handle = std::thread::Builder::new()
+            .name(format!("eml-net-conn-{conn_id}"))
+            .spawn(move || {
+                // The watchdog stance from the serve executor, applied
+                // to connections: a panicking handler is contained,
+                // counted and reaped — one hostile or unlucky
+                // connection is never fatal to the front end.
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    handle_connection(&shared2, &stream, peer);
+                }));
+                if outcome.is_err() {
+                    shared2.stats.conn_panics.fetch_add(1, Ordering::Relaxed);
+                }
+                shared2.stats.active.fetch_sub(1, Ordering::Relaxed);
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+            })
+            .expect("spawn connection thread");
+        lock_conns(conns).push(handle);
+    }
+}
+
+fn send_status(mut stream: &TcpStream, status: WireStatus, payload: &[u8]) -> std::io::Result<()> {
+    stream.write_all(&frame::encode(status.code(), payload))
+}
+
+/// What the handler should do after answering a frame.
+enum Next {
+    Continue,
+    Close,
+}
+
+/// Scores a violation, answers it typed, and escalates to a ban reply
+/// when the score crosses the threshold. `force_close` is for
+/// violations after which the byte stream cannot be trusted to
+/// re-synchronise (oversize, stall).
+fn punish(
+    shared: &Shared,
+    stream: &TcpStream,
+    key: &str,
+    v: Violation,
+    status: WireStatus,
+    msg: &str,
+    force_close: bool,
+) -> Next {
+    let _ = send_status(stream, status, msg.as_bytes());
+    if let Some(window) = shared.admission.record_violation(key, v, Instant::now()) {
+        shared.stats.banned_replies.fetch_add(1, Ordering::Relaxed);
+        let note = format!(
+            "banned for {:.3}s: misbehaviour score crossed the threshold",
+            window.as_secs_f64()
+        );
+        let _ = send_status(stream, WireStatus::Banned, note.as_bytes());
+        return Next::Close;
+    }
+    if force_close {
+        Next::Close
+    } else {
+        Next::Continue
+    }
+}
+
+fn parse_submit(payload: &[u8]) -> Result<(String, Vec<f32>), String> {
+    if payload.len() < 2 {
+        return Err("submit payload shorter than its app-name length prefix".into());
+    }
+    let name_len = u16::from_le_bytes([payload[0], payload[1]]) as usize;
+    let sample_at = 2 + name_len;
+    if payload.len() < sample_at {
+        return Err(format!(
+            "submit declares a {name_len}-byte app name but carries {}",
+            payload.len() - 2
+        ));
+    }
+    let app = std::str::from_utf8(&payload[2..sample_at])
+        .map_err(|_| "app name is not UTF-8".to_string())?
+        .to_string();
+    if app.is_empty() {
+        return Err("empty app name".into());
+    }
+    let sample_bytes = &payload[sample_at..];
+    if !sample_bytes.len().is_multiple_of(4) {
+        return Err(format!(
+            "sample byte count {} is not a multiple of 4",
+            sample_bytes.len()
+        ));
+    }
+    let sample = sample_bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect();
+    Ok((app, sample))
+}
+
+fn encode_completion(done: &eml_serve::Completion) -> Vec<u8> {
+    let mut p = Vec::with_capacity(16 + 4 * done.logits.len());
+    p.extend_from_slice(&done.seq.to_le_bytes());
+    p.extend_from_slice(&(done.pred as u32).to_le_bytes());
+    p.extend_from_slice(&(done.logits.len() as u32).to_le_bytes());
+    for l in &done.logits {
+        p.extend_from_slice(&l.to_le_bytes());
+    }
+    p
+}
+
+/// Handles one decoded frame. `key` is the client's admission identity
+/// (mutated by a Hello).
+fn handle_frame(
+    shared: &Shared,
+    stream: &TcpStream,
+    peer: SocketAddr,
+    key: &mut String,
+    f: &frame::Frame,
+) -> Next {
+    shared.stats.frames.fetch_add(1, Ordering::Relaxed);
+    match f.tag {
+        TAG_HELLO => {
+            let id = match std::str::from_utf8(&f.payload) {
+                Ok(id) if !id.is_empty() && id.len() <= 64 => id,
+                _ => {
+                    return punish(
+                        shared,
+                        stream,
+                        key,
+                        Violation::Malformed,
+                        WireStatus::Malformed,
+                        "hello id must be 1..=64 bytes of UTF-8",
+                        false,
+                    );
+                }
+            };
+            // Identity is IP-scoped: a client cannot claim another
+            // network's standing (or inherit its bans) by name alone.
+            let new_key = format!("{}#{id}", peer.ip());
+            match shared.admission.connection_gate(&new_key, Instant::now()) {
+                Gate::Banned { until } => {
+                    shared.stats.banned_replies.fetch_add(1, Ordering::Relaxed);
+                    let msg = format!(
+                        "banned for another {:.3}s",
+                        until
+                            .saturating_duration_since(Instant::now())
+                            .as_secs_f64()
+                    );
+                    let _ = send_status(stream, WireStatus::Banned, msg.as_bytes());
+                    Next::Close
+                }
+                Gate::OverCapacity => {
+                    shared.stats.over_capacity.fetch_add(1, Ordering::Relaxed);
+                    let _ = send_status(
+                        stream,
+                        WireStatus::RateLimited,
+                        b"admission registry at capacity",
+                    );
+                    Next::Close
+                }
+                Gate::Admitted | Gate::RateLimited => {
+                    *key = new_key;
+                    let _ = send_status(stream, WireStatus::Ok, &[]);
+                    Next::Continue
+                }
+            }
+        }
+        TAG_PING => {
+            if f.payload.is_empty() {
+                let _ = send_status(stream, WireStatus::Ok, &[]);
+                Next::Continue
+            } else {
+                punish(
+                    shared,
+                    stream,
+                    key,
+                    Violation::Malformed,
+                    WireStatus::Malformed,
+                    "ping carries no payload",
+                    false,
+                )
+            }
+        }
+        TAG_SUBMIT => {
+            match shared.admission.request_gate(key, Instant::now()) {
+                Gate::Banned { until } => {
+                    shared.stats.banned_replies.fetch_add(1, Ordering::Relaxed);
+                    let msg = format!(
+                        "banned for another {:.3}s",
+                        until
+                            .saturating_duration_since(Instant::now())
+                            .as_secs_f64()
+                    );
+                    let _ = send_status(stream, WireStatus::Banned, msg.as_bytes());
+                    return Next::Close;
+                }
+                Gate::OverCapacity => {
+                    shared.stats.over_capacity.fetch_add(1, Ordering::Relaxed);
+                    let _ = send_status(
+                        stream,
+                        WireStatus::RateLimited,
+                        b"admission registry at capacity",
+                    );
+                    return Next::Close;
+                }
+                Gate::RateLimited => {
+                    shared.stats.rate_limited.fetch_add(1, Ordering::Relaxed);
+                    return punish(
+                        shared,
+                        stream,
+                        key,
+                        Violation::Flood,
+                        WireStatus::RateLimited,
+                        "token bucket empty: over the sustained request rate",
+                        false,
+                    );
+                }
+                Gate::Admitted => {}
+            }
+            let (app, sample) = match parse_submit(&f.payload) {
+                Ok(parts) => parts,
+                Err(why) => {
+                    return punish(
+                        shared,
+                        stream,
+                        key,
+                        Violation::Malformed,
+                        WireStatus::Malformed,
+                        &why,
+                        false,
+                    );
+                }
+            };
+            match shared.executor.submit(&app, &sample) {
+                Ok(ticket) => {
+                    shared.stats.exec_submitted.fetch_add(1, Ordering::Relaxed);
+                    match ticket.wait_timeout(shared.cfg.reply_wait) {
+                        Ok(done) => {
+                            shared.stats.completions.fetch_add(1, Ordering::Relaxed);
+                            let _ = send_status(stream, WireStatus::Ok, &encode_completion(&done));
+                        }
+                        Err(e) => {
+                            shared.stats.ticket_errors.fetch_add(1, Ordering::Relaxed);
+                            let _ = send_status(
+                                stream,
+                                WireStatus::from_serve_error(&e),
+                                e.to_string().as_bytes(),
+                            );
+                        }
+                    }
+                    Next::Continue
+                }
+                Err(e) => {
+                    // Back-pressure and refusal stay typed end to end;
+                    // QueueFull/NotAdmitted entered the executor's own
+                    // `rejected` count, the rest never reached a queue.
+                    match e {
+                        ServeError::QueueFull { .. } | ServeError::NotAdmitted { .. } => {
+                            shared.stats.exec_rejected.fetch_add(1, Ordering::Relaxed);
+                        }
+                        _ => {
+                            shared.stats.exec_refused.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    let _ = send_status(
+                        stream,
+                        WireStatus::from_serve_error(&e),
+                        e.to_string().as_bytes(),
+                    );
+                    Next::Continue
+                }
+            }
+        }
+        _ => punish(
+            shared,
+            stream,
+            key,
+            Violation::UnknownTag,
+            WireStatus::UnknownTag,
+            &format!("unknown request tag {}", f.tag),
+            false,
+        ),
+    }
+}
+
+/// The per-connection loop: ticked reads, frame decoding, violation
+/// scoring, dispatch. See the module docs for the lifecycle.
+fn handle_connection(shared: &Shared, stream: &TcpStream, peer: SocketAddr) {
+    let _ = stream.set_read_timeout(Some(shared.cfg.read_tick.max(Duration::from_millis(1))));
+    let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
+    let _ = stream.set_nodelay(true);
+    // Pre-Hello identity: the peer address. Distinct per connection —
+    // scoring still works within the connection; cross-connection
+    // standing requires a Hello (see the crate-level threat model).
+    let mut key = peer.to_string();
+    let mut buf: Vec<u8> = Vec::new();
+    let mut frame_started: Option<Instant> = None;
+    let mut idle_since = Instant::now();
+    let mut read_chunk = [0u8; 4096];
+    let mut reader = stream;
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            shared
+                .stats
+                .shutdown_replies
+                .fetch_add(1, Ordering::Relaxed);
+            let _ = send_status(stream, WireStatus::ShuttingDown, b"server shutting down");
+            return;
+        }
+        match frame::decode(&buf, shared.cfg.max_payload) {
+            Ok((f, used)) => {
+                buf.drain(..used);
+                frame_started = if buf.is_empty() {
+                    None
+                } else {
+                    // Pipelined bytes already queued count as a
+                    // started frame from now.
+                    Some(Instant::now())
+                };
+                idle_since = Instant::now();
+                match handle_frame(shared, stream, peer, &mut key, &f) {
+                    Next::Continue => {}
+                    Next::Close => return,
+                }
+            }
+            Err(FrameError::Oversize { declared, max }) => {
+                // Detected from the header alone: the declared payload
+                // was never read, let alone allocated. The stream
+                // cannot re-synchronise past an unread payload, so
+                // this always closes.
+                let _ = punish(
+                    shared,
+                    stream,
+                    &key,
+                    Violation::Oversize,
+                    WireStatus::Oversize,
+                    &format!("frame declares {declared} bytes, cap is {max}"),
+                    true,
+                );
+                return;
+            }
+            Err(FrameError::Truncated { .. }) => match reader.read(&mut read_chunk) {
+                Ok(0) => return, // clean EOF
+                Ok(n) => {
+                    if buf.is_empty() {
+                        frame_started = Some(Instant::now());
+                    }
+                    buf.extend_from_slice(&read_chunk[..n]);
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    if let Some(t0) = frame_started {
+                        if t0.elapsed() > shared.cfg.frame_deadline {
+                            // Slowloris: a half-sent frame may not pin
+                            // this thread past the read deadline.
+                            let _ = punish(
+                                shared,
+                                stream,
+                                &key,
+                                Violation::Stall,
+                                WireStatus::Stalled,
+                                "frame not completed within the read deadline",
+                                true,
+                            );
+                            return;
+                        }
+                    } else if idle_since.elapsed() > shared.cfg.idle_timeout {
+                        return; // quiet idle close, not a violation
+                    }
+                }
+                Err(_) => return, // connection error: nothing to salvage
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn executor_is_shareable_across_connection_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Executor>();
+        assert_send_sync::<Shared>();
+    }
+
+    #[test]
+    fn submit_payload_parsing_is_typed_never_panicking() {
+        assert!(parse_submit(&[]).is_err());
+        assert!(parse_submit(&[5]).is_err());
+        // Declared name length overruns the payload.
+        assert!(parse_submit(&[200, 0, b'a']).is_err());
+        // Non-UTF-8 name.
+        assert!(parse_submit(&[2, 0, 0xFF, 0xFE]).is_err());
+        // Empty name.
+        assert!(parse_submit(&[0, 0, 0, 0, 0, 0]).is_err());
+        // Sample bytes not a multiple of 4.
+        assert!(parse_submit(&[1, 0, b'a', 1, 2, 3]).is_err());
+        // A valid payload round-trips.
+        let mut p = vec![3, 0];
+        p.extend_from_slice(b"cam");
+        p.extend_from_slice(&1.5f32.to_le_bytes());
+        p.extend_from_slice(&(-2.0f32).to_le_bytes());
+        let (app, sample) = parse_submit(&p).unwrap();
+        assert_eq!(app, "cam");
+        assert_eq!(sample, vec![1.5, -2.0]);
+    }
+}

@@ -1,0 +1,183 @@
+//! Stable wire status codes.
+//!
+//! A response frame's tag byte carries one of these codes. The space is
+//! partitioned:
+//!
+//! - `0` — success.
+//! - `1..=31` — serving-layer failures, defined by
+//!   [`ServeError::wire_code`] in `eml-serve` (an exhaustive match
+//!   there guarantees every present and future variant has a code).
+//! - `32..` — protocol/admission-level conditions this crate owns:
+//!   frame violations, rate limiting, bans, shutdown.
+//!
+//! Codes are stable once shipped: never renumbered, never reused.
+
+use eml_serve::ServeError;
+
+/// A wire status code. See the module docs for the code-space layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum WireStatus {
+    /// The request succeeded; the payload carries the result.
+    Ok = 0,
+    /// [`ServeError::QueueFull`]: the app's bounded queue rejected the
+    /// request — back-pressure, try later.
+    QueueFull = 1,
+    /// [`ServeError::UnknownApp`].
+    UnknownApp = 2,
+    /// [`ServeError::DuplicateApp`].
+    DuplicateApp = 3,
+    /// [`ServeError::NotAdmitted`]: the current allocation left the
+    /// app unplaced.
+    NotAdmitted = 4,
+    /// [`ServeError::AppStopped`]: the executor is draining or shut
+    /// down; the request was refused typed, not dropped.
+    AppStopped = 5,
+    /// [`ServeError::ShapeMismatch`].
+    ShapeMismatch = 6,
+    /// [`ServeError::DeadlineExpired`]: shed in the queue past its
+    /// deadline.
+    DeadlineExpired = 7,
+    /// [`ServeError::WaitTimeout`]: the server's bounded wait on the
+    /// ticket elapsed; the request may still complete server-side.
+    WaitTimeout = 8,
+    /// [`ServeError::Inference`]: the forward pass failed.
+    Inference = 9,
+    /// [`ServeError::Rtm`]: an underlying allocation/knob error.
+    Rtm = 10,
+    /// The frame header declared a payload above the server's cap.
+    Oversize = 32,
+    /// The frame's tag byte is not in the request vocabulary.
+    UnknownTag = 33,
+    /// The frame's payload does not parse as its tag demands.
+    Malformed = 34,
+    /// The client's token bucket is empty — over its sustained rate.
+    RateLimited = 35,
+    /// The client's misbehaviour score crossed the ban threshold; the
+    /// payload names the remaining ban window.
+    Banned = 36,
+    /// A started frame was not completed within the read deadline
+    /// (slowloris); the connection is closed after this status.
+    Stalled = 37,
+    /// The server is shutting down; no further requests are accepted.
+    ShuttingDown = 38,
+}
+
+impl WireStatus {
+    /// The on-wire code byte.
+    #[must_use]
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Decodes a status byte, `None` for codes this build does not
+    /// know (a newer server; callers should treat unknown codes as a
+    /// generic failure, not a protocol error).
+    #[must_use]
+    pub fn from_code(code: u8) -> Option<Self> {
+        Some(match code {
+            0 => Self::Ok,
+            1 => Self::QueueFull,
+            2 => Self::UnknownApp,
+            3 => Self::DuplicateApp,
+            4 => Self::NotAdmitted,
+            5 => Self::AppStopped,
+            6 => Self::ShapeMismatch,
+            7 => Self::DeadlineExpired,
+            8 => Self::WaitTimeout,
+            9 => Self::Inference,
+            10 => Self::Rtm,
+            32 => Self::Oversize,
+            33 => Self::UnknownTag,
+            34 => Self::Malformed,
+            35 => Self::RateLimited,
+            36 => Self::Banned,
+            37 => Self::Stalled,
+            38 => Self::ShuttingDown,
+            _ => return None,
+        })
+    }
+
+    /// The status a [`ServeError`] maps to on the wire.
+    ///
+    /// Delegates to [`ServeError::wire_code`] — the exhaustive match in
+    /// `eml-serve` — so this crate cannot drift from the error type it
+    /// reports. An unmapped code (impossible while the two crates ship
+    /// together) degrades to [`WireStatus::Rtm`] rather than a panic:
+    /// a half-upgraded peer must not take the server down.
+    #[must_use]
+    pub fn from_serve_error(e: &ServeError) -> Self {
+        Self::from_code(e.wire_code()).unwrap_or(Self::Rtm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip_and_match_serve_errors() {
+        let all = [
+            WireStatus::Ok,
+            WireStatus::QueueFull,
+            WireStatus::UnknownApp,
+            WireStatus::DuplicateApp,
+            WireStatus::NotAdmitted,
+            WireStatus::AppStopped,
+            WireStatus::ShapeMismatch,
+            WireStatus::DeadlineExpired,
+            WireStatus::WaitTimeout,
+            WireStatus::Inference,
+            WireStatus::Rtm,
+            WireStatus::Oversize,
+            WireStatus::UnknownTag,
+            WireStatus::Malformed,
+            WireStatus::RateLimited,
+            WireStatus::Banned,
+            WireStatus::Stalled,
+            WireStatus::ShuttingDown,
+        ];
+        for s in all {
+            assert_eq!(WireStatus::from_code(s.code()), Some(s));
+        }
+        assert_eq!(WireStatus::from_code(200), None);
+
+        // The serve-error bridge agrees with the exhaustive map in
+        // eml-serve for a representative of every variant.
+        let cases = [
+            (
+                ServeError::QueueFull {
+                    app: "a".into(),
+                    capacity: 1,
+                },
+                WireStatus::QueueFull,
+            ),
+            (
+                ServeError::UnknownApp { app: "a".into() },
+                WireStatus::UnknownApp,
+            ),
+            (
+                ServeError::AppStopped { app: "a".into() },
+                WireStatus::AppStopped,
+            ),
+            (
+                ServeError::DeadlineExpired {
+                    app: "a".into(),
+                    seq: 3,
+                },
+                WireStatus::DeadlineExpired,
+            ),
+            (
+                ServeError::Inference {
+                    app: "a".into(),
+                    reason: "x".into(),
+                },
+                WireStatus::Inference,
+            ),
+        ];
+        for (e, want) in cases {
+            assert_eq!(WireStatus::from_serve_error(&e), want);
+            assert_eq!(WireStatus::from_serve_error(&e).code(), e.wire_code());
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests for the frame codec: for *arbitrary* bytes the
+//! decoder must be total — a typed `Frame`, a typed `FrameError`, and
+//! nothing else. No panic, no over-read, no allocation driven by a
+//! hostile length prefix.
+
+use eml_net::frame::{self, FrameError, HEADER_LEN};
+use proptest::prelude::*;
+
+const CAP: usize = 4096;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Encode/decode round-trip over arbitrary payloads, including the
+    /// zero-length and exactly-max-size boundaries (the size strategy
+    /// is clamped so both endpoints occur many times across the run).
+    #[test]
+    fn round_trip_identity(tag in 0u32..256, size in 0usize..(CAP + 64), fill in 0u32..256) {
+        let tag = tag as u8;
+        let size = size.min(CAP); // dense mass at the exact cap
+        let payload = vec![fill as u8; size];
+        let buf = frame::encode(tag, &payload);
+        prop_assert_eq!(buf.len(), HEADER_LEN + size);
+        let (decoded, used) = frame::decode(&buf, CAP).expect("within cap");
+        prop_assert_eq!(used, buf.len());
+        prop_assert_eq!(decoded.tag, tag);
+        prop_assert_eq!(decoded.payload, payload);
+    }
+
+    /// Every truncation of a valid frame decodes to `Truncated` with a
+    /// consistent `need`, never a panic and never a partial frame.
+    #[test]
+    fn truncations_are_typed(size in 0usize..256, cut in 0usize..(256 + HEADER_LEN)) {
+        let payload = vec![0xA5u8; size];
+        let buf = frame::encode(7, &payload);
+        let cut = cut.min(buf.len().saturating_sub(1));
+        match frame::decode(&buf[..cut], CAP) {
+            Err(FrameError::Truncated { have, need }) => {
+                prop_assert_eq!(have, cut);
+                let expect_need = if cut < HEADER_LEN { HEADER_LEN } else { buf.len() };
+                prop_assert_eq!(need, expect_need);
+                prop_assert!(need > have);
+            }
+            other => prop_assert!(false, "truncated input decoded as {:?}", other),
+        }
+    }
+
+    /// A header declaring any payload above the cap is `Oversize` from
+    /// the header alone — whatever bytes follow it.
+    #[test]
+    fn oversize_detected_before_payload(excess in 1usize..(1 << 20), junk in proptest::collection::vec(0u32..256, 0..32)) {
+        let declared = CAP + excess;
+        let mut buf = (declared as u32).to_le_bytes().to_vec();
+        buf.push(3);
+        buf.extend(junk.iter().map(|b| *b as u8));
+        match frame::decode(&buf, CAP) {
+            Err(FrameError::Oversize { declared: d, max }) => {
+                prop_assert_eq!(d, declared);
+                prop_assert_eq!(max, CAP);
+            }
+            other => prop_assert!(false, "oversize header decoded as {:?}", other),
+        }
+    }
+
+    /// Arbitrary garbage never panics the decoder and never over-reads:
+    /// a successful decode consumes exactly `HEADER_LEN + declared`
+    /// bytes and reproduces the declared slice; errors consume nothing.
+    #[test]
+    fn garbage_is_total_and_never_over_reads(raw in proptest::collection::vec(0u32..256, 0..64)) {
+        let raw: Vec<u8> = raw.into_iter().map(|b| b as u8).collect();
+        match frame::decode(&raw, CAP) {
+            Ok((f, used)) => {
+                prop_assert!(used <= raw.len(), "consumed {} of {}", used, raw.len());
+                prop_assert_eq!(used, HEADER_LEN + f.payload.len());
+                prop_assert_eq!(f.payload.as_slice(), &raw[HEADER_LEN..used]);
+            }
+            Err(FrameError::Truncated { have, need }) => {
+                prop_assert_eq!(have, raw.len());
+                prop_assert!(need > have);
+            }
+            Err(FrameError::Oversize { declared, max }) => {
+                prop_assert!(declared > max);
+                prop_assert_eq!(max, CAP);
+            }
+        }
+    }
+
+    /// Pipelined frames in one buffer decode one at a time, in order,
+    /// consuming exactly their own bytes.
+    #[test]
+    fn pipelined_frames_survive(sizes in proptest::collection::vec(0usize..48, 1..6)) {
+        let mut wire = Vec::new();
+        for (i, s) in sizes.iter().enumerate() {
+            wire.extend_from_slice(&frame::encode(i as u8, &vec![i as u8; *s]));
+        }
+        let mut off = 0usize;
+        for (i, s) in sizes.iter().enumerate() {
+            let (f, used) = frame::decode(&wire[off..], CAP).expect("complete frame");
+            prop_assert_eq!(f.tag, i as u8);
+            prop_assert_eq!(f.payload.len(), *s);
+            off += used;
+        }
+        prop_assert_eq!(off, wire.len());
+    }
+}

@@ -85,6 +85,34 @@ pub enum ServeError {
     Rtm(RtmError),
 }
 
+impl ServeError {
+    /// The stable wire status code of this error, used by the `eml-net`
+    /// front end to report serving failures to remote clients.
+    ///
+    /// Codes `1..=31` are reserved for `ServeError` variants and are
+    /// **stable**: once shipped, a variant's code never changes and is
+    /// never reused (protocol-level conditions — malformed frames,
+    /// rate limiting, bans — live at `32..` in `eml-net`). The match
+    /// below is deliberately exhaustive with no `_` arm, so adding a
+    /// `ServeError` variant without assigning it a wire code is a
+    /// compile error, not a silent protocol hole.
+    #[must_use]
+    pub fn wire_code(&self) -> u8 {
+        match self {
+            Self::QueueFull { .. } => 1,
+            Self::UnknownApp { .. } => 2,
+            Self::DuplicateApp { .. } => 3,
+            Self::NotAdmitted { .. } => 4,
+            Self::AppStopped { .. } => 5,
+            Self::ShapeMismatch { .. } => 6,
+            Self::DeadlineExpired { .. } => 7,
+            Self::WaitTimeout { .. } => 8,
+            Self::Inference { .. } => 9,
+            Self::Rtm(_) => 10,
+        }
+    }
+}
+
 impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -163,5 +191,59 @@ mod tests {
         }
         .into();
         assert!(e.source().is_some());
+    }
+
+    /// Every variant's wire code, pinned. A new variant cannot compile
+    /// without extending `wire_code`'s exhaustive match; this test pins
+    /// the *values* so an accidental renumbering (which would silently
+    /// break deployed clients) fails loudly too.
+    #[test]
+    fn wire_codes_are_stable_and_distinct() {
+        let app = || "cam".to_string();
+        let all: Vec<(ServeError, u8)> = vec![
+            (
+                ServeError::QueueFull {
+                    app: app(),
+                    capacity: 8,
+                },
+                1,
+            ),
+            (ServeError::UnknownApp { app: app() }, 2),
+            (ServeError::DuplicateApp { app: app() }, 3),
+            (ServeError::NotAdmitted { app: app() }, 4),
+            (ServeError::AppStopped { app: app() }, 5),
+            (
+                ServeError::ShapeMismatch {
+                    app: app(),
+                    expected: 1,
+                    actual: 2,
+                },
+                6,
+            ),
+            (ServeError::DeadlineExpired { app: app(), seq: 0 }, 7),
+            (ServeError::WaitTimeout { app: app() }, 8),
+            (
+                ServeError::Inference {
+                    app: app(),
+                    reason: "x".into(),
+                },
+                9,
+            ),
+            (
+                ServeError::Rtm(RtmError::EmptySpace {
+                    reason: "none".into(),
+                }),
+                10,
+            ),
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for (e, expect) in &all {
+            assert_eq!(e.wire_code(), *expect, "{e}");
+            assert!(seen.insert(*expect), "duplicate wire code {expect}");
+            assert!(
+                (1..=31).contains(expect),
+                "serve codes live in 1..=31, got {expect}"
+            );
+        }
     }
 }

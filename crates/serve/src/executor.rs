@@ -651,6 +651,11 @@ impl Executor {
 
     /// Boolean shim over [`Executor::route_command`]: `true` iff a
     /// registered DNN app was addressed and the command was queued.
+    #[deprecated(
+        since = "0.1.0",
+        note = "collapses `DeviceKnob` and `UnknownApp` into `false`; \
+                use `route_command` and match the typed `KnobRoute`"
+    )]
     pub fn apply_command(&self, cmd: &KnobCommand) -> bool {
         matches!(self.route_command(cmd), Ok(KnobRoute::Queued))
     }
@@ -1489,23 +1494,38 @@ mod tests {
     #[test]
     fn knob_commands_actuate_on_the_serving_thread() {
         let exec = tiny_executor(ExecutorConfig::default());
-        assert!(exec.apply_command(&KnobCommand::SetWidth {
-            app: "cam".into(),
-            level: WidthLevel(1),
-        }));
-        assert!(exec.apply_command(&KnobCommand::SetPrecision {
-            app: "cam".into(),
-            precision: Precision::Int8,
-        }));
-        // Device knobs and unknown apps are not ours.
-        assert!(!exec.apply_command(&KnobCommand::SetOpp {
-            cluster: ClusterId::from_index(0),
-            opp_index: 0,
-        }));
-        assert!(!exec.apply_command(&KnobCommand::SetWidth {
-            app: "ghost".into(),
-            level: WidthLevel(0),
-        }));
+        assert_eq!(
+            exec.route_command(&KnobCommand::SetWidth {
+                app: "cam".into(),
+                level: WidthLevel(1),
+            }),
+            Ok(KnobRoute::Queued)
+        );
+        assert_eq!(
+            exec.route_command(&KnobCommand::SetPrecision {
+                app: "cam".into(),
+                precision: Precision::Int8,
+            }),
+            Ok(KnobRoute::Queued)
+        );
+        // Device knobs and unknown apps are not ours — and unlike the
+        // retired boolean shim, the two refusals are distinguishable.
+        assert_eq!(
+            exec.route_command(&KnobCommand::SetOpp {
+                cluster: ClusterId::from_index(0),
+                opp_index: 0,
+            }),
+            Ok(KnobRoute::DeviceKnob)
+        );
+        assert_eq!(
+            exec.route_command(&KnobCommand::SetWidth {
+                app: "ghost".into(),
+                level: WidthLevel(0),
+            }),
+            Err(ServeError::UnknownApp {
+                app: "ghost".into()
+            })
+        );
         // A request forces the knob queue to drain before it runs.
         exec.submit("cam", &sample(0.3))
             .unwrap()
@@ -1518,10 +1538,11 @@ mod tests {
         assert_eq!(s.knob_errors, 0);
         // An out-of-range width fails loud in the stats, not silently —
         // and counts as a model *rejection*, not an injected fault.
-        exec.apply_command(&KnobCommand::SetWidth {
+        exec.route_command(&KnobCommand::SetWidth {
             app: "cam".into(),
             level: WidthLevel(9),
-        });
+        })
+        .unwrap();
         exec.submit("cam", &sample(0.3))
             .unwrap()
             .wait_timeout(TIMEOUT)
@@ -1558,6 +1579,23 @@ mod tests {
             }),
             Err(ServeError::UnknownApp { .. })
         ));
+        // The deprecated boolean shim stays behaviourally pinned (and
+        // is the single sanctioned caller) until it is removed.
+        #[allow(deprecated)]
+        {
+            assert!(exec.apply_command(&KnobCommand::SetWidth {
+                app: "cam".into(),
+                level: WidthLevel(1),
+            }));
+            assert!(!exec.apply_command(&KnobCommand::SetOpp {
+                cluster: ClusterId::from_index(0),
+                opp_index: 0,
+            }));
+            assert!(!exec.apply_command(&KnobCommand::SetWidth {
+                app: "ghost".into(),
+                level: WidthLevel(0),
+            }));
+        }
     }
 
     /// A hostile sample (NaN) must not wedge the tenant: the request
@@ -1774,10 +1812,11 @@ mod tests {
             .unwrap()
             .wait_timeout(TIMEOUT)
             .unwrap();
-        exec.apply_command(&KnobCommand::SetWidth {
+        exec.route_command(&KnobCommand::SetWidth {
             app: "cam".into(),
             level: WidthLevel(1),
-        });
+        })
+        .unwrap();
         exec.submit("cam", &sample(0.3))
             .unwrap()
             .wait_timeout(TIMEOUT)

@@ -1,0 +1,280 @@
+//! Hostile-client integration suite for the networked serving front
+//! end: one well-behaved client and one adversarial client share a
+//! live server. The adversary's oversize frames, protocol garbage,
+//! floods and stalled half-frames all earn typed rejections and
+//! eventually a ban; the well-behaved client keeps completing
+//! inferences throughout; the server never panics; and the executor's
+//! extended accounting invariant holds end to end, including across
+//! the graceful drain-and-shutdown.
+//!
+//! Deterministic: fixed RNG seed, no dependence on wall-clock beyond
+//! generous deadlines (the CI host is slow and single-core).
+
+use std::time::Duration;
+
+use emlrt::net::{
+    frame, AdmissionConfig, ClientError, NetClient, NetConfig, NetServer, WireStatus,
+};
+use emlrt::prelude::*;
+use emlrt::serve::testbed;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SAMPLE_LEN: usize = 3 * 8 * 8;
+const CLIENT_READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+fn random_sample(rng: &mut StdRng) -> Vec<f32> {
+    (0..SAMPLE_LEN)
+        .map(|_| rng.gen_range(-1.0f32..1.0))
+        .collect()
+}
+
+/// A server over one registered tiny DNN, tuned so the hostile
+/// choreography below crosses the ban threshold deterministically:
+/// oversize (3) + stall (3) + unknown tag (2) + malformed (2) puts the
+/// adversary at 10; two flood violations (1 each) reach the threshold
+/// of 12. Score decay is off so slow CI cannot rehabilitate mid-test,
+/// and the ban window outlives the test so reconnects stay shunned.
+fn hostile_testbed_server() -> NetServer {
+    let mut exec = Executor::new(ExecutorConfig::default());
+    exec.register_dnn("cam", testbed::tiny_dnn(11), &Requirements::new())
+        .unwrap();
+    let cfg = NetConfig {
+        read_tick: Duration::from_millis(10),
+        frame_deadline: Duration::from_millis(150),
+        idle_timeout: Duration::from_secs(20),
+        reply_wait: Duration::from_secs(20),
+        admission: AdmissionConfig {
+            bucket_capacity: 8.0,
+            refill_per_sec: 50.0,
+            ban_threshold: 12.0,
+            score_decay_per_sec: 0.0,
+            ban_base: Duration::from_secs(120),
+            ..AdmissionConfig::default()
+        },
+        ..NetConfig::default()
+    };
+    NetServer::bind(cfg, exec).expect("bind loopback")
+}
+
+fn expect_status(client: &mut NetClient, want: WireStatus) {
+    let (status, _payload) = client.read_status().expect("a typed reply");
+    assert_eq!(status, want);
+}
+
+fn expect_closed(client: &mut NetClient) {
+    match client.read_status() {
+        Err(ClientError::Closed) => {}
+        other => panic!("expected the server to close, got {other:?}"),
+    }
+}
+
+/// The adversary's campaign, one scored violation class per act. Every
+/// act gets a *typed* rejection — no hang, no panic, no silent drop —
+/// and the final act finds the identity banned on a fresh connection.
+fn run_mallory(addr: std::net::SocketAddr) {
+    let id = "mallory";
+
+    // Act 1 — oversize frame: a header declaring a payload over the cap
+    // is rejected from the header alone and the connection is closed.
+    let mut c = NetClient::connect(addr, CLIENT_READ_TIMEOUT).unwrap();
+    c.hello(id).unwrap();
+    let mut header = ((frame::DEFAULT_MAX_PAYLOAD as u32) + 1)
+        .to_le_bytes()
+        .to_vec();
+    header.push(3);
+    c.send_raw(&header).unwrap();
+    expect_status(&mut c, WireStatus::Oversize);
+    expect_closed(&mut c);
+
+    // Act 2 — slowloris: start a frame, never finish it. The read
+    // deadline fires, the stall is scored, the connection is closed.
+    let mut c = NetClient::connect(addr, CLIENT_READ_TIMEOUT).unwrap();
+    c.hello(id).unwrap();
+    c.send_raw(&frame::encode(3, &[0u8; 64])[..7]).unwrap();
+    expect_status(&mut c, WireStatus::Stalled);
+    expect_closed(&mut c);
+
+    // Act 3 — protocol garbage, then a flood. Garbage is survivable
+    // (typed, scored, connection stays open); the flood drains the
+    // token bucket and the flood violations push the score over the
+    // ban threshold.
+    let mut c = NetClient::connect(addr, CLIENT_READ_TIMEOUT).unwrap();
+    c.hello(id).unwrap();
+    c.send_raw(&frame::encode(0xEE, b"junk")).unwrap();
+    expect_status(&mut c, WireStatus::UnknownTag);
+    c.send_raw(&frame::encode(3, &[0xFF; 3])).unwrap();
+    expect_status(&mut c, WireStatus::Malformed);
+
+    let mut saw_rate_limited = 0u32;
+    let mut banned = false;
+    let mut rng = StdRng::seed_from_u64(99);
+    let sample = random_sample(&mut rng);
+    for _ in 0..400 {
+        match c.submit("cam", &sample) {
+            Ok(_) => {}
+            Err(ClientError::Status {
+                status: WireStatus::RateLimited,
+                ..
+            }) => saw_rate_limited += 1,
+            Err(ClientError::Status {
+                status: WireStatus::Banned,
+                ..
+            }) => {
+                banned = true;
+                break;
+            }
+            // Typed executor-side refusals (back-pressure) are legal
+            // mid-flood; anything else is a protocol break.
+            Err(ClientError::Status { .. }) => {}
+            Err(ClientError::Closed) => {
+                // The ban reply can race the close; the reconnect check
+                // below still must observe the ban.
+                banned = true;
+                break;
+            }
+            Err(e) => panic!("flood met an untyped failure: {e:?}"),
+        }
+    }
+    assert!(banned, "the flood never crossed the ban threshold");
+    assert!(
+        saw_rate_limited >= 1,
+        "the token bucket never pushed back before the ban"
+    );
+    expect_closed(&mut c);
+
+    // Act 4 — the ban sticks to the identity across reconnects.
+    let mut c = NetClient::connect(addr, CLIENT_READ_TIMEOUT).unwrap();
+    match c.hello(id) {
+        Err(ClientError::Status {
+            status: WireStatus::Banned,
+            ..
+        }) => {}
+        other => panic!("reconnect should be shunned, got {other:?}"),
+    }
+    expect_closed(&mut c);
+}
+
+/// The well-behaved tenant: paced submits, every one of which must
+/// complete with a real prediction while the adversary rages.
+fn run_alice(addr: std::net::SocketAddr, requests: usize) -> usize {
+    let mut c = NetClient::connect(addr, CLIENT_READ_TIMEOUT).unwrap();
+    c.hello("alice").unwrap();
+    c.ping().unwrap();
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut completed = 0usize;
+    for _ in 0..requests {
+        let sample = random_sample(&mut rng);
+        let done = c
+            .submit("cam", &sample)
+            .expect("a paced tenant always completes");
+        assert_eq!(done.logits.len(), 4);
+        assert!((done.pred as usize) < done.logits.len());
+        assert!(done.logits.iter().all(|l| l.is_finite()));
+        completed += 1;
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    completed
+}
+
+#[test]
+fn hostile_client_is_contained_while_the_well_behaved_tenant_serves() {
+    const ALICE_REQUESTS: usize = 20;
+    let mut server = hostile_testbed_server();
+    let addr = server.local_addr();
+
+    let alice = std::thread::spawn(move || run_alice(addr, ALICE_REQUESTS));
+    run_mallory(addr);
+    let alice_completed = alice.join().expect("alice's thread must not panic");
+    assert_eq!(alice_completed, ALICE_REQUESTS);
+
+    // The adversary left a visible trail in the admission registry.
+    let admission = server.admission();
+    assert!(admission.bans() >= 1, "no ban was recorded");
+    assert!(
+        admission.violations() >= 6,
+        "expected the full violation trail, saw {}",
+        admission.violations()
+    );
+    let net_before = server.stats();
+    assert_eq!(net_before.conn_panics, 0, "a connection handler panicked");
+    assert!(net_before.banned_replies >= 2, "{net_before:?}");
+    assert!(net_before.rate_limited >= 1, "{net_before:?}");
+
+    // Graceful drain-and-shutdown, then the books must balance: every
+    // submit the front end pushed into the executor is accounted for as
+    // a completion, typed error, rejection or shed — nothing vanished
+    // across the shutdown.
+    server.shutdown();
+    let net = server.stats();
+    let s = server.executor().stats("cam").unwrap();
+    let attempts = net.exec_submitted + net.exec_rejected;
+    assert_eq!(
+        attempts + s.storm_injected,
+        s.completed + s.errors + s.rejected + s.shed,
+        "accounting broke across drain-and-shutdown: net={net:?} app={s:?}"
+    );
+    assert!(
+        s.completed >= ALICE_REQUESTS as u64,
+        "alice's completions must be in the executor's books: {s:?}"
+    );
+    // The front end's reply ledger is consistent with what it submitted.
+    assert_eq!(
+        net.exec_submitted,
+        net.completions + net.ticket_errors,
+        "{net:?}"
+    );
+}
+
+/// Protocol basics under one roof: hello/ping/submit succeed, a
+/// malformed ping is a typed violation that does not kill the
+/// connection, and an unknown app is a typed serving error that is
+/// *not* scored as abuse (honest version skew must not earn a ban).
+#[test]
+fn typed_errors_do_not_cost_an_honest_client_its_connection() {
+    let mut server = hostile_testbed_server();
+    let addr = server.local_addr();
+    let mut c = NetClient::connect(addr, CLIENT_READ_TIMEOUT).unwrap();
+    c.hello("bob").unwrap();
+    c.ping().unwrap();
+
+    // A ping with a payload is malformed: scored, typed, survivable.
+    c.send_raw(&frame::encode(2, b"x")).unwrap();
+    expect_status(&mut c, WireStatus::Malformed);
+
+    // Unknown app and shape mismatch surface the serving layer's own
+    // typed errors through the wire, with their stable codes.
+    let mut rng = StdRng::seed_from_u64(3);
+    let sample = random_sample(&mut rng);
+    match c.submit("ghost", &sample) {
+        Err(ClientError::Status {
+            status: WireStatus::UnknownApp,
+            message,
+        }) => assert!(message.contains("ghost"), "{message}"),
+        other => panic!("expected a typed UnknownApp, got {other:?}"),
+    }
+    match c.submit("cam", &sample[..7]) {
+        Err(ClientError::Status {
+            status: WireStatus::ShapeMismatch,
+            ..
+        }) => {}
+        other => panic!("expected a typed ShapeMismatch, got {other:?}"),
+    }
+
+    // Honest mistakes did not dent the scorer — only the ping did —
+    // and the connection still serves real work.
+    assert_eq!(server.admission().violations(), 1);
+    let done = c.submit("cam", &sample).expect("still serving");
+    assert_eq!(done.logits.len(), 4);
+
+    // Graceful shutdown still balances the books for this quiet run.
+    server.shutdown();
+    let net = server.stats();
+    let s = server.executor().stats("cam").unwrap();
+    assert_eq!(net.conn_panics, 0);
+    assert_eq!(
+        (net.exec_submitted + net.exec_rejected) + s.storm_injected,
+        s.completed + s.errors + s.rejected + s.shed,
+        "net={net:?} app={s:?}"
+    );
+}

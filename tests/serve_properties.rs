@@ -68,10 +68,11 @@ fn run_mix(plans: &[AppPlan], batch_cap: usize, arrival_rotation: usize) -> Vec<
         exec.register_dnn(&plan.name, build_dnn(plan), &Requirements::new())
             .expect("unique names");
         // Width knob through the command surface, like an RTM would.
-        exec.apply_command(&KnobCommand::SetWidth {
+        exec.route_command(&KnobCommand::SetWidth {
             app: plan.name.clone(),
             level: WidthLevel(plan.level),
-        });
+        })
+        .expect("registered app");
         exec.pause(&plan.name).expect("registered");
     }
     let inputs: Vec<Vec<Vec<f32>>> = plans.iter().map(inputs_for).collect();
@@ -227,20 +228,22 @@ proptest! {
             if i % churn_every == 0 {
                 // Mid-stream knob churn races the faults.
                 if rng.gen_range(0..2) == 0 {
-                    exec.apply_command(&KnobCommand::SetWidth {
+                    exec.route_command(&KnobCommand::SetWidth {
                         app: "app".into(),
                         level: WidthLevel(rng.gen_range(0..4)),
-                    });
+                    })
+                    .unwrap();
                 } else {
                     let precision = if rng.gen_range(0..2) == 0 {
                         Precision::Int8
                     } else {
                         Precision::F32
                     };
-                    exec.apply_command(&KnobCommand::SetPrecision {
+                    exec.route_command(&KnobCommand::SetPrecision {
                         app: "app".into(),
                         precision,
-                    });
+                    })
+                    .unwrap();
                 }
             }
             let mut spins = 0u32;

@@ -217,20 +217,22 @@ fn serving_soak_survives_knob_churn_under_sustained_load() {
         // every switch invalidates packed panels / chain plans while
         // requests are in flight.
         if i % 97 == 0 {
-            exec.apply_command(&KnobCommand::SetWidth {
+            exec.route_command(&KnobCommand::SetWidth {
                 app: "soak".into(),
                 level: WidthLevel(rng.gen_range(0..4)),
-            });
+            })
+            .unwrap();
         }
         if i % 131 == 0 {
-            exec.apply_command(&KnobCommand::SetPrecision {
+            exec.route_command(&KnobCommand::SetPrecision {
                 app: "soak".into(),
                 precision: if rng.gen_range(0..2) == 0 {
                     Precision::Int8
                 } else {
                     Precision::F32
                 },
-            });
+            })
+            .unwrap();
         }
         match exec.submit("soak", &sample) {
             Ok(t) => {
@@ -457,10 +459,11 @@ fn chaos_soak_is_fault_tolerant_and_bit_reproducible() {
         settle(&exec, &|s| s.level == 2);
         phase(&exec, 4); // E: storm @40 — 6 synthetic riders behind {40–43}
         phase(&exec, 1); // F1: seq 50 arms the knob fault
-        exec.apply_command(&KnobCommand::SetWidth {
+        exec.route_command(&KnobCommand::SetWidth {
             app: APP.into(),
             level: WidthLevel(1),
-        });
+        })
+        .unwrap();
         phase(&exec, 1); // F2: the armed fault eats the width switch
         settle(&exec, &|s| s.knob_faulted == 1);
 
