@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Shared helpers for the table/figure regenerators in `benches/`.
 //!
 //! Each `harness = false` bench target reproduces one table or figure of

@@ -21,7 +21,10 @@
 //!   allocation→actuation translation (Fig 5);
 //! - [`baseline`] — the static-pruning design-time baseline (Fig 1, §III-B)
 //!   and its DVFS-robustness comparison against the dynamic approach;
-//! - [`pareto`] — frontier utilities.
+//! - [`pareto`] — frontier utilities;
+//! - [`sync`] — [`sync::RankedMutex`], the debug-build lock-order
+//!   checker the serving layers' mutexes run on (see
+//!   `docs/INVARIANTS.md`).
 //!
 //! ## The paper's worked example
 //!
@@ -68,6 +71,7 @@ pub mod opspace;
 pub mod pareto;
 pub mod requirements;
 pub mod rtm;
+pub mod sync;
 
 pub use error::{Result, RtmError};
 pub use feedback::LatencyFeedback;
@@ -76,3 +80,4 @@ pub use objective::Objective;
 pub use opspace::{EvaluatedPoint, OpSpace, OpSpaceConfig, OperatingPoint};
 pub use requirements::{Requirements, Violation};
 pub use rtm::{Allocation, AppSpec, DnnAppSpec, RigidAppSpec, Rtm, RtmConfig};
+pub use sync::{RankedGuard, RankedMutex};

@@ -1,0 +1,359 @@
+//! A small offline Rust lexer: enough token structure for the rule
+//! engine, none of the grammar.
+//!
+//! The design constraint is the vendored-deps policy — no `syn`, no
+//! `proc-macro2` — and the observation that every invariant this tool
+//! checks is visible at the token level: an `unsafe` keyword, a
+//! `.lock()` method name, a `=> 11` match arm. The lexer therefore
+//! produces a flat token stream with line numbers and gets exactly the
+//! hard cases right that would otherwise cause false positives:
+//! strings (ordinary, raw, byte), char literals vs lifetimes, and
+//! nested block comments. Everything it does not understand is a
+//! single-character punctuation token.
+
+/// What a token is, as far as the rules care.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword.
+    Ident,
+    /// A numeric literal (verbatim text, suffix included).
+    Number,
+    /// A string literal of any flavour (content not preserved exactly;
+    /// rules never look inside strings).
+    Str,
+    /// A character or byte literal.
+    Char,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+    /// A single punctuation character.
+    Punct,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The token's class.
+    pub kind: TokenKind,
+    /// The token text (for `Punct`, exactly one character).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this is an identifier with exactly the given text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// Whether this is the given punctuation character.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == 1 && self.text.starts_with(ch)
+    }
+}
+
+/// Lexes `src` into a token stream. Never fails: unterminated
+/// constructs run to end of input (the tool lints a compiling
+/// workspace; graceful degradation beats an error channel).
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        if c == '\n' {
+            self.line += 1;
+        }
+        self.i += 1;
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32) {
+        self.out.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            match c {
+                _ if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                _ if c.is_alphabetic() || c == '_' => self.ident_or_prefixed_string(),
+                _ if c.is_ascii_digit() => self.number(),
+                '"' => self.string(),
+                '\'' => self.char_or_lifetime(),
+                _ => {
+                    let line = self.line;
+                    self.bump();
+                    self.push(TokenKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            self.bump();
+        }
+    }
+
+    fn block_comment(&mut self) {
+        // Rust block comments nest.
+        self.bump();
+        self.bump();
+        let mut depth = 1u32;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => return,
+            }
+        }
+    }
+
+    fn ident_or_prefixed_string(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // String-literal prefixes: r"…", r#"…"#, b"…", br#"…"#, c"…".
+        let raw = matches!(text.as_str(), "r" | "br" | "cr");
+        let plain_prefix = matches!(text.as_str(), "b" | "c" | "r" | "br" | "cr");
+        if raw && self.peek(0) == Some('#') {
+            // Count hashes; only a quote after them makes this a raw
+            // string (otherwise it is a raw identifier like `r#type`).
+            let mut hashes = 0;
+            while self.peek(hashes) == Some('#') {
+                hashes += 1;
+            }
+            if self.peek(hashes) == Some('"') {
+                for _ in 0..=hashes {
+                    self.bump();
+                }
+                self.raw_string_tail(hashes, line);
+                return;
+            }
+            // Raw identifier: swallow the `#` and lex the word itself.
+            self.bump();
+            self.ident_or_prefixed_string();
+            return;
+        }
+        if plain_prefix && self.peek(0) == Some('"') {
+            self.bump();
+            if raw {
+                self.raw_string_tail(0, line);
+            } else {
+                self.string_tail(line);
+            }
+            return;
+        }
+        if text == "b" && self.peek(0) == Some('\'') {
+            self.char_or_lifetime();
+            return;
+        }
+        self.push(TokenKind::Ident, text, line);
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else if c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                // `1.5` is one number; `0..n` is a number then a range.
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Number, text, line);
+    }
+
+    fn string(&mut self) {
+        let line = self.line;
+        self.bump();
+        self.string_tail(line);
+    }
+
+    fn string_tail(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    // Skip the escaped character (covers \" and \\).
+                    self.bump();
+                }
+                '"' => break,
+                _ => text.push(c),
+            }
+        }
+        self.push(TokenKind::Str, text, line);
+    }
+
+    fn raw_string_tail(&mut self, hashes: usize, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            if c == '"' && (0..hashes).all(|h| self.peek(h) == Some('#')) {
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+            text.push(c);
+        }
+        self.push(TokenKind::Str, text, line);
+    }
+
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        // Called either at `'` or at the `'` after a `b` prefix.
+        if self.peek(0) == Some('\'') {
+            // Lifetime test: 'ident NOT closed by a quote.
+            if self.peek(1).is_some_and(|c| c.is_alphabetic() || c == '_') {
+                let mut j = 2;
+                while self
+                    .peek(j)
+                    .is_some_and(|c| c.is_alphanumeric() || c == '_')
+                {
+                    j += 1;
+                }
+                if self.peek(j) != Some('\'') {
+                    self.bump();
+                    let mut text = String::from("'");
+                    for _ in 1..j {
+                        if let Some(c) = self.bump() {
+                            text.push(c);
+                        }
+                    }
+                    self.push(TokenKind::Lifetime, text, line);
+                    return;
+                }
+            }
+            self.bump();
+        }
+        // Char (or byte) literal body up to the closing quote.
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '\'' => break,
+                _ => text.push(c),
+            }
+        }
+        self.push(TokenKind::Char, text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_their_contents() {
+        let src = r###"
+            // unsafe in a line comment
+            /* unsafe /* nested unsafe */ still comment */
+            let a = "unsafe in a string";
+            let b = r#"unsafe in a raw string"#;
+            let c = b"unsafe bytes";
+            real_ident();
+        "###;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|i| i == "unsafe"), "{ids:?}");
+        assert!(ids.iter().any(|i| i == "real_ident"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = toks.iter().filter(|t| t.kind == TokenKind::Char).collect();
+        assert_eq!(chars.len(), 1);
+        assert_eq!(chars[0].text, "x");
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let src = "/* a\nb\nc */\nmarker";
+        let toks = lex(src);
+        assert_eq!(toks.len(), 1);
+        assert!(toks[0].is_ident("marker"));
+        assert_eq!(toks[0].line, 4);
+    }
+
+    #[test]
+    fn numbers_split_from_ranges_but_keep_decimals() {
+        let toks = lex("0..10 1.5 0x1F_u32");
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Number)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(nums, vec!["0", "10", "1.5", "0x1F_u32"]);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_the_word() {
+        let toks = lex("let r#type = 1;");
+        assert!(toks.iter().any(|t| t.is_ident("type")));
+        assert!(!toks.iter().any(|t| t.kind == TokenKind::Str));
+    }
+}

@@ -1,0 +1,165 @@
+#![forbid(unsafe_code)]
+//! `eml-lint`: the workspace invariant checker.
+//!
+//! A handful of invariants in this repo are load-bearing but invisible
+//! to `rustc` and `clippy` because they are *policies of this codebase*,
+//! not properties of the language: where `unsafe` may live, the
+//! queue-state → stats lock order, which modules may read the wall
+//! clock, where panics are banned, and the append-only wire-code space.
+//! Until now they lived in doc comments and review vigilance. This
+//! crate turns each one into a build-failing check:
+//!
+//! | rule id              | invariant                                        |
+//! |----------------------|--------------------------------------------------|
+//! | `unsafe-confinement` | `unsafe` only in `crates/simd` + `vendor/rayon`  |
+//! | `lock-order`         | queue state before stats, nesting sanctioned once|
+//! | `wall-clock`         | ambient time/RNG only in real-time modules       |
+//! | `panic-hygiene`      | no `.unwrap()`/`.expect`/`panic!` in serving code|
+//! | `wire-codes`         | status codes match the committed manifest        |
+//! | `deprecated-free`    | no deprecation shims in product code             |
+//!
+//! Run it as `cargo run -p eml-lint -- --check`. Rules analyse a token
+//! stream from the in-tree lexer ([`lexer`]) — no `syn`, because the
+//! build environment is offline and the policy is no new dependencies.
+//! Sanctioned violations live in the allowlist built by
+//! [`workspace_rules`]; each entry carries a justification, and entries
+//! that no longer match anything fail the run (see [`engine`]).
+//!
+//! The dynamic counterpart to `lock-order` is
+//! `eml_core::sync::RankedMutex`, which panics on out-of-order
+//! acquisition in debug builds; this tool catches the same bug class on
+//! paths no test happens to execute.
+
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+use std::io;
+use std::path::Path;
+
+use engine::{AllowEntry, Diagnostic, Engine, Rule};
+use rules::{
+    parse_manifest, DeprecatedFree, LockOrder, PanicHygiene, UnsafeConfinement, WallClock,
+    WireCodes,
+};
+
+/// Relative path of the wire-code manifest within the workspace.
+pub const MANIFEST_PATH: &str = "crates/lint/wire_codes.toml";
+
+/// The production rule set, with the manifest loaded from `root`.
+///
+/// # Errors
+///
+/// Fails if the wire-code manifest cannot be read — a missing manifest
+/// must fail the run, otherwise deleting it would disable the rule.
+pub fn workspace_rules(root: &Path) -> io::Result<Vec<Box<dyn Rule>>> {
+    let manifest_text = std::fs::read_to_string(root.join(MANIFEST_PATH))?;
+    Ok(vec![
+        Box::new(UnsafeConfinement),
+        Box::new(LockOrder),
+        Box::new(WallClock),
+        Box::new(PanicHygiene),
+        Box::new(WireCodes {
+            error_file: "crates/serve/src/error.rs",
+            status_file: "crates/net/src/status.rs",
+            manifest: parse_manifest(&manifest_text),
+            manifest_path: MANIFEST_PATH.to_string(),
+        }),
+        Box::new(DeprecatedFree),
+    ])
+}
+
+/// The sanctioned violations, each with its one-line justification.
+/// Keep this list short: every entry is a hole in an invariant.
+pub fn workspace_allowlist() -> Vec<AllowEntry> {
+    vec![
+        // lock-order: the one sanctioned queue-state → stats nesting.
+        // The serve loop's completion path updates latency stats while
+        // still holding the queue guard so a completion and its stats
+        // update are atomic with respect to shutdown draining; ranks
+        // EXEC_QUEUE(230) < EXEC_STATS(250) make it deadlock-free.
+        AllowEntry {
+            rule: "lock-order",
+            path_suffix: "crates/serve/src/executor.rs",
+            contains: "let mut s = rt.lock_stats();",
+            why: "sanctioned completion-path nesting; ranks 230<250 keep it deadlock-free",
+        },
+        // panic-hygiene: deliberate fault injection — the chaos tests
+        // exist to kill serving threads on purpose.
+        AllowEntry {
+            rule: "panic-hygiene",
+            path_suffix: "crates/serve/src/executor.rs",
+            contains: "panic!(\"injected fault: serving thread crash",
+            why: "deliberate chaos-injection crash; supervision is the feature under test",
+        },
+        AllowEntry {
+            rule: "panic-hygiene",
+            path_suffix: "crates/serve/src/executor.rs",
+            contains: "panic!(\"injected fault: forward panic",
+            why: "deliberate chaos-injection panic inside forward()",
+        },
+        // panic-hygiene: constructor spawn — there is no executor to
+        // return an error from if the watchdog thread cannot start.
+        AllowEntry {
+            rule: "panic-hygiene",
+            path_suffix: "crates/serve/src/executor.rs",
+            contains: "expect(\"spawn watchdog thread\")",
+            why: "Executor::new has no degraded mode without its watchdog",
+        },
+        // panic-hygiene: statically unreachable length conversion,
+        // documented under `# Panics` — payloads are capped at 1 MiB
+        // long before a u32 length prefix could overflow.
+        AllowEntry {
+            rule: "panic-hygiene",
+            path_suffix: "crates/net/src/frame.rs",
+            contains: "expect(\"payload fits in a u32 length prefix\")",
+            why: "unreachable: payloads are capped at 1 MiB; documented # Panics",
+        },
+        // wall-clock: the executor is the real-time half of the system —
+        // deadlines, heartbeats and measured latency are its job.
+        AllowEntry {
+            rule: "wall-clock",
+            path_suffix: "crates/serve/src/executor.rs",
+            contains: "",
+            why: "the serving executor measures real deadlines and latency",
+        },
+        // wall-clock: socket deadlines and admission punishment windows
+        // are wall-clock by nature.
+        AllowEntry {
+            rule: "wall-clock",
+            path_suffix: "crates/net/src/server.rs",
+            contains: "",
+            why: "socket read/stall/idle deadlines are real time",
+        },
+        // wall-clock: the benchmark harness's whole job is measuring
+        // real elapsed time.
+        AllowEntry {
+            rule: "wall-clock",
+            path_suffix: "crates/bench/src/bin/bench_nn_json.rs",
+            contains: "",
+            why: "benchmark harness measures wall time by definition",
+        },
+        // panic-hygiene: the testbed is shared test scaffolding (every
+        // integration suite builds executors through it); panicking on
+        // setup failure is the correct behaviour in that role.
+        AllowEntry {
+            rule: "panic-hygiene",
+            path_suffix: "crates/serve/src/testbed.rs",
+            contains: "",
+            why: "test scaffolding; setup failures should abort the test loudly",
+        },
+    ]
+}
+
+/// Collects sources under `root`, runs the production rules and
+/// allowlist, and returns the surviving diagnostics (empty = clean).
+///
+/// # Errors
+///
+/// Propagates filesystem errors from source collection or a missing
+/// wire-code manifest.
+pub fn run_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let files = engine::collect_sources(root)?;
+    let engine = Engine::new(workspace_rules(root)?, workspace_allowlist());
+    Ok(engine.run(&files))
+}

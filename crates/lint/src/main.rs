@@ -1,0 +1,75 @@
+#![forbid(unsafe_code)]
+//! The `eml-lint` binary. See the library docs for what it checks.
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() {
+    eprintln!(
+        "usage: eml-lint --check [--root PATH]\n\
+         \n\
+         Runs the workspace invariant rules over every .rs file under\n\
+         PATH (default: the current directory) and prints one line per\n\
+         finding. --explain-allow prints the sanctioned-violation list\n\
+         with justifications instead of linting."
+    );
+}
+
+fn main() -> ExitCode {
+    let mut check = false;
+    let mut explain_allow = false;
+    let mut root = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--explain-allow" => explain_allow = true,
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => {
+                    usage();
+                    return ExitCode::from(2);
+                }
+            },
+            _ => {
+                usage();
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if explain_allow {
+        for a in eml_lint::workspace_allowlist() {
+            println!(
+                "{}: {} (matching {:?})\n    why: {}",
+                a.rule, a.path_suffix, a.contains, a.why
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if !check {
+        usage();
+        return ExitCode::from(2);
+    }
+
+    match eml_lint::run_workspace(&root) {
+        Ok(diags) if diags.is_empty() => {
+            println!("eml-lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(diags) => {
+            for d in &diags {
+                println!("{d}");
+            }
+            println!("eml-lint: {} finding(s)", diags.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("eml-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

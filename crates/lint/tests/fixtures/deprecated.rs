@@ -1,0 +1,6 @@
+// Fixture: a deprecation shim in product code.
+
+#[deprecated(note = "use route_command")]
+pub fn apply_command(&mut self) -> bool {
+    false
+}

@@ -1,0 +1,18 @@
+// Fixture: stats lock acquired while a queue-state guard is live —
+// the inversion of the documented order, outside the sanctioned site.
+
+fn completion_path(shared: &Shared, rt: &Runtime) {
+    let mut st = lock_state(shared);
+    st.pending -= 1;
+    let mut s = rt.stats.lock();
+    s.completed += 1;
+}
+
+fn fine_sequential(shared: &Shared, rt: &Runtime) {
+    {
+        let st = lock_state(shared);
+        let _ = st.pending;
+    }
+    let mut s = rt.stats.lock();
+    s.completed += 1;
+}

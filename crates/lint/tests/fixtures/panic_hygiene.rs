@@ -1,0 +1,15 @@
+// Fixture: a panic path in serving-layer non-test code.
+
+pub fn risky(v: Option<u32>) -> u32 {
+    // Poison recovery is fine and must not be flagged:
+    let _g = lock.lock().unwrap_or_else(PoisonError::into_inner);
+    v.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        Some(1u32).unwrap();
+    }
+}

@@ -1,0 +1,7 @@
+// Fixture: `unsafe` in a product crate. Not compiled by cargo; the
+// lint tests lex it under an impersonated path.
+
+pub fn naughty(p: *const u8) -> u8 {
+    // A comment mentioning unsafe does not count; the block does.
+    unsafe { *p }
+}

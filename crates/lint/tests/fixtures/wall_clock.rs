@@ -1,0 +1,13 @@
+// Fixture: ambient clock read outside the real-time modules.
+
+pub fn stamp(plan: &mut FaultPlan) {
+    plan.armed_at = Some(Instant::now());
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn clocks_in_tests_are_fine() {
+        let _ = Instant::now();
+    }
+}

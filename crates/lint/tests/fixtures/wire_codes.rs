@@ -1,0 +1,12 @@
+// Fixture: a wire_code() whose QueueFull arm was renumbered, plus an
+// unrecorded new variant.
+
+impl ServeError {
+    pub fn wire_code(&self) -> u8 {
+        match self {
+            Self::QueueFull { .. } => 2,
+            Self::UnknownApp { .. } => 3,
+            Self::BrandNew { .. } => 4,
+        }
+    }
+}

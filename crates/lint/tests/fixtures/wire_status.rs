@@ -1,0 +1,8 @@
+// Fixture: a WireStatus enum missing a manifest entry (Removed = 9 is
+// in the manifest but not here).
+
+#[repr(u8)]
+pub enum WireStatus {
+    Ok = 0,
+    QueueFull = 1,
+}

@@ -1,0 +1,24 @@
+//! Self-check: the committed workspace passes its own lint. This is
+//! the test that makes `cargo test` fail when an invariant regresses,
+//! even if nobody runs the binary.
+
+use std::path::Path;
+
+#[test]
+fn committed_workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("lint crate lives two levels under the workspace root");
+    let diags = eml_lint::run_workspace(root).expect("workspace sources readable");
+    assert!(
+        diags.is_empty(),
+        "eml-lint found {} finding(s) in the committed tree:\n{}",
+        diags.len(),
+        diags
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

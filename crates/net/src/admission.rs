@@ -20,8 +20,9 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
+
+use eml_core::sync::{rank, RankedGuard, RankedMutex};
 
 /// A scored protocol violation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -164,7 +165,7 @@ impl ClientRecord {
 /// a threaded server sustains).
 pub struct Admission {
     cfg: AdmissionConfig,
-    clients: Mutex<HashMap<String, ClientRecord>>,
+    clients: RankedMutex<HashMap<String, ClientRecord>>,
     bans: AtomicU64,
     violations: AtomicU64,
     evictions: AtomicU64,
@@ -176,7 +177,7 @@ impl Admission {
     pub fn new(cfg: AdmissionConfig) -> Self {
         Self {
             cfg,
-            clients: Mutex::new(HashMap::new()),
+            clients: RankedMutex::new(rank::NET_ADMISSION, "net-admission-clients", HashMap::new()),
             bans: AtomicU64::new(0),
             violations: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
@@ -213,51 +214,51 @@ impl Admission {
         self.lock().len()
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<String, ClientRecord>> {
-        self.clients.lock().unwrap_or_else(PoisonError::into_inner)
+    fn lock(&self) -> RankedGuard<'_, HashMap<String, ClientRecord>> {
+        self.clients.lock()
     }
 
-    /// Ensures a record exists for `key`, evicting the least-recently
-    /// seen non-banned record if the registry is full. Returns `false`
-    /// when no room could be made (every record is banned).
-    fn ensure_record(
-        clients: &mut HashMap<String, ClientRecord>,
+    /// Ensures a record exists for `key` (evicting the least-recently
+    /// seen non-banned record if the registry is full) and returns it.
+    /// `None` when no room could be made (every record is banned).
+    fn ensure_record<'a>(
+        clients: &'a mut HashMap<String, ClientRecord>,
         cfg: &AdmissionConfig,
         evictions: &AtomicU64,
         key: &str,
         now: Instant,
-    ) -> bool {
-        if clients.contains_key(key) {
-            return true;
-        }
-        if clients.len() >= cfg.max_clients.max(1) {
-            let victim = clients
-                .iter()
-                .filter(|(_, r)| r.banned_until.is_none_or(|until| now >= until))
-                .min_by_key(|(_, r)| r.last_seen)
-                .map(|(k, _)| k.clone());
-            match victim {
-                Some(k) => {
-                    clients.remove(&k);
-                    evictions.fetch_add(1, Ordering::Relaxed);
+    ) -> Option<&'a mut ClientRecord> {
+        if !clients.contains_key(key) {
+            if clients.len() >= cfg.max_clients.max(1) {
+                let victim = clients
+                    .iter()
+                    .filter(|(_, r)| r.banned_until.is_none_or(|until| now >= until))
+                    .min_by_key(|(_, r)| r.last_seen)
+                    .map(|(k, _)| k.clone());
+                match victim {
+                    Some(k) => {
+                        clients.remove(&k);
+                        evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                    // Registry full of standing bans: an
+                    // identity-churning client cannot flush them by
+                    // flooding new keys.
+                    None => return None,
                 }
-                // Registry full of standing bans: an identity-churning
-                // client cannot flush them by flooding new keys.
-                None => return false,
             }
+            clients.insert(key.to_string(), ClientRecord::new(cfg, now));
         }
-        clients.insert(key.to_string(), ClientRecord::new(cfg, now));
-        true
+        clients.get_mut(key)
     }
 
     /// Ban check only — the connection-accept and re-key (Hello) path.
     /// Takes no token.
     pub fn connection_gate(&self, key: &str, now: Instant) -> Gate {
         let mut clients = self.lock();
-        if !Self::ensure_record(&mut clients, &self.cfg, &self.evictions, key, now) {
+        let Some(rec) = Self::ensure_record(&mut clients, &self.cfg, &self.evictions, key, now)
+        else {
             return Gate::OverCapacity;
-        }
-        let rec = clients.get_mut(key).expect("ensured above");
+        };
         rec.advance(&self.cfg, now);
         match rec.banned_until {
             Some(until) => Gate::Banned { until },
@@ -271,10 +272,10 @@ impl Admission {
     /// scored [`Violation::Flood`].
     pub fn request_gate(&self, key: &str, now: Instant) -> Gate {
         let mut clients = self.lock();
-        if !Self::ensure_record(&mut clients, &self.cfg, &self.evictions, key, now) {
+        let Some(rec) = Self::ensure_record(&mut clients, &self.cfg, &self.evictions, key, now)
+        else {
             return Gate::OverCapacity;
-        }
-        let rec = clients.get_mut(key).expect("ensured above");
+        };
         rec.advance(&self.cfg, now);
         if let Some(until) = rec.banned_until {
             return Gate::Banned { until };
@@ -293,10 +294,7 @@ impl Admission {
     pub fn record_violation(&self, key: &str, v: Violation, now: Instant) -> Option<Duration> {
         self.violations.fetch_add(1, Ordering::Relaxed);
         let mut clients = self.lock();
-        if !Self::ensure_record(&mut clients, &self.cfg, &self.evictions, key, now) {
-            return None;
-        }
-        let rec = clients.get_mut(key).expect("ensured above");
+        let rec = Self::ensure_record(&mut clients, &self.cfg, &self.evictions, key, now)?;
         rec.advance(&self.cfg, now);
         rec.score += self.cfg.weight(v);
         if rec.score < self.cfg.ban_threshold || rec.banned_until.is_some() {

@@ -54,6 +54,12 @@ pub enum ClientError {
     },
     /// An `Ok` reply whose payload does not parse as promised.
     BadReply(String),
+    /// The request could not be encoded: the app name does not fit the
+    /// protocol's `u16` length prefix.
+    AppNameTooLong {
+        /// The offending name length in bytes.
+        len: usize,
+    },
 }
 
 impl std::fmt::Display for ClientError {
@@ -69,6 +75,12 @@ impl std::fmt::Display for ClientError {
                 write!(f, "unknown server status {code}: {message}")
             }
             Self::BadReply(why) => write!(f, "malformed Ok reply: {why}"),
+            Self::AppNameTooLong { len } => {
+                write!(
+                    f,
+                    "app name is {len} bytes; the wire prefix caps it at 65535"
+                )
+            }
         }
     }
 }
@@ -90,19 +102,23 @@ impl From<std::io::Error> for ClientError {
 }
 
 /// Encodes a submit-request payload: `[u16 LE name length][name][f32…]`.
-#[must_use]
-pub fn encode_submit_payload(app: &str, sample: &[f32]) -> Vec<u8> {
+///
+/// # Errors
+///
+/// [`ClientError::AppNameTooLong`] when the name overflows the `u16`
+/// length prefix — a typed refusal client-side, instead of putting an
+/// inconsistent frame on the wire.
+pub fn encode_submit_payload(app: &str, sample: &[f32]) -> Result<Vec<u8>, ClientError> {
+    let Ok(name_len) = u16::try_from(app.len()) else {
+        return Err(ClientError::AppNameTooLong { len: app.len() });
+    };
     let mut p = Vec::with_capacity(2 + app.len() + 4 * sample.len());
-    p.extend_from_slice(
-        &u16::try_from(app.len())
-            .expect("app name fits a u16 length prefix")
-            .to_le_bytes(),
-    );
+    p.extend_from_slice(&name_len.to_le_bytes());
     p.extend_from_slice(app.as_bytes());
     for v in sample {
         p.extend_from_slice(&v.to_le_bytes());
     }
-    p
+    Ok(p)
 }
 
 /// A blocking protocol client. See the module docs.
@@ -190,7 +206,7 @@ impl NetClient {
     /// — back-pressure (`QueueFull`), admission (`RateLimited`,
     /// `Banned`), serving failures — exactly as the wire reported it.
     pub fn submit(&mut self, app: &str, sample: &[f32]) -> Result<RemoteCompletion, ClientError> {
-        let payload = encode_submit_payload(app, sample);
+        let payload = encode_submit_payload(app, sample)?;
         self.send_raw(&frame::encode(crate::server::TAG_SUBMIT, &payload))?;
         let body = self.expect_ok()?;
         decode_completion(&body)
@@ -234,10 +250,13 @@ fn decode_completion(body: &[u8]) -> Result<RemoteCompletion, ClientError> {
             body.len()
         )));
     }
-    let seq = u64::from_le_bytes(body[0..8].try_into().expect("8 bytes"));
-    let pred = u32::from_le_bytes(body[8..12].try_into().expect("4 bytes"));
-    let n = u32::from_le_bytes(body[12..16].try_into().expect("4 bytes")) as usize;
-    let logit_bytes = &body[16..];
+    let truncated = || ClientError::BadReply("completion header truncated".into());
+    let (seq_bytes, rest) = body.split_first_chunk::<8>().ok_or_else(truncated)?;
+    let (pred_bytes, rest) = rest.split_first_chunk::<4>().ok_or_else(truncated)?;
+    let (n_bytes, logit_bytes) = rest.split_first_chunk::<4>().ok_or_else(truncated)?;
+    let seq = u64::from_le_bytes(*seq_bytes);
+    let pred = u32::from_le_bytes(*pred_bytes);
+    let n = u32::from_le_bytes(*n_bytes) as usize;
     if logit_bytes.len() != 4 * n {
         return Err(ClientError::BadReply(format!(
             "completion declares {n} logits but carries {} bytes",
@@ -257,10 +276,16 @@ mod tests {
 
     #[test]
     fn submit_payload_and_completion_codecs_are_inverse_of_the_server() {
-        let p = encode_submit_payload("cam", &[0.5, -1.0]);
+        let p = encode_submit_payload("cam", &[0.5, -1.0]).unwrap();
         assert_eq!(&p[..2], &3u16.to_le_bytes());
         assert_eq!(&p[2..5], b"cam");
         assert_eq!(p.len(), 2 + 3 + 8);
+
+        // A name past the u16 prefix is a typed client-side refusal.
+        assert!(matches!(
+            encode_submit_payload(&"x".repeat(70_000), &[]),
+            Err(ClientError::AppNameTooLong { len: 70_000 })
+        ));
 
         // A hand-built completion body decodes faithfully.
         let mut body = Vec::new();

@@ -47,10 +47,11 @@
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use eml_core::sync::{rank, RankedGuard, RankedMutex};
 use eml_serve::{Executor, ServeError};
 
 use crate::admission::{Admission, AdmissionConfig, Gate, Violation};
@@ -202,7 +203,7 @@ pub struct NetServer {
     shared: Arc<Shared>,
     local_addr: SocketAddr,
     accept_thread: Option<JoinHandle<()>>,
-    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    conns: Arc<RankedMutex<Vec<JoinHandle<()>>>>,
 }
 
 impl std::fmt::Debug for NetServer {
@@ -219,7 +220,8 @@ impl NetServer {
     ///
     /// # Errors
     ///
-    /// Propagates the bind failure.
+    /// Propagates the bind failure, or the accept thread failing to
+    /// spawn.
     pub fn bind(cfg: NetConfig, executor: Executor) -> std::io::Result<Self> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let local_addr = listener.local_addr()?;
@@ -231,14 +233,17 @@ impl NetServer {
             stats: NetStats::default(),
             stop: AtomicBool::new(false),
         });
-        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let conns: Arc<RankedMutex<Vec<JoinHandle<()>>>> = Arc::new(RankedMutex::new(
+            rank::NET_CONNS,
+            "net-conn-handles",
+            Vec::new(),
+        ));
         let accept_thread = {
             let shared = Arc::clone(&shared);
             let conns = Arc::clone(&conns);
             std::thread::Builder::new()
                 .name("eml-net-accept".into())
-                .spawn(move || accept_loop(&listener, &shared, &conns))
-                .expect("spawn accept thread")
+                .spawn(move || accept_loop(&listener, &shared, &conns))?
         };
         Ok(Self {
             shared,
@@ -286,8 +291,7 @@ impl NetServer {
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
-        let handles: Vec<JoinHandle<()>> =
-            std::mem::take(&mut *self.conns.lock().unwrap_or_else(PoisonError::into_inner));
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.conns.lock());
         for h in handles {
             let _ = h.join();
         }
@@ -303,16 +307,14 @@ impl Drop for NetServer {
     }
 }
 
-fn lock_conns(
-    conns: &Mutex<Vec<JoinHandle<()>>>,
-) -> std::sync::MutexGuard<'_, Vec<JoinHandle<()>>> {
-    conns.lock().unwrap_or_else(PoisonError::into_inner)
+fn lock_conns(conns: &RankedMutex<Vec<JoinHandle<()>>>) -> RankedGuard<'_, Vec<JoinHandle<()>>> {
+    conns.lock()
 }
 
 /// Joins finished connection threads (bounding the handle list). Every
 /// handler runs inside `catch_unwind`, so joins here never carry a
 /// panic payload; panic counting happens at the catch site.
-fn reap_finished(conns: &Mutex<Vec<JoinHandle<()>>>) {
+fn reap_finished(conns: &RankedMutex<Vec<JoinHandle<()>>>) {
     let mut held = lock_conns(conns);
     let mut live = Vec::with_capacity(held.len());
     for h in held.drain(..) {
@@ -328,7 +330,7 @@ fn reap_finished(conns: &Mutex<Vec<JoinHandle<()>>>) {
 fn accept_loop(
     listener: &TcpListener,
     shared: &Arc<Shared>,
-    conns: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+    conns: &Arc<RankedMutex<Vec<JoinHandle<()>>>>,
 ) {
     let mut conn_id: u64 = 0;
     loop {
@@ -376,9 +378,18 @@ fn accept_loop(
                 }
                 shared2.stats.active.fetch_sub(1, Ordering::Relaxed);
                 let _ = stream.shutdown(std::net::Shutdown::Both);
-            })
-            .expect("spawn connection thread");
-        lock_conns(conns).push(handle);
+            });
+        match handle {
+            Ok(handle) => lock_conns(conns).push(handle),
+            Err(_) => {
+                // The OS refused the thread (exhaustion under an accept
+                // flood): shed this connection — the stream was moved
+                // into the unspawned closure and closes with it — and
+                // keep the accept loop alive for when threads free up.
+                shared.stats.active.fetch_sub(1, Ordering::Relaxed);
+                shared.stats.over_capacity.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 }
 

@@ -45,6 +45,9 @@ pub enum WireStatus {
     Inference = 9,
     /// [`ServeError::Rtm`]: an underlying allocation/knob error.
     Rtm = 10,
+    /// [`ServeError::SpawnFailed`]: the server could not spawn a
+    /// serving thread for the app.
+    SpawnFailed = 11,
     /// The frame header declared a payload above the server's cap.
     Oversize = 32,
     /// The frame's tag byte is not in the request vocabulary.
@@ -87,6 +90,7 @@ impl WireStatus {
             8 => Self::WaitTimeout,
             9 => Self::Inference,
             10 => Self::Rtm,
+            11 => Self::SpawnFailed,
             32 => Self::Oversize,
             33 => Self::UnknownTag,
             34 => Self::Malformed,
@@ -129,6 +133,7 @@ mod tests {
             WireStatus::WaitTimeout,
             WireStatus::Inference,
             WireStatus::Rtm,
+            WireStatus::SpawnFailed,
             WireStatus::Oversize,
             WireStatus::UnknownTag,
             WireStatus::Malformed,

@@ -399,8 +399,7 @@ impl ServeController {
         if let Some(p) = &mut self.pressure {
             p.forget_ladders();
         }
-        self.allocation = Some(alloc);
-        Ok(self.allocation.as_ref().expect("just set"))
+        Ok(self.allocation.insert(alloc))
     }
 
     /// One turn of the closed loop: harvest stats, learn corrections,

@@ -83,6 +83,15 @@ pub enum ServeError {
     },
     /// An underlying RTM error (allocation, knob execution).
     Rtm(RtmError),
+    /// The OS refused to spawn a serving thread (thread or descriptor
+    /// exhaustion). At registration the app is not registered; at
+    /// supervised restart the watchdog re-arms the backoff and retries.
+    SpawnFailed {
+        /// Application name.
+        app: String,
+        /// The underlying OS error.
+        reason: String,
+    },
 }
 
 impl ServeError {
@@ -109,6 +118,7 @@ impl ServeError {
             Self::WaitTimeout { .. } => 8,
             Self::Inference { .. } => 9,
             Self::Rtm(_) => 10,
+            Self::SpawnFailed { .. } => 11,
         }
     }
 }
@@ -141,6 +151,9 @@ impl fmt::Display for ServeError {
             ),
             Self::Inference { app, reason } => write!(f, "`{app}` inference failed: {reason}"),
             Self::Rtm(e) => write!(f, "rtm error: {e}"),
+            Self::SpawnFailed { app, reason } => {
+                write!(f, "`{app}` serving thread failed to spawn: {reason}")
+            }
         }
     }
 }
@@ -234,6 +247,13 @@ mod tests {
                     reason: "none".into(),
                 }),
                 10,
+            ),
+            (
+                ServeError::SpawnFailed {
+                    app: app(),
+                    reason: "EAGAIN".into(),
+                },
+                11,
             ),
         ];
         let mut seen = std::collections::HashSet::new();

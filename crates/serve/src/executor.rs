@@ -54,13 +54,14 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::{mpsc, Arc, Condvar};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use eml_core::knobs::{apply_app_command, commands_for, KnobCommand};
 use eml_core::requirements::Requirements;
 use eml_core::rtm::Allocation;
+use eml_core::sync::{rank, RankedGuard, RankedMutex};
 use eml_dnn::DynamicDnn;
 use eml_nn::tensor::Tensor;
 use eml_platform::soc::ClusterId;
@@ -251,19 +252,23 @@ struct QueueState {
 }
 
 struct AppShared {
-    state: Mutex<QueueState>,
+    /// Queue state, ranked: the serve loop's completion path nests
+    /// `EXEC_STATS` inside this lock (the crate's one sanctioned
+    /// nesting); the debug-build rank check keeps every other path
+    /// honest about the queue-state→stats order.
+    state: RankedMutex<QueueState>,
     /// Signalled on submit / knob push / resume / stop.
     work: Condvar,
     /// Signalled when the queue empties and nothing is in flight.
     idle: Condvar,
 }
 
-fn lock_state(shared: &AppShared) -> MutexGuard<'_, QueueState> {
-    // Poisoning is survivable here: the state is only mutated by
-    // short, panic-free critical sections; a poisoned lock means a
-    // serving thread died mid-batch, which the watchdog turns into
-    // typed errors and a supervised restart.
-    shared.state.lock().unwrap_or_else(PoisonError::into_inner)
+fn lock_state(shared: &AppShared) -> RankedGuard<'_, QueueState> {
+    // Poisoning is recovered inside `RankedMutex`: the state is only
+    // mutated by short, panic-free critical sections; a poisoned lock
+    // means a serving thread died mid-batch, which the watchdog turns
+    // into typed errors and a supervised restart.
+    shared.state.lock()
 }
 
 /// Restart bookkeeping, owned by the watchdog and reset by the serving
@@ -284,10 +289,10 @@ struct Supervision {
 struct AppRuntime {
     name: String,
     shared: AppShared,
-    stats: Mutex<AppStats>,
-    model: Mutex<DynamicDnn>,
-    thread: Mutex<Option<JoinHandle<()>>>,
-    supervision: Mutex<Supervision>,
+    stats: RankedMutex<AppStats>,
+    model: RankedMutex<DynamicDnn>,
+    thread: RankedMutex<Option<JoinHandle<()>>>,
+    supervision: RankedMutex<Supervision>,
     /// Liveness beacon: nanoseconds since `epoch`, stored by the
     /// serving thread before every wait and every forward.
     heartbeat: AtomicU64,
@@ -311,22 +316,20 @@ impl AppRuntime {
         self.epoch.elapsed().saturating_sub(last)
     }
 
-    fn lock_stats(&self) -> MutexGuard<'_, AppStats> {
-        self.stats.lock().unwrap_or_else(PoisonError::into_inner)
+    fn lock_stats(&self) -> RankedGuard<'_, AppStats> {
+        self.stats.lock()
     }
 
-    fn lock_model(&self) -> MutexGuard<'_, DynamicDnn> {
+    fn lock_model(&self) -> RankedGuard<'_, DynamicDnn> {
         // A panic mid-forward (injected or organic) poisons this lock;
-        // recovery is safe because the model's scratch is
-        // resize-then-overwrite — no torn state survives into the next
-        // forward.
-        self.model.lock().unwrap_or_else(PoisonError::into_inner)
+        // recovery (inside `RankedMutex`) is safe because the model's
+        // scratch is resize-then-overwrite — no torn state survives
+        // into the next forward.
+        self.model.lock()
     }
 
-    fn lock_supervision(&self) -> MutexGuard<'_, Supervision> {
-        self.supervision
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
+    fn lock_supervision(&self) -> RankedGuard<'_, Supervision> {
+        self.supervision.lock()
     }
 }
 
@@ -354,8 +357,8 @@ struct WatchdogCfg {
 /// The supervisor's shared registry: every DNN app's runtime, plus the
 /// stop signal of the watchdog thread itself.
 struct Watchdog {
-    apps: Mutex<Vec<Arc<AppRuntime>>>,
-    stop: Mutex<bool>,
+    apps: RankedMutex<Vec<Arc<AppRuntime>>>,
+    stop: RankedMutex<bool>,
     bell: Condvar,
 }
 
@@ -384,8 +387,8 @@ impl Executor {
     /// supervisor watchdog.
     pub fn new(cfg: ExecutorConfig) -> Self {
         let watchdog = Arc::new(Watchdog {
-            apps: Mutex::new(Vec::new()),
-            stop: Mutex::new(false),
+            apps: RankedMutex::new(rank::EXEC_REGISTRY, "exec-watchdog-apps", Vec::new()),
+            stop: RankedMutex::new(rank::EXEC_WATCHDOG, "exec-watchdog-stop", false),
             bell: Condvar::new(),
         });
         let wd_cfg = WatchdogCfg {
@@ -429,7 +432,9 @@ impl Executor {
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::DuplicateApp`] if the name is taken.
+    /// Returns [`ServeError::DuplicateApp`] if the name is taken, or
+    /// [`ServeError::SpawnFailed`] if the OS refused the serving
+    /// thread (nothing is registered in that case).
     pub fn register_dnn(
         &mut self,
         name: impl Into<String>,
@@ -452,34 +457,42 @@ impl Executor {
         let rt = Arc::new(AppRuntime {
             name: name.clone(),
             shared: AppShared {
-                state: Mutex::new(QueueState {
-                    pending: VecDeque::new(),
-                    inflight: Vec::new(),
-                    knobs: Vec::new(),
-                    armed: Vec::new(),
-                    fired: vec![false; plan.len()],
-                    knob_fault_budget: 0,
-                    next_seq: 0,
-                    rejected: 0,
-                    errors: 0,
-                    shed: 0,
-                    storm_injected: 0,
-                    max_depth: 0,
-                    band_cap: 0,
-                    predicted: None,
-                    cluster: None,
-                    admitted: true,
-                    paused: false,
-                    draining: 0,
-                    stopping: false,
-                }),
+                state: RankedMutex::new(
+                    rank::EXEC_QUEUE,
+                    "exec-queue-state",
+                    QueueState {
+                        pending: VecDeque::new(),
+                        inflight: Vec::new(),
+                        knobs: Vec::new(),
+                        armed: Vec::new(),
+                        fired: vec![false; plan.len()],
+                        knob_fault_budget: 0,
+                        next_seq: 0,
+                        rejected: 0,
+                        errors: 0,
+                        shed: 0,
+                        storm_injected: 0,
+                        max_depth: 0,
+                        band_cap: 0,
+                        predicted: None,
+                        cluster: None,
+                        admitted: true,
+                        paused: false,
+                        draining: 0,
+                        stopping: false,
+                    },
+                ),
                 work: Condvar::new(),
                 idle: Condvar::new(),
             },
-            stats: Mutex::new(stats),
-            model: Mutex::new(dnn),
-            thread: Mutex::new(None),
-            supervision: Mutex::new(Supervision::default()),
+            stats: RankedMutex::new(rank::EXEC_STATS, "exec-stats", stats),
+            model: RankedMutex::new(rank::EXEC_MODEL, "exec-model", dnn),
+            thread: RankedMutex::new(rank::EXEC_THREAD, "exec-thread", None),
+            supervision: RankedMutex::new(
+                rank::EXEC_SUPERVISION,
+                "exec-supervision",
+                Supervision::default(),
+            ),
             heartbeat: AtomicU64::new(0),
             epoch: Instant::now(),
             batch_cap: self.cfg.batch_cap.max(1),
@@ -487,12 +500,12 @@ impl Executor {
             queue_capacity: self.cfg.queue_capacity,
             plan,
         });
-        *rt.thread.lock().unwrap_or_else(PoisonError::into_inner) = Some(spawn_serve_thread(&rt));
-        self.watchdog
-            .apps
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .push(Arc::clone(&rt));
+        let handle = spawn_serve_thread(&rt).map_err(|e| ServeError::SpawnFailed {
+            app: name.clone(),
+            reason: e.to_string(),
+        })?;
+        *rt.thread.lock() = Some(handle);
+        self.watchdog.apps.lock().push(Arc::clone(&rt));
         self.apps
             .insert(name, AppEntry::Dnn(Box::new(DnnApp { rt, sample_len })));
         Ok(())
@@ -649,17 +662,6 @@ impl Executor {
         Ok(KnobRoute::Queued)
     }
 
-    /// Boolean shim over [`Executor::route_command`]: `true` iff a
-    /// registered DNN app was addressed and the command was queued.
-    #[deprecated(
-        since = "0.1.0",
-        note = "collapses `DeviceKnob` and `UnknownApp` into `false`; \
-                use `route_command` and match the typed `KnobRoute`"
-    )]
-    pub fn apply_command(&self, cmd: &KnobCommand) -> bool {
-        matches!(self.route_command(cmd), Ok(KnobRoute::Queued))
-    }
-
     /// Arms a one-shot fault against `app`, consumed by its next
     /// dispatched batch (the runtime twin of a scheduled
     /// [`FaultPlan`] entry; the simulator's chaos hooks land here).
@@ -796,12 +798,7 @@ impl Executor {
         let mut st = lock_state(&entry.rt.shared);
         st.draining += 1;
         while !(st.pending.is_empty() && st.inflight.is_empty()) {
-            st = entry
-                .rt
-                .shared
-                .idle
-                .wait(st)
-                .unwrap_or_else(PoisonError::into_inner);
+            st = entry.rt.shared.state.wait(&entry.rt.shared.idle, st);
         }
         st.draining -= 1;
         Ok(())
@@ -823,11 +820,7 @@ impl Executor {
     /// calls make shutdown ordering visible in tests.
     pub fn shutdown(&mut self) {
         // Watchdog first: no restarts may race the thread joins below.
-        *self
-            .watchdog
-            .stop
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner) = true;
+        *self.watchdog.stop.lock() = true;
         self.watchdog.bell.notify_all();
         if let Some(t) = self.watchdog_thread.take() {
             let _ = t.join();
@@ -840,12 +833,7 @@ impl Executor {
         }
         for entry in self.apps.values() {
             let AppEntry::Dnn(app) = entry else { continue };
-            let handle = app
-                .rt
-                .thread
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .take();
+            let handle = app.rt.thread.lock().take();
             if let Some(t) = handle {
                 let _ = t.join();
             }
@@ -873,13 +861,12 @@ impl Drop for Executor {
     }
 }
 
-fn spawn_serve_thread(rt: &Arc<AppRuntime>) -> JoinHandle<()> {
+fn spawn_serve_thread(rt: &Arc<AppRuntime>) -> std::io::Result<JoinHandle<()>> {
     let rt = Arc::clone(rt);
     rt.beat(); // fresh beacon: a just-spawned thread is never "stale"
     std::thread::Builder::new()
         .name(format!("eml-serve-{}", rt.name))
         .spawn(move || serve_loop(&rt))
-        .expect("spawn serving thread")
 }
 
 /// The supervisor tick loop: scan every app for dead or wedged serving
@@ -887,23 +874,16 @@ fn spawn_serve_thread(rt: &Arc<AppRuntime>) -> JoinHandle<()> {
 fn watchdog_loop(wd: &Watchdog, cfg: WatchdogCfg) {
     loop {
         {
-            let stop = wd.stop.lock().unwrap_or_else(PoisonError::into_inner);
+            let stop = wd.stop.lock();
             if *stop {
                 return;
             }
-            let (stop, _timed_out) = wd
-                .bell
-                .wait_timeout(stop, cfg.interval)
-                .unwrap_or_else(PoisonError::into_inner);
+            let (stop, _timed_out) = wd.stop.wait_timeout(&wd.bell, stop, cfg.interval);
             if *stop {
                 return;
             }
         }
-        let apps: Vec<Arc<AppRuntime>> = wd
-            .apps
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .clone();
+        let apps: Vec<Arc<AppRuntime>> = wd.apps.lock().clone();
         for rt in &apps {
             supervise(rt, &cfg);
         }
@@ -916,13 +896,15 @@ fn supervise(rt: &Arc<AppRuntime>, cfg: &WatchdogCfg) {
     if lock_state(&rt.shared).stopping {
         return; // shutdown owns the threads now
     }
-    let mut th = rt.thread.lock().unwrap_or_else(PoisonError::into_inner);
+    let mut th = rt.thread.lock();
     match th.as_ref() {
         Some(handle) if handle.is_finished() => {
             // The thread died (a panic escaped the forward's
             // containment). Collect it, fail its in-flight batch with
             // a typed error, and schedule a bounded-backoff restart.
-            let _ = th.take().expect("checked some").join();
+            if let Some(handle) = th.take() {
+                let _ = handle.join();
+            }
             drop(th);
             fail_inflight(
                 rt,
@@ -948,10 +930,28 @@ fn supervise(rt: &Arc<AppRuntime>, cfg: &WatchdogCfg) {
                 }
             };
             if due {
-                *th = Some(spawn_serve_thread(rt));
-                drop(th);
-                rt.lock_stats().restarts += 1;
-                rt.shared.work.notify_one();
+                match spawn_serve_thread(rt) {
+                    Ok(handle) => {
+                        *th = Some(handle);
+                        drop(th);
+                        rt.lock_stats().restarts += 1;
+                        rt.shared.work.notify_one();
+                    }
+                    Err(_) => {
+                        // The OS refused the thread (descriptor or
+                        // thread exhaustion): re-arm the backoff and
+                        // retry on a later watchdog tick instead of
+                        // taking the supervisor down.
+                        drop(th);
+                        let mut sup = rt.lock_supervision();
+                        let delay = cfg
+                            .backoff
+                            .saturating_mul(2u32.saturating_pow(sup.streak.min(16)))
+                            .min(cfg.backoff_max);
+                        sup.restart_at = Some(Instant::now() + delay);
+                        sup.streak = sup.streak.saturating_add(1);
+                    }
+                }
             }
         }
         Some(_) => {
@@ -1005,20 +1005,20 @@ fn apply_knobs(
     name: &str,
     dnn: &mut DynamicDnn,
     knobs: &[KnobCommand],
-    stats: &Mutex<AppStats>,
+    stats: &RankedMutex<AppStats>,
     mut faulted: u32,
 ) {
     for cmd in knobs {
         if faulted > 0 {
             faulted -= 1;
-            let mut s = stats.lock().unwrap_or_else(PoisonError::into_inner);
+            let mut s = stats.lock();
             s.knob_errors += 1;
             s.knob_faulted += 1;
             s.last_knob_error = Some("injected knob-actuation fault".into());
             continue;
         }
         let applied = apply_app_command(cmd, name, dnn);
-        let mut s = stats.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut s = stats.lock();
         match applied {
             Ok(_) => {
                 let (level, precision) = (dnn.level().index(), dnn.precision());
@@ -1044,11 +1044,14 @@ fn apply_knobs(
 /// whole remainder is too. Each shed request completes immediately
 /// with a typed error — no forward pass is spent on it.
 fn shed_expired(st: &mut QueueState, deadline: TimeSpan, app: &str) {
-    while let Some(front) = st.pending.front() {
-        if front.submitted.elapsed().as_secs_f64() <= deadline.as_secs() {
+    while st
+        .pending
+        .front()
+        .is_some_and(|front| front.submitted.elapsed().as_secs_f64() > deadline.as_secs())
+    {
+        let Some(req) = st.pending.pop_front() else {
             break;
-        }
-        let req = st.pending.pop_front().expect("front checked");
+        };
         st.shed += 1;
         let _ = req.tx.send(Err(ServeError::DeadlineExpired {
             app: app.into(),
@@ -1113,11 +1116,7 @@ fn next_dispatch(
         if has_work {
             break;
         }
-        st = rt
-            .shared
-            .work
-            .wait(st)
-            .unwrap_or_else(PoisonError::into_inner);
+        st = rt.shared.state.wait(&rt.shared.work, st);
     }
     let pausing = st.paused && !st.stopping;
     if !pausing {
@@ -1158,10 +1157,7 @@ fn next_dispatch(
         let oldest = st
             .pending
             .front()
-            .expect("pending checked non-empty")
-            .submitted
-            .elapsed()
-            .as_secs_f64();
+            .map_or(0.0, |r| r.submitted.elapsed().as_secs_f64());
         while k > 1 && oldest + s * k as f64 > d.as_secs() {
             k -= 1;
         }
@@ -1330,8 +1326,7 @@ fn serve_loop(rt: &AppRuntime) {
                             .iter()
                             .enumerate()
                             .max_by(|a, b| a.1.total_cmp(b.1))
-                            .map(|(c, _)| c)
-                            .expect("non-empty logits row");
+                            .map_or(0, |(c, _)| c);
                         let latency_s = req.submitted.elapsed().as_secs_f64();
                         let met = rt.deadline.map(|dl| latency_s <= dl.as_secs());
                         s.record(req.seq, latency_s, met);
@@ -1579,23 +1574,6 @@ mod tests {
             }),
             Err(ServeError::UnknownApp { .. })
         ));
-        // The deprecated boolean shim stays behaviourally pinned (and
-        // is the single sanctioned caller) until it is removed.
-        #[allow(deprecated)]
-        {
-            assert!(exec.apply_command(&KnobCommand::SetWidth {
-                app: "cam".into(),
-                level: WidthLevel(1),
-            }));
-            assert!(!exec.apply_command(&KnobCommand::SetOpp {
-                cluster: ClusterId::from_index(0),
-                opp_index: 0,
-            }));
-            assert!(!exec.apply_command(&KnobCommand::SetWidth {
-                app: "ghost".into(),
-                level: WidthLevel(0),
-            }));
-        }
     }
 
     /// A hostile sample (NaN) must not wedge the tenant: the request

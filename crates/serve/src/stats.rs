@@ -117,7 +117,7 @@ impl AppStats {
             return None;
         }
         let mut sorted: Vec<f64> = self.latencies.iter().copied().collect();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
         Some(TimeSpan::from_secs(sorted[idx]))
     }
