@@ -45,6 +45,10 @@ pub mod rank {
     pub const NET_ADMISSION: u32 = 100;
     /// `eml-net` connection-thread handle list.
     pub const NET_CONNS: u32 = 110;
+    /// `eml-serve` executor app map (registration/deregistration and
+    /// name→runtime lookup). Below every per-app lock so lifecycle
+    /// paths may resolve an app and then touch its queue/thread state.
+    pub const EXEC_APPS: u32 = 190;
     /// `eml-serve` watchdog stop flag.
     pub const EXEC_WATCHDOG: u32 = 200;
     /// `eml-serve` watchdog app registry.

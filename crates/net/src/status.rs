@@ -48,6 +48,10 @@ pub enum WireStatus {
     /// [`ServeError::SpawnFailed`]: the server could not spawn a
     /// serving thread for the app.
     SpawnFailed = 11,
+    /// [`ServeError::AppDeregistered`]: the app was deregistered from
+    /// the executor; the name may come back, but this request was
+    /// refused typed.
+    AppDeregistered = 12,
     /// The frame header declared a payload above the server's cap.
     Oversize = 32,
     /// The frame's tag byte is not in the request vocabulary.
@@ -91,6 +95,7 @@ impl WireStatus {
             9 => Self::Inference,
             10 => Self::Rtm,
             11 => Self::SpawnFailed,
+            12 => Self::AppDeregistered,
             32 => Self::Oversize,
             33 => Self::UnknownTag,
             34 => Self::Malformed,
@@ -134,6 +139,7 @@ mod tests {
             WireStatus::Inference,
             WireStatus::Rtm,
             WireStatus::SpawnFailed,
+            WireStatus::AppDeregistered,
             WireStatus::Oversize,
             WireStatus::UnknownTag,
             WireStatus::Malformed,
@@ -164,6 +170,10 @@ mod tests {
             (
                 ServeError::AppStopped { app: "a".into() },
                 WireStatus::AppStopped,
+            ),
+            (
+                ServeError::AppDeregistered { app: "a".into() },
+                WireStatus::AppDeregistered,
             ),
             (
                 ServeError::DeadlineExpired {

@@ -14,13 +14,19 @@
 //! explicit call in tests).
 //!
 //! Between allocation epochs, an optional [`PressurePolicy`] acts as
-//! the *graceful-degradation ladder*: when an app shows acute pressure
-//! (queue depth near capacity, a high windowed miss rate, or fresh
-//! deadline sheds), the policy steps the paper's knobs **down** — f32 →
-//! int8 first (cheap accuracy for a large latency cut), then width one
-//! level at a time — through the executor's typed
-//! [`crate::Executor::route_command`] path. Recovery is hysteretic: a
-//! rung is undone only after a full window of consecutive calm ticks
+//! the *graceful-degradation ladder*, driven by the per-app health
+//! score ([`crate::health::score`]) rather than a bag of ad-hoc
+//! triggers: when an app's score falls below
+//! [`PressureConfig::degrade_below`] — whether from a high windowed
+//! miss rate, queue depth near capacity, fresh deadline sheds,
+//! restarts, stalls or knob faults — the policy steps the paper's
+//! knobs **down** — f32 → int8 first (cheap accuracy for a large
+//! latency cut), then width one level at a time — through the
+//! executor's typed [`crate::Executor::route_command`] path. Recovery
+//! is hysteretic twice over: a tick counts as calm only when the score
+//! clears the *higher* [`PressureConfig::restore_at`] line with enough
+//! window evidence, and a rung is undone only after a full window of
+//! consecutive calm ticks
 //! ([`eml_core::feedback::MissTracker::all_met`]), so knobs don't flap
 //! at the pressure boundary. A re-allocation overwrites the knob
 //! surface wholesale, so it clears the ladder
@@ -38,6 +44,7 @@ use eml_platform::Soc;
 
 use crate::error::Result;
 use crate::executor::Executor;
+use crate::health::{self, EventWatermark, HealthConfig};
 
 /// Control-loop tuning.
 #[derive(Debug, Clone, Copy)]
@@ -80,16 +87,21 @@ pub struct EpochOutcome {
 /// Tuning of the graceful-degradation ladder. See the module docs.
 #[derive(Debug, Clone, Copy)]
 pub struct PressureConfig {
-    /// Queue-depth fraction of capacity at/above which an app counts as
-    /// pressured.
-    pub queue_frac: f64,
-    /// Windowed miss rate at/above which an app counts as pressured
-    /// (gated by `min_outcomes`).
-    pub miss_rate: f64,
-    /// Minimum deadline outcomes in the sliding window before the miss
-    /// rate is trusted — and before a tick counts as *evidence of
-    /// health* on the recovery side.
-    pub min_outcomes: usize,
+    /// Health-score weights (see [`crate::health::HealthConfig`]); the
+    /// ladder scores each app exactly as a [`crate::HealthMonitor`]
+    /// would, from the same counters.
+    pub health: HealthConfig,
+    /// Health score below which an app is pressured: one rung steps
+    /// down. With default weights this line is crossed by a ~44 %
+    /// windowed miss rate, a ~70 % full queue, or any fresh shed —
+    /// close to the retired trio of ad-hoc triggers, but every other
+    /// health signal (restarts, stalls, knob faults) now also
+    /// contributes.
+    pub degrade_below: f32,
+    /// Health score at/above which a tick counts as *calm* (evidence
+    /// toward restoration). Strictly above `degrade_below`: the gap is
+    /// the dead band where the ladder holds its position.
+    pub restore_at: f32,
     /// Consecutive calm ticks (a full, clean [`MissTracker`] window)
     /// before one rung is restored — the hysteresis.
     pub recover_ticks: usize,
@@ -100,9 +112,9 @@ pub struct PressureConfig {
 impl Default for PressureConfig {
     fn default() -> Self {
         Self {
-            queue_frac: 0.75,
-            miss_rate: 0.5,
-            min_outcomes: 8,
+            health: HealthConfig::default(),
+            degrade_below: 65.0,
+            restore_at: 90.0,
             recover_ticks: 3,
             width_floor: 0,
         }
@@ -160,8 +172,9 @@ struct AppLadder {
     /// Consecutive-calm-ticks tracker (threshold 1.0: only a *full
     /// clean window* restores — see [`MissTracker::all_met`]).
     calm: MissTracker,
-    /// `shed` counter at the last tick, for fresh-shed detection.
-    last_shed: u64,
+    /// Watermark over the app's cumulative event counters, so only
+    /// events *since the last tick* penalise the score.
+    mark: EventWatermark,
 }
 
 /// The graceful-degradation ladder. See the module docs.
@@ -200,15 +213,17 @@ impl PressurePolicy {
         self.ladders.clear();
     }
 
-    /// One pressure evaluation for one app: steps a rung down under
-    /// pressure, records calm otherwise, and restores a rung after a
-    /// full clean calm window. Returns what (if anything) moved.
+    /// One pressure evaluation for one app: computes the app's health
+    /// score from its current snapshot, steps a rung down when the
+    /// score sinks below the pressure line, records calm when it
+    /// clears the restore line, and restores a rung after a full clean
+    /// calm window. Returns what (if anything) moved.
     ///
     /// Knob movement goes through [`Executor::route_command`]; an
-    /// unknown app (not registered, or deregistered since) drops its
-    /// ladder state. Actuation is asynchronous — the serving thread
-    /// applies the command before its next batch — so ticks should run
-    /// at batch granularity or coarser.
+    /// unknown or deregistered app drops its ladder state. Actuation
+    /// is asynchronous — the serving thread applies the command before
+    /// its next batch — so ticks should run at batch granularity or
+    /// coarser.
     pub fn tick(&mut self, exec: &Executor, app: &str) -> Option<PressureAction> {
         let Ok(snap) = exec.stats(app) else {
             self.ladders.remove(app);
@@ -221,16 +236,11 @@ impl PressurePolicy {
             .or_insert_with(|| AppLadder {
                 steps: Vec::new(),
                 calm: MissTracker::new(cfg.recover_ticks.max(1), 1.0),
-                last_shed: snap.shed,
+                mark: EventWatermark::seeded(&snap),
             });
-        let fresh_shed = snap.shed.saturating_sub(ladder.last_shed) > 0;
-        ladder.last_shed = snap.shed;
-        let capacity = exec.config().queue_capacity;
-        let depth_pressure =
-            capacity > 0 && (snap.queue_depth as f64) >= cfg.queue_frac * capacity as f64;
-        let miss_pressure =
-            snap.window_outcomes >= cfg.min_outcomes && snap.window_miss_rate >= cfg.miss_rate;
-        if depth_pressure || miss_pressure || fresh_shed {
+        let fresh = ladder.mark.advance(&snap);
+        let score = health::score(&cfg.health, &snap, exec.config().queue_capacity, &fresh);
+        if score < cfg.degrade_below {
             // Pressure: any recovery evidence is stale now.
             ladder.calm.reset();
             let (cmd, step) = if snap.precision == Precision::F32 {
@@ -265,9 +275,11 @@ impl PressurePolicy {
                 step,
             });
         }
-        // Calm — but only count it as evidence when the app actually
-        // served enough outcomes at the current (degraded) point.
-        if snap.window_outcomes >= cfg.min_outcomes {
+        // Calm — but only when the score clears the (higher) restore
+        // line *and* the app actually served enough outcomes at the
+        // current (degraded) point to be evidence. Scores in the dead
+        // band between the two lines neither degrade nor recover.
+        if score >= cfg.restore_at && snap.window_outcomes >= cfg.health.min_outcomes {
             ladder.calm.record(true);
         }
         if ladder.calm.all_met() {
@@ -485,7 +497,7 @@ mod tests {
     const TIMEOUT: Duration = Duration::from_secs(20);
 
     fn ladder_exec(deadline_ms: f64) -> Executor {
-        let mut exec = Executor::new(ExecutorConfig {
+        let exec = Executor::new(ExecutorConfig {
             queue_capacity: 8,
             batch_cap: 4,
             ..ExecutorConfig::default()
@@ -529,12 +541,16 @@ mod tests {
     #[test]
     fn ladder_degrades_under_queue_pressure_and_restores_with_hysteresis() {
         let exec = ladder_exec(500.0); // generous: completions all meet
+                                       // A queue weight that puts 4 held requests against capacity 8
+                                       // (half full → 60 points of penalty) below the pressure line.
         let mut policy = PressurePolicy::new(PressureConfig {
-            queue_frac: 0.5,
-            miss_rate: 0.5,
-            min_outcomes: 2,
+            health: HealthConfig {
+                w_queue: 120.0,
+                min_outcomes: 2,
+                ..HealthConfig::default()
+            },
             recover_ticks: 2,
-            width_floor: 0,
+            ..PressureConfig::default()
         });
         let s0 = exec.stats("cam").unwrap();
         assert_eq!((s0.level, s0.precision), (3, Precision::F32));
@@ -628,7 +644,10 @@ mod tests {
     fn fresh_sheds_pressure_the_ladder_and_forget_drops_state() {
         let exec = ladder_exec(10.0);
         let mut policy = PressurePolicy::new(PressureConfig {
-            min_outcomes: 2,
+            health: HealthConfig {
+                min_outcomes: 2,
+                ..HealthConfig::default()
+            },
             recover_ticks: 1,
             ..PressureConfig::default()
         });

@@ -45,6 +45,16 @@ pub enum ServeError {
         /// Application name.
         app: String,
     },
+    /// The application was deregistered
+    /// ([`crate::Executor::deregister_dnn`]): its queue was drained,
+    /// its serving thread joined and its band released. Distinct from
+    /// [`ServeError::AppStopped`] (executor-wide shutdown) and
+    /// [`ServeError::UnknownApp`] (never registered): the name *was*
+    /// served here, and may be registered again later.
+    AppDeregistered {
+        /// Application name.
+        app: String,
+    },
     /// The submitted sample does not match the model's input shape.
     ShapeMismatch {
         /// Application name.
@@ -119,6 +129,7 @@ impl ServeError {
             Self::Inference { .. } => 9,
             Self::Rtm(_) => 10,
             Self::SpawnFailed { .. } => 11,
+            Self::AppDeregistered { .. } => 12,
         }
     }
 }
@@ -135,6 +146,9 @@ impl fmt::Display for ServeError {
                 write!(f, "`{app}` is not admitted by the current allocation")
             }
             Self::AppStopped { app } => write!(f, "`{app}` serving thread has stopped"),
+            Self::AppDeregistered { app } => {
+                write!(f, "application `{app}` has been deregistered")
+            }
             Self::DeadlineExpired { app, seq } => {
                 write!(f, "`{app}` request #{seq} shed: deadline expired in queue")
             }
@@ -255,6 +269,7 @@ mod tests {
                 },
                 11,
             ),
+            (ServeError::AppDeregistered { app: app() }, 12),
         ];
         let mut seen = std::collections::HashSet::new();
         for (e, expect) in &all {

@@ -47,6 +47,23 @@
 //! invariant exact:
 //! `submitted + storm_injected == completed + errors + rejected + shed`.
 //!
+//! ## Lifecycle
+//!
+//! Registration is interior-mutable (`&self`): the app map lives
+//! behind its own ranked lock (`eml_core::sync::rank::EXEC_APPS`,
+//! below every per-app lock), so apps arrive and depart *mid-stream* —
+//! from a scenario replay or a control thread — without exclusive
+//! access to the executor. [`Executor::deregister_dnn`] is the
+//! lifecycle inverse of [`Executor::register_dnn`]: new submissions
+//! are refused with the typed [`crate::ServeError::AppDeregistered`],
+//! the serving thread drains what it already admitted and is joined,
+//! anything a *dead* thread stranded is failed with the same typed
+//! error (never a lost ticket), and the app's band is released. A
+//! tombstone keeps the final statistics readable and the refusal
+//! distinct from [`crate::ServeError::UnknownApp`] until the name is
+//! registered again. The extended accounting invariant holds across
+//! the transition.
+//!
 //! Deterministic hostile schedules come from a seeded
 //! [`crate::FaultPlan`] ([`ExecutorConfig::fault_plan`], off by
 //! default and free when absent) or one-shot
@@ -248,6 +265,10 @@ struct QueueState {
     /// Active `drain_app` calls; submissions are refused while the
     /// queue is being drained so the drain terminates.
     draining: u32,
+    /// Set (together with `stopping`) by `deregister_dnn`, so raced
+    /// submissions surface the distinct [`ServeError::AppDeregistered`]
+    /// rather than shutdown's [`ServeError::AppStopped`].
+    departing: bool,
     stopping: bool,
 }
 
@@ -339,10 +360,14 @@ struct DnnApp {
 }
 
 enum AppEntry {
-    Dnn(Box<DnnApp>),
+    Dnn(Arc<DnnApp>),
     /// Rigid apps run outside the executor (a GPU renderer, a codec);
     /// registration only makes allocation bookkeeping visible.
     Rigid,
+    /// Tombstone left by [`Executor::deregister_dnn`]: keeps the final
+    /// statistics readable, makes late lookups fail with the distinct
+    /// typed refusal, and frees the name for re-registration.
+    Departed(Arc<DnnApp>),
 }
 
 /// Watchdog timing knobs, copied out of [`ExecutorConfig`] at spawn.
@@ -365,7 +390,10 @@ struct Watchdog {
 /// The multi-tenant serving executor. See the module docs.
 pub struct Executor {
     cfg: ExecutorConfig,
-    apps: HashMap<String, AppEntry>,
+    /// The app map, ranked *below* every per-app lock so lifecycle
+    /// paths may resolve a name and then touch its queue/thread state
+    /// while still holding the map.
+    apps: RankedMutex<HashMap<String, AppEntry>>,
     watchdog: Arc<Watchdog>,
     watchdog_thread: Option<JoinHandle<()>>,
 }
@@ -375,7 +403,7 @@ impl std::fmt::Debug for Executor {
         write!(
             f,
             "Executor({} apps, queue {}, batch cap {})",
-            self.apps.len(),
+            self.apps.lock().len(),
             self.cfg.queue_capacity,
             self.cfg.batch_cap
         )
@@ -406,7 +434,7 @@ impl Executor {
         };
         Self {
             cfg,
-            apps: HashMap::new(),
+            apps: RankedMutex::new(rank::EXEC_APPS, "exec-apps", HashMap::new()),
             watchdog,
             watchdog_thread: Some(watchdog_thread),
         }
@@ -417,9 +445,18 @@ impl Executor {
         &self.cfg
     }
 
-    /// Registered application names (DNN and rigid), sorted.
+    /// Registered application names (DNN and rigid), **sorted** — a
+    /// deterministic order, so health reports and scenario digests
+    /// built from it are bit-stable run to run. Deregistered
+    /// tombstones are excluded.
     pub fn app_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.apps.keys().cloned().collect();
+        let mut names: Vec<String> = self
+            .apps
+            .lock()
+            .iter()
+            .filter(|(_, e)| !matches!(e, AppEntry::Departed(_)))
+            .map(|(n, _)| n.clone())
+            .collect();
         names.sort();
         names
     }
@@ -430,20 +467,30 @@ impl Executor {
     /// per-request `deadline_met` accounting, the micro-batcher's
     /// coalescing bound, and deadline-expiry shedding at dequeue.
     ///
+    /// Registration is interior-mutable (`&self`): apps can arrive
+    /// while other threads are serving, observing or deregistering. A
+    /// name left behind by [`Executor::deregister_dnn`] may be
+    /// registered again — the tombstone (and its final statistics) is
+    /// replaced by the fresh app.
+    ///
     /// # Errors
     ///
     /// Returns [`ServeError::DuplicateApp`] if the name is taken, or
     /// [`ServeError::SpawnFailed`] if the OS refused the serving
     /// thread (nothing is registered in that case).
     pub fn register_dnn(
-        &mut self,
+        &self,
         name: impl Into<String>,
         dnn: DynamicDnn,
         requirements: &Requirements,
     ) -> Result<()> {
         let name = name.into();
-        if self.apps.contains_key(&name) {
-            return Err(ServeError::DuplicateApp { app: name });
+        // Hold the map for the whole registration so a concurrent
+        // register/deregister of the same name serialises cleanly.
+        let mut apps = self.apps.lock();
+        match apps.get(&name) {
+            None | Some(AppEntry::Departed(_)) => {}
+            Some(_) => return Err(ServeError::DuplicateApp { app: name }),
         }
         let sample_len = dnn.network().input_shape().iter().product();
         let deadline = requirements.max_latency();
@@ -479,6 +526,7 @@ impl Executor {
                         admitted: true,
                         paused: false,
                         draining: 0,
+                        departing: false,
                         stopping: false,
                     },
                 ),
@@ -506,8 +554,7 @@ impl Executor {
         })?;
         *rt.thread.lock() = Some(handle);
         self.watchdog.apps.lock().push(Arc::clone(&rt));
-        self.apps
-            .insert(name, AppEntry::Dnn(Box::new(DnnApp { rt, sample_len })));
+        apps.insert(name, AppEntry::Dnn(Arc::new(DnnApp { rt, sample_len })));
         Ok(())
     }
 
@@ -517,18 +564,110 @@ impl Executor {
     /// # Errors
     ///
     /// Returns [`ServeError::DuplicateApp`] if the name is taken.
-    pub fn register_rigid(&mut self, name: impl Into<String>) -> Result<()> {
+    pub fn register_rigid(&self, name: impl Into<String>) -> Result<()> {
         let name = name.into();
-        if self.apps.contains_key(&name) {
-            return Err(ServeError::DuplicateApp { app: name });
+        let mut apps = self.apps.lock();
+        match apps.get(&name) {
+            None | Some(AppEntry::Departed(_)) => {}
+            Some(_) => return Err(ServeError::DuplicateApp { app: name }),
         }
-        self.apps.insert(name, AppEntry::Rigid);
+        apps.insert(name, AppEntry::Rigid);
         Ok(())
     }
 
-    fn dnn_app(&self, app: &str) -> Result<&DnnApp> {
-        match self.apps.get(app) {
-            Some(AppEntry::Dnn(d)) => Ok(d),
+    /// Deregisters a dynamic-DNN application — the lifecycle inverse of
+    /// [`Executor::register_dnn`]. In order: new submissions start
+    /// refusing with the typed [`ServeError::AppDeregistered`]; the
+    /// serving thread drains every request it already admitted, exits,
+    /// and is joined; requests a *dead* thread stranded (no supervisor
+    /// restart will come) are failed with the same typed error — never
+    /// a lost ticket; the app's band is released (`band_cap` 0, not
+    /// admitted). The extended accounting invariant holds across the
+    /// transition, and the final statistics snapshot is returned to
+    /// the caller. A tombstone keeps late lookups typed (distinct from
+    /// [`ServeError::UnknownApp`]) until the name is registered again.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownApp`] for unregistered or rigid names,
+    /// [`ServeError::AppDeregistered`] when the app was already
+    /// deregistered.
+    pub fn deregister_dnn(&self, app: &str) -> Result<AppStatsSnapshot> {
+        let d = {
+            let mut apps = self.apps.lock();
+            match apps.remove(app) {
+                Some(AppEntry::Dnn(d)) => {
+                    apps.insert(app.to_string(), AppEntry::Departed(Arc::clone(&d)));
+                    d
+                }
+                Some(entry) => {
+                    let refusal = match &entry {
+                        AppEntry::Departed(_) => ServeError::AppDeregistered { app: app.into() },
+                        _ => ServeError::UnknownApp { app: app.into() },
+                    };
+                    apps.insert(app.to_string(), entry);
+                    return Err(refusal);
+                }
+                None => return Err(ServeError::UnknownApp { app: app.into() }),
+            }
+        };
+        // Stop admissions, typed. The serving thread still drains what
+        // it already admitted: its exit condition is `stopping` *and*
+        // an empty queue.
+        {
+            let mut st = lock_state(&d.rt.shared);
+            st.departing = true;
+            st.stopping = true;
+        }
+        d.rt.shared.work.notify_one();
+        // Out of the watchdog registry *before* the join, so no restart
+        // races the handle takeover. (A supervision pass already in
+        // flight from a stale registry copy is harmless: a respawned
+        // thread sees `stopping` and exits immediately.)
+        self.watchdog
+            .apps
+            .lock()
+            .retain(|rt| !Arc::ptr_eq(rt, &d.rt));
+        let handle = d.rt.thread.lock().take();
+        if let Some(t) = handle {
+            let _ = t.join();
+        }
+        // A live thread drained the queue before exiting; anything left
+        // belonged to a dead thread awaiting restart. Fail it loud,
+        // keep the accounting exact, release the band.
+        let stranded = {
+            let mut st = lock_state(&d.rt.shared);
+            let mut stranded: Vec<PendingRequest> = st.inflight.drain(..).collect();
+            stranded.extend(st.pending.drain(..));
+            st.errors += stranded.len() as u64;
+            st.band_cap = 0;
+            st.admitted = false;
+            stranded
+        };
+        for req in stranded {
+            let _ = req.tx.send(Err(ServeError::AppDeregistered {
+                app: d.rt.name.clone(),
+            }));
+        }
+        d.rt.shared.idle.notify_all();
+        Ok(snapshot_of(&d))
+    }
+
+    /// Resolves a *live* DNN app. A departed name gets the distinct
+    /// typed refusal; rigid and unknown names are `UnknownApp`.
+    fn dnn_app(&self, app: &str) -> Result<Arc<DnnApp>> {
+        match self.apps.lock().get(app) {
+            Some(AppEntry::Dnn(d)) => Ok(Arc::clone(d)),
+            Some(AppEntry::Departed(_)) => Err(ServeError::AppDeregistered { app: app.into() }),
+            _ => Err(ServeError::UnknownApp { app: app.into() }),
+        }
+    }
+
+    /// Resolves a DNN app for *observation*, alive or departed — final
+    /// statistics stay readable after deregistration.
+    fn dnn_app_any(&self, app: &str) -> Result<Arc<DnnApp>> {
+        match self.apps.lock().get(app) {
+            Some(AppEntry::Dnn(d) | AppEntry::Departed(d)) => Ok(Arc::clone(d)),
             _ => Err(ServeError::UnknownApp { app: app.into() }),
         }
     }
@@ -543,6 +682,8 @@ impl Executor {
     /// [`ServeError::NotAdmitted`] when the current allocation left the
     /// app unplaced, [`ServeError::AppStopped`] after `shutdown()` or
     /// while a [`Executor::drain_app`] is in progress,
+    /// [`ServeError::AppDeregistered`] during or after a
+    /// [`Executor::deregister_dnn`],
     /// [`ServeError::ShapeMismatch`] / [`ServeError::UnknownApp`] as
     /// named.
     pub fn submit(&self, app: &str, sample: &[f32]) -> Result<Ticket> {
@@ -556,6 +697,12 @@ impl Executor {
         }
         let shared = &entry.rt.shared;
         let mut st = lock_state(shared);
+        // `departing` before `stopping`: a submitter that resolved the
+        // app just before the tombstone swap still gets the distinct
+        // deregistration refusal, not shutdown's.
+        if st.departing {
+            return Err(ServeError::AppDeregistered { app: app.into() });
+        }
         if st.stopping || st.draining > 0 {
             return Err(ServeError::AppStopped { app: app.into() });
         }
@@ -604,7 +751,8 @@ impl Executor {
     /// [`AppStatsSnapshot::knob_errors`].
     pub fn apply_allocation(&self, alloc: &Allocation) {
         let cmds = commands_for(alloc);
-        for (name, entry) in &self.apps {
+        let apps = self.apps.lock();
+        for (name, entry) in apps.iter() {
             let AppEntry::Dnn(app) = entry else { continue };
             let placed = alloc.dnn(name);
             let unplaced = alloc.unplaced.iter().any(|u| u == name);
@@ -704,85 +852,25 @@ impl Executor {
     }
 
     /// The app's deadline (from its registration requirements).
+    /// Readable on a departed app too.
     ///
     /// # Errors
     ///
     /// [`ServeError::UnknownApp`] for unregistered or rigid names.
     pub fn deadline(&self, app: &str) -> Result<Option<TimeSpan>> {
-        Ok(self.dnn_app(app)?.rt.deadline)
+        Ok(self.dnn_app_any(app)?.rt.deadline)
     }
 
-    /// A consistent statistics snapshot for one app.
+    /// A consistent statistics snapshot for one app. A *departed* app's
+    /// final statistics remain readable until its name is registered
+    /// again.
     ///
     /// # Errors
     ///
     /// [`ServeError::UnknownApp`] for unregistered or rigid names.
     pub fn stats(&self, app: &str) -> Result<AppStatsSnapshot> {
-        let entry = self.dnn_app(app)?;
-        // Lock order everywhere: queue state before stats (the serve
-        // loop's completion path nests them in that order).
-        struct QueueView {
-            rejected: u64,
-            errors: u64,
-            shed: u64,
-            storm_injected: u64,
-            depth: usize,
-            max_depth: usize,
-            in_flight: usize,
-            band_cap: usize,
-            predicted: Option<TimeSpan>,
-            cluster: Option<ClusterId>,
-            admitted: bool,
-        }
-        let q = {
-            let st = lock_state(&entry.rt.shared);
-            QueueView {
-                rejected: st.rejected,
-                errors: st.errors,
-                shed: st.shed,
-                storm_injected: st.storm_injected,
-                depth: st.pending.len(),
-                max_depth: st.max_depth,
-                in_flight: st.inflight.len(),
-                band_cap: st.band_cap,
-                predicted: st.predicted,
-                cluster: st.cluster,
-                admitted: st.admitted,
-            }
-        };
-        let stats = entry.rt.lock_stats();
-        let win = stats.snapshot();
-        Ok(AppStatsSnapshot {
-            completed: stats.completed,
-            rejected: q.rejected,
-            errors: q.errors,
-            shed: q.shed,
-            storm_injected: q.storm_injected,
-            missed: stats.missed,
-            queue_depth: q.depth,
-            max_queue_depth: q.max_depth,
-            in_flight: q.in_flight,
-            batches: stats.batches,
-            batched_samples: stats.batched_samples,
-            p50: win.p50,
-            p99: win.p99,
-            window_len: win.window_len,
-            window_outcomes: win.window_outcomes,
-            window_miss_rate: win.window_miss_rate,
-            knob_errors: stats.knob_errors,
-            knob_rejected: stats.knob_rejected,
-            knob_faulted: stats.knob_faulted,
-            last_knob_error: stats.last_knob_error.clone(),
-            out_of_order: stats.out_of_order,
-            restarts: stats.restarts,
-            stalls: stats.stalls,
-            level: stats.level,
-            precision: stats.precision,
-            predicted: q.predicted,
-            cluster: q.cluster,
-            band_cap: q.band_cap,
-            admitted: q.admitted,
-        })
+        let entry = self.dnn_app_any(app)?;
+        Ok(snapshot_of(&entry))
     }
 
     /// Blocks until `app`'s queue is empty and nothing is in flight.
@@ -806,10 +894,15 @@ impl Executor {
 
     /// [`Executor::drain_app`] over every registered DNN app.
     pub fn drain(&self) {
-        for (name, entry) in &self.apps {
-            if matches!(entry, AppEntry::Dnn(_)) {
-                let _ = self.drain_app(name);
-            }
+        let names: Vec<String> = {
+            let apps = self.apps.lock();
+            apps.iter()
+                .filter(|(_, e)| matches!(e, AppEntry::Dnn(_)))
+                .map(|(n, _)| n.clone())
+                .collect()
+        };
+        for name in names {
+            let _ = self.drain_app(&name);
         }
     }
 
@@ -825,13 +918,14 @@ impl Executor {
         if let Some(t) = self.watchdog_thread.take() {
             let _ = t.join();
         }
-        for entry in self.apps.values() {
+        let apps = self.apps.lock();
+        for entry in apps.values() {
             if let AppEntry::Dnn(app) = entry {
                 lock_state(&app.rt.shared).stopping = true;
                 app.rt.shared.work.notify_one();
             }
         }
-        for entry in self.apps.values() {
+        for entry in apps.values() {
             let AppEntry::Dnn(app) = entry else { continue };
             let handle = app.rt.thread.lock().take();
             if let Some(t) = handle {
@@ -858,6 +952,76 @@ impl Executor {
 impl Drop for Executor {
     fn drop(&mut self) {
         self.shutdown();
+    }
+}
+
+/// A consistent statistics snapshot of one app (shared by
+/// [`Executor::stats`] and the final snapshot
+/// [`Executor::deregister_dnn`] returns).
+fn snapshot_of(entry: &DnnApp) -> AppStatsSnapshot {
+    // Lock order everywhere: queue state before stats (the serve
+    // loop's completion path nests them in that order).
+    struct QueueView {
+        rejected: u64,
+        errors: u64,
+        shed: u64,
+        storm_injected: u64,
+        depth: usize,
+        max_depth: usize,
+        in_flight: usize,
+        band_cap: usize,
+        predicted: Option<TimeSpan>,
+        cluster: Option<ClusterId>,
+        admitted: bool,
+    }
+    let q = {
+        let st = lock_state(&entry.rt.shared);
+        QueueView {
+            rejected: st.rejected,
+            errors: st.errors,
+            shed: st.shed,
+            storm_injected: st.storm_injected,
+            depth: st.pending.len(),
+            max_depth: st.max_depth,
+            in_flight: st.inflight.len(),
+            band_cap: st.band_cap,
+            predicted: st.predicted,
+            cluster: st.cluster,
+            admitted: st.admitted,
+        }
+    };
+    let stats = entry.rt.lock_stats();
+    let win = stats.snapshot();
+    AppStatsSnapshot {
+        completed: stats.completed,
+        rejected: q.rejected,
+        errors: q.errors,
+        shed: q.shed,
+        storm_injected: q.storm_injected,
+        missed: stats.missed,
+        queue_depth: q.depth,
+        max_queue_depth: q.max_depth,
+        in_flight: q.in_flight,
+        batches: stats.batches,
+        batched_samples: stats.batched_samples,
+        p50: win.p50,
+        p99: win.p99,
+        window_len: win.window_len,
+        window_outcomes: win.window_outcomes,
+        window_miss_rate: win.window_miss_rate,
+        knob_errors: stats.knob_errors,
+        knob_rejected: stats.knob_rejected,
+        knob_faulted: stats.knob_faulted,
+        last_knob_error: stats.last_knob_error.clone(),
+        out_of_order: stats.out_of_order,
+        restarts: stats.restarts,
+        stalls: stats.stalls,
+        level: stats.level,
+        precision: stats.precision,
+        predicted: q.predicted,
+        cluster: q.cluster,
+        band_cap: q.band_cap,
+        admitted: q.admitted,
     }
 }
 
@@ -1392,7 +1556,7 @@ mod tests {
     const TIMEOUT: Duration = Duration::from_secs(20);
 
     fn tiny_executor(cfg: ExecutorConfig) -> Executor {
-        let mut exec = Executor::new(cfg);
+        let exec = Executor::new(cfg);
         exec.register_dnn(
             "cam",
             testbed::tiny_dnn(1),
@@ -1621,7 +1785,7 @@ mod tests {
 
     #[test]
     fn duplicate_registration_rejected() {
-        let mut exec = tiny_executor(ExecutorConfig::default());
+        let exec = tiny_executor(ExecutorConfig::default());
         assert!(matches!(
             exec.register_rigid("cam"),
             Err(ServeError::DuplicateApp { .. })
@@ -1642,7 +1806,7 @@ mod tests {
     #[test]
     fn expired_requests_are_shed_at_dequeue_with_typed_errors() {
         // 20 ms deadline; requests sit paused well past it.
-        let mut exec = Executor::new(ExecutorConfig::default());
+        let exec = Executor::new(ExecutorConfig::default());
         exec.register_dnn(
             "cam",
             testbed::tiny_dnn(1),
@@ -1818,7 +1982,7 @@ mod tests {
         );
         // A deadline far above the spike: the follow-up request queued
         // behind the wedged pass must complete, not shed.
-        let mut exec = Executor::new(ExecutorConfig {
+        let exec = Executor::new(ExecutorConfig {
             fault_plan: Some(Arc::new(plan)),
             watchdog_interval: Duration::from_millis(5),
             stall_timeout: Duration::from_millis(40),
@@ -1873,10 +2037,108 @@ mod tests {
     }
 
     #[test]
+    fn deregister_drains_joins_and_returns_final_snapshot() {
+        let exec = tiny_executor(ExecutorConfig::default());
+        let tickets: Vec<Ticket> = (0..4)
+            .map(|_| exec.submit("cam", &sample(0.2)).unwrap())
+            .collect();
+        let snap = exec.deregister_dnn("cam").unwrap();
+        // The live thread drained everything it had admitted before
+        // exiting; every ticket is answered (completion or typed shed).
+        for t in &tickets {
+            match t.wait_timeout(TIMEOUT) {
+                Ok(_) | Err(ServeError::DeadlineExpired { .. }) => {}
+                other => panic!("lost or mistyped ticket: {other:?}"),
+            }
+        }
+        assert_accounting(&snap, 4);
+        assert_eq!(snap.queue_depth + snap.in_flight, 0, "{snap:?}");
+        assert_eq!(snap.band_cap, 0, "the band was released");
+        assert!(!snap.admitted);
+        // The tombstone: typed refusal distinct from UnknownApp, final
+        // stats readable, name absent from the roster.
+        assert!(matches!(
+            exec.submit("cam", &sample(0.1)),
+            Err(ServeError::AppDeregistered { .. })
+        ));
+        assert!(matches!(
+            exec.pause("cam"),
+            Err(ServeError::AppDeregistered { .. })
+        ));
+        assert_eq!(exec.stats("cam").unwrap().completed, snap.completed);
+        assert!(exec.app_names().is_empty());
+        // The name is free again: a fresh registration serves.
+        exec.register_dnn(
+            "cam",
+            testbed::tiny_dnn(2),
+            &Requirements::new().with_max_latency(TimeSpan::from_millis(50.0)),
+        )
+        .unwrap();
+        exec.submit("cam", &sample(0.3))
+            .unwrap()
+            .wait_timeout(TIMEOUT)
+            .unwrap();
+        exec.drain();
+        let s = exec.stats("cam").unwrap();
+        assert_eq!(s.completed, 1, "fresh stats, not the tombstone's");
+    }
+
+    #[test]
+    fn deregister_refusals_are_typed() {
+        let exec = tiny_executor(ExecutorConfig::default());
+        exec.register_rigid("vr").unwrap();
+        assert!(matches!(
+            exec.deregister_dnn("ghost"),
+            Err(ServeError::UnknownApp { .. })
+        ));
+        assert!(matches!(
+            exec.deregister_dnn("vr"),
+            Err(ServeError::UnknownApp { .. })
+        ));
+        exec.deregister_dnn("cam").unwrap();
+        assert!(matches!(
+            exec.deregister_dnn("cam"),
+            Err(ServeError::AppDeregistered { .. })
+        ));
+    }
+
+    #[test]
+    fn deregister_fails_a_dead_threads_stranded_queue_typed() {
+        // Crash the thread on its first batch and park the restart far
+        // in the future: the queue that accumulates behind the corpse
+        // must be settled by deregistration, not lost.
+        let plan = FaultPlan::new().with_fault("cam", 0, FaultKind::CrashThread);
+        let exec = tiny_executor(ExecutorConfig {
+            fault_plan: Some(Arc::new(plan)),
+            watchdog_interval: Duration::from_millis(2),
+            restart_backoff: Duration::from_secs(30),
+            restart_backoff_max: Duration::from_secs(30),
+            ..ExecutorConfig::default()
+        });
+        let crashed = exec.submit("cam", &sample(0.3)).unwrap();
+        assert!(matches!(
+            crashed.wait_timeout(TIMEOUT),
+            Err(ServeError::Inference { .. })
+        ));
+        let stranded: Vec<Ticket> = (0..3)
+            .map(|_| exec.submit("cam", &sample(0.1)).unwrap())
+            .collect();
+        let snap = exec.deregister_dnn("cam").unwrap();
+        for t in &stranded {
+            assert!(matches!(
+                t.wait_timeout(TIMEOUT),
+                Err(ServeError::AppDeregistered { .. })
+            ));
+        }
+        assert_eq!(snap.errors, 4, "crash rider + 3 stranded: {snap:?}");
+        assert_accounting(&snap, 4);
+    }
+
+    #[test]
     fn submissions_during_drain_are_refused_typed() {
         // A generous deadline: the held requests must survive the pause,
         // not shed out of it.
-        let mut exec = Executor::new(ExecutorConfig::default());
+        let exec = Executor::new(ExecutorConfig::default());
         exec.register_dnn(
             "cam",
             testbed::tiny_dnn(1),

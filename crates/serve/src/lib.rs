@@ -19,11 +19,15 @@
 //!   deadline misses ([`eml_core::feedback::MissTracker`]) trigger
 //!   [`eml_core::rtm::Rtm::allocate_with_feedback`] re-allocation on
 //!   the corrected model.
+//! - [`HealthMonitor`] — per-app 0–100 health scores folded from the
+//!   counters the executor already keeps (windowed miss rate, queue
+//!   pressure, fresh sheds/restarts/stalls/knob faults), a worst-tenant
+//!   aggregate, and a hand-rolled JSON export for offline policy.
 //! - [`PressurePolicy`] — the graceful-degradation ladder: between
-//!   allocation epochs, per-app pressure (queue depth, windowed miss
-//!   rate, fresh sheds) steps the paper's knobs *down* (f32→int8, then
-//!   width one level at a time) as a safety valve, and hysteresis
-//!   restores them once the app stays healthy.
+//!   allocation epochs it consumes the same health score — degrading
+//!   (f32→int8, then width one level at a time) when an app's score
+//!   falls below the pressure line, and hysteretically restoring rungs
+//!   once the score stays high.
 //! - [`FaultPlan`] — deterministic, seeded fault injection (forward
 //!   panics, thread crashes, latency spikes, knob failures, queue
 //!   storms) keyed to request sequence numbers; serving threads are
@@ -54,6 +58,7 @@ pub mod control;
 pub mod error;
 pub mod executor;
 pub mod fault;
+pub mod health;
 pub mod replay;
 pub mod stats;
 pub mod testbed;
@@ -65,5 +70,8 @@ pub use control::{
 pub use error::{Result, ServeError};
 pub use executor::{Completion, Executor, ExecutorConfig, KnobRoute, Ticket};
 pub use fault::{Fault, FaultKind, FaultPlan};
-pub use replay::ExecutedReplay;
+pub use health::{
+    AppHealth, EventWatermark, FreshEvents, HealthBand, HealthConfig, HealthMonitor, HealthReport,
+};
+pub use replay::{ExecutedReplay, RetiredTotals};
 pub use stats::AppStatsSnapshot;

@@ -9,7 +9,9 @@
 //! in response; power is integrated with per-application duty cycling; a
 //! lumped-RC thermal model closes the loop through a reactive thermal
 //! governor. [`scenario::fig2_scenario`] reproduces the paper's Fig 2
-//! storyline end to end.
+//! storyline end to end, and [`workload::generate`] synthesises whole
+//! seeded scenario families (diurnal arrivals, heavy-tailed tenants,
+//! flash crowds, app churn, chaos) for robustness soaks.
 //!
 //! ## Quick start
 //!
@@ -33,9 +35,11 @@ pub mod error;
 pub mod scenario;
 pub mod simulator;
 pub mod trace;
+pub mod workload;
 
 pub use error::{Result, SimError};
 pub use simulator::{
     Action, ChaosFault, ExecutionBackend, ScenarioEvent, SimConfig, Simulator, ThermalPolicy,
 };
 pub use trace::{Decision, DecisionReason, Sample, Trace, TraceSummary};
+pub use workload::{GeneratedWorkload, WorkloadConfig};

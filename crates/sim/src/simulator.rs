@@ -149,6 +149,20 @@ pub trait ExecutionBackend {
     /// the fault into the serving layer. Default: ignore (backends
     /// without a fault surface need not care).
     fn on_chaos(&mut self, _at_secs: f64, _app: &str, _fault: &ChaosFault) {}
+
+    /// A scenario [`Action::Arrive`] event fired at `at_secs`: the app
+    /// is about to join the allocation set. A serving backend registers
+    /// the app here so the allocation that follows in the same step
+    /// finds it live. Default: ignore. [`Action::Update`] events do
+    /// *not* re-fire this hook — the app is already registered and its
+    /// serving-side identity (model, deadline) is fixed at registration.
+    fn on_arrive(&mut self, _at_secs: f64, _spec: &AppSpec) {}
+
+    /// A scenario [`Action::Depart`] event fired at `at_secs`: the app
+    /// is leaving. A serving backend deregisters it here (draining its
+    /// queue and settling in-flight work) before the re-allocation that
+    /// follows redistributes its band. Default: ignore.
+    fn on_depart(&mut self, _at_secs: f64, _app: &str) {}
 }
 
 /// The simulator.
@@ -261,10 +275,16 @@ impl Simulator {
                     Action::Arrive(spec) => {
                         apps.retain(|a| a.name() != spec.name());
                         apps.push(spec.clone());
+                        if let Some(backend) = backend.as_deref_mut() {
+                            backend.on_arrive(time, spec);
+                        }
                         reasons.push(DecisionReason::AppArrived(spec.name().to_string()));
                     }
                     Action::Depart(name) => {
                         apps.retain(|a| a.name() != name);
+                        if let Some(backend) = backend.as_deref_mut() {
+                            backend.on_depart(time, name);
+                        }
                         reasons.push(DecisionReason::AppDeparted(name.clone()));
                     }
                     Action::Update(spec) => {

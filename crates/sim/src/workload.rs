@@ -1,0 +1,480 @@
+//! Deterministic synthetic workload engine.
+//!
+//! Scenario files capture *one* storyline; robustness work needs
+//! *families* of them. This module generates full scenario event
+//! schedules — arrivals with heavy-tailed model sizes and deadline
+//! mixes, diurnal arrival clumping, rigid co-tenant interference,
+//! flash crowds, app churn (depart → re-arrive cycles) and chaos
+//! sprinkles — from a single `u64` seed. The same seed always yields
+//! the byte-identical schedule (the generator draws only from a seeded
+//! [`rand::rngs::StdRng`]; no wall clock, no global state), and every
+//! schedule carries its own FNV-1a digest over a canonical text
+//! rendering so two runs can assert they replayed the *same* workload
+//! before comparing outcome digests.
+//!
+//! The shapes are deliberately adversarial for a serving layer:
+//!
+//! - **Diurnal curve** — arrival times are warped by a sine term so
+//!   tenants clump into a "morning rush" instead of spreading evenly.
+//! - **Heavy tails** — model scale and deadline both come from
+//!   bounded Pareto draws (a few huge models / fat deadlines amid many
+//!   small ones), the mix that makes naive average-case batching and
+//!   admission tuning fail.
+//! - **Hot app** — one tight-deadline tenant, excluded from churn, is
+//!   hit with a burst of latency-spike faults mid-run: the
+//!   deterministic trigger for a health-score degrade (and, once the
+//!   spikes pass, a restore).
+//! - **Flash crowd** — queue storms aimed only at fat-deadline apps
+//!   (tight-deadline tenants shed expired work too fast to pressure
+//!   queues meaningfully).
+//! - **Churn** — depart → re-arrive cycles over the mid-run window
+//!   exercise the executor's deregistration path while load is live.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use eml_core::objective::Objective;
+use eml_core::requirements::Requirements;
+use eml_core::rtm::{AppSpec, DnnAppSpec, RigidAppSpec};
+use eml_platform::soc::CoreKind;
+use eml_platform::units::TimeSpan;
+
+use crate::scenario::scaled_reference_profile;
+use crate::simulator::{Action, ChaosFault, ScenarioEvent};
+
+/// Parameters of a generated workload.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadConfig {
+    /// Master seed; every schedule detail derives from it.
+    pub seed: u64,
+    /// Number of dynamic-DNN tenants (the hot app, when enabled, is
+    /// one of them).
+    pub dnn_apps: usize,
+    /// Number of rigid co-tenants competing for clusters (interference).
+    pub rigid_apps: usize,
+    /// Scenario duration in seconds; all events land inside it.
+    pub duration_secs: f64,
+    /// Depart → re-arrive churn cycles over the mid-run window.
+    pub churn_cycles: usize,
+    /// Queue-storm count of the flash crowd (0 disables it). Storms
+    /// target only apps with deadlines ≥ 200 ms.
+    pub flash_crowd_storms: usize,
+    /// Synthetic requests injected per flash-crowd storm.
+    pub storm_size: usize,
+    /// Random chaos sprinkles (forward panics, thread crashes, knob
+    /// failures) over the mid-run window.
+    pub chaos_sprinkles: usize,
+    /// Generate the hot tight-deadline app plus its latency-spike
+    /// burst (the deterministic degrade/restore trigger).
+    pub hot_app: bool,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0x05EED,
+            dnn_apps: 20,
+            rigid_apps: 2,
+            duration_secs: 60.0,
+            churn_cycles: 5,
+            flash_crowd_storms: 4,
+            storm_size: 3,
+            chaos_sprinkles: 4,
+            hot_app: true,
+        }
+    }
+}
+
+/// Name of the generated hot app (tight deadline, spike target,
+/// churn-exempt).
+pub const HOT_APP: &str = "gen-hot";
+
+/// A generated scenario schedule plus its provenance.
+#[derive(Debug, Clone)]
+pub struct GeneratedWorkload {
+    /// The events, time-ordered, ready for [`crate::Simulator::new`].
+    pub events: Vec<ScenarioEvent>,
+    /// Canonical text rendering of the schedule (one line per event).
+    pub canonical: String,
+    /// FNV-1a 64-bit digest of [`GeneratedWorkload::canonical`].
+    pub digest: u64,
+    /// The hot app's name, when one was generated.
+    pub hot_app: Option<String>,
+    /// Depart → re-arrive cycles actually scheduled (≤ requested:
+    /// bounded by eligible tenants).
+    pub churn_cycles: usize,
+    /// Dynamic-DNN tenants in the schedule.
+    pub dnn_apps: usize,
+    /// Queue storms in the flash crowd actually scheduled.
+    pub flash_storms: usize,
+}
+
+/// FNV-1a 64-bit digest — the workspace's standard cheap fingerprint
+/// for canonical text (offline, dependency-free, stable across
+/// platforms).
+pub fn fnv1a64(text: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Bounded Pareto draw via inverse-transform sampling: `min / u^(1/α)`
+/// clamped to `max`. Small α → heavier tail.
+fn pareto(rng: &mut StdRng, min: f64, alpha: f64, max: f64) -> f64 {
+    let u: f64 = rng.gen_range(0.0001..1.0);
+    (min / u.powf(1.0 / alpha)).min(max)
+}
+
+/// Warps a uniform position `u ∈ [0, 1)` into a diurnal-clumped one:
+/// monotone (derivative ≥ 1 − 0.15·2π > 0), so event order by draw
+/// order is preserved while density peaks mid-window.
+fn diurnal_warp(u: f64) -> f64 {
+    (u - 0.15 * (std::f64::consts::TAU * u).sin()).clamp(0.0, 1.0)
+}
+
+struct Tenant {
+    name: String,
+    scale: f64,
+    deadline_ms: f64,
+    priority: u8,
+    arrive_at: f64,
+}
+
+impl Tenant {
+    fn spec(&self) -> AppSpec {
+        AppSpec::Dnn(DnnAppSpec {
+            name: self.name.clone(),
+            profile: scaled_reference_profile(&self.name, self.scale),
+            requirements: Requirements::new()
+                .with_max_latency(TimeSpan::from_millis(self.deadline_ms)),
+            priority: self.priority,
+            objective: Some(Objective::MinLatency),
+        })
+    }
+}
+
+/// One raw event with a canonical line and a tiebreaking sequence
+/// number, before time-sorting.
+struct Raw {
+    at: f64,
+    seq: usize,
+    line: String,
+    action: Action,
+}
+
+/// Generates the schedule for `cfg`. Same config (including seed) →
+/// byte-identical [`GeneratedWorkload::canonical`] and equal
+/// [`GeneratedWorkload::digest`].
+pub fn generate(cfg: &WorkloadConfig) -> GeneratedWorkload {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let dur = cfg.duration_secs.max(1.0);
+    let mut raw: Vec<Raw> = Vec::new();
+    let mut seq = 0usize;
+    let mut push = |raw: &mut Vec<Raw>, at: f64, line: String, action: Action| {
+        raw.push(Raw {
+            at,
+            seq,
+            line,
+            action,
+        });
+        seq += 1;
+    };
+
+    // --- Dynamic tenants: diurnal arrivals, Pareto scales/deadlines.
+    let arrival_window = 0.45 * dur;
+    let mut tenants: Vec<Tenant> = Vec::new();
+    for i in 0..cfg.dnn_apps {
+        let hot = cfg.hot_app && i == 0;
+        let name = if hot {
+            HOT_APP.to_string()
+        } else {
+            format!("gen-{i:02}")
+        };
+        let arrive_at = if hot {
+            0.0
+        } else {
+            let u: f64 = rng.gen_range(0.0..1.0);
+            (diurnal_warp(u) * arrival_window * 1e3).round() / 1e3
+        };
+        // Scale: Pareto(0.5, α=2.2) capped at 6× — most tenants light,
+        // a few heavy. Deadline: Pareto(40 ms, α=1.4) capped at 2 s —
+        // a fat-tailed deadline mix (the hot app is pinned tight).
+        let scale = if hot {
+            1.0
+        } else {
+            (pareto(&mut rng, 0.5, 2.2, 6.0) * 1e3).round() / 1e3
+        };
+        let deadline_ms = if hot {
+            150.0
+        } else {
+            (pareto(&mut rng, 40.0, 1.4, 2000.0) * 10.0).round() / 10.0
+        };
+        let priority = if hot { 1 } else { rng.gen_range(1u8..=5) };
+        tenants.push(Tenant {
+            name,
+            scale,
+            deadline_ms,
+            priority,
+            arrive_at,
+        });
+    }
+    for t in &tenants {
+        push(
+            &mut raw,
+            t.arrive_at,
+            format!(
+                "{:.3} arrive {} scale={:.3} deadline_ms={:.1} prio={}",
+                t.arrive_at, t.name, t.scale, t.deadline_ms, t.priority
+            ),
+            Action::Arrive(t.spec()),
+        );
+    }
+
+    // --- Rigid co-tenants: cluster-claiming interference.
+    for i in 0..cfg.rigid_apps {
+        let name = format!("rigid-{i}");
+        let at = (rng.gen_range(0.0..0.3 * dur) * 1e3).round() / 1e3;
+        let preferred = if i % 2 == 0 {
+            CoreKind::Gpu
+        } else {
+            CoreKind::BigCpu
+        };
+        let utilization = (rng.gen_range(0.4..0.95f64) * 1e3).round() / 1e3;
+        push(
+            &mut raw,
+            at,
+            format!("{at:.3} arrive-rigid {name} kind={preferred:?} util={utilization:.3}"),
+            Action::Arrive(AppSpec::Rigid(RigidAppSpec {
+                name,
+                preferred: vec![preferred],
+                utilization,
+                priority: 6,
+            })),
+        );
+    }
+
+    // --- Churn: depart → re-arrive over the mid-run window, hot app
+    // exempt, each cycle on a distinct tenant.
+    let mut eligible: Vec<usize> = tenants
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.name != HOT_APP)
+        .map(|(i, _)| i)
+        .collect();
+    let cycles = cfg.churn_cycles.min(eligible.len());
+    let churn_lo = 0.50 * dur;
+    let churn_hi = 0.85 * dur;
+    for c in 0..cycles {
+        let pick = rng.gen_range(0..eligible.len());
+        let idx = eligible.swap_remove(pick);
+        let t = &tenants[idx];
+        let base = churn_lo + (churn_hi - churn_lo) * (c as f64 / cycles as f64);
+        let depart_at = ((base + rng.gen_range(0.0..(churn_hi - churn_lo) / cycles as f64)) * 1e3)
+            .round()
+            / 1e3;
+        let rearrive_at = ((depart_at + rng.gen_range(0.8..2.0f64)).min(dur) * 1e3).round() / 1e3;
+        push(
+            &mut raw,
+            depart_at,
+            format!("{:.3} depart {}", depart_at, t.name),
+            Action::Depart(t.name.clone()),
+        );
+        push(
+            &mut raw,
+            rearrive_at,
+            format!(
+                "{:.3} arrive {} scale={:.3} deadline_ms={:.1} prio={}",
+                rearrive_at, t.name, t.scale, t.deadline_ms, t.priority
+            ),
+            Action::Arrive(t.spec()),
+        );
+    }
+
+    // --- Flash crowd: a tight burst of queue storms on fat-deadline
+    // tenants only (tight deadlines shed expired work before it can
+    // pressure the queue).
+    let crowd_at = (0.62 * dur * 1e3).round() / 1e3;
+    let fat: Vec<&Tenant> = tenants.iter().filter(|t| t.deadline_ms >= 200.0).collect();
+    let mut flash_storms = 0usize;
+    if !fat.is_empty() {
+        for s in 0..cfg.flash_crowd_storms {
+            let t = fat[rng.gen_range(0..fat.len())];
+            let at = ((crowd_at + s as f64 * 0.15) * 1e3).round() / 1e3;
+            push(
+                &mut raw,
+                at,
+                format!("{:.3} chaos {} storm n={}", at, t.name, cfg.storm_size),
+                Action::Chaos {
+                    app: t.name.clone(),
+                    fault: ChaosFault::QueueStorm(cfg.storm_size),
+                },
+            );
+            flash_storms += 1;
+        }
+    }
+
+    // --- Hot-app spike burst: four consecutive latency spikes at
+    // 2.5× the deadline, mid-run — enough consecutive misses to pull
+    // the windowed miss rate (and so the health score) down hard.
+    if cfg.hot_app && !tenants.is_empty() {
+        let spike = TimeSpan::from_millis(2.5 * 150.0);
+        for s in 0..4usize {
+            let at = ((0.30 * dur + s as f64 * 0.8) * 1e3).round() / 1e3;
+            push(
+                &mut raw,
+                at,
+                format!(
+                    "{:.3} chaos {} spike ms={:.1}",
+                    at,
+                    HOT_APP,
+                    spike.as_millis()
+                ),
+                Action::Chaos {
+                    app: HOT_APP.into(),
+                    fault: ChaosFault::LatencySpike(spike),
+                },
+            );
+        }
+    }
+
+    // --- Chaos sprinkles: mid-run panics / crashes / knob failures on
+    // random tenants (may land while the target is departed; replaying
+    // backends treat that as a no-op, and the schedule stays identical
+    // either way).
+    for _ in 0..cfg.chaos_sprinkles {
+        let t = &tenants[rng.gen_range(0..tenants.len())];
+        let at = (rng.gen_range(0.3 * dur..0.9 * dur) * 1e3).round() / 1e3;
+        let (label, fault) = match rng.gen_range(0u32..3) {
+            0 => ("panic", ChaosFault::PanicForward),
+            1 => ("crash", ChaosFault::CrashThread),
+            _ => ("knob-fail", ChaosFault::KnobFailure),
+        };
+        push(
+            &mut raw,
+            at,
+            format!("{:.3} chaos {} {}", at, t.name, label),
+            Action::Chaos {
+                app: t.name.clone(),
+                fault,
+            },
+        );
+    }
+
+    // Time-order with the emission sequence as tiebreak (f64 times are
+    // exact at millisecond granularity, so this sort is total and
+    // deterministic).
+    raw.sort_by(|a, b| {
+        a.at.partial_cmp(&b.at)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.seq.cmp(&b.seq))
+    });
+
+    let mut canonical = String::new();
+    let mut events = Vec::with_capacity(raw.len());
+    for r in raw {
+        canonical.push_str(&r.line);
+        canonical.push('\n');
+        events.push(ScenarioEvent {
+            at_secs: r.at,
+            action: r.action,
+        });
+    }
+    let digest = fnv1a64(&canonical);
+    GeneratedWorkload {
+        events,
+        canonical,
+        digest,
+        hot_app: cfg.hot_app.then(|| HOT_APP.to_string()),
+        churn_cycles: cycles,
+        dnn_apps: cfg.dnn_apps,
+        flash_storms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulator::{SimConfig, Simulator};
+    use eml_platform::presets;
+
+    #[test]
+    fn same_seed_same_schedule_bitwise() {
+        let cfg = WorkloadConfig::default();
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.canonical, b.canonical);
+        assert_eq!(a.digest, b.digest);
+        let c = generate(&WorkloadConfig {
+            seed: cfg.seed + 1,
+            ..cfg
+        });
+        assert_ne!(a.digest, c.digest, "different seed must move the digest");
+    }
+
+    #[test]
+    fn schedule_is_valid_and_covers_requested_shapes() {
+        let cfg = WorkloadConfig::default();
+        let w = generate(&cfg);
+        assert_eq!(w.dnn_apps, 20);
+        assert_eq!(w.churn_cycles, 5);
+        assert!(w.flash_storms >= 1, "heavy deadline tail must exist");
+        assert_eq!(w.hot_app.as_deref(), Some(HOT_APP));
+        // Valid for the simulator: ordered, inside the duration.
+        for pair in w.events.windows(2) {
+            assert!(pair[0].at_secs <= pair[1].at_secs);
+        }
+        let departs = w
+            .events
+            .iter()
+            .filter(|e| matches!(e.action, Action::Depart(_)))
+            .count();
+        assert_eq!(departs, 5);
+        assert!(!w
+            .events
+            .iter()
+            .any(|e| matches!(&e.action, Action::Depart(n) if n == HOT_APP)));
+        let sim = Simulator::new(
+            presets::flagship(),
+            w.events,
+            SimConfig {
+                duration: eml_platform::units::TimeSpan::from_secs(cfg.duration_secs),
+                ..SimConfig::default()
+            },
+        );
+        assert!(sim.is_ok(), "generated schedule must pass validation");
+    }
+
+    #[test]
+    fn analytic_run_of_generated_schedule_completes() {
+        let cfg = WorkloadConfig {
+            dnn_apps: 6,
+            rigid_apps: 1,
+            duration_secs: 12.0,
+            churn_cycles: 2,
+            ..WorkloadConfig::default()
+        };
+        let w = generate(&cfg);
+        let sim = Simulator::new(
+            presets::flagship(),
+            w.events,
+            SimConfig {
+                duration: eml_platform::units::TimeSpan::from_secs(cfg.duration_secs),
+                ..SimConfig::default()
+            },
+        )
+        .unwrap();
+        let trace = sim.run().unwrap();
+        assert!(trace.summary().decisions >= 6 + 1 + 2 * 2);
+    }
+
+    #[test]
+    fn fnv_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64("a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64("foobar"), 0x85944171f73967e8);
+    }
+}

@@ -28,7 +28,7 @@ use rand::{Rng, SeedableRng};
 fn main() {
     // 1. An executor with one registered tiny DNN, behind the front
     // end. Admission is tuned aggressively so the demo bans quickly.
-    let mut exec = Executor::new(ExecutorConfig::default());
+    let exec = Executor::new(ExecutorConfig::default());
     exec.register_dnn("cam", testbed::tiny_dnn(11), &Requirements::new())
         .unwrap();
     let mut server = NetServer::bind(

@@ -24,7 +24,7 @@ fn main() {
     let cam_req = Requirements::new().with_max_latency(TimeSpan::from_millis(5.0));
     let det_req = Requirements::new().with_target_fps(60.0);
 
-    let mut exec = Executor::new(ExecutorConfig {
+    let exec = Executor::new(ExecutorConfig {
         queue_capacity: 64,
         batch_cap: 8,
         ..Default::default()
@@ -189,7 +189,7 @@ fn main() {
             FaultKind::LatencySpike(TimeSpan::from_millis(50.0)),
         )
         .with_fault("edge", 24, FaultKind::QueueStorm(4));
-    let mut chaos_exec = Executor::new(ExecutorConfig {
+    let chaos_exec = Executor::new(ExecutorConfig {
         queue_capacity: 32,
         batch_cap: 4,
         fault_plan: Some(std::sync::Arc::new(plan)),

@@ -36,7 +36,7 @@ fn random_sample(rng: &mut StdRng) -> Vec<f32> {
 /// of 12. Score decay is off so slow CI cannot rehabilitate mid-test,
 /// and the ban window outlives the test so reconnects stay shunned.
 fn hostile_testbed_server() -> NetServer {
-    let mut exec = Executor::new(ExecutorConfig::default());
+    let exec = Executor::new(ExecutorConfig::default());
     exec.register_dnn("cam", testbed::tiny_dnn(11), &Requirements::new())
         .unwrap();
     let cfg = NetConfig {

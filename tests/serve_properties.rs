@@ -59,7 +59,7 @@ fn inputs_for(plan: &AppPlan) -> Vec<Vec<f32>> {
 // walks several per-app streams in lockstep).
 #[allow(clippy::needless_range_loop)]
 fn run_mix(plans: &[AppPlan], batch_cap: usize, arrival_rotation: usize) -> Vec<Vec<Vec<f32>>> {
-    let mut exec = Executor::new(ExecutorConfig {
+    let exec = Executor::new(ExecutorConfig {
         batch_cap,
         queue_capacity: 64,
         ..Default::default()
@@ -132,6 +132,42 @@ fn run_mix(plans: &[AppPlan], batch_cap: usize, arrival_rotation: usize) -> Vec<
     logits
 }
 
+/// Submits to `app`, counting the attempt, and reaps the oldest
+/// outstanding ticket on back-pressure (`resolve` must tolerate every
+/// typed outcome legal for the caller's scenario). Returns `false` on
+/// livelock instead of asserting, so proptest callers can
+/// `prop_assert!` it.
+fn submit_reaping(
+    exec: &Executor,
+    app: &str,
+    sample: &[f32],
+    attempts: &mut u64,
+    outstanding: &mut std::collections::VecDeque<emlrt::serve::Ticket>,
+    resolve: &dyn Fn(&emlrt::serve::Ticket),
+) -> bool {
+    let mut spins = 0u32;
+    loop {
+        *attempts += 1;
+        match exec.submit(app, sample) {
+            Ok(t) => {
+                outstanding.push_back(t);
+                return true;
+            }
+            Err(ServeError::QueueFull { .. }) => {
+                match outstanding.pop_front() {
+                    Some(t) => resolve(&t),
+                    None => std::thread::sleep(Duration::from_millis(1)),
+                }
+                spins += 1;
+                if spins >= 20_000 {
+                    return false;
+                }
+            }
+            Err(e) => panic!("unexpected submit outcome for {app}: {e}"),
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
 
@@ -189,7 +225,7 @@ proptest! {
         use std::collections::VecDeque;
 
         let plan = FaultPlan::seeded(seed, &["app"], n_faults, 0..requests as u64);
-        let mut exec = Executor::new(ExecutorConfig {
+        let exec = Executor::new(ExecutorConfig {
             batch_cap,
             // Small on purpose: storms + crash backoffs make QueueFull
             // reachable, so the rejected leg of the invariant is live.
@@ -278,5 +314,140 @@ proptest! {
             s.completed + s.errors + s.rejected + s.shed,
             "extended accounting drifted: attempts={} {:?}", attempts, s
         );
+    }
+
+    /// Mid-stream register/deregister churn under live load: a stable
+    /// "pin" tenant and a churny "flux" tenant share the executor while
+    /// flux is repeatedly deregistered and re-registered. Required:
+    /// no deadlock (every wait resolves within the bound); no lost
+    /// ticket — a ticket that crossed a deregistration resolves to a
+    /// completion, a typed shed, or the typed
+    /// [`ServeError::AppDeregistered`]; submissions to the tombstone
+    /// get the same typed refusal; each deregistration's final
+    /// snapshot closes that lifetime's extended accounting *exactly*;
+    /// and a re-registered namesake starts a fresh ledger.
+    #[test]
+    fn register_deregister_churn_keeps_accounting_exact(
+        seed in 0u64..1_000_000,
+        requests in 12usize..32,
+        batch_cap in 1usize..=4,
+        churn_every in 3usize..8,
+    ) {
+        use emlrt::serve::Ticket;
+        use std::collections::VecDeque;
+
+        let exec = Executor::new(ExecutorConfig {
+            batch_cap,
+            queue_capacity: 16,
+            ..Default::default()
+        });
+        let reqs = Requirements::new().with_max_latency(TimeSpan::from_millis(250.0));
+        exec.register_dnn("pin", testbed::tiny_dnn(seed), &reqs)
+            .expect("fresh executor");
+        exec.register_dnn("flux", testbed::tiny_dnn(seed ^ 1), &reqs)
+            .expect("fresh executor");
+
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FF);
+        let sample: Vec<f32> = (0..SAMPLE_LEN)
+            .map(|_| rng.gen_range(-1.0f32..1.0))
+            .collect();
+
+        // Completions and typed sheds are always legal; the typed
+        // lifecycle error is legal only for tickets that crossed a
+        // flux deregistration. WaitTimeout (deadlock), AppStopped (a
+        // queue lost to shutdown semantics) or anything untyped is a
+        // failure.
+        let resolve = |t: &Ticket| match t.wait_timeout(TIMEOUT) {
+            Ok(_)
+            | Err(ServeError::DeadlineExpired { .. })
+            | Err(ServeError::Inference { .. }) => {}
+            Err(ServeError::AppDeregistered { .. }) if t.app() == "flux" => {}
+            Err(e) => panic!("ticket {}#{} lost: {e}", t.app(), t.seq()),
+        };
+
+        let mut outstanding: VecDeque<Ticket> = VecDeque::new();
+        let mut pin_attempts = 0u64;
+        let mut flux_attempts = 0u64; // current flux lifetime only
+        let mut flux_alive = true;
+        let mut deregistrations = 0u32;
+
+        for i in 1..=requests {
+            prop_assert!(
+                submit_reaping(&exec, "pin", &sample, &mut pin_attempts, &mut outstanding, &resolve),
+                "pin submit livelock at request {}", i
+            );
+            if flux_alive {
+                prop_assert!(
+                    submit_reaping(&exec, "flux", &sample, &mut flux_attempts, &mut outstanding, &resolve),
+                    "flux submit livelock at request {}", i
+                );
+            } else {
+                // The tombstone refuses with the distinct typed error —
+                // not AppStopped, not UnknownApp — and the refusal never
+                // enters the accounting ledger.
+                match exec.submit("flux", &sample) {
+                    Err(ServeError::AppDeregistered { .. }) => {}
+                    r => panic!("tombstone submit must be typed: {r:?}"),
+                }
+            }
+
+            if i % churn_every == 0 {
+                if flux_alive {
+                    // Outstanding flux tickets deliberately stay
+                    // un-waited across this call: their later waits are
+                    // the "late wait on a deregistered app" property.
+                    let snap = exec.deregister_dnn("flux").expect("flux is live");
+                    prop_assert_eq!(
+                        flux_attempts + snap.storm_injected,
+                        snap.completed + snap.errors + snap.rejected + snap.shed,
+                        "lifetime accounting drifted: attempts={} {:?}",
+                        flux_attempts, snap
+                    );
+                    match exec.deregister_dnn("flux") {
+                        Err(ServeError::AppDeregistered { .. }) => {}
+                        r => panic!("double deregister must be typed: {r:?}"),
+                    }
+                    flux_alive = false;
+                    flux_attempts = 0;
+                    deregistrations += 1;
+                } else {
+                    exec.register_dnn("flux", testbed::tiny_dnn(seed ^ u64::from(deregistrations)), &reqs)
+                        .expect("tombstone must be replaceable");
+                    let s = exec.stats("flux").expect("fresh registration");
+                    prop_assert_eq!(
+                        s.completed + s.errors + s.rejected + s.shed + s.storm_injected,
+                        0,
+                        "re-registration must start a fresh ledger: {:?}", s
+                    );
+                    flux_alive = true;
+                }
+            }
+        }
+        prop_assert!(deregistrations >= 1, "churn schedule must fire");
+
+        // Liveness: every remaining ticket resolves to a typed outcome.
+        for t in &outstanding {
+            resolve(t);
+        }
+        exec.drain();
+
+        let sp = exec.stats("pin").expect("pin lives");
+        prop_assert_eq!(sp.out_of_order, 0, "pin FIFO broke: {:?}", sp);
+        prop_assert_eq!(
+            pin_attempts + sp.storm_injected,
+            sp.completed + sp.errors + sp.rejected + sp.shed,
+            "pin accounting drifted: attempts={} {:?}", pin_attempts, sp
+        );
+        let sf = exec.stats("flux").expect("live app or observable tombstone");
+        if flux_alive {
+            prop_assert_eq!(
+                flux_attempts + sf.storm_injected,
+                sf.completed + sf.errors + sf.rejected + sf.shed,
+                "flux accounting drifted: attempts={} {:?}", flux_attempts, sf
+            );
+        } else {
+            prop_assert_eq!(sf.band_cap, 0, "departed band must be released: {:?}", sf);
+            prop_assert!(!sf.admitted, "tombstone must not admit: {:?}", sf);
+        }
     }
 }

@@ -58,7 +58,7 @@ fn measured_latency(dnn: &mut DynamicDnn, sample: &[f32], shape: &[usize], reps:
 #[test]
 fn multi_app_admission_actuates_the_allocation() {
     let exec_cfg = emlrt::serve::ExecutorConfig::default();
-    let mut exec = Executor::new(exec_cfg);
+    let exec = Executor::new(exec_cfg);
     let cam = testbed::tiny_dnn(11);
     let det = testbed::tiny_dnn(22);
     let cam_req = Requirements::new().with_max_latency(TimeSpan::from_millis(11.0));
@@ -114,7 +114,7 @@ fn multi_app_admission_actuates_the_allocation() {
 /// forwards.
 #[test]
 fn f32_batching_preserves_per_sample_logits_bit_exactly() {
-    let mut exec = Executor::new(emlrt::serve::ExecutorConfig {
+    let exec = Executor::new(emlrt::serve::ExecutorConfig {
         batch_cap: 8,
         queue_capacity: 64,
         ..Default::default()
@@ -168,7 +168,7 @@ fn chained_int8_batching_matches_batch1_within_tolerance() {
         );
     }
 
-    let mut exec = Executor::new(emlrt::serve::ExecutorConfig {
+    let exec = Executor::new(emlrt::serve::ExecutorConfig {
         batch_cap: 8,
         queue_capacity: 64,
         ..Default::default()
@@ -199,7 +199,7 @@ fn chained_int8_batching_matches_batch1_within_tolerance() {
 /// Queue overflow is a typed error, not a block and not a silent drop.
 #[test]
 fn queue_overflow_is_a_typed_error() {
-    let mut exec = Executor::new(emlrt::serve::ExecutorConfig {
+    let exec = Executor::new(emlrt::serve::ExecutorConfig {
         queue_capacity: 2,
         batch_cap: 1,
         ..Default::default()
@@ -250,7 +250,7 @@ fn deadline_misses_trigger_reallocation_until_measured_latency_meets_requirement
     let deadline_s = (full_s * narrow_s).sqrt();
     let req = Requirements::new().with_max_latency(TimeSpan::from_secs(deadline_s));
 
-    let mut exec = Executor::new(emlrt::serve::ExecutorConfig {
+    let exec = Executor::new(emlrt::serve::ExecutorConfig {
         batch_cap: 1, // per-request latencies, no batching noise
         queue_capacity: 64,
         ..Default::default()
@@ -346,7 +346,7 @@ fn executed_replay_reports_measured_latencies() {
     let req = Requirements::new().with_max_latency(TimeSpan::from_millis(11.0));
     let spec = dnn_spec("dnn1", &dnn, req.clone(), 1);
 
-    let mut exec = Executor::new(emlrt::serve::ExecutorConfig::default());
+    let exec = Executor::new(emlrt::serve::ExecutorConfig::default());
     exec.register_dnn("dnn1", dnn, &req).unwrap();
 
     let soc = emlrt::platform::presets::flagship();
@@ -419,7 +419,7 @@ fn submit_after_shutdown_returns_typed_app_stopped() {
 #[test]
 fn submit_during_drain_returns_typed_app_stopped() {
     let req = Requirements::new().with_max_latency(TimeSpan::from_secs(10.0));
-    let mut exec = Executor::new(emlrt::serve::ExecutorConfig::default());
+    let exec = Executor::new(emlrt::serve::ExecutorConfig::default());
     exec.register_dnn("app", testbed::tiny_dnn(5), &req)
         .unwrap();
     exec.pause("app").unwrap();
@@ -455,7 +455,7 @@ fn submit_during_drain_returns_typed_app_stopped() {
 #[test]
 fn timed_out_wait_leaves_the_request_in_flight_and_accounted() {
     let req = Requirements::new().with_max_latency(TimeSpan::from_secs(10.0));
-    let mut exec = Executor::new(emlrt::serve::ExecutorConfig::default());
+    let exec = Executor::new(emlrt::serve::ExecutorConfig::default());
     exec.register_dnn("app", testbed::tiny_dnn(9), &req)
         .unwrap();
     exec.pause("app").unwrap();
@@ -488,7 +488,7 @@ fn chaos_scenario_events_inject_faults_through_executed_replay() {
     let dnn = testbed::tiny_dnn(19);
     let req = Requirements::new().with_max_latency(TimeSpan::from_millis(50.0));
     let spec = dnn_spec("dnn1", &dnn, req.clone(), 1);
-    let mut exec = Executor::new(emlrt::serve::ExecutorConfig::default());
+    let exec = Executor::new(emlrt::serve::ExecutorConfig::default());
     exec.register_dnn("dnn1", dnn, &req).unwrap();
 
     let events = vec![

@@ -189,7 +189,7 @@ fn serving_soak_survives_knob_churn_under_sustained_load() {
     const CAPACITY: usize = 32;
     const TIMEOUT: Duration = Duration::from_secs(60);
 
-    let mut exec = Executor::new(ExecutorConfig {
+    let exec = Executor::new(ExecutorConfig {
         queue_capacity: CAPACITY,
         batch_cap: 8,
         stats_window: 128,
@@ -319,8 +319,8 @@ fn chaos_soak_is_fault_tolerant_and_bit_reproducible() {
     use emlrt::dnn::{Precision, WidthLevel};
     use emlrt::rtm::knobs::KnobCommand;
     use emlrt::serve::{
-        testbed, AppStatsSnapshot, Executor, ExecutorConfig, FaultKind, FaultPlan, PressureAction,
-        PressureConfig, PressurePolicy, ServeError, Ticket,
+        testbed, AppStatsSnapshot, Executor, ExecutorConfig, FaultKind, FaultPlan, HealthConfig,
+        PressureAction, PressureConfig, PressurePolicy, ServeError, Ticket,
     };
     use std::sync::Arc;
     use std::time::{Duration, Instant};
@@ -375,7 +375,7 @@ fn chaos_soak_is_fault_tolerant_and_bit_reproducible() {
             )
             .with_fault(APP, 40, FaultKind::QueueStorm(6))
             .with_fault(APP, 50, FaultKind::KnobFailure);
-        let mut exec = Executor::new(ExecutorConfig {
+        let exec = Executor::new(ExecutorConfig {
             queue_capacity: 64,
             batch_cap: 4,
             watchdog_interval: Duration::from_millis(2),
@@ -391,14 +391,20 @@ fn chaos_soak_is_fault_tolerant_and_bit_reproducible() {
             &Requirements::new().with_max_latency(TimeSpan::from_millis(80.0)),
         )
         .unwrap();
-        // The ladder watches miss rate + fresh sheds only (the soak
-        // parks deep queues on purpose, so depth is not a signal here).
+        // The ladder watches the health score with the queue weight
+        // zeroed (the soak parks deep queues on purpose, so depth is
+        // not a signal here); misses + fresh events drive it. The
+        // restore line sits below 100 − w_knob_fault so the tick right
+        // after the injected knob fault still counts as calm.
         let mut policy = PressurePolicy::new(PressureConfig {
-            queue_frac: 2.0,
-            miss_rate: 0.5,
-            min_outcomes: 4,
+            health: HealthConfig {
+                w_queue: 0.0,
+                min_outcomes: 4,
+                ..HealthConfig::default()
+            },
+            restore_at: 85.0,
             recover_ticks: 2,
-            width_floor: 0,
+            ..PressureConfig::default()
         });
         let mut rng = StdRng::seed_from_u64(seed ^ 0xC4A0);
         let sample: Vec<f32> = (0..SAMPLE_LEN)
