@@ -51,10 +51,17 @@ pub mod rank {
     pub const EXEC_APPS: u32 = 190;
     /// `eml-serve` watchdog stop flag.
     pub const EXEC_WATCHDOG: u32 = 200;
-    /// `eml-serve` watchdog app registry.
-    pub const EXEC_REGISTRY: u32 = 210;
-    /// `eml-serve` per-app serving-thread handle.
+    /// `eml-serve` shared worker-pool scheduler state (the app roster
+    /// the EDF scan walks, plus the pool stop flag). Below every
+    /// per-app lock so a driver may hold the pool lock across its scan
+    /// while peeking at each app's queue state.
+    pub const EXEC_POOL: u32 = 215;
+    /// `eml-serve` per-driver serving-thread handle.
     pub const EXEC_THREAD: u32 = 220;
+    /// `eml-serve` per-driver current-app slot (which tenant a pool
+    /// driver is serving right now; the watchdog confiscates through
+    /// it).
+    pub const EXEC_DRIVER: u32 = 225;
     /// `eml-serve` per-app queue state — the serving hot path.
     pub const EXEC_QUEUE: u32 = 230;
     /// `eml-serve` per-app model (held across a forward pass).

@@ -106,6 +106,15 @@ pub fn workspace_allowlist() -> Vec<AllowEntry> {
             contains: "expect(\"spawn watchdog thread\")",
             why: "Executor::new has no degraded mode without its watchdog",
         },
+        // panic-hygiene: constructor spawn of the fixed driver pool —
+        // same rationale as the watchdog: an executor without its
+        // drivers is not a degraded mode, it is no executor at all.
+        AllowEntry {
+            rule: "panic-hygiene",
+            path_suffix: "crates/serve/src/executor.rs",
+            contains: "expect(\"spawn pool driver thread\")",
+            why: "Executor::new has no degraded mode without its driver pool",
+        },
         // panic-hygiene: statically unreachable length conversion,
         // documented under `# Panics` — payloads are capped at 1 MiB
         // long before a u32 length prefix could overflow.

@@ -52,6 +52,9 @@ pub enum WireStatus {
     /// the executor; the name may come back, but this request was
     /// refused typed.
     AppDeregistered = 12,
+    /// [`ServeError::OverCapacity`]: the executor's bounded app
+    /// registry is full; the registration (not a request) was refused.
+    OverCapacity = 13,
     /// The frame header declared a payload above the server's cap.
     Oversize = 32,
     /// The frame's tag byte is not in the request vocabulary.
@@ -96,6 +99,7 @@ impl WireStatus {
             10 => Self::Rtm,
             11 => Self::SpawnFailed,
             12 => Self::AppDeregistered,
+            13 => Self::OverCapacity,
             32 => Self::Oversize,
             33 => Self::UnknownTag,
             34 => Self::Malformed,
@@ -140,6 +144,7 @@ mod tests {
             WireStatus::Rtm,
             WireStatus::SpawnFailed,
             WireStatus::AppDeregistered,
+            WireStatus::OverCapacity,
             WireStatus::Oversize,
             WireStatus::UnknownTag,
             WireStatus::Malformed,
@@ -174,6 +179,13 @@ mod tests {
             (
                 ServeError::AppDeregistered { app: "a".into() },
                 WireStatus::AppDeregistered,
+            ),
+            (
+                ServeError::OverCapacity {
+                    app: "a".into(),
+                    capacity: 256,
+                },
+                WireStatus::OverCapacity,
             ),
             (
                 ServeError::DeadlineExpired {

@@ -239,7 +239,13 @@ impl PressurePolicy {
                 mark: EventWatermark::seeded(&snap),
             });
         let fresh = ladder.mark.advance(&snap);
-        let score = health::score(&cfg.health, &snap, exec.config().queue_capacity, &fresh);
+        let score = health::score(
+            &cfg.health,
+            &snap,
+            exec.config().queue_capacity,
+            exec.pool_pressure(),
+            &fresh,
+        );
         if score < cfg.degrade_below {
             // Pressure: any recovery evidence is stale now.
             ladder.calm.reset();

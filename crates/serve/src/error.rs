@@ -94,13 +94,26 @@ pub enum ServeError {
     /// An underlying RTM error (allocation, knob execution).
     Rtm(RtmError),
     /// The OS refused to spawn a serving thread (thread or descriptor
-    /// exhaustion). At registration the app is not registered; at
-    /// supervised restart the watchdog re-arms the backoff and retries.
+    /// exhaustion). Kept for wire-code stability; since the shared
+    /// worker pool, driver threads are spawned at executor construction
+    /// and respawned by the watchdog (which re-arms its backoff on a
+    /// refused spawn), so registration itself no longer surfaces this.
     SpawnFailed {
         /// Application name.
         app: String,
         /// The underlying OS error.
         reason: String,
+    },
+    /// The executor's bounded app registry is at capacity
+    /// ([`crate::ExecutorConfig::max_apps`]); the registration was
+    /// refused and nothing was spawned or enqueued. Distinct from
+    /// [`ServeError::QueueFull`] (a per-request refusal): this one
+    /// refuses a whole *tenant*.
+    OverCapacity {
+        /// The application that was refused admission.
+        app: String,
+        /// The configured registry capacity.
+        capacity: usize,
     },
 }
 
@@ -130,6 +143,7 @@ impl ServeError {
             Self::Rtm(_) => 10,
             Self::SpawnFailed { .. } => 11,
             Self::AppDeregistered { .. } => 12,
+            Self::OverCapacity { .. } => 13,
         }
     }
 }
@@ -167,6 +181,9 @@ impl fmt::Display for ServeError {
             Self::Rtm(e) => write!(f, "rtm error: {e}"),
             Self::SpawnFailed { app, reason } => {
                 write!(f, "`{app}` serving thread failed to spawn: {reason}")
+            }
+            Self::OverCapacity { app, capacity } => {
+                write!(f, "`{app}` refused: app registry at capacity ({capacity})")
             }
         }
     }
@@ -270,6 +287,13 @@ mod tests {
                 11,
             ),
             (ServeError::AppDeregistered { app: app() }, 12),
+            (
+                ServeError::OverCapacity {
+                    app: app(),
+                    capacity: 256,
+                },
+                13,
+            ),
         ];
         let mut seen = std::collections::HashSet::new();
         for (e, expect) in &all {

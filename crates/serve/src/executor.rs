@@ -1,19 +1,32 @@
 //! The multi-tenant serving executor.
 //!
-//! [`Executor`] owns one serving thread per registered dynamic-DNN
-//! application. Each thread drains its app's *bounded* request queue,
-//! coalesces queued requests into deadline-aware micro-batches (up to
-//! [`ExecutorConfig::batch_cap`], shrunk when the estimated batch
-//! service time would blow the oldest request's deadline), and runs
-//! them through the real [`eml_dnn::DynamicDnn`] kernels — the batch>1
-//! forward path of `eml_nn`, under a per-app
-//! [`eml_nn::workers::with_band_cap`] budget derived from the cores the
-//! RTM allocated. An [`eml_core::rtm::Allocation`] is *actuated*, not
-//! interpreted: [`Executor::apply_allocation`] translates it through
-//! [`eml_core::knobs::commands_for`] and the serving thread executes
-//! the application-layer commands with
+//! [`Executor`] owns a **fixed pool of driver threads** (sized by
+//! [`ExecutorConfig::pool_workers`], *not* by the tenant count) that
+//! serves every registered dynamic-DNN application from a shared
+//! ready-"queue": each driver scans the app roster and claims the most
+//! urgent runnable app under weighted earliest-deadline-first order —
+//! the virtual deadline of an app's oldest queued request is its
+//! arrival time plus the app's latency budget scaled down by its RTM
+//! band allocation (more allocated cores ⇒ less slack ⇒ served
+//! sooner). A claimed app is marked *busy* so exactly one driver works
+//! it at a time, which preserves per-app FIFO completion order and
+//! keeps per-app results bit-identical whether the app runs solo or
+//! among a hundred co-tenants.
+//!
+//! Per claim, the driver drains the app's bounded request queue into a
+//! deadline-aware micro-batch (up to [`ExecutorConfig::batch_cap`],
+//! shrunk when the estimated batch service time would blow the oldest
+//! request's deadline) and runs it through the real
+//! [`eml_dnn::DynamicDnn`] kernels — the batch>1 forward path of
+//! `eml_nn`, under a per-app [`eml_nn::workers::with_band_cap`] budget
+//! derived from the cores the RTM allocated. An
+//! [`eml_core::rtm::Allocation`] is *actuated*, not interpreted:
+//! [`Executor::apply_allocation`] translates it through
+//! [`eml_core::knobs::commands_for`] and a pool driver executes the
+//! application-layer commands with
 //! [`eml_core::knobs::apply_app_command`] (width switches re-plan the
-//! int8 chain automatically; precision switches re-select the backend).
+//! int8 chain automatically; precision switches re-select the
+//! backend).
 //!
 //! Requests complete through per-request tickets; queue overflow is a
 //! typed [`crate::ServeError::QueueFull`] at submission, never a block
@@ -21,21 +34,32 @@
 //! completion (success or a typed error) in FIFO order per app, a
 //! property the stress and property suites pin.
 //!
+//! ## Bounded registry
+//!
+//! Tenant state is a *capped* registry: registrations past
+//! [`ExecutorConfig::max_apps`] are refused with the typed
+//! [`crate::ServeError::OverCapacity`] — a whole-tenant refusal,
+//! distinct from the per-request [`crate::ServeError::QueueFull`].
+//! Deregistered tombstones do not count against the cap, so tenant
+//! churn does not leak capacity.
+//!
 //! ## Fault tolerance
 //!
-//! Serving threads are *supervised*: each thread stores a heartbeat
-//! beacon before every wait and every forward pass, and a watchdog
+//! Pool drivers are *supervised*: each driver stores a heartbeat
+//! beacon before every scan and every forward pass, and a watchdog
 //! thread (one per executor, ticking every
-//! [`ExecutorConfig::watchdog_interval`]) checks all apps. A thread
-//! that died (a panic escaping the forward's containment) has its
-//! in-flight batch failed with a typed
-//! [`crate::ServeError::Inference`] error and is restarted with
-//! bounded exponential backoff
+//! [`ExecutorConfig::watchdog_interval`]) checks every driver. A
+//! driver that died (a panic escaping the forward's containment) has
+//! the claimed app's in-flight batch failed with a typed
+//! [`crate::ServeError::Inference`] error, the app's busy mark
+//! cleared (so the surviving drivers can serve it), and is restarted
+//! with bounded exponential backoff
 //! ([`ExecutorConfig::restart_backoff`] .. `restart_backoff_max`,
 //! doubling per consecutive crash); restarts surface in
-//! [`AppStatsSnapshot::restarts`]. A thread that *wedged* — heartbeat
-//! stale past [`ExecutorConfig::stall_timeout`] with work in flight —
-//! has its batch confiscated and failed the same way
+//! [`AppStatsSnapshot::restarts`] of the app whose batch died. A
+//! driver that *wedged* — heartbeat stale past
+//! [`ExecutorConfig::stall_timeout`] with work in flight — has its
+//! batch confiscated and failed the same way
 //! ([`AppStatsSnapshot::stalls`]); if the forward later recovers, its
 //! results are discarded (the riders were already answered).
 //!
@@ -53,16 +77,17 @@
 //! behind its own ranked lock (`eml_core::sync::rank::EXEC_APPS`,
 //! below every per-app lock), so apps arrive and depart *mid-stream* —
 //! from a scenario replay or a control thread — without exclusive
-//! access to the executor. [`Executor::deregister_dnn`] is the
-//! lifecycle inverse of [`Executor::register_dnn`]: new submissions
-//! are refused with the typed [`crate::ServeError::AppDeregistered`],
-//! the serving thread drains what it already admitted and is joined,
-//! anything a *dead* thread stranded is failed with the same typed
-//! error (never a lost ticket), and the app's band is released. A
-//! tombstone keeps the final statistics readable and the refusal
-//! distinct from [`crate::ServeError::UnknownApp`] until the name is
-//! registered again. The extended accounting invariant holds across
-//! the transition.
+//! access to the executor, and without touching the driver pool.
+//! [`Executor::deregister_dnn`] is the lifecycle inverse of
+//! [`Executor::register_dnn`]: new submissions are refused with the
+//! typed [`crate::ServeError::AppDeregistered`], the pool drains what
+//! the app already admitted, anything stranded while no driver is
+//! alive is failed with the same typed error (never a lost ticket),
+//! and the app's band is released. A tombstone keeps the final
+//! statistics readable and the refusal distinct from
+//! [`crate::ServeError::UnknownApp`] until the name is registered
+//! again. The extended accounting invariant holds across the
+//! transition.
 //!
 //! Deterministic hostile schedules come from a seeded
 //! [`crate::FaultPlan`] ([`ExecutorConfig::fault_plan`], off by
@@ -70,7 +95,7 @@
 //! [`Executor::inject_fault`] calls (the simulator's chaos hooks).
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -86,7 +111,13 @@ use eml_platform::units::TimeSpan;
 
 use crate::error::{Result, ServeError};
 use crate::fault::{Fault, FaultKind, FaultPlan};
-use crate::stats::{AppStats, AppStatsSnapshot};
+use crate::stats::{AppStats, AppStatsSnapshot, PoolSnapshot};
+
+/// Virtual-deadline budget (seconds) for apps registered without a
+/// latency requirement: tight enough that best-effort tenants are not
+/// starved behind every deadline-bearing tenant, loose enough that
+/// real deadlines still dominate the EDF order.
+const DEFAULT_EDF_BUDGET_SECS: f64 = 0.1;
 
 /// Executor configuration.
 #[derive(Debug, Clone)]
@@ -98,13 +129,22 @@ pub struct ExecutorConfig {
     pub batch_cap: usize,
     /// Sliding-window length of the per-app latency statistics.
     pub stats_window: usize,
-    /// Cadence of the supervisor watchdog tick (dead/wedged-thread
+    /// Number of shared pool driver threads. Fixed at construction and
+    /// **independent of the tenant count**: registering the hundredth
+    /// app spawns nothing. Clamped to at least 1.
+    pub pool_workers: usize,
+    /// Bounded app-registry capacity (DNN and rigid tenants together);
+    /// registrations past it are refused with the typed
+    /// [`ServeError::OverCapacity`]. Deregistered tombstones do not
+    /// count.
+    pub max_apps: usize,
+    /// Cadence of the supervisor watchdog tick (dead/wedged-driver
     /// detection and restart scheduling).
     pub watchdog_interval: Duration,
-    /// An in-flight batch whose thread heartbeat is older than this is
+    /// An in-flight batch whose driver heartbeat is older than this is
     /// declared wedged: the watchdog fails it with a typed error.
     pub stall_timeout: Duration,
-    /// Base delay before restarting a dead serving thread; doubles per
+    /// Base delay before restarting a dead pool driver; doubles per
     /// consecutive crash (without an intervening completed batch).
     pub restart_backoff: Duration,
     /// Upper bound of the exponential restart backoff.
@@ -120,6 +160,8 @@ impl Default for ExecutorConfig {
             queue_capacity: 64,
             batch_cap: 8,
             stats_window: 256,
+            pool_workers: 2,
+            max_apps: 256,
             watchdog_interval: Duration::from_millis(5),
             stall_timeout: Duration::from_secs(5),
             restart_backoff: Duration::from_millis(10),
@@ -132,8 +174,8 @@ impl Default for ExecutorConfig {
 /// Where [`Executor::route_command`] sent a knob command.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum KnobRoute {
-    /// Queued to the addressed app's serving thread; actuation result
-    /// lands in the app's stats
+    /// Queued to the addressed app; a pool driver actuates it before
+    /// the app's next batch, and the result lands in the app's stats
     /// ([`AppStatsSnapshot::knob_rejected`] on a model refusal).
     Queued,
     /// A device-layer knob (DVFS, core gating, placement) the executor
@@ -187,7 +229,7 @@ impl Ticket {
     ///
     /// Returns the batch's [`ServeError::Inference`] error if the
     /// forward pass failed (or the supervisor failed a dead/wedged
-    /// thread's batch), [`ServeError::DeadlineExpired`] if the request
+    /// driver's batch), [`ServeError::DeadlineExpired`] if the request
     /// was shed past its deadline, or [`ServeError::AppStopped`] if
     /// the executor shut down before completing this request.
     pub fn wait(&self) -> Result<Completion> {
@@ -229,18 +271,18 @@ struct PendingRequest {
     tx: mpsc::Sender<Result<Completion>>,
 }
 
-/// Queue state shared between submitters, the serving thread, the
+/// Queue state shared between submitters, the pool drivers, the
 /// watchdog and the control plane. Never held across an inference.
 struct QueueState {
     pending: VecDeque<PendingRequest>,
     /// The batch currently being served. It stays *here* (not on the
-    /// serving thread's stack) so the supervisor can fail it with a
-    /// typed error when the thread dies or wedges; the serving thread
-    /// takes it back after the forward and discards its results if the
-    /// supervisor got there first.
+    /// driver's stack) so the supervisor can fail it with a typed
+    /// error when the driver dies or wedges; the driver takes it back
+    /// after the forward and discards its results if the supervisor
+    /// got there first.
     inflight: Vec<PendingRequest>,
-    /// Application-layer knob commands awaiting execution on the
-    /// serving thread (where the model lives).
+    /// Application-layer knob commands awaiting execution on a pool
+    /// driver (which holds the model lock to actuate).
     knobs: Vec<KnobCommand>,
     /// Runtime-armed one-shot faults ([`Executor::inject_fault`]),
     /// consumed by the next dispatched batch.
@@ -262,6 +304,17 @@ struct QueueState {
     cluster: Option<ClusterId>,
     admitted: bool,
     paused: bool,
+    /// Claimed by a pool driver: exactly one driver serves an app at a
+    /// time, which is what preserves per-app FIFO completion order on
+    /// a shared pool. Cleared on release — or by the watchdog when the
+    /// claiming driver dies.
+    busy: bool,
+    /// EWMA of per-sample service time (seconds), for deadline-aware
+    /// batch sizing. Lives in shared state (not on a driver's stack)
+    /// because on a shared pool *different* drivers serve consecutive
+    /// batches of the same app; injected spike delays are excluded so
+    /// coalescing stays deterministic across a fault.
+    ewma: Option<f64>,
     /// Active `drain_app` calls; submissions are refused while the
     /// queue is being drained so the drain terminates.
     draining: u32,
@@ -273,13 +326,11 @@ struct QueueState {
 }
 
 struct AppShared {
-    /// Queue state, ranked: the serve loop's completion path nests
+    /// Queue state, ranked: the serve path's completion section nests
     /// `EXEC_STATS` inside this lock (the crate's one sanctioned
     /// nesting); the debug-build rank check keeps every other path
     /// honest about the queue-state→stats order.
     state: RankedMutex<QueueState>,
-    /// Signalled on submit / knob push / resume / stop.
-    work: Condvar,
     /// Signalled when the queue empties and nothing is in flight.
     idle: Condvar,
 }
@@ -287,13 +338,13 @@ struct AppShared {
 fn lock_state(shared: &AppShared) -> RankedGuard<'_, QueueState> {
     // Poisoning is recovered inside `RankedMutex`: the state is only
     // mutated by short, panic-free critical sections; a poisoned lock
-    // means a serving thread died mid-batch, which the watchdog turns
+    // means a pool driver died mid-batch, which the watchdog turns
     // into typed errors and a supervised restart.
     shared.state.lock()
 }
 
-/// Restart bookkeeping, owned by the watchdog and reset by the serving
-/// thread on every completed batch.
+/// Restart bookkeeping, owned by the watchdog and reset by a pool
+/// driver on every completed batch.
 #[derive(Default)]
 struct Supervision {
     /// Consecutive restarts without an intervening completed batch —
@@ -303,21 +354,22 @@ struct Supervision {
     restart_at: Option<Instant>,
 }
 
-/// Everything a serving thread, the watchdog and the control plane
-/// share about one app. The model lives *here* (not on the thread's
-/// stack) so a supervised restart hands the same model to a fresh
-/// thread.
+/// Everything the pool drivers, the watchdog and the control plane
+/// share about one app. The model lives *here* (not on a driver's
+/// stack) so any driver — including one freshly restarted — serves
+/// the same model.
 struct AppRuntime {
     name: String,
     shared: AppShared,
     stats: RankedMutex<AppStats>,
     model: RankedMutex<DynamicDnn>,
-    thread: RankedMutex<Option<JoinHandle<()>>>,
-    supervision: RankedMutex<Supervision>,
-    /// Liveness beacon: nanoseconds since `epoch`, stored by the
-    /// serving thread before every wait and every forward.
-    heartbeat: AtomicU64,
-    epoch: Instant,
+    /// The shared driver pool this app is scheduled on (rung after
+    /// every enqueue so a sleeping driver rescans).
+    pool: Arc<PoolShared>,
+    /// Registration order, the deterministic EDF tie-break: equal
+    /// virtual deadlines are served in registration order, never by
+    /// hash order or thread race.
+    reg_index: u64,
     batch_cap: usize,
     deadline: Option<TimeSpan>,
     queue_capacity: usize,
@@ -327,16 +379,6 @@ struct AppRuntime {
 }
 
 impl AppRuntime {
-    fn beat(&self) {
-        self.heartbeat
-            .store(self.epoch.elapsed().as_nanos() as u64, Ordering::Relaxed);
-    }
-
-    fn heartbeat_age(&self) -> Duration {
-        let last = Duration::from_nanos(self.heartbeat.load(Ordering::Relaxed));
-        self.epoch.elapsed().saturating_sub(last)
-    }
-
     fn lock_stats(&self) -> RankedGuard<'_, AppStats> {
         self.stats.lock()
     }
@@ -348,15 +390,12 @@ impl AppRuntime {
         // into the next forward.
         self.model.lock()
     }
-
-    fn lock_supervision(&self) -> RankedGuard<'_, Supervision> {
-        self.supervision.lock()
-    }
 }
 
 struct DnnApp {
     rt: Arc<AppRuntime>,
     sample_len: usize,
+    sample_shape: Vec<usize>,
 }
 
 enum AppEntry {
@@ -370,6 +409,72 @@ enum AppEntry {
     Departed(Arc<DnnApp>),
 }
 
+/// The pool scheduler's shared state: the roster of registered DNN
+/// apps the EDF scan walks, and the pool-wide stop flag.
+struct PoolState {
+    roster: Vec<Arc<DnnApp>>,
+    stopping: bool,
+}
+
+/// What every pool driver shares: the scheduler state, the wakeup
+/// condvar, the live-driver census and the EDF epoch.
+struct PoolShared {
+    /// Ranked *below* every per-app lock (`EXEC_POOL` < `EXEC_QUEUE`)
+    /// so a driver may hold the scheduler across its scan while
+    /// peeking at each app's queue state.
+    sched: RankedMutex<PoolState>,
+    /// Signalled on submit / knob push / resume / release / stop.
+    work: Condvar,
+    /// Drivers currently alive (spawned minus reaped-dead). Lifecycle
+    /// paths consult it so a fully-dead pool cannot hang a drain.
+    live_drivers: AtomicUsize,
+    /// The EDF time origin: virtual deadlines are offsets from here,
+    /// so they are totally ordered plain `Duration`s.
+    epoch: Instant,
+}
+
+impl PoolShared {
+    /// Wakes every driver for a rescan, without losing a wakeup: a
+    /// scanning driver holds the scheduler lock continuously from its
+    /// scan until its condvar wait (which releases atomically), so
+    /// taking the lock here guarantees the notify lands after the
+    /// driver either saw the new state or started waiting.
+    fn ring(&self) {
+        drop(self.sched.lock());
+        self.work.notify_all();
+    }
+}
+
+/// One pool driver: its thread handle, its claim slot (which app it
+/// is serving right now — the watchdog confiscates through it), its
+/// supervision record and its heartbeat beacon.
+struct Driver {
+    index: usize,
+    pool: Arc<PoolShared>,
+    /// The app this driver currently has claimed (`busy` set). The
+    /// watchdog reads it to know whose batch to fail when this driver
+    /// dies or wedges.
+    current: RankedMutex<Option<Arc<DnnApp>>>,
+    thread: RankedMutex<Option<JoinHandle<()>>>,
+    supervision: RankedMutex<Supervision>,
+    /// Liveness beacon: nanoseconds since `epoch`, stored by the
+    /// driver before every scan and every forward.
+    heartbeat: AtomicU64,
+    epoch: Instant,
+}
+
+impl Driver {
+    fn beat(&self) {
+        self.heartbeat
+            .store(self.epoch.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    fn heartbeat_age(&self) -> Duration {
+        let last = Duration::from_nanos(self.heartbeat.load(Ordering::Relaxed));
+        self.epoch.elapsed().saturating_sub(last)
+    }
+}
+
 /// Watchdog timing knobs, copied out of [`ExecutorConfig`] at spawn.
 #[derive(Clone, Copy)]
 struct WatchdogCfg {
@@ -379,10 +484,11 @@ struct WatchdogCfg {
     backoff_max: Duration,
 }
 
-/// The supervisor's shared registry: every DNN app's runtime, plus the
+/// The supervisor's view: the fixed driver set (immutable after
+/// construction — supervision never needs a registry lock), plus the
 /// stop signal of the watchdog thread itself.
 struct Watchdog {
-    apps: RankedMutex<Vec<Arc<AppRuntime>>>,
+    drivers: Vec<Arc<Driver>>,
     stop: RankedMutex<bool>,
     bell: Condvar,
 }
@@ -391,9 +497,12 @@ struct Watchdog {
 pub struct Executor {
     cfg: ExecutorConfig,
     /// The app map, ranked *below* every per-app lock so lifecycle
-    /// paths may resolve a name and then touch its queue/thread state
-    /// while still holding the map.
+    /// paths may resolve a name and then touch its queue state while
+    /// still holding the map.
     apps: RankedMutex<HashMap<String, AppEntry>>,
+    pool: Arc<PoolShared>,
+    drivers: Vec<Arc<Driver>>,
+    next_reg_index: AtomicU64,
     watchdog: Arc<Watchdog>,
     watchdog_thread: Option<JoinHandle<()>>,
 }
@@ -402,8 +511,9 @@ impl std::fmt::Debug for Executor {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "Executor({} apps, queue {}, batch cap {})",
+            "Executor({} apps, {} drivers, queue {}, batch cap {})",
             self.apps.lock().len(),
+            self.drivers.len(),
             self.cfg.queue_capacity,
             self.cfg.batch_cap
         )
@@ -411,11 +521,47 @@ impl std::fmt::Debug for Executor {
 }
 
 impl Executor {
-    /// Creates an executor with the given configuration and starts its
-    /// supervisor watchdog.
+    /// Creates an executor, spawns its fixed driver pool
+    /// ([`ExecutorConfig::pool_workers`] threads, at least one) and
+    /// starts the supervisor watchdog.
     pub fn new(cfg: ExecutorConfig) -> Self {
+        let pool = Arc::new(PoolShared {
+            sched: RankedMutex::new(
+                rank::EXEC_POOL,
+                "exec-pool",
+                PoolState {
+                    roster: Vec::new(),
+                    stopping: false,
+                },
+            ),
+            work: Condvar::new(),
+            live_drivers: AtomicUsize::new(0),
+            epoch: Instant::now(),
+        });
+        let drivers: Vec<Arc<Driver>> = (0..cfg.pool_workers.max(1))
+            .map(|index| {
+                Arc::new(Driver {
+                    index,
+                    pool: Arc::clone(&pool),
+                    current: RankedMutex::new(rank::EXEC_DRIVER, "exec-driver-current", None),
+                    thread: RankedMutex::new(rank::EXEC_THREAD, "exec-thread", None),
+                    supervision: RankedMutex::new(
+                        rank::EXEC_SUPERVISION,
+                        "exec-supervision",
+                        Supervision::default(),
+                    ),
+                    heartbeat: AtomicU64::new(0),
+                    epoch: Instant::now(),
+                })
+            })
+            .collect();
+        for drv in &drivers {
+            let handle = spawn_driver_thread(drv).expect("spawn pool driver thread");
+            *drv.thread.lock() = Some(handle);
+            pool.live_drivers.fetch_add(1, Ordering::SeqCst);
+        }
         let watchdog = Arc::new(Watchdog {
-            apps: RankedMutex::new(rank::EXEC_REGISTRY, "exec-watchdog-apps", Vec::new()),
+            drivers: drivers.clone(),
             stop: RankedMutex::new(rank::EXEC_WATCHDOG, "exec-watchdog-stop", false),
             bell: Condvar::new(),
         });
@@ -435,6 +581,9 @@ impl Executor {
         Self {
             cfg,
             apps: RankedMutex::new(rank::EXEC_APPS, "exec-apps", HashMap::new()),
+            pool,
+            drivers,
+            next_reg_index: AtomicU64::new(0),
             watchdog,
             watchdog_thread: Some(watchdog_thread),
         }
@@ -461,11 +610,58 @@ impl Executor {
         names
     }
 
-    /// Registers a dynamic-DNN application and starts its serving
-    /// thread (supervised by the executor's watchdog). The deadline,
-    /// when `requirements` carries a latency budget, drives
-    /// per-request `deadline_met` accounting, the micro-batcher's
-    /// coalescing bound, and deadline-expiry shedding at dequeue.
+    /// A pool-level snapshot: driver census and the aggregate queue
+    /// depth across every registered app. The control plane keys
+    /// pool-pressure off this; tests assert the driver count is
+    /// independent of the tenant count through it.
+    pub fn pool_stats(&self) -> PoolSnapshot {
+        // Registry occupancy first (rank EXEC_APPS below EXEC_POOL),
+        // then the roster scan under the scheduler lock.
+        let apps = {
+            let apps = self.apps.lock();
+            apps.values()
+                .filter(|e| !matches!(e, AppEntry::Departed(_)))
+                .count()
+        };
+        let ps = self.pool.sched.lock();
+        let mut queue_depth = 0;
+        let mut in_flight = 0;
+        for app in &ps.roster {
+            let st = lock_state(&app.rt.shared);
+            queue_depth += st.pending.len();
+            in_flight += st.inflight.len();
+        }
+        PoolSnapshot {
+            drivers: self.drivers.len(),
+            live_drivers: self.pool.live_drivers.load(Ordering::SeqCst),
+            apps,
+            serving: ps.roster.len(),
+            max_apps: self.cfg.max_apps,
+            queue_depth,
+            in_flight,
+            queue_capacity: self.cfg.queue_capacity,
+        }
+    }
+
+    /// Aggregate queue pressure of the shared pool in `0.0..=1.0`:
+    /// total queued requests over total queue capacity across the
+    /// registered DNN apps (0 when none are registered). Feeds the
+    /// health score's pool term.
+    pub fn pool_pressure(&self) -> f32 {
+        let snap = self.pool_stats();
+        if snap.serving == 0 || snap.queue_capacity == 0 {
+            return 0.0;
+        }
+        let cap = (snap.queue_capacity * snap.serving) as f32;
+        (snap.queue_depth as f32 / cap).clamp(0.0, 1.0)
+    }
+
+    /// Registers a dynamic-DNN application on the shared pool. No
+    /// thread is spawned — the fixed driver pool picks the app up from
+    /// the roster. The deadline, when `requirements` carries a latency
+    /// budget, drives per-request `deadline_met` accounting, the
+    /// micro-batcher's coalescing bound, deadline-expiry shedding at
+    /// dequeue, and the app's EDF urgency on the shared pool.
     ///
     /// Registration is interior-mutable (`&self`): apps can arrive
     /// while other threads are serving, observing or deregistering. A
@@ -476,8 +672,8 @@ impl Executor {
     /// # Errors
     ///
     /// Returns [`ServeError::DuplicateApp`] if the name is taken, or
-    /// [`ServeError::SpawnFailed`] if the OS refused the serving
-    /// thread (nothing is registered in that case).
+    /// [`ServeError::OverCapacity`] if the bounded registry is full
+    /// (nothing is registered in that case).
     pub fn register_dnn(
         &self,
         name: impl Into<String>,
@@ -492,7 +688,18 @@ impl Executor {
             None | Some(AppEntry::Departed(_)) => {}
             Some(_) => return Err(ServeError::DuplicateApp { app: name }),
         }
-        let sample_len = dnn.network().input_shape().iter().product();
+        let live = apps
+            .values()
+            .filter(|e| !matches!(e, AppEntry::Departed(_)))
+            .count();
+        if live >= self.cfg.max_apps {
+            return Err(ServeError::OverCapacity {
+                app: name,
+                capacity: self.cfg.max_apps,
+            });
+        }
+        let sample_shape: Vec<usize> = dnn.network().input_shape().to_vec();
+        let sample_len = sample_shape.iter().product();
         let deadline = requirements.max_latency();
         let plan = self
             .cfg
@@ -525,51 +732,62 @@ impl Executor {
                         cluster: None,
                         admitted: true,
                         paused: false,
+                        busy: false,
+                        ewma: None,
                         draining: 0,
                         departing: false,
                         stopping: false,
                     },
                 ),
-                work: Condvar::new(),
                 idle: Condvar::new(),
             },
             stats: RankedMutex::new(rank::EXEC_STATS, "exec-stats", stats),
             model: RankedMutex::new(rank::EXEC_MODEL, "exec-model", dnn),
-            thread: RankedMutex::new(rank::EXEC_THREAD, "exec-thread", None),
-            supervision: RankedMutex::new(
-                rank::EXEC_SUPERVISION,
-                "exec-supervision",
-                Supervision::default(),
-            ),
-            heartbeat: AtomicU64::new(0),
-            epoch: Instant::now(),
+            pool: Arc::clone(&self.pool),
+            reg_index: self.next_reg_index.fetch_add(1, Ordering::Relaxed),
             batch_cap: self.cfg.batch_cap.max(1),
             deadline,
             queue_capacity: self.cfg.queue_capacity,
             plan,
         });
-        let handle = spawn_serve_thread(&rt).map_err(|e| ServeError::SpawnFailed {
-            app: name.clone(),
-            reason: e.to_string(),
-        })?;
-        *rt.thread.lock() = Some(handle);
-        self.watchdog.apps.lock().push(Arc::clone(&rt));
-        apps.insert(name, AppEntry::Dnn(Arc::new(DnnApp { rt, sample_len })));
+        let app = Arc::new(DnnApp {
+            rt,
+            sample_len,
+            sample_shape,
+        });
+        // Onto the scheduler roster (ranks: EXEC_APPS 190 < EXEC_POOL
+        // 215 — legal while holding the map). No ring needed: a fresh
+        // app has no work yet.
+        self.pool.sched.lock().roster.push(Arc::clone(&app));
+        apps.insert(name, AppEntry::Dnn(app));
         Ok(())
     }
 
     /// Registers a rigid (non-DNN) application for allocation
-    /// bookkeeping.
+    /// bookkeeping. Rigid tenants occupy registry capacity like DNN
+    /// tenants — the cap bounds the *registry*, not just the pool's
+    /// serving roster.
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::DuplicateApp`] if the name is taken.
+    /// Returns [`ServeError::DuplicateApp`] if the name is taken, or
+    /// [`ServeError::OverCapacity`] if the bounded registry is full.
     pub fn register_rigid(&self, name: impl Into<String>) -> Result<()> {
         let name = name.into();
         let mut apps = self.apps.lock();
         match apps.get(&name) {
             None | Some(AppEntry::Departed(_)) => {}
             Some(_) => return Err(ServeError::DuplicateApp { app: name }),
+        }
+        let live = apps
+            .values()
+            .filter(|e| !matches!(e, AppEntry::Departed(_)))
+            .count();
+        if live >= self.cfg.max_apps {
+            return Err(ServeError::OverCapacity {
+                app: name,
+                capacity: self.cfg.max_apps,
+            });
         }
         apps.insert(name, AppEntry::Rigid);
         Ok(())
@@ -578,13 +796,14 @@ impl Executor {
     /// Deregisters a dynamic-DNN application — the lifecycle inverse of
     /// [`Executor::register_dnn`]. In order: new submissions start
     /// refusing with the typed [`ServeError::AppDeregistered`]; the
-    /// serving thread drains every request it already admitted, exits,
-    /// and is joined; requests a *dead* thread stranded (no supervisor
-    /// restart will come) are failed with the same typed error — never
-    /// a lost ticket; the app's band is released (`band_cap` 0, not
-    /// admitted). The extended accounting invariant holds across the
-    /// transition, and the final statistics snapshot is returned to
-    /// the caller. A tombstone keeps late lookups typed (distinct from
+    /// pool drains every request the app already admitted; requests
+    /// stranded with no live driver left to drain them (every driver
+    /// dead awaiting backoff) are failed with the same typed error —
+    /// never a lost ticket; the app leaves the scheduler roster and
+    /// its band is released (`band_cap` 0, not admitted). The extended
+    /// accounting invariant holds across the transition, and the final
+    /// statistics snapshot is returned to the caller. A tombstone
+    /// keeps late lookups typed (distinct from
     /// [`ServeError::UnknownApp`]) until the name is registered again.
     ///
     /// # Errors
@@ -611,32 +830,41 @@ impl Executor {
                 None => return Err(ServeError::UnknownApp { app: app.into() }),
             }
         };
-        // Stop admissions, typed. The serving thread still drains what
-        // it already admitted: its exit condition is `stopping` *and*
-        // an empty queue.
+        // Stop admissions, typed. The pool still drains what the app
+        // already admitted: a stopping app with queued work keeps its
+        // EDF key until the queue empties.
         {
             let mut st = lock_state(&d.rt.shared);
             st.departing = true;
             st.stopping = true;
         }
-        d.rt.shared.work.notify_one();
-        // Out of the watchdog registry *before* the join, so no restart
-        // races the handle takeover. (A supervision pass already in
-        // flight from a stale registry copy is harmless: a respawned
-        // thread sees `stopping` and exits immediately.)
-        self.watchdog
-            .apps
-            .lock()
-            .retain(|rt| !Arc::ptr_eq(rt, &d.rt));
-        let handle = d.rt.thread.lock().take();
-        if let Some(t) = handle {
-            let _ = t.join();
+        d.rt.pool.ring();
+        // Wait for the pool to finish the app's admitted work. A
+        // bounded re-check (not a pure condvar wait) because two of
+        // the signals that end the wait are not the app's own idle
+        // notification: the claiming driver dying (busy stays set
+        // until the watchdog clears it) and the whole pool being dead
+        // (no drain will ever come — the stranded work is settled
+        // below).
+        {
+            let mut st = lock_state(&d.rt.shared);
+            loop {
+                let drained = st.pending.is_empty() && st.inflight.is_empty() && !st.busy;
+                if drained || d.rt.pool.live_drivers.load(Ordering::SeqCst) == 0 {
+                    break;
+                }
+                let (got, _timed_out) =
+                    d.rt.shared
+                        .state
+                        .wait_timeout(&d.rt.shared.idle, st, Duration::from_millis(5));
+                st = got;
+            }
         }
-        // A live thread drained the queue before exiting; anything left
-        // belonged to a dead thread awaiting restart. Fail it loud,
+        // Anything left had no live driver to drain it. Fail it loud,
         // keep the accounting exact, release the band.
         let stranded = {
             let mut st = lock_state(&d.rt.shared);
+            st.busy = false;
             let mut stranded: Vec<PendingRequest> = st.inflight.drain(..).collect();
             stranded.extend(st.pending.drain(..));
             st.errors += stranded.len() as u64;
@@ -649,6 +877,12 @@ impl Executor {
                 app: d.rt.name.clone(),
             }));
         }
+        // Off the scheduler roster: no driver will claim it again.
+        d.rt.pool
+            .sched
+            .lock()
+            .roster
+            .retain(|a| !Arc::ptr_eq(a, &d));
         d.rt.shared.idle.notify_all();
         Ok(snapshot_of(&d))
     }
@@ -674,7 +908,7 @@ impl Executor {
 
     /// Submits one sample (the model's per-sample input, flattened) for
     /// inference. Non-blocking: the request is queued and served by the
-    /// app's thread; the returned [`Ticket`] yields the completion.
+    /// driver pool; the returned [`Ticket`] yields the completion.
     ///
     /// # Errors
     ///
@@ -728,7 +962,7 @@ impl Executor {
         });
         st.max_depth = st.max_depth.max(st.pending.len());
         drop(st);
-        shared.work.notify_one();
+        entry.rt.pool.ring();
         Ok(Ticket {
             app: app.into(),
             seq,
@@ -738,58 +972,62 @@ impl Executor {
 
     /// Actuates an RTM allocation on the registered applications:
     /// application-layer knob commands ([`commands_for`]) are queued to
-    /// each addressed serving thread, each placed app's band cap is set
-    /// to its allocated core count and its predicted latency/cluster
-    /// recorded for the feedback loop, and apps the allocation left
-    /// unplaced stop admitting new requests until a later allocation
-    /// re-admits them. Registered apps absent from the allocation
-    /// entirely (not placed, not unplaced) are untouched.
+    /// each addressed app, each placed app's band cap is set to its
+    /// allocated core count (which is also its EDF weight on the
+    /// shared pool) and its predicted latency/cluster recorded for the
+    /// feedback loop, and apps the allocation left unplaced stop
+    /// admitting new requests until a later allocation re-admits them.
+    /// Registered apps absent from the allocation entirely (not
+    /// placed, not unplaced) are untouched.
     ///
-    /// Knob execution is asynchronous — the serving thread applies the
-    /// commands before its next batch, so an in-flight batch finishes
-    /// on the old operating point. Failures surface in
+    /// Knob execution is asynchronous — a pool driver applies the
+    /// commands before the app's next batch, so an in-flight batch
+    /// finishes on the old operating point. Failures surface in
     /// [`AppStatsSnapshot::knob_errors`].
     pub fn apply_allocation(&self, alloc: &Allocation) {
         let cmds = commands_for(alloc);
-        let apps = self.apps.lock();
-        for (name, entry) in apps.iter() {
-            let AppEntry::Dnn(app) = entry else { continue };
-            let placed = alloc.dnn(name);
-            let unplaced = alloc.unplaced.iter().any(|u| u == name);
-            if placed.is_none() && !unplaced {
-                continue;
+        {
+            let apps = self.apps.lock();
+            for (name, entry) in apps.iter() {
+                let AppEntry::Dnn(app) = entry else { continue };
+                let placed = alloc.dnn(name);
+                let unplaced = alloc.unplaced.iter().any(|u| u == name);
+                if placed.is_none() && !unplaced {
+                    continue;
+                }
+                let mut st = lock_state(&app.rt.shared);
+                if let Some(d) = placed {
+                    st.band_cap = d.point.op.cores as usize;
+                    st.predicted = Some(d.point.latency);
+                    st.cluster = Some(d.point.op.cluster);
+                    st.admitted = true;
+                    st.knobs.extend(
+                        cmds.iter()
+                            .filter(|c| {
+                                matches!(c,
+                            KnobCommand::SetWidth { app, .. }
+                            | KnobCommand::SetPrecision { app, .. } if app == name)
+                            })
+                            .cloned(),
+                    );
+                } else {
+                    st.admitted = false;
+                }
             }
-            let mut st = lock_state(&app.rt.shared);
-            if let Some(d) = placed {
-                st.band_cap = d.point.op.cores as usize;
-                st.predicted = Some(d.point.latency);
-                st.cluster = Some(d.point.op.cluster);
-                st.admitted = true;
-                st.knobs.extend(
-                    cmds.iter()
-                        .filter(|c| {
-                            matches!(c,
-                        KnobCommand::SetWidth { app, .. }
-                        | KnobCommand::SetPrecision { app, .. } if app == name)
-                        })
-                        .cloned(),
-                );
-            } else {
-                st.admitted = false;
-            }
-            drop(st);
-            app.rt.shared.work.notify_one();
         }
+        // One pool-wide ring after all apps are updated: every driver
+        // rescans against the new weights and knob queues.
+        self.pool.ring();
     }
 
-    /// Routes one knob command to the addressed application's serving
-    /// thread (the direct actuation path an RTM policy — or the
-    /// degradation ladder — uses for knobs the allocator does not
-    /// place, e.g. [`KnobCommand::SetPrecision`]). The typed result
-    /// distinguishes "this command is not the executor's to apply"
+    /// Routes one knob command to the addressed application (the
+    /// direct actuation path an RTM policy — or the degradation
+    /// ladder — uses for knobs the allocator does not place, e.g.
+    /// [`KnobCommand::SetPrecision`]). The typed result distinguishes
+    /// "this command is not the executor's to apply"
     /// ([`KnobRoute::DeviceKnob`]) from "the addressed app does not
     /// exist" ([`ServeError::UnknownApp`]); actual actuation happens
-    /// asynchronously on the serving thread, with failures counted per
+    /// asynchronously on a pool driver, with failures counted per
     /// cause in [`AppStatsSnapshot::knob_rejected`] /
     /// [`AppStatsSnapshot::knob_faulted`].
     ///
@@ -806,7 +1044,7 @@ impl Executor {
         let mut st = lock_state(&entry.rt.shared);
         st.knobs.push(cmd.clone());
         drop(st);
-        entry.rt.shared.work.notify_one();
+        entry.rt.pool.ring();
         Ok(KnobRoute::Queued)
     }
 
@@ -822,13 +1060,13 @@ impl Executor {
         let mut st = lock_state(&entry.rt.shared);
         st.armed.push(fault);
         drop(st);
-        entry.rt.shared.work.notify_one();
+        entry.rt.pool.ring();
         Ok(())
     }
 
-    /// Pauses an app's serving thread after its current batch (queued
-    /// requests stay queued; submissions still admit up to capacity).
-    /// Deterministic test hook and maintenance valve.
+    /// Pauses an app after its current batch: the pool stops claiming
+    /// it (queued requests stay queued; submissions still admit up to
+    /// capacity). Deterministic test hook and maintenance valve.
     ///
     /// # Errors
     ///
@@ -847,7 +1085,7 @@ impl Executor {
     pub fn resume(&self, app: &str) -> Result<()> {
         let entry = self.dnn_app(app)?;
         lock_state(&entry.rt.shared).paused = false;
-        entry.rt.shared.work.notify_one();
+        entry.rt.pool.ring();
         Ok(())
     }
 
@@ -906,35 +1144,47 @@ impl Executor {
         }
     }
 
-    /// Stops the watchdog and every serving thread (each after
-    /// draining its queue), and joins them all. Requests stranded by a
-    /// dead thread (no supervisor left to restart it) are failed with
-    /// a typed [`ServeError::AppStopped`]. Called by `Drop`; explicit
-    /// calls make shutdown ordering visible in tests.
+    /// Stops the watchdog and the driver pool (each driver after the
+    /// pool drains every app's admitted queue), and joins them all.
+    /// Requests stranded by a dead pool (no supervisor left to restart
+    /// it) are failed with a typed [`ServeError::AppStopped`]. Called
+    /// by `Drop`; explicit calls make shutdown ordering visible in
+    /// tests.
     pub fn shutdown(&mut self) {
-        // Watchdog first: no restarts may race the thread joins below.
+        // Watchdog first: no restarts may race the driver joins below.
         *self.watchdog.stop.lock() = true;
         self.watchdog.bell.notify_all();
         if let Some(t) = self.watchdog_thread.take() {
             let _ = t.join();
         }
-        let apps = self.apps.lock();
-        for entry in apps.values() {
-            if let AppEntry::Dnn(app) = entry {
-                lock_state(&app.rt.shared).stopping = true;
-                app.rt.shared.work.notify_one();
+        // Mark every app stopping (drivers drain queued work but take
+        // nothing new), then stop the pool itself.
+        {
+            let apps = self.apps.lock();
+            for entry in apps.values() {
+                if let AppEntry::Dnn(app) = entry {
+                    lock_state(&app.rt.shared).stopping = true;
+                }
             }
         }
-        for entry in apps.values() {
-            let AppEntry::Dnn(app) = entry else { continue };
-            let handle = app.rt.thread.lock().take();
+        {
+            self.pool.sched.lock().stopping = true;
+        }
+        self.pool.work.notify_all();
+        for drv in &self.drivers {
+            let handle = drv.thread.lock().take();
             if let Some(t) = handle {
                 let _ = t.join();
             }
-            // A live thread drained the queue before exiting; anything
-            // left belonged to a dead thread. Fail it loud and keep the
-            // accounting exact.
+        }
+        // A live pool drained every queue before exiting; anything
+        // left was stranded by dead drivers. Fail it loud and keep the
+        // accounting exact.
+        let apps = self.apps.lock();
+        for entry in apps.values() {
+            let AppEntry::Dnn(app) = entry else { continue };
             let mut st = lock_state(&app.rt.shared);
+            st.busy = false;
             let mut stranded: Vec<PendingRequest> = st.inflight.drain(..).collect();
             stranded.extend(st.pending.drain(..));
             st.errors += stranded.len() as u64;
@@ -960,7 +1210,7 @@ impl Drop for Executor {
 /// [`Executor::deregister_dnn`] returns).
 fn snapshot_of(entry: &DnnApp) -> AppStatsSnapshot {
     // Lock order everywhere: queue state before stats (the serve
-    // loop's completion path nests them in that order).
+    // path's completion section nests them in that order).
     struct QueueView {
         rejected: u64,
         errors: u64,
@@ -1025,16 +1275,16 @@ fn snapshot_of(entry: &DnnApp) -> AppStatsSnapshot {
     }
 }
 
-fn spawn_serve_thread(rt: &Arc<AppRuntime>) -> std::io::Result<JoinHandle<()>> {
-    let rt = Arc::clone(rt);
-    rt.beat(); // fresh beacon: a just-spawned thread is never "stale"
+fn spawn_driver_thread(drv: &Arc<Driver>) -> std::io::Result<JoinHandle<()>> {
+    let drv = Arc::clone(drv);
+    drv.beat(); // fresh beacon: a just-spawned driver is never "stale"
     std::thread::Builder::new()
-        .name(format!("eml-serve-{}", rt.name))
-        .spawn(move || serve_loop(&rt))
+        .name(format!("eml-serve-driver-{}", drv.index))
+        .spawn(move || driver_loop(&drv))
 }
 
-/// The supervisor tick loop: scan every app for dead or wedged serving
-/// threads until told to stop.
+/// The supervisor tick loop: scan every pool driver for death or
+/// wedge until told to stop.
 fn watchdog_loop(wd: &Watchdog, cfg: WatchdogCfg) {
     loop {
         {
@@ -1047,34 +1297,49 @@ fn watchdog_loop(wd: &Watchdog, cfg: WatchdogCfg) {
                 return;
             }
         }
-        let apps: Vec<Arc<AppRuntime>> = wd.apps.lock().clone();
-        for rt in &apps {
-            supervise(rt, &cfg);
+        for drv in &wd.drivers {
+            supervise_driver(drv, &cfg);
         }
     }
 }
 
-/// One supervision pass over one app: join+restart a dead thread,
-/// confiscate a wedged thread's batch, or respawn after backoff.
-fn supervise(rt: &Arc<AppRuntime>, cfg: &WatchdogCfg) {
-    if lock_state(&rt.shared).stopping {
-        return; // shutdown owns the threads now
+/// One supervision pass over one pool driver: join+restart a dead
+/// driver (failing its claimed app's batch and freeing the claim),
+/// confiscate a wedged driver's batch, or respawn after backoff.
+fn supervise_driver(drv: &Arc<Driver>, cfg: &WatchdogCfg) {
+    if drv.pool.sched.lock().stopping {
+        return; // shutdown owns the drivers now
     }
-    let mut th = rt.thread.lock();
+    let mut th = drv.thread.lock();
     match th.as_ref() {
         Some(handle) if handle.is_finished() => {
-            // The thread died (a panic escaped the forward's
-            // containment). Collect it, fail its in-flight batch with
-            // a typed error, and schedule a bounded-backoff restart.
+            // The driver died (a panic escaped the forward's
+            // containment). Collect it, fail the claimed app's
+            // in-flight batch with a typed error, free the claim so
+            // the surviving drivers can serve the app, and schedule a
+            // bounded-backoff restart.
             if let Some(handle) = th.take() {
                 let _ = handle.join();
             }
             drop(th);
-            fail_inflight(
-                rt,
-                "serving thread died mid-batch; supervised restart pending",
-            );
-            let mut sup = rt.lock_supervision();
+            drv.pool.live_drivers.fetch_sub(1, Ordering::SeqCst);
+            let victim = drv.current.lock().take();
+            if let Some(app) = victim {
+                fail_inflight(
+                    &app.rt,
+                    "pool driver died mid-batch; supervised restart pending",
+                );
+                {
+                    let mut st = lock_state(&app.rt.shared);
+                    st.busy = false;
+                }
+                // The restart is charged to the app whose batch killed
+                // the driver — the per-tenant signal the control plane
+                // and the chaos suites key off.
+                app.rt.lock_stats().restarts += 1;
+            }
+            drv.pool.ring();
+            let mut sup = drv.supervision.lock();
             let delay = cfg
                 .backoff
                 .saturating_mul(2u32.saturating_pow(sup.streak.min(16)))
@@ -1085,7 +1350,7 @@ fn supervise(rt: &Arc<AppRuntime>, cfg: &WatchdogCfg) {
         None => {
             // Dead and waiting out the backoff: respawn when due.
             let due = {
-                let mut sup = rt.lock_supervision();
+                let mut sup = drv.supervision.lock();
                 if sup.restart_at.is_some_and(|at| Instant::now() >= at) {
                     sup.restart_at = None;
                     true
@@ -1094,12 +1359,12 @@ fn supervise(rt: &Arc<AppRuntime>, cfg: &WatchdogCfg) {
                 }
             };
             if due {
-                match spawn_serve_thread(rt) {
+                match spawn_driver_thread(drv) {
                     Ok(handle) => {
                         *th = Some(handle);
                         drop(th);
-                        rt.lock_stats().restarts += 1;
-                        rt.shared.work.notify_one();
+                        drv.pool.live_drivers.fetch_add(1, Ordering::SeqCst);
+                        drv.pool.ring();
                     }
                     Err(_) => {
                         // The OS refused the thread (descriptor or
@@ -1107,7 +1372,7 @@ fn supervise(rt: &Arc<AppRuntime>, cfg: &WatchdogCfg) {
                         // retry on a later watchdog tick instead of
                         // taking the supervisor down.
                         drop(th);
-                        let mut sup = rt.lock_supervision();
+                        let mut sup = drv.supervision.lock();
                         let delay = cfg
                             .backoff
                             .saturating_mul(2u32.saturating_pow(sup.streak.min(16)))
@@ -1120,19 +1385,25 @@ fn supervise(rt: &Arc<AppRuntime>, cfg: &WatchdogCfg) {
         }
         Some(_) => {
             drop(th);
-            // Alive but possibly wedged: work in flight with a stale
-            // heartbeat means the forward has been stuck past the
-            // stall budget. Confiscate the batch; if the forward later
-            // recovers, the thread finds the in-flight set empty and
-            // discards its results.
-            if rt.heartbeat_age() > cfg.stall {
-                let confiscated = {
-                    let st = lock_state(&rt.shared);
-                    !st.inflight.is_empty()
-                };
-                if confiscated {
-                    fail_inflight(rt, "forward pass stalled past the stall timeout");
-                    rt.lock_stats().stalls += 1;
+            // Alive but possibly wedged: a claim in flight with a
+            // stale heartbeat means the forward has been stuck past
+            // the stall budget. Confiscate the batch; if the forward
+            // later recovers, the driver finds the in-flight set
+            // empty and discards its results. (An *idle* driver's
+            // heartbeat also goes stale while it waits for work — but
+            // idle drivers hold no claim, so `current` is `None` and
+            // nothing is confiscated.)
+            if drv.heartbeat_age() > cfg.stall {
+                let current = drv.current.lock().clone();
+                if let Some(app) = current {
+                    let confiscated = {
+                        let st = lock_state(&app.rt.shared);
+                        !st.inflight.is_empty()
+                    };
+                    if confiscated {
+                        fail_inflight(&app.rt, "forward pass stalled past the stall timeout");
+                        app.rt.lock_stats().stalls += 1;
+                    }
                 }
             }
         }
@@ -1140,7 +1411,7 @@ fn supervise(rt: &Arc<AppRuntime>, cfg: &WatchdogCfg) {
 }
 
 /// Fails the app's in-flight batch with a typed inference error (the
-/// supervisor's path for dead and wedged threads).
+/// supervisor's path for dead and wedged drivers).
 fn fail_inflight(rt: &AppRuntime, reason: &str) {
     let batch = {
         let mut st = lock_state(&rt.shared);
@@ -1160,8 +1431,8 @@ fn fail_inflight(rt: &AppRuntime, reason: &str) {
     }
 }
 
-/// Applies queued knob commands on the serving thread (where the model
-/// lives) via the core knob executor, recording the resulting
+/// Applies queued knob commands on a pool driver (which holds the
+/// model lock) via the core knob executor, recording the resulting
 /// level/precision — and any failure, counted per cause — in the app's
 /// stats. `faulted` is the number of leading commands an injected
 /// actuation fault drops.
@@ -1250,8 +1521,110 @@ fn inject_storm(st: &mut QueueState, n: usize, capacity: usize) {
     st.max_depth = st.max_depth.max(st.pending.len());
 }
 
+/// The shared pool's scheduling key, in *ascending* urgency order:
+/// pending knob work first (cheap, and the control plane's actuation
+/// latency rides on it), then weighted-EDF virtual deadlines —
+/// smaller is sooner. Ties break on registration index, so the order
+/// is total and deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum SchedKey {
+    /// The app has queued knob commands (and is claimable): actuate
+    /// before any batch work, in registration order.
+    Knob(u64),
+    /// Weighted earliest-deadline-first: the virtual deadline of the
+    /// app's oldest pending request (offset from the pool epoch),
+    /// then the registration-order tie-break.
+    Edf(Duration, u64),
+}
+
+/// The claimability and urgency of one app, computed under its queue
+/// lock during a driver's roster scan. `None` means not claimable:
+/// already claimed (`busy`), paused, stopped-and-empty, or simply
+/// idle.
+///
+/// The virtual deadline is `arrival + budget / weight`: an app's
+/// latency budget (its deadline requirement, or
+/// [`DEFAULT_EDF_BUDGET_SECS`] for best-effort apps) scaled down by
+/// its RTM band allocation. A fatter band means less slack added to
+/// the arrival time — the pool serves better-allocated tenants
+/// sooner, which is exactly the weighted share the starvation
+/// regression pins.
+fn sched_key(st: &QueueState, rt: &AppRuntime, pool_epoch: Instant) -> Option<SchedKey> {
+    if st.busy {
+        return None;
+    }
+    if st.stopping && st.pending.is_empty() {
+        return None;
+    }
+    if !st.knobs.is_empty() {
+        return Some(SchedKey::Knob(rt.reg_index));
+    }
+    if (st.paused && !st.stopping) || st.pending.is_empty() {
+        return None;
+    }
+    let oldest = st.pending.front()?;
+    let budget = rt
+        .deadline
+        .map_or(DEFAULT_EDF_BUDGET_SECS, |d| d.as_secs().max(0.0));
+    let weight = st.band_cap.max(1) as f64;
+    let virtual_deadline = oldest.submitted.saturating_duration_since(pool_epoch)
+        + Duration::from_secs_f64(budget / weight);
+    Some(SchedKey::Edf(virtual_deadline, rt.reg_index))
+}
+
+/// Claims the most urgent runnable app for this driver, or blocks
+/// until one appears. Returns `None` only when the pool is stopping
+/// and nothing is left to drain — the driver's exit condition.
+///
+/// The scan holds the pool scheduler lock throughout (ranks: the
+/// scheduler at `EXEC_POOL` below each app's `EXEC_QUEUE`, so peeking
+/// at queue state inside the scan is rank-legal), and the condvar
+/// wait releases it atomically — with [`PoolShared::ring`] taking the
+/// same lock before notifying, a wakeup can never fall between a
+/// driver's decision to sleep and its sleep.
+fn next_app(drv: &Driver) -> Option<Arc<DnnApp>> {
+    let pool = &drv.pool;
+    let mut ps = pool.sched.lock();
+    loop {
+        drv.beat();
+        let mut best: Option<(SchedKey, Arc<DnnApp>)> = None;
+        for app in &ps.roster {
+            let key = {
+                let st = lock_state(&app.rt.shared);
+                sched_key(&st, &app.rt, pool.epoch)
+            };
+            if let Some(key) = key {
+                // `match`, not `map_or`: the strict-less comparison
+                // keeps the earliest key and the earliest-registered
+                // app on ties.
+                match &best {
+                    Some((b, _)) if *b <= key => {}
+                    _ => best = Some((key, Arc::clone(app))),
+                }
+            }
+        }
+        if let Some((_, app)) = best {
+            // Re-verify under the app lock before claiming: another
+            // actor (watchdog confiscation, a racing drain) may have
+            // changed the queue between the scan's peek and now.
+            {
+                let mut st = lock_state(&app.rt.shared);
+                if sched_key(&st, &app.rt, pool.epoch).is_none() {
+                    continue;
+                }
+                st.busy = true;
+            }
+            return Some(app);
+        }
+        if ps.stopping {
+            return None;
+        }
+        ps = pool.sched.wait(&pool.work, ps);
+    }
+}
+
 /// One unit of serving work handed from the locked dispatch section to
-/// the (unlocked) execution section of the serve loop. The batch
+/// the (unlocked) execution section of a driver's claim. The batch
 /// itself stays in `QueueState::inflight`; only the flattened input
 /// data travels.
 struct Dispatch {
@@ -1265,23 +1638,13 @@ struct Dispatch {
     crash: bool,
 }
 
-/// The locked half of one serve-loop iteration: wait for work, shed
-/// expired requests, evaluate fault triggers, and move a batch into
-/// the in-flight slot. Returns `None` when the thread should exit.
-fn next_dispatch(
-    rt: &AppRuntime,
-    per_sample_ewma: Option<f64>,
-    sample_len: usize,
-) -> Option<Dispatch> {
+/// The locked half of serving one claim: shed expired requests,
+/// evaluate fault triggers, and move a batch into the in-flight slot.
+/// Returns `None` when the claim has nothing to do (everything shed,
+/// or the app stopped between claim and dispatch) — the caller just
+/// releases the claim.
+fn build_dispatch(rt: &AppRuntime) -> Option<Dispatch> {
     let mut st = lock_state(&rt.shared);
-    loop {
-        let pausing = st.paused && !st.stopping;
-        let has_work = !st.knobs.is_empty() || (!pausing && !st.pending.is_empty()) || st.stopping;
-        if has_work {
-            break;
-        }
-        st = rt.shared.state.wait(&rt.shared.work, st);
-    }
     let pausing = st.paused && !st.stopping;
     if !pausing {
         if let Some(d) = rt.deadline {
@@ -1293,12 +1656,13 @@ fn next_dispatch(
     }
     let knobs: Vec<KnobCommand> = st.knobs.drain(..).collect();
     if st.stopping && st.pending.is_empty() {
-        drop(st);
-        rt.shared.idle.notify_all();
         return None;
     }
     if pausing || st.pending.is_empty() {
-        // Knob-only wakeup (or everything shed): no batch dispatched.
+        // Knob-only claim (or everything shed): no batch dispatched.
+        if knobs.is_empty() {
+            return None;
+        }
         let knob_faults = st.knob_fault_budget.min(knobs.len() as u32);
         st.knob_fault_budget -= knob_faults;
         return Some(Dispatch {
@@ -1317,7 +1681,7 @@ fn next_dispatch(
     // to cover — batching amortises per-pass overhead only while it
     // does not itself cause the miss.
     let mut k = st.pending.len().min(rt.batch_cap);
-    if let (Some(d), Some(s)) = (rt.deadline, per_sample_ewma) {
+    if let (Some(d), Some(s)) = (rt.deadline, st.ewma) {
         let oldest = st
             .pending
             .front()
@@ -1360,7 +1724,7 @@ fn next_dispatch(
     // Move the batch into the supervised in-flight slot, copying its
     // inputs into one contiguous buffer for the batched forward.
     let batch: Vec<PendingRequest> = st.pending.drain(..k).collect();
-    let mut data = Vec::with_capacity(k * sample_len);
+    let mut data = Vec::with_capacity(batch.iter().map(|r| r.input.len()).sum());
     for r in &batch {
         data.extend_from_slice(&r.input);
     }
@@ -1387,163 +1751,185 @@ fn spin_for(d: Duration) {
     }
 }
 
-/// The per-app serving loop. See the module docs for the lifecycle.
-fn serve_loop(rt: &AppRuntime) {
-    let sample_shape = rt.lock_model().network().input_shape().to_vec();
-    let sample_len: usize = sample_shape.iter().product();
-    // EWMA of per-sample service time (seconds), for deadline-aware
-    // batch sizing. Seeded by the first batch; injected spike delays
-    // are excluded so coalescing stays deterministic across a fault.
-    let mut per_sample_ewma: Option<f64> = None;
+/// Releases a driver's claim on an app: clears `busy`, signals idle
+/// watchers if the app has fully drained, and rings the pool — other
+/// drivers may have gone to sleep seeing the app claimed, and its
+/// queue may hold more work.
+fn release(rt: &AppRuntime, pool: &PoolShared) {
+    let mut st = lock_state(&rt.shared);
+    st.busy = false;
+    if st.pending.is_empty() && st.inflight.is_empty() {
+        rt.shared.idle.notify_all();
+    }
+    drop(st);
+    pool.ring();
+}
+
+/// The pool driver loop: claim the most urgent runnable app, publish
+/// the claim (so the watchdog knows whose batch to fail if this
+/// driver dies), serve one dispatch, release, repeat.
+fn driver_loop(drv: &Arc<Driver>) {
     loop {
-        rt.beat();
-        let Some(d) = next_dispatch(rt, per_sample_ewma, sample_len) else {
+        drv.beat();
+        let Some(app) = next_app(drv) else {
             return;
         };
-        if !d.knobs.is_empty() {
-            let mut model = rt.lock_model();
-            apply_knobs(&rt.name, &mut model, &d.knobs, &rt.stats, d.knob_faults);
-        }
-        if d.k == 0 {
-            continue;
-        }
-        if d.crash {
-            // Deliberately *outside* the forward's containment: this
-            // kills the serving thread mid-batch, which is exactly the
-            // failure the watchdog supervises.
-            panic!("injected fault: serving thread crash (`{}`)", rt.name);
-        }
+        *drv.current.lock() = Some(Arc::clone(&app));
+        serve_app(drv, &app);
+        drv.current.lock().take();
+    }
+}
 
-        let k = d.k;
-        let mut shape = Vec::with_capacity(1 + sample_shape.len());
-        shape.push(k);
-        shape.extend_from_slice(&sample_shape);
-        let data = d.data;
-        rt.beat();
-        let t0 = Instant::now();
-        // A panicking model (poisoned weights, a debug assertion in a
-        // kernel) must not wedge the tenant: contain the unwind, turn
-        // it into a typed error for every rider, and keep serving.
-        // The model's internal scratch is resize-then-overwrite, so a
-        // mid-forward unwind leaves no state a later forward reads.
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            if !d.delay.is_zero() {
-                spin_for(d.delay);
-            }
-            if d.panic_forward {
-                panic!("injected fault: forward panic");
-            }
-            Tensor::from_vec(&shape, data).and_then(|input| {
-                eml_nn::workers::with_band_cap(d.band_cap, || {
-                    rt.lock_model().network_mut().forward(&input, false)
-                })
-            })
-        }))
-        .unwrap_or_else(|panic| {
-            let reason = panic
-                .downcast_ref::<&str>()
-                .map(|s| (*s).to_string())
-                .or_else(|| panic.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "<non-string panic payload>".into());
-            Err(eml_nn::NnError::InvalidConfig {
-                reason: format!("forward pass panicked: {reason}"),
-            })
-        });
-        rt.beat();
-        let service = t0.elapsed();
-        let service_span = TimeSpan::from_secs(service.as_secs_f64());
+/// Serves one claimed app: one knob drain and/or one micro-batch
+/// forward, then release. The claim (`busy`) is held throughout, so
+/// per-app batches never interleave across drivers.
+fn serve_app(drv: &Driver, app: &DnnApp) {
+    let rt = &app.rt;
+    let Some(d) = build_dispatch(rt) else {
+        release(rt, &drv.pool);
+        return;
+    };
+    if !d.knobs.is_empty() {
+        let mut model = rt.lock_model();
+        apply_knobs(&rt.name, &mut model, &d.knobs, &rt.stats, d.knob_faults);
+    }
+    if d.k == 0 {
+        release(rt, &drv.pool);
+        return;
+    }
+    if d.crash {
+        // Deliberately *outside* the forward's containment: this
+        // kills the pool driver mid-batch, which is exactly the
+        // failure the watchdog supervises.
+        panic!("injected fault: serving thread crash (`{}`)", rt.name);
+    }
 
-        // Take the batch back from the supervised slot and settle its
-        // accounting inside the same critical section. To a concurrent
-        // observer (`drain_app` watching for idle, `stats()` reading a
-        // snapshot) every request is either still in flight or already
-        // counted — there is no instant where the queue looks empty
-        // while the batch's outcomes are still unrecorded. An empty
-        // slot means the watchdog declared this pass wedged and
-        // already answered the riders — discard the (stale) results
-        // and keep serving.
-        let mut st = lock_state(&rt.shared);
-        let batch = std::mem::take(&mut st.inflight);
-        if batch.is_empty() {
+    let k = d.k;
+    let mut shape = Vec::with_capacity(1 + app.sample_shape.len());
+    shape.push(k);
+    shape.extend_from_slice(&app.sample_shape);
+    let data = d.data;
+    drv.beat();
+    let t0 = Instant::now();
+    // A panicking model (poisoned weights, a debug assertion in a
+    // kernel) must not wedge the tenant: contain the unwind, turn
+    // it into a typed error for every rider, and keep serving.
+    // The model's internal scratch is resize-then-overwrite, so a
+    // mid-forward unwind leaves no state a later forward reads.
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if !d.delay.is_zero() {
+            spin_for(d.delay);
+        }
+        if d.panic_forward {
+            panic!("injected fault: forward panic");
+        }
+        Tensor::from_vec(&shape, data).and_then(|input| {
+            eml_nn::workers::with_band_cap(d.band_cap, || {
+                rt.lock_model().network_mut().forward(&input, false)
+            })
+        })
+    }))
+    .unwrap_or_else(|panic| {
+        let reason = panic
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| panic.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "<non-string panic payload>".into());
+        Err(eml_nn::NnError::InvalidConfig {
+            reason: format!("forward pass panicked: {reason}"),
+        })
+    });
+    drv.beat();
+    let service = t0.elapsed();
+    let service_span = TimeSpan::from_secs(service.as_secs_f64());
+
+    // Take the batch back from the supervised slot and settle its
+    // accounting inside the same critical section. To a concurrent
+    // observer (`drain_app` watching for idle, `stats()` reading a
+    // snapshot) every request is either still in flight or already
+    // counted — there is no instant where the queue looks empty
+    // while the batch's outcomes are still unrecorded. An empty
+    // slot means the watchdog declared this pass wedged and
+    // already answered the riders — discard the (stale) results
+    // and keep serving.
+    let mut st = lock_state(&rt.shared);
+    let batch = std::mem::take(&mut st.inflight);
+    if batch.is_empty() {
+        drop(st);
+        release(rt, &drv.pool);
+        return;
+    }
+    let k = batch.len();
+
+    match result {
+        Ok(logits) => {
+            let classes = logits.shape()[1];
+            let rows = logits.data();
+            // `st` (queue) then `stats` is the crate's lock order.
+            let mut sends = Vec::with_capacity(k);
+            {
+                let mut s = rt.lock_stats();
+                s.batches += 1;
+                s.batched_samples += k as u64;
+                for (i, req) in batch.into_iter().enumerate() {
+                    let row = rows[i * classes..(i + 1) * classes].to_vec();
+                    // Total order: a NaN logit (a client-submitted
+                    // NaN sample propagates on the f32 path) must
+                    // yield *a* prediction, not a panic — the NaN
+                    // is visible to the caller in the logits row.
+                    let pred = row
+                        .iter()
+                        .enumerate()
+                        .max_by(|a, b| a.1.total_cmp(b.1))
+                        .map_or(0, |(c, _)| c);
+                    let latency_s = req.submitted.elapsed().as_secs_f64();
+                    let met = rt.deadline.map(|dl| latency_s <= dl.as_secs());
+                    s.record(req.seq, latency_s, met);
+                    sends.push((
+                        req.tx,
+                        Completion {
+                            seq: req.seq,
+                            logits: row,
+                            pred,
+                            latency: TimeSpan::from_secs(latency_s),
+                            service: service_span,
+                            batch_size: k,
+                            deadline_met: met,
+                        },
+                    ));
+                }
+            }
+            // The operating point's cost, not the fault's: exclude
+            // injected spike time from the coalescing estimate.
+            let modelled = service.saturating_sub(d.delay);
+            let per_sample = modelled.as_secs_f64() / k as f64;
+            st.ewma = Some(match st.ewma {
+                None => per_sample,
+                Some(prev) => 0.7 * prev + 0.3 * per_sample,
+            });
             drop(st);
-            continue;
-        }
-        let k = batch.len();
-
-        match result {
-            Ok(logits) => {
-                let classes = logits.shape()[1];
-                let rows = logits.data();
-                // `st` (queue) then `stats` is the crate's lock order.
-                let mut sends = Vec::with_capacity(k);
-                {
-                    let mut s = rt.lock_stats();
-                    s.batches += 1;
-                    s.batched_samples += k as u64;
-                    for (i, req) in batch.into_iter().enumerate() {
-                        let row = rows[i * classes..(i + 1) * classes].to_vec();
-                        // Total order: a NaN logit (a client-submitted
-                        // NaN sample propagates on the f32 path) must
-                        // yield *a* prediction, not a panic — the NaN
-                        // is visible to the caller in the logits row.
-                        let pred = row
-                            .iter()
-                            .enumerate()
-                            .max_by(|a, b| a.1.total_cmp(b.1))
-                            .map_or(0, |(c, _)| c);
-                        let latency_s = req.submitted.elapsed().as_secs_f64();
-                        let met = rt.deadline.map(|dl| latency_s <= dl.as_secs());
-                        s.record(req.seq, latency_s, met);
-                        sends.push((
-                            req.tx,
-                            Completion {
-                                seq: req.seq,
-                                logits: row,
-                                pred,
-                                latency: TimeSpan::from_secs(latency_s),
-                                service: service_span,
-                                batch_size: k,
-                                deadline_met: met,
-                            },
-                        ));
-                    }
-                }
-                drop(st);
-                for (tx, completion) in sends {
-                    let _ = tx.send(Ok(completion));
-                }
-                // The operating point's cost, not the fault's: exclude
-                // injected spike time from the coalescing estimate.
-                let modelled = service.saturating_sub(d.delay);
-                let per_sample = modelled.as_secs_f64() / k as f64;
-                per_sample_ewma = Some(match per_sample_ewma {
-                    None => per_sample,
-                    Some(prev) => 0.7 * prev + 0.3 * per_sample,
-                });
-            }
-            Err(e) => {
-                // Loud failure: every rider gets the typed error, and
-                // the error counter keeps the extended accounting
-                // invariant balanced.
-                st.errors += k as u64;
-                drop(st);
-                for req in batch {
-                    let _ = req.tx.send(Err(ServeError::Inference {
-                        app: rt.name.clone(),
-                        reason: e.to_string(),
-                    }));
-                }
+            for (tx, completion) in sends {
+                let _ = tx.send(Ok(completion));
             }
         }
-        // A completed pass (even a typed failure) proves the thread
-        // healthy: reset the restart-backoff streak.
-        rt.lock_supervision().streak = 0;
-
-        let st = lock_state(&rt.shared);
-        if st.pending.is_empty() && st.inflight.is_empty() {
-            rt.shared.idle.notify_all();
+        Err(e) => {
+            // Loud failure: every rider gets the typed error, and
+            // the error counter keeps the extended accounting
+            // invariant balanced.
+            st.errors += k as u64;
+            drop(st);
+            for req in batch {
+                let _ = req.tx.send(Err(ServeError::Inference {
+                    app: rt.name.clone(),
+                    reason: e.to_string(),
+                }));
+            }
         }
     }
+    // A completed pass (even a typed failure) proves the driver
+    // healthy: reset the restart-backoff streak.
+    drv.supervision.lock().streak = 0;
+    release(rt, &drv.pool);
 }
 
 #[cfg(test)]
@@ -1623,7 +2009,7 @@ mod tests {
             ..ExecutorConfig::default()
         });
         exec.pause("cam").unwrap();
-        // The paused worker takes nothing: exactly `capacity` fit.
+        // The paused app is never claimed: exactly `capacity` fit.
         let tickets: Vec<Ticket> = (0..3)
             .map(|i| exec.submit("cam", &sample(i as f32 * 0.1)).unwrap())
             .collect();
@@ -1645,7 +2031,9 @@ mod tests {
         assert_eq!(s.rejected, 1);
         assert_eq!(s.max_queue_depth, 3);
         assert!(s.max_queue_depth <= exec.config().queue_capacity);
-        // The resumed worker coalesced: fewer batches than requests.
+        // The claim serialises per-app batches even on a multi-driver
+        // pool, so the resumed app coalesced: fewer batches than
+        // requests.
         assert!(s.batches <= 2, "batch cap 2 over 3 queued: {s:?}");
         assert_accounting(&s, 4);
     }
@@ -1742,8 +2130,8 @@ mod tests {
 
     /// A hostile sample (NaN) must not wedge the tenant: the request
     /// completes (NaN visible in the logits on the f32 path, or a
-    /// typed inference error if a kernel guard trips), and the serving
-    /// thread keeps serving clean requests afterwards.
+    /// typed inference error if a kernel guard trips), and the pool
+    /// keeps serving clean requests afterwards.
     #[test]
     fn nan_sample_does_not_wedge_the_serving_thread() {
         let exec = tiny_executor(ExecutorConfig::default());
@@ -1754,7 +2142,7 @@ mod tests {
             Err(ServeError::Inference { .. }) => {} // kernel guard: typed, loud
             Err(e) => panic!("unexpected: {e}"),
         }
-        // The thread is alive and the queue drains.
+        // The pool is alive and the queue drains.
         let done = exec
             .submit("cam", &sample(0.5))
             .unwrap()
@@ -1775,7 +2163,7 @@ mod tests {
         exec.shutdown();
         for t in &tickets {
             t.wait_timeout(TIMEOUT)
-                .expect("queued requests complete before the thread exits");
+                .expect("queued requests complete before the pool exits");
         }
         assert!(matches!(
             exec.submit("cam", &sample(0.1)),
@@ -1869,23 +2257,28 @@ mod tests {
     #[test]
     fn crash_fault_triggers_supervised_restart_with_typed_errors() {
         let plan = FaultPlan::new().with_fault("cam", 0, FaultKind::CrashThread);
+        // One driver, so the follow-up request cannot be served until
+        // the watchdog has reaped the corpse and respawned it — the
+        // restart count is deterministically 1 when the second
+        // completion arrives.
         let exec = tiny_executor(ExecutorConfig {
             fault_plan: Some(Arc::new(plan)),
+            pool_workers: 1,
             watchdog_interval: Duration::from_millis(2),
             restart_backoff: Duration::from_millis(2),
             ..ExecutorConfig::default()
         });
         let t = exec.submit("cam", &sample(0.3)).unwrap();
-        // The watchdog fails the dead thread's in-flight batch…
+        // The watchdog fails the dead driver's in-flight batch…
         assert!(matches!(
             t.wait_timeout(TIMEOUT),
             Err(ServeError::Inference { .. })
         ));
-        // …and the restarted thread serves the next request.
+        // …and the restarted driver serves the next request.
         exec.submit("cam", &sample(0.4))
             .unwrap()
             .wait_timeout(TIMEOUT)
-            .expect("restarted thread serves");
+            .expect("restarted driver serves");
         exec.drain();
         let s = exec.stats("cam").unwrap();
         assert_eq!(s.restarts, 1, "{s:?}");
@@ -1974,7 +2367,7 @@ mod tests {
     fn stalled_forward_is_confiscated_and_serving_recovers() {
         // A 300 ms spike against a 40 ms stall budget: the watchdog
         // declares the pass wedged, answers the rider with a typed
-        // error, and the recovered thread's stale results are dropped.
+        // error, and the recovered driver's stale results are dropped.
         let plan = FaultPlan::new().with_fault(
             "cam",
             0,
@@ -2004,7 +2397,9 @@ mod tests {
             t0.elapsed() < Duration::from_millis(290),
             "the rider was answered before the wedged pass finished"
         );
-        // The thread recovered; fresh work serves.
+        // The driver recovered; fresh work serves. (The app stays
+        // claimed — busy — for the whole wedge, so no other driver
+        // interleaves with the stuck pass.)
         exec.submit("cam", &sample(0.2))
             .unwrap()
             .wait_timeout(TIMEOUT)
@@ -2043,8 +2438,9 @@ mod tests {
             .map(|_| exec.submit("cam", &sample(0.2)).unwrap())
             .collect();
         let snap = exec.deregister_dnn("cam").unwrap();
-        // The live thread drained everything it had admitted before
-        // exiting; every ticket is answered (completion or typed shed).
+        // The pool drained everything the app had admitted before it
+        // left the roster; every ticket is answered (completion or
+        // typed shed).
         for t in &tickets {
             match t.wait_timeout(TIMEOUT) {
                 Ok(_) | Err(ServeError::DeadlineExpired { .. }) => {}
@@ -2104,12 +2500,13 @@ mod tests {
 
     #[test]
     fn deregister_fails_a_dead_threads_stranded_queue_typed() {
-        // Crash the thread on its first batch and park the restart far
-        // in the future: the queue that accumulates behind the corpse
-        // must be settled by deregistration, not lost.
+        // Crash the pool's only driver on its first batch and park the
+        // restart far in the future: the queue that accumulates behind
+        // the corpse must be settled by deregistration, not lost.
         let plan = FaultPlan::new().with_fault("cam", 0, FaultKind::CrashThread);
         let exec = tiny_executor(ExecutorConfig {
             fault_plan: Some(Arc::new(plan)),
+            pool_workers: 1,
             watchdog_interval: Duration::from_millis(2),
             restart_backoff: Duration::from_secs(30),
             restart_backoff_max: Duration::from_secs(30),
@@ -2170,5 +2567,83 @@ mod tests {
             .unwrap();
         exec.drain();
         assert_eq!(exec.stats("cam").unwrap().completed, 4);
+    }
+
+    #[test]
+    fn registry_cap_refuses_with_typed_over_capacity() {
+        let exec = Executor::new(ExecutorConfig {
+            max_apps: 2,
+            ..ExecutorConfig::default()
+        });
+        exec.register_dnn("cam", testbed::tiny_dnn(1), &Requirements::new())
+            .unwrap();
+        exec.register_rigid("vr").unwrap();
+        // Both registration surfaces refuse past the cap, typed.
+        assert_eq!(
+            exec.register_dnn("mic", testbed::tiny_dnn(2), &Requirements::new())
+                .unwrap_err(),
+            ServeError::OverCapacity {
+                app: "mic".into(),
+                capacity: 2
+            }
+        );
+        assert_eq!(
+            exec.register_rigid("gps").unwrap_err(),
+            ServeError::OverCapacity {
+                app: "gps".into(),
+                capacity: 2
+            }
+        );
+        // Departing a tenant frees its slot: tombstones do not count
+        // against the cap, so churn does not leak capacity.
+        exec.deregister_dnn("cam").unwrap();
+        exec.register_dnn("mic", testbed::tiny_dnn(2), &Requirements::new())
+            .unwrap();
+        exec.submit("mic", &sample(0.2))
+            .unwrap()
+            .wait_timeout(TIMEOUT)
+            .unwrap();
+        exec.drain();
+        assert_eq!(exec.stats("mic").unwrap().completed, 1);
+    }
+
+    #[test]
+    fn driver_pool_size_is_independent_of_tenant_count() {
+        let exec = Executor::new(ExecutorConfig {
+            pool_workers: 2,
+            ..ExecutorConfig::default()
+        });
+        for i in 0..12u64 {
+            exec.register_dnn(
+                format!("app-{i:02}"),
+                testbed::tiny_dnn(i),
+                &Requirements::new().with_max_latency(TimeSpan::from_secs(10.0)),
+            )
+            .unwrap();
+        }
+        let p = exec.pool_stats();
+        assert_eq!((p.drivers, p.live_drivers), (2, 2), "{p:?}");
+        assert_eq!(p.apps, 12);
+        // Serve one request per tenant through the two drivers.
+        let tickets: Vec<Ticket> = (0..12)
+            .map(|i| exec.submit(&format!("app-{i:02}"), &sample(0.1)).unwrap())
+            .collect();
+        for t in &tickets {
+            t.wait_timeout(TIMEOUT).unwrap();
+        }
+        exec.drain();
+        for i in 0..12 {
+            let s = exec.stats(&format!("app-{i:02}")).unwrap();
+            assert_eq!(s.completed, 1, "app-{i:02}: {s:?}");
+            assert_eq!(s.out_of_order, 0);
+        }
+        // Twelve tenants, still exactly two drivers: the pool never
+        // grew with the tenant count.
+        let p = exec.pool_stats();
+        assert_eq!(
+            (p.drivers, p.live_drivers),
+            (2, 2),
+            "pool grew with tenants: {p:?}"
+        );
     }
 }

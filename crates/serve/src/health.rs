@@ -40,6 +40,13 @@ pub struct HealthConfig {
     pub w_miss: f32,
     /// Penalty at a full queue (scaled linearly with depth/capacity).
     pub w_queue: f32,
+    /// Penalty at full *pool-wide* queue pressure (scaled linearly).
+    /// Since the shared worker pool, a tenant's latency depends on the
+    /// whole roster's backlog, not just its own queue — this term folds
+    /// [`crate::Executor::pool_pressure`] into every app's score. Set
+    /// it to `0.0` in deterministic soaks: pool depth is timing
+    /// dependent.
+    pub w_pool_queue: f32,
     /// Flat penalty while deadline sheds keep occurring.
     pub w_shed: f32,
     /// Flat penalty while supervised restarts keep occurring.
@@ -59,6 +66,7 @@ impl Default for HealthConfig {
         Self {
             w_miss: 80.0,
             w_queue: 50.0,
+            w_pool_queue: 15.0,
             w_shed: 45.0,
             w_restart: 25.0,
             w_stall: 25.0,
@@ -170,13 +178,17 @@ impl EventWatermark {
 /// penalties, clamped to `[0, 100]`.
 ///
 /// `queue_capacity` is the executor's configured per-app bound (the
-/// denominator of the queue-pressure term); `fresh` is the event delta
-/// since the caller's previous observation (see [`EventWatermark`]).
+/// denominator of the queue-pressure term); `pool_pressure` is the
+/// shared pool's aggregate backlog fraction
+/// ([`crate::Executor::pool_pressure`], `0.0` to opt out); `fresh` is
+/// the event delta since the caller's previous observation (see
+/// [`EventWatermark`]).
 #[must_use]
 pub fn score(
     cfg: &HealthConfig,
     snap: &AppStatsSnapshot,
     queue_capacity: usize,
+    pool_pressure: f32,
     fresh: &FreshEvents,
 ) -> f32 {
     let mut penalty = 0.0f32;
@@ -187,6 +199,7 @@ pub fn score(
         let frac = (snap.queue_depth as f32 / queue_capacity as f32).min(1.0);
         penalty += cfg.w_queue * frac;
     }
+    penalty += cfg.w_pool_queue * pool_pressure.clamp(0.0, 1.0);
     if fresh.shed > 0 {
         penalty += cfg.w_shed;
     }
@@ -335,6 +348,7 @@ impl HealthMonitor {
         let names = exec.app_names();
         self.marks.retain(|n, _| names.iter().any(|m| m == n));
         let capacity = exec.config().queue_capacity;
+        let pool_pressure = exec.pool_pressure();
         let mut apps = Vec::with_capacity(names.len());
         let mut aggregate = 100.0f32;
         for name in names {
@@ -346,7 +360,7 @@ impl HealthMonitor {
                 .entry(name.clone())
                 .or_insert_with(|| EventWatermark::seeded(&snap));
             let fresh = mark.advance(&snap);
-            let s = score(&self.cfg, &snap, capacity, &fresh);
+            let s = score(&self.cfg, &snap, capacity, pool_pressure, &fresh);
             aggregate = aggregate.min(s);
             apps.push(AppHealth {
                 app: name,
@@ -415,7 +429,7 @@ mod tests {
     #[test]
     fn score_is_perfect_when_clean_and_banded() {
         let cfg = HealthConfig::default();
-        let s = score(&cfg, &snap(), 64, &FreshEvents::default());
+        let s = score(&cfg, &snap(), 64, 0.0, &FreshEvents::default());
         assert!((s - 100.0).abs() < f32::EPSILON);
         assert_eq!(HealthBand::of(s), HealthBand::Healthy);
         assert_eq!(HealthBand::of(79.9), HealthBand::Degraded);
@@ -430,14 +444,14 @@ mod tests {
         s.window_miss_rate = 1.0;
         s.window_outcomes = cfg.min_outcomes - 1;
         assert!(
-            (score(&cfg, &s, 64, &FreshEvents::default()) - 100.0).abs() < f32::EPSILON,
+            (score(&cfg, &s, 64, 0.0, &FreshEvents::default()) - 100.0).abs() < f32::EPSILON,
             "too few outcomes: not evidence"
         );
         s.window_outcomes = cfg.min_outcomes;
-        let full = score(&cfg, &s, 64, &FreshEvents::default());
+        let full = score(&cfg, &s, 64, 0.0, &FreshEvents::default());
         assert!((full - (100.0 - cfg.w_miss)).abs() < 1e-4);
         s.window_miss_rate = 0.5;
-        let half = score(&cfg, &s, 64, &FreshEvents::default());
+        let half = score(&cfg, &s, 64, 0.0, &FreshEvents::default());
         assert!((half - (100.0 - cfg.w_miss * 0.5)).abs() < 1e-4);
     }
 
@@ -446,7 +460,7 @@ mod tests {
         let cfg = HealthConfig::default();
         let mut s = snap();
         s.queue_depth = 32;
-        let half_queue = score(&cfg, &s, 64, &FreshEvents::default());
+        let half_queue = score(&cfg, &s, 64, 0.0, &FreshEvents::default());
         assert!((half_queue - (100.0 - cfg.w_queue * 0.5)).abs() < 1e-4);
         // Every flat penalty at once, full queue and full misses: the
         // floor is 0, never negative.
@@ -460,10 +474,34 @@ mod tests {
             knob_faults: 2,
         };
         assert!(fresh.any());
-        assert_eq!(score(&cfg, &s, 64, &fresh), 0.0);
+        assert_eq!(score(&cfg, &s, 64, 0.0, &fresh), 0.0);
         // Zero capacity: the queue term is skipped, not a divide-by-0.
         let clean = snap();
-        assert!((score(&cfg, &clean, 0, &FreshEvents::default()) - 100.0).abs() < f32::EPSILON);
+        assert!(
+            (score(&cfg, &clean, 0, 0.0, &FreshEvents::default()) - 100.0).abs() < f32::EPSILON
+        );
+    }
+
+    #[test]
+    fn pool_pressure_penalises_every_tenant_and_clamps() {
+        let cfg = HealthConfig::default();
+        let clean = snap();
+        // Half the pool backed up: half the pool weight, charged even
+        // to a tenant whose own queue is empty.
+        let s = score(&cfg, &clean, 64, 0.5, &FreshEvents::default());
+        assert!((s - (100.0 - cfg.w_pool_queue * 0.5)).abs() < 1e-4);
+        // Out-of-range pressure is clamped, not amplified.
+        let over = score(&cfg, &clean, 64, 7.0, &FreshEvents::default());
+        assert!((over - (100.0 - cfg.w_pool_queue)).abs() < 1e-4);
+        let under = score(&cfg, &clean, 64, -1.0, &FreshEvents::default());
+        assert!((under - 100.0).abs() < f32::EPSILON);
+        // A zero weight opts the term out entirely.
+        let quiet = HealthConfig {
+            w_pool_queue: 0.0,
+            ..HealthConfig::default()
+        };
+        let s = score(&quiet, &clean, 64, 1.0, &FreshEvents::default());
+        assert!((s - 100.0).abs() < f32::EPSILON);
     }
 
     #[test]

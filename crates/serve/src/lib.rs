@@ -6,14 +6,17 @@
 //! against the real `eml_nn` kernels and closes the loop with measured
 //! latency:
 //!
-//! - [`Executor`] — one serving thread per registered
-//!   [`eml_dnn::DynamicDnn`]; per-app *bounded* request queues (typed
-//!   [`ServeError::QueueFull`] rejection, never a block, never a silent
-//!   drop); deadline-aware micro-batching onto the batch>1 forward
-//!   path; worker-band budgets ([`eml_nn::workers::with_band_cap`])
-//!   derived from each app's allocated cores; allocations actuated
-//!   through the core knob surfaces
-//!   ([`eml_core::knobs::apply_app_command`]).
+//! - [`Executor`] — a fixed shared pool of driver threads
+//!   ([`ExecutorConfig::pool_workers`], independent of the tenant
+//!   count) serving every registered [`eml_dnn::DynamicDnn`] from a
+//!   weighted earliest-deadline-first ready order; a *bounded* app
+//!   registry (typed [`ServeError::OverCapacity`] refusal) and per-app
+//!   *bounded* request queues (typed [`ServeError::QueueFull`]
+//!   rejection, never a block, never a silent drop); deadline-aware
+//!   micro-batching onto the batch>1 forward path; worker-band budgets
+//!   ([`eml_nn::workers::with_band_cap`]) derived from each app's
+//!   allocated cores; allocations actuated through the core knob
+//!   surfaces ([`eml_core::knobs::apply_app_command`]).
 //! - [`ServeController`] — the control loop: measured p50 vs predicted
 //!   latency feeds [`eml_core::feedback::LatencyFeedback`]; sustained
 //!   deadline misses ([`eml_core::feedback::MissTracker`]) trigger
@@ -74,4 +77,4 @@ pub use health::{
     AppHealth, EventWatermark, FreshEvents, HealthBand, HealthConfig, HealthMonitor, HealthReport,
 };
 pub use replay::{ExecutedReplay, RetiredTotals};
-pub use stats::AppStatsSnapshot;
+pub use stats::{AppStatsSnapshot, PoolSnapshot};

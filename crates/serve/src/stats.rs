@@ -215,7 +215,8 @@ pub struct AppStatsSnapshot {
     /// flight; the batch was failed with a typed error).
     pub stalls: u64,
     /// Completions observed out of submission order (always 0: the
-    /// per-app queue is FIFO and served by one thread; the counter is
+    /// per-app queue is FIFO and the shared pool's busy-claim
+    /// serialises each app onto one driver at a time; the counter is
     /// the invariant surface the stress suite pins).
     pub out_of_order: u64,
     /// The model's current width level index.
@@ -231,6 +232,40 @@ pub struct AppStatsSnapshot {
     pub band_cap: usize,
     /// Whether the current allocation admits the app.
     pub admitted: bool,
+}
+
+/// A consistent view of the shared worker pool itself, as opposed to
+/// any one tenant: driver counts, roster occupancy against the bounded
+/// registry, and the pool-wide queue pressure the health monitor folds
+/// into its score. Read via [`crate::Executor::pool_stats`].
+#[derive(Debug, Clone)]
+pub struct PoolSnapshot {
+    /// Driver threads the pool was built with
+    /// ([`crate::ExecutorConfig::pool_workers`], floored at 1). Fixed
+    /// for the executor's lifetime — independent of the tenant count.
+    pub drivers: usize,
+    /// Driver threads currently alive (a crashed driver leaves this
+    /// until the watchdog respawns it).
+    pub live_drivers: usize,
+    /// Live (non-departed) registered applications, DNN and rigid —
+    /// the occupancy the bounded registry caps at
+    /// [`PoolSnapshot::max_apps`].
+    pub apps: usize,
+    /// DNN apps on the serving roster (the subset of
+    /// [`PoolSnapshot::apps`] with queues the drivers actually pull
+    /// from — the denominator of the pool-pressure fraction).
+    pub serving: usize,
+    /// The bounded registry capacity
+    /// ([`crate::ExecutorConfig::max_apps`]); registrations past it are
+    /// refused with [`crate::ServeError::OverCapacity`].
+    pub max_apps: usize,
+    /// Requests queued across every live DNN app.
+    pub queue_depth: usize,
+    /// Requests claimed by drivers but not yet completed, pool-wide.
+    pub in_flight: usize,
+    /// Per-app queue capacity (the pool-wide bound is
+    /// `queue_capacity × apps`).
+    pub queue_capacity: usize,
 }
 
 impl AppStatsSnapshot {

@@ -399,6 +399,9 @@ fn chaos_soak_is_fault_tolerant_and_bit_reproducible() {
         let mut policy = PressurePolicy::new(PressureConfig {
             health: HealthConfig {
                 w_queue: 0.0,
+                // Same reasoning pool-wide: depth is choreography, not
+                // health, in this soak — and it is timing dependent.
+                w_pool_queue: 0.0,
                 min_outcomes: 4,
                 ..HealthConfig::default()
             },

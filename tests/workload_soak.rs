@@ -111,6 +111,10 @@ fn run_soak(seed: u64) -> SoakOutcome {
                 // Two fresh outcomes are enough to trust the window
                 // again after a knob-driven reset.
                 min_outcomes: 2,
+                // Pool-wide queue depth is timing dependent; scoring
+                // it would make the ladder (and thus the outcome
+                // digest) wobble run to run.
+                w_pool_queue: 0.0,
                 ..HealthConfig::default()
             },
             recover_ticks: 2,
